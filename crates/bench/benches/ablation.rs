@@ -1,0 +1,52 @@
+//! Ablation: all DCQ strategies on the same query and data.
+//!
+//! The design choices DESIGN.md calls out — pushing the difference down (EasyDCQ) vs
+//! probing per tuple (Corollary 2.5 / Theorem 4.8) vs evaluating the intersection
+//! query (Theorem 4.10) vs the baseline — are compared head-to-head on an easy query
+//! (Q_G3) and a hard query (Q_G5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcq_core::planner::{DcqPlanner, Strategy};
+use dcq_datagen::{dataset, graph_query, GraphQueryId};
+use std::time::Duration;
+
+fn bench_ablation(c: &mut Criterion) {
+    let data = dataset("bitcoin-sim");
+    let planner = DcqPlanner::smart();
+
+    for (id, strategies) in [
+        (
+            GraphQueryId::QG3,
+            vec![
+                Strategy::EasyLinear,
+                Strategy::PerTupleProbe,
+                Strategy::Intersection,
+                Strategy::Baseline,
+            ],
+        ),
+        (
+            GraphQueryId::QG5,
+            vec![
+                Strategy::ProbeLinearReducible,
+                Strategy::Intersection,
+                Strategy::Baseline,
+            ],
+        ),
+    ] {
+        let dcq = graph_query(id);
+        let mut group = c.benchmark_group(format!("ablation/{}", id.name()));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(900));
+        for strategy in strategies {
+            group.bench_function(format!("{strategy:?}"), |b| {
+                b.iter(|| planner.execute_with(strategy, &dcq, &data.db).unwrap().len())
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

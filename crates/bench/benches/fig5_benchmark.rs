@@ -1,0 +1,38 @@
+//! Figure 5 (benchmark queries): TPC-H Q16-like and TPC-DS Q35/Q69-like workloads,
+//! original (naive fold of differences) vs optimized (recursive DMCQ rewriting).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcq_core::baseline::CqStrategy;
+use dcq_core::multi::{multi_dcq_naive, multi_dcq_recursive};
+use dcq_datagen::{tpcds_q35_workload, tpcds_q69_workload, tpch_q16_workload, BenchmarkWorkload};
+use std::time::Duration;
+
+fn bench_workload(c: &mut Criterion, workload: &BenchmarkWorkload) {
+    let mut group = c.benchmark_group(format!("fig5/{}/sf{}", workload.name, workload.scale_factor));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    group.bench_function("original", |b| {
+        b.iter(|| {
+            multi_dcq_naive(&workload.multi, &workload.db, CqStrategy::Vanilla)
+                .unwrap()
+                .len()
+        })
+    });
+    group.bench_function("optimized", |b| {
+        b.iter(|| multi_dcq_recursive(&workload.multi, &workload.db).unwrap().len())
+    });
+    group.finish();
+}
+
+fn bench_benchmark_queries(c: &mut Criterion) {
+    for sf in [1usize, 2] {
+        bench_workload(c, &tpch_q16_workload(sf));
+        bench_workload(c, &tpcds_q35_workload(sf));
+        bench_workload(c, &tpcds_q69_workload(sf));
+    }
+}
+
+criterion_group!(benches, bench_benchmark_queries);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Figure 5 (graph queries): original vs optimized plans for Q_G1…Q_G6.
+//!
+//! Each Criterion group is one query; within the group the `original/<dataset>` and
+//! `optimized/<dataset>` benchmarks correspond to the paired bars of Figure 5.
+//! Sample counts are kept small so the whole suite runs in minutes; the `repro`
+//! binary prints the same comparison with single-shot timings for every dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcq_core::baseline::{baseline_dcq, CqStrategy};
+use dcq_core::planner::DcqPlanner;
+use dcq_datagen::{dataset, graph_queries, GraphQueryId};
+use std::time::Duration;
+
+fn bench_graph_queries(c: &mut Criterion) {
+    // The two smallest datasets keep the vanilla plans affordable inside Criterion.
+    let datasets: Vec<_> = ["bitcoin-sim", "dblp-sim"]
+        .iter()
+        .map(|name| (name.to_string(), dataset(name)))
+        .collect();
+    let planner = DcqPlanner::smart();
+
+    for (id, dcq) in graph_queries() {
+        let mut group = c.benchmark_group(format!("fig5/{}", id.name()));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(900));
+        for (name, data) in &datasets {
+            // Q_G6's Cartesian product is only affordable on the smallest graph,
+            // mirroring the paper's timeouts.
+            if id == GraphQueryId::QG6 && name != "bitcoin-sim" {
+                continue;
+            }
+            group.bench_function(format!("original/{name}"), |b| {
+                b.iter(|| baseline_dcq(&dcq, &data.db, CqStrategy::Vanilla).unwrap().len())
+            });
+            group.bench_function(format!("optimized/{name}"), |b| {
+                b.iter(|| planner.execute(&dcq, &data.db).unwrap().len())
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_graph_queries);
+criterion_main!(benches);

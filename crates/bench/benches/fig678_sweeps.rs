@@ -1,0 +1,99 @@
+//! Figures 6–8: the Q_G4 parameter sweeps.
+//!
+//! * Figure 6 — vary OUT₁ by scaling the Triple relation, Q₂ fixed;
+//! * Figure 7 — vary OUT₂ by filtering the Graph relation used by Q₂;
+//! * Figure 8 — vary OUT via the Triple generation rule mix, everything else fixed.
+//!
+//! The expected shape (verified by the `repro` binary output): the optimized plan
+//! tracks OUT, the original plan tracks OUT₁ + OUT₂.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcq_core::baseline::{baseline_dcq, CqStrategy};
+use dcq_core::planner::DcqPlanner;
+use dcq_datagen::datasets::build_dataset;
+use dcq_datagen::{graph_query, Graph, GraphQueryId, TripleRuleMix};
+use dcq_storage::Value;
+use std::time::Duration;
+
+fn sweep_graph() -> Graph {
+    Graph::preferential_attachment(3_000, 5, 77)
+}
+
+fn bench_fig6_out1(c: &mut Criterion) {
+    let graph = sweep_graph();
+    let dcq = graph_query(GraphQueryId::QG4);
+    let planner = DcqPlanner::smart();
+    let mut group = c.benchmark_group("fig6/out1_sweep");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for fraction in [0.1f64, 0.5, 1.0] {
+        let data = build_dataset("fig6", graph.clone(), 0.5 * fraction, TripleRuleMix::balanced(), 5);
+        group.bench_function(format!("original/triple_frac_{fraction}"), |b| {
+            b.iter(|| baseline_dcq(&dcq, &data.db, CqStrategy::Vanilla).unwrap().len())
+        });
+        group.bench_function(format!("optimized/triple_frac_{fraction}"), |b| {
+            b.iter(|| planner.execute(&dcq, &data.db).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig7_out2(c: &mut Criterion) {
+    let graph = sweep_graph();
+    let planner = DcqPlanner::smart();
+    let base = build_dataset("fig7", graph.clone(), 0.5, TripleRuleMix::balanced(), 6);
+    let dcq = dcq_core::parse::parse_dcq(
+        "QG4(node1, node2, node3) :- Triple(node1, node2, node3)
+         EXCEPT Graph2(node1, node2), Graph2(node2, node3), Graph2(node3, node4)",
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("fig7/out2_sweep");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for keep in [1.0f64, 0.5, 0.25] {
+        let threshold = (graph.n_vertices as f64 * keep) as i64;
+        let mut db = base.db.clone();
+        let mut graph2 = db.get("Graph").unwrap().filter(|row| row.get(1) < &Value::Int(threshold));
+        graph2.set_name("Graph2");
+        db.add_or_replace(graph2);
+        group.bench_function(format!("original/selectivity_{keep}"), |b| {
+            b.iter(|| baseline_dcq(&dcq, &db, CqStrategy::Vanilla).unwrap().len())
+        });
+        group.bench_function(format!("optimized/selectivity_{keep}"), |b| {
+            b.iter(|| planner.execute(&dcq, &db).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig8_out(c: &mut Criterion) {
+    let graph = sweep_graph();
+    let dcq = graph_query(GraphQueryId::QG4);
+    let planner = DcqPlanner::smart();
+    let mut group = c.benchmark_group("fig8/out_sweep");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for (label, mix) in [
+        ("mostly_paths", TripleRuleMix::mostly_paths()),
+        ("balanced", TripleRuleMix::balanced()),
+        ("mostly_random", TripleRuleMix::mostly_random()),
+    ] {
+        let data = build_dataset("fig8", graph.clone(), 0.5, mix, 7);
+        group.bench_function(format!("original/{label}"), |b| {
+            b.iter(|| baseline_dcq(&dcq, &data.db, CqStrategy::Vanilla).unwrap().len())
+        });
+        group.bench_function(format!("optimized/{label}"), |b| {
+            b.iter(|| planner.execute(&dcq, &data.db).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6_out1, bench_fig7_out2, bench_fig8_out);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Micro-benchmarks of the execution-layer building blocks: natural join, semi-join,
+//! anti-join, Reduce, Yannakakis and the generic worst-case-optimal join.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcq_datagen::{Graph, SplitMix64};
+use dcq_exec::{
+    acyclic_full_join, anti_join, free_connex_evaluate, generic_join, natural_join, reduce,
+    semi_join,
+};
+use dcq_storage::{Relation, Schema};
+use std::time::Duration;
+
+fn edge_relation(name: &str, attrs: &[&str], m: usize, seed: u64) -> Relation {
+    let graph = Graph::uniform(1_000, m, seed);
+    let mut rel = Relation::from_int_rows(name, attrs, vec![]);
+    for (u, v) in graph.edges {
+        rel.push_unchecked(dcq_storage::row::int_row([u as i64, v as i64]));
+    }
+    rel.assume_distinct();
+    rel
+}
+
+fn unary_relation(name: &str, attr: &str, n: usize, seed: u64) -> Relation {
+    let mut rng = SplitMix64::new(seed);
+    let mut rel = Relation::from_int_rows(name, &[attr], vec![]);
+    for _ in 0..n {
+        rel.push_unchecked(dcq_storage::row::int_row([rng.next_below(1_000) as i64]));
+    }
+    rel
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let r = edge_relation("R", &["a", "b"], 20_000, 1);
+    let s = edge_relation("S", &["b", "c"], 20_000, 2);
+    let t = edge_relation("T", &["c", "d"], 20_000, 3);
+    let nodes = unary_relation("N", "b", 5_000, 4);
+
+    let mut group = c.benchmark_group("micro/operators");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+
+    group.bench_function("natural_join", |b| b.iter(|| natural_join(&r, &s).len()));
+    group.bench_function("semi_join", |b| b.iter(|| semi_join(&r, &nodes).len()));
+    group.bench_function("anti_join", |b| b.iter(|| anti_join(&r, &nodes).len()));
+
+    let atoms = vec![r.clone(), s.clone(), t.clone()];
+    let full_head = Schema::from_names(["a", "b", "c", "d"]);
+    let projected_head = Schema::from_names(["a", "b"]);
+    group.bench_function("reduce_path_query", |b| {
+        b.iter(|| reduce(&projected_head, &atoms).unwrap().input_size())
+    });
+    group.bench_function("yannakakis_full_path", |b| {
+        b.iter(|| acyclic_full_join(&atoms).unwrap().len())
+    });
+    group.bench_function("yannakakis_free_connex_projection", |b| {
+        b.iter(|| free_connex_evaluate(&projected_head, &atoms).unwrap().len())
+    });
+
+    // Triangle query: generic join vs nothing to compare (the binary plan is what
+    // the fig5 benches exercise); keep the graph small, triangles are expensive.
+    let small = edge_relation("G", &["a", "b"], 6_000, 5);
+    let tri_atoms = vec![
+        small.with_schema(Schema::from_names(["a", "b"])).unwrap(),
+        small.with_schema(Schema::from_names(["b", "c"])).unwrap(),
+        small.with_schema(Schema::from_names(["c", "a"])).unwrap(),
+    ];
+    let tri_head = Schema::from_names(["a", "b", "c"]);
+    group.bench_function("generic_join_triangle", |b| {
+        b.iter(|| generic_join(&tri_head, &tri_atoms).unwrap().len())
+    });
+    let _ = full_head;
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! # dcq-bench
+//!
+//! Benchmark and reproduction harness for **dcqx**.
+//!
+//! * The Criterion benches under `benches/` time the original-vs-optimized plan
+//!   comparison of Figure 5 (graph and benchmark queries), the OUT₁/OUT₂/OUT sweeps
+//!   of Figures 6–8, operator micro-benchmarks and an algorithm ablation.
+//! * The `repro` binary regenerates every table and figure of the paper's evaluation
+//!   section as text tables (`cargo run --release -p dcq-bench --bin repro -- all`).
+//! * [`memtrack`] provides the counting global allocator used for the Figure 9
+//!   memory-consumption experiment.
+
+#![warn(missing_docs)]
+
+pub mod memtrack;
+
+use dcq_core::baseline::{baseline_dcq_with_stats, BaselineStats, CqStrategy};
+use dcq_core::planner::DcqPlanner;
+use dcq_core::Dcq;
+use dcq_storage::Database;
+use std::time::{Duration, Instant};
+
+/// Wall-clock measurement of one original-vs-optimized comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct Comparison {
+    /// Time of the vanilla plan (materialize both sides + anti-join).
+    pub original: Duration,
+    /// Time of the plan chosen by the dichotomy/planner.
+    pub optimized: Duration,
+    /// Sizes observed by the baseline (OUT₁, OUT₂, OUT).
+    pub stats: BaselineStats,
+}
+
+impl Comparison {
+    /// `original / optimized` speedup factor.
+    pub fn speedup(&self) -> f64 {
+        if self.optimized.as_secs_f64() == 0.0 {
+            f64::INFINITY
+        } else {
+            self.original.as_secs_f64() / self.optimized.as_secs_f64()
+        }
+    }
+}
+
+/// Time a closure.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Run one DCQ with both the vanilla plan and the optimized plan, verifying that the
+/// two agree, and report the timings.
+pub fn compare_plans(dcq: &Dcq, db: &Database) -> Comparison {
+    let planner = DcqPlanner::smart();
+    let ((baseline, stats), original) =
+        time(|| baseline_dcq_with_stats(dcq, db, CqStrategy::Vanilla).expect("baseline"));
+    let (optimized_result, optimized) = time(|| planner.execute(dcq, db).expect("optimized"));
+    assert_eq!(
+        baseline.distinct_count(),
+        optimized_result.distinct_count(),
+        "plans disagree"
+    );
+    Comparison {
+        original,
+        optimized,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcq_datagen::{graph_query, GraphQueryId};
+
+    #[test]
+    fn compare_plans_reports_consistent_sizes() {
+        let data = dcq_datagen::datasets::build_dataset(
+            "tiny",
+            dcq_datagen::Graph::uniform(60, 300, 3),
+            0.5,
+            dcq_datagen::TripleRuleMix::balanced(),
+            4,
+        );
+        let cmp = compare_plans(&graph_query(GraphQueryId::QG3), &data.db);
+        assert_eq!(cmp.stats.out, cmp.stats.out1 - (cmp.stats.out1 - cmp.stats.out));
+        assert!(cmp.speedup() > 0.0);
+    }
+}

@@ -1,0 +1,432 @@
+//! Bag-semantics DCQ (§5.4, Appendix C).
+//!
+//! Under bag semantics every distinct tuple carries a positive multiplicity; a tuple
+//! `t` belongs to `Q₁ − Q₂` iff `w₁(t) > w₂(t)` and its output multiplicity is
+//! `w₁(t) − w₂(t)`.  The set-semantics rewriting of §3 is **not** correct here
+//! (Figure 3 shows the failure modes), so the paper partitions every base relation
+//! against its counterpart (Example 5.4 / Lemma C.1):
+//!
+//! * `R_e∅` — tuples of `R_e` with no counterpart in `R′_e` (`w₂ = 0`),
+//! * `R_e>` — counterparts exist and `w₁ > w₂`,
+//! * `R_e<` — counterparts exist and `w₁ ≤ w₂`,
+//!
+//! and assembles the result from (a) joins in which at least one edge takes its
+//! `∅` part — every such join result has `w₂ = 0` and qualifies outright — and
+//! (b) the all-matched joins filtered by the `θ`-condition `∏w₁ > ∏w₂`.
+//!
+//! [`bag_dcq_naive`] is the reference evaluation (materialize both bags and
+//! subtract); [`bag_dcq_rewritten`] implements the partition rewrite.  Part (a) runs
+//! in `O(N + OUT)`; part (b) enumerates the matched join and filters, which is
+//! correct but may exceed the paper's `O(N log N + OUT)` bound on adversarial
+//! inputs — the sorted θ-join enumeration of Algorithm 5 is documented as future
+//! work in DESIGN.md.
+
+use crate::aggregate::AnnotatedDatabase;
+use crate::error::DcqError;
+use crate::query::Dcq;
+use crate::Result;
+use dcq_exec::{annotated_reduce, annotated_yannakakis, ExecError};
+use dcq_storage::{BagRelation, Row, Schema, Semiring};
+
+/// A database annotated with bag multiplicities.
+pub type BagDatabase = AnnotatedDatabase<u64>;
+
+/// Pair of multiplicities `(w₁, w₂)` carried through the all-matched join of part
+/// (b); both components multiply under join.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WeightPair {
+    /// The `Q₁`-side multiplicity.
+    pub w1: u64,
+    /// The `Q₂`-side multiplicity.
+    pub w2: u64,
+}
+
+impl Semiring for WeightPair {
+    fn zero() -> Self {
+        WeightPair { w1: 0, w2: 0 }
+    }
+    fn one() -> Self {
+        WeightPair { w1: 1, w2: 1 }
+    }
+    fn plus(&self, other: &Self) -> Self {
+        WeightPair {
+            w1: self.w1 + other.w1,
+            w2: self.w2 + other.w2,
+        }
+    }
+    fn times(&self, other: &Self) -> Self {
+        WeightPair {
+            w1: self.w1 * other.w1,
+            w2: self.w2 * other.w2,
+        }
+    }
+}
+
+/// The bag produced by a single CQ: multiplicities of `π_y(⋈ atoms)` under bag
+/// semantics, computed by folding annotated joins (always applicable).
+pub fn bag_of_cq(cq: &crate::query::ConjunctiveQuery, bdb: &BagDatabase) -> Result<BagRelation> {
+    let atoms = bdb.bind_cq(cq)?;
+    let Some((first, rest)) = atoms.split_first() else {
+        return Err(DcqError::Exec(ExecError::EmptyQuery));
+    };
+    let mut acc = first.clone();
+    for r in rest {
+        acc = dcq_exec::annotated_join(&acc, r);
+    }
+    Ok(acc.project(&cq.head)?)
+}
+
+/// Reference (baseline) bag difference: materialize both bags, subtract
+/// multiplicities, keep positives.
+pub fn bag_dcq_naive(dcq: &Dcq, bdb: &BagDatabase) -> Result<BagRelation> {
+    let bag1 = bag_of_cq(&dcq.q1, bdb)?;
+    let bag2 = bag_of_cq(&dcq.q2, bdb)?;
+    let head = dcq.head_schema();
+    let mut out = BagRelation::new("bag_dcq_naive", head.clone());
+    let bag2 = reorder_bag(&bag2, &head);
+    for (row, &w1) in bag1.iter() {
+        let row = reorder_row(row, bag1.schema(), &head);
+        let w2 = bag2.annotation(&row);
+        if w1 > w2 {
+            out.set(row, w1 - w2);
+        }
+    }
+    Ok(out)
+}
+
+/// Reorder a bag relation's columns to a target schema over the same attribute set.
+fn reorder_bag(bag: &BagRelation, target: &Schema) -> BagRelation {
+    if bag.schema() == target {
+        return bag.clone();
+    }
+    let mut out = BagRelation::new(bag.name(), target.clone());
+    for (row, &w) in bag.iter() {
+        out.set(reorder_row(row, bag.schema(), target), w);
+    }
+    out
+}
+
+fn reorder_row(row: &Row, from: &Schema, to: &Schema) -> Row {
+    if from == to {
+        return row.clone();
+    }
+    let positions: Vec<usize> = to
+        .iter()
+        .map(|a| from.position(a).expect("same attribute set"))
+        .collect();
+    row.project(&positions)
+}
+
+/// The partition-based rewriting of Theorem 5.5 for DCQs whose two sides are
+/// free-connex CQs with the same (reduced) structure.
+///
+/// Returns [`DcqError::PreconditionViolated`] when the reductions of the two sides
+/// do not produce relations over the same attribute sets — the precondition
+/// `Q₁ = Q₂ = (y, V, E)` of the theorem.
+pub fn bag_dcq_rewritten(dcq: &Dcq, bdb: &BagDatabase) -> Result<BagRelation> {
+    let head = dcq.head_schema();
+    let q1_atoms = bdb.bind_cq(&dcq.q1)?;
+    let q2_atoms = bdb.bind_cq(&dcq.q2)?;
+    let precondition = |e: ExecError| match e {
+        ExecError::NotAcyclic { detail } | ExecError::NotLinearReducible { detail } => {
+            DcqError::PreconditionViolated {
+                strategy: "BagDCQ",
+                reason: detail,
+            }
+        }
+        other => DcqError::Exec(other),
+    };
+    // Reduce both sides to relations over subsets of y (bag-preserving: annotations
+    // are pushed with ⊕/⊗ exactly as the appendix's annotated semi-joins do).
+    let reduced1 = annotated_reduce(&head, &q1_atoms).map_err(precondition)?;
+    let reduced2 = annotated_reduce(&dcq.q2.head_schema(), &q2_atoms).map_err(precondition)?;
+
+    // Pair up the reduced relations by attribute set.
+    let mut pairs: Vec<(BagRelation, BagRelation)> = Vec::with_capacity(reduced1.len());
+    let mut used = vec![false; reduced2.len()];
+    for r1 in &reduced1 {
+        let position = reduced2.iter().enumerate().find(|(j, r2)| {
+            !used[*j] && r2.schema().same_attr_set(r1.schema())
+        });
+        match position {
+            Some((j, r2)) => {
+                used[j] = true;
+                pairs.push((r1.clone(), reorder_bag(r2, r1.schema())));
+            }
+            None => {
+                return Err(DcqError::PreconditionViolated {
+                    strategy: "BagDCQ",
+                    reason: format!(
+                        "no Q2 relation matches the Q1 relation over {}",
+                        r1.schema()
+                    ),
+                })
+            }
+        }
+    }
+    if used.iter().any(|u| !u) {
+        return Err(DcqError::PreconditionViolated {
+            strategy: "BagDCQ",
+            reason: "Q2 has reduced relations with no Q1 counterpart".into(),
+        });
+    }
+
+    // Partition every pair into the ∅ part (w2 = 0) and the matched part (w1, w2).
+    struct Partitioned {
+        /// Rows of R_e with no counterpart, annotated with w1.
+        empty: BagRelation,
+        /// Rows with a counterpart, annotated with w1 (for the part-(a) terms).
+        matched_w1: BagRelation,
+        /// Rows with a counterpart, annotated with (w1, w2) (for part (b)).
+        matched_pair: dcq_storage::AnnotatedRelation<WeightPair>,
+        /// All rows of R_e annotated with w1.
+        full: BagRelation,
+    }
+    let mut partitions: Vec<Partitioned> = Vec::with_capacity(pairs.len());
+    for (r1, r2) in &pairs {
+        let schema = r1.schema().clone();
+        let mut empty = BagRelation::new("R_e_empty", schema.clone());
+        let mut matched_w1 = BagRelation::new("R_e_matched", schema.clone());
+        let mut matched_pair =
+            dcq_storage::AnnotatedRelation::<WeightPair>::new("R_e_pair", schema.clone());
+        for (row, &w1) in r1.iter() {
+            let w2 = r2.annotation(row);
+            if w2 == 0 {
+                empty.set(row.clone(), w1);
+            } else {
+                matched_w1.set(row.clone(), w1);
+                matched_pair.set(row.clone(), WeightPair { w1, w2 });
+            }
+        }
+        partitions.push(Partitioned {
+            empty,
+            matched_w1,
+            matched_pair,
+            full: r1.clone(),
+        });
+    }
+
+    let mut out = BagRelation::new("bag_dcq_rewritten", head.clone());
+
+    // Part (a): terms where edge i is the *first* edge taking its ∅ part.  The terms
+    // are pairwise disjoint and every result tuple has w2 = 0, so its multiplicity is
+    // the product of w1 annotations.
+    for i in 0..partitions.len() {
+        if partitions[i].empty.is_empty() {
+            continue;
+        }
+        let mut atoms: Vec<BagRelation> = Vec::with_capacity(partitions.len());
+        for (j, p) in partitions.iter().enumerate() {
+            use std::cmp::Ordering;
+            atoms.push(match j.cmp(&i) {
+                Ordering::Less => p.matched_w1.clone(),
+                Ordering::Equal => p.empty.clone(),
+                Ordering::Greater => p.full.clone(),
+            });
+        }
+        if atoms.iter().any(|a| a.is_empty()) {
+            continue;
+        }
+        let term = annotated_yannakakis(&head, &atoms).map_err(precondition)?;
+        for (row, &w) in term.iter() {
+            out.combine(row.clone(), w);
+        }
+    }
+
+    // Part (b): all edges matched; keep tuples whose Q1 multiplicity exceeds the Q2
+    // multiplicity, with the difference as output multiplicity.
+    let pair_atoms: Vec<_> = partitions.iter().map(|p| p.matched_pair.clone()).collect();
+    if pair_atoms.iter().all(|a| !a.is_empty()) {
+        let matched = annotated_yannakakis(&head, &pair_atoms).map_err(precondition)?;
+        for (row, pair) in matched.iter() {
+            if pair.w1 > pair.w2 {
+                out.combine(row.clone(), pair.w1 - pair.w2);
+            }
+        }
+    }
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_dcq;
+    use dcq_storage::row::int_row;
+    use dcq_storage::AnnotatedRelation;
+
+    /// The Figure 3 instance: R1, R2 (Q1's side) and R3, R4 (Q2's side).
+    fn figure3_bdb() -> BagDatabase {
+        let mut bdb = BagDatabase::new();
+        bdb.add(BagRelation::from_int_rows_with_counts(
+            "R1",
+            &["x1", "x2"],
+            vec![(vec![1, 10], 1), (vec![2, 10], 2), (vec![2, 20], 2)],
+        ));
+        bdb.add(BagRelation::from_int_rows_with_counts(
+            "R2",
+            &["x2", "x3"],
+            vec![(vec![10, 100], 1), (vec![20, 100], 2), (vec![20, 200], 1)],
+        ));
+        bdb.add(BagRelation::from_int_rows_with_counts(
+            "R3",
+            &["x1", "x2"],
+            vec![(vec![2, 10], 1), (vec![2, 20], 2), (vec![3, 20], 1)],
+        ));
+        bdb.add(BagRelation::from_int_rows_with_counts(
+            "R4",
+            &["x2", "x3"],
+            vec![(vec![10, 100], 1), (vec![20, 100], 3), (vec![20, 200], 1)],
+        ));
+        bdb
+    }
+
+    fn figure3_dcq() -> Dcq {
+        parse_dcq("Q(x1, x2, x3) :- R1(x1, x2), R2(x2, x3) EXCEPT R3(x1, x2), R4(x2, x3)").unwrap()
+    }
+
+    #[test]
+    fn weight_pair_semiring_laws() {
+        let a = WeightPair { w1: 2, w2: 3 };
+        let b = WeightPair { w1: 5, w2: 7 };
+        assert_eq!(a.times(&WeightPair::one()), a);
+        assert_eq!(a.plus(&WeightPair::zero()), a);
+        assert_eq!(a.times(&b), WeightPair { w1: 10, w2: 21 });
+        assert_eq!(a.plus(&b), WeightPair { w1: 7, w2: 10 });
+        assert!(WeightPair::zero().is_zero());
+        assert!(!a.is_zero());
+    }
+
+    #[test]
+    fn naive_bag_difference_on_figure3() {
+        let out = bag_dcq_naive(&figure3_dcq(), &figure3_bdb()).unwrap();
+        // Q1 multiplicities: (1,10,100)=1, (2,10,100)=2, (2,20,100)=4, (2,20,200)=2.
+        // Q2 multiplicities: (2,10,100)=1, (2,20,100)=6, (2,20,200)=2, (3,…)=….
+        // Differences > 0: (1,10,100)=1, (2,10,100)=1.
+        assert_eq!(out.annotation(&int_row([1, 10, 100])), 1);
+        assert_eq!(out.annotation(&int_row([2, 10, 100])), 1);
+        assert!(!out.contains(&int_row([2, 20, 100])));
+        assert!(!out.contains(&int_row([2, 20, 200])));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn rewritten_matches_naive_on_figure3() {
+        let dcq = figure3_dcq();
+        let bdb = figure3_bdb();
+        let fast = bag_dcq_rewritten(&dcq, &bdb).unwrap();
+        let slow = bag_dcq_naive(&dcq, &bdb).unwrap();
+        assert_eq!(fast.sorted_entries(), slow.sorted_entries());
+    }
+
+    #[test]
+    fn rewritten_handles_unmatched_base_tuples() {
+        // Add Q1-only join values so the ∅ partitions are exercised.
+        let mut bdb = figure3_bdb();
+        bdb.add(BagRelation::from_int_rows_with_counts(
+            "R1",
+            &["x1", "x2"],
+            vec![
+                (vec![1, 10], 1),
+                (vec![2, 10], 2),
+                (vec![2, 20], 2),
+                (vec![5, 30], 3),
+            ],
+        ));
+        bdb.add(BagRelation::from_int_rows_with_counts(
+            "R2",
+            &["x2", "x3"],
+            vec![
+                (vec![10, 100], 1),
+                (vec![20, 100], 2),
+                (vec![20, 200], 1),
+                (vec![30, 300], 2),
+            ],
+        ));
+        let dcq = figure3_dcq();
+        let fast = bag_dcq_rewritten(&dcq, &bdb).unwrap();
+        let slow = bag_dcq_naive(&dcq, &bdb).unwrap();
+        assert_eq!(fast.sorted_entries(), slow.sorted_entries());
+        assert_eq!(fast.annotation(&int_row([5, 30, 300])), 6);
+    }
+
+    #[test]
+    fn rewritten_rejects_mismatched_structures() {
+        // Q2 is a single ternary relation: reduced structures cannot be paired.
+        let mut bdb = figure3_bdb();
+        bdb.add(BagRelation::from_int_rows_with_counts(
+            "T",
+            &["x1", "x2", "x3"],
+            vec![(vec![1, 10, 100], 1)],
+        ));
+        let dcq =
+            parse_dcq("Q(x1, x2, x3) :- R1(x1, x2), R2(x2, x3) EXCEPT T(x1, x2, x3)").unwrap();
+        assert!(matches!(
+            bag_dcq_rewritten(&dcq, &bdb),
+            Err(DcqError::PreconditionViolated { .. })
+        ));
+        // The naive evaluation still works.
+        assert!(bag_dcq_naive(&dcq, &bdb).is_ok());
+    }
+
+    #[test]
+    fn non_full_free_connex_bag_difference() {
+        // Project Figure 3 onto (x1, x2): still free-connex, multiplicities aggregate.
+        let dcq =
+            parse_dcq("Q(x1, x2) :- R1(x1, x2), R2(x2, x3) EXCEPT R3(x1, x2), R4(x2, x3)").unwrap();
+        let bdb = figure3_bdb();
+        let fast = bag_dcq_rewritten(&dcq, &bdb).unwrap();
+        let slow = bag_dcq_naive(&dcq, &bdb).unwrap();
+        assert_eq!(fast.sorted_entries(), slow.sorted_entries());
+    }
+
+    #[test]
+    fn example_5_4_three_case_partition() {
+        // A hand-built instance exercising all three cases of Example 5.4:
+        // (1) missing counterparts, (2) both factors larger, (3) mixed factors whose
+        // product still favours Q1.
+        let mut bdb = BagDatabase::new();
+        bdb.add(BagRelation::from_int_rows_with_counts(
+            "A",
+            &["x", "y"],
+            vec![(vec![1, 1], 4), (vec![2, 1], 1), (vec![3, 2], 5)],
+        ));
+        bdb.add(BagRelation::from_int_rows_with_counts(
+            "B",
+            &["y", "z"],
+            vec![(vec![1, 7], 3), (vec![2, 8], 1)],
+        ));
+        bdb.add(BagRelation::from_int_rows_with_counts(
+            "C",
+            &["x", "y"],
+            vec![(vec![1, 1], 2), (vec![2, 1], 3)],
+        ));
+        bdb.add(BagRelation::from_int_rows_with_counts(
+            "D",
+            &["y", "z"],
+            vec![(vec![1, 7], 5), (vec![2, 8], 2)],
+        ));
+        let dcq = parse_dcq("Q(x, y, z) :- A(x, y), B(y, z) EXCEPT C(x, y), D(y, z)").unwrap();
+        let fast = bag_dcq_rewritten(&dcq, &bdb).unwrap();
+        let slow = bag_dcq_naive(&dcq, &bdb).unwrap();
+        assert_eq!(fast.sorted_entries(), slow.sorted_entries());
+        // (1,1,7): w1 = 4·3 = 12, w2 = 2·5 = 10 → multiplicity 2 (case 3 flavour).
+        assert_eq!(fast.annotation(&int_row([1, 1, 7])), 2);
+        // (2,1,7): w1 = 3, w2 = 15 → dropped.
+        assert!(!fast.contains(&int_row([2, 1, 7])));
+        // (3,2,8): w2 = 0 → kept with w1 = 5 (case 1).
+        assert_eq!(fast.annotation(&int_row([3, 2, 8])), 5);
+    }
+
+    #[test]
+    fn bag_of_cq_respects_projections() {
+        let bdb = figure3_bdb();
+        let dcq = parse_dcq("Q(x1) :- R1(x1, x2), R2(x2, x3) EXCEPT R3(x1, x2), R4(x2, x3)").unwrap();
+        let bag = bag_of_cq(&dcq.q1, &bdb).unwrap();
+        // x1 = 2 : 2·1 + 2·2 + 2·1 = 8.
+        assert_eq!(bag.annotation(&int_row([2])), 8);
+        let empty_q = crate::query::ConjunctiveQuery::new("E", &[], vec![]);
+        assert!(bag_of_cq(&empty_q, &bdb).is_err());
+        let _unused: AnnotatedRelation<u64> = bag.clone();
+    }
+}

@@ -1,0 +1,322 @@
+//! The difference-linear dichotomy (Definition 2.3 / Theorem 2.4).
+//!
+//! A DCQ `Q₁ − Q₂` can be computed in `O(N + OUT)` time **iff** it is
+//! *difference-linear*:
+//!
+//! 1. `Q₁` is free-connex,
+//! 2. `Q₂` is linear-reducible,
+//! 3. for every edge `e` of the reduced query of `Q₂`, the hypergraph
+//!    `(y, E₁′ ∪ {e})` is α-acyclic, where `(y, E₁′)` is the reduced query of `Q₁`.
+//!
+//! The classifier below evaluates all three conditions *structurally* (no data is
+//! touched): the reduced edge sets are derived from the same head-rooted join tree
+//! construction the executor's `Reduce` (Algorithm 1) uses, so the classification
+//! always predicts what the runtime will do.  The remaining DCQs are split into the
+//! three "hard" cases of §4.1, which the planner maps to the heuristics of §4.2.
+
+use crate::query::Dcq;
+use dcq_hypergraph::{is_alpha_acyclic, AttrSet, CqShape, JoinTree};
+use std::fmt;
+
+/// Structural reduced edge set of a CQ `(head, edges)`: the hyperedges the `Reduce`
+/// procedure (Algorithm 1) would leave behind, or `None` if the query is not
+/// linear-reducible (no head-rooted join tree exists).
+///
+/// Mirrors `dcq_exec::reduce`: if every edge is already contained in the head the
+/// query is full over the head and returned unchanged; otherwise the reduced edges
+/// are the head-node's children in the augmented join tree, intersected with the
+/// head.
+pub fn structural_reduced_edges(head: &AttrSet, edges: &[AttrSet]) -> Option<Vec<AttrSet>> {
+    if edges.is_empty() {
+        return None;
+    }
+    if edges.iter().all(|e| e.is_subset(head)) {
+        return Some(edges.to_vec());
+    }
+    let (tree, head_idx) = JoinTree::build_with_head(edges, head)?;
+    let mut reduced = Vec::new();
+    for &child in tree.children(head_idx) {
+        reduced.push(tree.edge(child).intersect(head));
+    }
+    Some(reduced)
+}
+
+/// Which side of the dichotomy (and which hard sub-case) a DCQ falls into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DcqClass {
+    /// The DCQ is difference-linear: `EasyDCQ` computes it in `O(N + OUT)` time.
+    DifferenceLinear,
+    /// Hard case (1) of §4.1: `Q₁` is not free-connex — even `Q₂ = ∅` is hard.
+    HardQ1NotFreeConnex,
+    /// Hard case (2): `Q₁` is free-connex but `Q₂` is not linear-reducible.
+    HardQ2NotLinearReducible,
+    /// Hard case (3): both structural conditions on the individual queries hold, but
+    /// some reduced edge of `Q₂` makes `(y, E₁′ ∪ {e})` cyclic.
+    HardAugmentedCyclic,
+}
+
+impl DcqClass {
+    /// `true` iff the DCQ admits the linear-time algorithm of Theorem 3.1.
+    pub fn is_easy(&self) -> bool {
+        matches!(self, DcqClass::DifferenceLinear)
+    }
+}
+
+impl fmt::Display for DcqClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DcqClass::DifferenceLinear => "difference-linear (easy)",
+            DcqClass::HardQ1NotFreeConnex => "hard: Q1 is not free-connex",
+            DcqClass::HardQ2NotLinearReducible => "hard: Q2 is not linear-reducible",
+            DcqClass::HardAugmentedCyclic => {
+                "hard: some reduced edge of Q2 makes (y, E1' ∪ {e}) cyclic"
+            }
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Full classification report for a DCQ.
+#[derive(Clone, Debug)]
+pub struct DcqClassification {
+    /// The dichotomy class.
+    pub class: DcqClass,
+    /// Structural shape of `Q₁`.
+    pub q1_shape: CqShape,
+    /// Structural shape of `Q₂`.
+    pub q2_shape: CqShape,
+    /// Reduced edges `E₁′` of `Q₁` (present whenever `Q₁` is linear-reducible).
+    pub reduced_e1: Option<Vec<AttrSet>>,
+    /// Reduced edges `E₂′` of `Q₂` (present whenever `Q₂` is linear-reducible).
+    pub reduced_e2: Option<Vec<AttrSet>>,
+    /// When the class is [`DcqClass::HardAugmentedCyclic`], the first reduced edge of
+    /// `Q₂` that violates condition (3).
+    pub offending_edge: Option<AttrSet>,
+}
+
+impl DcqClassification {
+    /// `true` iff the DCQ is difference-linear.
+    pub fn is_difference_linear(&self) -> bool {
+        self.class.is_easy()
+    }
+}
+
+impl fmt::Display for DcqClassification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "class: {}", self.class)?;
+        writeln!(
+            f,
+            "Q1: acyclic={} free-connex={} linear-reducible={} full={}",
+            self.q1_shape.alpha_acyclic,
+            self.q1_shape.free_connex,
+            self.q1_shape.linear_reducible,
+            self.q1_shape.full
+        )?;
+        writeln!(
+            f,
+            "Q2: acyclic={} free-connex={} linear-reducible={} full={}",
+            self.q2_shape.alpha_acyclic,
+            self.q2_shape.free_connex,
+            self.q2_shape.linear_reducible,
+            self.q2_shape.full
+        )?;
+        if let Some(e) = &self.offending_edge {
+            writeln!(f, "offending edge: {e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Classify a DCQ according to the dichotomy of Theorem 2.4.
+pub fn classify(dcq: &Dcq) -> DcqClassification {
+    let head = dcq.q1.head_set();
+    let e1 = dcq.q1.edges();
+    let e2 = dcq.q2.edges();
+    let q1_shape = CqShape::of(&head, &e1);
+    let q2_shape = CqShape::of(&dcq.q2.head_set(), &e2);
+
+    let reduced_e1 = structural_reduced_edges(&head, &e1);
+    let reduced_e2 = structural_reduced_edges(&dcq.q2.head_set(), &e2);
+
+    let mut offending_edge = None;
+    let class = if !q1_shape.free_connex {
+        DcqClass::HardQ1NotFreeConnex
+    } else if !q2_shape.linear_reducible {
+        DcqClass::HardQ2NotLinearReducible
+    } else {
+        // Both reductions exist; check the per-edge augmented acyclicity condition.
+        let e1p = reduced_e1
+            .as_ref()
+            .expect("Q1 free-connex implies linear-reducible implies reducible");
+        let e2p = reduced_e2
+            .as_ref()
+            .expect("Q2 linear-reducible implies reducible");
+        match e2p.iter().find(|e| {
+            let mut augmented = e1p.clone();
+            augmented.push((*e).clone());
+            !is_alpha_acyclic(&augmented)
+        }) {
+            Some(bad) => {
+                offending_edge = Some(bad.clone());
+                DcqClass::HardAugmentedCyclic
+            }
+            None => DcqClass::DifferenceLinear,
+        }
+    };
+
+    DcqClassification {
+        class,
+        q1_shape,
+        q2_shape,
+        reduced_e1,
+        reduced_e2,
+        offending_edge,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_dcq;
+
+    fn classify_src(src: &str) -> DcqClassification {
+        classify(&parse_dcq(src).unwrap())
+    }
+
+    #[test]
+    fn example_3_3_same_schema_path_join_is_easy() {
+        let c = classify_src("Q(x1, x2, x3) :- R1(x1, x2), R2(x2, x3) EXCEPT S1(x1, x2), S2(x2, x3)");
+        assert_eq!(c.class, DcqClass::DifferenceLinear);
+        assert!(c.is_difference_linear());
+        assert!(c.q1_shape.free_connex && c.q2_shape.free_connex);
+    }
+
+    #[test]
+    fn example_3_6_different_schemas_is_easy() {
+        // Q1 = R1(x1,x2) ⋈ R2(x2,x3,x4), Q2 = R3(x1,x2,x3) ⋈ R4(x3,x4), both full.
+        let c = classify_src(
+            "Q(x1, x2, x3, x4) :- R1(x1, x2), R2(x2, x3, x4) EXCEPT R3(x1, x2, x3), R4(x3, x4)",
+        );
+        assert_eq!(c.class, DcqClass::DifferenceLinear);
+    }
+
+    #[test]
+    fn example_3_9_triangle_q2_is_easy() {
+        // Q1 = R1(x1,x2,x3), Q2 = triangle: Q2 is cyclic but linear-reducible, and its
+        // reduced edges {x1,x2},{x2,x3},{x1,x3} each keep (y, E1'∪{e}) acyclic because
+        // E1' = {x1,x2,x3} covers them.
+        let c = classify_src(
+            "Q(x1, x2, x3) :- R1(x1, x2, x3) EXCEPT R2(x1, x2), R3(x2, x3), R4(x1, x3)",
+        );
+        assert_eq!(c.class, DcqClass::DifferenceLinear);
+        assert!(!c.q2_shape.alpha_acyclic);
+        assert!(c.q2_shape.linear_reducible);
+    }
+
+    #[test]
+    fn example_3_10_cartesian_q1_is_easy() {
+        let c = classify_src(
+            "Q(x1, x2, x3) :- R1(x1, x2), R2(x3) EXCEPT R3(x1, x2), R4(x2, x3), R5(x1, x3)",
+        );
+        assert_eq!(c.class, DcqClass::DifferenceLinear);
+    }
+
+    #[test]
+    fn lemma_4_3_hardcore_is_hard_q2() {
+        // R1(x1,x3) − π_{x1,x3}(R2(x1,x2) ⋈ R3(x2,x3)): Q2 is not linear-reducible.
+        let c = classify_src("Q(x1, x3) :- R1(x1, x3) EXCEPT R2(x1, x2), R3(x2, x3)");
+        assert_eq!(c.class, DcqClass::HardQ2NotLinearReducible);
+        assert!(c.q1_shape.free_connex);
+        assert!(!c.q2_shape.linear_reducible);
+        assert!(c.reduced_e2.is_none());
+    }
+
+    #[test]
+    fn lemma_4_4_hardcore_is_hard_q2() {
+        // R1(x1) − π_{x1}(triangle): Q2 hides a triangle over non-output attributes.
+        let c = classify_src(
+            "Q(x1) :- R1(x1) EXCEPT R2(x1, x3), R3(x2, x3), R4(x1, x2)",
+        );
+        assert_eq!(c.class, DcqClass::HardQ2NotLinearReducible);
+    }
+
+    #[test]
+    fn non_free_connex_q1_is_hard_case_1() {
+        // π_{x1,x3}(R1(x1,x2) ⋈ R2(x2,x3)) − R3(x1,x3).
+        let c = classify_src("Q(x1, x3) :- R1(x1, x2), R2(x2, x3) EXCEPT R3(x1, x3)");
+        assert_eq!(c.class, DcqClass::HardQ1NotFreeConnex);
+    }
+
+    #[test]
+    fn lemma_4_6_hardcores_are_hard_case_3() {
+        // Q1 = R1(x1,x2) ⋈ R2(x2,x3) (full, free-connex), Q2 = R3(x1,x3) ⋈ R4(x2):
+        // both sides fine individually, but E1' ∪ {x1,x3} forms a triangle.
+        let c = classify_src(
+            "Q(x1, x2, x3) :- R1(x1, x2), R2(x2, x3) EXCEPT R3(x1, x3), R4(x2)",
+        );
+        assert_eq!(c.class, DcqClass::HardAugmentedCyclic);
+        assert_eq!(
+            c.offending_edge,
+            Some(AttrSet::from_names(["x1", "x3"]))
+        );
+
+        let c = classify_src(
+            "Q(x1, x2, x3) :- R1(x1, x2), R2(x2, x3) EXCEPT R3(x1, x3), R4(x2, x3), R5(x1, x2)",
+        );
+        assert_eq!(c.class, DcqClass::HardAugmentedCyclic);
+    }
+
+    #[test]
+    fn friend_recommendation_query_is_easy() {
+        // Example 1.1 / Q_G3: Triple minus triangles.
+        let c = classify_src(
+            "Q(n1, n2, n3) :- Triple(n1, n2, n3)
+             EXCEPT Graph1(n1, n2), Graph2(n2, n3), Graph3(n3, n1)",
+        );
+        assert_eq!(c.class, DcqClass::DifferenceLinear);
+    }
+
+    #[test]
+    fn qg4_projected_path_q2_is_easy() {
+        // Q_G4: Triple(n1,n2,n3) − π(Graph(n1,n2) ⋈ Graph(n2,n3) ⋈ Graph(n3,n4)).
+        let c = classify_src(
+            "Q(n1, n2, n3) :- Triple(n1, n2, n3)
+             EXCEPT G1(n1, n2), G2(n2, n3), G3(n3, n4)",
+        );
+        assert_eq!(c.class, DcqClass::DifferenceLinear);
+        // Q2's reduced edges only mention output attributes.
+        for e in c.reduced_e2.as_ref().unwrap() {
+            assert!(e.is_subset(&AttrSet::from_names(["n1", "n2", "n3"])));
+        }
+    }
+
+    #[test]
+    fn qg5_length4_cycle_rhs_is_hard() {
+        // Q_G5: length-4 paths minus length-4 cycles.  Q2's reduced edge {n1,n4}
+        // (endpoints of the cycle-closing edge) makes E1' ∪ {e} cyclic.
+        let c = classify_src(
+            "Q(n1, n2, n3, n4) :- G1(n1, n2), G2(n2, n3), G3(n3, n4)
+             EXCEPT H1(n2, n3), H2(n3, n4), H3(n4, n1)",
+        );
+        assert_eq!(c.class, DcqClass::HardAugmentedCyclic);
+    }
+
+    #[test]
+    fn structural_reduction_matches_full_query() {
+        let head = AttrSet::from_names(["a", "b"]);
+        let edges = vec![AttrSet::from_names(["a", "b"])];
+        assert_eq!(
+            structural_reduced_edges(&head, &edges),
+            Some(vec![AttrSet::from_names(["a", "b"])])
+        );
+        assert_eq!(structural_reduced_edges(&head, &[]), None);
+    }
+
+    #[test]
+    fn classification_display_mentions_class() {
+        let c = classify_src("Q(x1, x3) :- R1(x1, x3) EXCEPT R2(x1, x2), R3(x2, x3)");
+        let text = format!("{c}");
+        assert!(text.contains("not linear-reducible"));
+        assert!(format!("{}", c.class).contains("hard"));
+    }
+}

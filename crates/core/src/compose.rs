@@ -1,0 +1,160 @@
+//! Composing DCQs with other relational operators (§5.2).
+//!
+//! * **Selection** — a predicate `φ` on a base relation is pushed down to that
+//!   relation before the DCQ is evaluated ([`push_selection`]); this is the `O(N)`
+//!   step the paper describes and is how the benchmark queries' `WHERE` clauses and
+//!   the OUT₂ sweep of Figure 7 are modelled.
+//! * **Projection** — `π_θ(Q₁ − Q₂)` is *rewritten* as the new DCQ
+//!   `π_θQ₁ − π_θQ₂` ([`push_projection`]), following the paper's convention that
+//!   the projection is pushed into both sides (the composed query is then planned
+//!   as an ordinary DCQ).
+//! * **Join** — the join of several DCQs is evaluated by joining their results
+//!   ([`join_dcq_results`]); §5.1's rewriting shows the whole expression can also be
+//!   unfolded into a difference of multiple CQs, which [`crate::multi`] handles.
+
+use crate::planner::DcqPlanner;
+use crate::query::{ConjunctiveQuery, Dcq};
+use crate::Result;
+use dcq_exec::natural_join;
+use dcq_storage::{Database, Relation, Row};
+
+/// Push a selection on a base relation down into the database: returns a copy of the
+/// database in which `relation` is filtered by `predicate`.
+///
+/// Evaluating a DCQ over the returned database is exactly evaluating
+/// `σ_φ(Q₁) − σ_φ(Q₂)` when `φ` only mentions that base relation.
+pub fn push_selection<F>(db: &Database, relation: &str, predicate: F) -> Result<Database>
+where
+    F: FnMut(&Row) -> bool,
+{
+    let mut out = db.clone();
+    let original = db.get(relation)?;
+    let mut filtered = original.filter(predicate);
+    filtered.set_name(relation);
+    out.add_or_replace(filtered);
+    Ok(out)
+}
+
+/// Push a projection into both sides of a DCQ: `π_θ(Q₁ − Q₂) ⇒ π_θQ₁ − π_θQ₂`.
+///
+/// The projected attributes must be a subset of the current output attributes.
+pub fn push_projection(dcq: &Dcq, new_head: &[&str]) -> Result<Dcq> {
+    let project = |cq: &ConjunctiveQuery| ConjunctiveQuery {
+        name: format!("π({})", cq.name),
+        head: new_head.iter().map(dcq_storage::Attr::new).collect(),
+        atoms: cq.atoms.clone(),
+    };
+    for attr in new_head {
+        if !dcq.q1.head.iter().any(|a| a.name() == *attr) {
+            return Err(crate::DcqError::UnboundHeadVariable((*attr).to_string()));
+        }
+    }
+    Dcq::new(project(&dcq.q1), project(&dcq.q2))
+}
+
+/// Evaluate the natural join of several DCQs by joining their (optimized) results.
+///
+/// §5.2 notes that `Q¹ ⋈ ⋯ ⋈ Q^k` with `Qⁱ = Qⁱ₁ − Qⁱ₂` can be unfolded into a
+/// difference of multiple CQs; this helper provides the semantic reference
+/// evaluation used by the tests and the benchmark harness.
+pub fn join_dcq_results(dcqs: &[Dcq], db: &Database, planner: &DcqPlanner) -> Result<Relation> {
+    let mut results = Vec::with_capacity(dcqs.len());
+    for dcq in dcqs {
+        results.push(planner.execute(dcq, db)?);
+    }
+    let Some((first, rest)) = results.split_first() else {
+        return Err(crate::DcqError::Exec(dcq_exec::ExecError::EmptyQuery));
+    };
+    let mut acc = first.clone();
+    for r in rest {
+        acc = natural_join(&acc, r);
+    }
+    acc.set_name("join_of_dcqs");
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::{baseline_dcq, CqStrategy};
+    use crate::parse::parse_dcq;
+    use dcq_storage::row::int_row;
+    use dcq_storage::Value;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add(Relation::from_int_rows(
+            "G",
+            &["src", "dst"],
+            vec![vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 5], vec![10, 11]],
+        ))
+        .unwrap();
+        db.add(Relation::from_int_rows(
+            "H",
+            &["src", "dst"],
+            vec![vec![1, 2], vec![3, 4]],
+        ))
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn selection_pushdown_filters_base_relation() {
+        let db = db();
+        let filtered = push_selection(&db, "G", |row| {
+            row.get(0).as_int().unwrap() < 10
+        })
+        .unwrap();
+        assert_eq!(filtered.get("G").unwrap().len(), 4);
+        // Original untouched; unknown relation rejected.
+        assert_eq!(db.get("G").unwrap().len(), 5);
+        assert!(push_selection(&db, "Nope", |_| true).is_err());
+
+        // σ over the DCQ = DCQ over the σ-filtered database.
+        let dcq = parse_dcq("Q(a, b) :- G(a, b) EXCEPT H(a, b)").unwrap();
+        let out = baseline_dcq(&dcq, &filtered, CqStrategy::Smart).unwrap();
+        assert_eq!(
+            out.sorted_rows(),
+            vec![int_row([2, 3]), int_row([4, 5])]
+        );
+    }
+
+    #[test]
+    fn selection_models_figure7_predicate_sweep() {
+        // Figure 7 varies OUT2 by making the predicate on Graph in Q2 more selective.
+        let db = db();
+        let dcq = parse_dcq("Q(a, b) :- G(a, b) EXCEPT H(a, b)").unwrap();
+        let strict = push_selection(&db, "H", |row| row.get(0) == &Value::int(1)).unwrap();
+        let loose = push_selection(&db, "H", |_| true).unwrap();
+        let out_strict = baseline_dcq(&dcq, &strict, CqStrategy::Smart).unwrap();
+        let out_loose = baseline_dcq(&dcq, &loose, CqStrategy::Smart).unwrap();
+        assert!(out_strict.len() >= out_loose.len());
+    }
+
+    #[test]
+    fn projection_pushdown_rewrites_both_sides() {
+        let dcq = parse_dcq("Q(a, b) :- G(a, b) EXCEPT H(a, b)").unwrap();
+        let projected = push_projection(&dcq, &["a"]).unwrap();
+        assert_eq!(projected.q1.head.len(), 1);
+        assert_eq!(projected.q2.head.len(), 1);
+        assert_eq!(projected.head_schema(), dcq_storage::Schema::from_names(["a"]));
+        assert!(push_projection(&dcq, &["z"]).is_err());
+    }
+
+    #[test]
+    fn join_of_dcq_results_joins_on_shared_attributes() {
+        let db = db();
+        let d1 = parse_dcq("Q1(a, b) :- G(a, b) EXCEPT H(a, b)").unwrap();
+        let d2 = parse_dcq("Q2(b, c) :- G(b, c) EXCEPT H(b, c)").unwrap();
+        let planner = DcqPlanner::smart();
+        let joined = join_dcq_results(&[d1.clone(), d2.clone()], &db, &planner).unwrap();
+        // D1 = {(2,3),(3,4)… minus H} = {(2,3),(4,5),(10,11)}; D2 likewise over (b,c);
+        // join on b: (2,3)⋈(3,4)? (3,4) ∈ D2? H contains (3,4) so no; (2,3)⋈(3,?)→no;
+        // Compute via the definition instead of hand-listing:
+        let r1 = planner.execute(&d1, &db).unwrap();
+        let r2 = planner.execute(&d2, &db).unwrap();
+        let expected = natural_join(&r1, &r2);
+        assert_eq!(joined.sorted_rows(), expected.sorted_rows());
+        assert!(join_dcq_results(&[], &db, &planner).is_err());
+    }
+}

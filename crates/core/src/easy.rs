@@ -1,0 +1,243 @@
+//! `EasyDCQ` — the linear-time algorithm for difference-linear DCQs (Algorithm 2).
+//!
+//! For a difference-linear DCQ `Q₁ − Q₂` (Definition 2.3) the algorithm runs in
+//! `O(N + OUT)` time:
+//!
+//! 1. `Reduce` both inputs (Algorithm 1), leaving two full join queries
+//!    `(y, E₁′)` and `(y, E₂′)` over reduced instances;
+//! 2. for every reduced edge `e ∈ E₂′`:
+//!    * compute `S_e = π_e Q₁` with the Yannakakis algorithm — free-connex because
+//!      `(y, E₁′ ∪ {e})` is α-acyclic (the third difference-linear condition), and
+//!      bounded by `O(N + OUT)` thanks to Lemma 3.8;
+//!    * compute the base-relation difference `S_e − R′_e` (hashing, `O(N + OUT)`);
+//!    * join `(S_e − R′_e) ⋈ Q₁` with Yannakakis — an acyclic full join whose output
+//!      is exactly the part of `Q₁ − Q₂` witnessed by edge `e` (Lemma 3.7);
+//! 3. return the union of the per-edge results.
+//!
+//! The rewriting is the paper's "push the difference operator down to the input
+//! relations" idea: only differences of *base* (or linearly-materialized) relations
+//! are ever computed, never the difference of two large materialized query results.
+
+use crate::error::DcqError;
+use crate::query::Dcq;
+use crate::Result;
+use dcq_exec::{acyclic_full_join, free_connex_evaluate, reduce, ExecError};
+use dcq_storage::{Database, Relation};
+
+/// Map the executor's structural errors onto the EasyDCQ precondition error.
+fn precondition(e: ExecError) -> DcqError {
+    match e {
+        ExecError::NotAcyclic { detail } | ExecError::NotLinearReducible { detail } => {
+            DcqError::PreconditionViolated {
+                strategy: "EasyDCQ",
+                reason: detail,
+            }
+        }
+        other => DcqError::Exec(other),
+    }
+}
+
+/// Evaluate a difference-linear DCQ in `O(N + OUT)` time (Theorem 3.1).
+///
+/// Returns [`DcqError::PreconditionViolated`] when the DCQ is not difference-linear
+/// (use [`crate::planner::DcqPlanner`] to fall back to a heuristic automatically).
+pub fn easy_dcq(dcq: &Dcq, db: &Database) -> Result<Relation> {
+    let head = dcq.head_schema();
+
+    // Line 1-2 of Algorithm 2: reduce both inputs to full joins over y.
+    let q1_atoms = dcq.q1.bind(db)?;
+    let q2_atoms = dcq.q2.bind(db)?;
+    let reduced_q1 = reduce(&head, &q1_atoms).map_err(precondition)?;
+    let reduced_q2 = reduce(&dcq.q2.head_schema(), &q2_atoms).map_err(precondition)?;
+
+    // Line 3: S ← ∅.
+    let mut result = Relation::new("easy_dcq", head.clone());
+    result.assume_distinct();
+
+    // Lines 4-6: one sub-query per reduced edge of Q2.
+    for r2_edge in &reduced_q2.relations {
+        // S_e ← Yannakakis((e, y, E1'), D1'): the projection of Q1 onto e's attrs.
+        let edge_schema = r2_edge.schema().clone();
+        let s_e =
+            free_connex_evaluate(&edge_schema, &reduced_q1.relations).map_err(precondition)?;
+
+        // The pushed-down difference of base relations: S_e − R'_e.
+        let diff = s_e.minus(r2_edge)?;
+        if diff.is_empty() {
+            continue;
+        }
+
+        // (S_e − R'_e) ⋈ Q1: an acyclic full join over y (Lemma 3.5).
+        let mut atoms = reduced_q1.relations.clone();
+        atoms.push(diff);
+        let joined = acyclic_full_join(&atoms).map_err(precondition)?;
+        let projected = joined.project(head.attrs())?;
+
+        result = result.union_set(&projected)?;
+    }
+    result.set_name("easy_dcq");
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::{baseline_dcq, CqStrategy};
+    use crate::parse::parse_dcq;
+    use dcq_storage::row::int_row;
+
+    fn graph_db() -> Database {
+        let mut db = Database::new();
+        db.add(Relation::from_int_rows(
+            "Graph",
+            &["src", "dst"],
+            vec![
+                vec![1, 2],
+                vec![2, 3],
+                vec![3, 1],
+                vec![3, 4],
+                vec![4, 5],
+                vec![5, 3],
+                vec![2, 4],
+            ],
+        ))
+        .unwrap();
+        db.add(Relation::from_int_rows(
+            "Triple",
+            &["a", "b", "c"],
+            vec![
+                vec![1, 2, 3],
+                vec![2, 3, 1],
+                vec![3, 4, 5],
+                vec![1, 2, 4],
+                vec![9, 9, 9],
+            ],
+        ))
+        .unwrap();
+        // A second, shifted copy of Graph for same-schema difference tests.
+        db.add(Relation::from_int_rows(
+            "GraphB",
+            &["src", "dst"],
+            vec![vec![1, 2], vec![3, 1], vec![4, 5], vec![7, 8]],
+        ))
+        .unwrap();
+        db.add(Relation::from_int_rows(
+            "Node",
+            &["id"],
+            (1..=5).map(|i| vec![i]).collect::<Vec<_>>(),
+        ))
+        .unwrap();
+        db
+    }
+
+    fn check_matches_baseline(src: &str) {
+        let dcq = parse_dcq(src).unwrap();
+        let db = graph_db();
+        let fast = easy_dcq(&dcq, &db).unwrap();
+        let slow = baseline_dcq(&dcq, &db, CqStrategy::Vanilla).unwrap();
+        assert_eq!(
+            fast.sorted_rows(),
+            slow.sorted_rows(),
+            "EasyDCQ disagrees with the baseline on {src}"
+        );
+    }
+
+    #[test]
+    fn example_3_3_same_schema_path_join() {
+        check_matches_baseline(
+            "Q(x1, x2, x3) :- Graph(x1, x2), Graph(x2, x3) EXCEPT GraphB(x1, x2), GraphB(x2, x3)",
+        );
+    }
+
+    #[test]
+    fn example_3_6_different_schemas() {
+        check_matches_baseline(
+            "Q(x1, x2, x3) :- Graph(x1, x2), Triple(x1, x2, x3)
+             EXCEPT Triple(x1, x2, x3), GraphB(x2, x3)",
+        );
+    }
+
+    #[test]
+    fn friend_recommendation_qg3() {
+        // Example 1.1 / Q_G3: triples that do not form a triangle.
+        check_matches_baseline(
+            "Q(a, b, c) :- Triple(a, b, c) EXCEPT Graph(a, b), Graph(b, c), Graph(c, a)",
+        );
+    }
+
+    #[test]
+    fn qg3_explicit_result() {
+        let dcq = parse_dcq(
+            "Q(a, b, c) :- Triple(a, b, c) EXCEPT Graph(a, b), Graph(b, c), Graph(c, a)",
+        )
+        .unwrap();
+        let db = graph_db();
+        let out = easy_dcq(&dcq, &db).unwrap();
+        // Triangles: (1,2,3) rotations and (3,4,5) rotations; Triple ∩ triangles =
+        // {(1,2,3),(2,3,1),(3,4,5)}, so (1,2,4) and (9,9,9) survive.
+        assert_eq!(
+            out.sorted_rows(),
+            vec![int_row([1, 2, 4]), int_row([9, 9, 9])]
+        );
+    }
+
+    #[test]
+    fn qg4_projected_path_rhs() {
+        // Q_G4: triples that cannot be extended to a length-3 path (third hop from c).
+        check_matches_baseline(
+            "Q(a, b, c) :- Triple(a, b, c) EXCEPT Graph(a, b), Graph(b, c), Graph(c, d)",
+        );
+    }
+
+    #[test]
+    fn qg1_shape_edges_without_continuation() {
+        // Q_G1: edges that do not start a length-2 path, same-relation flavour.
+        check_matches_baseline(
+            "Q(a, b) :- Graph(a, b) EXCEPT Graph(a, b), Graph(b, c)",
+        );
+    }
+
+    #[test]
+    fn example_3_9_relation_minus_triangle() {
+        check_matches_baseline(
+            "Q(a, b, c) :- Triple(a, b, c) EXCEPT Graph(a, b), Graph(b, c), Graph(a, c)",
+        );
+    }
+
+    #[test]
+    fn example_3_10_cartesian_q1() {
+        check_matches_baseline(
+            "Q(a, b, c) :- Graph(a, b), Node(c) EXCEPT Graph(a, b), Graph(b, c), Graph(a, c)",
+        );
+    }
+
+    #[test]
+    fn empty_difference_when_q2_covers_q1() {
+        // Q2 identical to Q1: nothing survives.
+        check_matches_baseline("Q(a, b) :- Graph(a, b) EXCEPT Graph(a, b)");
+        let dcq = parse_dcq("Q(a, b) :- Graph(a, b) EXCEPT Graph(a, b)").unwrap();
+        assert!(easy_dcq(&dcq, &graph_db()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn non_difference_linear_is_rejected() {
+        // Lemma 4.3's hard core: Q2 hides a projection join.
+        let dcq = parse_dcq("Q(a, c) :- Graph(a, c) EXCEPT Graph(a, b), Graph(b, c)").unwrap();
+        let err = easy_dcq(&dcq, &graph_db()).unwrap_err();
+        assert!(matches!(err, DcqError::PreconditionViolated { .. }));
+    }
+
+    #[test]
+    fn result_is_distinct_and_in_head_order() {
+        let dcq = parse_dcq(
+            "Q(c, b, a) :- Graph(a, b), Graph(b, c) EXCEPT GraphB(a, b), GraphB(b, c)",
+        )
+        .unwrap();
+        let db = graph_db();
+        let out = easy_dcq(&dcq, &db).unwrap();
+        assert_eq!(out.schema(), &dcq.head_schema());
+        assert_eq!(out.distinct_count(), out.len());
+        let slow = baseline_dcq(&dcq, &db, CqStrategy::Vanilla).unwrap();
+        assert_eq!(out.sorted_rows(), slow.sorted_rows());
+    }
+}

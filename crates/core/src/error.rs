@@ -1,0 +1,120 @@
+//! Errors of the DCQ layer.
+
+use dcq_exec::ExecError;
+use dcq_storage::StorageError;
+use std::fmt;
+
+/// Errors raised while defining, planning or evaluating a DCQ.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DcqError {
+    /// The two input CQs do not have identical output attribute sets.
+    MismatchedHeads {
+        /// Output attributes of `Q₁`.
+        left: String,
+        /// Output attributes of `Q₂`.
+        right: String,
+    },
+    /// An atom's variable count does not match the stored relation's arity.
+    AtomArityMismatch {
+        /// Relation name referenced by the atom.
+        relation: String,
+        /// Arity of the stored relation.
+        expected: usize,
+        /// Number of variables in the atom.
+        actual: usize,
+    },
+    /// An output variable does not occur in any atom.
+    UnboundHeadVariable(String),
+    /// The requested strategy's structural precondition does not hold
+    /// (e.g. EasyDCQ on a non-difference-linear DCQ).
+    PreconditionViolated {
+        /// The strategy whose precondition failed.
+        strategy: &'static str,
+        /// Why it failed.
+        reason: String,
+    },
+    /// A parse error in the datalog-style query syntax.
+    Parse {
+        /// Human-readable message.
+        message: String,
+    },
+    /// Underlying execution error.
+    Exec(ExecError),
+    /// Underlying storage error.
+    Storage(StorageError),
+}
+
+impl fmt::Display for DcqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DcqError::MismatchedHeads { left, right } => write!(
+                f,
+                "the two CQs of a DCQ must share output attributes: {left} vs {right}"
+            ),
+            DcqError::AtomArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "atom over `{relation}` has {actual} variables but the relation has arity {expected}"
+            ),
+            DcqError::UnboundHeadVariable(v) => {
+                write!(f, "output variable `{v}` occurs in no atom")
+            }
+            DcqError::PreconditionViolated { strategy, reason } => {
+                write!(f, "{strategy} precondition violated: {reason}")
+            }
+            DcqError::Parse { message } => write!(f, "parse error: {message}"),
+            DcqError::Exec(e) => write!(f, "execution error: {e}"),
+            DcqError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DcqError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DcqError::Exec(e) => Some(e),
+            DcqError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ExecError> for DcqError {
+    fn from(e: ExecError) -> Self {
+        DcqError::Exec(e)
+    }
+}
+
+impl From<StorageError> for DcqError {
+    fn from(e: StorageError) -> Self {
+        DcqError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = DcqError::MismatchedHeads {
+            left: "(x1)".into(),
+            right: "(x1, x2)".into(),
+        };
+        assert!(e.to_string().contains("output attributes"));
+        let e = DcqError::AtomArityMismatch {
+            relation: "Graph".into(),
+            expected: 2,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("Graph"));
+        let e: DcqError = ExecError::EmptyQuery.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: DcqError = StorageError::UnknownRelation("R".into()).into();
+        assert!(e.to_string().contains('R'));
+        assert!(DcqError::UnboundHeadVariable("z".into()).to_string().contains('z'));
+    }
+}

@@ -1,0 +1,265 @@
+//! Difference of multiple conjunctive queries (§5.1, Algorithm 4).
+//!
+//! `Q = Q₁ − Q₂ − ⋯ − Q_k` is evaluated recursively: the first two queries are
+//! combined exactly as in `EasyDCQ` — for every reduced edge `e` of `Q₂`, the
+//! pushed-down difference `(π_e Q₁ − R′_e) ⋈ Q₁` materializes the part of `Q₁ − Q₂`
+//! witnessed by `e` — and each materialized part becomes the new `Q₁` of a
+//! difference with one fewer negative query.  Theorem 5.1 gives the structural
+//! condition under which the whole recursion stays `O(N + OUT)`.
+//!
+//! [`multi_dcq_naive`] is the reference implementation (fold of set differences)
+//! used as the correctness baseline in the tests and benchmarks.
+
+use crate::baseline::{evaluate_cq, CqStrategy};
+use crate::error::DcqError;
+use crate::query::ConjunctiveQuery;
+use crate::Result;
+use dcq_exec::{acyclic_full_join, free_connex_evaluate, reduce, ExecError};
+use dcq_storage::{Database, Relation, Schema};
+
+/// A difference of multiple conjunctive queries `Q₁ − Q₂ − ⋯ − Q_k`.
+#[derive(Clone, Debug)]
+pub struct MultiDcq {
+    /// The positive query `Q₁`.
+    pub positive: ConjunctiveQuery,
+    /// The negative queries `Q₂, …, Q_k`, applied left to right.
+    pub negatives: Vec<ConjunctiveQuery>,
+}
+
+impl MultiDcq {
+    /// Create a multi-difference, verifying that every query shares the same output
+    /// attribute set.
+    pub fn new(positive: ConjunctiveQuery, negatives: Vec<ConjunctiveQuery>) -> Result<Self> {
+        for n in &negatives {
+            if n.head_set() != positive.head_set() {
+                return Err(DcqError::MismatchedHeads {
+                    left: format!("{}", positive.head_schema()),
+                    right: format!("{}", n.head_schema()),
+                });
+            }
+        }
+        Ok(MultiDcq {
+            positive,
+            negatives,
+        })
+    }
+
+    /// The common output schema (in the positive query's order).
+    pub fn head_schema(&self) -> Schema {
+        self.positive.head_schema()
+    }
+}
+
+/// Reference evaluation: materialize every query and fold the set differences.
+pub fn multi_dcq_naive(
+    multi: &MultiDcq,
+    db: &Database,
+    strategy: CqStrategy,
+) -> Result<Relation> {
+    let mut acc = evaluate_cq(&multi.positive, db, strategy)?;
+    for n in &multi.negatives {
+        let neg = evaluate_cq(n, db, strategy)?;
+        acc = acc.minus(&neg)?;
+    }
+    acc.set_name("multi_dcq_naive");
+    Ok(acc)
+}
+
+fn precondition(e: ExecError) -> DcqError {
+    match e {
+        ExecError::NotAcyclic { detail } | ExecError::NotLinearReducible { detail } => {
+            DcqError::PreconditionViolated {
+                strategy: "DMCQ",
+                reason: detail,
+            }
+        }
+        other => DcqError::Exec(other),
+    }
+}
+
+/// Algorithm 4: recursive evaluation of a multi-difference.
+///
+/// Requires the structural conditions of Theorem 5.1 (every intermediate rewriting
+/// must stay acyclic); otherwise a [`DcqError::PreconditionViolated`] is returned and
+/// the caller should fall back to [`multi_dcq_naive`].
+pub fn multi_dcq_recursive(multi: &MultiDcq, db: &Database) -> Result<Relation> {
+    let head = multi.head_schema();
+    // Bind and reduce the positive query once.
+    let positive_atoms = multi.positive.bind(db)?;
+    let reduced_positive = reduce(&head, &positive_atoms).map_err(precondition)?;
+    // Bind and reduce every negative query.
+    let negative_relations: Vec<Vec<Relation>> = multi
+        .negatives
+        .iter()
+        .map(|n| {
+            let atoms = n.bind(db)?;
+            Ok(reduce(&n.head_schema(), &atoms).map_err(precondition)?.relations)
+        })
+        .collect::<Result<_>>()?;
+
+    let mut result = recurse(&head, &reduced_positive.relations, &negative_relations)?;
+    result.set_name("multi_dcq_recursive");
+    Ok(result)
+}
+
+/// Recursive core: `positive` is a full join over `head`; `negatives` are the
+/// reduced (full-join-over-`head`) bodies of the remaining negative queries.
+fn recurse(
+    head: &Schema,
+    positive: &[Relation],
+    negatives: &[Vec<Relation>],
+) -> Result<Relation> {
+    let Some((first_negative, remaining)) = negatives.split_first() else {
+        // No negatives left: evaluate the positive full join.
+        let joined = acyclic_full_join(positive).map_err(precondition)?;
+        return Ok(joined.project(head.attrs())?);
+    };
+
+    let mut result = Relation::new("dmcq", head.clone());
+    result.assume_distinct();
+    for r_e in first_negative {
+        // S_e = π_e(positive), computed with Yannakakis.
+        let edge_schema = r_e.schema().clone();
+        let s_e = free_connex_evaluate(&edge_schema, positive).map_err(precondition)?;
+        let diff = s_e.minus(r_e)?;
+        if diff.is_empty() {
+            continue;
+        }
+        // Materialize (S_e − R'_e) ⋈ positive: the part of (positive − Q₂) witnessed
+        // by e, as a single relation over the head.
+        let mut atoms = positive.to_vec();
+        atoms.push(diff);
+        let part = acyclic_full_join(&atoms)
+            .map_err(precondition)?
+            .project(head.attrs())?;
+        if part.is_empty() {
+            continue;
+        }
+        // Recurse: the materialized part is the new positive (a single full relation
+        // over the head), with one fewer negative query.
+        let sub = recurse(head, &[part], remaining)?;
+        result = result.union_set(&sub)?;
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_cq, parse_dcq_multi};
+    use dcq_storage::row::int_row;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add(Relation::from_int_rows(
+            "Triple",
+            &["a", "b", "c"],
+            vec![
+                vec![1, 2, 3],
+                vec![2, 3, 4],
+                vec![3, 4, 5],
+                vec![4, 5, 6],
+                vec![7, 7, 7],
+            ],
+        ))
+        .unwrap();
+        db.add(Relation::from_int_rows(
+            "G",
+            &["src", "dst"],
+            vec![vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 5], vec![5, 6]],
+        ))
+        .unwrap();
+        db.add(Relation::from_int_rows(
+            "H",
+            &["src", "dst"],
+            vec![vec![2, 3], vec![3, 4], vec![7, 7]],
+        ))
+        .unwrap();
+        db
+    }
+
+    fn multi_from(src: &str) -> MultiDcq {
+        let (dcq, rest) = parse_dcq_multi(src).unwrap();
+        let mut negatives = vec![dcq.q2];
+        negatives.extend(rest);
+        MultiDcq::new(dcq.q1, negatives).unwrap()
+    }
+
+    #[test]
+    fn two_query_case_degenerates_to_dcq() {
+        let m = multi_from("Q(a, b, c) :- Triple(a, b, c) EXCEPT G(a, b), G(b, c)");
+        let db = db();
+        let fast = multi_dcq_recursive(&m, &db).unwrap();
+        let slow = multi_dcq_naive(&m, &db, CqStrategy::Vanilla).unwrap();
+        assert_eq!(fast.sorted_rows(), slow.sorted_rows());
+    }
+
+    #[test]
+    fn three_query_difference_matches_naive() {
+        let m = multi_from(
+            "Q(a, b, c) :- Triple(a, b, c) EXCEPT G(a, b), H(b, c) EXCEPT H(a, b), H(b, c)",
+        );
+        let db = db();
+        let fast = multi_dcq_recursive(&m, &db).unwrap();
+        let slow = multi_dcq_naive(&m, &db, CqStrategy::Vanilla).unwrap();
+        assert_eq!(fast.sorted_rows(), slow.sorted_rows());
+        // The G∘H paths remove (1,2,3) and (2,3,4); the H∘H paths remove (7,7,7).
+        assert_eq!(fast.sorted_rows(), vec![int_row([3, 4, 5]), int_row([4, 5, 6])]);
+    }
+
+    #[test]
+    fn four_query_difference_matches_naive() {
+        let m = multi_from(
+            "Q(a, b) :- G(a, b) EXCEPT H(a, b) EXCEPT G(a, b), G(b, c) EXCEPT G(c, a), G(a, b)",
+        );
+        let db = db();
+        let fast = multi_dcq_recursive(&m, &db).unwrap();
+        let slow = multi_dcq_naive(&m, &db, CqStrategy::Smart).unwrap();
+        assert_eq!(fast.sorted_rows(), slow.sorted_rows());
+    }
+
+    #[test]
+    fn empty_negative_list_returns_q1() {
+        let q1 = parse_cq("Q(a, b) :- G(a, b)").unwrap();
+        let m = MultiDcq::new(q1, vec![]).unwrap();
+        let db = db();
+        let out = multi_dcq_recursive(&m, &db).unwrap();
+        assert_eq!(out.len(), 5);
+        assert_eq!(
+            out.sorted_rows(),
+            multi_dcq_naive(&m, &db, CqStrategy::Vanilla).unwrap().sorted_rows()
+        );
+    }
+
+    #[test]
+    fn mismatched_heads_rejected() {
+        let q1 = parse_cq("Q(a, b) :- G(a, b)").unwrap();
+        let q2 = parse_cq("Q(a) :- H(a, b)").unwrap();
+        assert!(MultiDcq::new(q1, vec![q2]).is_err());
+    }
+
+    #[test]
+    fn order_of_negatives_does_not_change_result() {
+        let m1 = multi_from(
+            "Q(a, b, c) :- Triple(a, b, c) EXCEPT G(a, b), G(b, c) EXCEPT H(a, b), H(b, c)",
+        );
+        let m2 = multi_from(
+            "Q(a, b, c) :- Triple(a, b, c) EXCEPT H(a, b), H(b, c) EXCEPT G(a, b), G(b, c)",
+        );
+        let db = db();
+        assert_eq!(
+            multi_dcq_recursive(&m1, &db).unwrap().sorted_rows(),
+            multi_dcq_recursive(&m2, &db).unwrap().sorted_rows()
+        );
+    }
+
+    #[test]
+    fn precondition_violation_is_reported() {
+        // A non-linear-reducible negative query cannot be handled by the recursion.
+        let m = multi_from("Q(a, c) :- G(a, c) EXCEPT G(a, b), G(b, c) EXCEPT H(a, c)");
+        assert!(matches!(
+            multi_dcq_recursive(&m, &db()),
+            Err(DcqError::PreconditionViolated { .. })
+        ));
+    }
+}

@@ -1,0 +1,321 @@
+//! A small datalog-style text syntax for CQs and DCQs.
+//!
+//! Rather than a full SQL front-end (the paper rewrites SQL by hand, §6.1), dcqx
+//! offers a rule syntax that states the conjunctive structure directly:
+//!
+//! ```text
+//! Q(node1, node2, node3) :- Triple(node1, node2, node3)
+//!   EXCEPT
+//!   Graph(node1, node2), Graph(node2, node3), Graph(node3, node1)
+//! ```
+//!
+//! * `Head(vars) :- atom, atom, …` defines a conjunctive query,
+//! * `EXCEPT` separates the positive body `Q₁` from the negative body `Q₂`
+//!   (the SQL `NOT EXISTS` / `EXCEPT` of Example 1.1),
+//! * additional `EXCEPT` sections define a difference of multiple CQs (§5.1).
+//!
+//! The head variable list gives the output attributes of **both** sides; an optional
+//! trailing `.` is accepted.
+
+use crate::error::DcqError;
+use crate::query::{Atom, ConjunctiveQuery, Dcq};
+use crate::Result;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    LParen,
+    RParen,
+    Comma,
+    Turnstile,
+    Except,
+    Dot,
+}
+
+fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Token::RParen);
+            }
+            ',' => {
+                chars.next();
+                tokens.push(Token::Comma);
+            }
+            '.' => {
+                chars.next();
+                tokens.push(Token::Dot);
+            }
+            ':' => {
+                chars.next();
+                if chars.peek() == Some(&'-') {
+                    chars.next();
+                    tokens.push(Token::Turnstile);
+                } else {
+                    return Err(DcqError::Parse {
+                        message: "expected `-` after `:`".into(),
+                    });
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        ident.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if ident.eq_ignore_ascii_case("except") {
+                    tokens.push(Token::Except);
+                } else {
+                    tokens.push(Token::Ident(ident));
+                }
+            }
+            other => {
+                return Err(DcqError::Parse {
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, expected: &Token, what: &str) -> Result<()> {
+        match self.next() {
+            Some(ref t) if t == expected => Ok(()),
+            other => Err(DcqError::Parse {
+                message: format!("expected {what}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(DcqError::Parse {
+                message: format!("expected {what}, found {other:?}"),
+            }),
+        }
+    }
+
+    /// `Name ( v1, v2, … )`
+    fn predicate(&mut self) -> Result<(String, Vec<String>)> {
+        let name = self.ident("a predicate name")?;
+        self.expect(&Token::LParen, "`(`")?;
+        let mut vars = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::RParen) => {
+                    self.next();
+                    break;
+                }
+                _ => {
+                    vars.push(self.ident("a variable name")?);
+                    if let Some(Token::Comma) = self.peek() {
+                        self.next();
+                    }
+                }
+            }
+        }
+        Ok((name, vars))
+    }
+
+    /// `atom, atom, …` up to (but not consuming) `EXCEPT`, `.` or end of input.
+    fn body(&mut self) -> Result<Vec<Atom>> {
+        let mut atoms = Vec::new();
+        loop {
+            let (name, vars) = self.predicate()?;
+            let var_refs: Vec<&str> = vars.iter().map(|s| s.as_str()).collect();
+            atoms.push(Atom::new(name, &var_refs));
+            match self.peek() {
+                Some(Token::Comma) => {
+                    self.next();
+                }
+                _ => break,
+            }
+        }
+        if atoms.is_empty() {
+            return Err(DcqError::Parse {
+                message: "a query body needs at least one atom".into(),
+            });
+        }
+        Ok(atoms)
+    }
+}
+
+/// Parse a single conjunctive query `Head(vars) :- atom, atom, …`.
+pub fn parse_cq(src: &str) -> Result<ConjunctiveQuery> {
+    let mut p = Parser::new(tokenize(src)?);
+    let (name, head_vars) = p.predicate()?;
+    p.expect(&Token::Turnstile, "`:-`")?;
+    let atoms = p.body()?;
+    if let Some(Token::Dot) = p.peek() {
+        p.next();
+    }
+    if p.peek().is_some() {
+        return Err(DcqError::Parse {
+            message: format!("unexpected trailing tokens: {:?}", p.peek()),
+        });
+    }
+    let head_refs: Vec<&str> = head_vars.iter().map(|s| s.as_str()).collect();
+    Ok(ConjunctiveQuery::new(name, &head_refs, atoms))
+}
+
+/// Parse a DCQ `Head(vars) :- body₁ EXCEPT body₂ [EXCEPT body₃ …]`.
+///
+/// Returns the parsed difference as `(Q₁ − Q₂, remaining bodies)`; when more than
+/// one `EXCEPT` section is present the remaining CQs (for the multi-difference
+/// algorithm of §5.1) are returned in order.
+pub fn parse_dcq_multi(src: &str) -> Result<(Dcq, Vec<ConjunctiveQuery>)> {
+    let mut p = Parser::new(tokenize(src)?);
+    let (name, head_vars) = p.predicate()?;
+    p.expect(&Token::Turnstile, "`:-`")?;
+    let head_refs: Vec<&str> = head_vars.iter().map(|s| s.as_str()).collect();
+
+    let mut bodies = vec![p.body()?];
+    while let Some(Token::Except) = p.peek() {
+        p.next();
+        bodies.push(p.body()?);
+    }
+    if let Some(Token::Dot) = p.peek() {
+        p.next();
+    }
+    if p.peek().is_some() {
+        return Err(DcqError::Parse {
+            message: format!("unexpected trailing tokens: {:?}", p.peek()),
+        });
+    }
+    if bodies.len() < 2 {
+        return Err(DcqError::Parse {
+            message: "a DCQ needs at least one EXCEPT section".into(),
+        });
+    }
+    let mut queries: Vec<ConjunctiveQuery> = bodies
+        .into_iter()
+        .enumerate()
+        .map(|(i, atoms)| {
+            ConjunctiveQuery::new(format!("{name}_{}", i + 1), &head_refs, atoms)
+        })
+        .collect();
+    let q1 = queries.remove(0);
+    let q2 = queries.remove(0);
+    Ok((Dcq::new(q1, q2)?, queries))
+}
+
+/// Parse a DCQ with exactly one `EXCEPT` section.
+pub fn parse_dcq(src: &str) -> Result<Dcq> {
+    let (dcq, rest) = parse_dcq_multi(src)?;
+    if !rest.is_empty() {
+        return Err(DcqError::Parse {
+            message: "expected exactly one EXCEPT section".into(),
+        });
+    }
+    Ok(dcq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_cq() {
+        let q = parse_cq("Q(a, c) :- R(a, b), S(b, c).").unwrap();
+        assert_eq!(q.name, "Q");
+        assert_eq!(q.head.len(), 2);
+        assert_eq!(q.atoms.len(), 2);
+        assert_eq!(q.atoms[0].relation, "R");
+        assert_eq!(q.atoms[1].vars[1].name(), "c");
+    }
+
+    #[test]
+    fn parse_cq_without_trailing_dot_and_with_newlines() {
+        let q = parse_cq("Triangles(n1, n2, n3) :-\n  Graph(n1, n2),\n  Graph(n2, n3),\n  Graph(n3, n1)")
+            .unwrap();
+        assert_eq!(q.atoms.len(), 3);
+        assert!(q.is_full());
+    }
+
+    #[test]
+    fn parse_dcq_example_1_1() {
+        // Example 1.1: candidate recommendations that do not form a triangle.
+        let dcq = parse_dcq(
+            "Q(node1, node2, node3) :- Triple(node1, node2, node3)
+             EXCEPT
+             Graph(node1, node2), Graph(node2, node3), Graph(node3, node1)",
+        )
+        .unwrap();
+        assert_eq!(dcq.q1.atoms.len(), 1);
+        assert_eq!(dcq.q2.atoms.len(), 3);
+        assert_eq!(dcq.head_schema().arity(), 3);
+        assert_eq!(dcq.q1.name, "Q_1");
+        assert_eq!(dcq.q2.name, "Q_2");
+    }
+
+    #[test]
+    fn parse_multi_difference() {
+        let (dcq, rest) = parse_dcq_multi(
+            "Q(a, b) :- R(a, b) EXCEPT S(a, b) EXCEPT T(a, b), U(b, b)",
+        )
+        .unwrap();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].atoms.len(), 2);
+        assert_eq!(dcq.q2.atoms[0].relation, "S");
+    }
+
+    #[test]
+    fn except_is_case_insensitive() {
+        assert!(parse_dcq("Q(a) :- R(a, b) except S(a, c)").is_ok());
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_cq("Q(a) : R(a)").is_err());
+        assert!(parse_cq("Q(a)").is_err());
+        assert!(parse_cq("Q(a) :- ").is_err());
+        assert!(parse_dcq("Q(a) :- R(a)").is_err());
+        assert!(parse_cq("Q(a) :- R(a) trailing(b)").is_err());
+        assert!(parse_cq("Q(a) :- R(a$)").is_err());
+        assert!(parse_dcq("Q(a) :- R(a) EXCEPT S(a) EXCEPT T(a)").is_err());
+    }
+
+    #[test]
+    fn nullary_heads_parse() {
+        let q = parse_cq("Exists() :- R(a, b)").unwrap();
+        assert!(q.head.is_empty());
+    }
+}

@@ -1,0 +1,366 @@
+//! Conjunctive queries and their differences.
+//!
+//! A [`ConjunctiveQuery`] is the triple `(y, V, E)` of the paper: a list of output
+//! variables `y`, and a body of [`Atom`]s, each naming a stored relation and listing
+//! the query variables it binds (positionally).  A [`Dcq`] is a pair of CQs with the
+//! same output variables, representing `Q₁ − Q₂`.
+//!
+//! Binding a query against a [`Database`] re-labels each stored relation with the
+//! atom's variable names (and filters for repeated variables within an atom), which
+//! is the representation all the executors in `dcq-exec` work on.
+
+use crate::error::DcqError;
+use crate::Result;
+use dcq_hypergraph::{AttrSet, CqShape, Hypergraph};
+use dcq_storage::{Attr, Database, Relation, Schema};
+use std::fmt;
+
+/// One atom `R(v₁, …, v_k)` of a conjunctive query body.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// Name of the stored relation this atom scans.
+    pub relation: String,
+    /// The query variables bound by the atom, positionally aligned with the stored
+    /// relation's columns.  Repeating a variable expresses an equality filter.
+    pub vars: Vec<Attr>,
+}
+
+impl Atom {
+    /// Create an atom from a relation name and variable names.
+    pub fn new(relation: impl Into<String>, vars: &[&str]) -> Self {
+        Atom {
+            relation: relation.into(),
+            vars: vars.iter().map(|v| Attr::new(*v)).collect(),
+        }
+    }
+
+    /// The distinct variables of the atom (its hyperedge).
+    pub fn attr_set(&self) -> AttrSet {
+        AttrSet::new(self.vars.iter().cloned())
+    }
+
+    /// Bind the atom against a database: fetch the stored relation, apply the
+    /// equality filters induced by repeated variables, and re-label the columns with
+    /// the atom's (distinct) variables.
+    pub fn bind(&self, db: &Database) -> Result<Relation> {
+        let stored = db.get(&self.relation)?;
+        if stored.schema().arity() != self.vars.len() {
+            return Err(DcqError::AtomArityMismatch {
+                relation: self.relation.clone(),
+                expected: stored.schema().arity(),
+                actual: self.vars.len(),
+            });
+        }
+        // Positions of the first occurrence of each distinct variable.
+        let mut distinct_vars: Vec<Attr> = Vec::new();
+        let mut keep_positions: Vec<usize> = Vec::new();
+        // (earlier position, later position) pairs that must be equal.
+        let mut equalities: Vec<(usize, usize)> = Vec::new();
+        for (pos, var) in self.vars.iter().enumerate() {
+            match self.vars[..pos].iter().position(|v| v == var) {
+                Some(first) => equalities.push((first, pos)),
+                None => {
+                    distinct_vars.push(var.clone());
+                    keep_positions.push(pos);
+                }
+            }
+        }
+        let schema = Schema::new(distinct_vars);
+        let mut out = Relation::new(self.relation.clone(), schema);
+        out.reserve(stored.len());
+        for row in stored.iter() {
+            if equalities.iter().all(|&(a, b)| row.get(a) == row.get(b)) {
+                out.push_unchecked(row.project(&keep_positions));
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, v) in self.vars.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A conjunctive query `(y, V, E)` without self-joins: output variables plus a body
+/// of atoms.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ConjunctiveQuery {
+    /// Query name (used in explanations and plans).
+    pub name: String,
+    /// The output variables `y`, in output order.
+    pub head: Vec<Attr>,
+    /// The body atoms.
+    pub atoms: Vec<Atom>,
+}
+
+impl ConjunctiveQuery {
+    /// Create a CQ from a name, output variable names and atoms.
+    pub fn new(name: impl Into<String>, head: &[&str], atoms: Vec<Atom>) -> Self {
+        ConjunctiveQuery {
+            name: name.into(),
+            head: head.iter().map(|v| Attr::new(*v)).collect(),
+            atoms,
+        }
+    }
+
+    /// The output schema `y` (in output order).
+    pub fn head_schema(&self) -> Schema {
+        Schema::new(self.head.clone())
+    }
+
+    /// The output variables as a set.
+    pub fn head_set(&self) -> AttrSet {
+        AttrSet::new(self.head.iter().cloned())
+    }
+
+    /// The hyperedges of the body (one per atom, duplicates within an atom removed).
+    pub fn edges(&self) -> Vec<AttrSet> {
+        self.atoms.iter().map(|a| a.attr_set()).collect()
+    }
+
+    /// The body hypergraph `(V, E)`.
+    pub fn hypergraph(&self) -> Hypergraph {
+        Hypergraph::new(self.edges())
+    }
+
+    /// All variables `V` of the query.
+    pub fn variables(&self) -> AttrSet {
+        self.hypergraph().vertices()
+    }
+
+    /// `true` iff the query is full (`y = V`).
+    pub fn is_full(&self) -> bool {
+        self.head_set() == self.variables()
+    }
+
+    /// The structural shape (α-acyclic / free-connex / linear-reducible / full).
+    pub fn shape(&self) -> CqShape {
+        CqShape::of(&self.head_set(), &self.edges())
+    }
+
+    /// Check well-formedness against a database: atoms reference existing relations
+    /// with the right arity and every head variable occurs in some atom.
+    pub fn validate(&self, db: &Database) -> Result<()> {
+        for atom in &self.atoms {
+            let stored = db.get(&atom.relation)?;
+            if stored.schema().arity() != atom.vars.len() {
+                return Err(DcqError::AtomArityMismatch {
+                    relation: atom.relation.clone(),
+                    expected: stored.schema().arity(),
+                    actual: atom.vars.len(),
+                });
+            }
+        }
+        for v in &self.head {
+            if !self.atoms.iter().any(|a| a.vars.contains(v)) {
+                return Err(DcqError::UnboundHeadVariable(v.name().to_string()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Bind every atom against the database, yielding variable-schema relations in
+    /// atom order (the input format of the `dcq-exec` evaluators).
+    pub fn bind(&self, db: &Database) -> Result<Vec<Relation>> {
+        self.validate(db)?;
+        self.atoms.iter().map(|a| a.bind(db)).collect()
+    }
+}
+
+impl fmt::Debug for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, v) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ") :- ")?;
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// The difference of two conjunctive queries `Q₁ − Q₂` (§2.1).
+#[derive(Clone, Debug)]
+pub struct Dcq {
+    /// The positive side `Q₁`.
+    pub q1: ConjunctiveQuery,
+    /// The negative side `Q₂`.
+    pub q2: ConjunctiveQuery,
+}
+
+impl Dcq {
+    /// Create a DCQ, verifying that the two CQs share the same output attribute set.
+    ///
+    /// The output order of `Q₁` is used for the result.
+    pub fn new(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> Result<Self> {
+        if q1.head_set() != q2.head_set() {
+            return Err(DcqError::MismatchedHeads {
+                left: format!("{}", q1.head_schema()),
+                right: format!("{}", q2.head_schema()),
+            });
+        }
+        Ok(Dcq { q1, q2 })
+    }
+
+    /// The common output schema (in `Q₁`'s order).
+    pub fn head_schema(&self) -> Schema {
+        self.q1.head_schema()
+    }
+
+    /// Validate both sides against the database.
+    pub fn validate(&self, db: &Database) -> Result<()> {
+        self.q1.validate(db)?;
+        self.q2.validate(db)
+    }
+}
+
+impl fmt::Display for Dcq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}  −  {:?}", self.q1, self.q2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcq_storage::row::int_row;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add(Relation::from_int_rows(
+            "Graph",
+            &["src", "dst"],
+            vec![vec![1, 2], vec![2, 3], vec![3, 3], vec![3, 1]],
+        ))
+        .unwrap();
+        db.add(Relation::from_int_rows(
+            "Triple",
+            &["a", "b", "c"],
+            vec![vec![1, 2, 3], vec![2, 3, 1]],
+        ))
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn atom_binding_relabels_columns() {
+        let atom = Atom::new("Graph", &["node1", "node2"]);
+        let rel = atom.bind(&db()).unwrap();
+        assert_eq!(rel.schema(), &Schema::from_names(["node1", "node2"]));
+        assert_eq!(rel.len(), 4);
+    }
+
+    #[test]
+    fn atom_binding_with_repeated_variable_filters_diagonal() {
+        // Graph(x, x): self-loops only.
+        let atom = Atom::new("Graph", &["x", "x"]);
+        let rel = atom.bind(&db()).unwrap();
+        assert_eq!(rel.schema(), &Schema::from_names(["x"]));
+        assert_eq!(rel.sorted_rows(), vec![int_row([3])]);
+    }
+
+    #[test]
+    fn atom_arity_mismatch_detected() {
+        let atom = Atom::new("Graph", &["a", "b", "c"]);
+        assert!(matches!(
+            atom.bind(&db()),
+            Err(DcqError::AtomArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn cq_accessors_and_shape() {
+        // Q_G3's Q2: triangle through the Graph relation (conceptually a self-join,
+        // which we model by binding the same stored relation three times).
+        let q = ConjunctiveQuery::new(
+            "Triangles",
+            &["n1", "n2", "n3"],
+            vec![
+                Atom::new("Graph", &["n1", "n2"]),
+                Atom::new("Graph", &["n2", "n3"]),
+                Atom::new("Graph", &["n3", "n1"]),
+            ],
+        );
+        assert!(q.is_full());
+        let shape = q.shape();
+        assert!(!shape.alpha_acyclic);
+        assert!(shape.linear_reducible);
+        assert_eq!(q.variables().len(), 3);
+        assert_eq!(q.edges().len(), 3);
+        q.validate(&db()).unwrap();
+        let bound = q.bind(&db()).unwrap();
+        assert_eq!(bound.len(), 3);
+        assert_eq!(bound[1].schema(), &Schema::from_names(["n2", "n3"]));
+    }
+
+    #[test]
+    fn cq_validation_catches_unbound_head_and_unknown_relation() {
+        let q = ConjunctiveQuery::new(
+            "Bad",
+            &["z"],
+            vec![Atom::new("Graph", &["a", "b"])],
+        );
+        assert!(matches!(
+            q.validate(&db()),
+            Err(DcqError::UnboundHeadVariable(_))
+        ));
+        let q = ConjunctiveQuery::new("Bad", &["a"], vec![Atom::new("Nope", &["a"])]);
+        assert!(q.validate(&db()).is_err());
+    }
+
+    #[test]
+    fn dcq_requires_matching_heads() {
+        let q1 = ConjunctiveQuery::new("Q1", &["a", "b"], vec![Atom::new("Graph", &["a", "b"])]);
+        let q2 = ConjunctiveQuery::new("Q2", &["a"], vec![Atom::new("Graph", &["a", "b"])]);
+        assert!(matches!(
+            Dcq::new(q1.clone(), q2),
+            Err(DcqError::MismatchedHeads { .. })
+        ));
+        // Same attribute set in a different order is fine; Q1's order wins.
+        let q2 = ConjunctiveQuery::new("Q2", &["b", "a"], vec![Atom::new("Graph", &["b", "a"])]);
+        let dcq = Dcq::new(q1, q2).unwrap();
+        assert_eq!(dcq.head_schema(), Schema::from_names(["a", "b"]));
+        dcq.validate(&db()).unwrap();
+    }
+
+    #[test]
+    fn display_formats() {
+        let q = ConjunctiveQuery::new(
+            "Q1",
+            &["a", "c"],
+            vec![Atom::new("Graph", &["a", "b"]), Atom::new("Graph", &["b", "c"])],
+        );
+        let s = format!("{q}");
+        assert!(s.contains("Q1(a, c)"));
+        assert!(s.contains("Graph(a, b)"));
+    }
+}

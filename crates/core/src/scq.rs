@@ -1,0 +1,385 @@
+//! Signed conjunctive queries (§7).
+//!
+//! A signed CQ (SCQ) allows negated atoms: `Q = π_y(η₁R₁ ⋈ ⋯ ⋈ η_nR_n)` with each
+//! `η_i` either empty or `¬`.  The paper connects SCQs and DCQs in both directions:
+//!
+//! * Lemma 7.1 — every DCQ is a union of SCQs with exactly one negated atom each:
+//!   `Q₁ − Q₂ = ⋃_{e ∈ E₂} (Q₁ ⋈ ¬R_e)`;
+//! * Lemma 7.2 — every SCQ is an intersection of DCQs;
+//! * Lemma 7.6 / Theorem 7.7 — deciding a DCQ of two full joins is possible in
+//!   linear time iff `(y, E₁)` and every `(y, E₁ ∪ {e})`, `e ∈ E₂`, are α-acyclic.
+//!
+//! This module provides the SCQ type, safe (range-restricted) SCQ evaluation, the
+//! Lemma 7.1 rewriting, and the linear-time decision procedure for DCQs.
+
+use crate::error::DcqError;
+use crate::query::{Atom, Dcq};
+use crate::Result;
+use dcq_exec::{anti_join, free_connex_evaluate};
+use dcq_hypergraph::{is_alpha_acyclic, AttrSet};
+use dcq_storage::{Database, Relation};
+use std::fmt;
+
+/// One atom of a signed conjunctive query.
+#[derive(Clone, Debug)]
+pub struct SignedAtom {
+    /// The underlying atom.
+    pub atom: Atom,
+    /// `true` iff the atom is negated (`¬R(…)`).
+    pub negated: bool,
+}
+
+/// A signed conjunctive query.
+#[derive(Clone, Debug)]
+pub struct SignedCq {
+    /// Query name.
+    pub name: String,
+    /// Output variables.
+    pub head: Vec<dcq_storage::Attr>,
+    /// The signed body.
+    pub atoms: Vec<SignedAtom>,
+}
+
+impl SignedCq {
+    /// Positive atoms of the body.
+    pub fn positive_atoms(&self) -> Vec<&Atom> {
+        self.atoms
+            .iter()
+            .filter(|a| !a.negated)
+            .map(|a| &a.atom)
+            .collect()
+    }
+
+    /// Negated atoms of the body.
+    pub fn negative_atoms(&self) -> Vec<&Atom> {
+        self.atoms
+            .iter()
+            .filter(|a| a.negated)
+            .map(|a| &a.atom)
+            .collect()
+    }
+
+    /// Hyperedges of the positive part.
+    pub fn positive_edges(&self) -> Vec<AttrSet> {
+        self.positive_atoms().iter().map(|a| a.attr_set()).collect()
+    }
+
+    /// Hyperedges of the negated part.
+    pub fn negative_edges(&self) -> Vec<AttrSet> {
+        self.negative_atoms().iter().map(|a| a.attr_set()).collect()
+    }
+
+    /// `true` iff every variable of a negated atom also occurs in a positive atom —
+    /// the *safety* (range restriction) condition under which the query can be
+    /// evaluated without enumerating attribute domains.
+    pub fn is_safe(&self) -> bool {
+        let positive_vars = self
+            .positive_edges()
+            .iter()
+            .fold(AttrSet::empty(), |acc, e| acc.union(e));
+        self.negative_edges()
+            .iter()
+            .all(|e| e.is_subset(&positive_vars))
+    }
+
+    /// Theorem 7.5: the SCQ is decidable in linear time iff `(y, E⁺ ∪ S)` is
+    /// α-acyclic for every subset `S ⊆ E⁻`.
+    pub fn linear_time_decidable(&self) -> bool {
+        let positive = self.positive_edges();
+        let negative = self.negative_edges();
+        // Enumerate subsets of the (constant-size) negative edge set.
+        let m = negative.len();
+        for mask in 0..(1usize << m) {
+            let mut edges = positive.clone();
+            for (i, e) in negative.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    edges.push(e.clone());
+                }
+            }
+            if !is_alpha_acyclic(&edges) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Evaluate a *safe* SCQ: join the positive atoms, then anti-join every negated
+    /// atom, then project onto the head.
+    pub fn evaluate(&self, db: &Database) -> Result<Relation> {
+        if !self.is_safe() {
+            return Err(DcqError::PreconditionViolated {
+                strategy: "SCQ evaluation",
+                reason: "unsafe negation: a negated atom uses a variable that occurs in no positive atom"
+                    .into(),
+            });
+        }
+        let positive: Vec<Relation> = self
+            .positive_atoms()
+            .iter()
+            .map(|a| a.bind(db))
+            .collect::<Result<_>>()?;
+        if positive.is_empty() {
+            return Err(DcqError::Exec(dcq_exec::ExecError::EmptyQuery));
+        }
+        // Join the positive part (reference plan: left-deep joins; small queries).
+        let mut acc = positive[0].clone();
+        for r in &positive[1..] {
+            acc = dcq_exec::natural_join(&acc, r);
+        }
+        // Apply each negated atom as an anti-join.
+        for neg in self.negative_atoms() {
+            let rel = neg.bind(db)?;
+            acc = anti_join(&acc, &rel);
+        }
+        let head = dcq_storage::Schema::new(self.head.clone());
+        Ok(acc.project(head.attrs())?)
+    }
+}
+
+impl fmt::Display for SignedCq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, v) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ") :- ")?;
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if a.negated {
+                write!(f, "¬")?;
+            }
+            write!(f, "{}", a.atom)?;
+        }
+        Ok(())
+    }
+}
+
+/// Lemma 7.1: rewrite a DCQ as a union of SCQs, one per atom of `Q₂`, each negating
+/// exactly that atom.
+pub fn dcq_to_scqs(dcq: &Dcq) -> Vec<SignedCq> {
+    dcq.q2
+        .atoms
+        .iter()
+        .enumerate()
+        .map(|(i, negated_atom)| {
+            let mut atoms: Vec<SignedAtom> = dcq
+                .q1
+                .atoms
+                .iter()
+                .map(|a| SignedAtom {
+                    atom: a.clone(),
+                    negated: false,
+                })
+                .collect();
+            atoms.push(SignedAtom {
+                atom: negated_atom.clone(),
+                negated: true,
+            });
+            SignedCq {
+                name: format!("{}_scq{}", dcq.q1.name, i + 1),
+                head: dcq.q1.head.clone(),
+                atoms,
+            }
+        })
+        .collect()
+}
+
+/// Evaluate a DCQ through the Lemma 7.1 rewriting (union of single-negation SCQs).
+///
+/// Only valid when `Q₁` and `Q₂` are full joins over the same variables (so that a
+/// `Q₁` result assigns every variable a negated atom mentions); the planner's
+/// algorithms in [`crate::easy`] / [`crate::heuristics`] handle the general case.
+pub fn evaluate_dcq_via_scq(dcq: &Dcq, db: &Database) -> Result<Relation> {
+    let scqs = dcq_to_scqs(dcq);
+    let head = dcq.head_schema();
+    let mut result = Relation::new("dcq_via_scq", head.clone());
+    result.assume_distinct();
+    for scq in &scqs {
+        let part = scq.evaluate(db)?;
+        result = result.union_set(&part)?;
+    }
+    Ok(result)
+}
+
+/// Theorem 7.7: a DCQ of two full joins is decidable in linear time iff `(y, E₁)` is
+/// α-acyclic and `(y, E₁ ∪ {e})` is α-acyclic for every `e ∈ E₂`.
+pub fn dcq_linear_time_decidable(dcq: &Dcq) -> bool {
+    let e1 = dcq.q1.edges();
+    let e2 = dcq.q2.edges();
+    if !is_alpha_acyclic(&e1) {
+        return false;
+    }
+    e2.iter().all(|e| {
+        let mut augmented = e1.clone();
+        augmented.push(e.clone());
+        is_alpha_acyclic(&augmented)
+    })
+}
+
+/// Lemma 7.6's linear-time decision procedure: is `Q₁ − Q₂` non-empty?
+///
+/// For every `e ∈ E₂` the projection `π_e Q₁` is free-connex (by the decidability
+/// condition), so it can be enumerated in linear time; the difference is non-empty
+/// iff some projected tuple is missing from `R′_e`, or some negated relation is
+/// empty while `Q₁` is not.
+pub fn decide_dcq_nonempty(dcq: &Dcq, db: &Database) -> Result<bool> {
+    let q1_atoms = dcq.q1.bind(db)?;
+    for atom in &dcq.q2.atoms {
+        let rel = atom.bind(db)?;
+        let edge_schema = rel.schema().clone();
+        let s_e = free_connex_evaluate(&edge_schema, &q1_atoms)?;
+        let witnesses = s_e.minus(&rel)?;
+        if !witnesses.is_empty() {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::{baseline_dcq, CqStrategy};
+    use crate::parse::parse_dcq;
+    use dcq_storage::row::int_row;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add(Relation::from_int_rows(
+            "R",
+            &["a", "b"],
+            vec![vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 1]],
+        ))
+        .unwrap();
+        db.add(Relation::from_int_rows(
+            "S",
+            &["a", "b"],
+            vec![vec![1, 2], vec![3, 4]],
+        ))
+        .unwrap();
+        db.add(Relation::from_int_rows("T", &["b"], vec![vec![2], vec![4]]))
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn scq_evaluation_with_single_negation() {
+        // Q(a,b) :- R(a,b), ¬S(a,b): the paper's running "NOT EXISTS" shape.
+        let scq = SignedCq {
+            name: "Q".into(),
+            head: vec![dcq_storage::Attr::new("a"), dcq_storage::Attr::new("b")],
+            atoms: vec![
+                SignedAtom {
+                    atom: Atom::new("R", &["a", "b"]),
+                    negated: false,
+                },
+                SignedAtom {
+                    atom: Atom::new("S", &["a", "b"]),
+                    negated: true,
+                },
+            ],
+        };
+        assert!(scq.is_safe());
+        let out = scq.evaluate(&db()).unwrap();
+        assert_eq!(out.sorted_rows(), vec![int_row([2, 3]), int_row([4, 1])]);
+        assert!(format!("{scq}").contains('¬'));
+    }
+
+    #[test]
+    fn unsafe_scq_is_rejected() {
+        let scq = SignedCq {
+            name: "Q".into(),
+            head: vec![dcq_storage::Attr::new("a")],
+            atoms: vec![
+                SignedAtom {
+                    atom: Atom::new("T", &["a"]),
+                    negated: false,
+                },
+                SignedAtom {
+                    atom: Atom::new("R", &["a", "z"]),
+                    negated: true,
+                },
+            ],
+        };
+        assert!(!scq.is_safe());
+        assert!(scq.evaluate(&db()).is_err());
+    }
+
+    #[test]
+    fn lemma_7_1_rewriting_matches_dcq_semantics() {
+        // Q1 and Q2 are full joins over the same variables.
+        let dcq = parse_dcq("Q(a, b) :- R(a, b) EXCEPT S(a, b), T(b)").unwrap();
+        let db = db();
+        let via_scq = evaluate_dcq_via_scq(&dcq, &db).unwrap();
+        let expected = baseline_dcq(&dcq, &db, CqStrategy::Vanilla).unwrap();
+        assert_eq!(via_scq.sorted_rows(), expected.sorted_rows());
+        assert_eq!(dcq_to_scqs(&dcq).len(), 2);
+    }
+
+    #[test]
+    fn theorem_7_7_classification() {
+        // Path query minus an edge that closes a triangle: not linear-time decidable.
+        let hard = parse_dcq("Q(a, b, c) :- R(a, b), R(b, c) EXCEPT S(a, c)").unwrap();
+        assert!(!dcq_linear_time_decidable(&hard));
+        // Same-shape subtraction: decidable in linear time.
+        let easy = parse_dcq("Q(a, b) :- R(a, b) EXCEPT S(a, b)").unwrap();
+        assert!(dcq_linear_time_decidable(&easy));
+    }
+
+    #[test]
+    fn theorem_7_5_scq_classification() {
+        // Positive path + two negated edges closing a cycle is not linear-decidable.
+        let scq = SignedCq {
+            name: "Q".into(),
+            head: vec![],
+            atoms: vec![
+                SignedAtom {
+                    atom: Atom::new("R", &["a", "b"]),
+                    negated: false,
+                },
+                SignedAtom {
+                    atom: Atom::new("R", &["b", "c"]),
+                    negated: false,
+                },
+                SignedAtom {
+                    atom: Atom::new("S", &["a", "c"]),
+                    negated: true,
+                },
+            ],
+        };
+        assert!(!scq.linear_time_decidable());
+        let scq_easy = SignedCq {
+            name: "Q".into(),
+            head: vec![],
+            atoms: vec![
+                SignedAtom {
+                    atom: Atom::new("R", &["a", "b"]),
+                    negated: false,
+                },
+                SignedAtom {
+                    atom: Atom::new("S", &["a", "b"]),
+                    negated: true,
+                },
+            ],
+        };
+        assert!(scq_easy.linear_time_decidable());
+    }
+
+    #[test]
+    fn decision_procedure_matches_emptiness_of_result() {
+        let db = db();
+        let dcq = parse_dcq("Q(a, b) :- R(a, b) EXCEPT S(a, b), T(b)").unwrap();
+        let nonempty = decide_dcq_nonempty(&dcq, &db).unwrap();
+        let result = baseline_dcq(&dcq, &db, CqStrategy::Vanilla).unwrap();
+        assert_eq!(nonempty, !result.is_empty());
+
+        // A DCQ whose difference is empty: subtract the relation from itself.
+        let dcq = parse_dcq("Q(a, b) :- R(a, b) EXCEPT R(a, b)").unwrap();
+        assert!(!decide_dcq_nonempty(&dcq, &db).unwrap());
+    }
+}

@@ -1,0 +1,243 @@
+//! Random directed graphs and their Table 2 statistics.
+
+use crate::rng::SplitMix64;
+use dcq_storage::{FastHashSet, Relation};
+
+/// A directed graph stored as a deduplicated edge list (no self-loops).
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// Number of vertices (vertex ids are `0..n_vertices`).
+    pub n_vertices: u64,
+    /// The edges `(src, dst)`.
+    pub edges: Vec<(u64, u64)>,
+}
+
+/// The per-dataset statistics reported in Table 2 of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GraphStats {
+    /// `#edge`.
+    pub edges: usize,
+    /// `#vertex` (vertices incident to at least one edge).
+    pub vertices: usize,
+    /// `#l2 path` — the number of directed length-2 paths `a→b→c`.
+    pub length2_paths: usize,
+    /// `#triangle` — the number of directed triangles `a→b→c→a`.
+    pub triangles: usize,
+}
+
+impl Graph {
+    /// Uniform (Erdős–Rényi style) random directed graph with `n` vertices and `m`
+    /// distinct edges.
+    pub fn uniform(n: u64, m: usize, seed: u64) -> Graph {
+        assert!(n >= 2, "need at least two vertices");
+        let mut rng = SplitMix64::new(seed);
+        let mut seen: FastHashSet<(u64, u64)> = FastHashSet::default();
+        let mut edges = Vec::with_capacity(m);
+        let max_edges = (n * (n - 1)) as usize;
+        let target = m.min(max_edges);
+        while edges.len() < target {
+            let u = rng.next_below(n);
+            let v = rng.next_below(n);
+            if u != v && seen.insert((u, v)) {
+                edges.push((u, v));
+            }
+        }
+        Graph {
+            n_vertices: n,
+            edges,
+        }
+    }
+
+    /// Preferential-attachment ("power-law") random directed graph: each new vertex
+    /// attaches `out_degree` edges to targets chosen proportionally to their current
+    /// degree.  Skewed degree distributions are what make the intermediate results
+    /// of the paper's graph queries (triangles, length-2 paths) blow up relative to
+    /// the final output — the phenomenon behind the Figure 5 speedups.
+    pub fn preferential_attachment(n: u64, out_degree: usize, seed: u64) -> Graph {
+        assert!(n >= 2, "need at least two vertices");
+        let mut rng = SplitMix64::new(seed);
+        let mut seen: FastHashSet<(u64, u64)> = FastHashSet::default();
+        let mut edges: Vec<(u64, u64)> = Vec::with_capacity(n as usize * out_degree);
+        // `targets` holds one entry per edge endpoint, so sampling uniformly from it
+        // realizes degree-proportional attachment.
+        let mut targets: Vec<u64> = vec![0, 1];
+        for v in 1..n {
+            for _ in 0..out_degree {
+                let t = *rng.choose(&targets).expect("targets never empty");
+                if t != v && seen.insert((v, t)) {
+                    edges.push((v, t));
+                    targets.push(t);
+                    targets.push(v);
+                }
+            }
+        }
+        // Real social graphs are clustered: close a fraction of the length-2 paths
+        // into directed triangles, so the triangle-based queries (Q_G3, Example 1.1)
+        // have non-trivial intermediate results as they do on the SNAP graphs.
+        let mut graph = Graph {
+            n_vertices: n,
+            edges,
+        };
+        let closures = graph.edges.len() / 10;
+        let adj = graph.out_neighbors();
+        let mut added = 0usize;
+        while added < closures {
+            let &(a, b) = rng.choose(&graph.edges).expect("graph has edges");
+            let Some(&c) = rng.choose(&adj[b as usize]) else {
+                continue;
+            };
+            added += 1;
+            if c != a && seen.insert((c, a)) {
+                graph.edges.push((c, a));
+            }
+        }
+        graph
+    }
+
+    /// The `Graph(src, dst)` relation of §6.2.
+    pub fn to_relation(&self, name: &str) -> Relation {
+        let mut rel = Relation::from_int_rows(name, &["src", "dst"], vec![]);
+        rel.reserve(self.edges.len());
+        for &(u, v) in &self.edges {
+            rel.push_unchecked(dcq_storage::row::int_row([u as i64, v as i64]));
+        }
+        rel.assume_distinct();
+        rel
+    }
+
+    /// Out-neighbour adjacency lists, indexed by vertex id.
+    pub fn out_neighbors(&self) -> Vec<Vec<u64>> {
+        let mut adj = vec![Vec::new(); self.n_vertices as usize];
+        for &(u, v) in &self.edges {
+            adj[u as usize].push(v);
+        }
+        adj
+    }
+
+    /// Compute the Table 2 statistics.
+    pub fn stats(&self) -> GraphStats {
+        let adj = self.out_neighbors();
+        let mut incident: FastHashSet<u64> = FastHashSet::default();
+        for &(u, v) in &self.edges {
+            incident.insert(u);
+            incident.insert(v);
+        }
+        let length2_paths: usize = self
+            .edges
+            .iter()
+            .map(|&(_, v)| adj[v as usize].len())
+            .sum();
+        // Directed triangles a→b→c→a, counted once per ordered starting edge and
+        // divided by 3 (each triangle has three starting edges).
+        let edge_set: FastHashSet<(u64, u64)> = self.edges.iter().copied().collect();
+        let mut closed = 0usize;
+        for &(a, b) in &self.edges {
+            for &c in &adj[b as usize] {
+                if edge_set.contains(&(c, a)) {
+                    closed += 1;
+                }
+            }
+        }
+        GraphStats {
+            edges: self.edges.len(),
+            vertices: incident.len(),
+            length2_paths,
+            triangles: closed / 3,
+        }
+    }
+
+    /// All directed length-2 paths `(a, b, c)` (used by the Triple generator).
+    pub fn length2_paths(&self) -> Vec<(u64, u64, u64)> {
+        let adj = self.out_neighbors();
+        let mut out = Vec::new();
+        for &(a, b) in &self.edges {
+            for &c in &adj[b as usize] {
+                out.push((a, b, c));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_graph_has_requested_size_and_no_duplicates() {
+        let g = Graph::uniform(100, 500, 1);
+        assert_eq!(g.edges.len(), 500);
+        let set: FastHashSet<(u64, u64)> = g.edges.iter().copied().collect();
+        assert_eq!(set.len(), 500);
+        assert!(g.edges.iter().all(|&(u, v)| u != v && u < 100 && v < 100));
+    }
+
+    #[test]
+    fn uniform_graph_is_deterministic_per_seed() {
+        let a = Graph::uniform(50, 200, 7);
+        let b = Graph::uniform(50, 200, 7);
+        let c = Graph::uniform(50, 200, 8);
+        assert_eq!(a.edges, b.edges);
+        assert_ne!(a.edges, c.edges);
+    }
+
+    #[test]
+    fn preferential_attachment_is_skewed() {
+        let g = Graph::preferential_attachment(2000, 4, 3);
+        assert!(!g.edges.is_empty());
+        // In-degree distribution should have a heavy tail: the max in-degree is much
+        // larger than the average.
+        let mut indeg = vec![0usize; 2000];
+        for &(_, v) in &g.edges {
+            indeg[v as usize] += 1;
+        }
+        let max = *indeg.iter().max().unwrap();
+        let avg = g.edges.len() / 2000;
+        assert!(max > 10 * avg.max(1), "max {max} avg {avg}");
+    }
+
+    #[test]
+    fn stats_on_a_hand_built_triangle() {
+        let g = Graph {
+            n_vertices: 4,
+            edges: vec![(0, 1), (1, 2), (2, 0), (2, 3)],
+        };
+        let s = g.stats();
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.vertices, 4);
+        // length-2 paths: 0→1→2, 1→2→0, 1→2→3, 2→0→1 = 4.
+        assert_eq!(s.length2_paths, 4);
+        assert_eq!(s.triangles, 1);
+        assert_eq!(g.length2_paths().len(), 4);
+    }
+
+    #[test]
+    fn relation_matches_edge_list() {
+        let g = Graph::uniform(20, 50, 5);
+        let rel = g.to_relation("Graph");
+        assert_eq!(rel.len(), 50);
+        assert_eq!(rel.schema().arity(), 2);
+        assert_eq!(rel.name(), "Graph");
+    }
+
+    #[test]
+    fn stats_match_relation_level_counting() {
+        // Cross-check the triangle count against a query-level count on a small graph.
+        let g = Graph::uniform(30, 120, 9);
+        let s = g.stats();
+        let rel = g.to_relation("G");
+        let db = {
+            let mut db = dcq_storage::Database::new();
+            db.add(rel).unwrap();
+            db
+        };
+        let cq = dcq_core::parse::parse_cq("T(a, b, c) :- G(a, b), G(b, c), G(c, a)").unwrap();
+        let triangles = dcq_core::baseline::evaluate_cq(
+            &cq,
+            &db,
+            dcq_core::baseline::CqStrategy::Smart,
+        )
+        .unwrap();
+        assert_eq!(triangles.len(), s.triangles * 3);
+    }
+}

@@ -1,0 +1,34 @@
+//! # dcq-datagen
+//!
+//! Workload generators for **dcqx** reproducing the experimental setup of §6 of
+//! *Computing the Difference of Conjunctive Queries Efficiently*:
+//!
+//! * [`rng`] — a small deterministic PRNG (SplitMix64) so every dataset is
+//!   reproducible from a seed,
+//! * [`graph`] — random graph generators (uniform and preferential-attachment) plus
+//!   the statistics reported in Table 2 (vertices, edges, length-2 paths, triangles),
+//! * [`triple`] — the `Triple(node1, node2, node3)` relation built from a graph with
+//!   the paper's three generation rules and a mixing knob (used by the Figure 8
+//!   sweep),
+//! * [`datasets`] — named synthetic stand-ins for the SNAP graphs of Table 2
+//!   (`bitcoin-sim`, `epinions-sim`, `dblp-sim`, `google-sim`, `wiki-sim`),
+//! * [`benchmark`] — synthetic PK-FK schema slices standing in for TPC-H Q16 and
+//!   TPC-DS Q35 / Q69,
+//! * [`queries`] — the six graph DCQs `Q_G1 … Q_G6` of Figure 4 and the benchmark
+//!   DCQs, expressed against the generated schemas.
+
+#![warn(missing_docs)]
+
+pub mod benchmark;
+pub mod datasets;
+pub mod graph;
+pub mod queries;
+pub mod rng;
+pub mod triple;
+
+pub use benchmark::{tpcds_q35_workload, tpcds_q69_workload, tpch_q16_workload, BenchmarkWorkload};
+pub use datasets::{dataset, dataset_names, GraphDataset};
+pub use graph::{Graph, GraphStats};
+pub use queries::{graph_queries, graph_query, GraphQueryId};
+pub use rng::SplitMix64;
+pub use triple::{generate_triples, TripleRuleMix};

@@ -1,0 +1,185 @@
+//! The `Triple(node1, node2, node3)` relation of §6.2.
+//!
+//! Tuples are generated from a graph by a mix of the paper's three rules:
+//!
+//! * **rule 1** — a random directed length-2 path `(a, b, c)`,
+//! * **rule 2** — a random edge `(a, b)` extended with a random vertex `c`,
+//! * **rule 3** — the vertices `(v₁, v₃, v₅)` of a random length-4 path.
+//!
+//! Rule 1 produces triples that tend to be *covered* by `Q₂` of the graph queries
+//! (they extend to paths / triangles), rules 2 and 3 produce triples that tend to
+//! *survive* the difference; changing the mix changes `OUT` while keeping `N`,
+//! `OUT₁` and `OUT₂` fixed — which is exactly the Figure 8 experiment.
+
+use crate::graph::Graph;
+use crate::rng::SplitMix64;
+use dcq_storage::{FastHashSet, Relation};
+
+/// Proportions of the three generation rules (they are normalized internally).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TripleRuleMix {
+    /// Weight of rule 1 (length-2 paths).
+    pub rule1: f64,
+    /// Weight of rule 2 (edge + random vertex).
+    pub rule2: f64,
+    /// Weight of rule 3 (endpoints-and-middle of a length-4 path).
+    pub rule3: f64,
+}
+
+impl TripleRuleMix {
+    /// The default mix used for the Figure 5 experiments: half of the triples come
+    /// from length-2 paths, the rest from the two "noise" rules.
+    pub fn balanced() -> Self {
+        TripleRuleMix {
+            rule1: 0.5,
+            rule2: 0.3,
+            rule3: 0.2,
+        }
+    }
+
+    /// A mix producing mostly covered triples (small `OUT`).
+    pub fn mostly_paths() -> Self {
+        TripleRuleMix {
+            rule1: 0.95,
+            rule2: 0.04,
+            rule3: 0.01,
+        }
+    }
+
+    /// A mix producing mostly surviving triples (large `OUT`).
+    pub fn mostly_random() -> Self {
+        TripleRuleMix {
+            rule1: 0.05,
+            rule2: 0.75,
+            rule3: 0.2,
+        }
+    }
+
+    fn normalized(&self) -> (f64, f64) {
+        let total = self.rule1 + self.rule2 + self.rule3;
+        assert!(total > 0.0, "rule weights must not all be zero");
+        (self.rule1 / total, (self.rule1 + self.rule2) / total)
+    }
+}
+
+/// Generate a `Triple` relation with `size` distinct tuples from `graph`.
+pub fn generate_triples(
+    graph: &Graph,
+    size: usize,
+    mix: TripleRuleMix,
+    seed: u64,
+) -> Relation {
+    let mut rng = SplitMix64::new(seed);
+    let (p1, p12) = mix.normalized();
+    let adj = graph.out_neighbors();
+    let edges = &graph.edges;
+    let n = graph.n_vertices;
+
+    let mut seen: FastHashSet<(u64, u64, u64)> = FastHashSet::default();
+    let mut rel = Relation::from_int_rows("Triple", &["node1", "node2", "node3"], vec![]);
+    rel.reserve(size);
+
+    let mut attempts = 0usize;
+    let max_attempts = size.saturating_mul(50).max(10_000);
+    while seen.len() < size && attempts < max_attempts {
+        attempts += 1;
+        let draw = rng.next_f64();
+        let triple = if draw < p1 {
+            // Rule 1: random length-2 path.
+            let &(a, b) = rng.choose(edges).expect("graph has edges");
+            match rng.choose(&adj[b as usize]) {
+                Some(&c) => (a, b, c),
+                None => continue,
+            }
+        } else if draw < p12 {
+            // Rule 2: random edge plus random vertex.
+            let &(a, b) = rng.choose(edges).expect("graph has edges");
+            (a, b, rng.next_below(n))
+        } else {
+            // Rule 3: (v1, v3, v5) of a random length-4 path.
+            let &(v1, v2) = rng.choose(edges).expect("graph has edges");
+            let Some(&v3) = rng.choose(&adj[v2 as usize]) else {
+                continue;
+            };
+            let Some(&v4) = rng.choose(&adj[v3 as usize]) else {
+                continue;
+            };
+            let Some(&v5) = rng.choose(&adj[v4 as usize]) else {
+                continue;
+            };
+            (v1, v3, v5)
+        };
+        if seen.insert(triple) {
+            rel.push_unchecked(dcq_storage::row::int_row([
+                triple.0 as i64,
+                triple.1 as i64,
+                triple.2 as i64,
+            ]));
+        }
+    }
+    rel.assume_distinct();
+    rel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> Graph {
+        Graph::uniform(200, 1500, 42)
+    }
+
+    #[test]
+    fn triples_are_distinct_and_sized() {
+        let g = graph();
+        let t = generate_triples(&g, 500, TripleRuleMix::balanced(), 1);
+        assert_eq!(t.len(), 500);
+        assert_eq!(t.distinct_count(), 500);
+        assert_eq!(t.schema().arity(), 3);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = graph();
+        let a = generate_triples(&g, 200, TripleRuleMix::balanced(), 9);
+        let b = generate_triples(&g, 200, TripleRuleMix::balanced(), 9);
+        assert_eq!(a.sorted_rows(), b.sorted_rows());
+    }
+
+    #[test]
+    fn rule_mix_changes_coverage() {
+        // The fraction of triples that are real length-2 paths should track rule 1's
+        // weight — this is the knob behind the Figure 8 OUT sweep.
+        let g = graph();
+        let path_set: FastHashSet<(u64, u64, u64)> = g.length2_paths().into_iter().collect();
+        let count_covered = |mix: TripleRuleMix| {
+            let t = generate_triples(&g, 400, mix, 5);
+            t.iter()
+                .filter(|row| {
+                    let a = row.get(0).as_int().unwrap() as u64;
+                    let b = row.get(1).as_int().unwrap() as u64;
+                    let c = row.get(2).as_int().unwrap() as u64;
+                    path_set.contains(&(a, b, c))
+                })
+                .count()
+        };
+        let mostly_paths = count_covered(TripleRuleMix::mostly_paths());
+        let mostly_random = count_covered(TripleRuleMix::mostly_random());
+        assert!(
+            mostly_paths > mostly_random + 50,
+            "paths {mostly_paths} vs random {mostly_random}"
+        );
+    }
+
+    #[test]
+    fn degenerate_weights_are_rejected() {
+        let g = graph();
+        let bad = TripleRuleMix {
+            rule1: 0.0,
+            rule2: 0.0,
+            rule3: 0.0,
+        };
+        let result = std::panic::catch_unwind(|| generate_triples(&g, 10, bad, 1));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,361 @@
+//! Annotated (semiring) evaluation.
+//!
+//! Section 5.3 of the paper evaluates aggregations by annotating every tuple with an
+//! element of a commutative ring `(S, ⊕, ⊗)`: the annotation of a join result is the
+//! `⊗`-product of its constituent tuples' annotations, and the annotation of a
+//! group (a projection result) is the `⊕`-sum over the group.  Bag semantics (§5.4)
+//! is the special case of the counting semiring.
+//!
+//! * [`annotated_join`] — natural join with `⊗`-combined annotations,
+//! * [`annotated_project`] — projection with `⊕`-combined annotations (GROUP BY),
+//! * [`annotated_semi_join`] / [`annotated_anti_join`] — filtering without touching
+//!   annotations,
+//! * [`annotated_yannakakis`] — evaluate a free-connex aggregate query
+//!   `π^⊕_y (⨝ atoms)` in `O(N + OUT)` by variable elimination along a join tree
+//!   rooted at the head (the AJAR/FAQ-style algorithm the paper builds on).
+
+use crate::error::ExecError;
+use crate::Result;
+use dcq_hypergraph::{AttrSet, JoinTree};
+use dcq_storage::{AnnotatedRelation, Attr, HashIndex, Schema, Semiring};
+
+/// Natural join of two annotated relations; annotations multiply (`⊗`).
+pub fn annotated_join<A: Semiring>(
+    left: &AnnotatedRelation<A>,
+    right: &AnnotatedRelation<A>,
+) -> AnnotatedRelation<A> {
+    let shared: Vec<Attr> = left
+        .schema()
+        .iter()
+        .filter(|a| right.schema().contains(a))
+        .cloned()
+        .collect();
+    let left_positions = left
+        .schema()
+        .positions_of(&shared)
+        .expect("shared attrs in left");
+    // Index the right side by the shared attributes.
+    let right_rel = right.to_relation();
+    let index = HashIndex::build(&right_rel, &shared).expect("shared attrs in right");
+    let right_rows = right_rel.rows();
+
+    let extra_attrs: Vec<Attr> = right
+        .schema()
+        .iter()
+        .filter(|a| !left.schema().contains(a))
+        .cloned()
+        .collect();
+    let extra_positions = right
+        .schema()
+        .positions_of(&extra_attrs)
+        .expect("extra attrs in right");
+
+    let out_schema = left.schema().union(right.schema());
+    let mut out = AnnotatedRelation::new(
+        format!("({} ⋈ {})", left.name(), right.name()),
+        out_schema,
+    );
+    for (lrow, la) in left.iter() {
+        let key = lrow.project(&left_positions);
+        for &ridx in index.get(&key) {
+            let rrow = &right_rows[ridx];
+            let ra = right.annotation(rrow);
+            out.combine(lrow.concat_projected(rrow, &extra_positions), la.times(&ra));
+        }
+    }
+    out
+}
+
+/// Projection with `⊕`-aggregation of annotations (GROUP BY `attrs`).
+pub fn annotated_project<A: Semiring>(
+    rel: &AnnotatedRelation<A>,
+    attrs: &[Attr],
+) -> Result<AnnotatedRelation<A>> {
+    Ok(rel.project(attrs)?)
+}
+
+/// Semi-join: keep the tuples of `left` (annotations untouched) that join with some
+/// tuple of `right`.
+pub fn annotated_semi_join<A: Semiring, B: Semiring>(
+    left: &AnnotatedRelation<A>,
+    right: &AnnotatedRelation<B>,
+) -> AnnotatedRelation<A> {
+    filter_by_membership(left, right, true)
+}
+
+/// Anti-join: keep the tuples of `left` (annotations untouched) that join with **no**
+/// tuple of `right`.
+pub fn annotated_anti_join<A: Semiring, B: Semiring>(
+    left: &AnnotatedRelation<A>,
+    right: &AnnotatedRelation<B>,
+) -> AnnotatedRelation<A> {
+    filter_by_membership(left, right, false)
+}
+
+fn filter_by_membership<A: Semiring, B: Semiring>(
+    left: &AnnotatedRelation<A>,
+    right: &AnnotatedRelation<B>,
+    keep_matching: bool,
+) -> AnnotatedRelation<A> {
+    let shared: Vec<Attr> = left
+        .schema()
+        .iter()
+        .filter(|a| right.schema().contains(a))
+        .cloned()
+        .collect();
+    let left_positions = left
+        .schema()
+        .positions_of(&shared)
+        .expect("shared attrs in left");
+    let right_positions = right
+        .schema()
+        .positions_of(&shared)
+        .expect("shared attrs in right");
+    let mut keys = dcq_storage::hash::set_with_capacity(right.len());
+    for (row, _) in right.iter() {
+        keys.insert(row.project(&right_positions));
+    }
+    let mut out = AnnotatedRelation::new(left.name(), left.schema().clone());
+    for (row, a) in left.iter() {
+        let matches = keys.contains(&row.project(&left_positions));
+        if matches == keep_matching {
+            out.set(row.clone(), a.clone());
+        }
+    }
+    out
+}
+
+/// Annotated analogue of the `Reduce` procedure (Algorithm 1): eliminate all
+/// non-output attributes of the aggregate query `π^⊕_head (⨝ atoms)` in `O(N)` time,
+/// returning relations over subsets of `head` whose (annotated) join equals the
+/// aggregate query.  Requires the query to be free-connex w.r.t. `head`.
+///
+/// The elimination walks a join tree of `E ∪ {head}` rooted at the (virtual) head
+/// node bottom-up: each node is joined with the accumulated results of its children
+/// and then projected (with `⊕`) onto its intersection with its parent; the returned
+/// relations are the accumulated results of the root's children.
+pub fn annotated_reduce<A: Semiring>(
+    head: &Schema,
+    atoms: &[AnnotatedRelation<A>],
+) -> Result<Vec<AnnotatedRelation<A>>> {
+    if atoms.is_empty() {
+        return Err(ExecError::EmptyQuery);
+    }
+    let head_set = AttrSet::from_schema(head);
+    let edges: Vec<AttrSet> = atoms
+        .iter()
+        .map(|r| AttrSet::from_schema(r.schema()))
+        .collect();
+    for attr in head.iter() {
+        if !edges.iter().any(|e| e.contains(attr)) {
+            return Err(ExecError::HeadNotCovered {
+                attr: attr.name().to_string(),
+            });
+        }
+    }
+    let Some((tree, head_idx)) = JoinTree::build_with_head(&edges, &head_set) else {
+        return Err(ExecError::NotLinearReducible {
+            detail: format!("E ∪ {{y}} is cyclic for y = {head_set}"),
+        });
+    };
+
+    // acc[i] = the annotated relation accumulated at node i (starts as the atom).
+    let mut acc: Vec<Option<AnnotatedRelation<A>>> =
+        atoms.iter().map(|r| Some(r.clone())).collect();
+    acc.push(None); // the virtual head node holds no relation
+
+    // Eliminate bottom-up. For each non-root node: join the accumulated children
+    // into it, project onto (its attrs ∩ parent attrs) ∪ (its attrs ∩ head) — by
+    // join-tree connectivity the head part is already inside the parent unless the
+    // parent *is* the head — and hand the result to the parent.
+    let mut root_children_results: Vec<AnnotatedRelation<A>> = Vec::new();
+    for node in tree.bottom_up_order() {
+        if node == head_idx {
+            continue;
+        }
+        let parent = tree.parent(node).expect("non-root node");
+        let current = acc[node].take().expect("node visited once");
+        let parent_edge = tree.edge(parent);
+        let keep: Vec<Attr> = current
+            .schema()
+            .iter()
+            .filter(|a| parent_edge.contains(a))
+            .cloned()
+            .collect();
+        let projected = current.project(&keep)?;
+        if parent == head_idx {
+            root_children_results.push(projected);
+        } else {
+            let parent_rel = acc[parent].take().expect("parent not yet consumed");
+            acc[parent] = Some(annotated_join(&parent_rel, &projected));
+        }
+    }
+    Ok(root_children_results)
+}
+
+/// Evaluate the aggregate query `π^⊕_head (⨝ atoms)` over annotated relations in
+/// `O(N + OUT)` time, provided the query is free-connex w.r.t. `head`.
+///
+/// [`annotated_reduce`] eliminates the non-output attributes; the root's children —
+/// whose remaining attributes are all output attributes — are then joined together
+/// and projected onto `head`.
+pub fn annotated_yannakakis<A: Semiring>(
+    head: &Schema,
+    atoms: &[AnnotatedRelation<A>],
+) -> Result<AnnotatedRelation<A>> {
+    let reduced = annotated_reduce(head, atoms)?;
+    // Join the root's children (they only share head attributes) and group by head.
+    let mut iter = reduced.into_iter();
+    let first = iter.next().ok_or(ExecError::EmptyQuery)?;
+    let mut result = first;
+    for next in iter {
+        result = annotated_join(&result, &next);
+    }
+    let out = result.project(head.attrs())?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcq_storage::row::int_row;
+    use dcq_storage::BagRelation;
+
+    fn bag(name: &str, attrs: &[&str], rows: Vec<(Vec<i64>, u64)>) -> BagRelation {
+        BagRelation::from_int_rows_with_counts(name, attrs, rows)
+    }
+
+    /// Naive reference: enumerate the full join by nested loops and aggregate.
+    fn naive_aggregate<A: Semiring>(
+        head: &Schema,
+        atoms: &[AnnotatedRelation<A>],
+    ) -> AnnotatedRelation<A> {
+        let mut acc = atoms[0].clone();
+        for r in &atoms[1..] {
+            acc = annotated_join(&acc, r);
+        }
+        acc.project(head.attrs()).unwrap()
+    }
+
+    #[test]
+    fn annotated_join_multiplies() {
+        // Figure 3: R1(x1,x2) ⋈ R2(x2,x3) under bag semantics.
+        let r1 = bag(
+            "R1",
+            &["x1", "x2"],
+            vec![(vec![1, 10], 1), (vec![2, 10], 2), (vec![2, 20], 2)],
+        );
+        let r2 = bag("R2", &["x2", "x3"], vec![(vec![10, 100], 2), (vec![20, 100], 1)]);
+        let j = annotated_join(&r1, &r2);
+        assert_eq!(j.annotation(&int_row([1, 10, 100])), 2);
+        assert_eq!(j.annotation(&int_row([2, 10, 100])), 4);
+        assert_eq!(j.annotation(&int_row([2, 20, 100])), 2);
+        assert_eq!(j.len(), 3);
+    }
+
+    #[test]
+    fn annotated_project_sums() {
+        let r = bag(
+            "R",
+            &["x1", "x2"],
+            vec![(vec![1, 10], 1), (vec![2, 10], 2), (vec![3, 20], 4)],
+        );
+        let p = annotated_project(&r, &[Attr::new("x2")]).unwrap();
+        assert_eq!(p.annotation(&int_row([10])), 3);
+        assert_eq!(p.annotation(&int_row([20])), 4);
+    }
+
+    #[test]
+    fn semi_and_anti_join_partition() {
+        let r = bag("R", &["x", "y"], vec![(vec![1, 2], 3), (vec![4, 5], 1)]);
+        let s = bag("S", &["y"], vec![(vec![2], 7)]);
+        let semi = annotated_semi_join(&r, &s);
+        let anti = annotated_anti_join(&r, &s);
+        assert_eq!(semi.annotation(&int_row([1, 2])), 3);
+        assert!(!semi.contains(&int_row([4, 5])));
+        assert_eq!(anti.annotation(&int_row([4, 5])), 1);
+        assert!(!anti.contains(&int_row([1, 2])));
+    }
+
+    #[test]
+    fn yannakakis_full_head_matches_naive() {
+        let r1 = bag(
+            "R1",
+            &["x1", "x2"],
+            vec![(vec![1, 10], 1), (vec![2, 10], 2), (vec![3, 30], 5)],
+        );
+        let r2 = bag(
+            "R2",
+            &["x2", "x3"],
+            vec![(vec![10, 100], 2), (vec![10, 200], 1), (vec![30, 300], 3)],
+        );
+        let head = Schema::from_names(["x1", "x2", "x3"]);
+        let fast = annotated_yannakakis(&head, &[r1.clone(), r2.clone()]).unwrap();
+        let slow = naive_aggregate(&head, &[r1, r2]);
+        assert_eq!(fast.sorted_entries(), slow.sorted_entries());
+    }
+
+    #[test]
+    fn yannakakis_group_by_matches_naive() {
+        // Example 5.3 shape: π_{x1}(R1(x1,x2) ⋈ R2(x2,x3)) with SUM annotations.
+        let r1: AnnotatedRelation<i64> = {
+            let mut r = AnnotatedRelation::new("R1", Schema::from_names(["x1", "x2"]));
+            for (row, a) in [([1, 10], 1i64), ([1, 20], 2), ([2, 10], 2), ([3, 30], 1)] {
+                r.combine(int_row(row), a);
+            }
+            r
+        };
+        let r2: AnnotatedRelation<i64> = {
+            let mut r = AnnotatedRelation::new("R2", Schema::from_names(["x2", "x3"]));
+            for (row, a) in [([10, 5], 1i64), ([10, 6], 2), ([20, 5], 2)] {
+                r.combine(int_row(row), a);
+            }
+            r
+        };
+        let head = Schema::from_names(["x1"]);
+        let fast = annotated_yannakakis(&head, &[r1.clone(), r2.clone()]).unwrap();
+        let slow = naive_aggregate(&head, &[r1, r2]);
+        assert_eq!(fast.sorted_entries(), slow.sorted_entries());
+        // x1=1: (1,10)·[(10,5)+(10,6)] + (1,20)·(20,5) = 1·3 + 2·2 = 7.
+        assert_eq!(fast.annotation(&int_row([1])), 7);
+        // x1=3 joins nothing.
+        assert!(!fast.contains(&int_row([3])));
+    }
+
+    #[test]
+    fn yannakakis_three_atom_star_matches_naive() {
+        let mk = |name: &str, b: &str, rows: Vec<(Vec<i64>, u64)>| bag(name, &["h", b], rows);
+        let r1 = mk("R1", "a", vec![(vec![1, 10], 1), (vec![1, 11], 2), (vec![2, 12], 1)]);
+        let r2 = mk("R2", "b", vec![(vec![1, 20], 3), (vec![2, 21], 1)]);
+        let r3 = mk("R3", "c", vec![(vec![1, 30], 1), (vec![1, 31], 1)]);
+        let head = Schema::from_names(["h"]);
+        let fast = annotated_yannakakis(&head, &[r1.clone(), r2.clone(), r3.clone()]).unwrap();
+        let slow = naive_aggregate(&head, &[r1, r2, r3]);
+        assert_eq!(fast.sorted_entries(), slow.sorted_entries());
+        // h=1: (1+2) * 3 * (1+1) = 18.
+        assert_eq!(fast.annotation(&int_row([1])), 18);
+    }
+
+    #[test]
+    fn yannakakis_rejects_non_free_connex_heads() {
+        let r1 = bag("R1", &["x1", "x2"], vec![(vec![1, 2], 1)]);
+        let r2 = bag("R2", &["x2", "x3"], vec![(vec![2, 3], 1)]);
+        let head = Schema::from_names(["x1", "x3"]);
+        assert!(annotated_yannakakis(&head, &[r1, r2]).is_err());
+    }
+
+    #[test]
+    fn ring_annotations_support_negative_weights() {
+        // Numerical difference (§5.3) needs ring annotations; check i64 works end to end.
+        let mut r1: AnnotatedRelation<i64> =
+            AnnotatedRelation::new("R1", Schema::from_names(["x1", "x2"]));
+        r1.combine(int_row([1, 10]), 2);
+        r1.combine(int_row([2, 10]), -1);
+        let mut r2: AnnotatedRelation<i64> =
+            AnnotatedRelation::new("R2", Schema::from_names(["x2"]));
+        r2.combine(int_row([10]), 3);
+        let head = Schema::from_names(["x2"]);
+        let out = annotated_yannakakis(&head, &[r1, r2]).unwrap();
+        assert_eq!(out.annotation(&int_row([10])), 3); // (2 + -1) * 3
+    }
+}

@@ -1,0 +1,78 @@
+//! Execution-layer errors.
+
+use dcq_storage::StorageError;
+use std::fmt;
+
+/// Errors raised while planning or executing a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The query's hypergraph is cyclic but an acyclic-only algorithm was requested
+    /// (e.g. Yannakakis on a triangle join).
+    NotAcyclic {
+        /// Human-readable description of the offending hypergraph.
+        detail: String,
+    },
+    /// The query is not linear-reducible / free-connex but a linear-time algorithm
+    /// was requested (Algorithm 1 / Algorithm 2 preconditions).
+    NotLinearReducible {
+        /// Human-readable description of the offending query.
+        detail: String,
+    },
+    /// A query referenced no atoms at all.
+    EmptyQuery,
+    /// The head (output attributes) references an attribute that occurs in no atom.
+    HeadNotCovered {
+        /// The offending attribute name.
+        attr: String,
+    },
+    /// An underlying storage error (arity/schema/name problems).
+    Storage(StorageError),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::NotAcyclic { detail } => write!(f, "query is not α-acyclic: {detail}"),
+            ExecError::NotLinearReducible { detail } => {
+                write!(f, "query is not linear-reducible: {detail}")
+            }
+            ExecError::EmptyQuery => write!(f, "query has no atoms"),
+            ExecError::HeadNotCovered { attr } => {
+                write!(f, "output attribute `{attr}` occurs in no atom")
+            }
+            ExecError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for ExecError {
+    fn from(e: StorageError) -> Self {
+        ExecError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ExecError::NotAcyclic {
+            detail: "triangle".into(),
+        };
+        assert!(e.to_string().contains("α-acyclic"));
+        let e: ExecError = StorageError::UnknownRelation("R".into()).into();
+        assert!(e.to_string().contains('R'));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(ExecError::EmptyQuery.to_string().contains("no atoms"));
+    }
+}

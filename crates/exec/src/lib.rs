@@ -1,0 +1,45 @@
+//! # dcq-exec
+//!
+//! The relational execution engine of **dcqx**, the Rust reproduction of *Computing
+//! the Difference of Conjunctive Queries Efficiently* (Hu & Wang, SIGMOD 2023).
+//!
+//! Relations manipulated here carry *query-variable* schemas: an atom `Graph(node1,
+//! node2)` is represented as the stored `Graph` relation re-labelled with the schema
+//! `(node1, node2)`, so natural joins automatically join on shared variables.
+//!
+//! Provided building blocks:
+//!
+//! * [`ops`] — hash-based natural join, semi-join, anti-join, Cartesian product,
+//!   selection and set operations (the `O(N)` primitives of §3),
+//! * [`reduce`] — the `Reduce` procedure of Algorithm 1 (linear-reducible CQ → full
+//!   acyclic join, preserving results),
+//! * [`yannakakis`] — Algorithm 3: full acyclic joins and free-connex CQs in
+//!   `O(N + OUT)`, plus Boolean (emptiness) evaluation,
+//! * [`binary_plan`] — the "vanilla SQL" left-deep binary-join plan used as the
+//!   baseline engine in §6,
+//! * [`generic_join`] — a worst-case-optimal attribute-at-a-time join for cyclic
+//!   queries (the "state-of-the-art CQ evaluation" plugged into the heuristics of
+//!   §4.2),
+//! * [`annotated`] — semiring-annotated join/projection and the annotated
+//!   Yannakakis used by the aggregation extension (§5.3) and bag semantics (§5.4).
+
+#![warn(missing_docs)]
+
+pub mod annotated;
+pub mod binary_plan;
+pub mod error;
+pub mod generic_join;
+pub mod ops;
+pub mod reduce;
+pub mod yannakakis;
+
+pub use annotated::{annotated_join, annotated_project, annotated_reduce, annotated_yannakakis};
+pub use binary_plan::{BinaryJoinPlan, PlanStep};
+pub use error::ExecError;
+pub use generic_join::generic_join;
+pub use ops::{anti_join, cartesian_product, natural_join, semi_join};
+pub use reduce::{reduce, ReducedQuery};
+pub use yannakakis::{acyclic_boolean, acyclic_full_join, free_connex_evaluate};
+
+/// Crate-level result alias.
+pub type Result<T> = std::result::Result<T, ExecError>;

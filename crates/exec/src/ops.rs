@@ -1,0 +1,255 @@
+//! Hash-based relational operators.
+//!
+//! These are the `O(N)` / `O(N + OUT)` primitives every algorithm in the paper is
+//! assembled from: natural join, semi-join (`⋉`), anti-join (`▷`, the physical
+//! operator behind `NOT EXISTS`), and the Cartesian product.  All operators join on
+//! the *shared attributes* of the two schemas, matching the conjunctive-query
+//! convention that equal variable names mean equality predicates.
+
+use dcq_storage::{Attr, HashIndex, Relation, Schema};
+
+/// Attributes shared between two schemas, in the order they appear in `left`.
+fn shared_attrs(left: &Schema, right: &Schema) -> Vec<Attr> {
+    left.iter().filter(|a| right.contains(a)).cloned().collect()
+}
+
+/// Natural join `left ⋈ right` on all shared attributes.
+///
+/// The output schema is `left`'s attributes followed by `right`'s attributes that do
+/// not already occur in `left`.  If the schemas share no attribute this degenerates
+/// to the Cartesian product (as in Example 3.10).  Runs in `O(|left| + |right| +
+/// |output|)` expected time.
+pub fn natural_join(left: &Relation, right: &Relation) -> Relation {
+    let join_attrs = shared_attrs(left.schema(), right.schema());
+    let left_key_positions = left
+        .schema()
+        .positions_of(&join_attrs)
+        .expect("shared attrs are in left schema");
+    let index = HashIndex::build(right, &join_attrs).expect("shared attrs are in right schema");
+
+    // Positions of the right-side attributes that extend the output.
+    let extra_attrs: Vec<Attr> = right
+        .schema()
+        .iter()
+        .filter(|a| !left.schema().contains(a))
+        .cloned()
+        .collect();
+    let extra_positions = right
+        .schema()
+        .positions_of(&extra_attrs)
+        .expect("extra attrs are in right schema");
+
+    let out_schema = left.schema().union(right.schema());
+    let mut out = Relation::new(
+        format!("({} ⋈ {})", left.name(), right.name()),
+        out_schema,
+    );
+    for lrow in left.iter() {
+        let key = lrow.project(&left_key_positions);
+        for &ridx in index.get(&key) {
+            let rrow = &right.rows()[ridx];
+            out.push_unchecked(lrow.concat_projected(rrow, &extra_positions));
+        }
+    }
+    if left.is_known_distinct() && right.is_known_distinct() {
+        // A tuple over the union schema determines its projections onto both inputs,
+        // so the join of distinct inputs is distinct.
+        out.assume_distinct();
+    }
+    out
+}
+
+/// Cartesian product `left × right` — a natural join of schemas sharing no attribute.
+///
+/// # Panics
+/// Panics if the schemas share an attribute (use [`natural_join`] instead).
+pub fn cartesian_product(left: &Relation, right: &Relation) -> Relation {
+    assert!(
+        shared_attrs(left.schema(), right.schema()).is_empty(),
+        "cartesian_product requires disjoint schemas"
+    );
+    natural_join(left, right)
+}
+
+/// Semi-join `left ⋉ right`: the rows of `left` that join with at least one row of
+/// `right` on the shared attributes.  Runs in `O(|left| + |right|)` expected time.
+pub fn semi_join(left: &Relation, right: &Relation) -> Relation {
+    let join_attrs = shared_attrs(left.schema(), right.schema());
+    let left_key_positions = left
+        .schema()
+        .positions_of(&join_attrs)
+        .expect("shared attrs are in left schema");
+    let keys: dcq_storage::FastHashSet<dcq_storage::Row> = {
+        let right_positions = right
+            .schema()
+            .positions_of(&join_attrs)
+            .expect("shared attrs are in right schema");
+        let mut set = dcq_storage::hash::set_with_capacity(right.len());
+        for r in right.iter() {
+            set.insert(r.project(&right_positions));
+        }
+        set
+    };
+    let mut out = Relation::new(
+        format!("({} ⋉ {})", left.name(), right.name()),
+        left.schema().clone(),
+    );
+    for lrow in left.iter() {
+        if keys.contains(&lrow.project(&left_key_positions)) {
+            out.push_unchecked(lrow.clone());
+        }
+    }
+    if left.is_known_distinct() {
+        out.assume_distinct();
+    }
+    out
+}
+
+/// Anti-join `left ▷ right`: the rows of `left` that join with **no** row of `right`
+/// on the shared attributes.  This is the physical operator behind `NOT EXISTS` /
+/// `EXCEPT` in the vanilla plans of §6.  Runs in `O(|left| + |right|)` expected time.
+pub fn anti_join(left: &Relation, right: &Relation) -> Relation {
+    let join_attrs = shared_attrs(left.schema(), right.schema());
+    let left_key_positions = left
+        .schema()
+        .positions_of(&join_attrs)
+        .expect("shared attrs are in left schema");
+    let right_positions = right
+        .schema()
+        .positions_of(&join_attrs)
+        .expect("shared attrs are in right schema");
+    let mut keys = dcq_storage::hash::set_with_capacity(right.len());
+    for r in right.iter() {
+        keys.insert(r.project(&right_positions));
+    }
+    let mut out = Relation::new(
+        format!("({} ▷ {})", left.name(), right.name()),
+        left.schema().clone(),
+    );
+    for lrow in left.iter() {
+        if !keys.contains(&lrow.project(&left_key_positions)) {
+            out.push_unchecked(lrow.clone());
+        }
+    }
+    if left.is_known_distinct() {
+        out.assume_distinct();
+    }
+    out
+}
+
+/// Natural join of many relations, left to right (no reordering).  Convenience for
+/// tests and naive reference evaluation; planners should pick their own order.
+pub fn multiway_join(relations: &[Relation]) -> Option<Relation> {
+    let (first, rest) = relations.split_first()?;
+    let mut acc = first.clone();
+    for r in rest {
+        acc = natural_join(&acc, r);
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcq_storage::row::int_row;
+
+    fn rel(name: &str, attrs: &[&str], rows: Vec<Vec<i64>>) -> Relation {
+        Relation::from_int_rows(name, attrs, rows)
+    }
+
+    #[test]
+    fn natural_join_on_shared_attr() {
+        // Example 3.3 flavour: R1(x1,x2) ⋈ R2(x2,x3).
+        let r1 = rel("R1", &["x1", "x2"], vec![vec![1, 10], vec![2, 10], vec![3, 20]]);
+        let r2 = rel("R2", &["x2", "x3"], vec![vec![10, 100], vec![10, 200], vec![30, 300]]);
+        let j = natural_join(&r1, &r2);
+        assert_eq!(j.schema(), &Schema::from_names(["x1", "x2", "x3"]));
+        assert_eq!(j.len(), 4);
+        assert!(j.rows().contains(&int_row([1, 10, 100])));
+        assert!(j.rows().contains(&int_row([2, 10, 200])));
+        assert!(!j.rows().contains(&int_row([3, 20, 300])));
+    }
+
+    #[test]
+    fn natural_join_multi_shared_attrs() {
+        let r1 = rel("R1", &["a", "b", "c"], vec![vec![1, 2, 3], vec![1, 2, 4]]);
+        let r2 = rel("R2", &["b", "a", "d"], vec![vec![2, 1, 9], vec![2, 5, 9]]);
+        let j = natural_join(&r1, &r2);
+        assert_eq!(j.schema(), &Schema::from_names(["a", "b", "c", "d"]));
+        assert_eq!(j.sorted_rows(), vec![int_row([1, 2, 3, 9]), int_row([1, 2, 4, 9])]);
+    }
+
+    #[test]
+    fn join_without_shared_attrs_is_cartesian() {
+        let r1 = rel("R1", &["x1", "x2"], vec![vec![1, 2], vec![3, 4]]);
+        let r2 = rel("R2", &["x3"], vec![vec![7], vec![8], vec![9]]);
+        let j = natural_join(&r1, &r2);
+        assert_eq!(j.len(), 6);
+        let c = cartesian_product(&r1, &r2);
+        assert_eq!(c.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint schemas")]
+    fn cartesian_rejects_shared_attrs() {
+        let r1 = rel("R1", &["x"], vec![vec![1]]);
+        let r2 = rel("R2", &["x"], vec![vec![1]]);
+        cartesian_product(&r1, &r2);
+    }
+
+    #[test]
+    fn semi_and_anti_join_partition_left() {
+        let g = rel("G", &["src", "dst"], vec![vec![1, 2], vec![2, 3], vec![3, 4]]);
+        let nodes = rel("N", &["dst"], vec![vec![2], vec![4]]);
+        let semi = semi_join(&g, &nodes);
+        let anti = anti_join(&g, &nodes);
+        assert_eq!(semi.sorted_rows(), vec![int_row([1, 2]), int_row([3, 4])]);
+        assert_eq!(anti.sorted_rows(), vec![int_row([2, 3])]);
+        assert_eq!(semi.len() + anti.len(), g.len());
+        // Schemas are preserved.
+        assert_eq!(semi.schema(), g.schema());
+        assert_eq!(anti.schema(), g.schema());
+    }
+
+    #[test]
+    fn semi_join_with_no_shared_attrs_checks_emptiness() {
+        let g = rel("G", &["src", "dst"], vec![vec![1, 2]]);
+        let nonempty = rel("X", &["z"], vec![vec![5]]);
+        let empty = rel("Y", &["z"], vec![]);
+        assert_eq!(semi_join(&g, &nonempty).len(), 1);
+        assert_eq!(semi_join(&g, &empty).len(), 0);
+        assert_eq!(anti_join(&g, &nonempty).len(), 0);
+        assert_eq!(anti_join(&g, &empty).len(), 1);
+    }
+
+    #[test]
+    fn join_output_is_distinct_when_inputs_are() {
+        let r1 = rel("R1", &["x1", "x2"], vec![vec![1, 10], vec![2, 10]]).distinct();
+        let r2 = rel("R2", &["x2", "x3"], vec![vec![10, 7]]).distinct();
+        let j = natural_join(&r1, &r2);
+        assert!(j.is_known_distinct());
+        assert_eq!(j.distinct_count(), j.len());
+    }
+
+    #[test]
+    fn multiway_join_three_relations() {
+        // Length-3 path: Graph ⋈ Graph ⋈ Graph with renamed variables.
+        let g1 = rel("G1", &["a", "b"], vec![vec![1, 2], vec![2, 3]]);
+        let g2 = rel("G2", &["b", "c"], vec![vec![2, 3], vec![3, 4]]);
+        let g3 = rel("G3", &["c", "d"], vec![vec![3, 4], vec![4, 5]]);
+        let j = multiway_join(&[g1, g2, g3]).unwrap();
+        assert_eq!(j.sorted_rows(), vec![int_row([1, 2, 3, 4]), int_row([2, 3, 4, 5])]);
+        assert!(multiway_join(&[]).is_none());
+    }
+
+    #[test]
+    fn nullary_relations_join_as_guards() {
+        // A non-empty Boolean relation acts as "true", an empty one as "false".
+        let g = rel("G", &["x"], vec![vec![1], vec![2]]);
+        let mut yes = Relation::new("yes", Schema::from_names(Vec::<String>::new()));
+        yes.insert(dcq_storage::Row::empty()).unwrap();
+        let no = Relation::new("no", Schema::from_names(Vec::<String>::new()));
+        assert_eq!(natural_join(&g, &yes).len(), 2);
+        assert_eq!(natural_join(&g, &no).len(), 0);
+    }
+}

@@ -1,0 +1,309 @@
+//! The `Reduce` procedure (Algorithm 1 of the paper).
+//!
+//! `Reduce` turns a *linear-reducible* CQ `(y, V, E)` together with its instance into
+//! a **full** acyclic join query `(y, E′)` over a reduced instance, in `O(N)` time,
+//! while preserving the query result: `Q(D) = Q′(D′)`.
+//!
+//! Implementation: build a join tree for the augmented hypergraph `E ∪ {y}` (the
+//! head is a *virtual* node holding no relation), re-root it at the head, run one
+//! bottom-up semi-join pass, and keep the root's children projected onto their
+//! output attributes.  Two facts make this correct (see DESIGN.md §4):
+//!
+//! 1. any attribute shared by two different subtrees hanging off the head node must
+//!    occur in the head itself (join-tree connectivity), so the subtrees only
+//!    interact through output attributes;
+//! 2. after the bottom-up semi-join pass the tuples of a subtree's top relation are
+//!    exactly those that extend to a full match of that subtree, so projecting the
+//!    top relation onto its output attributes yields `π_{e ∩ y}(⋈ subtree)`.
+
+use crate::error::ExecError;
+use crate::ops::semi_join;
+use crate::Result;
+use dcq_hypergraph::{AttrSet, JoinTree};
+use dcq_storage::{Relation, Schema};
+
+/// The output of [`reduce`]: a full acyclic join query equivalent to the input CQ.
+#[derive(Clone, Debug)]
+pub struct ReducedQuery {
+    /// The output attributes `y` (same as the input CQ's head), as a schema in the
+    /// caller-requested order.
+    pub head: Schema,
+    /// The reduced relations.  Every schema is a subset of `head`; together they
+    /// cover `head`; their hypergraph is α-acyclic.
+    pub relations: Vec<Relation>,
+}
+
+impl ReducedQuery {
+    /// The hyperedges (attribute sets) of the reduced relations.
+    pub fn edges(&self) -> Vec<AttrSet> {
+        self.relations
+            .iter()
+            .map(|r| AttrSet::from_schema(r.schema()))
+            .collect()
+    }
+
+    /// Total number of tuples across the reduced relations.
+    pub fn input_size(&self) -> usize {
+        self.relations.iter().map(|r| r.len()).sum()
+    }
+}
+
+/// Run Algorithm 1 on the CQ whose atoms are `atoms` (each relation's schema holds
+/// the query variables of that atom) and whose output attributes are `head`.
+///
+/// Returns [`ExecError::NotLinearReducible`] when `E ∪ {y}` is cyclic — exactly the
+/// precondition of Definition 2.2 — and [`ExecError::HeadNotCovered`] when some
+/// output attribute occurs in no atom.
+pub fn reduce(head: &Schema, atoms: &[Relation]) -> Result<ReducedQuery> {
+    if atoms.is_empty() {
+        return Err(ExecError::EmptyQuery);
+    }
+    let head_set = AttrSet::from_schema(head);
+    let edges: Vec<AttrSet> = atoms
+        .iter()
+        .map(|r| AttrSet::from_schema(r.schema()))
+        .collect();
+
+    // Every output attribute must be covered by some atom.
+    for attr in head.iter() {
+        if !edges.iter().any(|e| e.contains(attr)) {
+            return Err(ExecError::HeadNotCovered {
+                attr: attr.name().to_string(),
+            });
+        }
+    }
+
+    // Fast path: the query is already a full join over exactly the head attributes.
+    // (Still requires acyclicity for the returned object to be a valid full acyclic
+    // join, but the caller checks that when it matters; we only skip the semi-join
+    // pass when every relation is already inside the head.)
+    let all_inside_head = edges.iter().all(|e| e.is_subset(&head_set));
+    if all_inside_head {
+        return Ok(ReducedQuery {
+            head: head.clone(),
+            relations: atoms.to_vec(),
+        });
+    }
+
+    // Build the augmented join tree rooted at the virtual head node.
+    let Some((tree, head_idx)) = JoinTree::build_with_head(&edges, &head_set) else {
+        return Err(ExecError::NotLinearReducible {
+            detail: format!("E ∪ {{y}} is cyclic for y = {head_set} and E = {edges:?}"),
+        });
+    };
+
+    // Working copies of the atom relations (index-aligned with `edges`).
+    let mut rels: Vec<Relation> = atoms.to_vec();
+
+    // One bottom-up semi-join pass (excluding the virtual root, which holds no
+    // relation): each node filters its parent.
+    for node in tree.bottom_up_order() {
+        if node == head_idx {
+            continue;
+        }
+        let parent = tree.parent(node).expect("non-root nodes have a parent");
+        if parent == head_idx {
+            continue;
+        }
+        let filtered = semi_join(&rels[parent], &rels[node]);
+        rels[parent] = filtered;
+    }
+
+    // Keep the children of the head, projected onto their output attributes.
+    let mut relations = Vec::new();
+    for &child in tree.children(head_idx) {
+        let out_attrs: Vec<_> = rels[child]
+            .schema()
+            .iter()
+            .filter(|a| head_set.contains(a))
+            .cloned()
+            .collect();
+        let projected = rels[child].project(&out_attrs)?;
+        relations.push(projected);
+    }
+
+    debug_assert!(
+        {
+            let covered = relations.iter().fold(AttrSet::empty(), |acc, r| {
+                acc.union(&AttrSet::from_schema(r.schema()))
+            });
+            head_set.is_subset(&covered)
+        },
+        "reduced relations must cover the head"
+    );
+
+    Ok(ReducedQuery {
+        head: head.clone(),
+        relations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::multiway_join;
+    use dcq_storage::row::int_row;
+    use dcq_storage::Attr;
+
+    fn rel(name: &str, attrs: &[&str], rows: Vec<Vec<i64>>) -> Relation {
+        Relation::from_int_rows(name, attrs, rows)
+    }
+
+    /// Reference evaluation: naive multiway join then projection onto the head.
+    fn naive(head: &Schema, atoms: &[Relation]) -> Vec<dcq_storage::Row> {
+        let joined = multiway_join(atoms).unwrap();
+        joined
+            .project(&head.attrs().to_vec())
+            .unwrap()
+            .sorted_rows()
+    }
+
+    /// Evaluate a reduced query naively (it is a full join over the head).
+    fn eval_reduced(rq: &ReducedQuery) -> Vec<dcq_storage::Row> {
+        let joined = multiway_join(&rq.relations).unwrap();
+        joined
+            .project(&rq.head.attrs().to_vec())
+            .unwrap()
+            .sorted_rows()
+    }
+
+    #[test]
+    fn full_query_is_returned_unchanged() {
+        let atoms = vec![
+            rel("R1", &["x1", "x2"], vec![vec![1, 2], vec![2, 3]]),
+            rel("R2", &["x2", "x3"], vec![vec![2, 5], vec![3, 6]]),
+        ];
+        let head = Schema::from_names(["x1", "x2", "x3"]);
+        let rq = reduce(&head, &atoms).unwrap();
+        assert_eq!(rq.relations.len(), 2);
+        assert_eq!(rq.input_size(), 4);
+        assert_eq!(eval_reduced(&rq), naive(&head, &atoms));
+    }
+
+    #[test]
+    fn free_connex_projection_is_reduced_correctly() {
+        // π_{x1,x2,x3}(R1(x1,x2) ⋈ R2(x2,x3,x4)): free-connex, x4 is projected away.
+        let atoms = vec![
+            rel("R1", &["x1", "x2"], vec![vec![1, 100], vec![2, 200], vec![3, 300]]),
+            rel(
+                "R2",
+                &["x2", "x3", "x4"],
+                vec![vec![100, 10, 11], vec![100, 12, 13], vec![999, 14, 15]],
+            ),
+        ];
+        let head = Schema::from_names(["x1", "x2", "x3"]);
+        let rq = reduce(&head, &atoms).unwrap();
+        // Every reduced relation only mentions output attributes.
+        for r in &rq.relations {
+            for a in r.schema().iter() {
+                assert!(head.contains(a), "{a} is not an output attribute");
+            }
+        }
+        assert_eq!(eval_reduced(&rq), naive(&head, &atoms));
+        // Only x2=100 joins: the dangling R1 tuples must not survive into the result.
+        assert_eq!(
+            eval_reduced(&rq),
+            vec![int_row([1, 100, 10]), int_row([1, 100, 12])]
+        );
+    }
+
+    #[test]
+    fn figure2_reduction_matches_paper() {
+        // Figure 2: full hypergraph, head {x1,x2,x3,x4}.  The paper's reduced query
+        // keeps (a semi-joined copy of) R1(x1,x2,x3) and R2(x1,x4).
+        let atoms = vec![
+            rel("R1", &["x1", "x2", "x3"], vec![vec![1, 2, 3], vec![4, 5, 6]]),
+            rel("R2", &["x1", "x4"], vec![vec![1, 7], vec![4, 8]]),
+            rel("R3", &["x2", "x3", "x5"], vec![vec![2, 3, 50], vec![9, 9, 51]]),
+            rel("R4", &["x5", "x6"], vec![vec![50, 60], vec![51, 61]]),
+            rel("R5", &["x3", "x7"], vec![vec![3, 70], vec![6, 71]]),
+            rel("R6", &["x5", "x8"], vec![vec![50, 80], vec![51, 81]]),
+        ];
+        let head = Schema::from_names(["x1", "x2", "x3", "x4"]);
+        let rq = reduce(&head, &atoms).unwrap();
+        assert_eq!(eval_reduced(&rq), naive(&head, &atoms));
+        // R1's (4,5,6) tuple has no matching R3 tuple (no (5,6,*) in R3) so only the
+        // (1,...) tuple survives.
+        assert_eq!(eval_reduced(&rq), vec![int_row([1, 2, 3, 7])]);
+    }
+
+    #[test]
+    fn linear_reducible_but_cyclic_query_reduces() {
+        // §2.3's example: π_{x1,x2,x3}(R1(x1,x2) ⋈ R2(x2,x3) ⋈ R3(x1,x3) ⋈ R4(x3,x4)).
+        let atoms = vec![
+            rel("R1", &["x1", "x2"], vec![vec![1, 2], vec![1, 3], vec![4, 5]]),
+            rel("R2", &["x2", "x3"], vec![vec![2, 3], vec![3, 3], vec![5, 6]]),
+            rel("R3", &["x1", "x3"], vec![vec![1, 3], vec![4, 6]]),
+            rel("R4", &["x3", "x4"], vec![vec![3, 9], vec![6, 10]]),
+        ];
+        let head = Schema::from_names(["x1", "x2", "x3"]);
+        let rq = reduce(&head, &atoms).unwrap();
+        assert_eq!(eval_reduced(&rq), naive(&head, &atoms));
+    }
+
+    #[test]
+    fn non_linear_reducible_query_is_rejected() {
+        // π_{x1,x3}(R1(x1,x2) ⋈ R2(x2,x3)): E ∪ {y} is the triangle — not reducible.
+        let atoms = vec![
+            rel("R1", &["x1", "x2"], vec![vec![1, 2]]),
+            rel("R2", &["x2", "x3"], vec![vec![2, 3]]),
+        ];
+        let head = Schema::from_names(["x1", "x3"]);
+        assert!(matches!(
+            reduce(&head, &atoms),
+            Err(ExecError::NotLinearReducible { .. })
+        ));
+    }
+
+    #[test]
+    fn uncovered_head_attribute_is_rejected() {
+        let atoms = vec![rel("R1", &["x1", "x2"], vec![vec![1, 2]])];
+        let head = Schema::from_names(["x1", "z"]);
+        assert!(matches!(
+            reduce(&head, &atoms),
+            Err(ExecError::HeadNotCovered { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_atom_list_is_rejected() {
+        assert!(matches!(
+            reduce(&Schema::from_names(["x"]), &[]),
+            Err(ExecError::EmptyQuery)
+        ));
+    }
+
+    #[test]
+    fn disconnected_output_component_acts_as_existential_guard() {
+        // Q = π_{x1}(R1(x1) ⋈ R2(x2)): R2 only matters through emptiness.
+        let r1 = rel("R1", &["x1"], vec![vec![1], vec![2]]);
+        let head = Schema::from_names(["x1"]);
+        let nonempty = vec![r1.clone(), rel("R2", &["x2"], vec![vec![7]])];
+        let empty = vec![r1, rel("R2", &["x2"], vec![])];
+        let rq = reduce(&head, &nonempty).unwrap();
+        assert_eq!(eval_reduced(&rq).len(), 2);
+        let rq = reduce(&head, &empty).unwrap();
+        assert_eq!(eval_reduced(&rq).len(), 0);
+    }
+
+    #[test]
+    fn reduced_relation_sizes_are_bounded_by_input() {
+        // Reduce never blows up: every reduced relation is a (semi-joined,
+        // projected) copy of an input relation.
+        let atoms = vec![
+            rel("R1", &["x1", "x4"], (0..50).map(|i| vec![i, i + 1000]).collect()),
+            rel(
+                "R2",
+                &["x4", "x2"],
+                (0..50).map(|i| vec![i + 1000, i]).collect(),
+            ),
+        ];
+        let head = Schema::from_names(["x1", "x4"]);
+        let rq = reduce(&head, &atoms).unwrap();
+        for (r, orig) in rq.relations.iter().zip(atoms.iter()) {
+            assert!(r.len() <= orig.len().max(50));
+        }
+        let _ = rq.edges();
+        let _ = Attr::new("x1");
+    }
+}

@@ -1,0 +1,269 @@
+//! The Yannakakis algorithm (Algorithm 3 of the paper).
+//!
+//! * [`acyclic_full_join`] — evaluate a full α-acyclic join in `O(N + OUT)`:
+//!   bottom-up and top-down semi-join passes over a join tree (the full reducer),
+//!   followed by bottom-up joins whose intermediate results are all bounded by the
+//!   output size.
+//! * [`free_connex_evaluate`] — evaluate a free-connex CQ `(y, V, E)` in
+//!   `O(N + OUT)`: `Reduce` (Algorithm 1) followed by [`acyclic_full_join`] on the
+//!   reduced full join and a final projection/reordering onto `y`.
+//! * [`acyclic_boolean`] — decide emptiness of an acyclic join in `O(N)` (used by
+//!   the heuristic of Theorem 4.8 and the SCQ decidability results of §7).
+
+use crate::error::ExecError;
+use crate::ops::{natural_join, semi_join};
+use crate::reduce::reduce;
+use crate::Result;
+use dcq_hypergraph::{AttrSet, JoinTree};
+use dcq_storage::{Relation, Schema};
+
+/// Build the join tree for the atoms' hypergraph, or fail with [`ExecError::NotAcyclic`].
+fn join_tree_of(atoms: &[Relation]) -> Result<JoinTree> {
+    if atoms.is_empty() {
+        return Err(ExecError::EmptyQuery);
+    }
+    let edges: Vec<AttrSet> = atoms
+        .iter()
+        .map(|r| AttrSet::from_schema(r.schema()))
+        .collect();
+    JoinTree::build(&edges).ok_or_else(|| ExecError::NotAcyclic {
+        detail: format!("{edges:?}"),
+    })
+}
+
+/// Evaluate a **full** α-acyclic join of the given atoms in `O(N + OUT)` time.
+///
+/// The output schema is the union of the atom schemas (in join-tree merge order);
+/// callers that need a particular attribute order should project afterwards.
+/// Duplicate input rows are eliminated first, so the output is distinct.
+pub fn acyclic_full_join(atoms: &[Relation]) -> Result<Relation> {
+    let tree = join_tree_of(atoms)?;
+    let mut rels: Vec<Relation> = atoms.iter().map(|r| r.distinct()).collect();
+
+    // Phase 1: bottom-up semi-joins (children filter parents).
+    for node in tree.bottom_up_order() {
+        if let Some(parent) = tree.parent(node) {
+            rels[parent] = semi_join(&rels[parent], &rels[node]);
+        }
+    }
+    // Phase 2: top-down semi-joins (parents filter children).  After both phases
+    // every remaining tuple participates in at least one full join result, which is
+    // what bounds the join phase by O(OUT).
+    for node in tree.top_down_order() {
+        for &child in tree.children(node) {
+            rels[child] = semi_join(&rels[child], &rels[node]);
+        }
+    }
+    // Phase 3: bottom-up joins. Children are merged into their parents; at the root
+    // the full join result has been assembled.
+    for node in tree.bottom_up_order() {
+        if let Some(parent) = tree.parent(node) {
+            rels[parent] = natural_join(&rels[parent], &rels[node]);
+        }
+    }
+    let mut result = rels.swap_remove(tree.root());
+    result.set_name("yannakakis");
+    result.dedup();
+    Ok(result)
+}
+
+/// Decide whether an α-acyclic join of the given atoms is non-empty, in `O(N)` time.
+pub fn acyclic_boolean(atoms: &[Relation]) -> Result<bool> {
+    let tree = join_tree_of(atoms)?;
+    let mut rels: Vec<Relation> = atoms.to_vec();
+    for node in tree.bottom_up_order() {
+        if rels[node].is_empty() {
+            return Ok(false);
+        }
+        if let Some(parent) = tree.parent(node) {
+            rels[parent] = semi_join(&rels[parent], &rels[node]);
+        }
+    }
+    Ok(!rels[tree.root()].is_empty())
+}
+
+/// Evaluate a free-connex CQ `(head, atoms)` in `O(N + OUT)` time.
+///
+/// This is the `Yannakakis(Q, D)` sub-routine invoked by `EasyDCQ` (Algorithm 2,
+/// lines 5–6): `Reduce` first removes all non-output attributes, then the resulting
+/// full acyclic join is evaluated and reordered to the requested head.
+///
+/// Errors with [`ExecError::NotLinearReducible`] when `E ∪ {y}` is cyclic and with
+/// [`ExecError::NotAcyclic`] when the reduced full join is cyclic (i.e. the query is
+/// linear-reducible but not free-connex and not full-acyclic-evaluable).
+pub fn free_connex_evaluate(head: &Schema, atoms: &[Relation]) -> Result<Relation> {
+    if head.is_empty() {
+        // Boolean query: return a nullary relation that is non-empty iff the join is.
+        let nonempty = acyclic_boolean(atoms)?;
+        let mut rel = Relation::new("boolean", Schema::from_names(Vec::<String>::new()));
+        if nonempty {
+            rel.push_unchecked(dcq_storage::Row::empty());
+        }
+        rel.assume_distinct();
+        return Ok(rel);
+    }
+    let reduced = reduce(head, atoms)?;
+    let joined = acyclic_full_join(&reduced.relations)?;
+    let mut out = joined.project(head.attrs())?;
+    out.set_name("free_connex");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::multiway_join;
+    use dcq_storage::row::int_row;
+    use dcq_storage::Row;
+
+    fn rel(name: &str, attrs: &[&str], rows: Vec<Vec<i64>>) -> Relation {
+        Relation::from_int_rows(name, attrs, rows)
+    }
+
+    fn naive(head: &Schema, atoms: &[Relation]) -> Vec<Row> {
+        multiway_join(atoms)
+            .unwrap()
+            .project(&head.attrs().to_vec())
+            .unwrap()
+            .sorted_rows()
+    }
+
+    #[test]
+    fn full_path_join_matches_naive() {
+        let atoms = vec![
+            rel("R1", &["x1", "x2"], vec![vec![1, 2], vec![2, 2], vec![3, 4]]),
+            rel("R2", &["x2", "x3"], vec![vec![2, 5], vec![2, 6], vec![4, 7]]),
+            rel("R3", &["x3", "x4"], vec![vec![5, 8], vec![7, 9]]),
+        ];
+        let head = Schema::from_names(["x1", "x2", "x3", "x4"]);
+        let j = acyclic_full_join(&atoms).unwrap();
+        assert_eq!(j.project(head.attrs()).unwrap().sorted_rows(), naive(&head, &atoms));
+    }
+
+    #[test]
+    fn full_join_of_figure2_matches_naive() {
+        let atoms = vec![
+            rel("R1", &["x1", "x2", "x3"], vec![vec![1, 2, 3], vec![4, 5, 6], vec![1, 9, 9]]),
+            rel("R2", &["x1", "x4"], vec![vec![1, 7], vec![4, 8]]),
+            rel("R3", &["x2", "x3", "x5"], vec![vec![2, 3, 50], vec![5, 6, 51]]),
+            rel("R4", &["x5", "x6"], vec![vec![50, 60], vec![51, 61]]),
+            rel("R5", &["x3", "x7"], vec![vec![3, 70], vec![6, 71]]),
+            rel("R6", &["x5", "x8"], vec![vec![50, 80]]),
+        ];
+        let head = Schema::from_names(["x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8"]);
+        let j = acyclic_full_join(&atoms).unwrap();
+        assert_eq!(j.project(head.attrs()).unwrap().sorted_rows(), naive(&head, &atoms));
+    }
+
+    #[test]
+    fn cyclic_join_is_rejected() {
+        let atoms = vec![
+            rel("R1", &["x1", "x2"], vec![vec![1, 2]]),
+            rel("R2", &["x2", "x3"], vec![vec![2, 3]]),
+            rel("R3", &["x1", "x3"], vec![vec![1, 3]]),
+        ];
+        assert!(matches!(
+            acyclic_full_join(&atoms),
+            Err(ExecError::NotAcyclic { .. })
+        ));
+    }
+
+    #[test]
+    fn boolean_evaluation() {
+        let yes = vec![
+            rel("R1", &["x1", "x2"], vec![vec![1, 2]]),
+            rel("R2", &["x2", "x3"], vec![vec![2, 3]]),
+        ];
+        let no = vec![
+            rel("R1", &["x1", "x2"], vec![vec![1, 2]]),
+            rel("R2", &["x2", "x3"], vec![vec![9, 3]]),
+        ];
+        assert!(acyclic_boolean(&yes).unwrap());
+        assert!(!acyclic_boolean(&no).unwrap());
+    }
+
+    #[test]
+    fn free_connex_projection_matches_naive() {
+        // π_{x1,x2,x3}(R1(x1,x2) ⋈ R2(x2,x3,x4)): free-connex, x4 projected away.
+        let atoms = vec![
+            rel("R1", &["x1", "x2"], vec![vec![1, 100], vec![2, 100], vec![3, 300]]),
+            rel(
+                "R2",
+                &["x2", "x3", "x4"],
+                vec![vec![100, 10, 11], vec![100, 12, 13], vec![400, 1, 1]],
+            ),
+        ];
+        let head = Schema::from_names(["x1", "x2", "x3"]);
+        let out = free_connex_evaluate(&head, &atoms).unwrap();
+        assert_eq!(out.schema(), &head);
+        assert_eq!(out.sorted_rows(), naive(&head, &atoms));
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn free_connex_single_attribute_projection() {
+        // EasyDCQ computes S_e = π_e Q1 for single edges e; check a unary projection.
+        let atoms = vec![
+            rel("R1", &["x1", "x2"], vec![vec![1, 2], vec![3, 4], vec![5, 6]]),
+            rel("R2", &["x2", "x3"], vec![vec![2, 7], vec![4, 8]]),
+        ];
+        let head = Schema::from_names(["x2"]);
+        let out = free_connex_evaluate(&head, &atoms).unwrap();
+        assert_eq!(out.sorted_rows(), vec![int_row([2]), int_row([4])]);
+    }
+
+    #[test]
+    fn free_connex_rejects_hard_projection() {
+        // π_{x1,x3}(R1(x1,x2) ⋈ R2(x2,x3)) is not free-connex.
+        let atoms = vec![
+            rel("R1", &["x1", "x2"], vec![vec![1, 2]]),
+            rel("R2", &["x2", "x3"], vec![vec![2, 3]]),
+        ];
+        let head = Schema::from_names(["x1", "x3"]);
+        assert!(free_connex_evaluate(&head, &atoms).is_err());
+    }
+
+    #[test]
+    fn boolean_head_handling() {
+        let atoms = vec![
+            rel("R1", &["x1", "x2"], vec![vec![1, 2]]),
+            rel("R2", &["x2", "x3"], vec![vec![2, 3]]),
+        ];
+        let head = Schema::from_names(Vec::<String>::new());
+        let out = free_connex_evaluate(&head, &atoms).unwrap();
+        assert_eq!(out.len(), 1);
+        let empty_atoms = vec![
+            rel("R1", &["x1", "x2"], vec![]),
+            rel("R2", &["x2", "x3"], vec![vec![2, 3]]),
+        ];
+        assert!(free_connex_evaluate(&head, &empty_atoms).unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicates_in_inputs_do_not_duplicate_outputs() {
+        let atoms = vec![
+            rel("R1", &["x1", "x2"], vec![vec![1, 2], vec![1, 2]]),
+            rel("R2", &["x2", "x3"], vec![vec![2, 3], vec![2, 3]]),
+        ];
+        let j = acyclic_full_join(&atoms).unwrap();
+        assert_eq!(j.len(), 1);
+    }
+
+    #[test]
+    fn intermediate_results_stay_output_bounded() {
+        // A star query where the naive pairwise join of the two big satellites would
+        // produce |R2|·|R3| tuples per hub value; Yannakakis' semi-join phases keep
+        // everything proportional to N + OUT.  We can't observe intermediates here,
+        // but we check the result on a size where the naive cross term would be 10^6.
+        let hub: Vec<Vec<i64>> = (0..1000).map(|i| vec![i % 10, i]).collect();
+        let atoms = vec![
+            rel("R1", &["h", "a"], hub.clone()),
+            rel("R2", &["h", "b"], hub.clone()),
+            rel("R3", &["h", "c"], vec![vec![0, 1], vec![1, 2]]),
+        ];
+        let head = Schema::from_names(["h", "a", "b", "c"]);
+        let out = free_connex_evaluate(&head, &atoms).unwrap();
+        // h ∈ {0,1}: 100 a-values × 100 b-values × 1 c-value each.
+        assert_eq!(out.len(), 2 * 100 * 100);
+    }
+}

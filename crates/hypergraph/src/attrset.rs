@@ -1,0 +1,206 @@
+//! Attribute sets (hyperedges).
+
+use dcq_storage::{Attr, Schema};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A set of attributes — one hyperedge of a query hypergraph.
+///
+/// Backed by a `BTreeSet` so iteration order (and therefore every derived artifact:
+/// join trees, reduced queries, plans) is deterministic.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct AttrSet {
+    attrs: BTreeSet<Attr>,
+}
+
+impl AttrSet {
+    /// The empty attribute set.
+    pub fn empty() -> Self {
+        AttrSet::default()
+    }
+
+    /// Build from any iterator of attributes.
+    pub fn new(attrs: impl IntoIterator<Item = Attr>) -> Self {
+        AttrSet {
+            attrs: attrs.into_iter().collect(),
+        }
+    }
+
+    /// Build from attribute names.
+    pub fn from_names<S: AsRef<str>>(names: impl IntoIterator<Item = S>) -> Self {
+        AttrSet::new(names.into_iter().map(|n| Attr::new(n.as_ref())))
+    }
+
+    /// Build from a [`Schema`] (ordering is dropped).
+    pub fn from_schema(schema: &Schema) -> Self {
+        AttrSet::new(schema.iter().cloned())
+    }
+
+    /// Convert to a [`Schema`] with attributes in sorted order.
+    pub fn to_schema(&self) -> Schema {
+        Schema::new(self.attrs.iter().cloned().collect())
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// `true` iff the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// `true` iff `attr` is a member.
+    pub fn contains(&self, attr: &Attr) -> bool {
+        self.attrs.contains(attr)
+    }
+
+    /// Iterate over members in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &Attr> {
+        self.attrs.iter()
+    }
+
+    /// Insert an attribute.
+    pub fn insert(&mut self, attr: Attr) {
+        self.attrs.insert(attr);
+    }
+
+    /// `self ⊆ other`.
+    pub fn is_subset(&self, other: &AttrSet) -> bool {
+        self.attrs.is_subset(&other.attrs)
+    }
+
+    /// `self ⊇ other`.
+    pub fn is_superset(&self, other: &AttrSet) -> bool {
+        self.attrs.is_superset(&other.attrs)
+    }
+
+    /// `self ∩ other ≠ ∅`.
+    pub fn intersects(&self, other: &AttrSet) -> bool {
+        self.attrs.intersection(&other.attrs).next().is_some()
+    }
+
+    /// `self ∩ other`.
+    pub fn intersect(&self, other: &AttrSet) -> AttrSet {
+        AttrSet {
+            attrs: self.attrs.intersection(&other.attrs).cloned().collect(),
+        }
+    }
+
+    /// `self ∪ other`.
+    pub fn union(&self, other: &AttrSet) -> AttrSet {
+        AttrSet {
+            attrs: self.attrs.union(&other.attrs).cloned().collect(),
+        }
+    }
+
+    /// `self − other`.
+    pub fn minus(&self, other: &AttrSet) -> AttrSet {
+        AttrSet {
+            attrs: self.attrs.difference(&other.attrs).cloned().collect(),
+        }
+    }
+}
+
+impl fmt::Debug for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl FromIterator<Attr> for AttrSet {
+    fn from_iter<T: IntoIterator<Item = Attr>>(iter: T) -> Self {
+        AttrSet::new(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a AttrSet {
+    type Item = &'a Attr;
+    type IntoIter = std::collections::btree_set::Iter<'a, Attr>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.attrs.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(names: &[&str]) -> AttrSet {
+        AttrSet::from_names(names.iter().copied())
+    }
+
+    #[test]
+    fn construction_and_membership() {
+        let a = s(&["x1", "x2", "x3"]);
+        assert_eq!(a.len(), 3);
+        assert!(a.contains(&Attr::new("x2")));
+        assert!(!a.contains(&Attr::new("x9")));
+        assert!(!a.is_empty());
+        assert!(AttrSet::empty().is_empty());
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let a = AttrSet::from_names(["x", "x", "y"]);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn subset_superset_intersects() {
+        let a = s(&["x1", "x2"]);
+        let b = s(&["x1", "x2", "x3"]);
+        let c = s(&["x4"]);
+        assert!(a.is_subset(&b));
+        assert!(b.is_superset(&a));
+        assert!(!b.is_subset(&a));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(AttrSet::empty().is_subset(&a));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = s(&["x1", "x2", "x3"]);
+        let b = s(&["x2", "x3", "x4"]);
+        assert_eq!(a.intersect(&b), s(&["x2", "x3"]));
+        assert_eq!(a.union(&b), s(&["x1", "x2", "x3", "x4"]));
+        assert_eq!(a.minus(&b), s(&["x1"]));
+    }
+
+    #[test]
+    fn schema_roundtrip() {
+        let schema = Schema::from_names(["b", "a", "c"]);
+        let set = AttrSet::from_schema(&schema);
+        assert_eq!(set.len(), 3);
+        // to_schema sorts attributes.
+        assert_eq!(set.to_schema(), Schema::from_names(["a", "b", "c"]));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", s(&["x2", "x1"])), "{x1, x2}");
+        assert_eq!(format!("{}", AttrSet::empty()), "{}");
+    }
+
+    #[test]
+    fn ordering_is_deterministic() {
+        let mut edges = vec![s(&["x2"]), s(&["x1", "x3"]), s(&["x1", "x2"])];
+        edges.sort();
+        assert_eq!(edges, vec![s(&["x1", "x2"]), s(&["x1", "x3"]), s(&["x2"])]);
+    }
+}

@@ -1,0 +1,251 @@
+//! Structural classification of conjunctive queries.
+//!
+//! This module implements the query classes of §2.2 / §2.3 of the paper:
+//!
+//! * **α-acyclic** — the hypergraph `E` has a join tree,
+//! * **free-connex** — `E` is acyclic *and* `E ∪ {y}` is acyclic,
+//! * **linear-reducible** (Definition 2.2) — `(y, V, E ∪ {y})` is free-connex,
+//!   which (because the augmented hypergraph already contains the head edge)
+//!   simplifies to: `E ∪ {y}` is acyclic,
+//! * **full** — `y = V`.
+//!
+//! These predicates feed the difference-linear dichotomy (Definition 2.3 /
+//! Theorem 2.4) implemented in `dcq-core::classify`.
+
+use crate::attrset::AttrSet;
+use crate::gyo::gyo_reduction;
+use crate::hypergraph::Hypergraph;
+use crate::join_tree::JoinTree;
+
+/// Test α-acyclicity of a hypergraph (set of edges).
+///
+/// Uses the ear-decomposition join-tree construction; [`gyo_reduction`] provides an
+/// independent oracle that the test-suite cross-checks against.
+pub fn is_alpha_acyclic(edges: &[AttrSet]) -> bool {
+    if edges.is_empty() {
+        return true;
+    }
+    JoinTree::build(edges).is_some()
+}
+
+/// Test α-acyclicity of the hypergraph augmented with one extra edge: `E ∪ {extra}`.
+///
+/// This is the per-edge condition of the difference-linear definition
+/// (`(y, E₁′ ∪ {e})` α-acyclic for every `e ∈ E₂′`).
+pub fn is_alpha_acyclic_with(edges: &[AttrSet], extra: &AttrSet) -> bool {
+    let mut augmented = edges.to_vec();
+    augmented.push(extra.clone());
+    is_alpha_acyclic(&augmented)
+}
+
+/// Test whether the CQ `(y, V, E)` is free-connex: `E` acyclic and `E ∪ {y}` acyclic.
+///
+/// For a Boolean query (`y = ∅`) and for a full query (`y = V`) this degenerates to
+/// plain α-acyclicity, matching Figure 2 of the paper (an acyclic full join is
+/// free-connex).
+pub fn is_free_connex(head: &AttrSet, edges: &[AttrSet]) -> bool {
+    if !is_alpha_acyclic(edges) {
+        return false;
+    }
+    if head.is_empty() {
+        return true;
+    }
+    is_alpha_acyclic_with(edges, head)
+}
+
+/// Test whether the CQ `(y, V, E)` is linear-reducible (Definition 2.2):
+/// `(y, V, E ∪ {y})` free-connex, i.e. `E ∪ {y}` α-acyclic.
+pub fn is_linear_reducible(head: &AttrSet, edges: &[AttrSet]) -> bool {
+    if head.is_empty() {
+        // A Boolean query is linear-reducible iff it is acyclic: the augmented
+        // hypergraph only gains an empty edge.
+        return is_alpha_acyclic(edges);
+    }
+    is_alpha_acyclic_with(edges, head)
+}
+
+/// The structural shape of a CQ, bundling all the classification flags the paper's
+/// Table 1 / Figure 2 distinguish.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CqShape {
+    /// `E` is α-acyclic.
+    pub alpha_acyclic: bool,
+    /// The query is free-connex.
+    pub free_connex: bool,
+    /// The query is linear-reducible (Definition 2.2).
+    pub linear_reducible: bool,
+    /// The query is full (`y = V`).
+    pub full: bool,
+}
+
+impl CqShape {
+    /// Classify the CQ `(y, V, E)`.
+    pub fn of(head: &AttrSet, edges: &[AttrSet]) -> CqShape {
+        let hypergraph = Hypergraph::new(edges.to_vec());
+        let vertices = hypergraph.vertices();
+        let alpha_acyclic = is_alpha_acyclic(edges);
+        let linear_reducible = is_linear_reducible(head, edges);
+        let free_connex = alpha_acyclic && linear_reducible;
+        let full = head == &vertices;
+        CqShape {
+            alpha_acyclic,
+            free_connex,
+            linear_reducible,
+            full,
+        }
+    }
+
+    /// Sanity relationships between the classes (Figure 2): free-connex ⇒ acyclic,
+    /// free-connex ⇒ linear-reducible, acyclic ∧ full ⇒ free-connex.
+    pub fn invariants_hold(&self) -> bool {
+        (!self.free_connex || self.alpha_acyclic)
+            && (!self.free_connex || self.linear_reducible)
+            && (!(self.alpha_acyclic && self.full) || self.free_connex)
+    }
+}
+
+/// Cross-check the ear-decomposition acyclicity test against the GYO reduction.
+/// Exposed for the property tests; always agrees.
+pub fn acyclicity_oracles_agree(edges: &[AttrSet]) -> bool {
+    let by_tree = is_alpha_acyclic(edges);
+    let by_gyo = gyo_reduction(&Hypergraph::new(edges.to_vec())).acyclic;
+    by_tree == by_gyo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(names: &[&str]) -> AttrSet {
+        AttrSet::from_names(names.iter().copied())
+    }
+
+    fn edges(list: &[&[&str]]) -> Vec<AttrSet> {
+        list.iter().map(|e| s(e)).collect()
+    }
+
+    #[test]
+    fn path_join_full_is_free_connex() {
+        // Example 3.3: Q = R1(x1,x2) ⋈ R2(x2,x3), full output.
+        let e = edges(&[&["x1", "x2"], &["x2", "x3"]]);
+        let y = s(&["x1", "x2", "x3"]);
+        let shape = CqShape::of(&y, &e);
+        assert!(shape.alpha_acyclic && shape.free_connex && shape.linear_reducible && shape.full);
+        assert!(shape.invariants_hold());
+    }
+
+    #[test]
+    fn path_join_with_endpoint_projection_is_not_free_connex() {
+        // Example 4.12: π_{x1,x3} R1(x1,x2) ⋈ R2(x2,x3) — acyclic, not free-connex,
+        // hence not linear-reducible either (acyclic non-free-connex ⇒ non-LR, §2.3).
+        let e = edges(&[&["x1", "x2"], &["x2", "x3"]]);
+        let y = s(&["x1", "x3"]);
+        let shape = CqShape::of(&y, &e);
+        assert!(shape.alpha_acyclic);
+        assert!(!shape.free_connex);
+        assert!(!shape.linear_reducible);
+        assert!(!shape.full);
+        assert!(shape.invariants_hold());
+    }
+
+    #[test]
+    fn triangle_is_cyclic_but_full_triangle_not_linear_reducible() {
+        // The triangle join (Example 3.9's Q2) with full output: cyclic, and adding
+        // y = V = {x1,x2,x3} makes it acyclic, so it IS linear-reducible (a full
+        // cyclic query is linear-reducible: E ∪ {V} is conformal+acyclic? No —
+        // adding the covering edge {x1,x2,x3} to the triangle gives an acyclic
+        // hypergraph, exactly the example below Definition 2.2).
+        let e = edges(&[&["x1", "x2"], &["x2", "x3"], &["x1", "x3"]]);
+        let y = s(&["x1", "x2", "x3"]);
+        let shape = CqShape::of(&y, &e);
+        assert!(!shape.alpha_acyclic);
+        assert!(!shape.free_connex);
+        assert!(shape.linear_reducible);
+        assert!(shape.full);
+        assert!(shape.invariants_hold());
+    }
+
+    #[test]
+    fn paper_linear_reducible_example() {
+        // Q = π_{x1,x2,x3}(R1(x1,x2) ⋈ R2(x2,x3) ⋈ R3(x1,x3) ⋈ R4(x3,x4)):
+        // cyclic and non-full but linear-reducible (§2.3).
+        let e = edges(&[
+            &["x1", "x2"],
+            &["x2", "x3"],
+            &["x1", "x3"],
+            &["x3", "x4"],
+        ]);
+        let y = s(&["x1", "x2", "x3"]);
+        let shape = CqShape::of(&y, &e);
+        assert!(!shape.alpha_acyclic);
+        assert!(!shape.free_connex);
+        assert!(shape.linear_reducible);
+        assert!(!shape.full);
+    }
+
+    #[test]
+    fn figure2_nonfull_heads() {
+        let e = edges(&[
+            &["x1", "x2", "x3"],
+            &["x1", "x4"],
+            &["x2", "x3", "x5"],
+            &["x5", "x6"],
+            &["x3", "x7"],
+            &["x5", "x8"],
+        ]);
+        // y = {x1,x2,x3,x4}: free-connex (paper, Figure 2 caption).
+        assert!(is_free_connex(&s(&["x1", "x2", "x3", "x4"]), &e));
+        // y = {x1,x2,x5}: not free-connex (paper, Figure 2 caption).
+        assert!(!is_free_connex(&s(&["x1", "x2", "x5"]), &e));
+    }
+
+    #[test]
+    fn boolean_queries() {
+        let acyclic = edges(&[&["x1", "x2"], &["x2", "x3"]]);
+        let cyclic = edges(&[&["x1", "x2"], &["x2", "x3"], &["x1", "x3"]]);
+        let empty_head = AttrSet::empty();
+        assert!(is_free_connex(&empty_head, &acyclic));
+        assert!(is_linear_reducible(&empty_head, &acyclic));
+        assert!(!is_free_connex(&empty_head, &cyclic));
+        assert!(!is_linear_reducible(&empty_head, &cyclic));
+    }
+
+    #[test]
+    fn star_queries_of_example_3_11() {
+        // Q1 = ⋈_{|e|=1} R_e({x1} ∪ e): star of binary relations around x1 — acyclic full.
+        let q1 = edges(&[&["x1", "x2"], &["x1", "x3"], &["x1", "x4"]]);
+        let y = s(&["x1", "x2", "x3", "x4"]);
+        assert!(CqShape::of(&y, &q1).free_connex);
+        // Q2 = ⋈_{|e'|=2} R_{e'}({x1} ∪ e'): all triples containing x1 — cyclic for k≥3
+        // but linear-reducible once the full head is added.
+        let q2 = edges(&[
+            &["x1", "x2", "x3"],
+            &["x1", "x2", "x4"],
+            &["x1", "x3", "x4"],
+        ]);
+        let shape = CqShape::of(&y, &q2);
+        assert!(!shape.alpha_acyclic);
+        assert!(shape.linear_reducible);
+    }
+
+    #[test]
+    fn oracles_agree_on_known_cases() {
+        let cases: Vec<Vec<AttrSet>> = vec![
+            edges(&[&["a", "b"], &["b", "c"], &["c", "d"]]),
+            edges(&[&["a", "b"], &["b", "c"], &["a", "c"]]),
+            edges(&[&["a", "b"], &["c", "d"]]),
+            edges(&[&["a", "b", "c"], &["b", "c", "d"], &["c", "d", "e"]]),
+            edges(&[
+                &["x1", "x2"],
+                &["x2", "x3"],
+                &["x3", "x4"],
+                &["x4", "x1"],
+            ]),
+            vec![],
+            edges(&[&["a"]]),
+        ];
+        for c in &cases {
+            assert!(acyclicity_oracles_agree(c), "oracles disagree on {c:?}");
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! GYO (Graham–Yu–Özsoyoğlu) reduction.
+//!
+//! Definition B.1 of the paper: repeatedly (1) delete a vertex that occurs in only
+//! one edge, and (2) delete an edge contained in another edge.  The hypergraph is
+//! α-acyclic iff the reduction terminates with the empty hypergraph (Lemma B.2).
+//!
+//! The reduction is used as an *independent* acyclicity oracle cross-checked against
+//! the ear-decomposition join-tree construction in [`crate::join_tree`]; the DCQ
+//! algorithms use the join tree, the tests use both.
+
+use crate::attrset::AttrSet;
+use crate::hypergraph::Hypergraph;
+use dcq_storage::Attr;
+
+/// One step of the GYO reduction, recorded for explanation / debugging.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GyoStep {
+    /// A vertex occurring in a single edge was removed from that edge.
+    RemoveIsolatedVertex {
+        /// The removed attribute.
+        attr: Attr,
+        /// Index (in the original edge list) of the edge it was removed from.
+        edge: usize,
+    },
+    /// An edge contained in another edge was removed.
+    RemoveContainedEdge {
+        /// Index of the removed edge.
+        removed: usize,
+        /// Index of the containing (witness) edge.
+        witness: usize,
+    },
+}
+
+/// The outcome of running the GYO reduction to fixpoint.
+#[derive(Clone, Debug)]
+pub struct GyoOutcome {
+    /// `true` iff the reduction emptied the hypergraph — i.e. it is α-acyclic.
+    pub acyclic: bool,
+    /// The reduction steps, in order.
+    pub steps: Vec<GyoStep>,
+    /// Indices of edges that survived (empty iff `acyclic`, except that a fully
+    /// reduced hypergraph keeps one final empty edge which is reported here as
+    /// having been eliminated too).
+    pub residual_edges: Vec<usize>,
+}
+
+/// Run the GYO reduction on a hypergraph.
+pub fn gyo_reduction(h: &Hypergraph) -> GyoOutcome {
+    // Work on mutable copies; `alive[i]` tracks whether original edge i survives.
+    let n = h.len();
+    let mut edges: Vec<AttrSet> = h.edges().to_vec();
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut steps = Vec::new();
+
+    if n == 0 {
+        return GyoOutcome {
+            acyclic: true,
+            steps,
+            residual_edges: vec![],
+        };
+    }
+
+    loop {
+        let mut changed = false;
+
+        // Rule (1): remove vertices occurring in exactly one live edge.
+        let mut vertex_home: std::collections::BTreeMap<Attr, (usize, usize)> =
+            std::collections::BTreeMap::new();
+        for (i, e) in edges.iter().enumerate().filter(|(i, _)| alive[*i]) {
+            for a in e.iter() {
+                vertex_home
+                    .entry(a.clone())
+                    .and_modify(|(_, cnt)| *cnt += 1)
+                    .or_insert((i, 1));
+            }
+        }
+        for (attr, (home, count)) in &vertex_home {
+            if *count == 1 {
+                let e = &mut edges[*home];
+                if e.contains(attr) {
+                    *e = e.minus(&AttrSet::new([attr.clone()]));
+                    steps.push(GyoStep::RemoveIsolatedVertex {
+                        attr: attr.clone(),
+                        edge: *home,
+                    });
+                    changed = true;
+                }
+            }
+        }
+
+        // Rule (2): remove edges contained in another live edge (including empty
+        // edges and duplicate edges — one of the duplicates survives).
+        'outer: for i in 0..n {
+            if !alive[i] {
+                continue;
+            }
+            for j in 0..n {
+                if i == j || !alive[j] {
+                    continue;
+                }
+                let contained = edges[i].is_subset(&edges[j]);
+                // For identical edges only remove the higher index so exactly one
+                // copy survives and the loop terminates.
+                let tie_break = edges[i] != edges[j] || i > j;
+                if contained && tie_break {
+                    alive[i] = false;
+                    steps.push(GyoStep::RemoveContainedEdge {
+                        removed: i,
+                        witness: j,
+                    });
+                    changed = true;
+                    continue 'outer;
+                }
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    let residual: Vec<usize> = (0..n).filter(|&i| alive[i]).collect();
+    // Fully reduced: either nothing survives, or a single edge survives and that
+    // edge has been emptied of all its vertices (a single-edge hypergraph is
+    // trivially acyclic).
+    let acyclic = match residual.as_slice() {
+        [] => true,
+        [only] => edges[*only].is_empty() || h.len() == 1 || all_attrs_private(h, *only, &alive),
+        _ => false,
+    };
+    GyoOutcome {
+        acyclic,
+        steps,
+        residual_edges: if acyclic { vec![] } else { residual },
+    }
+}
+
+/// After reduction a single surviving edge is acyclic iff every remaining attribute
+/// occurs only in it (rule (1) would have removed them — this covers the fixpoint
+/// where rule (1) already ran in a previous iteration ordering).
+fn all_attrs_private(h: &Hypergraph, survivor: usize, alive: &[bool]) -> bool {
+    let e = &h.edges()[survivor];
+    e.iter().all(|a| {
+        h.edges()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| alive[*i] && *i != survivor)
+            .all(|(_, other)| !other.contains(a))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(names: &[&str]) -> AttrSet {
+        AttrSet::from_names(names.iter().copied())
+    }
+
+    fn hg(edges: &[&[&str]]) -> Hypergraph {
+        Hypergraph::new(edges.iter().map(|e| s(e)).collect())
+    }
+
+    #[test]
+    fn empty_and_single_edge_are_acyclic() {
+        assert!(gyo_reduction(&Hypergraph::empty()).acyclic);
+        assert!(gyo_reduction(&hg(&[&["x1", "x2"]])).acyclic);
+    }
+
+    #[test]
+    fn path_join_is_acyclic() {
+        // R1(x1,x2) ⋈ R2(x2,x3) ⋈ R3(x3,x4)
+        let h = hg(&[&["x1", "x2"], &["x2", "x3"], &["x3", "x4"]]);
+        let out = gyo_reduction(&h);
+        assert!(out.acyclic);
+        assert!(!out.steps.is_empty());
+    }
+
+    #[test]
+    fn triangle_is_cyclic() {
+        // The triangle query of Example 3.9 / the hardness constructions.
+        let h = hg(&[&["x1", "x2"], &["x2", "x3"], &["x1", "x3"]]);
+        let out = gyo_reduction(&h);
+        assert!(!out.acyclic);
+        assert_eq!(out.residual_edges.len(), 3);
+    }
+
+    #[test]
+    fn figure2_query_is_acyclic() {
+        let h = hg(&[
+            &["x1", "x2", "x3"],
+            &["x1", "x4"],
+            &["x2", "x3", "x5"],
+            &["x5", "x6"],
+            &["x3", "x7"],
+            &["x5", "x8"],
+        ]);
+        assert!(gyo_reduction(&h).acyclic);
+    }
+
+    #[test]
+    fn triangle_plus_covering_edge_is_acyclic() {
+        // Adding R5(x1,x2,x3) to the triangle makes it conformal and acyclic —
+        // this is exactly the linear-reducible example after Definition 2.2.
+        let h = hg(&[
+            &["x1", "x2"],
+            &["x2", "x3"],
+            &["x1", "x3"],
+            &["x1", "x2", "x3"],
+        ]);
+        assert!(gyo_reduction(&h).acyclic);
+    }
+
+    #[test]
+    fn duplicate_edges_are_handled() {
+        let h = hg(&[&["x1", "x2"], &["x1", "x2"], &["x2", "x3"]]);
+        assert!(gyo_reduction(&h).acyclic);
+    }
+
+    #[test]
+    fn four_cycle_is_cyclic() {
+        let h = hg(&[
+            &["x1", "x2"],
+            &["x2", "x3"],
+            &["x3", "x4"],
+            &["x4", "x1"],
+        ]);
+        assert!(!gyo_reduction(&h).acyclic);
+    }
+
+    #[test]
+    fn four_cycle_with_chord_edge_still_cyclic() {
+        // A 4-cycle plus one diagonal is two triangles sharing an edge: still cyclic.
+        let h = hg(&[
+            &["x1", "x2"],
+            &["x2", "x3"],
+            &["x3", "x4"],
+            &["x4", "x1"],
+            &["x1", "x3"],
+        ]);
+        assert!(!gyo_reduction(&h).acyclic);
+    }
+
+    #[test]
+    fn star_query_is_acyclic() {
+        // Example 3.11 (k=4): unary-extended star around x1.
+        let h = hg(&[
+            &["x1", "x2"],
+            &["x1", "x3"],
+            &["x1", "x4"],
+            &["x1", "x5"],
+        ]);
+        assert!(gyo_reduction(&h).acyclic);
+    }
+
+    #[test]
+    fn disconnected_hypergraph_is_acyclic() {
+        // Example 3.10's Q1: R1(x1,x2) × R2(x3,x4) — a Cartesian product is acyclic.
+        let h = hg(&[&["x1", "x2"], &["x3", "x4"]]);
+        assert!(gyo_reduction(&h).acyclic);
+    }
+}

@@ -1,0 +1,169 @@
+//! Query hypergraphs.
+
+use crate::attrset::AttrSet;
+use dcq_storage::Attr;
+use std::fmt;
+
+/// The hypergraph `(V, E)` of a conjunctive query: one hyperedge per atom.
+///
+/// Edges are stored in atom order; `V` is derived as the union of all edges.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Hypergraph {
+    edges: Vec<AttrSet>,
+}
+
+impl Hypergraph {
+    /// Create a hypergraph from its edges.
+    pub fn new(edges: Vec<AttrSet>) -> Self {
+        Hypergraph { edges }
+    }
+
+    /// An empty hypergraph (no edges, no vertices).
+    pub fn empty() -> Self {
+        Hypergraph::default()
+    }
+
+    /// The edges in atom order.
+    pub fn edges(&self) -> &[AttrSet] {
+        &self.edges
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` iff the hypergraph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Append an edge, returning its index.
+    pub fn add_edge(&mut self, edge: AttrSet) -> usize {
+        self.edges.push(edge);
+        self.edges.len() - 1
+    }
+
+    /// The vertex set `V` — union of all edges.
+    pub fn vertices(&self) -> AttrSet {
+        let mut v = AttrSet::empty();
+        for e in &self.edges {
+            v = v.union(e);
+        }
+        v
+    }
+
+    /// `true` iff `attr` appears in some edge.
+    pub fn contains_vertex(&self, attr: &Attr) -> bool {
+        self.edges.iter().any(|e| e.contains(attr))
+    }
+
+    /// Number of edges containing `attr`.
+    pub fn degree(&self, attr: &Attr) -> usize {
+        self.edges.iter().filter(|e| e.contains(attr)).count()
+    }
+
+    /// Edges (indices) containing `attr`.
+    pub fn edges_containing(&self, attr: &Attr) -> Vec<usize> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.contains(attr))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// A new hypergraph with `extra` appended (the `E ∪ {e}` / `E ∪ {y}`
+    /// constructions used throughout §2.3 and §3).
+    pub fn with_extra_edge(&self, extra: &AttrSet) -> Hypergraph {
+        let mut edges = self.edges.clone();
+        edges.push(extra.clone());
+        Hypergraph::new(edges)
+    }
+
+    /// Restrict every edge to the attributes in `keep`, dropping edges that become
+    /// empty.  This is the *sub-query induced by a set of attributes* (Definition
+    /// B.13) at the hypergraph level.
+    pub fn induced(&self, keep: &AttrSet) -> Hypergraph {
+        Hypergraph::new(
+            self.edges
+                .iter()
+                .map(|e| e.intersect(keep))
+                .filter(|e| !e.is_empty())
+                .collect(),
+        )
+    }
+}
+
+impl fmt::Debug for Hypergraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E = [")?;
+        for (i, e) in self.edges.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(names: &[&str]) -> AttrSet {
+        AttrSet::from_names(names.iter().copied())
+    }
+
+    /// The α-acyclic full CQ of Figure 2 in the paper.
+    fn figure2() -> Hypergraph {
+        Hypergraph::new(vec![
+            s(&["x1", "x2", "x3"]),
+            s(&["x1", "x4"]),
+            s(&["x2", "x3", "x5"]),
+            s(&["x5", "x6"]),
+            s(&["x3", "x7"]),
+            s(&["x5", "x8"]),
+        ])
+    }
+
+    #[test]
+    fn vertices_and_degree() {
+        let h = figure2();
+        assert_eq!(h.len(), 6);
+        assert_eq!(h.vertices().len(), 8);
+        assert_eq!(h.degree(&Attr::new("x3")), 3);
+        assert_eq!(h.degree(&Attr::new("x6")), 1);
+        assert_eq!(h.degree(&Attr::new("nope")), 0);
+        assert!(h.contains_vertex(&Attr::new("x8")));
+        assert_eq!(h.edges_containing(&Attr::new("x5")), vec![2, 3, 5]);
+    }
+
+    #[test]
+    fn with_extra_edge_appends() {
+        let h = figure2();
+        let aug = h.with_extra_edge(&s(&["x1", "x2", "x3", "x4"]));
+        assert_eq!(aug.len(), 7);
+        assert_eq!(aug.edges()[6], s(&["x1", "x2", "x3", "x4"]));
+        // original untouched
+        assert_eq!(h.len(), 6);
+    }
+
+    #[test]
+    fn induced_subquery_drops_empty_edges() {
+        let h = figure2();
+        let sub = h.induced(&s(&["x1", "x2", "x3", "x4"]));
+        // Edges {x5,x6}, {x5,x8} vanish; {x2,x3,x5} shrinks to {x2,x3}; {x3,x7} to {x3}.
+        assert_eq!(sub.len(), 4);
+        assert!(sub.edges().contains(&s(&["x2", "x3"])));
+        assert!(sub.edges().contains(&s(&["x3"])));
+    }
+
+    #[test]
+    fn empty_hypergraph() {
+        let h = Hypergraph::empty();
+        assert!(h.is_empty());
+        assert!(h.vertices().is_empty());
+    }
+}

@@ -1,0 +1,436 @@
+//! Join trees via ear decomposition.
+//!
+//! A join tree (§2.2) of a hypergraph is a tree whose nodes are the hyperedges such
+//! that for every attribute the set of nodes containing it is connected.  A
+//! hypergraph has a join tree iff it is α-acyclic; the construction below is the
+//! classic ear decomposition (repeatedly peel an edge whose shared attributes are
+//! covered by a single witness edge, attaching it below the witness).
+//!
+//! Join trees drive every linear-time component of the paper: the `Reduce` procedure
+//! (Algorithm 1), the Yannakakis algorithm (Algorithm 3), EasyDCQ (Algorithm 2) and
+//! the bag-semantics algorithm (Algorithm 5).  Trees can be *re-rooted* at any node
+//! — re-rooting preserves the join-tree property since it only concerns the
+//! underlying undirected tree.
+
+use crate::attrset::AttrSet;
+use std::fmt;
+
+/// A node of a [`JoinTree`].
+#[derive(Clone, Debug)]
+pub struct JoinTreeNode {
+    /// The hyperedge (attribute set) of this node.
+    pub edge: AttrSet,
+    /// Parent node index (`None` for the root).
+    pub parent: Option<usize>,
+    /// Child node indices.
+    pub children: Vec<usize>,
+}
+
+/// A rooted join tree over a list of hyperedges.
+///
+/// Node `i` corresponds to edge `i` of the hypergraph the tree was built from, so
+/// callers can map nodes back to query atoms by index.
+#[derive(Clone)]
+pub struct JoinTree {
+    nodes: Vec<JoinTreeNode>,
+    root: usize,
+}
+
+impl JoinTree {
+    /// Build a join tree by ear decomposition.  Returns `None` iff the hypergraph is
+    /// cyclic (no join tree exists).  The root is whichever edge survives last.
+    pub fn build(edges: &[AttrSet]) -> Option<JoinTree> {
+        let n = edges.len();
+        if n == 0 {
+            return None;
+        }
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        let mut alive: Vec<bool> = vec![true; n];
+        let mut alive_count = n;
+
+        while alive_count > 1 {
+            let mut found = None;
+            'search: for i in 0..n {
+                if !alive[i] {
+                    continue;
+                }
+                // Attributes of e_i that also occur in some other live edge.
+                let mut shared = AttrSet::empty();
+                for j in 0..n {
+                    if j != i && alive[j] {
+                        shared = shared.union(&edges[i].intersect(&edges[j]));
+                    }
+                }
+                // e_i is an ear if a single live witness covers all its shared attrs.
+                for j in 0..n {
+                    if j != i && alive[j] && shared.is_subset(&edges[j]) {
+                        found = Some((i, j));
+                        break 'search;
+                    }
+                }
+            }
+            match found {
+                Some((ear, witness)) => {
+                    parent[ear] = Some(witness);
+                    alive[ear] = false;
+                    alive_count -= 1;
+                }
+                None => return None, // cyclic
+            }
+        }
+
+        let root = (0..n).find(|&i| alive[i]).expect("one live edge remains");
+        let mut nodes: Vec<JoinTreeNode> = edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| JoinTreeNode {
+                edge: e.clone(),
+                parent: parent[i],
+                children: Vec::new(),
+            })
+            .collect();
+        for i in 0..n {
+            if let Some(p) = parent[i] {
+                nodes[p].children.push(i);
+            }
+        }
+        let tree = JoinTree { nodes, root };
+        debug_assert!(tree.verify(), "ear decomposition produced an invalid join tree");
+        Some(tree)
+    }
+
+    /// Build a join tree for `edges ∪ {head}` and root it at the head node.
+    ///
+    /// The head node's index is `edges.len()`; this is the "virtual relation over the
+    /// output attributes y" used by `Reduce` (Algorithm 1) and the free-connex
+    /// Yannakakis evaluation.  Returns `None` iff the augmented hypergraph is cyclic
+    /// (i.e. the query is not linear-reducible).
+    pub fn build_with_head(edges: &[AttrSet], head: &AttrSet) -> Option<(JoinTree, usize)> {
+        let mut augmented = edges.to_vec();
+        augmented.push(head.clone());
+        let head_index = edges.len();
+        let mut tree = JoinTree::build(&augmented)?;
+        tree.reroot(head_index);
+        Some((tree, head_index))
+    }
+
+    /// The nodes of the tree (indexed as the edges passed to [`JoinTree::build`]).
+    pub fn nodes(&self) -> &[JoinTreeNode] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` iff the tree has no nodes (never produced by `build`).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The root node index.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// The hyperedge of node `i`.
+    pub fn edge(&self, i: usize) -> &AttrSet {
+        &self.nodes[i].edge
+    }
+
+    /// The parent of node `i`, if any.
+    pub fn parent(&self, i: usize) -> Option<usize> {
+        self.nodes[i].parent
+    }
+
+    /// The children of node `i`.
+    pub fn children(&self, i: usize) -> &[usize] {
+        &self.nodes[i].children
+    }
+
+    /// Re-root the tree at `new_root`, preserving the undirected structure.
+    pub fn reroot(&mut self, new_root: usize) {
+        assert!(new_root < self.nodes.len(), "re-root target out of bounds");
+        if new_root == self.root {
+            return;
+        }
+        // Build undirected adjacency.
+        let n = self.nodes.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for i in 0..n {
+            if let Some(p) = self.nodes[i].parent {
+                adj[i].push(p);
+                adj[p].push(i);
+            }
+        }
+        // BFS from the new root.
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        let mut visited = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        visited[new_root] = true;
+        queue.push_back(new_root);
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u] {
+                if !visited[v] {
+                    visited[v] = true;
+                    parent[v] = Some(u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        debug_assert!(visited.iter().all(|&v| v), "join tree must be connected");
+        for i in 0..n {
+            self.nodes[i].parent = parent[i];
+            self.nodes[i].children.clear();
+        }
+        for i in 0..n {
+            if let Some(p) = parent[i] {
+                self.nodes[p].children.push(i);
+            }
+        }
+        self.root = new_root;
+    }
+
+    /// Node indices in bottom-up order (every node appears after all its children);
+    /// the root is last.
+    pub fn bottom_up_order(&self) -> Vec<usize> {
+        let mut order = self.top_down_order();
+        order.reverse();
+        order
+    }
+
+    /// Node indices in top-down order (every node appears before its children);
+    /// the root is first.
+    pub fn top_down_order(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![self.root];
+        while let Some(u) = stack.pop() {
+            order.push(u);
+            for &c in &self.nodes[u].children {
+                stack.push(c);
+            }
+        }
+        debug_assert_eq!(order.len(), self.nodes.len());
+        order
+    }
+
+    /// All node indices in the subtree rooted at `i` (including `i`).
+    pub fn subtree(&self, i: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![i];
+        while let Some(u) = stack.pop() {
+            out.push(u);
+            for &c in &self.nodes[u].children {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Verify the join-tree property: for every attribute, the nodes containing it
+    /// form a connected subtree.  Used by `debug_assert!` and tests.
+    pub fn verify(&self) -> bool {
+        // Collect all attributes.
+        let mut all = AttrSet::empty();
+        for node in &self.nodes {
+            all = all.union(&node.edge);
+        }
+        for attr in all.iter() {
+            let holders: Vec<usize> = (0..self.nodes.len())
+                .filter(|&i| self.nodes[i].edge.contains(attr))
+                .collect();
+            if holders.len() <= 1 {
+                continue;
+            }
+            // Connectivity: starting from holders[0], walking only through holder
+            // nodes must reach every holder.  Build adjacency restricted to holders.
+            let holder_set: std::collections::BTreeSet<usize> = holders.iter().copied().collect();
+            let mut visited = std::collections::BTreeSet::new();
+            let mut stack = vec![holders[0]];
+            visited.insert(holders[0]);
+            while let Some(u) = stack.pop() {
+                let mut neighbors = self.nodes[u].children.clone();
+                if let Some(p) = self.nodes[u].parent {
+                    neighbors.push(p);
+                }
+                for v in neighbors {
+                    if holder_set.contains(&v) && visited.insert(v) {
+                        stack.push(v);
+                    }
+                }
+            }
+            if visited.len() != holders.len() {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Debug for JoinTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn rec(
+            tree: &JoinTree,
+            node: usize,
+            depth: usize,
+            f: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            writeln!(f, "{}[{}] {}", "  ".repeat(depth), node, tree.nodes[node].edge)?;
+            for &c in &tree.nodes[node].children {
+                rec(tree, c, depth + 1, f)?;
+            }
+            Ok(())
+        }
+        rec(self, self.root, 0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(names: &[&str]) -> AttrSet {
+        AttrSet::from_names(names.iter().copied())
+    }
+
+    fn figure2_edges() -> Vec<AttrSet> {
+        vec![
+            s(&["x1", "x2", "x3"]),
+            s(&["x1", "x4"]),
+            s(&["x2", "x3", "x5"]),
+            s(&["x5", "x6"]),
+            s(&["x3", "x7"]),
+            s(&["x5", "x8"]),
+        ]
+    }
+
+    #[test]
+    fn acyclic_hypergraphs_yield_verified_trees() {
+        let tree = JoinTree::build(&figure2_edges()).expect("figure 2 query is acyclic");
+        assert_eq!(tree.len(), 6);
+        assert!(tree.verify());
+        // Every non-root node has a parent; the root has none.
+        for i in 0..tree.len() {
+            if i == tree.root() {
+                assert!(tree.parent(i).is_none());
+            } else {
+                assert!(tree.parent(i).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_hypergraphs_yield_none() {
+        let triangle = vec![s(&["x1", "x2"]), s(&["x2", "x3"]), s(&["x1", "x3"])];
+        assert!(JoinTree::build(&triangle).is_none());
+        let square = vec![
+            s(&["x1", "x2"]),
+            s(&["x2", "x3"]),
+            s(&["x3", "x4"]),
+            s(&["x4", "x1"]),
+        ];
+        assert!(JoinTree::build(&square).is_none());
+    }
+
+    #[test]
+    fn single_edge_and_disconnected() {
+        let t = JoinTree::build(&[s(&["a", "b"])]).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.root(), 0);
+
+        // Cartesian product (Example 3.10's Q1) is acyclic.
+        let t = JoinTree::build(&[s(&["x1", "x2"]), s(&["x3", "x4"])]).unwrap();
+        assert!(t.verify());
+    }
+
+    #[test]
+    fn orders_respect_tree_structure() {
+        let tree = JoinTree::build(&figure2_edges()).unwrap();
+        let bu = tree.bottom_up_order();
+        let td = tree.top_down_order();
+        assert_eq!(bu.len(), 6);
+        assert_eq!(td.len(), 6);
+        assert_eq!(*bu.last().unwrap(), tree.root());
+        assert_eq!(td[0], tree.root());
+        // In bottom-up order every child appears before its parent.
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 6];
+            for (idx, &node) in bu.iter().enumerate() {
+                p[node] = idx;
+            }
+            p
+        };
+        for i in 0..6 {
+            if let Some(par) = tree.parent(i) {
+                assert!(pos[i] < pos[par], "child {i} must precede parent {par}");
+            }
+        }
+    }
+
+    #[test]
+    fn reroot_preserves_join_tree_property() {
+        let mut tree = JoinTree::build(&figure2_edges()).unwrap();
+        for new_root in 0..tree.len() {
+            tree.reroot(new_root);
+            assert_eq!(tree.root(), new_root);
+            assert!(tree.verify(), "re-rooting at {new_root} broke the tree");
+            assert!(tree.parent(new_root).is_none());
+            // Parent/child lists stay consistent.
+            for i in 0..tree.len() {
+                for &c in tree.children(i) {
+                    assert_eq!(tree.parent(c), Some(i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn build_with_head_roots_at_virtual_node() {
+        // Figure 2 as a non-full query with y = {x1,x2,x3,x4} (free-connex per paper).
+        let head = s(&["x1", "x2", "x3", "x4"]);
+        let (tree, head_idx) = JoinTree::build_with_head(&figure2_edges(), &head).unwrap();
+        assert_eq!(head_idx, 6);
+        assert_eq!(tree.root(), head_idx);
+        assert_eq!(tree.edge(head_idx), &head);
+        assert!(tree.verify());
+    }
+
+    #[test]
+    fn build_with_head_detects_non_linear_reducible() {
+        // y = {x1, x2, x5} on the Figure 2 hypergraph is NOT free-connex (the paper
+        // notes top(x3) is an ancestor of top(x5)); the augmented hypergraph is
+        // cyclic, so no head-rooted tree exists.
+        let head = s(&["x1", "x2", "x5"]);
+        assert!(JoinTree::build_with_head(&figure2_edges(), &head).is_none());
+    }
+
+    #[test]
+    fn build_with_head_on_cyclic_but_linear_reducible_query() {
+        // Q = π_{x1,x2,x3}(R1(x1,x2) ⋈ R2(x2,x3) ⋈ R3(x1,x3) ⋈ R4(x3,x4)) from §2.3:
+        // cyclic, but adding the head {x1,x2,x3} gives an acyclic hypergraph.
+        let edges = vec![
+            s(&["x1", "x2"]),
+            s(&["x2", "x3"]),
+            s(&["x1", "x3"]),
+            s(&["x3", "x4"]),
+        ];
+        assert!(JoinTree::build(&edges).is_none());
+        let head = s(&["x1", "x2", "x3"]);
+        let (tree, head_idx) = JoinTree::build_with_head(&edges, &head).unwrap();
+        assert_eq!(tree.root(), head_idx);
+        assert!(tree.verify());
+    }
+
+    #[test]
+    fn subtree_enumeration() {
+        let tree = JoinTree::build(&figure2_edges()).unwrap();
+        let whole = tree.subtree(tree.root());
+        assert_eq!(whole.len(), tree.len());
+        for &c in tree.children(tree.root()) {
+            let sub = tree.subtree(c);
+            assert!(sub.contains(&c));
+            assert!(!sub.contains(&tree.root()));
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # dcq-hypergraph
+//!
+//! Hypergraph structure toolkit for **dcqx**, the Rust reproduction of *Computing
+//! the Difference of Conjunctive Queries Efficiently* (Hu & Wang, SIGMOD 2023).
+//!
+//! Every structural notion the paper's dichotomy (Theorem 2.4) relies on lives here:
+//!
+//! * [`AttrSet`] — a hyperedge: the set of attributes one relation is defined on,
+//! * [`Hypergraph`] — the hypergraph `(V, E)` of a conjunctive query,
+//! * [`JoinTree`] — join trees produced by GYO ear decomposition, re-rootable,
+//! * [`gyo`] — the GYO reduction and α-acyclicity test (Definition B.1 / Lemma B.2),
+//! * [`classify`] — α-acyclic / free-connex / linear-reducible classification
+//!   (§2.2, Definition 2.2) and the per-edge augmented-acyclicity checks used by the
+//!   difference-linear condition (Definition 2.3).
+//!
+//! The crate operates purely on attribute sets; relations, tuples and operators live
+//! in `dcq-storage` and `dcq-exec`.
+
+#![warn(missing_docs)]
+
+pub mod attrset;
+pub mod classify;
+pub mod gyo;
+pub mod hypergraph;
+pub mod join_tree;
+
+pub use attrset::AttrSet;
+pub use classify::{is_alpha_acyclic, is_free_connex, is_linear_reducible, CqShape};
+pub use gyo::{gyo_reduction, GyoOutcome};
+pub use hypergraph::Hypergraph;
+pub use join_tree::{JoinTree, JoinTreeNode};

@@ -1,0 +1,402 @@
+//! Annotated relations.
+//!
+//! Section 5.3 of the paper extends DCQ evaluation to aggregations over *annotated
+//! relations*: every tuple carries an annotation drawn from a commutative ring
+//! `(S, ⊕, ⊗)`; joins multiply annotations, projections (GROUP BY) add them.
+//! Section 5.4 uses the special case of bag semantics where the annotation is a
+//! positive multiplicity.
+//!
+//! * [`Semiring`] — `0`, `1`, `⊕`, `⊗` (enough for joins/projections/bags),
+//! * [`Ring`] — a semiring with additive inverse (needed for *numerical difference*),
+//! * [`AnnotatedRelation<A>`] — schema + map from row to annotation,
+//! * [`BagRelation`] — `AnnotatedRelation<u64>`, the bag-semantics instance.
+
+use crate::hash::{map_with_capacity, FastHashMap};
+use crate::relation::Relation;
+use crate::row::Row;
+use crate::schema::{Attr, Schema};
+use crate::value::Value;
+use crate::Result;
+use crate::StorageError;
+use std::fmt;
+
+/// A commutative semiring `(S, ⊕, ⊗, 0, 1)`.
+pub trait Semiring: Clone + PartialEq + fmt::Debug {
+    /// The additive identity `0` (annotation of absent tuples).
+    fn zero() -> Self;
+    /// The multiplicative identity `1`.
+    fn one() -> Self;
+    /// Addition `⊕` (combines annotations of tuples projected onto the same result).
+    fn plus(&self, other: &Self) -> Self;
+    /// Multiplication `⊗` (combines annotations of joined tuples).
+    fn times(&self, other: &Self) -> Self;
+    /// `true` iff the value equals `0` — such tuples can be dropped.
+    fn is_zero(&self) -> bool {
+        *self == Self::zero()
+    }
+}
+
+/// A commutative ring: a [`Semiring`] with additive inverses.
+///
+/// Needed by the *numerical difference* semantics of §5.3 where the result
+/// annotation is `w₁(t) − w₂(t)` and may be negative.
+pub trait Ring: Semiring {
+    /// Additive inverse.
+    fn neg(&self) -> Self;
+    /// Subtraction `a ⊕ (−b)`.
+    fn minus(&self, other: &Self) -> Self {
+        self.plus(&other.neg())
+    }
+}
+
+impl Semiring for i64 {
+    fn zero() -> Self {
+        0
+    }
+    fn one() -> Self {
+        1
+    }
+    fn plus(&self, other: &Self) -> Self {
+        self + other
+    }
+    fn times(&self, other: &Self) -> Self {
+        self * other
+    }
+}
+
+impl Ring for i64 {
+    fn neg(&self) -> Self {
+        -self
+    }
+}
+
+impl Semiring for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn plus(&self, other: &Self) -> Self {
+        self + other
+    }
+    fn times(&self, other: &Self) -> Self {
+        self * other
+    }
+    fn is_zero(&self) -> bool {
+        *self == 0.0
+    }
+}
+
+impl Ring for f64 {
+    fn neg(&self) -> Self {
+        -self
+    }
+}
+
+/// Bag multiplicities: the counting semiring over `u64`.
+impl Semiring for u64 {
+    fn zero() -> Self {
+        0
+    }
+    fn one() -> Self {
+        1
+    }
+    fn plus(&self, other: &Self) -> Self {
+        self + other
+    }
+    fn times(&self, other: &Self) -> Self {
+        self * other
+    }
+}
+
+/// A relation whose tuples carry annotations from a semiring `A`.
+///
+/// Tuples with annotation `0` are never stored; inserting a duplicate row combines
+/// the annotations with `⊕` (this is exactly the bag/aggregate semantics of §5).
+#[derive(Clone)]
+pub struct AnnotatedRelation<A: Semiring> {
+    name: String,
+    schema: Schema,
+    entries: FastHashMap<Row, A>,
+}
+
+/// Bag-semantics relation: every distinct tuple annotated with its multiplicity.
+pub type BagRelation = AnnotatedRelation<u64>;
+
+impl<A: Semiring> AnnotatedRelation<A> {
+    /// Create an empty annotated relation.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        AnnotatedRelation {
+            name: name.into(),
+            schema,
+            entries: map_with_capacity(0),
+        }
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename the relation.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of distinct tuples with non-zero annotation.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff the relation holds no tuple.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Add `annotation` to the tuple's current annotation (⊕), verifying arity.
+    pub fn insert(&mut self, row: Row, annotation: A) -> Result<()> {
+        if row.arity() != self.schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                relation: self.name.clone(),
+                expected: self.schema.arity(),
+                actual: row.arity(),
+            });
+        }
+        self.combine(row, annotation);
+        Ok(())
+    }
+
+    /// Add `annotation` to the tuple's current annotation (⊕) without arity checks.
+    pub fn combine(&mut self, row: Row, annotation: A) {
+        debug_assert_eq!(row.arity(), self.schema.arity());
+        if annotation.is_zero() {
+            return;
+        }
+        match self.entries.get_mut(&row) {
+            Some(existing) => {
+                let combined = existing.plus(&annotation);
+                if combined.is_zero() {
+                    self.entries.remove(&row);
+                } else {
+                    *existing = combined;
+                }
+            }
+            None => {
+                self.entries.insert(row, annotation);
+            }
+        }
+    }
+
+    /// Overwrite the tuple's annotation (no ⊕).
+    pub fn set(&mut self, row: Row, annotation: A) {
+        if annotation.is_zero() {
+            self.entries.remove(&row);
+        } else {
+            self.entries.insert(row, annotation);
+        }
+    }
+
+    /// The annotation of `row`, or `0` if absent (the paper's convention
+    /// `w(t) = 0` for `t ∉ Q(D)`).
+    pub fn annotation(&self, row: &Row) -> A {
+        self.entries.get(row).cloned().unwrap_or_else(A::zero)
+    }
+
+    /// `true` iff `row` is present with a non-zero annotation.
+    pub fn contains(&self, row: &Row) -> bool {
+        self.entries.contains_key(row)
+    }
+
+    /// Iterate over `(row, annotation)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Row, &A)> {
+        self.entries.iter()
+    }
+
+    /// `(row, annotation)` pairs sorted by row — deterministic order for tests.
+    pub fn sorted_entries(&self) -> Vec<(Row, A)> {
+        let mut v: Vec<(Row, A)> = self.entries.iter().map(|(r, a)| (r.clone(), a.clone())).collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Forget the annotations: the set of tuples with non-zero annotation.
+    pub fn to_relation(&self) -> Relation {
+        let mut rel = Relation::new(self.name.clone(), self.schema.clone());
+        rel.reserve(self.entries.len());
+        for row in self.entries.keys() {
+            rel.push_unchecked(row.clone());
+        }
+        rel.assume_distinct();
+        rel
+    }
+
+    /// Annotated projection onto `attrs`: annotations of merged tuples are ⊕-combined.
+    pub fn project(&self, attrs: &[Attr]) -> Result<AnnotatedRelation<A>> {
+        let positions = self.schema.positions_of(attrs).ok_or_else(|| {
+            StorageError::UnknownAttribute {
+                attr: attrs
+                    .iter()
+                    .find(|a| !self.schema.contains(a))
+                    .map(|a| a.name().to_string())
+                    .unwrap_or_default(),
+                schema: self.schema.clone(),
+            }
+        })?;
+        let mut out = AnnotatedRelation::new(format!("π({})", self.name), Schema::new(attrs.to_vec()));
+        for (row, a) in &self.entries {
+            out.combine(row.project(&positions), a.clone());
+        }
+        Ok(out)
+    }
+
+    /// Build from a plain relation, giving every *occurrence* annotation `1`
+    /// (duplicates therefore accumulate: a row occurring `k` times gets `k·1`).
+    pub fn from_relation(rel: &Relation) -> Self {
+        let mut out = AnnotatedRelation::new(rel.name(), rel.schema().clone());
+        for row in rel.iter() {
+            out.combine(row.clone(), A::one());
+        }
+        out
+    }
+}
+
+impl BagRelation {
+    /// Create a bag relation of integer tuples with explicit multiplicities.
+    pub fn from_int_rows_with_counts(
+        name: impl Into<String>,
+        attrs: &[&str],
+        rows: impl IntoIterator<Item = (Vec<i64>, u64)>,
+    ) -> Self {
+        let schema = Schema::from_names(attrs.iter().copied());
+        let mut rel = BagRelation::new(name, schema);
+        for (r, c) in rows {
+            rel.combine(r.into_iter().map(Value::Int).collect(), c);
+        }
+        rel
+    }
+
+    /// Total multiplicity (the bag's cardinality counting duplicates).
+    pub fn total_multiplicity(&self) -> u64 {
+        self.iter().map(|(_, c)| *c).sum()
+    }
+}
+
+impl<A: Semiring> fmt::Debug for AnnotatedRelation<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}{} [{} tuples]", self.name, self.schema, self.len())?;
+        for (row, a) in self.sorted_entries().iter().take(20) {
+            writeln!(f, "  {row} ↦ {a:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::int_row;
+
+    #[test]
+    fn semiring_laws_for_i64() {
+        let a = 3i64;
+        let b = 5i64;
+        let c = -2i64;
+        assert_eq!(a.plus(&i64::zero()), a);
+        assert_eq!(a.times(&i64::one()), a);
+        assert_eq!(a.plus(&b), b.plus(&a));
+        assert_eq!(a.times(&b), b.times(&a));
+        assert_eq!(a.times(&b.plus(&c)), a.times(&b).plus(&a.times(&c)));
+        assert_eq!(a.minus(&a), 0);
+    }
+
+    #[test]
+    fn counting_semiring_u64() {
+        assert_eq!(u64::zero(), 0);
+        assert_eq!(u64::one(), 1);
+        assert_eq!(4u64.plus(&5), 9);
+        assert_eq!(4u64.times(&5), 20);
+        assert!(0u64.is_zero());
+    }
+
+    #[test]
+    fn insert_combines_annotations() {
+        let mut r: AnnotatedRelation<i64> =
+            AnnotatedRelation::new("R", Schema::from_names(["x", "y"]));
+        r.insert(int_row([1, 2]), 3).unwrap();
+        r.insert(int_row([1, 2]), 4).unwrap();
+        r.insert(int_row([2, 2]), 1).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.annotation(&int_row([1, 2])), 7);
+        assert_eq!(r.annotation(&int_row([9, 9])), 0);
+    }
+
+    #[test]
+    fn zero_annotations_are_dropped() {
+        let mut r: AnnotatedRelation<i64> = AnnotatedRelation::new("R", Schema::from_names(["x"]));
+        r.combine(int_row([1]), 5);
+        r.combine(int_row([1]), -5);
+        assert!(r.is_empty());
+        r.combine(int_row([2]), 0);
+        assert!(!r.contains(&int_row([2])));
+    }
+
+    #[test]
+    fn arity_checked_on_insert() {
+        let mut r: AnnotatedRelation<i64> = AnnotatedRelation::new("R", Schema::from_names(["x"]));
+        assert!(r.insert(int_row([1, 2]), 1).is_err());
+    }
+
+    #[test]
+    fn annotated_projection_sums() {
+        // Figure 3 flavour: project R1(x1,x2) with multiplicities onto x2.
+        let r = BagRelation::from_int_rows_with_counts(
+            "R1",
+            &["x1", "x2"],
+            vec![(vec![1, 10], 1), (vec![2, 10], 2), (vec![3, 20], 5)],
+        );
+        let p = r.project(&[Attr::new("x2")]).unwrap();
+        assert_eq!(p.annotation(&int_row([10])), 3);
+        assert_eq!(p.annotation(&int_row([20])), 5);
+        assert_eq!(p.total_multiplicity(), 8);
+    }
+
+    #[test]
+    fn from_relation_counts_duplicates() {
+        let rel = Relation::from_int_rows("R", &["a"], vec![vec![1], vec![1], vec![2]]);
+        let bag: BagRelation = AnnotatedRelation::from_relation(&rel);
+        assert_eq!(bag.annotation(&int_row([1])), 2);
+        assert_eq!(bag.annotation(&int_row([2])), 1);
+        let back = bag.to_relation();
+        assert_eq!(back.distinct_count(), 2);
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut r: AnnotatedRelation<i64> = AnnotatedRelation::new("R", Schema::from_names(["x"]));
+        r.set(int_row([1]), 5);
+        r.set(int_row([1]), 2);
+        assert_eq!(r.annotation(&int_row([1])), 2);
+        r.set(int_row([1]), 0);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn sorted_entries_are_deterministic() {
+        let mut r: AnnotatedRelation<i64> = AnnotatedRelation::new("R", Schema::from_names(["x"]));
+        for v in [5, 3, 9, 1] {
+            r.combine(int_row([v]), 1);
+        }
+        let rows: Vec<i64> = r
+            .sorted_entries()
+            .iter()
+            .map(|(row, _)| row.get(0).as_int().unwrap())
+            .collect();
+        assert_eq!(rows, vec![1, 3, 5, 9]);
+    }
+}

@@ -1,0 +1,213 @@
+//! Databases: named collections of relations.
+//!
+//! A [`Database`] is the instance `D` a (difference of) conjunctive query is
+//! evaluated over.  The paper formally gives each input CQ its own instance
+//! (`D₁`, `D₂`); in this implementation a single `Database` can back both queries —
+//! atoms reference stored relations by name.
+
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::Result;
+use crate::StorageError;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A named collection of relation instances.
+#[derive(Clone, Default)]
+pub struct Database {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Register a relation under its own name.
+    ///
+    /// Fails if a relation with the same name already exists.
+    pub fn add(&mut self, relation: Relation) -> Result<()> {
+        let name = relation.name().to_string();
+        if name.is_empty() {
+            return Err(StorageError::UnknownRelation(
+                "cannot register an unnamed relation".into(),
+            ));
+        }
+        if self.relations.contains_key(&name) {
+            return Err(StorageError::DuplicateRelation(name));
+        }
+        self.relations.insert(name, relation);
+        Ok(())
+    }
+
+    /// Register or replace a relation under its own name.
+    pub fn add_or_replace(&mut self, relation: Relation) {
+        self.relations
+            .insert(relation.name().to_string(), relation);
+    }
+
+    /// Look up a relation by name.
+    pub fn get(&self, name: &str) -> Result<&Relation> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
+    }
+
+    /// Look up a relation by name, mutably.
+    pub fn get_mut(&mut self, name: &str) -> Result<&mut Relation> {
+        self.relations
+            .get_mut(name)
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
+    }
+
+    /// `true` iff a relation with this name is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Remove a relation, returning it if present.
+    pub fn remove(&mut self, name: &str) -> Option<Relation> {
+        self.relations.remove(name)
+    }
+
+    /// Number of registered relations.
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Total number of tuples across all relations — the input size `N` of the paper.
+    pub fn input_size(&self) -> usize {
+        self.relations.values().map(|r| r.len()).sum()
+    }
+
+    /// Iterate over `(name, relation)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Relation)> {
+        self.relations.iter()
+    }
+
+    /// Names of all registered relations, in sorted order.
+    pub fn relation_names(&self) -> Vec<String> {
+        self.relations.keys().cloned().collect()
+    }
+
+    /// The schema of a named relation.
+    pub fn schema_of(&self, name: &str) -> Result<&Schema> {
+        Ok(self.get(name)?.schema())
+    }
+
+    /// Estimated heap footprint in bytes (Figure 9 memory accounting).
+    pub fn approx_bytes(&self) -> usize {
+        self.relations.values().map(|r| r.approx_bytes()).sum()
+    }
+
+    /// Merge another database into this one, replacing relations with equal names.
+    pub fn merge(&mut self, other: Database) {
+        for (_, rel) in other.relations {
+            self.add_or_replace(rel);
+        }
+    }
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Database [{} relations, {} tuples]",
+            self.relation_count(),
+            self.input_size()
+        )?;
+        for (name, rel) in &self.relations {
+            writeln!(f, "  {name}{} : {} rows", rel.schema(), rel.len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        db.add(Relation::from_int_rows(
+            "Graph",
+            &["src", "dst"],
+            vec![vec![1, 2], vec![2, 3]],
+        ))
+        .unwrap();
+        db.add(Relation::from_int_rows(
+            "Triple",
+            &["node1", "node2", "node3"],
+            vec![vec![1, 2, 3]],
+        ))
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn add_get_and_sizes() {
+        let db = sample_db();
+        assert_eq!(db.relation_count(), 2);
+        assert_eq!(db.input_size(), 3);
+        assert!(db.contains("Graph"));
+        assert_eq!(db.get("Graph").unwrap().len(), 2);
+        assert!(db.get("Missing").is_err());
+        assert_eq!(db.relation_names(), vec!["Graph".to_string(), "Triple".to_string()]);
+    }
+
+    #[test]
+    fn duplicate_names_rejected_but_replace_allowed() {
+        let mut db = sample_db();
+        let dup = Relation::from_int_rows("Graph", &["src", "dst"], vec![vec![9, 9]]);
+        assert!(matches!(
+            db.add(dup.clone()),
+            Err(StorageError::DuplicateRelation(_))
+        ));
+        db.add_or_replace(dup);
+        assert_eq!(db.get("Graph").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn unnamed_relations_rejected() {
+        let mut db = Database::new();
+        let anon = Relation::empty(Schema::from_names(["a"]));
+        assert!(db.add(anon).is_err());
+    }
+
+    #[test]
+    fn remove_and_mutate() {
+        let mut db = sample_db();
+        db.get_mut("Graph")
+            .unwrap()
+            .insert(crate::row::int_row([3, 1]))
+            .unwrap();
+        assert_eq!(db.get("Graph").unwrap().len(), 3);
+        let removed = db.remove("Triple").unwrap();
+        assert_eq!(removed.name(), "Triple");
+        assert_eq!(db.relation_count(), 1);
+    }
+
+    #[test]
+    fn merge_replaces_and_adds() {
+        let mut db = sample_db();
+        let mut other = Database::new();
+        other
+            .add(Relation::from_int_rows("Graph", &["src", "dst"], vec![vec![7, 7]]))
+            .unwrap();
+        other
+            .add(Relation::from_int_rows("Extra", &["k"], vec![vec![1]]))
+            .unwrap();
+        db.merge(other);
+        assert_eq!(db.get("Graph").unwrap().len(), 1);
+        assert!(db.contains("Extra"));
+        assert_eq!(db.relation_count(), 3);
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let db = sample_db();
+        assert_eq!(db.schema_of("Graph").unwrap().arity(), 2);
+        assert!(db.schema_of("Nope").is_err());
+    }
+}

@@ -1,0 +1,147 @@
+//! Fast, non-cryptographic hashing.
+//!
+//! Hash joins, semi-joins and set differences dominate the running time of every
+//! algorithm in the paper, so the default SipHash hasher of the standard library is
+//! replaced by an FxHash-style multiply-xor hasher (the same family `rustc` uses).
+//! HashDoS resistance is irrelevant for a query engine operating on trusted
+//! in-memory data.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant used by the Fx hash family (64-bit golden-ratio prime).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// An FxHash-style streaming hasher: rotate, xor, multiply per 8-byte word.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_word(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_word(u64::from_le_bytes(buf) ^ (rem.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_word(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_word(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_word(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_word(i as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.add_word(i as u64);
+    }
+}
+
+/// Build-hasher for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the fast Fx hasher.
+pub type FastHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the fast Fx hasher.
+pub type FastHashSet<K> = HashSet<K, FxBuildHasher>;
+
+/// Create an empty [`FastHashMap`] with the given capacity.
+pub fn map_with_capacity<K, V>(cap: usize) -> FastHashMap<K, V> {
+    FastHashMap::with_capacity_and_hasher(cap, FxBuildHasher::default())
+}
+
+/// Create an empty [`FastHashSet`] with the given capacity.
+pub fn set_with_capacity<K>(cap: usize) -> FastHashSet<K> {
+    FastHashSet::with_capacity_and_hasher(cap, FxBuildHasher::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn fx_hash<T: Hash>(t: &T) -> u64 {
+        FxBuildHasher::default().hash_one(t)
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(fx_hash(&(1u64, 2u64)), fx_hash(&(1u64, 2u64)));
+        assert_eq!(fx_hash(&"hello"), fx_hash(&"hello"));
+    }
+
+    #[test]
+    fn different_values_usually_hash_different() {
+        // Not a cryptographic guarantee, but these simple cases must not collide.
+        assert_ne!(fx_hash(&1u64), fx_hash(&2u64));
+        assert_ne!(fx_hash(&"abc"), fx_hash(&"abd"));
+        assert_ne!(fx_hash(&(1u64, 2u64)), fx_hash(&(2u64, 1u64)));
+    }
+
+    #[test]
+    fn distribution_over_small_ints_is_reasonable() {
+        // 10k consecutive integers into 1024 buckets: no bucket should be wildly hot.
+        let mut buckets = vec![0u32; 1024];
+        for i in 0..10_000u64 {
+            buckets[(fx_hash(&i) % 1024) as usize] += 1;
+        }
+        let max = *buckets.iter().max().unwrap();
+        assert!(max < 100, "suspiciously skewed bucket: {max}");
+    }
+
+    #[test]
+    fn map_and_set_helpers_work() {
+        let mut m: FastHashMap<u64, u64> = map_with_capacity(16);
+        m.insert(1, 10);
+        m.insert(2, 20);
+        assert_eq!(m.get(&1), Some(&10));
+        let mut s: FastHashSet<&str> = set_with_capacity(4);
+        s.insert("a");
+        assert!(s.contains("a"));
+        assert!(!s.contains("b"));
+    }
+
+    #[test]
+    fn partial_trailing_bytes_are_hashed() {
+        // Strings that differ only in a trailing partial word must differ.
+        assert_ne!(fx_hash(&"12345678a"), fx_hash(&"12345678b"));
+        assert_ne!(fx_hash(&"12345678"), fx_hash(&"12345678\0"));
+    }
+}

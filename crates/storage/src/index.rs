@@ -1,0 +1,155 @@
+//! Hash indexes over relations.
+//!
+//! Every linear-time building block of the paper — semi-joins, anti-joins, the
+//! difference of base relations, the per-tuple membership probes of the heuristic in
+//! §4.2 — relies on constant-time lookups of tuples by a subset of their attributes.
+//! [`HashIndex`] provides exactly that: a multi-map from key values (a projection of
+//! each row onto the key attributes) to the indices of the matching rows.
+
+use crate::hash::{map_with_capacity, FastHashMap};
+use crate::relation::Relation;
+use crate::row::Row;
+use crate::schema::{Attr, Schema};
+use crate::Result;
+use crate::StorageError;
+
+/// A hash index on a subset of a relation's attributes.
+pub struct HashIndex {
+    key_attrs: Schema,
+    key_positions: Vec<usize>,
+    map: FastHashMap<Row, Vec<usize>>,
+    indexed_rows: usize,
+}
+
+impl HashIndex {
+    /// Build an index over `relation` keyed by `key_attrs`.
+    pub fn build(relation: &Relation, key_attrs: &[Attr]) -> Result<Self> {
+        let key_positions = relation.schema().positions_of(key_attrs).ok_or_else(|| {
+            StorageError::UnknownAttribute {
+                attr: key_attrs
+                    .iter()
+                    .find(|a| !relation.schema().contains(a))
+                    .map(|a| a.name().to_string())
+                    .unwrap_or_default(),
+                schema: relation.schema().clone(),
+            }
+        })?;
+        let mut map: FastHashMap<Row, Vec<usize>> = map_with_capacity(relation.len());
+        for (i, row) in relation.iter().enumerate() {
+            map.entry(row.project(&key_positions)).or_default().push(i);
+        }
+        Ok(HashIndex {
+            key_attrs: Schema::new(key_attrs.to_vec()),
+            key_positions,
+            map,
+            indexed_rows: relation.len(),
+        })
+    }
+
+    /// The key attributes of this index.
+    pub fn key_attrs(&self) -> &Schema {
+        &self.key_attrs
+    }
+
+    /// Positions of the key attributes inside the indexed relation's schema.
+    pub fn key_positions(&self) -> &[usize] {
+        &self.key_positions
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Number of rows that were indexed.
+    pub fn indexed_rows(&self) -> usize {
+        self.indexed_rows
+    }
+
+    /// Row indices matching `key`, or an empty slice.
+    pub fn get(&self, key: &Row) -> &[usize] {
+        self.map.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// `true` iff some row matches `key`.
+    pub fn contains_key(&self, key: &Row) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Look up by projecting `probe_row` (from a relation with `probe_positions`
+    /// pointing at the key attributes) onto the key.
+    pub fn probe<'a>(&'a self, probe_row: &Row, probe_positions: &[usize]) -> &'a [usize] {
+        self.get(&probe_row.project(probe_positions))
+    }
+
+    /// Iterate over `(key, row-indices)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Row, &Vec<usize>)> {
+        self.map.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::int_row;
+
+    fn graph() -> Relation {
+        Relation::from_int_rows(
+            "Graph",
+            &["src", "dst"],
+            vec![vec![1, 2], vec![1, 3], vec![2, 3], vec![3, 1]],
+        )
+    }
+
+    #[test]
+    fn build_and_lookup_single_attr() {
+        let g = graph();
+        let idx = HashIndex::build(&g, &[Attr::new("src")]).unwrap();
+        assert_eq!(idx.distinct_keys(), 3);
+        assert_eq!(idx.indexed_rows(), 4);
+        assert_eq!(idx.get(&int_row([1])).len(), 2);
+        assert_eq!(idx.get(&int_row([2])), &[2]);
+        assert!(idx.get(&int_row([9])).is_empty());
+        assert!(idx.contains_key(&int_row([3])));
+    }
+
+    #[test]
+    fn build_and_lookup_multi_attr() {
+        let g = graph();
+        let idx = HashIndex::build(&g, &[Attr::new("dst"), Attr::new("src")]).unwrap();
+        assert_eq!(idx.key_attrs(), &Schema::from_names(["dst", "src"]));
+        assert_eq!(idx.get(&int_row([2, 1])), &[0]);
+        assert!(idx.get(&int_row([1, 2])).is_empty());
+    }
+
+    #[test]
+    fn empty_key_indexes_all_rows_under_one_key() {
+        let g = graph();
+        let idx = HashIndex::build(&g, &[]).unwrap();
+        assert_eq!(idx.distinct_keys(), 1);
+        assert_eq!(idx.get(&Row::empty()).len(), 4);
+    }
+
+    #[test]
+    fn unknown_attribute_rejected() {
+        let g = graph();
+        assert!(HashIndex::build(&g, &[Attr::new("weight")]).is_err());
+    }
+
+    #[test]
+    fn probe_with_positions() {
+        let g = graph();
+        // Index Graph on src; probe with tuples shaped (a, b, c) where position 2 holds the value to match.
+        let idx = HashIndex::build(&g, &[Attr::new("src")]).unwrap();
+        let probe = int_row([7, 8, 2]);
+        assert_eq!(idx.probe(&probe, &[2]), &[2]);
+    }
+
+    #[test]
+    fn iterate_keys() {
+        let g = graph();
+        let idx = HashIndex::build(&g, &[Attr::new("src")]).unwrap();
+        let total: usize = idx.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, 4);
+    }
+}

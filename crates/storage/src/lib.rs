@@ -1,0 +1,47 @@
+//! # dcq-storage
+//!
+//! In-memory relational storage substrate for **dcqx**, the Rust reproduction of
+//! *Computing the Difference of Conjunctive Queries Efficiently* (Hu & Wang,
+//! SIGMOD 2023).
+//!
+//! The paper's data model (§2.1) is the standard multi-relational database: a set of
+//! attributes `V`, relations `R_e` each defined over a subset of attributes `e ⊆ V`,
+//! and tuples assigning a domain value to every attribute of their relation.  This
+//! crate provides exactly that model, with the pieces every higher layer builds on:
+//!
+//! * [`Value`] — a domain value (64-bit integer, interned string, or null),
+//! * [`Attr`] / [`Schema`] — named attributes and ordered attribute lists,
+//! * [`Row`] — a tuple of values, positionally aligned with a [`Schema`],
+//! * [`Relation`] — a set-semantics relation (schema + distinct rows),
+//! * [`HashIndex`] — hash index on a subset of a relation's attributes,
+//! * [`annotated`] — relations annotated with commutative (semi)ring elements,
+//!   used for aggregation (§5.3) and bag semantics (§5.4),
+//! * [`Database`] — a named collection of relations (one query instance).
+//!
+//! The crate is deliberately free of query logic: acyclicity lives in
+//! `dcq-hypergraph`, operators in `dcq-exec`, and the DCQ algorithms in `dcq-core`.
+
+#![warn(missing_docs)]
+
+pub mod annotated;
+pub mod database;
+pub mod error;
+pub mod hash;
+pub mod index;
+pub mod relation;
+pub mod row;
+pub mod schema;
+pub mod value;
+
+pub use annotated::{AnnotatedRelation, BagRelation, Ring, Semiring};
+pub use database::Database;
+pub use error::StorageError;
+pub use hash::{FastHashMap, FastHashSet};
+pub use index::HashIndex;
+pub use relation::Relation;
+pub use row::Row;
+pub use schema::{Attr, Schema};
+pub use value::Value;
+
+/// Crate-level result alias.
+pub type Result<T> = std::result::Result<T, StorageError>;

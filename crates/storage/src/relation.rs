@@ -1,0 +1,479 @@
+//! Set-semantics relations.
+//!
+//! A [`Relation`] is a named, schema'd collection of [`Row`]s.  The DCQ algorithms of
+//! the paper are defined under set semantics (§2.1), so most operators deduplicate
+//! their outputs; the relation type keeps an internal `distinct` flag so repeated
+//! deduplication is free.
+
+use crate::error::StorageError;
+use crate::hash::{set_with_capacity, FastHashSet};
+use crate::row::Row;
+use crate::schema::{Attr, Schema};
+use crate::value::Value;
+use crate::Result;
+use std::fmt;
+
+/// A relation instance: a schema plus a collection of rows.
+#[derive(Clone)]
+pub struct Relation {
+    name: String,
+    schema: Schema,
+    rows: Vec<Row>,
+    /// `true` when `rows` is known to contain no duplicates.
+    distinct: bool,
+}
+
+impl Relation {
+    /// Create an empty relation with the given name and schema.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Relation {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+            distinct: true,
+        }
+    }
+
+    /// Create an empty relation with an anonymous name.
+    pub fn empty(schema: Schema) -> Self {
+        Relation::new("", schema)
+    }
+
+    /// Create a relation from rows, verifying arity.
+    pub fn from_rows(
+        name: impl Into<String>,
+        schema: Schema,
+        rows: impl IntoIterator<Item = Row>,
+    ) -> Result<Self> {
+        let mut rel = Relation::new(name, schema);
+        for row in rows {
+            rel.insert(row)?;
+        }
+        Ok(rel)
+    }
+
+    /// Create a relation of integer tuples — convenience for graph workloads and tests.
+    pub fn from_int_rows(
+        name: impl Into<String>,
+        attrs: &[&str],
+        rows: impl IntoIterator<Item = Vec<i64>>,
+    ) -> Self {
+        let schema = Schema::from_names(attrs.iter().copied());
+        let mut rel = Relation::new(name, schema);
+        for r in rows {
+            rel.insert(r.into_iter().map(Value::Int).collect())
+                .expect("int row arity");
+        }
+        rel
+    }
+
+    /// The relation's name (may be empty for intermediates).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename the relation.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of stored rows (including duplicates if any).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The stored rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Iterate over the rows.
+    pub fn iter(&self) -> impl Iterator<Item = &Row> {
+        self.rows.iter()
+    }
+
+    /// Insert a row, verifying its arity against the schema.
+    pub fn insert(&mut self, row: Row) -> Result<()> {
+        if row.arity() != self.schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                relation: self.name.clone(),
+                expected: self.schema.arity(),
+                actual: row.arity(),
+            });
+        }
+        self.rows.push(row);
+        self.distinct = false;
+        Ok(())
+    }
+
+    /// Insert a row without arity checking (hot path for operators that construct
+    /// rows from the schema themselves).
+    pub fn push_unchecked(&mut self, row: Row) {
+        debug_assert_eq!(row.arity(), self.schema.arity());
+        self.rows.push(row);
+        self.distinct = false;
+    }
+
+    /// Reserve capacity for additional rows.
+    pub fn reserve(&mut self, additional: usize) {
+        self.rows.reserve(additional);
+    }
+
+    /// Mark the relation as already-distinct (used by operators whose output is
+    /// distinct by construction).
+    pub fn assume_distinct(&mut self) {
+        self.distinct = true;
+    }
+
+    /// `true` if the relation is known to hold no duplicate rows.
+    pub fn is_known_distinct(&self) -> bool {
+        self.distinct
+    }
+
+    /// Remove duplicate rows in place (set semantics).
+    pub fn dedup(&mut self) {
+        if self.distinct {
+            return;
+        }
+        let mut seen: FastHashSet<Row> = set_with_capacity(self.rows.len());
+        self.rows.retain(|r| seen.insert(r.clone()));
+        self.distinct = true;
+    }
+
+    /// A deduplicated copy of this relation.
+    pub fn distinct(&self) -> Relation {
+        let mut r = self.clone();
+        r.dedup();
+        r
+    }
+
+    /// Collect the rows into a hash set.
+    pub fn to_row_set(&self) -> FastHashSet<Row> {
+        let mut set = set_with_capacity(self.rows.len());
+        for r in &self.rows {
+            set.insert(r.clone());
+        }
+        set
+    }
+
+    /// Rows sorted lexicographically — deterministic order for tests and display.
+    pub fn sorted_rows(&self) -> Vec<Row> {
+        let mut rows = self.rows.clone();
+        rows.sort();
+        rows
+    }
+
+    /// Number of *distinct* rows.
+    pub fn distinct_count(&self) -> usize {
+        if self.distinct {
+            self.rows.len()
+        } else {
+            self.to_row_set().len()
+        }
+    }
+
+    /// Project the relation onto `attrs` (with deduplication).
+    ///
+    /// Attributes may be listed in any order; the output schema follows the order of
+    /// `attrs`.
+    pub fn project(&self, attrs: &[Attr]) -> Result<Relation> {
+        let positions = self.schema.positions_of(attrs).ok_or_else(|| {
+            StorageError::UnknownAttribute {
+                attr: attrs
+                    .iter()
+                    .find(|a| !self.schema.contains(a))
+                    .map(|a| a.name().to_string())
+                    .unwrap_or_default(),
+                schema: self.schema.clone(),
+            }
+        })?;
+        let schema = Schema::new(attrs.to_vec());
+        let mut out = Relation::new(format!("π({})", self.name), schema);
+        out.reserve(self.rows.len());
+        let mut seen: FastHashSet<Row> = set_with_capacity(self.rows.len());
+        for row in &self.rows {
+            let p = row.project(&positions);
+            if seen.insert(p.clone()) {
+                out.rows.push(p);
+            }
+        }
+        out.distinct = true;
+        Ok(out)
+    }
+
+    /// Keep only rows satisfying the predicate (σ).
+    pub fn filter<F: FnMut(&Row) -> bool>(&self, mut pred: F) -> Relation {
+        let mut out = Relation::new(format!("σ({})", self.name), self.schema.clone());
+        out.rows = self.rows.iter().filter(|r| pred(r)).cloned().collect();
+        out.distinct = self.distinct;
+        out
+    }
+
+    /// `true` iff the relation contains `row` (linear scan; build a
+    /// [`HashIndex`](crate::HashIndex) for repeated probes).
+    pub fn contains_row(&self, row: &Row) -> bool {
+        self.rows.iter().any(|r| r == row)
+    }
+
+    /// Re-label the schema of this relation (same arity, new attribute names).
+    ///
+    /// This is how a stored relation `Graph(src, dst)` becomes the query atom
+    /// `Graph(node1, node2)`: values are untouched, only the attribute names change.
+    pub fn with_schema(&self, schema: Schema) -> Result<Relation> {
+        if schema.arity() != self.schema.arity() {
+            return Err(StorageError::SchemaMismatch {
+                left: self.schema.clone(),
+                right: schema,
+                operation: "with_schema",
+            });
+        }
+        Ok(Relation {
+            name: self.name.clone(),
+            schema,
+            rows: self.rows.clone(),
+            distinct: self.distinct,
+        })
+    }
+
+    /// Reorder columns so that the relation's schema becomes exactly `target`
+    /// (which must contain the same attribute set).
+    pub fn reorder_to(&self, target: &Schema) -> Result<Relation> {
+        if !self.schema.same_attr_set(target) {
+            return Err(StorageError::SchemaMismatch {
+                left: self.schema.clone(),
+                right: target.clone(),
+                operation: "reorder_to",
+            });
+        }
+        let positions = self
+            .schema
+            .positions_of(target.attrs())
+            .expect("same attr set implies positions exist");
+        let mut out = Relation::new(self.name.clone(), target.clone());
+        out.rows = self.rows.iter().map(|r| r.project(&positions)).collect();
+        out.distinct = self.distinct;
+        Ok(out)
+    }
+
+    /// Set difference `self − other` (schemas must have the same attribute set;
+    /// `other` is reordered if needed).  Output is distinct.
+    pub fn minus(&self, other: &Relation) -> Result<Relation> {
+        let other = if other.schema == self.schema {
+            other.clone()
+        } else {
+            other.reorder_to(&self.schema)?
+        };
+        let right = other.to_row_set();
+        let mut out = Relation::new(format!("({})−({})", self.name, other.name), self.schema.clone());
+        let mut seen: FastHashSet<Row> = set_with_capacity(self.rows.len());
+        for r in &self.rows {
+            if !right.contains(r) && seen.insert(r.clone()) {
+                out.rows.push(r.clone());
+            }
+        }
+        out.distinct = true;
+        Ok(out)
+    }
+
+    /// Set union (distinct) of two relations over the same attribute set.
+    pub fn union_set(&self, other: &Relation) -> Result<Relation> {
+        let other = if other.schema == self.schema {
+            other.clone()
+        } else {
+            other.reorder_to(&self.schema)?
+        };
+        let mut out = Relation::new(format!("({})∪({})", self.name, other.name), self.schema.clone());
+        let mut seen: FastHashSet<Row> = set_with_capacity(self.rows.len() + other.rows.len());
+        for r in self.rows.iter().chain(other.rows.iter()) {
+            if seen.insert(r.clone()) {
+                out.rows.push(r.clone());
+            }
+        }
+        out.distinct = true;
+        Ok(out)
+    }
+
+    /// Set intersection of two relations over the same attribute set.
+    pub fn intersect_set(&self, other: &Relation) -> Result<Relation> {
+        let other = if other.schema == self.schema {
+            other.clone()
+        } else {
+            other.reorder_to(&self.schema)?
+        };
+        let right = other.to_row_set();
+        let mut out = Relation::new(format!("({})∩({})", self.name, other.name), self.schema.clone());
+        let mut seen: FastHashSet<Row> = set_with_capacity(self.rows.len());
+        for r in &self.rows {
+            if right.contains(r) && seen.insert(r.clone()) {
+                out.rows.push(r.clone());
+            }
+        }
+        out.distinct = true;
+        Ok(out)
+    }
+
+    /// Estimated heap footprint in bytes (used by the Figure 9 memory experiment).
+    pub fn approx_bytes(&self) -> usize {
+        let mut bytes = std::mem::size_of::<Relation>();
+        bytes += self.rows.capacity() * std::mem::size_of::<Row>();
+        for row in &self.rows {
+            bytes += row.arity() * std::mem::size_of::<Value>();
+            for v in row.iter() {
+                if let Value::Str(s) = v {
+                    bytes += s.len();
+                }
+            }
+        }
+        bytes
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}{} [{} rows]", self.name, self.schema, self.rows.len())?;
+        for row in self.rows.iter().take(20) {
+            writeln!(f, "  {row}")?;
+        }
+        if self.rows.len() > 20 {
+            writeln!(f, "  … ({} more)", self.rows.len() - 20)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::int_row;
+
+    fn graph() -> Relation {
+        Relation::from_int_rows(
+            "Graph",
+            &["src", "dst"],
+            vec![vec![1, 2], vec![2, 3], vec![1, 2], vec![3, 1]],
+        )
+    }
+
+    #[test]
+    fn insert_checks_arity() {
+        let mut r = Relation::new("R", Schema::from_names(["a", "b"]));
+        assert!(r.insert(int_row([1, 2])).is_ok());
+        let err = r.insert(int_row([1, 2, 3])).unwrap_err();
+        assert!(matches!(err, StorageError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn dedup_and_distinct_count() {
+        let mut g = graph();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.distinct_count(), 3);
+        g.dedup();
+        assert_eq!(g.len(), 3);
+        assert!(g.is_known_distinct());
+        // A second dedup is a no-op.
+        g.dedup();
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn projection_dedups_and_reorders() {
+        let g = graph();
+        let p = g.project(&[Attr::new("dst")]).unwrap();
+        assert_eq!(p.schema(), &Schema::from_names(["dst"]));
+        assert_eq!(p.sorted_rows(), vec![int_row([1]), int_row([2]), int_row([3])]);
+
+        let swapped = g.project(&[Attr::new("dst"), Attr::new("src")]).unwrap();
+        assert!(swapped.rows().contains(&int_row([2, 1])));
+    }
+
+    #[test]
+    fn projection_unknown_attribute_errors() {
+        let g = graph();
+        assert!(matches!(
+            g.project(&[Attr::new("missing")]),
+            Err(StorageError::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn filter_preserves_schema() {
+        let g = graph();
+        let f = g.filter(|r| r.get(0) == &Value::int(1));
+        assert_eq!(f.schema(), g.schema());
+        assert_eq!(f.distinct_count(), 1);
+    }
+
+    #[test]
+    fn set_difference_union_intersection() {
+        let a = Relation::from_int_rows("A", &["x", "y"], vec![vec![1, 1], vec![1, 2], vec![2, 2]]);
+        let b = Relation::from_int_rows("B", &["x", "y"], vec![vec![1, 2], vec![3, 3]]);
+        let d = a.minus(&b).unwrap();
+        assert_eq!(d.sorted_rows(), vec![int_row([1, 1]), int_row([2, 2])]);
+        let u = a.union_set(&b).unwrap();
+        assert_eq!(u.distinct_count(), 4);
+        let i = a.intersect_set(&b).unwrap();
+        assert_eq!(i.sorted_rows(), vec![int_row([1, 2])]);
+    }
+
+    #[test]
+    fn set_ops_align_column_order() {
+        let a = Relation::from_int_rows("A", &["x", "y"], vec![vec![1, 2]]);
+        let b = Relation::from_int_rows("B", &["y", "x"], vec![vec![2, 1]]);
+        // (1,2) in (x,y) equals (2,1) in (y,x): difference must be empty.
+        assert!(a.minus(&b).unwrap().is_empty());
+        assert_eq!(a.intersect_set(&b).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn set_ops_reject_different_attr_sets() {
+        let a = Relation::from_int_rows("A", &["x", "y"], vec![vec![1, 2]]);
+        let b = Relation::from_int_rows("B", &["x", "z"], vec![vec![1, 2]]);
+        assert!(a.minus(&b).is_err());
+    }
+
+    #[test]
+    fn with_schema_relabels() {
+        let g = graph();
+        let relabeled = g
+            .with_schema(Schema::from_names(["node1", "node2"]))
+            .unwrap();
+        assert_eq!(relabeled.schema(), &Schema::from_names(["node1", "node2"]));
+        assert_eq!(relabeled.len(), g.len());
+        assert!(g.with_schema(Schema::from_names(["only_one"])).is_err());
+    }
+
+    #[test]
+    fn reorder_to_permutes_values() {
+        let g = graph().distinct();
+        let r = g.reorder_to(&Schema::from_names(["dst", "src"])).unwrap();
+        assert!(r.rows().contains(&int_row([2, 1])));
+        assert!(r.rows().contains(&int_row([3, 2])));
+    }
+
+    #[test]
+    fn nullary_relations() {
+        let mut t = Relation::new("T", Schema::from_names(Vec::<String>::new()));
+        assert!(t.is_empty());
+        t.insert(Row::empty()).unwrap();
+        t.insert(Row::empty()).unwrap();
+        t.dedup();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_rows() {
+        let small = Relation::from_int_rows("S", &["a"], vec![vec![1]]);
+        let large = Relation::from_int_rows("L", &["a"], (0..1000).map(|i| vec![i]).collect::<Vec<_>>());
+        assert!(large.approx_bytes() > small.approx_bytes());
+    }
+}

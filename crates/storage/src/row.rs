@@ -1,0 +1,171 @@
+//! Rows (tuples).
+//!
+//! A [`Row`] is a tuple of [`Value`]s laid out positionally according to the
+//! [`Schema`](crate::Schema) of the relation that owns it.  Rows are the unit of
+//! hashing in every join/difference operator, so the representation is a plain
+//! boxed slice with derived `Hash`/`Eq`.
+
+use crate::value::Value;
+use std::fmt;
+
+/// A tuple of values.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Row {
+    values: Box<[Value]>,
+}
+
+impl Row {
+    /// Build a row from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row {
+            values: values.into_boxed_slice(),
+        }
+    }
+
+    /// The empty (nullary) row — the single tuple of a Boolean relation.
+    pub fn empty() -> Self {
+        Row { values: Box::new([]) }
+    }
+
+    /// Number of values in the row.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The values, in positional order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// The value at position `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn get(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    /// Project the row onto the given positions (`π` at tuple granularity).
+    pub fn project(&self, positions: &[usize]) -> Row {
+        Row::new(positions.iter().map(|&i| self.values[i].clone()).collect())
+    }
+
+    /// Concatenate this row with another (used when joining two tuples).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut values = Vec::with_capacity(self.arity() + other.arity());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Row::new(values)
+    }
+
+    /// Concatenate this row with selected positions of another row.
+    pub fn concat_projected(&self, other: &Row, positions: &[usize]) -> Row {
+        let mut values = Vec::with_capacity(self.arity() + positions.len());
+        values.extend_from_slice(&self.values);
+        for &i in positions {
+            values.push(other.values[i].clone());
+        }
+        Row::new(values)
+    }
+
+    /// Iterate over the values.
+    pub fn iter(&self) -> impl Iterator<Item = &Value> {
+        self.values.iter()
+    }
+}
+
+impl fmt::Debug for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row::new(values)
+    }
+}
+
+impl FromIterator<Value> for Row {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Row::new(iter.into_iter().collect())
+    }
+}
+
+/// Build a row of integers — the common case for the graph workloads of §6.2.
+pub fn int_row(values: impl IntoIterator<Item = i64>) -> Row {
+    values.into_iter().map(Value::Int).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let r = int_row([1, 2, 3]);
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r.get(1), &Value::int(2));
+        assert_eq!(r.values().len(), 3);
+    }
+
+    #[test]
+    fn empty_row() {
+        let r = Row::empty();
+        assert_eq!(r.arity(), 0);
+        assert_eq!(r, Row::new(vec![]));
+    }
+
+    #[test]
+    fn projection_reorders_and_duplicates() {
+        let r = int_row([10, 20, 30]);
+        assert_eq!(r.project(&[2, 0]), int_row([30, 10]));
+        assert_eq!(r.project(&[1, 1]), int_row([20, 20]));
+        assert_eq!(r.project(&[]), Row::empty());
+    }
+
+    #[test]
+    fn concat_and_concat_projected() {
+        let a = int_row([1, 2]);
+        let b = int_row([3, 4, 5]);
+        assert_eq!(a.concat(&b), int_row([1, 2, 3, 4, 5]));
+        assert_eq!(a.concat_projected(&b, &[2, 0]), int_row([1, 2, 5, 3]));
+    }
+
+    #[test]
+    fn equality_and_hash_semantics() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(int_row([1, 2]));
+        set.insert(int_row([1, 2]));
+        set.insert(int_row([2, 1]));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", int_row([7, 8])), "(7, 8)");
+        let r = Row::new(vec![Value::str("a"), Value::Null]);
+        assert_eq!(format!("{r}"), "(a, NULL)");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut rows = vec![int_row([2, 1]), int_row([1, 9]), int_row([1, 2])];
+        rows.sort();
+        assert_eq!(rows, vec![int_row([1, 2]), int_row([1, 9]), int_row([2, 1])]);
+    }
+}

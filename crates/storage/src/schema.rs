@@ -1,0 +1,268 @@
+//! Attributes and schemas.
+//!
+//! The paper describes every relation `R_e` by the subset of attributes `e ⊆ V` it is
+//! defined on.  An [`Attr`] is a named attribute (a variable such as `x1`, `node2`,
+//! `ps_suppkey`); a [`Schema`] is an *ordered* list of distinct attributes giving the
+//! positional layout of the rows stored in a [`crate::Relation`].
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A named attribute (query variable / column name).
+///
+/// Attributes are interned behind an `Arc<str>` so cloning them — which happens
+/// constantly while manipulating schemas — never allocates.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Attr(Arc<str>);
+
+impl Attr {
+    /// Create an attribute with the given name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Attr(Arc::from(name.as_ref()))
+    }
+
+    /// The attribute's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Attr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Attr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Attr {
+    fn from(s: &str) -> Self {
+        Attr::new(s)
+    }
+}
+
+impl From<String> for Attr {
+    fn from(s: String) -> Self {
+        Attr::new(s)
+    }
+}
+
+/// An ordered list of distinct attributes: the layout of a relation's rows.
+///
+/// Schemas are tiny (query size is a constant in data complexity, §2.1), so lookups
+/// are linear scans; this keeps the type allocation-free beyond the single `Vec`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Schema {
+    attrs: Vec<Attr>,
+}
+
+impl Schema {
+    /// Build a schema from attributes.
+    ///
+    /// # Panics
+    /// Panics if the attribute list contains duplicates — the paper assumes every
+    /// relation is defined on a *set* of attributes.
+    pub fn new(attrs: Vec<Attr>) -> Self {
+        for (i, a) in attrs.iter().enumerate() {
+            assert!(
+                !attrs[..i].contains(a),
+                "duplicate attribute `{a}` in schema"
+            );
+        }
+        Schema { attrs }
+    }
+
+    /// Convenience constructor from string-like names.
+    pub fn from_names<S: AsRef<str>>(names: impl IntoIterator<Item = S>) -> Self {
+        Schema::new(names.into_iter().map(|n| Attr::new(n.as_ref())).collect())
+    }
+
+    /// Number of attributes (the relation's arity).
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// `true` iff the schema has no attributes (nullary / Boolean relation).
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// The attributes, in positional order.
+    pub fn attrs(&self) -> &[Attr] {
+        &self.attrs
+    }
+
+    /// Position of `attr` in this schema, if present.
+    pub fn position(&self, attr: &Attr) -> Option<usize> {
+        self.attrs.iter().position(|a| a == attr)
+    }
+
+    /// `true` iff `attr` belongs to this schema.
+    pub fn contains(&self, attr: &Attr) -> bool {
+        self.attrs.contains(attr)
+    }
+
+    /// `true` iff every attribute of `other` belongs to this schema.
+    pub fn contains_all(&self, other: &Schema) -> bool {
+        other.attrs.iter().all(|a| self.contains(a))
+    }
+
+    /// Positions of the given attributes inside this schema.
+    ///
+    /// Returns `None` if any attribute is missing.
+    pub fn positions_of(&self, attrs: &[Attr]) -> Option<Vec<usize>> {
+        attrs.iter().map(|a| self.position(a)).collect()
+    }
+
+    /// The (order-preserving, deduplicated) intersection with another schema.
+    pub fn intersect(&self, other: &Schema) -> Schema {
+        Schema {
+            attrs: self
+                .attrs
+                .iter()
+                .filter(|a| other.contains(a))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// The union with another schema: this schema's attributes followed by the
+    /// attributes of `other` not already present.
+    pub fn union(&self, other: &Schema) -> Schema {
+        let mut attrs = self.attrs.clone();
+        for a in &other.attrs {
+            if !attrs.contains(a) {
+                attrs.push(a.clone());
+            }
+        }
+        Schema { attrs }
+    }
+
+    /// Attributes of this schema that do **not** occur in `other`.
+    pub fn minus(&self, other: &Schema) -> Schema {
+        Schema {
+            attrs: self
+                .attrs
+                .iter()
+                .filter(|a| !other.contains(a))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// `true` iff the two schemas contain the same attributes (any order).
+    pub fn same_attr_set(&self, other: &Schema) -> bool {
+        self.arity() == other.arity() && self.contains_all(other)
+    }
+
+    /// Iterate over the attributes.
+    pub fn iter(&self) -> impl Iterator<Item = &Attr> {
+        self.attrs.iter()
+    }
+}
+
+impl fmt::Debug for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl FromIterator<Attr> for Schema {
+    fn from_iter<T: IntoIterator<Item = Attr>>(iter: T) -> Self {
+        Schema::new(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a Schema {
+    type Item = &'a Attr;
+    type IntoIter = std::slice::Iter<'a, Attr>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.attrs.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Schema {
+        Schema::from_names(["a", "b", "c"])
+    }
+
+    #[test]
+    fn attr_interning_and_display() {
+        let a = Attr::new("x1");
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a.name(), "x1");
+        assert_eq!(format!("{a}"), "x1");
+    }
+
+    #[test]
+    fn schema_basic_accessors() {
+        let s = abc();
+        assert_eq!(s.arity(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.position(&Attr::new("b")), Some(1));
+        assert_eq!(s.position(&Attr::new("z")), None);
+        assert!(s.contains(&Attr::new("c")));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn duplicate_attributes_rejected() {
+        Schema::from_names(["a", "b", "a"]);
+    }
+
+    #[test]
+    fn positions_of_handles_missing() {
+        let s = abc();
+        assert_eq!(
+            s.positions_of(&[Attr::new("c"), Attr::new("a")]),
+            Some(vec![2, 0])
+        );
+        assert_eq!(s.positions_of(&[Attr::new("q")]), None);
+    }
+
+    #[test]
+    fn set_operations() {
+        let s = abc();
+        let t = Schema::from_names(["b", "c", "d"]);
+        assert_eq!(s.intersect(&t), Schema::from_names(["b", "c"]));
+        assert_eq!(s.union(&t), Schema::from_names(["a", "b", "c", "d"]));
+        assert_eq!(s.minus(&t), Schema::from_names(["a"]));
+        assert!(s.union(&t).contains_all(&s));
+        assert!(!s.same_attr_set(&t));
+        assert!(s.same_attr_set(&Schema::from_names(["c", "b", "a"])));
+    }
+
+    #[test]
+    fn empty_schema_is_allowed() {
+        let e = Schema::from_names(Vec::<String>::new());
+        assert!(e.is_empty());
+        assert_eq!(e.arity(), 0);
+        assert!(abc().contains_all(&e));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(format!("{}", abc()), "(a, b, c)");
+    }
+}

@@ -1,0 +1,188 @@
+//! Domain values.
+//!
+//! The paper treats every attribute domain abstractly (`dom(x)`); the experiments in
+//! §6 use integer node identifiers (graph queries) and string/integer columns
+//! (TPC-H/TPC-DS).  [`Value`] therefore supports 64-bit integers, cheaply clonable
+//! interned strings, and an explicit null used only by outer operators.
+
+use std::borrow::Cow;
+use std::fmt;
+use std::sync::Arc;
+
+/// A single domain value stored in a tuple.
+///
+/// `Value` is totally ordered (ints < strings < null) so that relations can be
+/// sorted deterministically, and hashable so hash joins / indexes work on any
+/// attribute combination.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// 64-bit signed integer (node ids, keys, counts, scale columns).
+    Int(i64),
+    /// Immutable string; `Arc` so cloning a tuple never re-allocates the bytes.
+    Str(Arc<str>),
+    /// Explicit null. Only produced by outer-join style operators and never by the
+    /// conjunctive-query evaluators themselves.
+    Null,
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Construct an integer value.
+    pub const fn int(v: i64) -> Self {
+        Value::Int(v)
+    }
+
+    /// Return the integer payload, if this value is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Return the string payload, if this value is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `true` iff this value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Render the value the way the paper renders constants (`a1`, `17`, `NULL`).
+    pub fn render(&self) -> Cow<'_, str> {
+        match self {
+            Value::Int(v) => Cow::Owned(v.to_string()),
+            Value::Str(s) => Cow::Borrowed(s),
+            Value::Null => Cow::Borrowed("NULL"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of<T: Hash>(t: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        t.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn int_roundtrip() {
+        let v = Value::int(42);
+        assert_eq!(v.as_int(), Some(42));
+        assert_eq!(v.as_str(), None);
+        assert!(!v.is_null());
+        assert_eq!(v.to_string(), "42");
+    }
+
+    #[test]
+    fn str_roundtrip() {
+        let v = Value::str("Brand#45");
+        assert_eq!(v.as_str(), Some("Brand#45"));
+        assert_eq!(v.as_int(), None);
+        assert_eq!(v.to_string(), "Brand#45");
+    }
+
+    #[test]
+    fn null_display_and_predicates() {
+        let v = Value::Null;
+        assert!(v.is_null());
+        assert_eq!(v.to_string(), "NULL");
+    }
+
+    #[test]
+    fn equality_distinguishes_variants() {
+        assert_ne!(Value::int(1), Value::str("1"));
+        assert_ne!(Value::Null, Value::int(0));
+        assert_eq!(Value::str("a"), Value::str("a"));
+    }
+
+    #[test]
+    fn ordering_is_total_and_stable() {
+        let mut vs = vec![Value::Null, Value::str("b"), Value::int(3), Value::int(-1), Value::str("a")];
+        vs.sort();
+        assert_eq!(
+            vs,
+            vec![Value::int(-1), Value::int(3), Value::str("a"), Value::str("b"), Value::Null]
+        );
+    }
+
+    #[test]
+    fn hashing_consistent_with_equality() {
+        assert_eq!(hash_of(&Value::str("xyz")), hash_of(&Value::str("xyz")));
+        assert_eq!(hash_of(&Value::int(7)), hash_of(&Value::int(7)));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(5i64), Value::int(5));
+        assert_eq!(Value::from(5u32), Value::int(5));
+        assert_eq!(Value::from("x"), Value::str("x"));
+        assert_eq!(Value::from(String::from("x")), Value::str("x"));
+    }
+
+    #[test]
+    fn string_clone_is_cheap_and_shared() {
+        let a = Value::str("shared-backing-storage");
+        let b = a.clone();
+        match (&a, &b) {
+            (Value::Str(x), Value::Str(y)) => assert!(Arc::ptr_eq(x, y)),
+            _ => panic!("expected strings"),
+        }
+    }
+}

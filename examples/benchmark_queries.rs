@@ -1,0 +1,39 @@
+//! The benchmark-query half of Figure 5: TPC-H Q16-like and TPC-DS Q35/Q69-like
+//! workloads at several scale factors, original vs rewritten plans.
+//!
+//! ```text
+//! cargo run --release -p dcqx-examples --bin benchmark_queries
+//! ```
+
+use dcq_core::baseline::CqStrategy;
+use dcq_core::multi::{multi_dcq_naive, multi_dcq_recursive};
+use dcq_datagen::{tpcds_q35_workload, tpcds_q69_workload, tpch_q16_workload, BenchmarkWorkload};
+use dcqx_examples::{header, secs, timed};
+
+fn run(workload: &BenchmarkWorkload) {
+    let (fast, t_fast) = timed(|| multi_dcq_recursive(&workload.multi, &workload.db).unwrap());
+    let (slow, t_slow) =
+        timed(|| multi_dcq_naive(&workload.multi, &workload.db, CqStrategy::Vanilla).unwrap());
+    assert_eq!(fast.sorted_rows(), slow.sorted_rows());
+    println!(
+        "{:<11} sf={:<3} N={:>9} OUT={:>7}  original={:>9}  optimized={:>9}",
+        workload.name,
+        workload.scale_factor,
+        workload.input_size(),
+        fast.len(),
+        secs(t_slow),
+        secs(t_fast),
+    );
+}
+
+fn main() {
+    header("Figure 5 (benchmark queries, synthetic TPC slices)");
+    println!("As in the paper, the PK-FK joins keep OUT1 ≈ OUT2 ≈ OUT ≪ N, so the");
+    println!("optimized plans bring little or no improvement on these queries.");
+    println!();
+    for sf in [1usize, 2, 4] {
+        run(&tpch_q16_workload(sf));
+        run(&tpcds_q35_workload(sf));
+        run(&tpcds_q69_workload(sf));
+    }
+}

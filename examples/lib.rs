@@ -1,0 +1,21 @@
+//! Shared helpers for the dcqx example binaries.
+
+use std::time::{Duration, Instant};
+
+/// Run a closure and return its result together with the elapsed wall-clock time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+/// Render a duration in seconds with millisecond precision.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}s", d.as_secs_f64())
+}
+
+/// Print a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("==== {title} ====");
+}

@@ -1,0 +1,89 @@
+//! The synthetic benchmark workloads (TPC-H Q16-like, TPC-DS Q35/Q69-like): the
+//! rewritten plans must match the naive plans, and the generated data must exhibit
+//! the paper's `OUT₁ ≈ OUT₂ ≈ OUT ≪ N` regime that explains why the optimized
+//! queries barely help there.
+
+use dcq_core::aggregate::{numerical_difference_aggregate, AnnotatedDatabase};
+use dcq_core::baseline::{baseline_dcq_with_stats, CqStrategy};
+use dcq_core::multi::{multi_dcq_naive, multi_dcq_recursive};
+use dcq_datagen::{tpcds_q35_workload, tpcds_q69_workload, tpch_q16_workload};
+use dcq_storage::Attr;
+
+#[test]
+fn all_benchmark_workloads_agree_between_plans() {
+    for workload in [
+        tpch_q16_workload(1),
+        tpcds_q35_workload(1),
+        tpcds_q69_workload(1),
+    ] {
+        let fast = multi_dcq_recursive(&workload.multi, &workload.db).unwrap();
+        let slow = multi_dcq_naive(&workload.multi, &workload.db, CqStrategy::Vanilla).unwrap();
+        assert_eq!(fast.sorted_rows(), slow.sorted_rows(), "{}", workload.name);
+    }
+}
+
+#[test]
+fn q16_exhibits_small_output_regime() {
+    let workload = tpch_q16_workload(2);
+    let dcq = workload.as_dcq().expect("Q16 has a single negative CQ");
+    let (_, stats) = baseline_dcq_with_stats(&dcq, &workload.db, CqStrategy::Vanilla).unwrap();
+    let n = workload.input_size();
+    // OUT1, OUT2 and OUT are all far below the input size N (PK-FK joins).
+    assert!(stats.out1 * 4 < n, "OUT1 = {} vs N = {n}", stats.out1);
+    assert!(stats.out2 * 4 < n, "OUT2 = {} vs N = {n}", stats.out2);
+    assert!(stats.out <= stats.out1);
+    assert!(stats.out > 0);
+}
+
+#[test]
+fn q69_requires_store_activity() {
+    let workload = tpcds_q69_workload(1);
+    let result = multi_dcq_recursive(&workload.multi, &workload.db).unwrap();
+    let store: std::collections::HashSet<i64> = workload
+        .db
+        .get("StoreSalesCust")
+        .unwrap()
+        .iter()
+        .map(|r| r.get(0).as_int().unwrap())
+        .collect();
+    let web: std::collections::HashSet<i64> = workload
+        .db
+        .get("WebSalesCust")
+        .unwrap()
+        .iter()
+        .map(|r| r.get(0).as_int().unwrap())
+        .collect();
+    for row in result.iter() {
+        let c = row.get(0).as_int().unwrap();
+        assert!(store.contains(&c), "customer {c} has no store activity");
+        assert!(!web.contains(&c), "customer {c} has web activity");
+    }
+}
+
+#[test]
+fn q16_count_aggregate_via_numerical_difference() {
+    // TPC-H Q16 ultimately counts suppliers per part group; Example 5.3 notes the
+    // query is a special case of the numerical-difference aggregation.
+    let workload = tpch_q16_workload(1);
+    let dcq = workload.as_dcq().unwrap();
+    let adb: AnnotatedDatabase<i64> = AnnotatedDatabase::from_database(&workload.db);
+    let agg = numerical_difference_aggregate(&dcq, &adb, &[Attr::new("pk")]).unwrap();
+    // Every count is the number of (good minus bad) suppliers of the part: positive
+    // or negative but bounded by the 4 suppliers per part the generator creates.
+    for (_, w) in agg.iter() {
+        assert!(w.abs() <= 4, "unexpected per-part supplier count {w}");
+    }
+    assert!(!agg.is_empty());
+}
+
+#[test]
+fn scale_factor_grows_inputs_but_not_selectivities() {
+    let small = tpcds_q35_workload(1);
+    let large = tpcds_q35_workload(3);
+    assert!(large.input_size() > 2 * small.input_size());
+    let small_out = multi_dcq_recursive(&small.multi, &small.db).unwrap().len();
+    let large_out = multi_dcq_recursive(&large.multi, &large.db).unwrap().len();
+    // The output grows roughly with the input (same selectivities), staying ≪ N.
+    assert!(large_out > small_out);
+    assert!(large_out < large.input_size());
+}

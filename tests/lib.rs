@@ -1,0 +1,52 @@
+//! Shared helpers for the dcqx cross-crate integration tests.
+
+use dcq_storage::{Database, Relation};
+
+/// Build a small deterministic database with the `Graph` / `Triple` / `Edge` / `Node`
+/// relations used across the integration tests.
+pub fn small_graph_db() -> Database {
+    let mut db = Database::new();
+    db.add(Relation::from_int_rows(
+        "Graph",
+        &["src", "dst"],
+        vec![
+            vec![1, 2],
+            vec![2, 3],
+            vec![3, 1],
+            vec![3, 4],
+            vec![4, 5],
+            vec![5, 3],
+            vec![2, 4],
+            vec![4, 1],
+            vec![5, 6],
+            vec![6, 4],
+        ],
+    ))
+    .unwrap();
+    db.add(Relation::from_int_rows(
+        "Triple",
+        &["node1", "node2", "node3"],
+        vec![
+            vec![1, 2, 3],
+            vec![2, 3, 1],
+            vec![3, 4, 5],
+            vec![1, 2, 4],
+            vec![4, 5, 6],
+            vec![9, 9, 9],
+        ],
+    ))
+    .unwrap();
+    db.add(Relation::from_int_rows(
+        "Edge",
+        &["src", "dst"],
+        vec![vec![1, 3], vec![2, 4], vec![3, 5], vec![9, 9]],
+    ))
+    .unwrap();
+    db.add(Relation::from_int_rows(
+        "Node",
+        &["id"],
+        (1..=6).map(|i| vec![i]).collect::<Vec<_>>(),
+    ))
+    .unwrap();
+    db
+}

@@ -1,0 +1,131 @@
+//! End-to-end runs of the paper's graph queries Q_G1…Q_G6 on generated datasets:
+//! the optimized plan chosen by the dichotomy must always produce exactly the same
+//! result as the vanilla baseline plan.
+
+use dcq_core::baseline::{baseline_dcq_with_stats, CqStrategy};
+use dcq_core::planner::DcqPlanner;
+use dcq_datagen::datasets::build_dataset;
+use dcq_datagen::{graph_queries, Graph, GraphQueryId, TripleRuleMix};
+
+fn dataset(seed: u64, edges: usize) -> dcq_datagen::GraphDataset {
+    build_dataset(
+        "integration",
+        Graph::preferential_attachment((edges / 4) as u64, 4, seed),
+        0.5,
+        TripleRuleMix::balanced(),
+        seed ^ 0xBEEF,
+    )
+}
+
+#[test]
+fn graph_queries_agree_between_plans_on_uniform_graph() {
+    let data = build_dataset(
+        "uniform",
+        Graph::uniform(150, 900, 11),
+        0.5,
+        TripleRuleMix::balanced(),
+        13,
+    );
+    let planner = DcqPlanner::smart();
+    for (id, dcq) in graph_queries() {
+        let (baseline, stats) =
+            baseline_dcq_with_stats(&dcq, &data.db, CqStrategy::Vanilla).unwrap();
+        let optimized = planner.execute(&dcq, &data.db).unwrap();
+        assert_eq!(
+            optimized.sorted_rows(),
+            baseline.sorted_rows(),
+            "{} differs between plans",
+            id.name()
+        );
+        assert_eq!(stats.out, optimized.len());
+    }
+}
+
+#[test]
+fn graph_queries_agree_between_plans_on_skewed_graph() {
+    let data = dataset(21, 1200);
+    let planner = DcqPlanner::smart();
+    for (id, dcq) in graph_queries() {
+        // Keep the Cartesian-product query to a size this test can afford.
+        if id == GraphQueryId::QG6 && data.stats.edges > 2_000 {
+            continue;
+        }
+        let (baseline, _) = baseline_dcq_with_stats(&dcq, &data.db, CqStrategy::Vanilla).unwrap();
+        let optimized = planner.execute(&dcq, &data.db).unwrap();
+        assert_eq!(
+            optimized.sorted_rows(),
+            baseline.sorted_rows(),
+            "{} differs between plans",
+            id.name()
+        );
+    }
+}
+
+#[test]
+fn qg1_results_are_edges_without_outgoing_continuation() {
+    // Semantic spot-check of Q_G1: an edge (a, b) is in the answer iff b has no
+    // outgoing edge.
+    let data = dataset(33, 800);
+    let planner = DcqPlanner::smart();
+    let dcq = dcq_datagen::graph_query(GraphQueryId::QG1);
+    let result = planner.execute(&dcq, &data.db).unwrap();
+    let graph = data.db.get("Graph").unwrap();
+    let has_outgoing: std::collections::HashSet<i64> = graph
+        .iter()
+        .map(|r| r.get(0).as_int().unwrap())
+        .collect();
+    for row in result.iter() {
+        let b = row.get(1).as_int().unwrap();
+        assert!(!has_outgoing.contains(&b), "edge {row} should have been removed");
+    }
+    let expected = graph
+        .iter()
+        .filter(|r| !has_outgoing.contains(&r.get(1).as_int().unwrap()))
+        .count();
+    assert_eq!(result.len(), expected);
+}
+
+#[test]
+fn qg3_results_are_triples_that_are_not_triangles() {
+    let data = dataset(44, 800);
+    let planner = DcqPlanner::smart();
+    let dcq = dcq_datagen::graph_query(GraphQueryId::QG3);
+    let result = planner.execute(&dcq, &data.db).unwrap();
+    let edges: std::collections::HashSet<(i64, i64)> = data
+        .db
+        .get("Graph")
+        .unwrap()
+        .iter()
+        .map(|r| (r.get(0).as_int().unwrap(), r.get(1).as_int().unwrap()))
+        .collect();
+    let triples = data.db.get("Triple").unwrap();
+    let expected = triples
+        .iter()
+        .filter(|t| {
+            let (a, b, c) = (
+                t.get(0).as_int().unwrap(),
+                t.get(1).as_int().unwrap(),
+                t.get(2).as_int().unwrap(),
+            );
+            !(edges.contains(&(a, b)) && edges.contains(&(b, c)) && edges.contains(&(c, a)))
+        })
+        .count();
+    assert_eq!(result.len(), expected);
+}
+
+#[test]
+fn output_sizes_scale_with_triple_relation() {
+    // Figure 6's premise: growing the Triple relation grows OUT1 (and OUT), while
+    // OUT2 is unaffected.
+    let graph = Graph::preferential_attachment(400, 4, 9);
+    let small = build_dataset("s", graph.clone(), 0.2, TripleRuleMix::balanced(), 1);
+    let large = build_dataset("l", graph, 0.8, TripleRuleMix::balanced(), 1);
+    let dcq = dcq_datagen::graph_query(GraphQueryId::QG4);
+    let (_, small_stats) =
+        baseline_dcq_with_stats(&dcq, &small.db, CqStrategy::Vanilla).unwrap();
+    let (_, large_stats) =
+        baseline_dcq_with_stats(&dcq, &large.db, CqStrategy::Vanilla).unwrap();
+    assert!(large_stats.out1 > small_stats.out1);
+    assert_eq!(large_stats.out2, small_stats.out2);
+    assert!(large_stats.out >= small_stats.out);
+}

@@ -1,0 +1,123 @@
+//! The dichotomy in practice: the planner must choose the strategy Table 1 predicts
+//! for every query family used in the paper, and every strategy that is applicable
+//! must compute the same answer.
+
+use dcq_core::classify::{classify, DcqClass};
+use dcq_core::parse::parse_dcq;
+use dcq_core::planner::{DcqPlanner, Strategy};
+use dcq_datagen::{graph_query, GraphQueryId};
+use dcqx_integration_tests::small_graph_db;
+
+#[test]
+fn figure4_queries_get_the_expected_strategy() {
+    let planner = DcqPlanner::smart();
+    let expected = [
+        (GraphQueryId::QG1, Strategy::EasyLinear),
+        (GraphQueryId::QG2, Strategy::EasyLinear),
+        (GraphQueryId::QG3, Strategy::EasyLinear),
+        (GraphQueryId::QG4, Strategy::EasyLinear),
+        (GraphQueryId::QG5, Strategy::ProbeLinearReducible),
+        (GraphQueryId::QG6, Strategy::EasyLinear),
+    ];
+    for (id, strategy) in expected {
+        let plan = planner.plan(&graph_query(id));
+        assert_eq!(plan.strategy, strategy, "{}", id.name());
+    }
+}
+
+#[test]
+fn hardness_examples_from_section_4_are_classified_hard() {
+    // The hard-core queries of Lemmas 4.3, 4.4 and 4.6.
+    let cases = [
+        (
+            "Q(x1, x3) :- R1(x1, x3) EXCEPT R2(x1, x2), R3(x2, x3)",
+            DcqClass::HardQ2NotLinearReducible,
+        ),
+        (
+            "Q(x1) :- R1(x1) EXCEPT R2(x1, x3), R3(x2, x3), R4(x1, x2)",
+            DcqClass::HardQ2NotLinearReducible,
+        ),
+        (
+            "Q(x1, x2, x3) :- R1(x1, x2), R2(x2, x3) EXCEPT R3(x1, x3), R4(x2)",
+            DcqClass::HardAugmentedCyclic,
+        ),
+        (
+            "Q(x1, x3) :- R1(x1, x2), R2(x2, x3) EXCEPT R3(x1, x3)",
+            DcqClass::HardQ1NotFreeConnex,
+        ),
+    ];
+    for (src, class) in cases {
+        assert_eq!(classify(&parse_dcq(src).unwrap()).class, class, "{src}");
+    }
+}
+
+#[test]
+fn easy_examples_from_section_3_are_classified_easy() {
+    let cases = [
+        "Q(x1, x2, x3) :- R1(x1, x2), R2(x2, x3) EXCEPT S1(x1, x2), S2(x2, x3)",
+        "Q(x1, x2, x3, x4) :- R1(x1, x2), R2(x2, x3, x4) EXCEPT R3(x1, x2, x3), R4(x3, x4)",
+        "Q(x1, x2, x3) :- R1(x1, x2, x3) EXCEPT R2(x1, x2), R3(x2, x3), R4(x1, x3)",
+        "Q(x1, x2, x3) :- R1(x1, x2), R2(x3) EXCEPT R3(x1, x2), R4(x2, x3), R5(x1, x3)",
+    ];
+    for src in cases {
+        let c = classify(&parse_dcq(src).unwrap());
+        assert_eq!(c.class, DcqClass::DifferenceLinear, "{src}");
+        assert!(c.is_difference_linear());
+    }
+}
+
+#[test]
+fn every_applicable_strategy_agrees_on_the_small_database() {
+    let db = small_graph_db();
+    let planner = DcqPlanner::smart();
+    let queries = [
+        "Q(a, b, c) :- Triple(a, b, c) EXCEPT Graph(a, b), Graph(b, c), Graph(c, a)",
+        "Q(a, b) :- Graph(a, b) EXCEPT Graph(a, b), Graph(b, c)",
+        "Q(a, b, c) :- Graph(a, b), Graph(b, c) EXCEPT Edge(a, c), Edge(b, c)",
+        "Q(a, c) :- Edge(a, c) EXCEPT Graph(a, b), Graph(b, c)",
+        "Q(a) :- Node(a) EXCEPT Graph(a, b), Graph(b, c), Graph(c, a)",
+    ];
+    for src in queries {
+        let dcq = parse_dcq(src).unwrap();
+        let reference = planner
+            .execute_with(Strategy::Baseline, &dcq, &db)
+            .unwrap()
+            .sorted_rows();
+        // The planner's automatic choice.
+        assert_eq!(
+            planner.execute(&dcq, &db).unwrap().sorted_rows(),
+            reference,
+            "auto plan differs on {src}"
+        );
+        // Every heuristic that is always applicable.
+        for strategy in [Strategy::PerTupleProbe, Strategy::Intersection] {
+            assert_eq!(
+                planner.execute_with(strategy, &dcq, &db).unwrap().sorted_rows(),
+                reference,
+                "{strategy:?} differs on {src}"
+            );
+        }
+        // EasyDCQ only when the query is difference-linear.
+        if classify(&dcq).is_difference_linear() {
+            assert_eq!(
+                planner
+                    .execute_with(Strategy::EasyLinear, &dcq, &db)
+                    .unwrap()
+                    .sorted_rows(),
+                reference,
+                "EasyDCQ differs on {src}"
+            );
+        }
+    }
+}
+
+#[test]
+fn vanilla_planner_matches_smart_planner() {
+    let db = small_graph_db();
+    for id in GraphQueryId::all() {
+        let dcq = graph_query(id);
+        let a = DcqPlanner::vanilla().execute(&dcq, &db).unwrap();
+        let b = DcqPlanner::smart().execute(&dcq, &db).unwrap();
+        assert_eq!(a.sorted_rows(), b.sorted_rows(), "{}", id.name());
+    }
+}
