@@ -41,7 +41,12 @@ fn bench_ablation(c: &mut Criterion) {
             .measurement_time(Duration::from_millis(900));
         for strategy in strategies {
             group.bench_function(format!("{strategy:?}"), |b| {
-                b.iter(|| planner.execute_with(strategy, &dcq, &data.db).unwrap().len())
+                b.iter(|| {
+                    planner
+                        .execute_with(strategy, &dcq, &data.db)
+                        .unwrap()
+                        .len()
+                })
             });
         }
         group.finish();

@@ -8,7 +8,10 @@ use dcq_datagen::{tpcds_q35_workload, tpcds_q69_workload, tpch_q16_workload, Ben
 use std::time::Duration;
 
 fn bench_workload(c: &mut Criterion, workload: &BenchmarkWorkload) {
-    let mut group = c.benchmark_group(format!("fig5/{}/sf{}", workload.name, workload.scale_factor));
+    let mut group = c.benchmark_group(format!(
+        "fig5/{}/sf{}",
+        workload.name, workload.scale_factor
+    ));
     group
         .sample_size(10)
         .warm_up_time(Duration::from_millis(200))
@@ -21,7 +24,11 @@ fn bench_workload(c: &mut Criterion, workload: &BenchmarkWorkload) {
         })
     });
     group.bench_function("optimized", |b| {
-        b.iter(|| multi_dcq_recursive(&workload.multi, &workload.db).unwrap().len())
+        b.iter(|| {
+            multi_dcq_recursive(&workload.multi, &workload.db)
+                .unwrap()
+                .len()
+        })
     });
     group.finish();
 }

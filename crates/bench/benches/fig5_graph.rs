@@ -32,7 +32,11 @@ fn bench_graph_queries(c: &mut Criterion) {
                 continue;
             }
             group.bench_function(format!("original/{name}"), |b| {
-                b.iter(|| baseline_dcq(&dcq, &data.db, CqStrategy::Vanilla).unwrap().len())
+                b.iter(|| {
+                    baseline_dcq(&dcq, &data.db, CqStrategy::Vanilla)
+                        .unwrap()
+                        .len()
+                })
             });
             group.bench_function(format!("optimized/{name}"), |b| {
                 b.iter(|| planner.execute(&dcq, &data.db).unwrap().len())

@@ -29,9 +29,19 @@ fn bench_fig6_out1(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(900));
     for fraction in [0.1f64, 0.5, 1.0] {
-        let data = build_dataset("fig6", graph.clone(), 0.5 * fraction, TripleRuleMix::balanced(), 5);
+        let data = build_dataset(
+            "fig6",
+            graph.clone(),
+            0.5 * fraction,
+            TripleRuleMix::balanced(),
+            5,
+        );
         group.bench_function(format!("original/triple_frac_{fraction}"), |b| {
-            b.iter(|| baseline_dcq(&dcq, &data.db, CqStrategy::Vanilla).unwrap().len())
+            b.iter(|| {
+                baseline_dcq(&dcq, &data.db, CqStrategy::Vanilla)
+                    .unwrap()
+                    .len()
+            })
         });
         group.bench_function(format!("optimized/triple_frac_{fraction}"), |b| {
             b.iter(|| planner.execute(&dcq, &data.db).unwrap().len())
@@ -57,7 +67,10 @@ fn bench_fig7_out2(c: &mut Criterion) {
     for keep in [1.0f64, 0.5, 0.25] {
         let threshold = (graph.n_vertices as f64 * keep) as i64;
         let mut db = base.db.clone();
-        let mut graph2 = db.get("Graph").unwrap().filter(|row| row.get(1) < &Value::Int(threshold));
+        let mut graph2 = db
+            .get("Graph")
+            .unwrap()
+            .filter(|row| row.get(1) < &Value::Int(threshold));
         graph2.set_name("Graph2");
         db.add_or_replace(graph2);
         group.bench_function(format!("original/selectivity_{keep}"), |b| {
@@ -86,7 +99,11 @@ fn bench_fig8_out(c: &mut Criterion) {
     ] {
         let data = build_dataset("fig8", graph.clone(), 0.5, mix, 7);
         group.bench_function(format!("original/{label}"), |b| {
-            b.iter(|| baseline_dcq(&dcq, &data.db, CqStrategy::Vanilla).unwrap().len())
+            b.iter(|| {
+                baseline_dcq(&dcq, &data.db, CqStrategy::Vanilla)
+                    .unwrap()
+                    .len()
+            })
         });
         group.bench_function(format!("optimized/{label}"), |b| {
             b.iter(|| planner.execute(&dcq, &data.db).unwrap().len())

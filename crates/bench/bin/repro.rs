@@ -47,7 +47,18 @@ fn table2() {
     header("Table 2 — graph datasets and their statistics (synthetic stand-ins)");
     println!(
         "{:<14} {:>8} {:>8} {:>10} {:>9} {:>8} | {:>8} {:>8} {:>8} {:>8} {:>9} {:>9}",
-        "dataset", "#edge", "#vertex", "#l2path", "#tri", "#Triple", "QG1", "QG2", "QG3", "QG4", "QG5", "QG6"
+        "dataset",
+        "#edge",
+        "#vertex",
+        "#l2path",
+        "#tri",
+        "#Triple",
+        "QG1",
+        "QG2",
+        "QG3",
+        "QG4",
+        "QG5",
+        "QG6"
     );
     let planner = DcqPlanner::smart();
     for name in dataset_names() {
@@ -95,7 +106,11 @@ fn fig5_graph() {
             let too_big = (id == GraphQueryId::QG6 && data.stats.edges > 2_500)
                 || (id == GraphQueryId::QG5 && data.stats.edges > 60_000);
             if too_big {
-                println!("{:<14} {:<5} (skipped: intermediate result too large)", data.name, id.name());
+                println!(
+                    "{:<14} {:<5} (skipped: intermediate result too large)",
+                    data.name,
+                    id.name()
+                );
                 continue;
             }
             let cmp = compare_plans(&dcq, &data.db);
@@ -127,9 +142,11 @@ fn fig5_benchmark() {
             tpcds_q35_workload(sf),
             tpcds_q69_workload(sf),
         ] {
-            let (slow, t_slow) =
-                time(|| multi_dcq_naive(&workload.multi, &workload.db, CqStrategy::Vanilla).unwrap());
-            let (fast, t_fast) = time(|| multi_dcq_recursive(&workload.multi, &workload.db).unwrap());
+            let (slow, t_slow) = time(|| {
+                multi_dcq_naive(&workload.multi, &workload.db, CqStrategy::Vanilla).unwrap()
+            });
+            let (fast, t_fast) =
+                time(|| multi_dcq_recursive(&workload.multi, &workload.db).unwrap());
             assert_eq!(slow.distinct_count(), fast.distinct_count());
             println!(
                 "{:<11} {:>4} {:>10} {:>8} {:>11} {:>11} {:>7.1}x",
@@ -188,10 +205,9 @@ fn sweeps(which: &str) {
         for keep in [1.0f64, 0.75, 0.5, 0.25] {
             let mut db = base.db.clone();
             let threshold = (base.graph.n_vertices as f64 * keep) as i64;
-            let filtered = push_selection(&base.db, "Graph", |row| {
-                row.get(1) < &Value::Int(threshold)
-            })
-            .unwrap();
+            let filtered =
+                push_selection(&base.db, "Graph", |row| row.get(1) < &Value::Int(threshold))
+                    .unwrap();
             let mut graph2 = filtered.get("Graph").unwrap().clone();
             graph2.set_name("Graph2");
             db.add_or_replace(graph2);

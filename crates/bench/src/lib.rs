@@ -83,7 +83,9 @@ mod tests {
             4,
         );
         let cmp = compare_plans(&graph_query(GraphQueryId::QG3), &data.db);
-        assert_eq!(cmp.stats.out, cmp.stats.out1 - (cmp.stats.out1 - cmp.stats.out));
+        // OUT is a subset of OUT₁ and can shrink by at most |OUT₂| tuples.
+        assert!(cmp.stats.out <= cmp.stats.out1);
+        assert!(cmp.stats.out >= cmp.stats.out1.saturating_sub(cmp.stats.out2));
         assert!(cmp.speedup() > 0.0);
     }
 }

@@ -47,15 +47,14 @@ impl<A: Semiring> AnnotatedDatabase<A> {
 
     /// Register (or replace) an annotated relation under its own name.
     pub fn add(&mut self, relation: AnnotatedRelation<A>) {
-        self.relations
-            .insert(relation.name().to_string(), relation);
+        self.relations.insert(relation.name().to_string(), relation);
     }
 
     /// Look up a relation by name.
     pub fn get(&self, name: &str) -> Result<&AnnotatedRelation<A>> {
-        self.relations
-            .get(name)
-            .ok_or_else(|| DcqError::Storage(dcq_storage::StorageError::UnknownRelation(name.into())))
+        self.relations.get(name).ok_or_else(|| {
+            DcqError::Storage(dcq_storage::StorageError::UnknownRelation(name.into()))
+        })
     }
 
     /// Total number of annotated tuples — the input size `N`.
@@ -160,7 +159,8 @@ pub fn numerical_difference_aggregate<A: Ring>(
 ) -> Result<AnnotatedRelation<A>> {
     let agg1 = aggregate_cq(&dcq.q1, adb, group_by)?;
     let agg2 = aggregate_cq(&dcq.q2, adb, group_by)?;
-    let mut out = AnnotatedRelation::<A>::new("numerical_difference", Schema::new(group_by.to_vec()));
+    let mut out =
+        AnnotatedRelation::<A>::new("numerical_difference", Schema::new(group_by.to_vec()));
     for (row, w1) in agg1.iter() {
         out.combine(row.clone(), w1.clone());
     }
@@ -203,10 +203,7 @@ mod tests {
     }
 
     fn example_5_3_dcq() -> Dcq {
-        parse_dcq(
-            "Q(x1, x2, x3) :- R1(x1, x2), R2(x2, x3) EXCEPT R3(x1, x2), R4(x2, x3)",
-        )
-        .unwrap()
+        parse_dcq("Q(x1, x2, x3) :- R1(x1, x2), R2(x2, x3) EXCEPT R3(x1, x2), R4(x2, x3)").unwrap()
     }
 
     #[test]
@@ -225,8 +222,7 @@ mod tests {
         // not produced by Q2 keep their Q1 annotation.
         let adb = figure3_adb();
         let dcq = example_5_3_dcq();
-        let agg =
-            relational_difference_aggregate(&dcq, &adb, &[Attr::new("x1")]).unwrap();
+        let agg = relational_difference_aggregate(&dcq, &adb, &[Attr::new("x1")]).unwrap();
         // Q1 support: (1,10,100), (2,10,100), (2,20,100), (2,20,200).
         // Q2 support: (2,10,100), (2,20,100), (2,20,200), (3,20,100), (3,20,200).
         // Survivors: (1,10,100) with w1 = 1.

@@ -145,9 +145,10 @@ pub fn bag_dcq_rewritten(dcq: &Dcq, bdb: &BagDatabase) -> Result<BagRelation> {
     let mut pairs: Vec<(BagRelation, BagRelation)> = Vec::with_capacity(reduced1.len());
     let mut used = vec![false; reduced2.len()];
     for r1 in &reduced1 {
-        let position = reduced2.iter().enumerate().find(|(j, r2)| {
-            !used[*j] && r2.schema().same_attr_set(r1.schema())
-        });
+        let position = reduced2
+            .iter()
+            .enumerate()
+            .find(|(j, r2)| !used[*j] && r2.schema().same_attr_set(r1.schema()));
         match position {
             Some((j, r2)) => {
                 used[j] = true;
@@ -421,7 +422,8 @@ mod tests {
     #[test]
     fn bag_of_cq_respects_projections() {
         let bdb = figure3_bdb();
-        let dcq = parse_dcq("Q(x1) :- R1(x1, x2), R2(x2, x3) EXCEPT R3(x1, x2), R4(x2, x3)").unwrap();
+        let dcq =
+            parse_dcq("Q(x1) :- R1(x1, x2), R2(x2, x3) EXCEPT R3(x1, x2), R4(x2, x3)").unwrap();
         let bag = bag_of_cq(&dcq.q1, &bdb).unwrap();
         // x1 = 2 : 2·1 + 2·2 + 2·1 = 8.
         assert_eq!(bag.annotation(&int_row([2])), 8);

@@ -185,7 +185,8 @@ mod tests {
 
     #[test]
     fn example_3_3_same_schema_path_join_is_easy() {
-        let c = classify_src("Q(x1, x2, x3) :- R1(x1, x2), R2(x2, x3) EXCEPT S1(x1, x2), S2(x2, x3)");
+        let c =
+            classify_src("Q(x1, x2, x3) :- R1(x1, x2), R2(x2, x3) EXCEPT S1(x1, x2), S2(x2, x3)");
         assert_eq!(c.class, DcqClass::DifferenceLinear);
         assert!(c.is_difference_linear());
         assert!(c.q1_shape.free_connex && c.q2_shape.free_connex);
@@ -234,9 +235,7 @@ mod tests {
     #[test]
     fn lemma_4_4_hardcore_is_hard_q2() {
         // R1(x1) − π_{x1}(triangle): Q2 hides a triangle over non-output attributes.
-        let c = classify_src(
-            "Q(x1) :- R1(x1) EXCEPT R2(x1, x3), R3(x2, x3), R4(x1, x2)",
-        );
+        let c = classify_src("Q(x1) :- R1(x1) EXCEPT R2(x1, x3), R3(x2, x3), R4(x1, x2)");
         assert_eq!(c.class, DcqClass::HardQ2NotLinearReducible);
     }
 
@@ -251,14 +250,9 @@ mod tests {
     fn lemma_4_6_hardcores_are_hard_case_3() {
         // Q1 = R1(x1,x2) ⋈ R2(x2,x3) (full, free-connex), Q2 = R3(x1,x3) ⋈ R4(x2):
         // both sides fine individually, but E1' ∪ {x1,x3} forms a triangle.
-        let c = classify_src(
-            "Q(x1, x2, x3) :- R1(x1, x2), R2(x2, x3) EXCEPT R3(x1, x3), R4(x2)",
-        );
+        let c = classify_src("Q(x1, x2, x3) :- R1(x1, x2), R2(x2, x3) EXCEPT R3(x1, x3), R4(x2)");
         assert_eq!(c.class, DcqClass::HardAugmentedCyclic);
-        assert_eq!(
-            c.offending_edge,
-            Some(AttrSet::from_names(["x1", "x3"]))
-        );
+        assert_eq!(c.offending_edge, Some(AttrSet::from_names(["x1", "x3"])));
 
         let c = classify_src(
             "Q(x1, x2, x3) :- R1(x1, x2), R2(x2, x3) EXCEPT R3(x1, x3), R4(x2, x3), R5(x1, x2)",

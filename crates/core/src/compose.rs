@@ -101,10 +101,7 @@ mod tests {
     #[test]
     fn selection_pushdown_filters_base_relation() {
         let db = db();
-        let filtered = push_selection(&db, "G", |row| {
-            row.get(0).as_int().unwrap() < 10
-        })
-        .unwrap();
+        let filtered = push_selection(&db, "G", |row| row.get(0).as_int().unwrap() < 10).unwrap();
         assert_eq!(filtered.get("G").unwrap().len(), 4);
         // Original untouched; unknown relation rejected.
         assert_eq!(db.get("G").unwrap().len(), 5);
@@ -113,10 +110,7 @@ mod tests {
         // σ over the DCQ = DCQ over the σ-filtered database.
         let dcq = parse_dcq("Q(a, b) :- G(a, b) EXCEPT H(a, b)").unwrap();
         let out = baseline_dcq(&dcq, &filtered, CqStrategy::Smart).unwrap();
-        assert_eq!(
-            out.sorted_rows(),
-            vec![int_row([2, 3]), int_row([4, 5])]
-        );
+        assert_eq!(out.sorted_rows(), vec![int_row([2, 3]), int_row([4, 5])]);
     }
 
     #[test]
@@ -137,7 +131,10 @@ mod tests {
         let projected = push_projection(&dcq, &["a"]).unwrap();
         assert_eq!(projected.q1.head.len(), 1);
         assert_eq!(projected.q2.head.len(), 1);
-        assert_eq!(projected.head_schema(), dcq_storage::Schema::from_names(["a"]));
+        assert_eq!(
+            projected.head_schema(),
+            dcq_storage::Schema::from_names(["a"])
+        );
         assert!(push_projection(&dcq, &["z"]).is_err());
     }
 

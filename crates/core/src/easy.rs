@@ -167,10 +167,9 @@ mod tests {
 
     #[test]
     fn qg3_explicit_result() {
-        let dcq = parse_dcq(
-            "Q(a, b, c) :- Triple(a, b, c) EXCEPT Graph(a, b), Graph(b, c), Graph(c, a)",
-        )
-        .unwrap();
+        let dcq =
+            parse_dcq("Q(a, b, c) :- Triple(a, b, c) EXCEPT Graph(a, b), Graph(b, c), Graph(c, a)")
+                .unwrap();
         let db = graph_db();
         let out = easy_dcq(&dcq, &db).unwrap();
         // Triangles: (1,2,3) rotations and (3,4,5) rotations; Triple ∩ triangles =
@@ -192,9 +191,7 @@ mod tests {
     #[test]
     fn qg1_shape_edges_without_continuation() {
         // Q_G1: edges that do not start a length-2 path, same-relation flavour.
-        check_matches_baseline(
-            "Q(a, b) :- Graph(a, b) EXCEPT Graph(a, b), Graph(b, c)",
-        );
+        check_matches_baseline("Q(a, b) :- Graph(a, b) EXCEPT Graph(a, b), Graph(b, c)");
     }
 
     #[test]
@@ -229,10 +226,9 @@ mod tests {
 
     #[test]
     fn result_is_distinct_and_in_head_order() {
-        let dcq = parse_dcq(
-            "Q(c, b, a) :- Graph(a, b), Graph(b, c) EXCEPT GraphB(a, b), GraphB(b, c)",
-        )
-        .unwrap();
+        let dcq =
+            parse_dcq("Q(c, b, a) :- Graph(a, b), Graph(b, c) EXCEPT GraphB(a, b), GraphB(b, c)")
+                .unwrap();
         let db = graph_db();
         let out = easy_dcq(&dcq, &db).unwrap();
         assert_eq!(out.schema(), &dcq.head_schema());

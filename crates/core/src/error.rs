@@ -115,6 +115,8 @@ mod tests {
         assert!(std::error::Error::source(&e).is_some());
         let e: DcqError = StorageError::UnknownRelation("R".into()).into();
         assert!(e.to_string().contains('R'));
-        assert!(DcqError::UnboundHeadVariable("z".into()).to_string().contains('z'));
+        assert!(DcqError::UnboundHeadVariable("z".into())
+            .to_string()
+            .contains('z'));
     }
 }

@@ -39,11 +39,7 @@ pub struct HeuristicOutcome {
 /// `Q₂` tuple by tuple.
 ///
 /// `strategy` chooses the evaluator for `Q₁` (the `cost(Q₁)` term).
-pub fn probe_heuristic(
-    dcq: &Dcq,
-    db: &Database,
-    strategy: CqStrategy,
-) -> Result<HeuristicOutcome> {
+pub fn probe_heuristic(dcq: &Dcq, db: &Database, strategy: CqStrategy) -> Result<HeuristicOutcome> {
     let head = dcq.head_schema();
     let q1_result = evaluate_cq(&dcq.q1, db, strategy)?;
     let q2_atoms = dcq.q2.bind(db)?;
@@ -332,16 +328,12 @@ mod tests {
     #[test]
     fn lemma_4_4_hard_core() {
         // R1(x1) − π_{x1}(triangle through x1).
-        check_both_heuristics(
-            "Q(a) :- Node(a) EXCEPT Graph(a, b), Graph(b, c), Graph(c, a)",
-        );
+        check_both_heuristics("Q(a) :- Node(a) EXCEPT Graph(a, b), Graph(b, c), Graph(c, a)");
     }
 
     #[test]
     fn example_4_11_edges_not_in_any_triangle() {
-        check_both_heuristics(
-            "Q(a, c) :- Edge(a, c) EXCEPT Graph(a, b), Graph(b, c), Graph(a, c)",
-        );
+        check_both_heuristics("Q(a, c) :- Edge(a, c) EXCEPT Graph(a, b), Graph(b, c), Graph(a, c)");
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod scq;
 pub use classify::{classify, DcqClass, DcqClassification};
 pub use error::DcqError;
 pub use parse::{parse_cq, parse_dcq};
-pub use planner::{DcqPlanner, Strategy};
+pub use planner::{DcqPlanner, IncrementalPlan, IncrementalStrategy, Strategy};
 pub use query::{Atom, ConjunctiveQuery, Dcq};
 
 /// Crate-level result alias.

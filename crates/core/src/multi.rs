@@ -51,11 +51,7 @@ impl MultiDcq {
 }
 
 /// Reference evaluation: materialize every query and fold the set differences.
-pub fn multi_dcq_naive(
-    multi: &MultiDcq,
-    db: &Database,
-    strategy: CqStrategy,
-) -> Result<Relation> {
+pub fn multi_dcq_naive(multi: &MultiDcq, db: &Database, strategy: CqStrategy) -> Result<Relation> {
     let mut acc = evaluate_cq(&multi.positive, db, strategy)?;
     for n in &multi.negatives {
         let neg = evaluate_cq(n, db, strategy)?;
@@ -93,7 +89,9 @@ pub fn multi_dcq_recursive(multi: &MultiDcq, db: &Database) -> Result<Relation> 
         .iter()
         .map(|n| {
             let atoms = n.bind(db)?;
-            Ok(reduce(&n.head_schema(), &atoms).map_err(precondition)?.relations)
+            Ok(reduce(&n.head_schema(), &atoms)
+                .map_err(precondition)?
+                .relations)
         })
         .collect::<Result<_>>()?;
 
@@ -104,11 +102,7 @@ pub fn multi_dcq_recursive(multi: &MultiDcq, db: &Database) -> Result<Relation> 
 
 /// Recursive core: `positive` is a full join over `head`; `negatives` are the
 /// reduced (full-join-over-`head`) bodies of the remaining negative queries.
-fn recurse(
-    head: &Schema,
-    positive: &[Relation],
-    negatives: &[Vec<Relation>],
-) -> Result<Relation> {
+fn recurse(head: &Schema, positive: &[Relation], negatives: &[Vec<Relation>]) -> Result<Relation> {
     let Some((first_negative, remaining)) = negatives.split_first() else {
         // No negatives left: evaluate the positive full join.
         let joined = acyclic_full_join(positive).map_err(precondition)?;
@@ -204,7 +198,10 @@ mod tests {
         let slow = multi_dcq_naive(&m, &db, CqStrategy::Vanilla).unwrap();
         assert_eq!(fast.sorted_rows(), slow.sorted_rows());
         // The G∘H paths remove (1,2,3) and (2,3,4); the H∘H paths remove (7,7,7).
-        assert_eq!(fast.sorted_rows(), vec![int_row([3, 4, 5]), int_row([4, 5, 6])]);
+        assert_eq!(
+            fast.sorted_rows(),
+            vec![int_row([3, 4, 5]), int_row([4, 5, 6])]
+        );
     }
 
     #[test]
@@ -227,7 +224,9 @@ mod tests {
         assert_eq!(out.len(), 5);
         assert_eq!(
             out.sorted_rows(),
-            multi_dcq_naive(&m, &db, CqStrategy::Vanilla).unwrap().sorted_rows()
+            multi_dcq_naive(&m, &db, CqStrategy::Vanilla)
+                .unwrap()
+                .sorted_rows()
         );
     }
 

@@ -228,9 +228,7 @@ pub fn parse_dcq_multi(src: &str) -> Result<(Dcq, Vec<ConjunctiveQuery>)> {
     let mut queries: Vec<ConjunctiveQuery> = bodies
         .into_iter()
         .enumerate()
-        .map(|(i, atoms)| {
-            ConjunctiveQuery::new(format!("{name}_{}", i + 1), &head_refs, atoms)
-        })
+        .map(|(i, atoms)| ConjunctiveQuery::new(format!("{name}_{}", i + 1), &head_refs, atoms))
         .collect();
     let q1 = queries.remove(0);
     let q2 = queries.remove(0);
@@ -264,8 +262,10 @@ mod tests {
 
     #[test]
     fn parse_cq_without_trailing_dot_and_with_newlines() {
-        let q = parse_cq("Triangles(n1, n2, n3) :-\n  Graph(n1, n2),\n  Graph(n2, n3),\n  Graph(n3, n1)")
-            .unwrap();
+        let q = parse_cq(
+            "Triangles(n1, n2, n3) :-\n  Graph(n1, n2),\n  Graph(n2, n3),\n  Graph(n3, n1)",
+        )
+        .unwrap();
         assert_eq!(q.atoms.len(), 3);
         assert!(q.is_full());
     }
@@ -288,10 +288,8 @@ mod tests {
 
     #[test]
     fn parse_multi_difference() {
-        let (dcq, rest) = parse_dcq_multi(
-            "Q(a, b) :- R(a, b) EXCEPT S(a, b) EXCEPT T(a, b), U(b, b)",
-        )
-        .unwrap();
+        let (dcq, rest) =
+            parse_dcq_multi("Q(a, b) :- R(a, b) EXCEPT S(a, b) EXCEPT T(a, b), U(b, b)").unwrap();
         assert_eq!(rest.len(), 1);
         assert_eq!(rest[0].atoms.len(), 2);
         assert_eq!(dcq.q2.atoms[0].relation, "S");

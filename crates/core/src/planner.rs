@@ -58,10 +58,7 @@ impl DcqPlan {
     /// Render a short multi-line explanation (the repository's stand-in for the
     /// EXPLAIN plans of Figure 1).
     pub fn explain(&self) -> String {
-        format!(
-            "strategy: {}\n{}",
-            self.strategy, self.classification
-        )
+        format!("strategy: {}\n{}", self.strategy, self.classification)
     }
 }
 
@@ -129,6 +126,76 @@ impl DcqPlanner {
     }
 }
 
+/// How a registered DCQ should be maintained under updates (the `dcq-incremental`
+/// crate executes these strategies).
+///
+/// The choice mirrors the dichotomy: when the DCQ is difference-linear, a full rerun
+/// of the per-side linear plans is already `O(N + OUT)`, so maintenance only needs to
+/// re-run the sides whose relations a batch actually touches.  For hard DCQs a rerun
+/// pays the (super-linear) hard-side cost on every batch, so maintenance falls back
+/// to counting: per-tuple support counts on both sides, updated by delta joins whose
+/// cost scales with the batch size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IncrementalStrategy {
+    /// Re-run the linear per-side plans, restricted to the sides (partitions of the
+    /// atom set) the delta batch touches; untouched batches are no-ops.
+    EasyRerun,
+    /// Counting-based maintenance: maintain `|Q₁(t)|` and `|Q₂(t)|` support counts
+    /// per output tuple via ℤ-annotated delta joins; a tuple enters the result when
+    /// its `Q₁` count rises above zero while its `Q₂` count is zero.
+    Counting,
+}
+
+impl fmt::Display for IncrementalStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IncrementalStrategy::EasyRerun => {
+                "touched-side rerun (difference-linear: rerun is O(N + OUT))"
+            }
+            IncrementalStrategy::Counting => {
+                "counting maintenance (support counts updated by delta joins)"
+            }
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A chosen incremental-maintenance plan: the strategy plus the structural
+/// classification that justified it.
+#[derive(Clone, Debug)]
+pub struct IncrementalPlan {
+    /// The selected maintenance strategy.
+    pub strategy: IncrementalStrategy,
+    /// The dichotomy classification of the DCQ.
+    pub classification: DcqClassification,
+}
+
+impl IncrementalPlan {
+    /// Render a short multi-line explanation of the maintenance choice.
+    pub fn explain(&self) -> String {
+        format!("maintenance: {}\n{}", self.strategy, self.classification)
+    }
+}
+
+impl DcqPlanner {
+    /// Choose how a registered DCQ should be maintained under updates.
+    ///
+    /// Difference-linear DCQs get [`IncrementalStrategy::EasyRerun`]; every hard
+    /// class falls back to [`IncrementalStrategy::Counting`].
+    pub fn plan_incremental(&self, dcq: &Dcq) -> IncrementalPlan {
+        let classification = classify(dcq);
+        let strategy = if classification.is_difference_linear() {
+            IncrementalStrategy::EasyRerun
+        } else {
+            IncrementalStrategy::Counting
+        };
+        IncrementalPlan {
+            strategy,
+            classification,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,7 +206,14 @@ mod tests {
         db.add(Relation::from_int_rows(
             "Graph",
             &["src", "dst"],
-            vec![vec![1, 2], vec![2, 3], vec![3, 1], vec![3, 4], vec![4, 5], vec![2, 4]],
+            vec![
+                vec![1, 2],
+                vec![2, 3],
+                vec![3, 1],
+                vec![3, 4],
+                vec![4, 5],
+                vec![2, 4],
+            ],
         ))
         .unwrap();
         db.add(Relation::from_int_rows(
@@ -159,10 +233,9 @@ mod tests {
 
     #[test]
     fn planner_picks_easy_for_difference_linear() {
-        let dcq = parse_dcq(
-            "Q(a, b, c) :- Triple(a, b, c) EXCEPT Graph(a, b), Graph(b, c), Graph(c, a)",
-        )
-        .unwrap();
+        let dcq =
+            parse_dcq("Q(a, b, c) :- Triple(a, b, c) EXCEPT Graph(a, b), Graph(b, c), Graph(c, a)")
+                .unwrap();
         let plan = DcqPlanner::smart().plan(&dcq);
         assert_eq!(plan.strategy, Strategy::EasyLinear);
         assert!(plan.explain().contains("EasyDCQ"));
@@ -171,10 +244,8 @@ mod tests {
     #[test]
     fn planner_picks_probe_for_hard_case_3() {
         // Q_G5 shape: Q1 and Q2 fine individually, augmented edge cyclic.
-        let dcq = parse_dcq(
-            "Q(a, b, c) :- Graph(a, b), Graph(b, c) EXCEPT Edge(a, c), Edge(b, c)",
-        )
-        .unwrap();
+        let dcq = parse_dcq("Q(a, b, c) :- Graph(a, b), Graph(b, c) EXCEPT Edge(a, c), Edge(b, c)")
+            .unwrap();
         let plan = DcqPlanner::smart().plan(&dcq);
         assert_eq!(plan.strategy, Strategy::ProbeLinearReducible);
     }
@@ -205,9 +276,13 @@ mod tests {
                 "planner output differs from baseline on {src}"
             );
             // The explicitly-requested heuristics must agree as well.
-            let inter = planner.execute_with(Strategy::Intersection, &dcq, &db).unwrap();
+            let inter = planner
+                .execute_with(Strategy::Intersection, &dcq, &db)
+                .unwrap();
             assert_eq!(inter.sorted_rows(), expected.sorted_rows());
-            let probe = planner.execute_with(Strategy::PerTupleProbe, &dcq, &db).unwrap();
+            let probe = planner
+                .execute_with(Strategy::PerTupleProbe, &dcq, &db)
+                .unwrap();
             assert_eq!(probe.sorted_rows(), expected.sorted_rows());
         }
     }
@@ -215,13 +290,29 @@ mod tests {
     #[test]
     fn vanilla_and_smart_planners_agree() {
         let db = db();
-        let dcq = parse_dcq(
-            "Q(a, b, c) :- Triple(a, b, c) EXCEPT Graph(a, b), Graph(b, c), Graph(c, a)",
-        )
-        .unwrap();
+        let dcq =
+            parse_dcq("Q(a, b, c) :- Triple(a, b, c) EXCEPT Graph(a, b), Graph(b, c), Graph(c, a)")
+                .unwrap();
         let a = DcqPlanner::vanilla().execute(&dcq, &db).unwrap();
         let b = DcqPlanner::smart().execute(&dcq, &db).unwrap();
         assert_eq!(a.sorted_rows(), b.sorted_rows());
+    }
+
+    #[test]
+    fn incremental_plan_follows_dichotomy() {
+        let planner = DcqPlanner::smart();
+        let easy =
+            parse_dcq("Q(a, b, c) :- Triple(a, b, c) EXCEPT Graph(a, b), Graph(b, c), Graph(c, a)")
+                .unwrap();
+        let plan = planner.plan_incremental(&easy);
+        assert_eq!(plan.strategy, IncrementalStrategy::EasyRerun);
+        assert!(plan.explain().contains("touched-side rerun"));
+
+        let hard = parse_dcq("Q(a, c) :- Edge(a, c) EXCEPT Graph(a, b), Graph(b, c)").unwrap();
+        let plan = planner.plan_incremental(&hard);
+        assert_eq!(plan.strategy, IncrementalStrategy::Counting);
+        assert!(plan.explain().contains("counting maintenance"));
+        assert!(!plan.classification.is_difference_linear());
     }
 
     #[test]

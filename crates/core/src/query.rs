@@ -324,11 +324,7 @@ mod tests {
 
     #[test]
     fn cq_validation_catches_unbound_head_and_unknown_relation() {
-        let q = ConjunctiveQuery::new(
-            "Bad",
-            &["z"],
-            vec![Atom::new("Graph", &["a", "b"])],
-        );
+        let q = ConjunctiveQuery::new("Bad", &["z"], vec![Atom::new("Graph", &["a", "b"])]);
         assert!(matches!(
             q.validate(&db()),
             Err(DcqError::UnboundHeadVariable(_))
@@ -357,7 +353,10 @@ mod tests {
         let q = ConjunctiveQuery::new(
             "Q1",
             &["a", "c"],
-            vec![Atom::new("Graph", &["a", "b"]), Atom::new("Graph", &["b", "c"])],
+            vec![
+                Atom::new("Graph", &["a", "b"]),
+                Atom::new("Graph", &["b", "c"]),
+            ],
         );
         let s = format!("{q}");
         assert!(s.contains("Q1(a, c)"));

@@ -32,11 +32,7 @@ impl BenchmarkWorkload {
     /// The query as a plain two-sided DCQ, when it has exactly one negative CQ.
     pub fn as_dcq(&self) -> Option<Dcq> {
         if self.multi.negatives.len() == 1 {
-            Dcq::new(
-                self.multi.positive.clone(),
-                self.multi.negatives[0].clone(),
-            )
-            .ok()
+            Dcq::new(self.multi.positive.clone(), self.multi.negatives[0].clone()).ok()
         } else {
             None
         }
@@ -111,8 +107,7 @@ fn tpcds_customer_db(scale_factor: usize, seed: u64) -> Database {
     let n_addresses = 1_000 * sf;
     let n_demographics = 400 * sf;
 
-    let mut customer =
-        Relation::from_int_rows("Customer", &["c_id", "c_addr", "c_demo"], vec![]);
+    let mut customer = Relation::from_int_rows("Customer", &["c_id", "c_addr", "c_demo"], vec![]);
     for c in 0..n_customers {
         customer.push_unchecked(dcq_storage::row::int_row([
             c as i64,

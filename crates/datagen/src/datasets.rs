@@ -60,17 +60,26 @@ pub fn dataset(name: &str) -> GraphDataset {
         "google-sim" => (7_000, 5, false, 0.5),
         // Wiki talk: largest and most skewed; the paper uses a 0.05 Triple fraction.
         "wiki-sim" => (12_000, 6, false, 0.05),
-        other => panic!("unknown dataset `{other}` (available: {:?})", dataset_names()),
+        other => panic!(
+            "unknown dataset `{other}` (available: {:?})",
+            dataset_names()
+        ),
     };
-    let seed = name
-        .bytes()
-        .fold(0xD1F_Fu64, |acc, b| acc.wrapping_mul(131).wrapping_add(b as u64));
+    let seed = name.bytes().fold(0xD1FF_u64, |acc, b| {
+        acc.wrapping_mul(131).wrapping_add(b as u64)
+    });
     let graph = if uniform {
         Graph::uniform(n, n as usize * deg, seed)
     } else {
         Graph::preferential_attachment(n, deg, seed)
     };
-    build_dataset(name, graph, triple_fraction, TripleRuleMix::balanced(), seed ^ 0xABCD)
+    build_dataset(
+        name,
+        graph,
+        triple_fraction,
+        TripleRuleMix::balanced(),
+        seed ^ 0xABCD,
+    )
 }
 
 /// Build a dataset from an explicit graph (used by the sweep experiments).

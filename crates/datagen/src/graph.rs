@@ -122,11 +122,7 @@ impl Graph {
             incident.insert(u);
             incident.insert(v);
         }
-        let length2_paths: usize = self
-            .edges
-            .iter()
-            .map(|&(_, v)| adj[v as usize].len())
-            .sum();
+        let length2_paths: usize = self.edges.iter().map(|&(_, v)| adj[v as usize].len()).sum();
         // Directed triangles a→b→c→a, counted once per ordered starting edge and
         // divided by 3 (each triangle has three starting edges).
         let edge_set: FastHashSet<(u64, u64)> = self.edges.iter().copied().collect();
@@ -232,12 +228,9 @@ mod tests {
             db
         };
         let cq = dcq_core::parse::parse_cq("T(a, b, c) :- G(a, b), G(b, c), G(c, a)").unwrap();
-        let triangles = dcq_core::baseline::evaluate_cq(
-            &cq,
-            &db,
-            dcq_core::baseline::CqStrategy::Smart,
-        )
-        .unwrap();
+        let triangles =
+            dcq_core::baseline::evaluate_cq(&cq, &db, dcq_core::baseline::CqStrategy::Smart)
+                .unwrap();
         assert_eq!(triangles.len(), s.triangles * 3);
     }
 }

@@ -15,7 +15,9 @@
 //! * [`benchmark`] — synthetic PK-FK schema slices standing in for TPC-H Q16 and
 //!   TPC-DS Q35 / Q69,
 //! * [`queries`] — the six graph DCQs `Q_G1 … Q_G6` of Figure 4 and the benchmark
-//!   DCQs, expressed against the generated schemas.
+//!   DCQs, expressed against the generated schemas,
+//! * [`updates`] — randomized insert/delete batch sequences over any generated
+//!   database, feeding the incremental-maintenance subsystem (`dcq-incremental`).
 
 #![warn(missing_docs)]
 
@@ -25,6 +27,7 @@ pub mod graph;
 pub mod queries;
 pub mod rng;
 pub mod triple;
+pub mod updates;
 
 pub use benchmark::{tpcds_q35_workload, tpcds_q69_workload, tpch_q16_workload, BenchmarkWorkload};
 pub use datasets::{dataset, dataset_names, GraphDataset};
@@ -32,3 +35,4 @@ pub use graph::{Graph, GraphStats};
 pub use queries::{graph_queries, graph_query, GraphQueryId};
 pub use rng::SplitMix64;
 pub use triple::{generate_triples, TripleRuleMix};
+pub use updates::{update_workload, UpdateSpec};

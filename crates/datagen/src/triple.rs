@@ -63,12 +63,7 @@ impl TripleRuleMix {
 }
 
 /// Generate a `Triple` relation with `size` distinct tuples from `graph`.
-pub fn generate_triples(
-    graph: &Graph,
-    size: usize,
-    mix: TripleRuleMix,
-    seed: u64,
-) -> Relation {
+pub fn generate_triples(graph: &Graph, size: usize, mix: TripleRuleMix, seed: u64) -> Relation {
     let mut rng = SplitMix64::new(seed);
     let (p1, p12) = mix.normalized();
     let adj = graph.out_neighbors();

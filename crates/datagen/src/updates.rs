@@ -1,0 +1,311 @@
+//! Update-workload generation: randomized insert/delete batches over a database.
+//!
+//! The paper's evaluation (§6) is one-shot; the incremental subsystem
+//! (`dcq-incremental`) needs *update* workloads.  [`update_workload`] turns any
+//! generated database — graph datasets, triple relations, benchmark slices — into a
+//! deterministic sequence of [`DeltaBatch`]es:
+//!
+//! * **deletes** sample live rows (tracking liveness across batches, so a delete
+//!   always targets a row that exists at application time);
+//! * **inserts** synthesize fresh rows by sampling each column's value from the
+//!   pool of values initially observed in that column, preserving joinability
+//!   (a fresh `Graph` edge connects existing vertices, so it can create and destroy
+//!   join results rather than dangle), with a fallback to fresh integers when a
+//!   sampled combination keeps colliding with live rows.
+//!
+//! The generator is seeded ([`SplitMix64`]) and therefore reproducible; the same
+//! spec and seed yield the same workload.
+
+use crate::rng::SplitMix64;
+use dcq_storage::hash::FastHashSet;
+use dcq_storage::{Database, DeltaBatch, Row, Value};
+
+/// Shape of a randomized update workload.
+#[derive(Clone, Debug)]
+pub struct UpdateSpec {
+    /// Number of batches to generate.
+    pub batches: usize,
+    /// Raw operations per batch.
+    pub ops_per_batch: usize,
+    /// Probability that an operation is an insert (the rest are deletes).
+    pub insert_fraction: f64,
+    /// Relations to update; each operation picks one uniformly.
+    pub relations: Vec<String>,
+}
+
+impl UpdateSpec {
+    /// A workload of `batches` batches of `ops_per_batch` operations, half inserts,
+    /// over the given relations.
+    pub fn new(batches: usize, ops_per_batch: usize, relations: &[&str]) -> Self {
+        UpdateSpec {
+            batches,
+            ops_per_batch,
+            insert_fraction: 0.5,
+            relations: relations.iter().map(|r| r.to_string()).collect(),
+        }
+    }
+
+    /// Set the insert probability (clamped to `[0, 1]`).
+    pub fn with_insert_fraction(mut self, fraction: f64) -> Self {
+        self.insert_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+}
+
+/// Per-relation generation state: live rows plus per-column value pools.
+struct RelationState {
+    name: String,
+    live_rows: Vec<Row>,
+    live_set: FastHashSet<Row>,
+    /// Distinct values observed per column at workload-generation start.
+    pools: Vec<Vec<Value>>,
+    /// Fallback counter for synthesizing never-seen integer values.
+    next_fresh: i64,
+    /// Rows already updated in the current batch: each batch touches a row at most
+    /// once, so every generated operation has an effect under set semantics.
+    touched: FastHashSet<Row>,
+}
+
+impl RelationState {
+    fn new(db: &Database, name: &str) -> Option<RelationState> {
+        let rel = db.get(name).ok()?.distinct();
+        let arity = rel.schema().arity();
+        let mut pools: Vec<FastHashSet<Value>> =
+            (0..arity).map(|_| FastHashSet::default()).collect();
+        let mut max_int = 0i64;
+        for row in rel.iter() {
+            for (i, v) in row.iter().enumerate() {
+                pools[i].insert(v.clone());
+                if let Value::Int(n) = v {
+                    max_int = max_int.max(*n);
+                }
+            }
+        }
+        Some(RelationState {
+            name: name.to_string(),
+            live_set: rel.to_row_set(),
+            live_rows: rel.rows().to_vec(),
+            pools: pools
+                .into_iter()
+                .map(|p| {
+                    let mut v: Vec<Value> = p.into_iter().collect();
+                    v.sort();
+                    v
+                })
+                .collect(),
+            next_fresh: max_int + 1,
+            touched: FastHashSet::default(),
+        })
+    }
+
+    /// Sample a row absent from the live set and untouched this batch
+    /// (pool-sampled, integer fallback).
+    fn sample_insert(&mut self, rng: &mut SplitMix64) -> Row {
+        for _ in 0..16 {
+            let row: Row = self
+                .pools
+                .iter()
+                .map(|pool| match rng.choose(pool) {
+                    Some(v) => v.clone(),
+                    None => Value::Int(rng.next_below(1 << 20) as i64),
+                })
+                .collect();
+            if !self.live_set.contains(&row) && !self.touched.contains(&row) {
+                return row;
+            }
+        }
+        // Dense relation: fall back to a row containing a fresh value.
+        let fresh = self.next_fresh;
+        self.next_fresh += 1;
+        self.pools
+            .iter()
+            .enumerate()
+            .map(|(i, pool)| {
+                if i == 0 {
+                    Value::Int(fresh)
+                } else {
+                    rng.choose(pool).cloned().unwrap_or(Value::Int(fresh))
+                }
+            })
+            .collect()
+    }
+
+    /// Sample a live, untouched row for deletion; `None` if none can be found.
+    fn sample_delete(&mut self, rng: &mut SplitMix64) -> Option<Row> {
+        let mut rejections = 0;
+        while !self.live_rows.is_empty() && rejections < 8 {
+            let i = rng.next_below(self.live_rows.len() as u64) as usize;
+            if !self.live_set.contains(&self.live_rows[i]) {
+                // Lazily drop rows already deleted in an earlier batch.
+                self.live_rows.swap_remove(i);
+                continue;
+            }
+            if self.touched.contains(&self.live_rows[i]) {
+                rejections += 1;
+                continue;
+            }
+            return Some(self.live_rows.swap_remove(i));
+        }
+        None
+    }
+
+    fn mark_inserted(&mut self, row: Row) {
+        self.touched.insert(row.clone());
+        if self.live_set.insert(row.clone()) {
+            self.live_rows.push(row);
+        }
+    }
+
+    fn mark_deleted(&mut self, row: &Row) {
+        self.touched.insert(row.clone());
+        self.live_set.remove(row);
+        // `live_rows` is pruned lazily in `sample_delete`.
+    }
+}
+
+/// Generate a deterministic sequence of update batches against `db`.
+///
+/// Relations named by the spec but missing from the database are ignored.  The
+/// produced batches are *consistent as a sequence*: deletes always target rows live
+/// after all preceding batches, inserts always add rows absent at that point, so
+/// applying the batches in order through [`Database::apply_batch`] (or a maintained
+/// view) performs exactly the generated operations.
+pub fn update_workload(db: &Database, spec: &UpdateSpec, seed: u64) -> Vec<DeltaBatch> {
+    let mut rng = SplitMix64::new(seed);
+    let mut states: Vec<RelationState> = spec
+        .relations
+        .iter()
+        .filter_map(|name| RelationState::new(db, name))
+        .collect();
+    let mut batches = Vec::with_capacity(spec.batches);
+    if states.is_empty() {
+        return batches;
+    }
+    for _ in 0..spec.batches {
+        let mut batch = DeltaBatch::new();
+        for state in &mut states {
+            state.touched.clear();
+        }
+        for _ in 0..spec.ops_per_batch {
+            let s = rng.next_below(states.len() as u64) as usize;
+            let state = &mut states[s];
+            if rng.next_bool(spec.insert_fraction) {
+                let row = state.sample_insert(&mut rng);
+                state.mark_inserted(row.clone());
+                batch.insert(state.name.clone(), row);
+            } else if let Some(row) = state.sample_delete(&mut rng) {
+                state.mark_deleted(&row);
+                batch.delete(state.name.clone(), row);
+            } else {
+                // Nothing left to delete: insert instead so the batch keeps its size.
+                let row = state.sample_insert(&mut rng);
+                state.mark_inserted(row.clone());
+                batch.insert(state.name.clone(), row);
+            }
+        }
+        batches.push(batch);
+    }
+    batches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcq_storage::Relation;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add(
+            crate::Graph::uniform(50, 200, 7)
+                .to_relation("Graph")
+                .distinct(),
+        )
+        .unwrap();
+        db.add(Relation::from_int_rows(
+            "Tiny",
+            &["k"],
+            vec![vec![1], vec![2]],
+        ))
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let db = db();
+        let spec = UpdateSpec::new(10, 8, &["Graph"]);
+        let a = update_workload(&db, &spec, 42);
+        let b = update_workload(&db, &spec, 42);
+        assert_eq!(a, b);
+        let c = update_workload(&db, &spec, 43);
+        assert_ne!(a, c, "different seeds should differ");
+        assert_eq!(a.len(), 10);
+        assert!(a.iter().all(|batch| batch.len() == 8));
+    }
+
+    #[test]
+    fn batches_apply_cleanly_with_full_effect() {
+        // Every generated operation must be effective: inserts of absent rows,
+        // deletes of live rows — across the whole sequence.
+        let mut db = db();
+        let spec = UpdateSpec::new(20, 10, &["Graph", "Tiny"]).with_insert_fraction(0.4);
+        for batch in update_workload(&db, &spec, 9) {
+            let effect = db.apply_batch(&batch).unwrap();
+            assert_eq!(
+                effect.effect.total(),
+                batch.len(),
+                "redundant operation generated in {batch}"
+            );
+        }
+    }
+
+    #[test]
+    fn delete_heavy_workload_survives_exhaustion() {
+        // With only deletes over a 2-row relation, the generator falls back to
+        // inserts once the relation drains, keeping batch sizes stable.
+        let mut db = db();
+        let spec = UpdateSpec::new(5, 4, &["Tiny"]).with_insert_fraction(0.0);
+        let batches = update_workload(&db, &spec, 1);
+        for batch in &batches {
+            db.apply_batch(batch).unwrap();
+            assert_eq!(batch.len(), 4);
+        }
+    }
+
+    #[test]
+    fn unknown_relations_are_ignored() {
+        let db = db();
+        let spec = UpdateSpec::new(3, 5, &["Missing"]);
+        assert!(update_workload(&db, &spec, 5).is_empty());
+    }
+
+    #[test]
+    fn inserts_prefer_pool_values() {
+        // On a sparse graph, sampled inserts should reconnect existing vertices.
+        let db = db();
+        let spec = UpdateSpec::new(30, 4, &["Graph"]).with_insert_fraction(1.0);
+        let batches = update_workload(&db, &spec, 3);
+        let vertices: FastHashSet<Value> = db
+            .get("Graph")
+            .unwrap()
+            .iter()
+            .flat_map(|r| r.iter().cloned())
+            .collect();
+        let mut pool_hits = 0usize;
+        let mut total = 0usize;
+        for batch in &batches {
+            for (row, sign) in batch.ops("Graph") {
+                assert_eq!(*sign, 1);
+                total += 1;
+                if row.iter().all(|v| vertices.contains(v)) {
+                    pool_hits += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            pool_hits * 2 > total,
+            "most inserts should draw from the value pools ({pool_hits}/{total})"
+        );
+    }
+}

@@ -51,10 +51,8 @@ pub fn annotated_join<A: Semiring>(
         .expect("extra attrs in right");
 
     let out_schema = left.schema().union(right.schema());
-    let mut out = AnnotatedRelation::new(
-        format!("({} ⋈ {})", left.name(), right.name()),
-        out_schema,
-    );
+    let mut out =
+        AnnotatedRelation::new(format!("({} ⋈ {})", left.name(), right.name()), out_schema);
     for (lrow, la) in left.iter() {
         let key = lrow.project(&left_positions);
         for &ridx in index.get(&key) {
@@ -245,7 +243,11 @@ mod tests {
             &["x1", "x2"],
             vec![(vec![1, 10], 1), (vec![2, 10], 2), (vec![2, 20], 2)],
         );
-        let r2 = bag("R2", &["x2", "x3"], vec![(vec![10, 100], 2), (vec![20, 100], 1)]);
+        let r2 = bag(
+            "R2",
+            &["x2", "x3"],
+            vec![(vec![10, 100], 2), (vec![20, 100], 1)],
+        );
         let j = annotated_join(&r1, &r2);
         assert_eq!(j.annotation(&int_row([1, 10, 100])), 2);
         assert_eq!(j.annotation(&int_row([2, 10, 100])), 4);
@@ -325,7 +327,11 @@ mod tests {
     #[test]
     fn yannakakis_three_atom_star_matches_naive() {
         let mk = |name: &str, b: &str, rows: Vec<(Vec<i64>, u64)>| bag(name, &["h", b], rows);
-        let r1 = mk("R1", "a", vec![(vec![1, 10], 1), (vec![1, 11], 2), (vec![2, 12], 1)]);
+        let r1 = mk(
+            "R1",
+            "a",
+            vec![(vec![1, 10], 1), (vec![1, 11], 2), (vec![2, 12], 1)],
+        );
         let r2 = mk("R2", "b", vec![(vec![1, 20], 3), (vec![2, 21], 1)]);
         let r3 = mk("R3", "c", vec![(vec![1, 30], 1), (vec![1, 31], 1)]);
         let head = Schema::from_names(["h"]);

@@ -73,12 +73,7 @@ impl BinaryJoinPlan {
             let connected: Vec<usize> = remaining
                 .iter()
                 .copied()
-                .filter(|&i| {
-                    self.atoms[i]
-                        .schema()
-                        .iter()
-                        .any(|a| bound.contains(a))
-                })
+                .filter(|&i| self.atoms[i].schema().iter().any(|a| bound.contains(a)))
                 .collect();
             let pick = if connected.is_empty() {
                 remaining[0]
@@ -109,10 +104,7 @@ impl BinaryJoinPlan {
             let (next, cartesian) = match acc {
                 None => (atom.clone(), false),
                 Some(ref current) => {
-                    let cartesian = !current
-                        .schema()
-                        .iter()
-                        .any(|a| atom.schema().contains(a));
+                    let cartesian = !current.schema().iter().any(|a| atom.schema().contains(a));
                     (natural_join(current, atom), cartesian)
                 }
             };
@@ -156,7 +148,7 @@ mod tests {
     fn naive(head: &Schema, atoms: &[Relation]) -> Vec<dcq_storage::Row> {
         multiway_join(atoms)
             .unwrap()
-            .project(&head.attrs().to_vec())
+            .project(head.attrs())
             .unwrap()
             .sorted_rows()
     }
@@ -164,7 +156,11 @@ mod tests {
     #[test]
     fn matches_naive_on_path_query() {
         let atoms = vec![
-            rel("R1", &["x1", "x2"], vec![vec![1, 2], vec![2, 3], vec![4, 5]]),
+            rel(
+                "R1",
+                &["x1", "x2"],
+                vec![vec![1, 2], vec![2, 3], vec![4, 5]],
+            ),
             rel("R2", &["x2", "x3"], vec![vec![2, 9], vec![3, 9]]),
             rel("R3", &["x3", "x4"], vec![vec![9, 1]]),
         ];
@@ -213,7 +209,11 @@ mod tests {
         // A path query given in a scrambled order: the greedy order must stay
         // connected, so no step is a Cartesian product.
         let atoms = vec![
-            rel("R3", &["x3", "x4"], (0..50).map(|i| vec![i, i + 1]).collect()),
+            rel(
+                "R3",
+                &["x3", "x4"],
+                (0..50).map(|i| vec![i, i + 1]).collect(),
+            ),
             rel("R1", &["x1", "x2"], (0..50).map(|i| vec![i, i]).collect()),
             rel("R2", &["x2", "x3"], (0..50).map(|i| vec![i, i]).collect()),
         ];

@@ -54,7 +54,13 @@ pub fn generic_join(head: &Schema, atoms: &[Relation]) -> Result<Relation> {
         }
     }
     let count_atoms = |a: &Attr| atoms.iter().filter(|r| r.schema().contains(a)).count();
-    vars.sort_by_key(|a| (!head.contains(a), std::cmp::Reverse(count_atoms(a)), a.clone()));
+    vars.sort_by_key(|a| {
+        (
+            !head.contains(a),
+            std::cmp::Reverse(count_atoms(a)),
+            a.clone(),
+        )
+    });
 
     // Any atom with an empty relation forces an empty result.
     if atoms.iter().any(|r| r.is_empty()) {
@@ -195,7 +201,7 @@ mod tests {
     fn naive(head: &Schema, atoms: &[Relation]) -> Vec<Row> {
         multiway_join(atoms)
             .unwrap()
-            .project(&head.attrs().to_vec())
+            .project(head.attrs())
             .unwrap()
             .sorted_rows()
     }
@@ -224,7 +230,11 @@ mod tests {
     #[test]
     fn acyclic_query_matches_naive() {
         let atoms = vec![
-            rel("R1", &["x1", "x2"], vec![vec![1, 2], vec![2, 3], vec![5, 6]]),
+            rel(
+                "R1",
+                &["x1", "x2"],
+                vec![vec![1, 2], vec![2, 3], vec![5, 6]],
+            ),
             rel("R2", &["x2", "x3"], vec![vec![2, 7], vec![3, 8]]),
         ];
         let head = Schema::from_names(["x1", "x2", "x3"]);
@@ -298,9 +308,13 @@ mod tests {
         let mut edges = Vec::new();
         let mut x: u64 = 12345;
         for _ in 0..300 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = (x >> 33) % 30;
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = (x >> 33) % 30;
             if u != v {
                 edges.push(vec![u as i64, v as i64]);

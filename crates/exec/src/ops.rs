@@ -40,10 +40,7 @@ pub fn natural_join(left: &Relation, right: &Relation) -> Relation {
         .expect("extra attrs are in right schema");
 
     let out_schema = left.schema().union(right.schema());
-    let mut out = Relation::new(
-        format!("({} ⋈ {})", left.name(), right.name()),
-        out_schema,
-    );
+    let mut out = Relation::new(format!("({} ⋈ {})", left.name(), right.name()), out_schema);
     for lrow in left.iter() {
         let key = lrow.project(&left_key_positions);
         for &ridx in index.get(&key) {
@@ -160,8 +157,16 @@ mod tests {
     #[test]
     fn natural_join_on_shared_attr() {
         // Example 3.3 flavour: R1(x1,x2) ⋈ R2(x2,x3).
-        let r1 = rel("R1", &["x1", "x2"], vec![vec![1, 10], vec![2, 10], vec![3, 20]]);
-        let r2 = rel("R2", &["x2", "x3"], vec![vec![10, 100], vec![10, 200], vec![30, 300]]);
+        let r1 = rel(
+            "R1",
+            &["x1", "x2"],
+            vec![vec![1, 10], vec![2, 10], vec![3, 20]],
+        );
+        let r2 = rel(
+            "R2",
+            &["x2", "x3"],
+            vec![vec![10, 100], vec![10, 200], vec![30, 300]],
+        );
         let j = natural_join(&r1, &r2);
         assert_eq!(j.schema(), &Schema::from_names(["x1", "x2", "x3"]));
         assert_eq!(j.len(), 4);
@@ -176,7 +181,10 @@ mod tests {
         let r2 = rel("R2", &["b", "a", "d"], vec![vec![2, 1, 9], vec![2, 5, 9]]);
         let j = natural_join(&r1, &r2);
         assert_eq!(j.schema(), &Schema::from_names(["a", "b", "c", "d"]));
-        assert_eq!(j.sorted_rows(), vec![int_row([1, 2, 3, 9]), int_row([1, 2, 4, 9])]);
+        assert_eq!(
+            j.sorted_rows(),
+            vec![int_row([1, 2, 3, 9]), int_row([1, 2, 4, 9])]
+        );
     }
 
     #[test]
@@ -199,7 +207,11 @@ mod tests {
 
     #[test]
     fn semi_and_anti_join_partition_left() {
-        let g = rel("G", &["src", "dst"], vec![vec![1, 2], vec![2, 3], vec![3, 4]]);
+        let g = rel(
+            "G",
+            &["src", "dst"],
+            vec![vec![1, 2], vec![2, 3], vec![3, 4]],
+        );
         let nodes = rel("N", &["dst"], vec![vec![2], vec![4]]);
         let semi = semi_join(&g, &nodes);
         let anti = anti_join(&g, &nodes);
@@ -238,7 +250,10 @@ mod tests {
         let g2 = rel("G2", &["b", "c"], vec![vec![2, 3], vec![3, 4]]);
         let g3 = rel("G3", &["c", "d"], vec![vec![3, 4], vec![4, 5]]);
         let j = multiway_join(&[g1, g2, g3]).unwrap();
-        assert_eq!(j.sorted_rows(), vec![int_row([1, 2, 3, 4]), int_row([2, 3, 4, 5])]);
+        assert_eq!(
+            j.sorted_rows(),
+            vec![int_row([1, 2, 3, 4]), int_row([2, 3, 4, 5])]
+        );
         assert!(multiway_join(&[]).is_none());
     }
 

@@ -152,19 +152,13 @@ mod tests {
     /// Reference evaluation: naive multiway join then projection onto the head.
     fn naive(head: &Schema, atoms: &[Relation]) -> Vec<dcq_storage::Row> {
         let joined = multiway_join(atoms).unwrap();
-        joined
-            .project(&head.attrs().to_vec())
-            .unwrap()
-            .sorted_rows()
+        joined.project(head.attrs()).unwrap().sorted_rows()
     }
 
     /// Evaluate a reduced query naively (it is a full join over the head).
     fn eval_reduced(rq: &ReducedQuery) -> Vec<dcq_storage::Row> {
         let joined = multiway_join(&rq.relations).unwrap();
-        joined
-            .project(&rq.head.attrs().to_vec())
-            .unwrap()
-            .sorted_rows()
+        joined.project(rq.head.attrs()).unwrap().sorted_rows()
     }
 
     #[test]
@@ -184,7 +178,11 @@ mod tests {
     fn free_connex_projection_is_reduced_correctly() {
         // π_{x1,x2,x3}(R1(x1,x2) ⋈ R2(x2,x3,x4)): free-connex, x4 is projected away.
         let atoms = vec![
-            rel("R1", &["x1", "x2"], vec![vec![1, 100], vec![2, 200], vec![3, 300]]),
+            rel(
+                "R1",
+                &["x1", "x2"],
+                vec![vec![1, 100], vec![2, 200], vec![3, 300]],
+            ),
             rel(
                 "R2",
                 &["x2", "x3", "x4"],
@@ -212,9 +210,17 @@ mod tests {
         // Figure 2: full hypergraph, head {x1,x2,x3,x4}.  The paper's reduced query
         // keeps (a semi-joined copy of) R1(x1,x2,x3) and R2(x1,x4).
         let atoms = vec![
-            rel("R1", &["x1", "x2", "x3"], vec![vec![1, 2, 3], vec![4, 5, 6]]),
+            rel(
+                "R1",
+                &["x1", "x2", "x3"],
+                vec![vec![1, 2, 3], vec![4, 5, 6]],
+            ),
             rel("R2", &["x1", "x4"], vec![vec![1, 7], vec![4, 8]]),
-            rel("R3", &["x2", "x3", "x5"], vec![vec![2, 3, 50], vec![9, 9, 51]]),
+            rel(
+                "R3",
+                &["x2", "x3", "x5"],
+                vec![vec![2, 3, 50], vec![9, 9, 51]],
+            ),
             rel("R4", &["x5", "x6"], vec![vec![50, 60], vec![51, 61]]),
             rel("R5", &["x3", "x7"], vec![vec![3, 70], vec![6, 71]]),
             rel("R6", &["x5", "x8"], vec![vec![50, 80], vec![51, 81]]),
@@ -231,8 +237,16 @@ mod tests {
     fn linear_reducible_but_cyclic_query_reduces() {
         // §2.3's example: π_{x1,x2,x3}(R1(x1,x2) ⋈ R2(x2,x3) ⋈ R3(x1,x3) ⋈ R4(x3,x4)).
         let atoms = vec![
-            rel("R1", &["x1", "x2"], vec![vec![1, 2], vec![1, 3], vec![4, 5]]),
-            rel("R2", &["x2", "x3"], vec![vec![2, 3], vec![3, 3], vec![5, 6]]),
+            rel(
+                "R1",
+                &["x1", "x2"],
+                vec![vec![1, 2], vec![1, 3], vec![4, 5]],
+            ),
+            rel(
+                "R2",
+                &["x2", "x3"],
+                vec![vec![2, 3], vec![3, 3], vec![5, 6]],
+            ),
             rel("R3", &["x1", "x3"], vec![vec![1, 3], vec![4, 6]]),
             rel("R4", &["x3", "x4"], vec![vec![3, 9], vec![6, 10]]),
         ];
@@ -291,7 +305,11 @@ mod tests {
         // Reduce never blows up: every reduced relation is a (semi-joined,
         // projected) copy of an input relation.
         let atoms = vec![
-            rel("R1", &["x1", "x4"], (0..50).map(|i| vec![i, i + 1000]).collect()),
+            rel(
+                "R1",
+                &["x1", "x4"],
+                (0..50).map(|i| vec![i, i + 1000]).collect(),
+            ),
             rel(
                 "R2",
                 &["x4", "x2"],

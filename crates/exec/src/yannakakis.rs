@@ -123,7 +123,7 @@ mod tests {
     fn naive(head: &Schema, atoms: &[Relation]) -> Vec<Row> {
         multiway_join(atoms)
             .unwrap()
-            .project(&head.attrs().to_vec())
+            .project(head.attrs())
             .unwrap()
             .sorted_rows()
     }
@@ -131,28 +131,50 @@ mod tests {
     #[test]
     fn full_path_join_matches_naive() {
         let atoms = vec![
-            rel("R1", &["x1", "x2"], vec![vec![1, 2], vec![2, 2], vec![3, 4]]),
-            rel("R2", &["x2", "x3"], vec![vec![2, 5], vec![2, 6], vec![4, 7]]),
+            rel(
+                "R1",
+                &["x1", "x2"],
+                vec![vec![1, 2], vec![2, 2], vec![3, 4]],
+            ),
+            rel(
+                "R2",
+                &["x2", "x3"],
+                vec![vec![2, 5], vec![2, 6], vec![4, 7]],
+            ),
             rel("R3", &["x3", "x4"], vec![vec![5, 8], vec![7, 9]]),
         ];
         let head = Schema::from_names(["x1", "x2", "x3", "x4"]);
         let j = acyclic_full_join(&atoms).unwrap();
-        assert_eq!(j.project(head.attrs()).unwrap().sorted_rows(), naive(&head, &atoms));
+        assert_eq!(
+            j.project(head.attrs()).unwrap().sorted_rows(),
+            naive(&head, &atoms)
+        );
     }
 
     #[test]
     fn full_join_of_figure2_matches_naive() {
         let atoms = vec![
-            rel("R1", &["x1", "x2", "x3"], vec![vec![1, 2, 3], vec![4, 5, 6], vec![1, 9, 9]]),
+            rel(
+                "R1",
+                &["x1", "x2", "x3"],
+                vec![vec![1, 2, 3], vec![4, 5, 6], vec![1, 9, 9]],
+            ),
             rel("R2", &["x1", "x4"], vec![vec![1, 7], vec![4, 8]]),
-            rel("R3", &["x2", "x3", "x5"], vec![vec![2, 3, 50], vec![5, 6, 51]]),
+            rel(
+                "R3",
+                &["x2", "x3", "x5"],
+                vec![vec![2, 3, 50], vec![5, 6, 51]],
+            ),
             rel("R4", &["x5", "x6"], vec![vec![50, 60], vec![51, 61]]),
             rel("R5", &["x3", "x7"], vec![vec![3, 70], vec![6, 71]]),
             rel("R6", &["x5", "x8"], vec![vec![50, 80]]),
         ];
         let head = Schema::from_names(["x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8"]);
         let j = acyclic_full_join(&atoms).unwrap();
-        assert_eq!(j.project(head.attrs()).unwrap().sorted_rows(), naive(&head, &atoms));
+        assert_eq!(
+            j.project(head.attrs()).unwrap().sorted_rows(),
+            naive(&head, &atoms)
+        );
     }
 
     #[test]
@@ -186,7 +208,11 @@ mod tests {
     fn free_connex_projection_matches_naive() {
         // π_{x1,x2,x3}(R1(x1,x2) ⋈ R2(x2,x3,x4)): free-connex, x4 projected away.
         let atoms = vec![
-            rel("R1", &["x1", "x2"], vec![vec![1, 100], vec![2, 100], vec![3, 300]]),
+            rel(
+                "R1",
+                &["x1", "x2"],
+                vec![vec![1, 100], vec![2, 100], vec![3, 300]],
+            ),
             rel(
                 "R2",
                 &["x2", "x3", "x4"],
@@ -204,7 +230,11 @@ mod tests {
     fn free_connex_single_attribute_projection() {
         // EasyDCQ computes S_e = π_e Q1 for single edges e; check a unary projection.
         let atoms = vec![
-            rel("R1", &["x1", "x2"], vec![vec![1, 2], vec![3, 4], vec![5, 6]]),
+            rel(
+                "R1",
+                &["x1", "x2"],
+                vec![vec![1, 2], vec![3, 4], vec![5, 6]],
+            ),
             rel("R2", &["x2", "x3"], vec![vec![2, 7], vec![4, 8]]),
         ];
         let head = Schema::from_names(["x2"]);
@@ -236,7 +266,9 @@ mod tests {
             rel("R1", &["x1", "x2"], vec![]),
             rel("R2", &["x2", "x3"], vec![vec![2, 3]]),
         ];
-        assert!(free_connex_evaluate(&head, &empty_atoms).unwrap().is_empty());
+        assert!(free_connex_evaluate(&head, &empty_atoms)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

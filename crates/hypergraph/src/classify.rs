@@ -98,8 +98,7 @@ impl CqShape {
     /// Sanity relationships between the classes (Figure 2): free-connex ⇒ acyclic,
     /// free-connex ⇒ linear-reducible, acyclic ∧ full ⇒ free-connex.
     pub fn invariants_hold(&self) -> bool {
-        (!self.free_connex || self.alpha_acyclic)
-            && (!self.free_connex || self.linear_reducible)
+        (!self.free_connex || (self.alpha_acyclic && self.linear_reducible))
             && (!(self.alpha_acyclic && self.full) || self.free_connex)
     }
 }
@@ -169,12 +168,7 @@ mod tests {
     fn paper_linear_reducible_example() {
         // Q = π_{x1,x2,x3}(R1(x1,x2) ⋈ R2(x2,x3) ⋈ R3(x1,x3) ⋈ R4(x3,x4)):
         // cyclic and non-full but linear-reducible (§2.3).
-        let e = edges(&[
-            &["x1", "x2"],
-            &["x2", "x3"],
-            &["x1", "x3"],
-            &["x3", "x4"],
-        ]);
+        let e = edges(&[&["x1", "x2"], &["x2", "x3"], &["x1", "x3"], &["x3", "x4"]]);
         let y = s(&["x1", "x2", "x3"]);
         let shape = CqShape::of(&y, &e);
         assert!(!shape.alpha_acyclic);
@@ -235,12 +229,7 @@ mod tests {
             edges(&[&["a", "b"], &["b", "c"], &["a", "c"]]),
             edges(&[&["a", "b"], &["c", "d"]]),
             edges(&[&["a", "b", "c"], &["b", "c", "d"], &["c", "d", "e"]]),
-            edges(&[
-                &["x1", "x2"],
-                &["x2", "x3"],
-                &["x3", "x4"],
-                &["x4", "x1"],
-            ]),
+            edges(&[&["x1", "x2"], &["x2", "x3"], &["x3", "x4"], &["x4", "x1"]]),
             vec![],
             edges(&[&["a"]]),
         ];

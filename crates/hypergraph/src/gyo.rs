@@ -219,12 +219,7 @@ mod tests {
 
     #[test]
     fn four_cycle_is_cyclic() {
-        let h = hg(&[
-            &["x1", "x2"],
-            &["x2", "x3"],
-            &["x3", "x4"],
-            &["x4", "x1"],
-        ]);
+        let h = hg(&[&["x1", "x2"], &["x2", "x3"], &["x3", "x4"], &["x4", "x1"]]);
         assert!(!gyo_reduction(&h).acyclic);
     }
 
@@ -244,12 +239,7 @@ mod tests {
     #[test]
     fn star_query_is_acyclic() {
         // Example 3.11 (k=4): unary-extended star around x1.
-        let h = hg(&[
-            &["x1", "x2"],
-            &["x1", "x3"],
-            &["x1", "x4"],
-            &["x1", "x5"],
-        ]);
+        let h = hg(&[&["x1", "x2"], &["x1", "x3"], &["x1", "x4"], &["x1", "x5"]]);
         assert!(gyo_reduction(&h).acyclic);
     }
 

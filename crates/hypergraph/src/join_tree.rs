@@ -89,13 +89,16 @@ impl JoinTree {
                 children: Vec::new(),
             })
             .collect();
-        for i in 0..n {
-            if let Some(p) = parent[i] {
-                nodes[p].children.push(i);
+        for (i, p) in parent.iter().enumerate() {
+            if let Some(p) = p {
+                nodes[*p].children.push(i);
             }
         }
         let tree = JoinTree { nodes, root };
-        debug_assert!(tree.verify(), "ear decomposition produced an invalid join tree");
+        debug_assert!(
+            tree.verify(),
+            "ear decomposition produced an invalid join tree"
+        );
         Some(tree)
     }
 
@@ -180,13 +183,13 @@ impl JoinTree {
             }
         }
         debug_assert!(visited.iter().all(|&v| v), "join tree must be connected");
-        for i in 0..n {
-            self.nodes[i].parent = parent[i];
+        for (i, p) in parent.iter().enumerate() {
+            self.nodes[i].parent = *p;
             self.nodes[i].children.clear();
         }
-        for i in 0..n {
-            if let Some(p) = parent[i] {
-                self.nodes[p].children.push(i);
+        for (i, p) in parent.iter().enumerate() {
+            if let Some(p) = p {
+                self.nodes[*p].children.push(i);
             }
         }
         self.root = new_root;
@@ -276,7 +279,13 @@ impl fmt::Debug for JoinTree {
             depth: usize,
             f: &mut fmt::Formatter<'_>,
         ) -> fmt::Result {
-            writeln!(f, "{}[{}] {}", "  ".repeat(depth), node, tree.nodes[node].edge)?;
+            writeln!(
+                f,
+                "{}[{}] {}",
+                "  ".repeat(depth),
+                node,
+                tree.nodes[node].edge
+            )?;
             for &c in &tree.nodes[node].children {
                 rec(tree, c, depth + 1, f)?;
             }

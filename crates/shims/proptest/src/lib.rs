@@ -1,0 +1,346 @@
+//! Minimal, offline stand-in for the [proptest](https://crates.io/crates/proptest)
+//! property-testing framework.
+//!
+//! The build environment for this repository has no network access, so the real
+//! crates.io package cannot be fetched.  This shim implements the subset of the API
+//! the dcqx test-suite uses:
+//!
+//! * the [`Strategy`] trait with [`Strategy::prop_map`],
+//! * integer-range strategies (`0i64..8`), tuple strategies (pairs and triples,
+//!   arbitrarily nested), and the [`collection`] strategies `vec` / `btree_set`,
+//! * the [`proptest!`] macro with an optional `#![proptest_config(..)]` header,
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Test cases are generated from a deterministic SplitMix64 stream seeded by the
+//! test's name, so failures are reproducible run-to-run.  Unlike the real proptest
+//! there is no shrinking: a failing case panics with the standard assertion message.
+
+use std::collections::BTreeSet;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::ops::Range;
+
+/// Configuration for a [`proptest!`] block.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic SplitMix64 generator driving value generation.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator for one test case, seeded by the test name and case index.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut hasher = DefaultHasher::new();
+        test_name.hash(&mut hasher);
+        TestRng {
+            state: hasher.finish() ^ ((case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be positive.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A generator of random values, mirroring proptest's `Strategy`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with a function.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (rng.next_u64() as u128 % span) as i128;
+                    (self.start as i128 + offset) as $t
+                }
+            }
+        )*
+    };
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+        )
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Range, Strategy, TestRng};
+    use std::collections::BTreeSet;
+
+    /// Strategy for `Vec`s with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy for `BTreeSet`s grown from up to `size` sampled elements.
+    ///
+    /// Duplicates collapse, so the generated set may be smaller than the sampled
+    /// length (the real proptest retries; for testing purposes smaller is fine).
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = sample_len(&self.size, rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy returned by [`btree_set`].
+    #[derive(Clone, Debug)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = sample_len(&self.size, rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    fn sample_len(size: &Range<usize>, rng: &mut TestRng) -> usize {
+        assert!(size.start < size.end, "empty size range");
+        let span = (size.end - size.start) as u64;
+        size.start + rng.next_below(span) as usize
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// `BTreeSet` re-export used by some strategy signatures.
+pub type SetValue<T> = BTreeSet<T>;
+
+/// Assert a boolean property inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Declare property tests: each `fn name(arg in strategy, ..) { body }` item becomes
+/// a `#[test]` that runs the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::TestRng::for_case(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(-5i64..7), &mut rng);
+            assert!((-5..7).contains(&v));
+            let u = Strategy::generate(&(1u64..4), &mut rng);
+            assert!((1..4).contains(&u));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = crate::collection::vec((0i64..8, 0i64..8), 0..40);
+        let mut a = TestRng::for_case("det", 3);
+        let mut b = TestRng::for_case("det", 3);
+        assert_eq!(
+            Strategy::generate(&strat, &mut a),
+            Strategy::generate(&strat, &mut b)
+        );
+    }
+
+    #[test]
+    fn prop_map_and_collections_compose() {
+        let strat = crate::collection::vec(0i64..8, 1..10).prop_map(|v| v.len());
+        let mut rng = TestRng::for_case("compose", 0);
+        for _ in 0..100 {
+            let n = Strategy::generate(&strat, &mut rng);
+            assert!((1..10).contains(&n));
+        }
+        let sets = crate::collection::btree_set(0u32..6, 1..4);
+        for case in 0..50 {
+            let mut rng = TestRng::for_case("sets", case);
+            let s = Strategy::generate(&sets, &mut rng);
+            assert!((1..4).contains(&s.len()));
+            assert!(s.iter().all(|v| *v < 6));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The macro itself: doc comments, config header and multiple args parse.
+        #[test]
+        fn macro_round_trip(
+            xs in crate::collection::vec((0i64..8, 0i64..8), 0..20),
+            n in 1u64..5,
+        ) {
+            prop_assert!((1..5).contains(&n));
+            prop_assert_eq!(xs.len(), xs.len(), "lengths {} differ", xs.len());
+            for (a, b) in xs {
+                prop_assert!((0..8).contains(&a) && (0..8).contains(&b));
+            }
+        }
+    }
+}

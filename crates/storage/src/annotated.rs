@@ -220,7 +220,11 @@ impl<A: Semiring> AnnotatedRelation<A> {
 
     /// `(row, annotation)` pairs sorted by row — deterministic order for tests.
     pub fn sorted_entries(&self) -> Vec<(Row, A)> {
-        let mut v: Vec<(Row, A)> = self.entries.iter().map(|(r, a)| (r.clone(), a.clone())).collect();
+        let mut v: Vec<(Row, A)> = self
+            .entries
+            .iter()
+            .map(|(r, a)| (r.clone(), a.clone()))
+            .collect();
         v.sort_by(|a, b| a.0.cmp(&b.0));
         v
     }
@@ -238,17 +242,19 @@ impl<A: Semiring> AnnotatedRelation<A> {
 
     /// Annotated projection onto `attrs`: annotations of merged tuples are ⊕-combined.
     pub fn project(&self, attrs: &[Attr]) -> Result<AnnotatedRelation<A>> {
-        let positions = self.schema.positions_of(attrs).ok_or_else(|| {
-            StorageError::UnknownAttribute {
-                attr: attrs
-                    .iter()
-                    .find(|a| !self.schema.contains(a))
-                    .map(|a| a.name().to_string())
-                    .unwrap_or_default(),
-                schema: self.schema.clone(),
-            }
-        })?;
-        let mut out = AnnotatedRelation::new(format!("π({})", self.name), Schema::new(attrs.to_vec()));
+        let positions =
+            self.schema
+                .positions_of(attrs)
+                .ok_or_else(|| StorageError::UnknownAttribute {
+                    attr: attrs
+                        .iter()
+                        .find(|a| !self.schema.contains(a))
+                        .map(|a| a.name().to_string())
+                        .unwrap_or_default(),
+                    schema: self.schema.clone(),
+                })?;
+        let mut out =
+            AnnotatedRelation::new(format!("π({})", self.name), Schema::new(attrs.to_vec()));
         for (row, a) in &self.entries {
             out.combine(row.project(&positions), a.clone());
         }

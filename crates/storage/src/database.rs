@@ -43,8 +43,7 @@ impl Database {
 
     /// Register or replace a relation under its own name.
     pub fn add_or_replace(&mut self, relation: Relation) {
-        self.relations
-            .insert(relation.name().to_string(), relation);
+        self.relations.insert(relation.name().to_string(), relation);
     }
 
     /// Look up a relation by name.
@@ -153,7 +152,10 @@ mod tests {
         assert!(db.contains("Graph"));
         assert_eq!(db.get("Graph").unwrap().len(), 2);
         assert!(db.get("Missing").is_err());
-        assert_eq!(db.relation_names(), vec!["Graph".to_string(), "Triple".to_string()]);
+        assert_eq!(
+            db.relation_names(),
+            vec!["Graph".to_string(), "Triple".to_string()]
+        );
     }
 
     #[test]
@@ -193,7 +195,11 @@ mod tests {
         let mut db = sample_db();
         let mut other = Database::new();
         other
-            .add(Relation::from_int_rows("Graph", &["src", "dst"], vec![vec![7, 7]]))
+            .add(Relation::from_int_rows(
+                "Graph",
+                &["src", "dst"],
+                vec![vec![7, 7]],
+            ))
             .unwrap();
         other
             .add(Relation::from_int_rows("Extra", &["k"], vec![vec![1]]))

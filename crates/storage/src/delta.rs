@@ -1,0 +1,520 @@
+//! Signed tuple deltas: the update layer of the storage substrate.
+//!
+//! Incremental DCQ maintenance (the `dcq-incremental` crate) consumes database
+//! updates as **batches of signed tuple deltas**: each operation is a `(row, ±1)`
+//! pair against a named relation, `+1` for insertion and `−1` for deletion.  The
+//! representation deliberately mirrors the ℤ-annotated relations of
+//! [`crate::annotated`]: applying a delta is ⊕-combining multiplicities, and the
+//! set-semantics stored relations are the special case where every live tuple has
+//! multiplicity `1`.
+//!
+//! * [`DeltaBatch`] — one batch of raw signed operations, grouped per relation,
+//! * [`normalize_delta`] — reduce a raw per-relation delta to its *net, set-semantics
+//!   effect* against the current relation membership,
+//! * [`Relation::apply_delta`] / [`Database::apply_batch`] — apply updates in place,
+//! * [`UpdateLog`] — an append-only history of applied batches (replayable).
+
+use crate::database::Database;
+use crate::hash::{map_with_capacity, set_with_capacity, FastHashMap, FastHashSet};
+use crate::relation::Relation;
+use crate::row::Row;
+use crate::{Result, StorageError};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One batch of signed tuple operations, grouped by target relation.
+///
+/// Operations are kept *raw*: the same row may be inserted and deleted repeatedly
+/// within a batch.  [`normalize_delta`] collapses a relation's operations to their
+/// net set-semantics effect at application time.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeltaBatch {
+    ops: BTreeMap<String, Vec<(Row, i64)>>,
+}
+
+impl DeltaBatch {
+    /// Create an empty batch.
+    pub fn new() -> Self {
+        DeltaBatch::default()
+    }
+
+    /// Record an insertion of `row` into `relation`.
+    pub fn insert(&mut self, relation: impl Into<String>, row: Row) {
+        self.push(relation, row, 1);
+    }
+
+    /// Record a deletion of `row` from `relation`.
+    pub fn delete(&mut self, relation: impl Into<String>, row: Row) {
+        self.push(relation, row, -1);
+    }
+
+    /// Record a signed operation (`sign > 0` insert, `sign < 0` delete, `0` ignored).
+    pub fn push(&mut self, relation: impl Into<String>, row: Row, sign: i64) {
+        if sign == 0 {
+            return;
+        }
+        self.ops
+            .entry(relation.into())
+            .or_default()
+            .push((row, sign.signum()));
+    }
+
+    /// `true` iff the batch holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.values().all(|v| v.is_empty())
+    }
+
+    /// Total number of raw operations across all relations.
+    pub fn len(&self) -> usize {
+        self.ops.values().map(|v| v.len()).sum()
+    }
+
+    /// Names of the relations this batch touches, in sorted order.
+    pub fn relations(&self) -> impl Iterator<Item = &str> {
+        self.ops.keys().map(|s| s.as_str())
+    }
+
+    /// `true` iff the batch touches `relation`.
+    pub fn touches(&self, relation: &str) -> bool {
+        self.ops.get(relation).is_some_and(|v| !v.is_empty())
+    }
+
+    /// The raw operations against `relation` (empty slice if untouched).
+    pub fn ops(&self, relation: &str) -> &[(Row, i64)] {
+        self.ops.get(relation).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterate over `(relation, raw operations)` pairs in relation-name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[(Row, i64)])> {
+        self.ops.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+}
+
+impl fmt::Display for DeltaBatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DeltaBatch[")?;
+        for (i, (name, ops)) in self.ops.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            let ins = ops.iter().filter(|(_, s)| *s > 0).count();
+            write!(f, "{name}: +{ins}/−{}", ops.len() - ins)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Reduce a raw signed delta to its **net, set-semantics effect** against the current
+/// membership of the relation.
+///
+/// Operations on the same row are summed; the result keeps `(row, +1)` only when the
+/// net effect is an insertion of a row *not currently present*, and `(row, −1)` only
+/// when it is a deletion of a row *currently present*.  Inserting an existing row or
+/// deleting an absent one is a no-op, exactly as in a set-semantics store.
+///
+/// The membership set is taken as a parameter (rather than scanning the relation) so
+/// maintenance engines that track live rows incrementally can normalize in
+/// `O(|delta|)` time.
+pub fn normalize_delta(current: &FastHashSet<Row>, raw: &[(Row, i64)]) -> Vec<(Row, i64)> {
+    let mut net: FastHashMap<&Row, i64> = map_with_capacity(raw.len());
+    for (row, sign) in raw {
+        *net.entry(row).or_insert(0) += sign;
+    }
+    let mut out = Vec::with_capacity(net.len());
+    for (row, n) in net {
+        let present = current.contains(row);
+        if n > 0 && !present {
+            out.push((row.clone(), 1));
+        } else if n < 0 && present {
+            out.push((row.clone(), -1));
+        }
+    }
+    out
+}
+
+/// Counts of tuples actually inserted / deleted by one delta application.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeltaEffect {
+    /// Rows newly inserted.
+    pub inserted: usize,
+    /// Rows removed.
+    pub deleted: usize,
+}
+
+impl DeltaEffect {
+    /// Total number of effective operations.
+    pub fn total(&self) -> usize {
+        self.inserted + self.deleted
+    }
+
+    /// Accumulate another effect into this one.
+    pub fn absorb(&mut self, other: DeltaEffect) {
+        self.inserted += other.inserted;
+        self.deleted += other.deleted;
+    }
+}
+
+impl Relation {
+    /// Apply a raw signed delta under set semantics and report the net effect.
+    ///
+    /// The relation is deduplicated first (set semantics); the delta is normalized
+    /// against its membership, so redundant operations are no-ops.  Rows must match
+    /// the relation's arity.
+    ///
+    /// This is the *convenience* path: it rebuilds the membership hash set per call,
+    /// costing `O(N)` regardless of the delta size.  Hot loops that stream many
+    /// small batches should maintain the membership set themselves and go through
+    /// [`normalize_delta`] + [`Relation::apply_normalized_delta`], which is what
+    /// `dcq-incremental`'s maintenance engines do to stay `O(|delta|)`.
+    pub fn apply_delta(&mut self, raw: &[(Row, i64)]) -> Result<DeltaEffect> {
+        for (row, _) in raw {
+            if row.arity() != self.schema().arity() {
+                return Err(StorageError::ArityMismatch {
+                    relation: self.name().to_string(),
+                    expected: self.schema().arity(),
+                    actual: row.arity(),
+                });
+            }
+        }
+        self.dedup();
+        let current = self.to_row_set();
+        let delta = normalize_delta(&current, raw);
+        Ok(self.apply_normalized_delta(&delta))
+    }
+
+    /// Apply an already-normalized delta (the output of [`normalize_delta`] against
+    /// this relation's current rows).  Skips re-deduplication and membership checks;
+    /// callers on incremental hot paths use this to stay `O(N_deleted + |delta|)`.
+    pub fn apply_normalized_delta(&mut self, delta: &[(Row, i64)]) -> DeltaEffect {
+        let mut effect = DeltaEffect::default();
+        let mut deletions: FastHashSet<&Row> = set_with_capacity(0);
+        for (row, sign) in delta {
+            if *sign < 0 {
+                deletions.insert(row);
+            }
+        }
+        if !deletions.is_empty() {
+            let before = self.len();
+            // `retain_rows` preserves the distinct flag.
+            self.retain_rows(|r| !deletions.contains(r));
+            effect.deleted = before - self.len();
+        }
+        let was_distinct = self.is_known_distinct();
+        for (row, sign) in delta {
+            if *sign > 0 {
+                self.push_unchecked(row.clone());
+                effect.inserted += 1;
+            }
+        }
+        if was_distinct {
+            // A normalized delta only inserts rows that were absent, so distinctness
+            // is preserved.
+            self.assume_distinct();
+        }
+        effect
+    }
+}
+
+/// Per-batch application summary for a whole database.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchEffect {
+    /// Net effect summed over all touched relations.
+    pub effect: DeltaEffect,
+    /// Relations the batch touched (whether or not any tuple actually changed).
+    pub relations_touched: Vec<String>,
+}
+
+impl Database {
+    /// Apply a [`DeltaBatch`] to this database under set semantics.
+    ///
+    /// Every relation named by the batch must exist and every row must match its
+    /// relation's arity — validated up front, so a rejected batch leaves the
+    /// database untouched.  Each relation's operations are then normalized against
+    /// its current contents before application.
+    pub fn apply_batch(&mut self, batch: &DeltaBatch) -> Result<BatchEffect> {
+        for (name, raw) in batch.iter() {
+            let rel = self.get(name)?;
+            for (row, _) in raw {
+                if row.arity() != rel.schema().arity() {
+                    return Err(StorageError::ArityMismatch {
+                        relation: name.to_string(),
+                        expected: rel.schema().arity(),
+                        actual: row.arity(),
+                    });
+                }
+            }
+        }
+        let mut out = BatchEffect::default();
+        for (name, raw) in batch.iter() {
+            let rel = self.get_mut(name).expect("validated above");
+            out.effect.absorb(rel.apply_delta(raw)?);
+            out.relations_touched.push(name.to_string());
+        }
+        Ok(out)
+    }
+}
+
+/// Append-only history of delta batches applied to a database.
+///
+/// The log is the replayable source of truth for an incremental maintenance engine:
+/// a fresh snapshot plus `replay` reproduces the maintained state, which is how the
+/// equivalence property tests validate [`MaintainedDcq`](https://docs.rs/dcq-incremental)
+/// against full recomputation.
+///
+/// Long-lived consumers must bound the log with [`UpdateLog::with_limit`]: once the
+/// limit is reached the oldest batches are dropped, the log is marked *truncated*
+/// and [`UpdateLog::replay`] refuses to run (a partial replay would silently
+/// produce the wrong state).  Counters keep accumulating either way.
+#[derive(Clone, Debug, Default)]
+pub struct UpdateLog {
+    batches: std::collections::VecDeque<DeltaBatch>,
+    total: DeltaEffect,
+    recorded: usize,
+    limit: Option<usize>,
+    truncated: bool,
+}
+
+impl UpdateLog {
+    /// Create an empty, unbounded log.
+    pub fn new() -> Self {
+        UpdateLog::default()
+    }
+
+    /// Create an empty log retaining at most `limit` batches.
+    pub fn with_limit(limit: usize) -> Self {
+        UpdateLog {
+            limit: Some(limit.max(1)),
+            ..UpdateLog::default()
+        }
+    }
+
+    /// Append an applied batch together with its observed effect.
+    pub fn record(&mut self, batch: DeltaBatch, effect: DeltaEffect) {
+        self.total.absorb(effect);
+        self.recorded += 1;
+        self.batches.push_back(batch);
+        if let Some(limit) = self.limit {
+            while self.batches.len() > limit {
+                self.batches.pop_front();
+                self.truncated = true;
+            }
+        }
+    }
+
+    /// Number of currently retained batches.
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// `true` iff no batch is retained.
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+
+    /// Total number of batches ever recorded (including dropped ones).
+    pub fn recorded(&self) -> usize {
+        self.recorded
+    }
+
+    /// `true` iff old batches have been dropped to honour the retention limit.
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// The retained batches, oldest first.
+    pub fn batches(&self) -> impl Iterator<Item = &DeltaBatch> {
+        self.batches.iter()
+    }
+
+    /// Net tuples inserted / deleted across the whole log (including dropped
+    /// batches).
+    pub fn total_effect(&self) -> DeltaEffect {
+        self.total
+    }
+
+    /// Re-apply every recorded batch, in order, to a database snapshot.
+    ///
+    /// Fails with [`StorageError::TruncatedLog`] if batches have been dropped —
+    /// a partial replay would not reproduce the maintained state.
+    pub fn replay(&self, db: &mut Database) -> Result<DeltaEffect> {
+        if self.truncated {
+            return Err(StorageError::TruncatedLog {
+                retained: self.batches.len(),
+                recorded: self.recorded,
+            });
+        }
+        let mut effect = DeltaEffect::default();
+        for batch in &self.batches {
+            effect.absorb(db.apply_batch(batch)?.effect);
+        }
+        Ok(effect)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::int_row;
+
+    fn graph() -> Relation {
+        Relation::from_int_rows(
+            "Graph",
+            &["src", "dst"],
+            vec![vec![1, 2], vec![2, 3], vec![3, 1]],
+        )
+    }
+
+    #[test]
+    fn batch_builder_and_accessors() {
+        let mut b = DeltaBatch::new();
+        assert!(b.is_empty());
+        b.insert("Graph", int_row([7, 8]));
+        b.delete("Graph", int_row([1, 2]));
+        b.insert("Edge", int_row([1, 1]));
+        b.push("Edge", int_row([2, 2]), 0); // ignored
+        assert_eq!(b.len(), 3);
+        assert!(b.touches("Graph") && b.touches("Edge") && !b.touches("Node"));
+        assert_eq!(b.relations().collect::<Vec<_>>(), vec!["Edge", "Graph"]);
+        assert_eq!(b.ops("Graph").len(), 2);
+        assert_eq!(b.ops("Missing"), &[]);
+        let text = format!("{b}");
+        assert!(text.contains("Graph: +1"));
+    }
+
+    #[test]
+    fn normalization_collapses_and_clips() {
+        let current: FastHashSet<Row> = [int_row([1, 2]), int_row([2, 3])].into_iter().collect();
+        let raw = vec![
+            (int_row([1, 2]), 1),  // already present → no-op
+            (int_row([9, 9]), 1),  // new → +1
+            (int_row([2, 3]), -1), // present → −1
+            (int_row([5, 5]), -1), // absent → no-op
+            (int_row([7, 7]), 1),  // insert then delete → net 0
+            (int_row([7, 7]), -1),
+        ];
+        let mut net = normalize_delta(&current, &raw);
+        net.sort();
+        assert_eq!(net, vec![(int_row([2, 3]), -1), (int_row([9, 9]), 1)]);
+    }
+
+    #[test]
+    fn relation_apply_delta_is_set_semantics() {
+        let mut g = graph();
+        let effect = g
+            .apply_delta(&[
+                (int_row([1, 2]), 1),  // duplicate insert: no-op
+                (int_row([9, 9]), 1),  // new row
+                (int_row([2, 3]), -1), // delete existing
+                (int_row([8, 8]), -1), // delete absent: no-op
+            ])
+            .unwrap();
+        assert_eq!(
+            effect,
+            DeltaEffect {
+                inserted: 1,
+                deleted: 1
+            }
+        );
+        assert_eq!(effect.total(), 2);
+        assert_eq!(
+            g.sorted_rows(),
+            vec![int_row([1, 2]), int_row([3, 1]), int_row([9, 9])]
+        );
+        assert!(g.is_known_distinct());
+    }
+
+    #[test]
+    fn relation_apply_delta_checks_arity() {
+        let mut g = graph();
+        assert!(matches!(
+            g.apply_delta(&[(int_row([1, 2, 3]), 1)]),
+            Err(StorageError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn database_apply_batch_and_unknown_relation() {
+        let mut db = Database::new();
+        db.add(graph()).unwrap();
+        let mut batch = DeltaBatch::new();
+        batch.insert("Graph", int_row([4, 4]));
+        batch.delete("Graph", int_row([1, 2]));
+        let effect = db.apply_batch(&batch).unwrap();
+        assert_eq!(
+            effect.effect,
+            DeltaEffect {
+                inserted: 1,
+                deleted: 1
+            }
+        );
+        assert_eq!(effect.relations_touched, vec!["Graph".to_string()]);
+        assert_eq!(db.get("Graph").unwrap().len(), 3);
+
+        let mut bad = DeltaBatch::new();
+        bad.insert("Nope", int_row([1]));
+        assert!(db.apply_batch(&bad).is_err());
+    }
+
+    #[test]
+    fn update_log_replays_to_same_state() {
+        let mut db = Database::new();
+        db.add(graph()).unwrap();
+        let snapshot = db.clone();
+
+        let mut log = UpdateLog::new();
+        assert!(log.is_empty());
+        for step in 0..5i64 {
+            let mut batch = DeltaBatch::new();
+            batch.insert("Graph", int_row([10 + step, step]));
+            batch.delete("Graph", int_row([1, 2]));
+            let effect = db.apply_batch(&batch).unwrap().effect;
+            log.record(batch, effect);
+        }
+        assert_eq!(log.len(), 5);
+        assert_eq!(log.batches().count(), 5);
+        assert_eq!(log.recorded(), 5);
+        assert!(!log.is_truncated());
+        // Deleting (1,2) succeeds only the first time.
+        assert_eq!(
+            log.total_effect(),
+            DeltaEffect {
+                inserted: 5,
+                deleted: 1
+            }
+        );
+
+        let mut replayed = snapshot;
+        let effect = log.replay(&mut replayed).unwrap();
+        assert_eq!(effect, log.total_effect());
+        assert_eq!(
+            replayed.get("Graph").unwrap().sorted_rows(),
+            db.get("Graph").unwrap().sorted_rows()
+        );
+    }
+
+    #[test]
+    fn bounded_log_truncates_and_refuses_replay() {
+        let mut db = Database::new();
+        db.add(graph()).unwrap();
+        let mut log = UpdateLog::with_limit(3);
+        for step in 0..5i64 {
+            let mut batch = DeltaBatch::new();
+            batch.insert("Graph", int_row([20 + step, step]));
+            let effect = db.apply_batch(&batch).unwrap().effect;
+            log.record(batch, effect);
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.recorded(), 5);
+        assert!(log.is_truncated());
+        assert_eq!(log.total_effect().inserted, 5);
+        let mut snapshot = Database::new();
+        snapshot.add(graph()).unwrap();
+        assert!(matches!(
+            log.replay(&mut snapshot),
+            Err(StorageError::TruncatedLog {
+                retained: 3,
+                recorded: 5
+            })
+        ));
+    }
+}

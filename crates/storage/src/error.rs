@@ -35,6 +35,14 @@ pub enum StorageError {
     },
     /// A relation with the same name was registered twice.
     DuplicateRelation(String),
+    /// An update log dropped old batches to honour its retention limit and can no
+    /// longer be replayed in full.
+    TruncatedLog {
+        /// Batches still retained.
+        retained: usize,
+        /// Batches recorded over the log's lifetime.
+        recorded: usize,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -63,6 +71,10 @@ impl fmt::Display for StorageError {
             StorageError::DuplicateRelation(name) => {
                 write!(f, "relation `{name}` is already registered")
             }
+            StorageError::TruncatedLog { retained, recorded } => write!(
+                f,
+                "update log was truncated ({retained} of {recorded} batches retained); full replay is impossible"
+            ),
         }
     }
 }

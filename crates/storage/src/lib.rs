@@ -16,6 +16,8 @@
 //! * [`HashIndex`] — hash index on a subset of a relation's attributes,
 //! * [`annotated`] — relations annotated with commutative (semi)ring elements,
 //!   used for aggregation (§5.3) and bag semantics (§5.4),
+//! * [`delta`] — signed tuple deltas ([`DeltaBatch`]), set-semantics normalization
+//!   and the replayable [`UpdateLog`] consumed by `dcq-incremental`,
 //! * [`Database`] — a named collection of relations (one query instance).
 //!
 //! The crate is deliberately free of query logic: acyclicity lives in
@@ -25,6 +27,7 @@
 
 pub mod annotated;
 pub mod database;
+pub mod delta;
 pub mod error;
 pub mod hash;
 pub mod index;
@@ -35,6 +38,7 @@ pub mod value;
 
 pub use annotated::{AnnotatedRelation, BagRelation, Ring, Semiring};
 pub use database::Database;
+pub use delta::{normalize_delta, BatchEffect, DeltaBatch, DeltaEffect, UpdateLog};
 pub use error::StorageError;
 pub use hash::{FastHashMap, FastHashSet};
 pub use index::HashIndex;

@@ -140,6 +140,14 @@ impl Relation {
         self.distinct
     }
 
+    /// Keep only the rows satisfying the predicate, in place.
+    ///
+    /// The distinct flag is preserved: retaining a subset cannot introduce
+    /// duplicates, and a relation that already held duplicates stays unmarked.
+    pub fn retain_rows<F: FnMut(&Row) -> bool>(&mut self, f: F) {
+        self.rows.retain(f);
+    }
+
     /// Remove duplicate rows in place (set semantics).
     pub fn dedup(&mut self) {
         if self.distinct {
@@ -187,16 +195,17 @@ impl Relation {
     /// Attributes may be listed in any order; the output schema follows the order of
     /// `attrs`.
     pub fn project(&self, attrs: &[Attr]) -> Result<Relation> {
-        let positions = self.schema.positions_of(attrs).ok_or_else(|| {
-            StorageError::UnknownAttribute {
-                attr: attrs
-                    .iter()
-                    .find(|a| !self.schema.contains(a))
-                    .map(|a| a.name().to_string())
-                    .unwrap_or_default(),
-                schema: self.schema.clone(),
-            }
-        })?;
+        let positions =
+            self.schema
+                .positions_of(attrs)
+                .ok_or_else(|| StorageError::UnknownAttribute {
+                    attr: attrs
+                        .iter()
+                        .find(|a| !self.schema.contains(a))
+                        .map(|a| a.name().to_string())
+                        .unwrap_or_default(),
+                    schema: self.schema.clone(),
+                })?;
         let schema = Schema::new(attrs.to_vec());
         let mut out = Relation::new(format!("π({})", self.name), schema);
         out.reserve(self.rows.len());
@@ -274,7 +283,10 @@ impl Relation {
             other.reorder_to(&self.schema)?
         };
         let right = other.to_row_set();
-        let mut out = Relation::new(format!("({})−({})", self.name, other.name), self.schema.clone());
+        let mut out = Relation::new(
+            format!("({})−({})", self.name, other.name),
+            self.schema.clone(),
+        );
         let mut seen: FastHashSet<Row> = set_with_capacity(self.rows.len());
         for r in &self.rows {
             if !right.contains(r) && seen.insert(r.clone()) {
@@ -292,7 +304,10 @@ impl Relation {
         } else {
             other.reorder_to(&self.schema)?
         };
-        let mut out = Relation::new(format!("({})∪({})", self.name, other.name), self.schema.clone());
+        let mut out = Relation::new(
+            format!("({})∪({})", self.name, other.name),
+            self.schema.clone(),
+        );
         let mut seen: FastHashSet<Row> = set_with_capacity(self.rows.len() + other.rows.len());
         for r in self.rows.iter().chain(other.rows.iter()) {
             if seen.insert(r.clone()) {
@@ -311,7 +326,10 @@ impl Relation {
             other.reorder_to(&self.schema)?
         };
         let right = other.to_row_set();
-        let mut out = Relation::new(format!("({})∩({})", self.name, other.name), self.schema.clone());
+        let mut out = Relation::new(
+            format!("({})∩({})", self.name, other.name),
+            self.schema.clone(),
+        );
         let mut seen: FastHashSet<Row> = set_with_capacity(self.rows.len());
         for r in &self.rows {
             if right.contains(r) && seen.insert(r.clone()) {
@@ -390,7 +408,10 @@ mod tests {
         let g = graph();
         let p = g.project(&[Attr::new("dst")]).unwrap();
         assert_eq!(p.schema(), &Schema::from_names(["dst"]));
-        assert_eq!(p.sorted_rows(), vec![int_row([1]), int_row([2]), int_row([3])]);
+        assert_eq!(
+            p.sorted_rows(),
+            vec![int_row([1]), int_row([2]), int_row([3])]
+        );
 
         let swapped = g.project(&[Attr::new("dst"), Attr::new("src")]).unwrap();
         assert!(swapped.rows().contains(&int_row([2, 1])));
@@ -473,7 +494,8 @@ mod tests {
     #[test]
     fn approx_bytes_grows_with_rows() {
         let small = Relation::from_int_rows("S", &["a"], vec![vec![1]]);
-        let large = Relation::from_int_rows("L", &["a"], (0..1000).map(|i| vec![i]).collect::<Vec<_>>());
+        let large =
+            Relation::from_int_rows("L", &["a"], (0..1000).map(|i| vec![i]).collect::<Vec<_>>());
         assert!(large.approx_bytes() > small.approx_bytes());
     }
 }

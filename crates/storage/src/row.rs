@@ -24,7 +24,9 @@ impl Row {
 
     /// The empty (nullary) row — the single tuple of a Boolean relation.
     pub fn empty() -> Self {
-        Row { values: Box::new([]) }
+        Row {
+            values: Box::new([]),
+        }
     }
 
     /// Number of values in the row.
@@ -166,6 +168,9 @@ mod tests {
     fn ordering_is_lexicographic() {
         let mut rows = vec![int_row([2, 1]), int_row([1, 9]), int_row([1, 2])];
         rows.sort();
-        assert_eq!(rows, vec![int_row([1, 2]), int_row([1, 9]), int_row([2, 1])]);
+        assert_eq!(
+            rows,
+            vec![int_row([1, 2]), int_row([1, 9]), int_row([2, 1])]
+        );
     }
 }

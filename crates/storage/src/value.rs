@@ -154,11 +154,23 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_stable() {
-        let mut vs = vec![Value::Null, Value::str("b"), Value::int(3), Value::int(-1), Value::str("a")];
+        let mut vs = vec![
+            Value::Null,
+            Value::str("b"),
+            Value::int(3),
+            Value::int(-1),
+            Value::str("a"),
+        ];
         vs.sort();
         assert_eq!(
             vs,
-            vec![Value::int(-1), Value::int(3), Value::str("a"), Value::str("b"), Value::Null]
+            vec![
+                Value::int(-1),
+                Value::int(3),
+                Value::str("a"),
+                Value::str("b"),
+                Value::Null
+            ]
         );
     }
 

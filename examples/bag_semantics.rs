@@ -1,7 +1,7 @@
 //! Bag semantics and aggregation: the worked example of Figure 3 / Examples 5.3–5.4.
 //!
 //! ```text
-//! cargo run --release -p dcqx-examples --bin bag_semantics
+//! cargo run --release --example bag_semantics
 //! ```
 
 use dcq_core::aggregate::{
@@ -10,7 +10,7 @@ use dcq_core::aggregate::{
 use dcq_core::bag::{bag_dcq_naive, bag_dcq_rewritten, BagDatabase};
 use dcq_core::parse::parse_dcq;
 use dcq_storage::{AnnotatedRelation, Attr, BagRelation, Schema};
-use dcqx_examples::header;
+use dcqx::util::header;
 
 fn bag_db() -> BagDatabase {
     let mut bdb = BagDatabase::new();
@@ -42,8 +42,7 @@ fn ring_db() -> AnnotatedDatabase<i64> {
     for name in ["R1", "R2", "R3", "R4"] {
         let bag = bag_db();
         let src = bag.get(name).unwrap().clone();
-        let mut rel: AnnotatedRelation<i64> =
-            AnnotatedRelation::new(name, src.schema().clone());
+        let mut rel: AnnotatedRelation<i64> = AnnotatedRelation::new(name, src.schema().clone());
         for (row, &count) in src.iter() {
             rel.combine(row.clone(), count as i64);
         }
@@ -53,10 +52,8 @@ fn ring_db() -> AnnotatedDatabase<i64> {
 }
 
 fn main() {
-    let dcq = parse_dcq(
-        "Q(x1, x2, x3) :- R1(x1, x2), R2(x2, x3) EXCEPT R3(x1, x2), R4(x2, x3)",
-    )
-    .unwrap();
+    let dcq =
+        parse_dcq("Q(x1, x2, x3) :- R1(x1, x2), R2(x2, x3) EXCEPT R3(x1, x2), R4(x2, x3)").unwrap();
     let bdb = bag_db();
 
     header("bag-semantics DCQ (Figure 3 flavour)");
@@ -65,7 +62,12 @@ fn main() {
     let rewritten = bag_dcq_rewritten(&dcq, &bdb).unwrap();
     println!("{:<18} {:>6} {:>10}", "tuple", "naive", "rewritten");
     for (row, w) in naive.sorted_entries() {
-        println!("{:<18} {:>6} {:>10}", format!("{row}"), w, rewritten.annotation(&row));
+        println!(
+            "{:<18} {:>6} {:>10}",
+            format!("{row}"),
+            w,
+            rewritten.annotation(&row)
+        );
     }
     println!(
         "bag output size (Σ multiplicities): {}",

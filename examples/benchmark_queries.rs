@@ -2,13 +2,13 @@
 //! workloads at several scale factors, original vs rewritten plans.
 //!
 //! ```text
-//! cargo run --release -p dcqx-examples --bin benchmark_queries
+//! cargo run --release --example benchmark_queries
 //! ```
 
 use dcq_core::baseline::CqStrategy;
 use dcq_core::multi::{multi_dcq_naive, multi_dcq_recursive};
 use dcq_datagen::{tpcds_q35_workload, tpcds_q69_workload, tpch_q16_workload, BenchmarkWorkload};
-use dcqx_examples::{header, secs, timed};
+use dcqx::util::{header, secs, timed};
 
 fn run(workload: &BenchmarkWorkload) {
     let (fast, t_fast) = timed(|| multi_dcq_recursive(&workload.multi, &workload.db).unwrap());

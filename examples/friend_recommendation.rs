@@ -6,13 +6,13 @@
 //! recommendations.
 //!
 //! ```text
-//! cargo run --release -p dcqx-examples --bin friend_recommendation
+//! cargo run --release --example friend_recommendation
 //! ```
 
 use dcq_core::baseline::{baseline_dcq_with_stats, CqStrategy};
 use dcq_core::planner::DcqPlanner;
 use dcq_datagen::{dataset, graph_query, GraphQueryId};
-use dcqx_examples::{header, secs, timed};
+use dcqx::util::{header, secs, timed};
 
 fn main() {
     // The friend-recommendation query is exactly Q_G3 of the paper's experiments.
@@ -47,8 +47,14 @@ fn main() {
     println!("candidate triples (OUT1)    : {}", stats.out1);
     println!("materialized triangles (OUT2): {}", stats.out2);
     println!();
-    println!("original plan  (materialize both + anti-join): {}", secs(t_base));
-    println!("rewritten plan (difference pushed down)      : {}", secs(t_opt));
+    println!(
+        "original plan  (materialize both + anti-join): {}",
+        secs(t_base)
+    );
+    println!(
+        "rewritten plan (difference pushed down)      : {}",
+        secs(t_opt)
+    );
     if t_opt.as_secs_f64() > 0.0 {
         println!(
             "speedup: {:.1}x",

@@ -3,7 +3,7 @@
 //! version of the Figure 5 experiment.
 //!
 //! ```text
-//! cargo run --release -p dcqx-examples --bin graph_patterns [dataset]
+//! cargo run --release --example graph_patterns [dataset]
 //! ```
 //!
 //! `dataset` defaults to `bitcoin-sim`; see `dcq_datagen::dataset_names()`.
@@ -11,7 +11,7 @@
 use dcq_core::baseline::{baseline_dcq_with_stats, CqStrategy};
 use dcq_core::planner::DcqPlanner;
 use dcq_datagen::{dataset, dataset_names, graph_queries};
-use dcqx_examples::{header, secs, timed};
+use dcqx::util::{header, secs, timed};
 
 fn main() {
     let name = std::env::args()
@@ -43,7 +43,10 @@ fn main() {
         // itself; keep it to the smallest dataset to stay laptop-friendly (the paper
         // itself only completes it on the two smallest graphs).
         if id.name() == "QG6" && data.stats.edges > 2_500 {
-            println!("{:<5} skipped (Cartesian product too large for this dataset)", id.name());
+            println!(
+                "{:<5} skipped (Cartesian product too large for this dataset)",
+                id.name()
+            );
             continue;
         }
         let plan = planner.plan(&dcq);

@@ -2,13 +2,13 @@
 //! against the naive fold of set differences, on the TPC-DS Q35-like workload.
 //!
 //! ```text
-//! cargo run --release -p dcqx-examples --bin multi_difference [scale_factor]
+//! cargo run --release --example multi_difference [scale_factor]
 //! ```
 
 use dcq_core::baseline::CqStrategy;
 use dcq_core::multi::{multi_dcq_naive, multi_dcq_recursive};
 use dcq_datagen::tpcds_q35_workload;
-use dcqx_examples::{header, secs, timed};
+use dcqx::util::{header, secs, timed};
 
 fn main() {
     let sf: usize = std::env::args()
@@ -21,7 +21,8 @@ fn main() {
     println!("input tuples N = {}", workload.input_size());
     println!(
         "query: {:?} minus {} negative CQs",
-        workload.multi.positive, workload.multi.negatives.len()
+        workload.multi.positive,
+        workload.multi.negatives.len()
     );
 
     header("evaluation");
@@ -30,7 +31,10 @@ fn main() {
         timed(|| multi_dcq_naive(&workload.multi, &workload.db, CqStrategy::Vanilla).unwrap());
     assert_eq!(recursive.sorted_rows(), naive.sorted_rows());
 
-    println!("customers with no channel activity (OUT): {}", recursive.len());
+    println!(
+        "customers with no channel activity (OUT): {}",
+        recursive.len()
+    );
     println!("recursive rewriting (Algorithm 4): {}", secs(t_rec));
     println!("naive fold of set differences    : {}", secs(t_naive));
     println!();

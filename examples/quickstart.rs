@@ -2,14 +2,14 @@
 //! algorithm, and compare it with the baseline.
 //!
 //! ```text
-//! cargo run --release -p dcqx-examples --bin quickstart
+//! cargo run --release --example quickstart
 //! ```
 
 use dcq_core::baseline::{baseline_dcq_with_stats, CqStrategy};
 use dcq_core::parse::parse_dcq;
 use dcq_core::planner::DcqPlanner;
 use dcq_storage::{Database, Relation};
-use dcqx_examples::{header, secs, timed};
+use dcqx::util::{header, secs, timed};
 
 fn main() {
     // 1. A tiny social network: followers and candidate recommendations.

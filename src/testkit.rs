@@ -1,4 +1,4 @@
-//! Shared helpers for the dcqx cross-crate integration tests.
+//! Shared fixtures for the dcqx cross-crate integration tests.
 
 use dcq_storage::{Database, Relation};
 

@@ -7,9 +7,9 @@ use dcq_core::compose::{join_dcq_results, push_projection, push_selection};
 use dcq_core::multi::{multi_dcq_naive, multi_dcq_recursive, MultiDcq};
 use dcq_core::parse::{parse_dcq, parse_dcq_multi};
 use dcq_core::planner::DcqPlanner;
-use dcq_core::scq::{decide_dcq_nonempty, dcq_linear_time_decidable, evaluate_dcq_via_scq};
+use dcq_core::scq::{dcq_linear_time_decidable, decide_dcq_nonempty, evaluate_dcq_via_scq};
 use dcq_exec::natural_join;
-use dcqx_integration_tests::small_graph_db;
+use dcqx::testkit::small_graph_db;
 
 #[test]
 fn scq_rewriting_matches_planner_on_full_dcqs() {
@@ -62,12 +62,12 @@ fn multi_difference_recursion_matches_naive_on_many_shapes() {
 fn selection_pushdown_commutes_with_evaluation() {
     let db = small_graph_db();
     let planner = DcqPlanner::smart();
-    let dcq = parse_dcq(
-        "Q(a, b, c) :- Triple(a, b, c) EXCEPT Graph(a, b), Graph(b, c), Graph(c, a)",
-    )
-    .unwrap();
+    let dcq =
+        parse_dcq("Q(a, b, c) :- Triple(a, b, c) EXCEPT Graph(a, b), Graph(b, c), Graph(c, a)")
+            .unwrap();
     // σ_{node1 ≤ 3} applied to the Triple base relation.
-    let filtered_db = push_selection(&db, "Triple", |row| row.get(0).as_int().unwrap() <= 3).unwrap();
+    let filtered_db =
+        push_selection(&db, "Triple", |row| row.get(0).as_int().unwrap() <= 3).unwrap();
     let filtered_result = planner.execute(&dcq, &filtered_db).unwrap();
     // Equivalent: evaluate on the full database and filter the output (the predicate
     // only mentions output attribute node1 of the Q1 base relation).
@@ -84,8 +84,9 @@ fn selection_pushdown_commutes_with_evaluation() {
 fn projection_pushdown_produces_a_plannable_dcq() {
     let db = small_graph_db();
     let planner = DcqPlanner::smart();
-    let dcq = parse_dcq("Q(a, b, c) :- Triple(a, b, c) EXCEPT Graph(a, b), Graph(b, c), Graph(c, a)")
-        .unwrap();
+    let dcq =
+        parse_dcq("Q(a, b, c) :- Triple(a, b, c) EXCEPT Graph(a, b), Graph(b, c), Graph(c, a)")
+            .unwrap();
     let projected = push_projection(&dcq, &["a", "b"]).unwrap();
     let result = planner.execute(&projected, &db).unwrap();
     // Reference: π_{a,b} Q1 − π_{a,b} Q2 evaluated via the baseline.

@@ -1,0 +1,194 @@
+//! Incremental maintenance ≡ full recomputation.
+//!
+//! Two complementary suites:
+//!
+//! * a **property test** applying proptest-generated insert/delete batches to
+//!   maintained views of easy and hard DCQs under *both* maintenance strategies,
+//!   asserting after every batch that the maintained result is byte-identical to the
+//!   vanilla baseline recomputation;
+//! * a **deterministic long-run test** streaming 120 generator-produced batches
+//!   (`dcq_datagen::update_workload`) through easy and hard views over a synthetic
+//!   graph, checking the same invariant — this is the ≥100-batch acceptance gate.
+
+use dcq_core::baseline::{baseline_dcq, CqStrategy};
+use dcq_core::parse::parse_dcq;
+use dcq_core::planner::IncrementalStrategy;
+use dcq_datagen::datasets::build_dataset;
+use dcq_datagen::{graph_query, update_workload, Graph, GraphQueryId, TripleRuleMix, UpdateSpec};
+use dcq_incremental::MaintainedDcq;
+use dcq_storage::row::int_row;
+use dcq_storage::{Database, DeltaBatch, Relation};
+use proptest::prelude::*;
+
+/// The maintained queries: a mix of difference-linear and hard DCQs so both
+/// maintenance engines are exercised on every generated update sequence.
+const QUERIES: &[(&str, &str)] = &[
+    // Difference-linear: ternary minus triangle (Q_G3 shape).
+    (
+        "easy_triangle",
+        "Q(x, y, z) :- W(x, y, z) EXCEPT R(x, y), S(y, z), T(z, x)",
+    ),
+    // Difference-linear: same-schema path join (Example 3.3).
+    (
+        "easy_paths",
+        "Q(x, y, z) :- R(x, y), S(y, z) EXCEPT T(x, y), U(y, z)",
+    ),
+    // Hard case (2): non-linear-reducible negative side.
+    (
+        "hard_projection",
+        "Q(x, z) :- R(x, z) EXCEPT S(x, y), T(y, z)",
+    ),
+    // Hard case (3): cycle-closing edge (Q_G5 shape).
+    (
+        "hard_cycle",
+        "Q(x, y, z) :- R(x, y), S(y, z) EXCEPT T(x, z), U(y, z)",
+    ),
+];
+
+const RELATIONS: [&str; 5] = ["R", "S", "T", "U", "W"];
+
+fn initial_db(rows: &[(u8, i64, i64, i64)]) -> Database {
+    let mut db = Database::new();
+    for name in ["R", "S", "T", "U"] {
+        db.add(Relation::from_int_rows(name, &["p", "q"], vec![]))
+            .unwrap();
+    }
+    db.add(Relation::from_int_rows("W", &["p", "q", "r"], vec![]))
+        .unwrap();
+    let batch = ops_to_batch(rows, true);
+    db.apply_batch(&batch).unwrap();
+    db
+}
+
+/// Turn generated `(relation, a, b, c)` tuples into a delta batch; `a` doubles as
+/// the insert/delete selector when `all_inserts` is false.
+fn ops_to_batch(ops: &[(u8, i64, i64, i64)], all_inserts: bool) -> DeltaBatch {
+    let mut batch = DeltaBatch::new();
+    for (rel, a, b, c) in ops {
+        let name = RELATIONS[(*rel as usize) % RELATIONS.len()];
+        let row = if name == "W" {
+            int_row([*a, *b, *c])
+        } else {
+            int_row([*a, *b])
+        };
+        if all_inserts || *c % 3 != 0 {
+            batch.insert(name, row);
+        } else {
+            batch.delete(name, row);
+        }
+    }
+    batch
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Maintained views stay byte-identical to full recomputation over randomized
+    /// insert/delete batch sequences, for easy and hard DCQs under both strategies.
+    #[test]
+    fn maintenance_equals_recomputation(
+        initial in proptest::collection::vec((0u8..5, 0i64..6, 0i64..6, 0i64..6), 0..60),
+        batches in proptest::collection::vec(
+            proptest::collection::vec((0u8..5, 0i64..6, 0i64..6, 0i64..6), 1..8),
+            10..11
+        ),
+    ) {
+        for (label, src) in QUERIES {
+            for strategy in [IncrementalStrategy::EasyRerun, IncrementalStrategy::Counting] {
+                let mut db = initial_db(&initial);
+                let dcq = parse_dcq(src).unwrap();
+                let mut view = MaintainedDcq::register_with(dcq, &db, strategy).unwrap();
+                for (step, ops) in batches.iter().enumerate() {
+                    let batch = ops_to_batch(ops, false);
+                    view.apply(&batch).unwrap();
+                    db.apply_batch(&batch).unwrap();
+                    let expected = baseline_dcq(view.dcq(), &db, CqStrategy::Vanilla).unwrap();
+                    prop_assert_eq!(
+                        view.result().sorted_rows(),
+                        expected.sorted_rows(),
+                        "{} diverged under {:?} at batch {}",
+                        label, strategy, step
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The ≥100-batch acceptance run: 120 generated batches against graph-shaped data,
+/// easy (Q_G3) and hard (Q_G5) queries, both strategies, checked after every batch.
+#[test]
+fn long_workload_stays_exact_over_120_batches() {
+    let data = build_dataset(
+        "incremental-test",
+        Graph::uniform(120, 500, 5),
+        0.5,
+        TripleRuleMix::balanced(),
+        9,
+    );
+    for (id, strategy) in [
+        (GraphQueryId::QG3, IncrementalStrategy::EasyRerun),
+        (GraphQueryId::QG3, IncrementalStrategy::Counting),
+        (GraphQueryId::QG5, IncrementalStrategy::Counting),
+        (GraphQueryId::QG5, IncrementalStrategy::EasyRerun),
+    ] {
+        let mut db = data.db.clone();
+        let dcq = graph_query(id);
+        let mut view = MaintainedDcq::register_with(dcq, &db, strategy).unwrap();
+        let spec = UpdateSpec::new(120, 6, &["Graph", "Triple"]);
+        let batches = update_workload(&db, &spec, 2026);
+        assert_eq!(batches.len(), 120);
+        for (step, batch) in batches.iter().enumerate() {
+            view.apply(batch).unwrap();
+            db.apply_batch(batch).unwrap();
+            let expected = baseline_dcq(view.dcq(), &db, CqStrategy::Vanilla).unwrap();
+            assert_eq!(
+                view.result().sorted_rows(),
+                expected.sorted_rows(),
+                "{} under {strategy:?} diverged at batch {step}",
+                id.name()
+            );
+        }
+        let stats = view.stats();
+        assert_eq!(stats.batches_applied + stats.batches_skipped, 120);
+        assert!(stats.tuples_inserted + stats.tuples_deleted > 0);
+    }
+}
+
+/// The planner's automatic registration (strategy from the dichotomy) survives a
+/// mixed workload that also touches unreferenced relations.
+#[test]
+fn auto_registered_views_skip_unreferenced_relations() {
+    let mut db = Database::new();
+    db.add(Relation::from_int_rows(
+        "Graph",
+        &["src", "dst"],
+        vec![vec![1, 2], vec![2, 3], vec![3, 1], vec![2, 4]],
+    ))
+    .unwrap();
+    db.add(Relation::from_int_rows(
+        "Triple",
+        &["a", "b", "c"],
+        vec![vec![1, 2, 3], vec![2, 4, 4]],
+    ))
+    .unwrap();
+    db.add(Relation::from_int_rows("Unrelated", &["k"], vec![vec![7]]))
+        .unwrap();
+
+    let dcq = graph_query(GraphQueryId::QG3);
+    let mut view = MaintainedDcq::register(dcq, &db).unwrap();
+    assert_eq!(view.strategy(), IncrementalStrategy::EasyRerun);
+
+    let mut batch = DeltaBatch::new();
+    batch.insert("Unrelated", int_row([8]));
+    assert!(view.apply(&batch).unwrap().skipped);
+
+    let mut batch = DeltaBatch::new();
+    batch.insert("Unrelated", int_row([9]));
+    batch.delete("Graph", int_row([2, 3]));
+    let outcome = view.apply(&batch).unwrap();
+    assert!(!outcome.skipped);
+    db.apply_batch(&batch).unwrap();
+    let expected = baseline_dcq(view.dcq(), &db, CqStrategy::Vanilla).unwrap();
+    assert_eq!(view.result().sorted_rows(), expected.sorted_rows());
+}

@@ -70,13 +70,14 @@ fn qg1_results_are_edges_without_outgoing_continuation() {
     let dcq = dcq_datagen::graph_query(GraphQueryId::QG1);
     let result = planner.execute(&dcq, &data.db).unwrap();
     let graph = data.db.get("Graph").unwrap();
-    let has_outgoing: std::collections::HashSet<i64> = graph
-        .iter()
-        .map(|r| r.get(0).as_int().unwrap())
-        .collect();
+    let has_outgoing: std::collections::HashSet<i64> =
+        graph.iter().map(|r| r.get(0).as_int().unwrap()).collect();
     for row in result.iter() {
         let b = row.get(1).as_int().unwrap();
-        assert!(!has_outgoing.contains(&b), "edge {row} should have been removed");
+        assert!(
+            !has_outgoing.contains(&b),
+            "edge {row} should have been removed"
+        );
     }
     let expected = graph
         .iter()
@@ -121,10 +122,8 @@ fn output_sizes_scale_with_triple_relation() {
     let small = build_dataset("s", graph.clone(), 0.2, TripleRuleMix::balanced(), 1);
     let large = build_dataset("l", graph, 0.8, TripleRuleMix::balanced(), 1);
     let dcq = dcq_datagen::graph_query(GraphQueryId::QG4);
-    let (_, small_stats) =
-        baseline_dcq_with_stats(&dcq, &small.db, CqStrategy::Vanilla).unwrap();
-    let (_, large_stats) =
-        baseline_dcq_with_stats(&dcq, &large.db, CqStrategy::Vanilla).unwrap();
+    let (_, small_stats) = baseline_dcq_with_stats(&dcq, &small.db, CqStrategy::Vanilla).unwrap();
+    let (_, large_stats) = baseline_dcq_with_stats(&dcq, &large.db, CqStrategy::Vanilla).unwrap();
     assert!(large_stats.out1 > small_stats.out1);
     assert_eq!(large_stats.out2, small_stats.out2);
     assert!(large_stats.out >= small_stats.out);

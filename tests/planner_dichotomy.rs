@@ -6,7 +6,7 @@ use dcq_core::classify::{classify, DcqClass};
 use dcq_core::parse::parse_dcq;
 use dcq_core::planner::{DcqPlanner, Strategy};
 use dcq_datagen::{graph_query, GraphQueryId};
-use dcqx_integration_tests::small_graph_db;
+use dcqx::testkit::small_graph_db;
 
 #[test]
 fn figure4_queries_get_the_expected_strategy() {
@@ -92,7 +92,10 @@ fn every_applicable_strategy_agrees_on_the_small_database() {
         // Every heuristic that is always applicable.
         for strategy in [Strategy::PerTupleProbe, Strategy::Intersection] {
             assert_eq!(
-                planner.execute_with(strategy, &dcq, &db).unwrap().sorted_rows(),
+                planner
+                    .execute_with(strategy, &dcq, &db)
+                    .unwrap()
+                    .sorted_rows(),
                 reference,
                 "{strategy:?} differs on {src}"
             );

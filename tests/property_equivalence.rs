@@ -14,10 +14,20 @@ use dcq_storage::{BagRelation, Database, Relation};
 use proptest::prelude::*;
 
 /// Strategy: a random binary relation over a small domain.
-fn binary_relation(name: &'static str, attrs: [&'static str; 2]) -> impl Strategy<Value = Relation> {
+fn binary_relation(
+    name: &'static str,
+    attrs: [&'static str; 2],
+) -> impl Strategy<Value = Relation> {
     proptest::collection::vec((0i64..8, 0i64..8), 0..40).prop_map(move |pairs| {
-        Relation::from_int_rows(name, &attrs, pairs.into_iter().map(|(a, b)| vec![a, b]).collect::<Vec<_>>())
-            .distinct()
+        Relation::from_int_rows(
+            name,
+            &attrs,
+            pairs
+                .into_iter()
+                .map(|(a, b)| vec![a, b])
+                .collect::<Vec<_>>(),
+        )
+        .distinct()
     })
 }
 
@@ -27,7 +37,9 @@ fn ternary_relation(name: &'static str) -> impl Strategy<Value = Relation> {
         Relation::from_int_rows(
             name,
             &["a", "b", "c"],
-            rows.into_iter().map(|(a, b, c)| vec![a, b, c]).collect::<Vec<_>>(),
+            rows.into_iter()
+                .map(|(a, b, c)| vec![a, b, c])
+                .collect::<Vec<_>>(),
         )
         .distinct()
     })
