@@ -11,13 +11,15 @@
 //!
 //! * [`query`] — CQ / DCQ abstract syntax and binding against a [`dcq_storage::Database`],
 //! * [`parse`] — a small datalog-style text syntax for defining queries,
-//! * [`classify`] — the difference-linear dichotomy of Theorem 2.4,
+//! * [`mod@classify`] — the difference-linear dichotomy of Theorem 2.4,
 //! * [`easy`] — the linear-time `EasyDCQ` algorithm (Algorithm 2, §3),
 //! * [`baseline`] — the standard approach: materialize both sides, subtract
 //!   (Corollary 2.1 — what the vanilla SQL plans of §6 do),
 //! * [`heuristics`] — the §4.2 heuristics for hard DCQs (Theorems 4.8 and 4.10,
 //!   Corollary 2.5),
 //! * [`planner`] — picks the right strategy per Table 1 and explains its choice,
+//! * [`cache`] — the prepared-plan cache keyed by canonical query shape, so an
+//!   engine classifies each shape once no matter how often it is prepared,
 //! * [`multi`] — difference of multiple CQs (Algorithm 4, §5.1),
 //! * [`compose`] — selection / projection / join composed with DCQs (§5.2),
 //! * [`aggregate`] — aggregation over annotated relations, relational and numerical
@@ -30,6 +32,7 @@
 pub mod aggregate;
 pub mod bag;
 pub mod baseline;
+pub mod cache;
 pub mod classify;
 pub mod compose;
 pub mod easy;
@@ -41,6 +44,7 @@ pub mod planner;
 pub mod query;
 pub mod scq;
 
+pub use cache::{CachedPlan, PlanCache, PlanCacheStats, QueryShapeKey};
 pub use classify::{classify, DcqClass, DcqClassification};
 pub use error::DcqError;
 pub use parse::{parse_cq, parse_dcq};

@@ -85,10 +85,11 @@ impl DcqPlanner {
         }
     }
 
-    /// Choose a strategy for the DCQ from its structural classification alone.
-    pub fn plan(&self, dcq: &Dcq) -> DcqPlan {
-        let classification = classify(dcq);
-        let strategy = match classification.class {
+    /// The one-shot strategy Table 1 prescribes for an already-computed
+    /// classification (shared by [`DcqPlanner::plan`] and the plan cache, so a
+    /// cached classification never needs to be re-derived).
+    pub fn strategy_for(classification: &DcqClassification) -> Strategy {
+        match classification.class {
             DcqClass::DifferenceLinear => Strategy::EasyLinear,
             DcqClass::HardQ1NotFreeConnex | DcqClass::HardAugmentedCyclic => {
                 // Q2 may still be linear-reducible, giving the Corollary 2.5 bound.
@@ -99,7 +100,13 @@ impl DcqPlanner {
                 }
             }
             DcqClass::HardQ2NotLinearReducible => Strategy::Intersection,
-        };
+        }
+    }
+
+    /// Choose a strategy for the DCQ from its structural classification alone.
+    pub fn plan(&self, dcq: &Dcq) -> DcqPlan {
+        let classification = classify(dcq);
+        let strategy = Self::strategy_for(&classification);
         DcqPlan {
             strategy,
             classification,
@@ -135,7 +142,7 @@ impl DcqPlanner {
 /// pays the (super-linear) hard-side cost on every batch, so maintenance falls back
 /// to counting: per-tuple support counts on both sides, updated by delta joins whose
 /// cost scales with the batch size.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum IncrementalStrategy {
     /// Re-run the linear per-side plans, restricted to the sides (partitions of the
     /// atom set) the delta batch touches; untouched batches are no-ops.
@@ -178,17 +185,28 @@ impl IncrementalPlan {
 }
 
 impl DcqPlanner {
+    /// The maintenance strategy the dichotomy prescribes for an already-computed
+    /// classification (shared by [`DcqPlanner::plan_incremental`] and the plan
+    /// cache).
+    pub fn incremental_strategy_for(classification: &DcqClassification) -> IncrementalStrategy {
+        if classification.is_difference_linear() {
+            IncrementalStrategy::EasyRerun
+        } else {
+            IncrementalStrategy::Counting
+        }
+    }
+
     /// Choose how a registered DCQ should be maintained under updates.
     ///
     /// Difference-linear DCQs get [`IncrementalStrategy::EasyRerun`]; every hard
     /// class falls back to [`IncrementalStrategy::Counting`].
+    ///
+    /// This classifies from scratch on every call; engines that prepare the same
+    /// query shape repeatedly should go through a
+    /// [`PlanCache`](crate::cache::PlanCache) instead.
     pub fn plan_incremental(&self, dcq: &Dcq) -> IncrementalPlan {
         let classification = classify(dcq);
-        let strategy = if classification.is_difference_linear() {
-            IncrementalStrategy::EasyRerun
-        } else {
-            IncrementalStrategy::Counting
-        };
+        let strategy = Self::incremental_strategy_for(&classification);
         IncrementalPlan {
             strategy,
             classification,

@@ -1,0 +1,823 @@
+//! # dcq-engine
+//!
+//! The shared-store, multi-view engine facade of **dcqx**: one
+//! [`DcqEngine`] owns one epoch-versioned database of record, callers
+//! [`prepare`](DcqEngine::prepare) a difference query once (classification and
+//! maintenance plan memoized in a [`PlanCache`] keyed by query shape), then
+//! [`register`](DcqEngine::register) it to get a lightweight [`ViewHandle`], and a
+//! single [`apply`](DcqEngine::apply) advances the store and fans the update out
+//! to every registered view in one pass.
+//!
+//! This is the production shape Berkholz, Keppeler & Schweikardt's *Answering
+//! Conjunctive Queries under Updates* frames — a dynamic database serving many
+//! standing queries — applied to the DCQ dichotomy of Hu & Wang: each view is
+//! maintained by touched-side rerun (difference-linear) or counting delta joins
+//! (hard), but the store, the batch normalization, the epoch counter and the
+//! update log exist **once**, not once per view:
+//!
+//! ```text
+//!                      ┌────────────────────────────────────────┐
+//!   prepare(dcq) ───►  │ PlanCache   (classify once per shape)  │
+//!                      ├────────────────────────────────────────┤
+//!   register(p)  ───►  │ SharedDatabase  (epoch, O(|Δ|) deltas) │
+//!                      │      │ normalized AppliedBatch         │
+//!   apply(batch) ───►  │      ├──► DcqView #0 (counting)        │
+//!                      │      ├──► DcqView #1 (rerun)           │
+//!                      │      └──► DcqView #2 (counting)        │
+//!                      └────────────────────────────────────────┘
+//! ```
+//!
+//! Compared with `N` independent `MaintainedDcq`s, the engine holds one copy of
+//! the base data instead of `N`, normalizes each batch once instead of `N`
+//! times, and classifies each query shape once no matter how many clients
+//! prepare it.
+
+#![warn(missing_docs)]
+
+use dcq_core::cache::{PlanCache, PlanCacheStats, QueryShapeKey};
+use dcq_core::planner::{IncrementalPlan, IncrementalStrategy};
+use dcq_core::{Dcq, DcqError};
+use dcq_incremental::view::{BatchOutcome, DcqView};
+use dcq_incremental::IncrementalError;
+use dcq_storage::hash::FastHashMap;
+use dcq_storage::{
+    Database, DeltaBatch, DeltaEffect, Epoch, Relation, RelationRef, SharedDatabase, StorageError,
+    UpdateLog,
+};
+use std::fmt;
+
+/// Errors surfaced by the engine facade.
+#[derive(Debug)]
+pub enum EngineError {
+    /// An error from query validation or evaluation.
+    Core(DcqError),
+    /// An error from the storage layer.
+    Storage(StorageError),
+    /// An error from the per-view maintenance machinery.
+    Incremental(IncrementalError),
+    /// A [`ViewHandle`] that does not name a live view (wrong engine, or the view
+    /// was deregistered).
+    UnknownView(ViewHandle),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Core(e) => write!(f, "core: {e}"),
+            EngineError::Storage(e) => write!(f, "storage: {e}"),
+            EngineError::Incremental(e) => write!(f, "incremental: {e}"),
+            EngineError::UnknownView(h) => {
+                write!(f, "unknown view handle #{}v{}", h.slot, h.generation)
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<DcqError> for EngineError {
+    fn from(e: DcqError) -> Self {
+        EngineError::Core(e)
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+impl From<IncrementalError> for EngineError {
+    fn from(e: IncrementalError) -> Self {
+        EngineError::Incremental(e)
+    }
+}
+
+/// Crate-level result alias.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+/// A lightweight, copyable handle naming one registered view of a [`DcqEngine`].
+///
+/// Handles stay valid until the view is [`deregister`](DcqEngine::deregister)ed;
+/// a generation counter makes every copy of a deregistered handle fail at lookup
+/// even after its slot has been reused by a later registration.  Handles are
+/// engine-specific (using a handle on a different engine is an error at lookup
+/// time, not undefined behavior).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ViewHandle {
+    slot: usize,
+    generation: u64,
+}
+
+impl ViewHandle {
+    /// The handle's slot index (stable for the lifetime of the view; slots are
+    /// reused by later registrations, so the pair (index, generation) is what
+    /// identifies a registration).
+    pub fn index(&self) -> usize {
+        self.slot
+    }
+}
+
+/// One handle slot: the registration it currently points at (if any) plus the
+/// generation stamped into handles, bumped on every allocation so stale copies
+/// of deregistered handles cannot alias the slot's next tenant.
+#[derive(Default)]
+struct HandleSlot {
+    generation: u64,
+    /// Index into `DcqEngine::views`, `None` after deregistration.
+    target: Option<usize>,
+}
+
+/// A prepared difference query: validated against the engine's store, with the
+/// dichotomy classification and maintenance plan resolved through the engine's
+/// [`PlanCache`].
+///
+/// Preparation is the expensive, shape-dependent part of registration; a
+/// `PreparedDcq` can be cloned and registered any number of times (each
+/// registration builds fresh view state over the current store contents).
+#[derive(Clone, Debug)]
+pub struct PreparedDcq {
+    dcq: Dcq,
+    plan: IncrementalPlan,
+    cache_hit: bool,
+}
+
+impl PreparedDcq {
+    /// The prepared query.
+    pub fn dcq(&self) -> &Dcq {
+        &self.dcq
+    }
+
+    /// The resolved maintenance plan (strategy + classification).
+    pub fn plan(&self) -> &IncrementalPlan {
+        &self.plan
+    }
+
+    /// The maintenance strategy the plan selected.
+    pub fn strategy(&self) -> IncrementalStrategy {
+        self.plan.strategy
+    }
+
+    /// `true` iff this preparation was served from the plan cache (no
+    /// classification work was performed).
+    pub fn cache_hit(&self) -> bool {
+        self.cache_hit
+    }
+
+    /// Human-readable explanation of the maintenance choice.
+    pub fn explain(&self) -> String {
+        self.plan.explain()
+    }
+}
+
+/// The result of one [`DcqEngine::apply`]: the epoch the store advanced to, the
+/// net base-data effect, and the fan-out summary across registered views.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ApplyReport {
+    /// The store epoch after this batch.
+    pub epoch: Epoch,
+    /// Net tuples inserted / deleted in the store.
+    pub effect: DeltaEffect,
+    /// Distinct maintained views that did maintenance work for this batch
+    /// (shared views count once — that is the point of sharing).
+    pub views_applied: usize,
+    /// Distinct maintained views that skipped the batch (no referenced relation
+    /// touched).
+    pub views_skipped: usize,
+    /// Result tuples that entered any view.
+    pub result_added: usize,
+    /// Result tuples that left any view.
+    pub result_removed: usize,
+}
+
+/// Cumulative counters of one engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Batches applied to the store.
+    pub batches_applied: usize,
+    /// Views registered over the engine's lifetime.
+    pub views_registered: usize,
+    /// Views deregistered over the engine's lifetime.
+    pub views_deregistered: usize,
+}
+
+/// One maintained view plus the handles that share it.
+struct SharedView {
+    view: DcqView,
+    /// Live handles pointing at this view.
+    refs: usize,
+    /// The sharing key ((shape, strategy)) used to find it on registration.
+    key: (QueryShapeKey, IncrementalStrategy),
+}
+
+/// The engine: one shared store, one plan cache, many registered views.
+///
+/// Registrations of the same query shape share one maintained view (see
+/// [`DcqEngine::register`]), so per-batch maintenance work scales with the
+/// number of *distinct* standing queries, not the number of clients.
+///
+/// ```
+/// use dcq_engine::DcqEngine;
+/// use dcq_core::parse_dcq;
+/// use dcq_storage::{Database, DeltaBatch, Relation};
+/// use dcq_storage::row::int_row;
+///
+/// let mut db = Database::new();
+/// db.add(Relation::from_int_rows("R", &["a", "b"], vec![vec![1, 2]])).unwrap();
+/// db.add(Relation::from_int_rows("S", &["a", "b"], vec![vec![3, 4]])).unwrap();
+///
+/// let mut engine = DcqEngine::with_database(db);
+/// let prepared = engine
+///     .prepare(parse_dcq("Q(a, b) :- R(a, b) EXCEPT S(a, b)").unwrap())
+///     .unwrap();
+/// let view = engine.register(&prepared).unwrap();
+/// assert_eq!(engine.result(view).unwrap().len(), 1);
+///
+/// let mut batch = DeltaBatch::new();
+/// batch.insert("S", int_row([1, 2]));
+/// let report = engine.apply(&batch).unwrap();
+/// assert_eq!(report.epoch, 1);
+/// assert!(engine.result(view).unwrap().is_empty());
+/// ```
+pub struct DcqEngine {
+    store: SharedDatabase,
+    plans: PlanCache,
+    /// Handle slot → shared-view slot, generation-checked.
+    handles: Vec<HandleSlot>,
+    /// The distinct maintained views (the fan-out targets of `apply`).
+    views: Vec<Option<SharedView>>,
+    /// (shape, strategy) → shared-view slot, so identical registrations share
+    /// one maintained view.
+    by_key: FastHashMap<(QueryShapeKey, IncrementalStrategy), usize>,
+    log: UpdateLog,
+    stats: EngineStats,
+}
+
+impl Default for DcqEngine {
+    fn default() -> Self {
+        DcqEngine::new()
+    }
+}
+
+impl DcqEngine {
+    /// An engine over an empty store (add relations with
+    /// [`DcqEngine::add_relation`]).
+    pub fn new() -> Self {
+        DcqEngine::with_database(Database::new())
+    }
+
+    /// An engine taking ownership of `db` as its database of record.
+    pub fn with_database(db: Database) -> Self {
+        DcqEngine {
+            store: SharedDatabase::new(db),
+            plans: PlanCache::new(),
+            handles: Vec::new(),
+            views: Vec::new(),
+            by_key: FastHashMap::default(),
+            log: UpdateLog::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Read-only access to the database of record.
+    pub fn database(&self) -> &Database {
+        self.store.database()
+    }
+
+    /// A versioned read handle on one stored relation.
+    pub fn relation(&self, name: &str) -> Result<RelationRef<'_>> {
+        Ok(self.store.relation(name)?)
+    }
+
+    /// The current store epoch (number of applied batches).
+    pub fn epoch(&self) -> Epoch {
+        self.store.epoch()
+    }
+
+    /// Register a new base relation (deduplicated on ingest).
+    pub fn add_relation(&mut self, relation: Relation) -> Result<()> {
+        Ok(self.store.add_relation(relation)?)
+    }
+
+    /// Prepare a DCQ: validate it against the store and resolve its maintenance
+    /// plan through the plan cache.
+    ///
+    /// Preparing the same query shape twice performs **zero** re-classifications —
+    /// the second preparation is a cache hit (observable via
+    /// [`PreparedDcq::cache_hit`] and [`DcqEngine::plan_cache_stats`]).
+    pub fn prepare(&mut self, dcq: Dcq) -> Result<PreparedDcq> {
+        dcq.validate(self.store.database())?;
+        let (plan, cache_hit) = self.plans.plan_incremental(&dcq);
+        Ok(PreparedDcq {
+            dcq,
+            plan,
+            cache_hit,
+        })
+    }
+
+    /// Register a prepared DCQ as a maintained view over the current store
+    /// contents, returning its handle.
+    ///
+    /// Registrations of an **identical query shape and strategy** share one
+    /// maintained view: the engine maintains it once per batch no matter how many
+    /// clients registered it, which is where multi-client fan-out wins big over
+    /// independent per-client views.  (Shared views expose the variable naming of
+    /// their first registrant; the result *rows* are identical by α-equivalence.)
+    pub fn register(&mut self, prepared: &PreparedDcq) -> Result<ViewHandle> {
+        self.register_view(prepared.dcq.clone(), prepared.plan.clone())
+    }
+
+    /// Prepare and register in one call (the common path for one-off clients).
+    pub fn register_dcq(&mut self, dcq: Dcq) -> Result<ViewHandle> {
+        let prepared = self.prepare(dcq)?;
+        self.register(&prepared)
+    }
+
+    /// Register with an explicitly forced maintenance strategy (benchmarks and
+    /// tests; production callers should trust the dichotomy).  Sharing applies
+    /// per (shape, strategy): the same query forced to a different strategy gets
+    /// its own view.
+    pub fn register_with(&mut self, dcq: Dcq, strategy: IncrementalStrategy) -> Result<ViewHandle> {
+        let prepared = self.prepare(dcq)?;
+        let mut plan = prepared.plan.clone();
+        plan.strategy = strategy;
+        self.register_view(prepared.dcq.clone(), plan)
+    }
+
+    /// Find-or-build the shared view for `(shape, strategy)` and hand out a new
+    /// handle to it.
+    fn register_view(&mut self, dcq: Dcq, plan: IncrementalPlan) -> Result<ViewHandle> {
+        let key = (QueryShapeKey::of(&dcq), plan.strategy);
+        let view_slot = match self.by_key.get(&key) {
+            // Already maintained: the existing state is current to the store
+            // epoch, so the new registrant sees exactly the right result.
+            Some(&slot) => {
+                self.views[slot].as_mut().expect("keyed view is live").refs += 1;
+                slot
+            }
+            None => {
+                let view = DcqView::build(dcq, plan, &self.store)?;
+                let shared = SharedView {
+                    view,
+                    refs: 1,
+                    key: key.clone(),
+                };
+                let slot = match self.views.iter().position(Option::is_none) {
+                    Some(free) => {
+                        self.views[free] = Some(shared);
+                        free
+                    }
+                    None => {
+                        self.views.push(Some(shared));
+                        self.views.len() - 1
+                    }
+                };
+                self.by_key.insert(key, slot);
+                slot
+            }
+        };
+        self.stats.views_registered += 1;
+        // Hand out a dense handle slot pointing at the shared view; bumping the
+        // generation on every allocation invalidates stale copies of whatever
+        // handle owned the slot before.
+        let slot = match self.handles.iter().position(|h| h.target.is_none()) {
+            Some(free) => free,
+            None => {
+                self.handles.push(HandleSlot::default());
+                self.handles.len() - 1
+            }
+        };
+        self.handles[slot].generation += 1;
+        self.handles[slot].target = Some(view_slot);
+        Ok(ViewHandle {
+            slot,
+            generation: self.handles[slot].generation,
+        })
+    }
+
+    /// Resolve a handle to its shared-view slot, rejecting stale generations.
+    fn resolve(&self, handle: ViewHandle) -> Result<usize> {
+        self.handles
+            .get(handle.slot)
+            .filter(|h| h.generation == handle.generation)
+            .and_then(|h| h.target)
+            .ok_or(EngineError::UnknownView(handle))
+    }
+
+    /// Drop a registration.  The handle (and any copy of it) becomes invalid; the
+    /// underlying view is torn down when its last handle is deregistered.
+    pub fn deregister(&mut self, handle: ViewHandle) -> Result<()> {
+        let view_slot = self.resolve(handle)?;
+        self.handles[handle.slot].target = None;
+        self.stats.views_deregistered += 1;
+        let shared = self.views[view_slot]
+            .as_mut()
+            .expect("handle pointed at a live view");
+        shared.refs -= 1;
+        if shared.refs == 0 {
+            let key = shared.key.clone();
+            self.by_key.remove(&key);
+            self.views[view_slot] = None;
+        }
+        Ok(())
+    }
+
+    /// Apply one delta batch to the store and fan it out to every registered view.
+    ///
+    /// The batch is validated and normalized **once**, the store is updated in
+    /// `O(|Δ|)`, the epoch advances, and each view folds in the shared normalized
+    /// deltas (views referencing none of the touched relations only record the new
+    /// epoch).  Every relation the batch names must exist in the store — the
+    /// engine owns the database of record, so there is no "somebody else's
+    /// relation" to silently skip.
+    pub fn apply(&mut self, batch: &DeltaBatch) -> Result<ApplyReport> {
+        let applied = self.store.apply_batch(batch)?;
+        self.log.record(batch.clone(), applied.effect);
+        self.stats.batches_applied += 1;
+        let mut report = ApplyReport {
+            epoch: applied.epoch,
+            effect: applied.effect,
+            ..ApplyReport::default()
+        };
+        for shared in self.views.iter_mut().flatten() {
+            let outcome: BatchOutcome = shared.view.apply(&applied, &self.store)?;
+            if outcome.skipped {
+                report.views_skipped += 1;
+            } else {
+                report.views_applied += 1;
+            }
+            report.result_added += outcome.result_added;
+            report.result_removed += outcome.result_removed;
+        }
+        Ok(report)
+    }
+
+    /// The view behind a handle (possibly shared with other handles of the same
+    /// query shape).
+    pub fn view(&self, handle: ViewHandle) -> Result<&DcqView> {
+        let view_slot = self.resolve(handle)?;
+        Ok(&self.views[view_slot].as_ref().expect("live handle").view)
+    }
+
+    /// Materialize a view's current result as a relation.
+    pub fn result(&self, handle: ViewHandle) -> Result<Relation> {
+        Ok(self.view(handle)?.result())
+    }
+
+    /// Iterate over `(handle, view)` pairs of the live registrations (a shared
+    /// view appears once per handle).
+    pub fn views(&self) -> impl Iterator<Item = (ViewHandle, &DcqView)> {
+        self.handles.iter().enumerate().filter_map(|(i, h)| {
+            h.target.map(|view_slot| {
+                (
+                    ViewHandle {
+                        slot: i,
+                        generation: h.generation,
+                    },
+                    &self.views[view_slot].as_ref().expect("live handle").view,
+                )
+            })
+        })
+    }
+
+    /// Number of live registrations (handles).
+    pub fn view_count(&self) -> usize {
+        self.handles.iter().filter(|h| h.target.is_some()).count()
+    }
+
+    /// Number of *distinct* maintained views — the actual per-batch fan-out
+    /// width.  Less than [`DcqEngine::view_count`] when registrations share.
+    pub fn distinct_view_count(&self) -> usize {
+        self.views.iter().flatten().count()
+    }
+
+    /// Plan-cache counters (hits = preparations that performed no classification).
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plans.stats()
+    }
+
+    /// Cumulative engine counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// The engine's update log (every applied batch, unbounded by default).
+    pub fn log(&self) -> &UpdateLog {
+        &self.log
+    }
+
+    /// Replace the update log, e.g. to bound retention with
+    /// [`UpdateLog::with_limit`].  Clears history.
+    pub fn set_log(&mut self, log: UpdateLog) {
+        self.log = log;
+    }
+
+    /// Estimated heap footprint of the store in bytes.
+    ///
+    /// This is the number that used to scale with the view count: `N`
+    /// `MaintainedDcq`s held `N` copies of their referenced relations, the engine
+    /// holds one store regardless of `N`.
+    pub fn store_bytes(&self) -> usize {
+        self.store.approx_bytes()
+    }
+}
+
+impl fmt::Debug for DcqEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DcqEngine[epoch {}, {} views, {} relations, {} tuples]",
+            self.store.epoch(),
+            self.view_count(),
+            self.store.database().relation_count(),
+            self.store.input_size()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcq_core::baseline::{baseline_dcq, CqStrategy};
+    use dcq_core::parse_dcq;
+    use dcq_storage::row::int_row;
+
+    const EASY: &str = "Q(a, b, c) :- Triple(a, b, c) EXCEPT Graph(a, b), Graph(b, c), Graph(c, a)";
+    const HARD: &str = "Q(a, c) :- Edge(a, c) EXCEPT Graph(a, b), Graph(b, c)";
+
+    fn engine() -> DcqEngine {
+        let mut db = Database::new();
+        db.add(Relation::from_int_rows(
+            "Graph",
+            &["src", "dst"],
+            vec![
+                vec![1, 2],
+                vec![2, 3],
+                vec![3, 1],
+                vec![2, 4],
+                vec![4, 1],
+                vec![4, 5],
+            ],
+        ))
+        .unwrap();
+        db.add(Relation::from_int_rows(
+            "Triple",
+            &["a", "b", "c"],
+            vec![vec![1, 2, 3], vec![2, 3, 1], vec![2, 4, 1], vec![7, 8, 9]],
+        ))
+        .unwrap();
+        db.add(Relation::from_int_rows(
+            "Edge",
+            &["src", "dst"],
+            vec![vec![1, 3], vec![2, 4]],
+        ))
+        .unwrap();
+        db.add(Relation::from_int_rows("Other", &["k"], vec![vec![1]]))
+            .unwrap();
+        DcqEngine::with_database(db)
+    }
+
+    #[test]
+    fn prepare_register_apply_matches_recomputation() {
+        let mut engine = engine();
+        let easy = engine.register_dcq(parse_dcq(EASY).unwrap()).unwrap();
+        let hard = engine.register_dcq(parse_dcq(HARD).unwrap()).unwrap();
+        assert_eq!(engine.view_count(), 2);
+        assert_eq!(
+            engine.view(easy).unwrap().strategy(),
+            IncrementalStrategy::EasyRerun
+        );
+        assert_eq!(
+            engine.view(hard).unwrap().strategy(),
+            IncrementalStrategy::Counting
+        );
+
+        let mut batch = DeltaBatch::new();
+        batch.insert("Graph", int_row([9, 7]));
+        batch.insert("Graph", int_row([7, 8]));
+        batch.insert("Graph", int_row([8, 9]));
+        batch.delete("Edge", int_row([2, 4]));
+        let report = engine.apply(&batch).unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.views_applied, 2);
+        assert_eq!(report.effect.inserted, 3);
+        assert_eq!(report.effect.deleted, 1);
+
+        for handle in [easy, hard] {
+            let view = engine.view(handle).unwrap();
+            let expected =
+                baseline_dcq(view.dcq(), engine.database(), CqStrategy::Vanilla).unwrap();
+            assert_eq!(
+                engine.result(handle).unwrap().sorted_rows(),
+                expected.sorted_rows()
+            );
+            assert_eq!(view.epoch(), 1);
+        }
+        assert_eq!(engine.stats().batches_applied, 1);
+        assert_eq!(engine.log().len(), 1);
+    }
+
+    #[test]
+    fn identical_shapes_prepare_without_reclassification() {
+        let mut engine = engine();
+        let first = engine.prepare(parse_dcq(EASY).unwrap()).unwrap();
+        assert!(!first.cache_hit());
+        let second = engine.prepare(parse_dcq(EASY).unwrap()).unwrap();
+        assert!(
+            second.cache_hit(),
+            "identical shape must hit the plan cache"
+        );
+        // α-renamed variables and a different query name still share the shape.
+        let renamed = engine
+            .prepare(
+                parse_dcq(
+                    "P(x, y, z) :- Triple(x, y, z) EXCEPT Graph(x, y), Graph(y, z), Graph(z, x)",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        assert!(renamed.cache_hit());
+        let stats = engine.plan_cache_stats();
+        assert_eq!(stats.misses, 1, "exactly one classification performed");
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(first.strategy(), second.strategy());
+        assert!(first.explain().contains("touched-side rerun"));
+
+        // Registering both preparations yields distinct handles over ONE shared
+        // maintained view.
+        let a = engine.register(&first).unwrap();
+        let b = engine.register(&second).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(engine.view_count(), 2);
+        assert_eq!(engine.distinct_view_count(), 1, "identical shapes share");
+        assert_eq!(
+            engine.result(a).unwrap().sorted_rows(),
+            engine.result(b).unwrap().sorted_rows()
+        );
+    }
+
+    #[test]
+    fn skipped_views_record_the_epoch() {
+        let mut engine = engine();
+        let easy = engine.register_dcq(parse_dcq(EASY).unwrap()).unwrap();
+        let mut batch = DeltaBatch::new();
+        batch.insert("Other", int_row([42]));
+        let report = engine.apply(&batch).unwrap();
+        assert_eq!(report.views_skipped, 1);
+        assert_eq!(report.views_applied, 0);
+        // The view did no work but still advanced to the store epoch.
+        assert_eq!(engine.view(easy).unwrap().epoch(), 1);
+        assert_eq!(engine.view(easy).unwrap().stats().batches_skipped, 1);
+    }
+
+    #[test]
+    fn deregister_frees_the_slot_and_invalidates_the_handle() {
+        let mut engine = engine();
+        let a = engine.register_dcq(parse_dcq(EASY).unwrap()).unwrap();
+        let b = engine.register_dcq(parse_dcq(HARD).unwrap()).unwrap();
+        engine.deregister(a).unwrap();
+        assert_eq!(engine.view_count(), 1);
+        assert!(engine.view(a).is_err());
+        assert!(engine.result(a).is_err());
+        assert!(matches!(
+            engine.deregister(a),
+            Err(EngineError::UnknownView(_))
+        ));
+        // The freed slot is reused — but a stale copy of the old handle must NOT
+        // alias the new tenant (generation check).
+        let stale = a;
+        let c = engine.register_dcq(parse_dcq(EASY).unwrap()).unwrap();
+        assert_eq!(c.index(), a.index());
+        assert_ne!(stale, c);
+        assert!(engine.view(stale).is_err(), "stale handle must not resolve");
+        assert!(matches!(
+            engine.deregister(stale),
+            Err(EngineError::UnknownView(_))
+        ));
+        assert!(engine.view(c).is_ok());
+        assert_eq!(engine.view_count(), 2);
+        assert_eq!(engine.stats().views_registered, 3);
+        assert_eq!(engine.stats().views_deregistered, 1);
+        // Remaining views keep working.
+        let mut batch = DeltaBatch::new();
+        batch.delete("Graph", int_row([2, 3]));
+        engine.apply(&batch).unwrap();
+        for (handle, view) in engine.views() {
+            let expected =
+                baseline_dcq(view.dcq(), engine.database(), CqStrategy::Vanilla).unwrap();
+            assert_eq!(
+                engine.result(handle).unwrap().sorted_rows(),
+                expected.sorted_rows()
+            );
+        }
+        let _ = b;
+    }
+
+    #[test]
+    fn unknown_relations_and_bad_arity_are_rejected_atomically() {
+        let mut engine = engine();
+        let easy = engine.register_dcq(parse_dcq(EASY).unwrap()).unwrap();
+        let before = engine.result(easy).unwrap().sorted_rows();
+
+        let mut unknown = DeltaBatch::new();
+        unknown.insert("Missing", int_row([1]));
+        assert!(matches!(
+            engine.apply(&unknown),
+            Err(EngineError::Storage(StorageError::UnknownRelation(_)))
+        ));
+        let mut bad = DeltaBatch::new();
+        bad.insert("Graph", int_row([1, 2, 3]));
+        assert!(engine.apply(&bad).is_err());
+
+        assert_eq!(engine.epoch(), 0);
+        assert_eq!(engine.view(easy).unwrap().epoch(), 0);
+        assert_eq!(engine.result(easy).unwrap().sorted_rows(), before);
+    }
+
+    #[test]
+    fn relations_can_be_added_live() {
+        let mut engine = DcqEngine::new();
+        engine
+            .add_relation(Relation::from_int_rows("R", &["a", "b"], vec![vec![1, 2]]))
+            .unwrap();
+        engine
+            .add_relation(Relation::from_int_rows("S", &["a", "b"], vec![]))
+            .unwrap();
+        let view = engine
+            .register_dcq(parse_dcq("Q(a, b) :- R(a, b) EXCEPT S(a, b)").unwrap())
+            .unwrap();
+        assert_eq!(engine.result(view).unwrap().len(), 1);
+        assert_eq!(engine.relation("R").unwrap().len(), 1);
+        let mut batch = DeltaBatch::new();
+        batch.insert("S", int_row([1, 2]));
+        engine.apply(&batch).unwrap();
+        assert!(engine.result(view).unwrap().is_empty());
+        assert!(format!("{engine:?}").contains("DcqEngine"));
+        assert_eq!(engine.relation("R").unwrap().epoch(), 1);
+    }
+
+    #[test]
+    fn shared_views_are_maintained_once_and_torn_down_last_out() {
+        let mut engine = engine();
+        let handles: Vec<ViewHandle> = (0..4)
+            .map(|_| engine.register_dcq(parse_dcq(HARD).unwrap()).unwrap())
+            .collect();
+        assert_eq!(engine.view_count(), 4);
+        assert_eq!(engine.distinct_view_count(), 1);
+        // The same shape under a *forced different strategy* is its own view.
+        let forced = engine
+            .register_with(parse_dcq(HARD).unwrap(), IncrementalStrategy::EasyRerun)
+            .unwrap();
+        assert_eq!(engine.distinct_view_count(), 2);
+
+        let mut batch = DeltaBatch::new();
+        batch.delete("Graph", int_row([2, 3]));
+        let report = engine.apply(&batch).unwrap();
+        // 4 handles share one counting view; the fan-out is 2 distinct views.
+        assert_eq!(report.views_applied, 2);
+        for h in handles.iter().chain([&forced]) {
+            let view = engine.view(*h).unwrap();
+            let expected =
+                baseline_dcq(view.dcq(), engine.database(), CqStrategy::Vanilla).unwrap();
+            assert_eq!(
+                engine.result(*h).unwrap().sorted_rows(),
+                expected.sorted_rows()
+            );
+        }
+
+        // Deregistering all but one handle keeps the shared view alive…
+        for h in &handles[..3] {
+            engine.deregister(*h).unwrap();
+        }
+        assert_eq!(engine.distinct_view_count(), 2);
+        assert!(engine.view(handles[3]).is_ok());
+        // …and the last one tears it down.
+        engine.deregister(handles[3]).unwrap();
+        assert_eq!(engine.distinct_view_count(), 1);
+        assert!(engine.view(handles[3]).is_err());
+        assert_eq!(engine.stats().views_registered, 5);
+        assert_eq!(engine.stats().views_deregistered, 4);
+    }
+
+    #[test]
+    fn forced_strategy_registration_is_supported() {
+        let mut engine = engine();
+        let counting = engine
+            .register_with(parse_dcq(EASY).unwrap(), IncrementalStrategy::Counting)
+            .unwrap();
+        assert_eq!(
+            engine.view(counting).unwrap().strategy(),
+            IncrementalStrategy::Counting
+        );
+        let mut batch = DeltaBatch::new();
+        batch.insert("Triple", int_row([5, 6, 7]));
+        engine.apply(&batch).unwrap();
+        let view = engine.view(counting).unwrap();
+        let expected = baseline_dcq(view.dcq(), engine.database(), CqStrategy::Vanilla).unwrap();
+        assert_eq!(
+            engine.result(counting).unwrap().sorted_rows(),
+            expected.sorted_rows()
+        );
+    }
+}

@@ -11,13 +11,13 @@
 //!
 //! * [`ops`] — hash-based natural join, semi-join, anti-join, Cartesian product,
 //!   selection and set operations (the `O(N)` primitives of §3),
-//! * [`reduce`] — the `Reduce` procedure of Algorithm 1 (linear-reducible CQ → full
+//! * [`mod@reduce`] — the `Reduce` procedure of Algorithm 1 (linear-reducible CQ → full
 //!   acyclic join, preserving results),
 //! * [`yannakakis`] — Algorithm 3: full acyclic joins and free-connex CQs in
 //!   `O(N + OUT)`, plus Boolean (emptiness) evaluation,
 //! * [`binary_plan`] — the "vanilla SQL" left-deep binary-join plan used as the
 //!   baseline engine in §6,
-//! * [`generic_join`] — a worst-case-optimal attribute-at-a-time join for cyclic
+//! * [`mod@generic_join`] — a worst-case-optimal attribute-at-a-time join for cyclic
 //!   queries (the "state-of-the-art CQ evaluation" plugged into the heuristics of
 //!   §4.2),
 //! * [`annotated`] — semiring-annotated join/projection and the annotated

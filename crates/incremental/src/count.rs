@@ -29,7 +29,7 @@
 use crate::{IncrementalError, Result};
 use dcq_core::query::{Atom, ConjunctiveQuery};
 use dcq_storage::hash::{map_with_capacity, set_with_capacity, FastHashMap, FastHashSet};
-use dcq_storage::{AnnotatedRelation, Attr, Database, Relation, Row, Schema};
+use dcq_storage::{AnnotatedRelation, Attr, Database, Relation, Row, Schema, SharedDatabase};
 
 /// One atom's bound state: the stored relation's rows re-labelled with the atom's
 /// (distinct) variables, kept current under deltas, plus the hash indexes the delta
@@ -226,6 +226,28 @@ impl CountingCq {
             plans,
             counts,
         })
+    }
+
+    /// Build the counting state for `cq` and seed it from a shared store's current
+    /// contents.
+    ///
+    /// This is the registration path of the engine's counting views: the store's
+    /// relations are read **through** [`SharedDatabase`] handles (distinct by the
+    /// store's set-semantics invariant) and fed in as the first delta — the view
+    /// never takes a private snapshot of the base data.
+    pub fn from_store(
+        cq: ConjunctiveQuery,
+        output: Schema,
+        store: &SharedDatabase,
+    ) -> Result<Self> {
+        let mut engine = CountingCq::new(cq, output, store.database())?;
+        let referenced: Vec<String> = engine.occurrences.keys().cloned().collect();
+        for name in referenced {
+            let handle = store.relation(&name).map_err(IncrementalError::Storage)?;
+            let initial: Vec<(Row, i64)> = handle.rows().iter().map(|r| (r.clone(), 1)).collect();
+            engine.apply_relation_delta(&name, &initial);
+        }
+        Ok(engine)
     }
 
     /// Greedy connected join order for a delta arriving at atom `d`: repeatedly probe
@@ -466,6 +488,19 @@ mod tests {
             );
         }
         assert!(engine.count(&int_row([3, 3, 3])) > 0);
+    }
+
+    #[test]
+    fn from_store_seeds_to_direct_evaluation() {
+        let store = dcq_storage::SharedDatabase::new(db());
+        let cq = parse_cq("P(x, z) :- Graph(x, y), Graph(y, z)").unwrap();
+        let engine = CountingCq::from_store(cq.clone(), cq.head_schema(), &store).unwrap();
+        let expected = evaluate_cq(&cq, store.database(), CqStrategy::Vanilla).unwrap();
+        assert_eq!(
+            engine.to_relation().sorted_rows(),
+            expected.sorted_rows(),
+            "store-seeded counting state differs from direct evaluation"
+        );
     }
 
     #[test]

@@ -26,15 +26,26 @@
 //! can be forced per registration; both engines are update-equivalent to full
 //! recomputation (the property tests in `tests/incremental_maintenance.rs` assert
 //! byte-identical results over randomized insert/delete sequences).
+//!
+//! ## Shared-store views
+//!
+//! Since the `DcqEngine` redesign the maintenance core is [`DcqView`]: per-view
+//! state that owns **no database copy** and instead consumes the normalized
+//! [`dcq_storage::AppliedBatch`] records a shared, epoch-versioned
+//! [`dcq_storage::SharedDatabase`] produces — one store, one normalization pass
+//! and one epoch counter fanned out to every registered view.  [`MaintainedDcq`]
+//! remains as a deprecated single-view shim over the same machinery.
 
 #![warn(missing_docs)]
 
 pub mod count;
 pub mod maintained;
+pub mod view;
 
 pub use count::CountingCq;
 pub use dcq_core::planner::{IncrementalPlan, IncrementalStrategy};
-pub use maintained::{BatchOutcome, MaintainedDcq, MaintenanceStats};
+pub use maintained::{MaintainedDcq, DEFAULT_LOG_LIMIT};
+pub use view::{BatchOutcome, DcqView, MaintenanceStats};
 
 use std::fmt;
 

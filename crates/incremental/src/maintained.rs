@@ -1,86 +1,28 @@
-//! The maintained-view handle: a registered DCQ kept current under delta batches.
+//! Single-view compatibility shim over the shared-store maintenance core.
 //!
-//! [`MaintainedDcq`] owns everything needed to keep `Q₁(D) − Q₂(D)` up to date while
-//! the caller streams [`DeltaBatch`]es at it:
+//! [`MaintainedDcq`] was the original public entry point of this crate: one
+//! registered DCQ owning a private snapshot of every relation it references.
+//! The engine redesign (`dcq-engine`'s `DcqEngine`) replaced that shape with one
+//! shared, epoch-versioned store fanning each batch out to many views, and this
+//! type is now a thin shim kept for one release: it owns a private
+//! [`SharedDatabase`] holding **only the referenced relations** plus a single
+//! [`DcqView`], and forwards everything to the shared-store machinery.
 //!
-//! * the **maintenance engine** chosen by [`DcqPlanner::plan_incremental`] —
-//!   touched-side rerun for difference-linear DCQs, counting maintenance otherwise
-//!   (the strategy can be forced with [`MaintainedDcq::register_with`]);
-//! * the **live membership sets** of every referenced relation, so incoming raw
-//!   deltas are normalized to their net set-semantics effect in `O(|batch|)`;
-//! * the current **result set**, updated in place;
-//! * an [`UpdateLog`] of the batches that actually touched the view, plus
-//!   [`MaintenanceStats`] counters.
-//!
-//! The handle deliberately tracks **only the relations the DCQ references**: batches
-//! touching other relations are skipped without work, and the caller remains the
-//! owner of the full database.
+//! New code should register views on a `dcq_engine::DcqEngine` instead — one
+//! store, one normalization pass and one epoch counter shared by all views.
 
-use crate::count::CountingCq;
+use crate::view::DcqView;
 use crate::{IncrementalError, Result};
-use dcq_core::baseline::{evaluate_cq, CqStrategy};
 use dcq_core::planner::{DcqPlanner, IncrementalPlan, IncrementalStrategy};
 use dcq_core::Dcq;
-use dcq_storage::hash::{map_with_capacity, FastHashMap, FastHashSet};
 use dcq_storage::{
-    normalize_delta, Database, DeltaBatch, DeltaEffect, Relation, Row, Schema, StorageError,
-    UpdateLog,
+    AppliedBatch, Database, DeltaBatch, Epoch, Relation, Row, SharedDatabase, UpdateLog,
 };
 use std::fmt;
 
-/// Running counters describing the work a maintained view has done.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct MaintenanceStats {
-    /// Batches that touched at least one referenced relation.
-    pub batches_applied: usize,
-    /// Batches skipped because they touched no referenced relation.
-    pub batches_skipped: usize,
-    /// Net base tuples inserted across applied batches.
-    pub tuples_inserted: usize,
-    /// Net base tuples deleted across applied batches.
-    pub tuples_deleted: usize,
-    /// Result tuples that entered the view.
-    pub result_added: usize,
-    /// Result tuples that left the view.
-    pub result_removed: usize,
-    /// Side re-evaluations performed (touched-side rerun strategy only).
-    pub side_recomputes: usize,
-}
-
-/// Outcome of applying one batch to a maintained view.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct BatchOutcome {
-    /// `true` iff the batch touched no referenced relation (nothing was done).
-    pub skipped: bool,
-    /// Net effect on the referenced base relations.
-    pub effect: DeltaEffect,
-    /// Result tuples that entered the view.
-    pub result_added: usize,
-    /// Result tuples that left the view.
-    pub result_removed: usize,
-}
-
-/// The per-strategy maintenance machinery.
-enum Engine {
-    /// Support counts on both sides; result membership is `cnt₁ > 0 ∧ cnt₂ = 0`.
-    Counting {
-        q1: Box<CountingCq>,
-        q2: Box<CountingCq>,
-    },
-    /// Materialized sides over a private snapshot of the referenced relations;
-    /// a batch re-runs only the sides whose relations it touched.
-    EasyRerun(Box<EasyRerunState>),
-}
-
-/// State of the touched-side rerun engine.
-struct EasyRerunState {
-    db: Database,
-    q1_out: Relation,
-    q2_out: Relation,
-    q1_relations: FastHashSet<String>,
-    q2_relations: FastHashSet<String>,
-    cq_strategy: CqStrategy,
-}
+// Keep the old import paths (`maintained::{BatchOutcome, MaintenanceStats}`)
+// alive for one release; the definitions moved to [`crate::view`].
+pub use crate::view::{BatchOutcome, MaintenanceStats};
 
 /// Batches a view's update log retains by default: enough to audit/debug recent
 /// history without growing without bound on long-lived views (counters keep
@@ -88,36 +30,42 @@ struct EasyRerunState {
 pub const DEFAULT_LOG_LIMIT: usize = 1024;
 
 /// A registered DCQ maintained incrementally under batched updates.
+///
+/// **Deprecated shape**: each `MaintainedDcq` still owns a private copy of the
+/// relations it references, so `N` views over the same database pay `N`
+/// normalization passes and hold `N` partial copies.  Prefer registering views on
+/// a shared `dcq_engine::DcqEngine`.
 pub struct MaintainedDcq {
-    dcq: Dcq,
-    output: Schema,
-    plan: IncrementalPlan,
-    engine: Engine,
-    /// Current membership of every referenced relation (normalization input).
-    live: FastHashMap<String, FastHashSet<Row>>,
-    /// Arity of every referenced relation (update validation).
-    arity: FastHashMap<String, usize>,
-    result: FastHashSet<Row>,
+    store: SharedDatabase,
+    view: DcqView,
     log: UpdateLog,
-    stats: MaintenanceStats,
 }
 
 impl MaintainedDcq {
     /// Register a DCQ over the current database state, letting the planner pick the
     /// maintenance strategy from the dichotomy.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use dcq_engine::DcqEngine: prepare() + register() views on one shared store"
+    )]
     pub fn register(dcq: Dcq, db: &Database) -> Result<Self> {
         let strategy = DcqPlanner::smart().plan_incremental(&dcq).strategy;
+        #[allow(deprecated)]
         Self::register_with(dcq, db, strategy)
     }
 
     /// Register a DCQ with an explicit maintenance strategy.
     ///
-    /// The view snapshots the referenced relations (deduplicated — maintenance is
-    /// defined under set semantics); the caller keeps ownership of the database and
-    /// must route subsequent updates through [`MaintainedDcq::apply`].
+    /// The view copies the referenced relations into a private shared store
+    /// (deduplicated — maintenance is defined under set semantics); the caller
+    /// keeps ownership of the database and must route subsequent updates through
+    /// [`MaintainedDcq::apply`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use dcq_engine::DcqEngine: prepare() + register_with() views on one shared store"
+    )]
     pub fn register_with(dcq: Dcq, db: &Database, strategy: IncrementalStrategy) -> Result<Self> {
         dcq.validate(db).map_err(IncrementalError::Core)?;
-        let output = dcq.head_schema();
         let mut plan = DcqPlanner::smart().plan_incremental(&dcq);
         plan.strategy = strategy;
 
@@ -130,263 +78,95 @@ impl MaintainedDcq {
             .collect();
         referenced.sort();
         referenced.dedup();
-
-        let mut live: FastHashMap<String, FastHashSet<Row>> = map_with_capacity(referenced.len());
-        let mut arity: FastHashMap<String, usize> = map_with_capacity(referenced.len());
+        let mut store = SharedDatabase::empty();
         for name in &referenced {
-            let rel = db.get(name).map_err(IncrementalError::Storage)?;
-            live.insert(name.clone(), rel.to_row_set());
-            arity.insert(name.clone(), rel.schema().arity());
+            store
+                .add_relation(db.get(name).map_err(IncrementalError::Storage)?.clone())
+                .map_err(IncrementalError::Storage)?;
         }
 
-        let engine = match strategy {
-            IncrementalStrategy::Counting => {
-                let mut q1 = CountingCq::new(dcq.q1.clone(), output.clone(), db)?;
-                let mut q2 = CountingCq::new(dcq.q2.clone(), output.clone(), db)?;
-                // Initial fill: the starting contents are just the first delta.
-                for name in &referenced {
-                    let initial: Vec<(Row, i64)> =
-                        live[name].iter().map(|r| (r.clone(), 1)).collect();
-                    q1.apply_relation_delta(name, &initial);
-                    q2.apply_relation_delta(name, &initial);
-                }
-                Engine::Counting {
-                    q1: Box::new(q1),
-                    q2: Box::new(q2),
-                }
-            }
-            IncrementalStrategy::EasyRerun => {
-                let mut snapshot = Database::new();
-                for name in &referenced {
-                    snapshot.add_or_replace(
-                        db.get(name).map_err(IncrementalError::Storage)?.distinct(),
-                    );
-                }
-                let cq_strategy = CqStrategy::Smart;
-                let q1_out =
-                    evaluate_cq(&dcq.q1, &snapshot, cq_strategy).map_err(IncrementalError::Core)?;
-                let q2_out =
-                    evaluate_cq(&dcq.q2, &snapshot, cq_strategy).map_err(IncrementalError::Core)?;
-                Engine::EasyRerun(Box::new(EasyRerunState {
-                    db: snapshot,
-                    q1_out,
-                    q2_out,
-                    q1_relations: dcq.q1.atoms.iter().map(|a| a.relation.clone()).collect(),
-                    q2_relations: dcq.q2.atoms.iter().map(|a| a.relation.clone()).collect(),
-                    cq_strategy,
-                }))
-            }
-        };
-
-        let mut view = MaintainedDcq {
-            dcq,
-            output,
-            plan,
-            engine,
-            live,
-            arity,
-            result: FastHashSet::default(),
+        let view = DcqView::build(dcq, plan, &store)?;
+        Ok(MaintainedDcq {
+            store,
+            view,
             log: UpdateLog::with_limit(DEFAULT_LOG_LIMIT),
-            stats: MaintenanceStats::default(),
-        };
-        view.result = view.compute_result_set()?;
-        Ok(view)
-    }
-
-    /// Derive the full result set from the engine state (registration and
-    /// full-rerun paths).
-    fn compute_result_set(&mut self) -> Result<FastHashSet<Row>> {
-        match &mut self.engine {
-            Engine::Counting { q1, q2 } => Ok(q1
-                .counts()
-                .iter()
-                .filter(|(row, _)| q2.count(row) == 0)
-                .map(|(row, _)| row.clone())
-                .collect()),
-            Engine::EasyRerun(state) => {
-                let diff = state
-                    .q1_out
-                    .minus(&state.q2_out)
-                    .map_err(IncrementalError::Storage)?;
-                Ok(diff.to_row_set())
-            }
-        }
+        })
     }
 
     /// Apply one delta batch, keeping the result current.
     ///
     /// Operations against relations the DCQ does not reference are ignored; a batch
-    /// touching none of them is a fast no-op.  Within the batch, relations are
-    /// processed in name order and each relation's operations are first normalized
-    /// to their net set-semantics effect.
+    /// touching none of them advances the epoch without any maintenance work.
+    /// Within the batch, relations are processed in name order and each relation's
+    /// operations are first normalized to their net set-semantics effect.
     pub fn apply(&mut self, batch: &DeltaBatch) -> Result<BatchOutcome> {
-        let relevant: Vec<String> = batch
-            .relations()
-            .filter(|r| self.live.contains_key(*r))
-            .map(str::to_string)
-            .collect();
-        if relevant.is_empty() {
-            self.stats.batches_skipped += 1;
-            return Ok(BatchOutcome {
-                skipped: true,
-                ..BatchOutcome::default()
-            });
-        }
-
-        // Validate the whole batch before mutating anything: a partial application
-        // would silently desynchronize the view from the caller's database.
-        for name in &relevant {
-            let expected_arity = self.arity[name];
-            for (row, _) in batch.ops(name) {
-                if row.arity() != expected_arity {
-                    return Err(IncrementalError::Storage(StorageError::ArityMismatch {
-                        relation: name.clone(),
-                        expected: expected_arity,
-                        actual: row.arity(),
-                    }));
+        // Restrict the batch to the referenced relations: the private store holds
+        // nothing else, and unreferenced operations must stay invisible.
+        let mut filtered = DeltaBatch::new();
+        for (name, ops) in batch.iter() {
+            if self.view.references(name) {
+                for (row, sign) in ops {
+                    filtered.push(name, row.clone(), *sign);
                 }
             }
         }
-
-        let mut outcome = BatchOutcome::default();
-        let mut changed_heads: FastHashSet<Row> = FastHashSet::default();
-        // Relations whose *normalized* delta was non-empty (redundant operations
-        // normalize away and must not trigger side recomputation).
-        let mut effective: FastHashSet<&String> = FastHashSet::default();
-        for name in &relevant {
-            let normalized = normalize_delta(&self.live[name], batch.ops(name));
-            if normalized.is_empty() {
-                continue;
-            }
-            effective.insert(name);
-
-            match &mut self.engine {
-                Engine::Counting { q1, q2 } => {
-                    let d1 = q1.apply_relation_delta(name, &normalized);
-                    let d2 = q2.apply_relation_delta(name, &normalized);
-                    changed_heads.extend(d1.iter().map(|(row, _)| row.clone()));
-                    changed_heads.extend(d2.iter().map(|(row, _)| row.clone()));
-                }
-                Engine::EasyRerun(state) => {
-                    state
-                        .db
-                        .get_mut(name)
-                        .map_err(IncrementalError::Storage)?
-                        .apply_normalized_delta(&normalized);
-                }
-            }
-
-            let live = self.live.get_mut(name).expect("relevant relation is live");
-            for (row, sign) in &normalized {
-                if *sign > 0 {
-                    live.insert(row.clone());
-                    outcome.effect.inserted += 1;
-                } else {
-                    live.remove(row);
-                    outcome.effect.deleted += 1;
-                }
-            }
+        let applied: AppliedBatch = if filtered.is_empty() {
+            AppliedBatch::noop(self.store.tick())
+        } else {
+            self.store.apply_batch(&filtered)?
+        };
+        let outcome = self.view.apply(&applied, &self.store)?;
+        if !outcome.skipped {
+            self.log.record(batch.clone(), outcome.effect);
         }
-
-        match &mut self.engine {
-            Engine::Counting { q1, q2 } => {
-                for row in changed_heads {
-                    let belongs = q1.count(&row) > 0 && q2.count(&row) == 0;
-                    if belongs {
-                        if self.result.insert(row) {
-                            outcome.result_added += 1;
-                        }
-                    } else if self.result.remove(&row) {
-                        outcome.result_removed += 1;
-                    }
-                }
-            }
-            Engine::EasyRerun(state) => {
-                if outcome.effect.total() > 0 {
-                    let q1_touched = effective.iter().any(|r| state.q1_relations.contains(*r));
-                    let q2_touched = effective.iter().any(|r| state.q2_relations.contains(*r));
-                    if q1_touched {
-                        state.q1_out = evaluate_cq(&self.dcq.q1, &state.db, state.cq_strategy)
-                            .map_err(IncrementalError::Core)?;
-                        self.stats.side_recomputes += 1;
-                    }
-                    if q2_touched {
-                        state.q2_out = evaluate_cq(&self.dcq.q2, &state.db, state.cq_strategy)
-                            .map_err(IncrementalError::Core)?;
-                        self.stats.side_recomputes += 1;
-                    }
-                    if q1_touched || q2_touched {
-                        let fresh = state
-                            .q1_out
-                            .minus(&state.q2_out)
-                            .map_err(IncrementalError::Storage)?
-                            .to_row_set();
-                        outcome.result_added +=
-                            fresh.iter().filter(|r| !self.result.contains(*r)).count();
-                        outcome.result_removed +=
-                            self.result.iter().filter(|r| !fresh.contains(*r)).count();
-                        self.result = fresh;
-                    }
-                }
-            }
-        }
-
-        self.stats.batches_applied += 1;
-        self.stats.tuples_inserted += outcome.effect.inserted;
-        self.stats.tuples_deleted += outcome.effect.deleted;
-        self.stats.result_added += outcome.result_added;
-        self.stats.result_removed += outcome.result_removed;
-        self.log.record(batch.clone(), outcome.effect);
         Ok(outcome)
     }
 
     /// The maintained DCQ.
     pub fn dcq(&self) -> &Dcq {
-        &self.dcq
+        self.view.dcq()
     }
 
     /// The maintenance plan (strategy + dichotomy classification).
     pub fn plan(&self) -> &IncrementalPlan {
-        &self.plan
+        self.view.plan()
     }
 
     /// The active maintenance strategy.
     pub fn strategy(&self) -> IncrementalStrategy {
-        self.plan.strategy
+        self.view.strategy()
     }
 
     /// Human-readable explanation of the maintenance choice.
     pub fn explain(&self) -> String {
-        self.plan.explain()
+        self.view.explain()
+    }
+
+    /// The private store's epoch: the number of batches offered so far (skipped
+    /// batches advance it too, so the view's position in the update stream is
+    /// always exact).
+    pub fn epoch(&self) -> Epoch {
+        self.store.epoch()
     }
 
     /// Number of tuples currently in the result.
     pub fn len(&self) -> usize {
-        self.result.len()
+        self.view.len()
     }
 
     /// `true` iff the result is currently empty.
     pub fn is_empty(&self) -> bool {
-        self.result.is_empty()
+        self.view.is_empty()
     }
 
     /// `true` iff `row` is currently in the result.
     pub fn contains(&self, row: &Row) -> bool {
-        self.result.contains(row)
+        self.view.contains(row)
     }
 
     /// Materialize the current result as a relation (distinct by construction).
     pub fn result(&self) -> Relation {
-        let mut rel = Relation::new(
-            format!("{}−{}", self.dcq.q1.name, self.dcq.q2.name),
-            self.output.clone(),
-        );
-        rel.reserve(self.result.len());
-        for row in &self.result {
-            rel.push_unchecked(row.clone());
-        }
-        rel.assume_distinct();
-        rel
+        self.view.result()
     }
 
     /// The log of batches that touched this view (bounded to
@@ -403,7 +183,13 @@ impl MaintainedDcq {
 
     /// Work counters.
     pub fn stats(&self) -> MaintenanceStats {
-        self.stats
+        self.view.stats()
+    }
+
+    /// Estimated heap footprint of the private store in bytes — what this shim
+    /// still copies per view and a shared engine holds exactly once.
+    pub fn store_bytes(&self) -> usize {
+        self.store.approx_bytes()
     }
 }
 
@@ -412,18 +198,19 @@ impl fmt::Debug for MaintainedDcq {
         write!(
             f,
             "MaintainedDcq[{} | {} | {} tuples | {} batches]",
-            self.dcq,
-            self.plan.strategy,
-            self.result.len(),
+            self.view.dcq(),
+            self.view.strategy(),
+            self.view.len(),
             self.log.len()
         )
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use dcq_core::baseline::baseline_dcq;
+    use dcq_core::baseline::{baseline_dcq, CqStrategy};
     use dcq_core::parse::parse_dcq;
     use dcq_storage::row::int_row;
 
@@ -537,11 +324,12 @@ mod tests {
             }
             assert_eq!(view.stats().batches_applied, 3);
             assert!(view.log().len() == 3);
+            assert_eq!(view.epoch(), 3);
         }
     }
 
     #[test]
-    fn irrelevant_batches_are_skipped_without_work() {
+    fn irrelevant_batches_are_skipped_but_advance_the_epoch() {
         let db = db();
         let mut view = MaintainedDcq::register(parse_dcq(EASY).unwrap(), &db).unwrap();
         let before = view.result().sorted_rows();
@@ -550,10 +338,43 @@ mod tests {
         let outcome = view.apply(&batch).unwrap();
         assert!(outcome.skipped);
         assert_eq!(outcome.effect.total(), 0);
+        // The skipped batch still advances the view's position in the stream.
+        assert_eq!(outcome.epoch, 1);
+        assert_eq!(view.epoch(), 1);
         assert_eq!(view.result().sorted_rows(), before);
         assert_eq!(view.stats().batches_skipped, 1);
         assert_eq!(view.log().len(), 0);
         assert_eq!(view.stats().side_recomputes, 0);
+    }
+
+    #[test]
+    fn skipped_batch_followed_by_relevant_one_replays_correctly() {
+        // Regression: a batch touching only unreferenced relations must still move
+        // the epoch/log position so a later relevant batch lands at the right spot.
+        let mut db = db();
+        let mut view = MaintainedDcq::register(parse_dcq(EASY).unwrap(), &db).unwrap();
+        let snapshot = db.clone();
+
+        let mut skipped = DeltaBatch::new();
+        skipped.insert("Other", int_row([77]));
+        assert!(view.apply(&skipped).unwrap().skipped);
+        db.apply_batch(&skipped).unwrap();
+
+        let mut relevant = DeltaBatch::new();
+        relevant.delete("Graph", int_row([2, 3]));
+        relevant.insert("Triple", int_row([6, 6, 6]));
+        let outcome = view.apply(&relevant).unwrap();
+        assert!(!outcome.skipped);
+        assert_eq!(outcome.epoch, 2);
+        assert_eq!(view.epoch(), 2);
+        db.apply_batch(&relevant).unwrap();
+        check_against_baseline(&view, &db, "after skip + relevant");
+
+        // Replaying the view's log over the original snapshot reproduces the state
+        // the view reflects (the skipped batch contributed nothing to it).
+        let mut replayed = snapshot;
+        view.log().replay(&mut replayed).unwrap();
+        check_against_baseline(&view, &replayed, "replayed log");
     }
 
     #[test]
@@ -586,6 +407,8 @@ mod tests {
         let mut batch = DeltaBatch::new();
         batch.insert("Graph", int_row([1, 2, 3]));
         assert!(view.apply(&batch).is_err());
+        // A rejected batch leaves the epoch untouched.
+        assert_eq!(view.epoch(), 0);
     }
 
     #[test]
@@ -599,5 +422,19 @@ mod tests {
         let text = format!("{view:?}");
         assert!(text.contains("MaintainedDcq"));
         assert_eq!(view.plan().strategy, view.strategy());
+        assert!(view.store_bytes() > 0);
+    }
+
+    #[test]
+    fn set_log_replaces_history() {
+        let mut db = db();
+        let mut view = MaintainedDcq::register(parse_dcq(EASY).unwrap(), &db).unwrap();
+        let mut batch = DeltaBatch::new();
+        batch.insert("Triple", int_row([5, 6, 7]));
+        view.apply(&batch).unwrap();
+        db.apply_batch(&batch).unwrap();
+        assert_eq!(view.log().len(), 1);
+        view.set_log(UpdateLog::new());
+        assert_eq!(view.log().len(), 0);
     }
 }

@@ -1,0 +1,515 @@
+//! The maintenance core of one registered DCQ, reading through a shared store.
+//!
+//! [`DcqView`] is the per-view state an engine keeps for every registered
+//! difference query.  Unlike the first-generation `MaintainedDcq`, a view owns
+//! **no copy of the database**: the engine owns one [`SharedDatabase`] of
+//! record, applies each [`dcq_storage::DeltaBatch`] to it exactly once, and
+//! hands the resulting [`AppliedBatch`] — epoch plus *normalized* per-relation
+//! deltas — to every view in turn:
+//!
+//! * **counting views** fold the normalized deltas into their per-side support
+//!   counts ([`CountingCq`]) — `O(|Δ| · fan-out)` per view, independent of `N`;
+//! * **rerun views** (difference-linear DCQs) re-evaluate only the sides whose
+//!   relations the batch effectively changed, directly against the shared store.
+//!
+//! Either way the view records the store epoch of every offered batch — including
+//! batches it skipped — so its position in the update stream is always exact.
+
+use crate::count::CountingCq;
+use crate::{IncrementalError, Result};
+use dcq_core::baseline::{evaluate_cq, CqStrategy};
+use dcq_core::planner::{IncrementalPlan, IncrementalStrategy};
+use dcq_core::Dcq;
+use dcq_storage::hash::FastHashSet;
+use dcq_storage::{AppliedBatch, DeltaEffect, Epoch, Relation, Row, Schema, SharedDatabase};
+use std::fmt;
+
+/// Running counters describing the work a maintained view has done.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// Batches that touched at least one referenced relation.
+    pub batches_applied: usize,
+    /// Batches skipped because they touched no referenced relation.
+    pub batches_skipped: usize,
+    /// Net base tuples inserted across applied batches.
+    pub tuples_inserted: usize,
+    /// Net base tuples deleted across applied batches.
+    pub tuples_deleted: usize,
+    /// Result tuples that entered the view.
+    pub result_added: usize,
+    /// Result tuples that left the view.
+    pub result_removed: usize,
+    /// Side re-evaluations performed (touched-side rerun strategy only).
+    pub side_recomputes: usize,
+}
+
+/// Outcome of offering one batch to a maintained view.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// `true` iff the batch touched no referenced relation (nothing was done).
+    pub skipped: bool,
+    /// The store epoch the view reflects after this batch (recorded even for
+    /// skipped batches).
+    pub epoch: Epoch,
+    /// Net effect on the referenced base relations.
+    pub effect: DeltaEffect,
+    /// Result tuples that entered the view.
+    pub result_added: usize,
+    /// Result tuples that left the view.
+    pub result_removed: usize,
+}
+
+/// The per-strategy maintenance machinery.
+enum ViewState {
+    /// Support counts on both sides; result membership is `cnt₁ > 0 ∧ cnt₂ = 0`.
+    Counting {
+        q1: Box<CountingCq>,
+        q2: Box<CountingCq>,
+    },
+    /// Materialized side outputs; a batch re-runs only the sides whose relations
+    /// it effectively changed, evaluating against the shared store.
+    EasyRerun(Box<EasyRerunState>),
+}
+
+/// State of the touched-side rerun engine.
+struct EasyRerunState {
+    q1_out: Relation,
+    q2_out: Relation,
+    q1_relations: FastHashSet<String>,
+    q2_relations: FastHashSet<String>,
+    cq_strategy: CqStrategy,
+}
+
+/// The maintenance state of one registered DCQ over a shared store.
+///
+/// Built by [`DcqView::build`] against the store's current contents, then kept
+/// current by feeding every [`AppliedBatch`] the store produces to
+/// [`DcqView::apply`] **in order**.  The view never copies base relations; it
+/// reads the store at build/rerun time and otherwise works off the normalized
+/// deltas.
+pub struct DcqView {
+    dcq: Dcq,
+    output: Schema,
+    plan: IncrementalPlan,
+    state: ViewState,
+    /// Referenced stored relations, sorted and deduplicated.
+    referenced: Vec<String>,
+    result: FastHashSet<Row>,
+    stats: MaintenanceStats,
+    epoch: Epoch,
+}
+
+impl DcqView {
+    /// Build the view state for `dcq` from the store's current contents, using the
+    /// given maintenance plan.
+    pub fn build(dcq: Dcq, plan: IncrementalPlan, store: &SharedDatabase) -> Result<Self> {
+        dcq.validate(store.database())
+            .map_err(IncrementalError::Core)?;
+        let output = dcq.head_schema();
+
+        let mut referenced: Vec<String> = dcq
+            .q1
+            .atoms
+            .iter()
+            .chain(dcq.q2.atoms.iter())
+            .map(|a| a.relation.clone())
+            .collect();
+        referenced.sort();
+        referenced.dedup();
+
+        let state = match plan.strategy {
+            IncrementalStrategy::Counting => ViewState::Counting {
+                q1: Box::new(CountingCq::from_store(
+                    dcq.q1.clone(),
+                    output.clone(),
+                    store,
+                )?),
+                q2: Box::new(CountingCq::from_store(
+                    dcq.q2.clone(),
+                    output.clone(),
+                    store,
+                )?),
+            },
+            IncrementalStrategy::EasyRerun => {
+                let cq_strategy = CqStrategy::Smart;
+                let q1_out = evaluate_cq(&dcq.q1, store.database(), cq_strategy)
+                    .map_err(IncrementalError::Core)?;
+                let q2_out = evaluate_cq(&dcq.q2, store.database(), cq_strategy)
+                    .map_err(IncrementalError::Core)?;
+                ViewState::EasyRerun(Box::new(EasyRerunState {
+                    q1_out,
+                    q2_out,
+                    q1_relations: dcq.q1.atoms.iter().map(|a| a.relation.clone()).collect(),
+                    q2_relations: dcq.q2.atoms.iter().map(|a| a.relation.clone()).collect(),
+                    cq_strategy,
+                }))
+            }
+        };
+
+        let mut view = DcqView {
+            dcq,
+            output,
+            plan,
+            state,
+            referenced,
+            result: FastHashSet::default(),
+            stats: MaintenanceStats::default(),
+            epoch: store.epoch(),
+        };
+        view.result = view.compute_result_set()?;
+        Ok(view)
+    }
+
+    /// Derive the full result set from the engine state (registration path).
+    fn compute_result_set(&mut self) -> Result<FastHashSet<Row>> {
+        match &mut self.state {
+            ViewState::Counting { q1, q2 } => Ok(q1
+                .counts()
+                .iter()
+                .filter(|(row, _)| q2.count(row) == 0)
+                .map(|(row, _)| row.clone())
+                .collect()),
+            ViewState::EasyRerun(state) => {
+                let diff = state
+                    .q1_out
+                    .minus(&state.q2_out)
+                    .map_err(IncrementalError::Storage)?;
+                Ok(diff.to_row_set())
+            }
+        }
+    }
+
+    /// Fold one applied batch into the view.
+    ///
+    /// `applied` must be the store's own application record, offered in epoch
+    /// order; the shared store it came from is passed as `store` so rerun views
+    /// can re-evaluate touched sides.  Batches touching no referenced relation
+    /// only advance the view's epoch.
+    pub fn apply(
+        &mut self,
+        applied: &AppliedBatch,
+        store: &SharedDatabase,
+    ) -> Result<BatchOutcome> {
+        self.epoch = applied.epoch;
+        let mut outcome = BatchOutcome {
+            epoch: applied.epoch,
+            ..BatchOutcome::default()
+        };
+
+        let relevant: Vec<&(String, Vec<(Row, i64)>)> = applied
+            .normalized
+            .iter()
+            .filter(|(name, _)| self.references(name))
+            .collect();
+        if relevant.is_empty() {
+            self.stats.batches_skipped += 1;
+            outcome.skipped = true;
+            return Ok(outcome);
+        }
+
+        let mut changed_heads: FastHashSet<Row> = FastHashSet::default();
+        // Relations whose *normalized* delta was non-empty (redundant operations
+        // normalize away and must not trigger side recomputation).
+        let mut effective: FastHashSet<&String> = FastHashSet::default();
+        for (name, delta) in &relevant {
+            if delta.is_empty() {
+                continue;
+            }
+            effective.insert(name);
+            for (_, sign) in delta {
+                if *sign > 0 {
+                    outcome.effect.inserted += 1;
+                } else {
+                    outcome.effect.deleted += 1;
+                }
+            }
+            if let ViewState::Counting { q1, q2 } = &mut self.state {
+                let d1 = q1.apply_relation_delta(name, delta);
+                let d2 = q2.apply_relation_delta(name, delta);
+                changed_heads.extend(d1.iter().map(|(row, _)| row.clone()));
+                changed_heads.extend(d2.iter().map(|(row, _)| row.clone()));
+            }
+        }
+
+        match &mut self.state {
+            ViewState::Counting { q1, q2 } => {
+                for row in changed_heads {
+                    let belongs = q1.count(&row) > 0 && q2.count(&row) == 0;
+                    if belongs {
+                        if self.result.insert(row) {
+                            outcome.result_added += 1;
+                        }
+                    } else if self.result.remove(&row) {
+                        outcome.result_removed += 1;
+                    }
+                }
+            }
+            ViewState::EasyRerun(state) => {
+                if outcome.effect.total() > 0 {
+                    let q1_touched = effective.iter().any(|r| state.q1_relations.contains(*r));
+                    let q2_touched = effective.iter().any(|r| state.q2_relations.contains(*r));
+                    if q1_touched {
+                        state.q1_out =
+                            evaluate_cq(&self.dcq.q1, store.database(), state.cq_strategy)
+                                .map_err(IncrementalError::Core)?;
+                        self.stats.side_recomputes += 1;
+                    }
+                    if q2_touched {
+                        state.q2_out =
+                            evaluate_cq(&self.dcq.q2, store.database(), state.cq_strategy)
+                                .map_err(IncrementalError::Core)?;
+                        self.stats.side_recomputes += 1;
+                    }
+                    if q1_touched || q2_touched {
+                        let fresh = state
+                            .q1_out
+                            .minus(&state.q2_out)
+                            .map_err(IncrementalError::Storage)?
+                            .to_row_set();
+                        outcome.result_added +=
+                            fresh.iter().filter(|r| !self.result.contains(*r)).count();
+                        outcome.result_removed +=
+                            self.result.iter().filter(|r| !fresh.contains(*r)).count();
+                        self.result = fresh;
+                    }
+                }
+            }
+        }
+
+        self.stats.batches_applied += 1;
+        self.stats.tuples_inserted += outcome.effect.inserted;
+        self.stats.tuples_deleted += outcome.effect.deleted;
+        self.stats.result_added += outcome.result_added;
+        self.stats.result_removed += outcome.result_removed;
+        Ok(outcome)
+    }
+
+    /// The maintained DCQ.
+    pub fn dcq(&self) -> &Dcq {
+        &self.dcq
+    }
+
+    /// The maintenance plan (strategy + dichotomy classification).
+    pub fn plan(&self) -> &IncrementalPlan {
+        &self.plan
+    }
+
+    /// The active maintenance strategy.
+    pub fn strategy(&self) -> IncrementalStrategy {
+        self.plan.strategy
+    }
+
+    /// Human-readable explanation of the maintenance choice.
+    pub fn explain(&self) -> String {
+        self.plan.explain()
+    }
+
+    /// The stored relations this view references, sorted.
+    pub fn referenced(&self) -> &[String] {
+        &self.referenced
+    }
+
+    /// `true` iff the view references the stored relation `name`.
+    pub fn references(&self, name: &str) -> bool {
+        self.referenced
+            .binary_search_by(|r| r.as_str().cmp(name))
+            .is_ok()
+    }
+
+    /// The store epoch the view currently reflects.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Number of tuples currently in the result.
+    pub fn len(&self) -> usize {
+        self.result.len()
+    }
+
+    /// `true` iff the result is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.result.is_empty()
+    }
+
+    /// `true` iff `row` is currently in the result.
+    pub fn contains(&self, row: &Row) -> bool {
+        self.result.contains(row)
+    }
+
+    /// The current result membership set.
+    pub fn result_set(&self) -> &FastHashSet<Row> {
+        &self.result
+    }
+
+    /// Materialize the current result as a relation (distinct by construction).
+    pub fn result(&self) -> Relation {
+        let mut rel = Relation::new(
+            format!("{}−{}", self.dcq.q1.name, self.dcq.q2.name),
+            self.output.clone(),
+        );
+        rel.reserve(self.result.len());
+        for row in &self.result {
+            rel.push_unchecked(row.clone());
+        }
+        rel.assume_distinct();
+        rel
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> MaintenanceStats {
+        self.stats
+    }
+}
+
+impl fmt::Debug for DcqView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DcqView[{} | {} | {} tuples | epoch {}]",
+            self.dcq,
+            self.plan.strategy,
+            self.result.len(),
+            self.epoch
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcq_core::baseline::{baseline_dcq, CqStrategy};
+    use dcq_core::parse::parse_dcq;
+    use dcq_core::planner::DcqPlanner;
+    use dcq_storage::row::int_row;
+    use dcq_storage::{Database, DeltaBatch, Relation};
+
+    fn store() -> SharedDatabase {
+        let mut db = Database::new();
+        db.add(Relation::from_int_rows(
+            "Graph",
+            &["src", "dst"],
+            vec![
+                vec![1, 2],
+                vec![2, 3],
+                vec![3, 1],
+                vec![2, 4],
+                vec![4, 1],
+                vec![4, 5],
+            ],
+        ))
+        .unwrap();
+        db.add(Relation::from_int_rows(
+            "Triple",
+            &["a", "b", "c"],
+            vec![vec![1, 2, 3], vec![2, 3, 1], vec![2, 4, 1], vec![7, 8, 9]],
+        ))
+        .unwrap();
+        db.add(Relation::from_int_rows(
+            "Edge",
+            &["src", "dst"],
+            vec![vec![1, 3], vec![2, 4]],
+        ))
+        .unwrap();
+        db.add(Relation::from_int_rows("Other", &["k"], vec![vec![1]]))
+            .unwrap();
+        SharedDatabase::new(db)
+    }
+
+    const EASY: &str = "Q(a, b, c) :- Triple(a, b, c) EXCEPT Graph(a, b), Graph(b, c), Graph(c, a)";
+    const HARD: &str = "Q(a, c) :- Edge(a, c) EXCEPT Graph(a, b), Graph(b, c)";
+
+    fn build(src: &str, store: &SharedDatabase) -> DcqView {
+        let dcq = parse_dcq(src).unwrap();
+        let plan = DcqPlanner::smart().plan_incremental(&dcq);
+        DcqView::build(dcq, plan, store).unwrap()
+    }
+
+    #[test]
+    fn views_follow_the_store_and_match_recomputation() {
+        let mut store = store();
+        let mut easy = build(EASY, &store);
+        let mut hard = build(HARD, &store);
+        assert_eq!(easy.strategy(), IncrementalStrategy::EasyRerun);
+        assert_eq!(hard.strategy(), IncrementalStrategy::Counting);
+        assert!(easy.references("Graph") && !easy.references("Other"));
+        assert_eq!(
+            easy.referenced(),
+            &["Graph".to_string(), "Triple".to_string()]
+        );
+
+        let batches = vec![
+            {
+                let mut b = DeltaBatch::new();
+                b.insert("Triple", int_row([5, 6, 7]));
+                b
+            },
+            {
+                let mut b = DeltaBatch::new();
+                b.insert("Graph", int_row([7, 8]));
+                b.insert("Graph", int_row([8, 9]));
+                b.insert("Graph", int_row([9, 7]));
+                b.delete("Triple", int_row([2, 4, 1]));
+                b
+            },
+            {
+                let mut b = DeltaBatch::new();
+                b.delete("Graph", int_row([2, 3]));
+                b.insert("Other", int_row([5]));
+                b
+            },
+        ];
+        for batch in &batches {
+            let applied = store.apply_batch(batch).unwrap();
+            for view in [&mut easy, &mut hard] {
+                let outcome = view.apply(&applied, &store).unwrap();
+                assert_eq!(outcome.epoch, store.epoch());
+                assert_eq!(view.epoch(), store.epoch());
+                let expected =
+                    baseline_dcq(view.dcq(), store.database(), CqStrategy::Vanilla).unwrap();
+                assert_eq!(
+                    view.result().sorted_rows(),
+                    expected.sorted_rows(),
+                    "view diverged after {batch}"
+                );
+            }
+        }
+        assert_eq!(easy.stats().batches_applied, 3);
+        assert!(easy.stats().side_recomputes > 0);
+        // The first batch only touched Triple, which the hard view does not read.
+        assert_eq!(hard.stats().batches_skipped, 1);
+        assert_eq!(hard.stats().batches_applied, 2);
+        assert_eq!(hard.epoch(), 3);
+    }
+
+    #[test]
+    fn irrelevant_batches_advance_the_epoch_only() {
+        let mut store = store();
+        let mut view = build(EASY, &store);
+        let before = view.result().sorted_rows();
+        let mut batch = DeltaBatch::new();
+        batch.insert("Other", int_row([42]));
+        let applied = store.apply_batch(&batch).unwrap();
+        let outcome = view.apply(&applied, &store).unwrap();
+        assert!(outcome.skipped);
+        assert_eq!(outcome.epoch, 1);
+        assert_eq!(view.epoch(), 1);
+        assert_eq!(view.result().sorted_rows(), before);
+        assert_eq!(view.stats().batches_skipped, 1);
+        assert_eq!(view.stats().batches_applied, 0);
+    }
+
+    #[test]
+    fn result_accessors_and_debug() {
+        let store = store();
+        let view = build(EASY, &store);
+        assert_eq!(view.len(), view.result().len());
+        assert!(!view.is_empty());
+        assert!(view.contains(&int_row([7, 8, 9])));
+        assert!(view.result_set().contains(&int_row([7, 8, 9])));
+        assert!(!view.contains(&int_row([1, 2, 3])));
+        assert!(format!("{view:?}").contains("DcqView"));
+        assert!(view.explain().contains("touched-side rerun"));
+        assert_eq!(view.plan().strategy, view.strategy());
+        assert_eq!(view.epoch(), 0);
+    }
+}

@@ -161,11 +161,12 @@ impl Relation {
     /// against its membership, so redundant operations are no-ops.  Rows must match
     /// the relation's arity.
     ///
-    /// This is the *convenience* path: it rebuilds the membership hash set per call,
-    /// costing `O(N)` regardless of the delta size.  Hot loops that stream many
-    /// small batches should maintain the membership set themselves and go through
-    /// [`normalize_delta`] + [`Relation::apply_normalized_delta`], which is what
-    /// `dcq-incremental`'s maintenance engines do to stay `O(|delta|)`.
+    /// The first call on a cold relation pays `O(N)` to build the membership cache
+    /// ([`Relation::cached_row_set`]); every later call normalizes and applies in
+    /// `O(|delta|)`, which is what makes [`Database::apply_batch`] delta-sized on a
+    /// steadily updated store.  Callers that already track membership themselves can
+    /// still go through [`normalize_delta`] + [`Relation::apply_normalized_delta`]
+    /// directly.
     pub fn apply_delta(&mut self, raw: &[(Row, i64)]) -> Result<DeltaEffect> {
         for (row, _) in raw {
             if row.arity() != self.schema().arity() {
@@ -177,16 +178,19 @@ impl Relation {
             }
         }
         self.dedup();
-        let current = self.to_row_set();
-        let delta = normalize_delta(&current, raw);
+        let delta = normalize_delta(self.cached_row_set(), raw);
         Ok(self.apply_normalized_delta(&delta))
     }
 
     /// Apply an already-normalized delta (the output of [`normalize_delta`] against
-    /// this relation's current rows).  Skips re-deduplication and membership checks;
-    /// callers on incremental hot paths use this to stay `O(N_deleted + |delta|)`.
+    /// this relation's current rows).  Skips re-deduplication and membership checks,
+    /// and keeps the membership cache consistent, so incremental hot paths stay
+    /// `O(N_deleted + |delta|)`.
     pub fn apply_normalized_delta(&mut self, delta: &[(Row, i64)]) -> DeltaEffect {
         let mut effect = DeltaEffect::default();
+        // Maintain the membership cache by hand: `retain_rows` would drop it, but a
+        // normalized delta states exactly which rows enter and leave.
+        let mut cache = self.row_cache.take();
         let mut deletions: FastHashSet<&Row> = set_with_capacity(0);
         for (row, sign) in delta {
             if *sign < 0 {
@@ -198,10 +202,18 @@ impl Relation {
             // `retain_rows` preserves the distinct flag.
             self.retain_rows(|r| !deletions.contains(r));
             effect.deleted = before - self.len();
+            if let Some(cache) = cache.as_mut() {
+                for row in &deletions {
+                    cache.remove(*row);
+                }
+            }
         }
         let was_distinct = self.is_known_distinct();
         for (row, sign) in delta {
             if *sign > 0 {
+                if let Some(cache) = cache.as_mut() {
+                    cache.insert(row.clone());
+                }
                 self.push_unchecked(row.clone());
                 effect.inserted += 1;
             }
@@ -211,6 +223,7 @@ impl Relation {
             // is preserved.
             self.assume_distinct();
         }
+        self.row_cache = cache;
         effect
     }
 }
@@ -421,6 +434,28 @@ mod tests {
             vec![int_row([1, 2]), int_row([3, 1]), int_row([9, 9])]
         );
         assert!(g.is_known_distinct());
+    }
+
+    #[test]
+    fn repeated_deltas_reuse_the_membership_cache() {
+        let mut g = graph();
+        assert!(!g.row_cache_is_warm());
+        g.apply_delta(&[(int_row([9, 9]), 1)]).unwrap();
+        // The first application warms the cache; later ones are O(|delta|).
+        assert!(g.row_cache_is_warm());
+        for step in 0..10i64 {
+            let effect = g
+                .apply_delta(&[(int_row([20 + step, step]), 1), (int_row([9, 9]), 1)])
+                .unwrap();
+            assert_eq!(effect.inserted, 1, "duplicate insert must normalize away");
+            assert!(g.row_cache_is_warm());
+        }
+        assert_eq!(g.to_row_set(), {
+            let mut fresh = g.clone();
+            fresh.retain_rows(|_| true); // drops the cache
+            assert!(!fresh.row_cache_is_warm());
+            fresh.to_row_set() // rebuilt from rows: must agree with the cache
+        });
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //!   used for aggregation (§5.3) and bag semantics (§5.4),
 //! * [`delta`] — signed tuple deltas ([`DeltaBatch`]), set-semantics normalization
 //!   and the replayable [`UpdateLog`] consumed by `dcq-incremental`,
-//! * [`Database`] — a named collection of relations (one query instance).
+//! * [`Database`] — a named collection of relations (one query instance),
+//! * [`shared`] — the epoch-versioned [`SharedDatabase`] of record that one engine
+//!   owns and many maintained views read through ([`RelationRef`]), with `O(|Δ|)`
+//!   updates and per-batch normalized deltas ([`AppliedBatch`]).
 //!
 //! The crate is deliberately free of query logic: acyclicity lives in
 //! `dcq-hypergraph`, operators in `dcq-exec`, and the DCQ algorithms in `dcq-core`.
@@ -34,6 +37,7 @@ pub mod index;
 pub mod relation;
 pub mod row;
 pub mod schema;
+pub mod shared;
 pub mod value;
 
 pub use annotated::{AnnotatedRelation, BagRelation, Ring, Semiring};
@@ -45,6 +49,7 @@ pub use index::HashIndex;
 pub use relation::Relation;
 pub use row::Row;
 pub use schema::{Attr, Schema};
+pub use shared::{AppliedBatch, Epoch, RelationRef, SharedDatabase};
 pub use value::Value;
 
 /// Crate-level result alias.

@@ -21,6 +21,11 @@ pub struct Relation {
     rows: Vec<Row>,
     /// `true` when `rows` is known to contain no duplicates.
     distinct: bool,
+    /// Cached membership set of `rows`, maintained incrementally by the delta
+    /// application path so [`Relation::apply_delta`] normalizes in `O(|delta|)`
+    /// instead of rebuilding the set per call.  `None` until first requested;
+    /// mutators that cannot cheaply keep it consistent drop it.
+    pub(crate) row_cache: Option<FastHashSet<Row>>,
 }
 
 impl Relation {
@@ -31,6 +36,7 @@ impl Relation {
             schema,
             rows: Vec::new(),
             distinct: true,
+            row_cache: None,
         }
     }
 
@@ -111,6 +117,9 @@ impl Relation {
                 actual: row.arity(),
             });
         }
+        if let Some(cache) = self.row_cache.as_mut() {
+            cache.insert(row.clone());
+        }
         self.rows.push(row);
         self.distinct = false;
         Ok(())
@@ -120,6 +129,9 @@ impl Relation {
     /// rows from the schema themselves).
     pub fn push_unchecked(&mut self, row: Row) {
         debug_assert_eq!(row.arity(), self.schema.arity());
+        if let Some(cache) = self.row_cache.as_mut() {
+            cache.insert(row.clone());
+        }
         self.rows.push(row);
         self.distinct = false;
     }
@@ -144,7 +156,10 @@ impl Relation {
     ///
     /// The distinct flag is preserved: retaining a subset cannot introduce
     /// duplicates, and a relation that already held duplicates stays unmarked.
+    /// The membership cache is dropped (the predicate is opaque); delta paths that
+    /// know which rows they remove maintain the cache themselves.
     pub fn retain_rows<F: FnMut(&Row) -> bool>(&mut self, f: F) {
+        self.row_cache = None;
         self.rows.retain(f);
     }
 
@@ -167,11 +182,38 @@ impl Relation {
 
     /// Collect the rows into a hash set.
     pub fn to_row_set(&self) -> FastHashSet<Row> {
+        if let Some(cache) = &self.row_cache {
+            return cache.clone();
+        }
         let mut set = set_with_capacity(self.rows.len());
         for r in &self.rows {
             set.insert(r.clone());
         }
         set
+    }
+
+    /// The membership set of this relation, built on first use and maintained
+    /// incrementally by the delta path afterwards.
+    ///
+    /// This is what makes [`Relation::apply_delta`] `O(|delta|)` on warm relations:
+    /// the first call pays `O(N)` to build the set, every later normalization reuses
+    /// it.  Mutators that cannot keep the set consistent ([`Relation::retain_rows`],
+    /// [`Relation::reorder_to`]) drop it; it is rebuilt on the next call.
+    pub fn cached_row_set(&mut self) -> &FastHashSet<Row> {
+        if self.row_cache.is_none() {
+            let mut set = set_with_capacity(self.rows.len());
+            for r in &self.rows {
+                set.insert(r.clone());
+            }
+            self.row_cache = Some(set);
+        }
+        self.row_cache.as_ref().expect("cache was just built")
+    }
+
+    /// `true` iff the membership cache is currently materialized (delta
+    /// applications will normalize in `O(|delta|)` without an `O(N)` rebuild).
+    pub fn row_cache_is_warm(&self) -> bool {
+        self.row_cache.is_some()
     }
 
     /// Rows sorted lexicographically — deterministic order for tests and display.
@@ -251,6 +293,8 @@ impl Relation {
             schema,
             rows: self.rows.clone(),
             distinct: self.distinct,
+            // Relabeling does not change row values, so membership is unchanged.
+            row_cache: self.row_cache.clone(),
         })
     }
 
@@ -489,6 +533,37 @@ mod tests {
         t.insert(Row::empty()).unwrap();
         t.dedup();
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn row_cache_tracks_mutations_and_invalidates() {
+        let mut g = graph();
+        assert!(!g.row_cache_is_warm());
+        assert!(g.cached_row_set().contains(&int_row([1, 2])));
+        assert!(g.row_cache_is_warm());
+
+        // Cheap mutators keep the cache consistent.
+        g.insert(int_row([9, 9])).unwrap();
+        g.push_unchecked(int_row([8, 8]));
+        assert!(g.row_cache_is_warm());
+        assert!(g.cached_row_set().contains(&int_row([9, 9])));
+        assert!(g.cached_row_set().contains(&int_row([8, 8])));
+        assert_eq!(g.to_row_set(), g.cached_row_set().clone());
+
+        // An opaque retain drops the cache; the next request rebuilds it.
+        g.retain_rows(|r| r != &int_row([9, 9]));
+        assert!(!g.row_cache_is_warm());
+        assert!(!g.cached_row_set().contains(&int_row([9, 9])));
+
+        // Dedup does not change membership, so the cache survives.
+        g.dedup();
+        assert!(g.row_cache_is_warm());
+
+        // Relabeling keeps values (and the cache); reordering does not.
+        let relabeled = g.with_schema(Schema::from_names(["a", "b"])).unwrap();
+        assert!(relabeled.row_cache_is_warm());
+        let reordered = g.reorder_to(&Schema::from_names(["dst", "src"])).unwrap();
+        assert!(!reordered.row_cache_is_warm());
     }
 
     #[test]

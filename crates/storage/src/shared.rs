@@ -1,0 +1,404 @@
+//! The shared, epoch-versioned store backing multi-view maintenance.
+//!
+//! `dcq-incremental`'s first iteration gave every maintained view a private
+//! snapshot of the relations it referenced: `N` views over the same database held
+//! `N` copies, and every view re-normalized every batch against its own membership
+//! sets.  [`SharedDatabase`] is the replacement: **one** [`Database`] of record,
+//! owned by an engine, with
+//!
+//! * a monotonically increasing **epoch** — every applied batch (or explicit
+//!   [`SharedDatabase::tick`]) advances it, so consumers can record exactly which
+//!   prefix of the update stream they reflect;
+//! * **set-semantics invariants** enforced at the boundary — relations are
+//!   deduplicated on ingest and every update goes through normalization, so reads
+//!   never observe duplicates;
+//! * **`O(|Δ|)` updates** — each relation's membership cache
+//!   ([`Relation::cached_row_set`]) is warmed on first touch and maintained
+//!   incrementally afterwards;
+//! * an [`AppliedBatch`] summary per update carrying the **normalized per-relation
+//!   deltas**, computed once and fanned out to every registered view instead of
+//!   being recomputed per view.
+//!
+//! Reads go through [`RelationRef`], a lightweight handle pairing the relation with
+//! the epoch it was observed at.
+
+use crate::database::Database;
+use crate::delta::{normalize_delta, DeltaBatch, DeltaEffect};
+use crate::relation::Relation;
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::{Result, StorageError};
+use std::fmt;
+
+/// A monotonically increasing version number of a [`SharedDatabase`].
+///
+/// Epoch `0` is the registration state; every applied batch (and every explicit
+/// [`SharedDatabase::tick`]) advances it by one.
+pub type Epoch = u64;
+
+/// A single database of record shared by many maintained views.
+///
+/// The store deliberately exposes **no** direct mutable access to its relations:
+/// every change goes through [`SharedDatabase::apply_batch`], which normalizes,
+/// applies, and versions the update in one pass.  That is what lets an engine hand
+/// the resulting [`AppliedBatch`] to every registered view without each view
+/// re-deriving the net effect.
+#[derive(Clone, Default)]
+pub struct SharedDatabase {
+    db: Database,
+    epoch: Epoch,
+}
+
+impl SharedDatabase {
+    /// Create an empty store at epoch `0`.
+    pub fn empty() -> Self {
+        SharedDatabase::default()
+    }
+
+    /// Take ownership of a database, deduplicating every relation (the store
+    /// maintains set semantics as an invariant) and starting at epoch `0`.
+    pub fn new(mut db: Database) -> Self {
+        for name in db.relation_names() {
+            db.get_mut(&name)
+                .expect("name comes from the database")
+                .dedup();
+        }
+        SharedDatabase { db, epoch: 0 }
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Advance the epoch without touching any relation.
+    ///
+    /// Used when a consumer wants the version counter to cover updates that were
+    /// inspected but contained nothing for this store (e.g. a maintained view fed a
+    /// batch that only touches unreferenced relations).
+    pub fn tick(&mut self) -> Epoch {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Read-only access to the underlying database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Consume the store, returning the underlying database.
+    pub fn into_database(self) -> Database {
+        self.db
+    }
+
+    /// Register a new relation (deduplicated on ingest).
+    ///
+    /// Fails if a relation with the same name already exists, like
+    /// [`Database::add`].
+    pub fn add_relation(&mut self, mut relation: Relation) -> Result<()> {
+        relation.dedup();
+        self.db.add(relation)
+    }
+
+    /// Remove a relation, returning it if present.
+    pub fn remove_relation(&mut self, name: &str) -> Option<Relation> {
+        self.db.remove(name)
+    }
+
+    /// A versioned read handle on one relation.
+    pub fn relation(&self, name: &str) -> Result<RelationRef<'_>> {
+        Ok(RelationRef {
+            relation: self.db.get(name)?,
+            epoch: self.epoch,
+        })
+    }
+
+    /// `true` iff a relation with this name is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.db.contains(name)
+    }
+
+    /// Names of all registered relations, in sorted order.
+    pub fn relation_names(&self) -> Vec<String> {
+        self.db.relation_names()
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn input_size(&self) -> usize {
+        self.db.input_size()
+    }
+
+    /// Estimated heap footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.db.approx_bytes()
+    }
+
+    /// Apply one delta batch: validate, normalize each relation's operations
+    /// against its (cached) membership, apply the net effect in place, and advance
+    /// the epoch.
+    ///
+    /// The whole batch is validated before anything mutates — unknown relations or
+    /// arity mismatches leave the store (and its epoch) untouched.  The returned
+    /// [`AppliedBatch`] carries the normalized per-relation deltas so that `N`
+    /// consumers can share one normalization pass.
+    pub fn apply_batch(&mut self, batch: &DeltaBatch) -> Result<AppliedBatch> {
+        for (name, raw) in batch.iter() {
+            let rel = self.db.get(name)?;
+            for (row, _) in raw {
+                if row.arity() != rel.schema().arity() {
+                    return Err(StorageError::ArityMismatch {
+                        relation: name.to_string(),
+                        expected: rel.schema().arity(),
+                        actual: row.arity(),
+                    });
+                }
+            }
+        }
+        let mut effect = DeltaEffect::default();
+        let mut normalized = Vec::with_capacity(batch.relations().count());
+        for (name, raw) in batch.iter() {
+            let rel = self.db.get_mut(name).expect("validated above");
+            let delta = normalize_delta(rel.cached_row_set(), raw);
+            effect.absorb(rel.apply_normalized_delta(&delta));
+            normalized.push((name.to_string(), delta));
+        }
+        self.epoch += 1;
+        Ok(AppliedBatch {
+            epoch: self.epoch,
+            effect,
+            normalized,
+        })
+    }
+}
+
+impl fmt::Debug for SharedDatabase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SharedDatabase[epoch {}, {} relations, {} tuples]",
+            self.epoch,
+            self.db.relation_count(),
+            self.db.input_size()
+        )
+    }
+}
+
+/// A lightweight, versioned read handle on one relation of a [`SharedDatabase`].
+///
+/// The handle records the store epoch it was taken at, so a consumer holding
+/// results derived through it can tell exactly which update-stream prefix they
+/// reflect.
+#[derive(Clone, Copy)]
+pub struct RelationRef<'a> {
+    relation: &'a Relation,
+    epoch: Epoch,
+}
+
+impl<'a> RelationRef<'a> {
+    /// The underlying relation.
+    pub fn relation(&self) -> &'a Relation {
+        self.relation
+    }
+
+    /// The store epoch this handle was taken at.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &'a str {
+        self.relation.name()
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &'a Schema {
+        self.relation.schema()
+    }
+
+    /// Number of stored rows.
+    pub fn len(&self) -> usize {
+        self.relation.len()
+    }
+
+    /// `true` iff the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.relation.is_empty()
+    }
+
+    /// The stored rows (distinct — the store maintains set semantics).
+    pub fn rows(&self) -> &'a [Row] {
+        self.relation.rows()
+    }
+}
+
+impl fmt::Debug for RelationRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RelationRef[{} @ epoch {}, {} rows]",
+            self.relation.name(),
+            self.epoch,
+            self.relation.len()
+        )
+    }
+}
+
+/// The record of one batch applied to a [`SharedDatabase`]: the epoch it advanced
+/// the store to, the net effect, and the **normalized** per-relation deltas.
+///
+/// Normalization happens once here; every registered view then consumes the same
+/// net deltas instead of re-deriving them against private membership sets.
+#[derive(Clone, Debug, Default)]
+pub struct AppliedBatch {
+    /// The epoch the store advanced to by applying this batch.
+    pub epoch: Epoch,
+    /// Net tuples inserted / deleted across all touched relations.
+    pub effect: DeltaEffect,
+    /// Per touched relation (in batch order): the net set-semantics delta.  A
+    /// relation whose operations all normalized away is present with an empty
+    /// delta — consumers can distinguish "touched but redundant" from "untouched".
+    pub normalized: Vec<(String, Vec<(Row, i64)>)>,
+}
+
+impl AppliedBatch {
+    /// An applied batch that touched nothing (an epoch tick).
+    pub fn noop(epoch: Epoch) -> Self {
+        AppliedBatch {
+            epoch,
+            ..AppliedBatch::default()
+        }
+    }
+
+    /// `true` iff the batch touched `relation` (even if its operations all
+    /// normalized away).
+    pub fn touches(&self, relation: &str) -> bool {
+        self.normalized.iter().any(|(name, _)| name == relation)
+    }
+
+    /// The normalized delta against `relation`, if the batch touched it.
+    pub fn normalized_ops(&self, relation: &str) -> Option<&[(Row, i64)]> {
+        self.normalized
+            .iter()
+            .find(|(name, _)| name == relation)
+            .map(|(_, ops)| ops.as_slice())
+    }
+
+    /// `true` iff no tuple actually changed.
+    pub fn is_noop(&self) -> bool {
+        self.effect.total() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::int_row;
+
+    fn store() -> SharedDatabase {
+        let mut db = Database::new();
+        db.add(Relation::from_int_rows(
+            "Graph",
+            &["src", "dst"],
+            vec![vec![1, 2], vec![2, 3], vec![1, 2]], // duplicate on purpose
+        ))
+        .unwrap();
+        db.add(Relation::from_int_rows("Node", &["id"], vec![vec![1]]))
+            .unwrap();
+        SharedDatabase::new(db)
+    }
+
+    #[test]
+    fn ingest_dedups_and_starts_at_epoch_zero() {
+        let store = store();
+        assert_eq!(store.epoch(), 0);
+        assert_eq!(store.relation("Graph").unwrap().len(), 2);
+        assert!(store.contains("Node"));
+        assert_eq!(store.relation_names(), vec!["Graph", "Node"]);
+    }
+
+    #[test]
+    fn apply_batch_normalizes_versions_and_warms_cache() {
+        let mut store = store();
+        let mut batch = DeltaBatch::new();
+        batch.insert("Graph", int_row([1, 2])); // already present → no-op
+        batch.insert("Graph", int_row([9, 9]));
+        batch.delete("Graph", int_row([2, 3]));
+        batch.delete("Node", int_row([7])); // absent → no-op
+        let applied = store.apply_batch(&batch).unwrap();
+        assert_eq!(applied.epoch, 1);
+        assert_eq!(store.epoch(), 1);
+        assert_eq!(applied.effect.inserted, 1);
+        assert_eq!(applied.effect.deleted, 1);
+        assert!(applied.touches("Graph") && applied.touches("Node"));
+        assert_eq!(applied.normalized_ops("Node"), Some(&[][..]));
+        assert!(applied.normalized_ops("Missing").is_none());
+        let mut ops = applied.normalized_ops("Graph").unwrap().to_vec();
+        ops.sort();
+        assert_eq!(ops, vec![(int_row([2, 3]), -1), (int_row([9, 9]), 1)]);
+        // The membership cache stays warm for the next O(|Δ|) application.
+        assert!(store.database().get("Graph").unwrap().row_cache_is_warm());
+        let handle = store.relation("Graph").unwrap();
+        assert_eq!(handle.epoch(), 1);
+        assert_eq!(handle.len(), 2);
+    }
+
+    #[test]
+    fn failed_validation_leaves_store_untouched() {
+        let mut store = store();
+        let mut bad = DeltaBatch::new();
+        bad.insert("Graph", int_row([1, 2, 3]));
+        assert!(matches!(
+            store.apply_batch(&bad),
+            Err(StorageError::ArityMismatch { .. })
+        ));
+        let mut unknown = DeltaBatch::new();
+        unknown.insert("Missing", int_row([1]));
+        assert!(store.apply_batch(&unknown).is_err());
+        assert_eq!(store.epoch(), 0);
+        assert_eq!(store.input_size(), 3);
+    }
+
+    #[test]
+    fn tick_advances_epoch_without_changes() {
+        let mut store = store();
+        assert_eq!(store.tick(), 1);
+        assert_eq!(store.tick(), 2);
+        assert_eq!(store.input_size(), 3);
+        let noop = AppliedBatch::noop(2);
+        assert!(noop.is_noop());
+        assert!(!noop.touches("Graph"));
+    }
+
+    #[test]
+    fn add_and_remove_relations() {
+        let mut store = SharedDatabase::empty();
+        store
+            .add_relation(Relation::from_int_rows(
+                "R",
+                &["a"],
+                vec![vec![1], vec![1], vec![2]],
+            ))
+            .unwrap();
+        assert_eq!(store.relation("R").unwrap().len(), 2);
+        assert!(store
+            .add_relation(Relation::from_int_rows("R", &["a"], vec![]))
+            .is_err());
+        let removed = store.remove_relation("R").unwrap();
+        assert_eq!(removed.name(), "R");
+        assert!(store.relation("R").is_err());
+        assert_eq!(store.into_database().relation_count(), 0);
+    }
+
+    #[test]
+    fn relation_ref_accessors() {
+        let store = store();
+        let r = store.relation("Graph").unwrap();
+        assert_eq!(r.name(), "Graph");
+        assert_eq!(r.schema().arity(), 2);
+        assert!(!r.is_empty());
+        assert_eq!(r.rows().len(), r.len());
+        assert_eq!(r.relation().name(), "Graph");
+        assert!(format!("{r:?}").contains("epoch 0"));
+        assert!(format!("{store:?}").contains("SharedDatabase"));
+    }
+}

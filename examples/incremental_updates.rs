@@ -1,20 +1,23 @@
-//! Incremental DCQ maintenance: register a difference query once, stream update
-//! batches at it, and compare against recomputing from scratch per batch.
+//! Incremental DCQ maintenance through the engine: register several difference
+//! queries on one shared store, stream update batches at it, and compare against
+//! recomputing from scratch per batch.
 //!
 //! ```text
 //! cargo run --release --example incremental_updates [batch_tuples] [batches]
 //! ```
 //!
-//! The demo registers an easy query (`Q_G3`, maintained by touched-side rerun) and a
-//! hard one (`Q_G5`, maintained by counting delta joins) over the same synthetic
-//! graph, then applies a randomized insert/delete workload, verifying after every
-//! batch that the maintained result matches the planner's one-shot evaluation.
+//! The demo registers an easy query (`Q_G3`, maintained by touched-side rerun) and
+//! a hard one (`Q_G5`, maintained by counting delta joins) on one [`DcqEngine`]
+//! over a synthetic graph, then applies a randomized insert/delete workload with a
+//! single `engine.apply(batch)` per batch — one normalization pass, one store
+//! update, every view maintained — verifying at the end that each maintained
+//! result matches the planner's one-shot evaluation.
 
 use dcq_core::planner::DcqPlanner;
 use dcq_datagen::datasets::build_dataset;
 use dcq_datagen::{graph_query, update_workload, Graph, GraphQueryId, TripleRuleMix, UpdateSpec};
-use dcq_incremental::MaintainedDcq;
 use dcqx::util::{header, secs, timed};
+use dcqx::DcqEngine;
 use std::time::Duration;
 
 fn main() {
@@ -29,61 +32,71 @@ fn main() {
         TripleRuleMix::balanced(),
         4,
     );
-    let mut db = data.db.clone();
+    let mut engine = DcqEngine::with_database(data.db.clone());
     println!(
         "database: {} tuples ({} Graph edges, {} Triple tuples)",
-        db.input_size(),
-        db.get("Graph").unwrap().len(),
+        engine.database().input_size(),
+        engine.relation("Graph").unwrap().len(),
         data.triple_size
     );
     println!(
         "workload: {n_batches} batches × {batch_tuples} tuples (≈{:.2}% of the database each)",
-        100.0 * batch_tuples as f64 / db.input_size() as f64
+        100.0 * batch_tuples as f64 / engine.database().input_size() as f64
     );
 
-    let planner = DcqPlanner::smart();
-    let mut views: Vec<MaintainedDcq> = Vec::new();
+    let mut handles = Vec::new();
     for id in [GraphQueryId::QG3, GraphQueryId::QG5] {
-        let dcq = graph_query(id);
         header(&format!("register {}", id.name()));
-        let (view, elapsed) = timed(|| MaintainedDcq::register(dcq, &db).expect("register"));
-        println!("{}", view.explain());
+        let (prepared, t_prepare) = timed(|| engine.prepare(graph_query(id)).expect("prepare"));
+        println!("{}", prepared.explain());
+        let (handle, t_register) = timed(|| engine.register(&prepared).expect("register"));
         println!(
-            "registered in {} with {} result tuples",
-            secs(elapsed),
-            view.len()
+            "prepared in {} (cache hit: {}), registered in {} with {} result tuples",
+            secs(t_prepare),
+            prepared.cache_hit(),
+            secs(t_register),
+            engine.view(handle).unwrap().len()
         );
-        views.push(view);
+        handles.push(handle);
     }
 
     let spec = UpdateSpec::new(n_batches, batch_tuples, &["Graph", "Triple"]);
-    let batches = update_workload(&db, &spec, 99);
+    let batches = update_workload(engine.database(), &spec, 99);
 
     header("stream updates");
-    let mut maintain_time = vec![Duration::ZERO; views.len()];
+    let mut apply_time = Duration::ZERO;
     for batch in &batches {
-        db.apply_batch(batch).expect("batch applies");
-        for (i, view) in views.iter_mut().enumerate() {
-            let ((), elapsed) = timed(|| {
-                view.apply(batch).expect("maintenance applies");
-            });
-            maintain_time[i] += elapsed;
-        }
+        let (_, elapsed) = timed(|| engine.apply(batch).expect("engine applies"));
+        apply_time += elapsed;
     }
+    println!(
+        "applied {n_batches} batches in {} ({} per batch, all views fanned out)",
+        secs(apply_time),
+        secs(apply_time / n_batches as u32)
+    );
 
-    for (i, view) in views.iter().enumerate() {
+    let planner = DcqPlanner::smart();
+    for handle in handles {
+        let view = engine.view(handle).unwrap();
         let name = view.dcq().q1.name.clone();
         header(&format!("{name} after {n_batches} batches"));
-        let (reference, recompute) = timed(|| planner.execute(view.dcq(), &db).expect("recompute"));
+        let (reference, recompute) = timed(|| {
+            planner
+                .execute(view.dcq(), engine.database())
+                .expect("recompute")
+        });
         assert_eq!(
-            view.result().sorted_rows(),
+            engine.result(handle).unwrap().sorted_rows(),
             reference.sorted_rows(),
             "maintained result must equal one-shot recomputation"
         );
         let stats = view.stats();
-        let per_batch = maintain_time[i] / n_batches as u32;
+        let per_batch = apply_time / n_batches as u32;
         println!("result size        : {}", view.len());
-        println!("maintenance/batch  : {}", secs(per_batch));
+        println!(
+            "engine apply/batch : {} (both views together)",
+            secs(per_batch)
+        );
         println!(
             "one-shot recompute : {} (×{} batches would be {})",
             secs(recompute),
@@ -95,14 +108,23 @@ fn main() {
             recompute.as_secs_f64() / per_batch.as_secs_f64().max(1e-9)
         );
         println!(
-            "stats: {} applied, {} skipped, +{}/−{} base tuples, +{}/−{} result tuples, {} side recomputes",
+            "stats: {} applied, {} skipped, +{}/−{} base tuples, +{}/−{} result tuples, {} side recomputes, epoch {}",
             stats.batches_applied,
             stats.batches_skipped,
             stats.tuples_inserted,
             stats.tuples_deleted,
             stats.result_added,
             stats.result_removed,
-            stats.side_recomputes
+            stats.side_recomputes,
+            view.epoch()
         );
     }
+
+    header("engine");
+    println!(
+        "epoch {}, {} views, store ≈{:.1} MiB (one copy, regardless of view count)",
+        engine.epoch(),
+        engine.view_count(),
+        engine.store_bytes() as f64 / (1024.0 * 1024.0)
+    );
 }

@@ -1,5 +1,6 @@
-//! Quickstart: define a database, write a DCQ, let the planner pick the right
-//! algorithm, and compare it with the baseline.
+//! Quickstart: stand up a `DcqEngine`, prepare a difference query, register it as
+//! a maintained view, and stream an update at it — then cross-check the planner's
+//! one-shot evaluation against the baseline.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -8,8 +9,10 @@
 use dcq_core::baseline::{baseline_dcq_with_stats, CqStrategy};
 use dcq_core::parse::parse_dcq;
 use dcq_core::planner::DcqPlanner;
-use dcq_storage::{Database, Relation};
+use dcq_storage::row::int_row;
+use dcq_storage::{Database, DeltaBatch, Relation};
 use dcqx::util::{header, secs, timed};
+use dcqx::DcqEngine;
 
 fn main() {
     // 1. A tiny social network: followers and candidate recommendations.
@@ -35,7 +38,7 @@ fn main() {
             vec![2, 4, 5], // forms a triangle → not recommended
             vec![1, 2, 4], // no closing edge 4→1 → recommended
             vec![3, 1, 2], // triangle again
-            vec![4, 5, 3], // no edge 3→4 … wait: 3→4 is not in the graph → recommended
+            vec![4, 5, 3], // no edge 3→4 → recommended
         ],
     ))
     .unwrap();
@@ -51,26 +54,62 @@ fn main() {
     header("query");
     println!("{dcq}");
 
-    // 3. Ask the planner how it will evaluate the query (the dichotomy of Thm 2.4).
-    let planner = DcqPlanner::smart();
-    let plan = planner.plan(&dcq);
+    // 3. The engine owns the database of record.  `prepare` resolves the dichotomy
+    //    classification (memoized by query shape), `register` builds the view.
+    let mut engine = DcqEngine::with_database(db);
+    let prepared = engine.prepare(dcq.clone()).unwrap();
     header("plan");
-    println!("{}", plan.explain());
+    println!("{}", prepared.explain());
+    let view = engine.register(&prepared).unwrap();
 
-    // 4. Evaluate with the optimized strategy and with the vanilla baseline.
-    header("results");
-    let (optimized, t_opt) = timed(|| planner.execute(&dcq, &db).unwrap());
-    let ((baseline, stats), t_base) =
-        timed(|| baseline_dcq_with_stats(&dcq, &db, CqStrategy::Vanilla).unwrap());
-    assert_eq!(optimized.sorted_rows(), baseline.sorted_rows());
-
-    for row in optimized.sorted_rows() {
+    header("initial result");
+    for row in engine.result(view).unwrap().sorted_rows() {
         println!("recommend {row}");
     }
+
+    // 4. Preparing the same shape again is free: the plan cache serves it without
+    //    re-classifying.
+    let again = engine.prepare(dcq.clone()).unwrap();
+    let cache = engine.plan_cache_stats();
     println!();
     println!(
+        "second prepare: cache hit = {} ({} hit(s), {} miss(es))",
+        again.cache_hit(),
+        cache.hits,
+        cache.misses
+    );
+
+    // 5. Stream an update: close the triangle 1→2→4→1, so (1,2,4) stops being
+    //    recommended — the view is maintained incrementally, no re-registration.
+    header("update");
+    let mut batch = DeltaBatch::new();
+    batch.insert("Graph", int_row([4, 1]));
+    let report = engine.apply(&batch).unwrap();
+    println!(
+        "applied batch → epoch {}, +{}/−{} base tuples, {} view(s) maintained",
+        report.epoch, report.effect.inserted, report.effect.deleted, report.views_applied
+    );
+    for row in engine.result(view).unwrap().sorted_rows() {
+        println!("recommend {row}");
+    }
+
+    // 6. Cross-check the planner's one-shot evaluation against the vanilla
+    //    baseline on the current database of record.
+    header("one-shot cross-check");
+    let planner = DcqPlanner::smart();
+    let plan = planner.plan(&dcq);
+    let (optimized, t_opt) = timed(|| planner.execute(&dcq, engine.database()).unwrap());
+    let ((baseline, stats), t_base) =
+        timed(|| baseline_dcq_with_stats(&dcq, engine.database(), CqStrategy::Vanilla).unwrap());
+    assert_eq!(optimized.sorted_rows(), baseline.sorted_rows());
+    assert_eq!(
+        optimized.sorted_rows(),
+        engine.result(view).unwrap().sorted_rows(),
+        "maintained view must equal one-shot evaluation"
+    );
+    println!(
         "N = {} tuples, OUT1 = {}, OUT2 = {}, OUT = {}",
-        db.input_size(),
+        engine.database().input_size(),
         stats.out1,
         stats.out2,
         stats.out

@@ -8,8 +8,11 @@
 //! * [`dcq_storage`] — relations, rows, schemas, databases, signed tuple deltas,
 //! * [`dcq_hypergraph`] — acyclicity / free-connex / linear-reducible structure,
 //! * [`dcq_exec`] — joins, `Reduce`, Yannakakis, generic join,
-//! * [`dcq_core`] — the DCQ dichotomy, `EasyDCQ`, heuristics and the planner,
+//! * [`dcq_core`] — the DCQ dichotomy, `EasyDCQ`, heuristics, the planner and the
+//!   prepared-plan cache,
 //! * [`dcq_incremental`] — incremental DCQ view maintenance under batched updates,
+//! * [`dcq_engine`] — the [`DcqEngine`] facade: one shared, epoch-versioned store,
+//!   prepared DCQs, and multi-view update fan-out,
 //! * [`dcq_datagen`] — synthetic graph / benchmark / update workloads.
 //!
 //! The `examples/` directory demonstrates each subsystem; the `tests/` directory
@@ -19,14 +22,20 @@
 
 pub use dcq_core;
 pub use dcq_datagen;
+pub use dcq_engine;
 pub use dcq_exec;
 pub use dcq_hypergraph;
 pub use dcq_incremental;
 pub use dcq_storage;
 
-pub use dcq_core::{classify, parse_cq, parse_dcq, Atom, ConjunctiveQuery, Dcq, DcqPlanner};
-pub use dcq_incremental::MaintainedDcq;
-pub use dcq_storage::{Database, DeltaBatch, Relation, Row, Schema, UpdateLog, Value};
+pub use dcq_core::{
+    classify, parse_cq, parse_dcq, Atom, ConjunctiveQuery, Dcq, DcqPlanner, PlanCache,
+};
+pub use dcq_engine::{ApplyReport, DcqEngine, PreparedDcq, ViewHandle};
+pub use dcq_incremental::{DcqView, MaintainedDcq};
+pub use dcq_storage::{
+    Database, DeltaBatch, Relation, Row, Schema, SharedDatabase, UpdateLog, Value,
+};
 
 pub mod testkit;
 pub mod util;
