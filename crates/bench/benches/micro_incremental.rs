@@ -4,11 +4,11 @@
 //! maintenance), each group compares:
 //!
 //! * `maintain/delta_<fraction>` — applying one update batch of the given size (as
-//!   a fraction of the database) to a registered `MaintainedDcq`, **followed by its
-//!   inverse batch**.  The inverse restores the registration state exactly, so
-//!   every iteration performs two full-sized, non-redundant batch applications no
-//!   matter how often the harness re-runs it; halve the reported time for the
-//!   per-batch cost.
+//!   a fraction of the database) to an engine hosting a single registered view,
+//!   **followed by its inverse batch**.  The inverse restores the registration
+//!   state exactly, so every iteration performs two full-sized, non-redundant
+//!   batch applications no matter how often the harness re-runs it; halve the
+//!   reported time for the per-batch cost.
 //! * `recompute` — the planner's one-shot evaluation of the same DCQ, i.e. what a
 //!   per-request service would pay without the incremental subsystem.
 //!
@@ -16,16 +16,16 @@
 //! recomputation baseline even at the 2× apply-plus-revert handicap; as deltas grow
 //! toward 10% the gap closes, which is the expected crossover.
 //!
-//! `MaintainedDcq` is deprecated (see `benches/multi_view.rs` for the engine
-//! comparison) but stays benchmarked while the shim exists.
-#![allow(deprecated)]
+//! The maintained arm is a `DcqEngine` with one view — the post-shim shape of the
+//! single-client deployment (the `MaintainedDcq` shim this bench used to exercise
+//! has been removed); counting views probe the store's shared index registry.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dcq_core::planner::DcqPlanner;
 use dcq_datagen::datasets::build_dataset;
 use dcq_datagen::{graph_query, update_workload, Graph, GraphQueryId, TripleRuleMix, UpdateSpec};
-use dcq_incremental::MaintainedDcq;
-use dcq_storage::DeltaBatch;
+use dcq_engine::DcqEngine;
+use dcq_storage::{DeltaBatch, UpdateLog};
 use std::time::Duration;
 
 /// The sign-flipped batch: applied after `batch`, it restores the previous state
@@ -74,21 +74,29 @@ fn bench_incremental(c: &mut Criterion) {
                 .pop()
                 .expect("workload generates one batch");
             let inverse = inverse_of(&batch);
-            let mut view = MaintainedDcq::register(graph_query(id), db).expect("register");
-            let baseline_len = view.len();
+            let mut engine = DcqEngine::with_database(db.clone());
+            // The engine's update log is unbounded by default; the harness
+            // re-applies large batches indefinitely, so bound retention.
+            engine.set_log(UpdateLog::with_limit(16));
+            let view = engine.register_dcq(graph_query(id)).expect("register");
+            let baseline_len = engine.view(view).expect("live").len();
             group.bench_function(format!("maintain/delta_{fraction}"), |b| {
                 b.iter(|| {
-                    let outcome = view.apply(&batch).expect("maintenance applies");
+                    let report = engine.apply(&batch).expect("maintenance applies");
                     assert_eq!(
-                        outcome.effect.total(),
+                        report.effect.total(),
                         batch.len(),
                         "batch must be fully effective"
                     );
-                    view.apply(&inverse).expect("inverse applies");
-                    view.len()
+                    engine.apply(&inverse).expect("inverse applies");
+                    engine.view(view).expect("live").len()
                 })
             });
-            assert_eq!(view.len(), baseline_len, "inverse must restore the view");
+            assert_eq!(
+                engine.view(view).expect("live").len(),
+                baseline_len,
+                "inverse must restore the view"
+            );
         }
 
         group.bench_function("recompute", |b| {

@@ -1,4 +1,4 @@
-//! Multi-view fan-out: one `DcqEngine` vs N independent `MaintainedDcq`s.
+//! Multi-view fan-out: one shared-index `DcqEngine` vs N independent engines.
 //!
 //! Two scenarios, both at a fixed delta size with view counts `n ∈ {1, 2, 4, 8}`:
 //!
@@ -8,27 +8,35 @@
 //!   full counting maintenance once per client.  This is the many-clients /
 //!   one-standing-query serving pattern.
 //! * **distinct** — every client registers a *different* hard `Q_G5`-family
-//!   variant.  Per-view maintenance is irreducible here; the engine still shares
-//!   one store, one batch normalization and one epoch counter, and holds one copy
-//!   of the base data instead of `n`.
+//!   variant.  Per-view delta-join work is irreducible here, but everything
+//!   else is shared: one store, one batch normalization, one epoch counter —
+//!   and, since index ownership moved into the storage layer, one **index
+//!   registry**: the family's overlapping sides resolve (through α-canonical
+//!   delta plans) to a handful of shared indexes maintained once per batch,
+//!   where each independent engine builds and maintains its own copies.
+//!
+//! The independent arm runs one single-view `DcqEngine` per client — the
+//! post-shim shape of "every client for itself" (the `MaintainedDcq` shim this
+//! bench originally compared against has been removed).
 //!
 //! Batches model a production upsert-heavy stream: each carries
 //! [`EFFECTIVE_TUPLES`] net operations plus [`REDUNDANCY`]× as many redundant
 //! ones (re-inserts of present rows, deletes of absent rows — at-least-once
 //! delivery, upserts).  Redundant operations normalize away, but *somebody* has
-//! to normalize them: the engine once per batch, the independent views once per
-//! batch **per view**.
+//! to normalize them: the engine once per batch, the independent engines once
+//! per batch **per engine**.
 //!
 //! Results are printed and written to `BENCH_multi_view.json` at the workspace
-//! root so the perf trajectory accumulates across PRs.
-#![allow(deprecated)]
+//! root so the perf trajectory accumulates across PRs; the
+//! `distinct_views_shared_indexes` section additionally pins the 8-distinct-view
+//! case against the recorded PR 2 engine numbers (view-owned indexes).
 
 use dcq_core::parse::parse_dcq;
 use dcq_core::Dcq;
 use dcq_datagen::datasets::build_dataset;
 use dcq_datagen::{graph_query, update_workload, Graph, GraphQueryId, TripleRuleMix, UpdateSpec};
 use dcq_engine::DcqEngine;
-use dcq_incremental::{IncrementalStrategy, MaintainedDcq};
+use dcq_incremental::IncrementalStrategy;
 use dcq_storage::row::int_row;
 use dcq_storage::{Database, DeltaBatch};
 use std::path::PathBuf;
@@ -43,12 +51,21 @@ const N_BATCHES: usize = 32;
 /// Interleaved repetitions per scenario (minimum kept).
 const REPETITIONS: usize = 3;
 
+/// PR 2's recorded 8-distinct-views engine figures (view-owned `BoundAtom` row
+/// sets and private indexes; store bytes excluded index memory entirely).  Kept
+/// as the fixed baseline of the `distinct_views_shared_indexes` series.
+const PR2_ENGINE_8_DISTINCT_MS_PER_BATCH: f64 = 68.5554;
+const PR2_ENGINE_8_DISTINCT_STORE_BYTES: usize = 2_058_848;
+const PR2_INDEPENDENT_8_DISTINCT_MS_PER_BATCH: f64 = 66.9542;
+
 #[derive(Clone)]
 struct Measurement {
     views: usize,
     total_ms_per_batch: f64,
     per_view_ms_per_batch: f64,
     store_bytes: usize,
+    index_bytes: usize,
+    index_count: usize,
 }
 
 /// Keep the faster of the existing and the new measurement.
@@ -61,10 +78,10 @@ fn keep_min(slot: &mut Option<Measurement>, fresh: Measurement) {
 
 /// The view list for one scenario at view count `n`: all-identical `Q_G5`, or
 /// `n` distinct members of its family (different closing atoms on the negative
-/// side, so every shape classifies separately and no sharing applies).  All are
-/// maintained by counting in both arms — some variants are difference-linear,
-/// and a rerun-maintained view would swamp the comparison with side re-evaluation
-/// cost that is identical in both designs anyway.
+/// side, so every shape classifies separately and no view sharing applies).  All
+/// are maintained by counting in both arms — some variants are
+/// difference-linear, and a rerun-maintained view would swamp the comparison
+/// with side re-evaluation cost that is identical in both designs anyway.
 fn queries(scenario: &str, n: usize) -> Vec<Dcq> {
     const CLOSERS: [&str; 8] = [
         "Graph(n4, n1)",
@@ -108,6 +125,9 @@ fn main() {
     );
 
     let mut sections = Vec::new();
+    let mut distinct_engine_8: Option<Measurement> = None;
+    let mut distinct_engine_1: Option<Measurement> = None;
+    let mut distinct_independent_8: Option<Measurement> = None;
     for scenario in ["identical", "distinct"] {
         // Interleave repetitions and keep the fastest run per cell: the scenarios
         // are deterministic, so the minimum is the least-interfered measurement.
@@ -130,30 +150,32 @@ fn main() {
         let independent_runs: Vec<Measurement> = independent_runs.into_iter().flatten().collect();
 
         println!(
-            "\n== {scenario} views ==\n{:<12} {:>16} {:>16} {:>14}",
-            "scenario", "total ms/batch", "per-view ms", "store MiB"
+            "\n== {scenario} views ==\n{:<12} {:>16} {:>16} {:>14} {:>12}",
+            "scenario", "total ms/batch", "per-view ms", "store+ix MiB", "indexes"
         );
         for (e, i) in engine_runs.iter().zip(&independent_runs) {
             println!(
-                "engine×{:<5} {:>16.3} {:>16.3} {:>14.2}",
+                "engine×{:<5} {:>16.3} {:>16.3} {:>14.2} {:>12}",
                 e.views,
                 e.total_ms_per_batch,
                 e.per_view_ms_per_batch,
-                e.store_bytes as f64 / (1024.0 * 1024.0)
+                e.store_bytes as f64 / (1024.0 * 1024.0),
+                e.index_count
             );
             println!(
-                "indep ×{:<5} {:>16.3} {:>16.3} {:>14.2}",
+                "indep ×{:<5} {:>16.3} {:>16.3} {:>14.2} {:>12}",
                 i.views,
                 i.total_ms_per_batch,
                 i.per_view_ms_per_batch,
-                i.store_bytes as f64 / (1024.0 * 1024.0)
+                i.store_bytes as f64 / (1024.0 * 1024.0),
+                i.index_count
             );
         }
         let e8 = engine_runs.last().expect("measured 8 views");
         let i8 = independent_runs.last().expect("measured 8 views");
         println!(
             "at 8 {scenario} views: engine {:.3} ms/batch vs independent {:.3} ms/batch \
-             ({:.2}× faster), store {:.2} MiB vs {:.2} MiB ({:.1}× smaller)",
+             ({:.2}× faster), store+indexes {:.2} MiB vs {:.2} MiB ({:.1}× smaller)",
             e8.total_ms_per_batch,
             i8.total_ms_per_batch,
             i8.total_ms_per_batch / e8.total_ms_per_batch,
@@ -161,8 +183,61 @@ fn main() {
             i8.store_bytes as f64 / (1024.0 * 1024.0),
             i8.store_bytes as f64 / e8.store_bytes as f64
         );
+        if scenario == "distinct" {
+            distinct_engine_1 = engine_runs.first().cloned();
+            distinct_engine_8 = Some(e8.clone());
+            distinct_independent_8 = Some(i8.clone());
+        }
         sections.push(render_section(scenario, &engine_runs, &independent_runs));
     }
+
+    // The tentpole cell: 8 *distinct* Q_G5-family views under the shared-index
+    // engine, pinned against the recorded PR 2 engine (view-owned indexes, which
+    // was break-even with independent views) and fresh independent engines.
+    let e8 = distinct_engine_8.expect("distinct scenario measured");
+    let e1 = distinct_engine_1.expect("distinct scenario measured");
+    let i8 = distinct_independent_8.expect("distinct scenario measured");
+    println!(
+        "\n== distinct_views_shared_indexes (8 views) ==\n\
+         shared-index engine : {:>8.3} ms/batch, store+indexes {:.2} MiB ({} shared indexes)\n\
+         pr2 engine (recorded): {:>8.3} ms/batch, store {:.2} MiB (+ unaccounted per-view indexes)\n\
+         independent engines : {:>8.3} ms/batch, store+indexes {:.2} MiB\n\
+         speedup vs independent {:.2}×, vs pr2 engine {:.2}×; \
+         memory at 8 views = {:.2}× the single-view figure",
+        e8.total_ms_per_batch,
+        e8.store_bytes as f64 / (1024.0 * 1024.0),
+        e8.index_count,
+        PR2_ENGINE_8_DISTINCT_MS_PER_BATCH,
+        PR2_ENGINE_8_DISTINCT_STORE_BYTES as f64 / (1024.0 * 1024.0),
+        i8.total_ms_per_batch,
+        i8.store_bytes as f64 / (1024.0 * 1024.0),
+        i8.total_ms_per_batch / e8.total_ms_per_batch,
+        PR2_ENGINE_8_DISTINCT_MS_PER_BATCH / e8.total_ms_per_batch,
+        e8.store_bytes as f64 / e1.store_bytes as f64
+    );
+    sections.push(format!(
+        "  \"distinct_views_shared_indexes\": {{\n    \"shared_index_engine\": \
+         {{\"views\": 8, \"total_ms_per_batch\": {:.4}, \"store_bytes\": {}, \
+         \"index_bytes\": {}, \"index_count\": {}}},\n    \"pr2_engine_recorded\": \
+         {{\"views\": 8, \"total_ms_per_batch\": {:.4}, \"store_bytes\": {}, \
+         \"note\": \"view-owned indexes, index memory unaccounted\"}},\n    \
+         \"independent\": {{\"views\": 8, \"total_ms_per_batch\": {:.4}, \
+         \"store_bytes\": {}}},\n    \"pr2_independent_recorded_ms\": {:.4},\n    \
+         \"speedup_vs_independent\": {:.3},\n    \"speedup_vs_pr2_engine\": {:.3},\n    \
+         \"memory_vs_single_view\": {:.3}\n  }}",
+        e8.total_ms_per_batch,
+        e8.store_bytes,
+        e8.index_bytes,
+        e8.index_count,
+        PR2_ENGINE_8_DISTINCT_MS_PER_BATCH,
+        PR2_ENGINE_8_DISTINCT_STORE_BYTES,
+        i8.total_ms_per_batch,
+        i8.store_bytes,
+        PR2_INDEPENDENT_8_DISTINCT_MS_PER_BATCH,
+        i8.total_ms_per_batch / e8.total_ms_per_batch,
+        PR2_ENGINE_8_DISTINCT_MS_PER_BATCH / e8.total_ms_per_batch,
+        e8.store_bytes as f64 / e1.store_bytes as f64
+    ));
 
     let json = format!(
         "{{\n  \"bench\": \"multi_view\",\n  \"generated_by\": \"cargo bench -p dcq-bench --bench multi_view\",\n  \
@@ -204,7 +279,8 @@ fn with_redundancy(batches: Vec<DeltaBatch>, db: &Database) -> Vec<DeltaBatch> {
         .collect()
 }
 
-/// One engine, one handle per query, one `apply` per batch.
+/// One engine, one handle per query, one `apply` per batch: shared store,
+/// shared normalization, shared index registry.
 fn run_engine(db: &Database, batches: &[DeltaBatch], views: &[Dcq]) -> Measurement {
     let mut engine = DcqEngine::with_database(db.clone());
     for dcq in views {
@@ -223,25 +299,46 @@ fn run_engine(db: &Database, batches: &[DeltaBatch], views: &[Dcq]) -> Measureme
         total_ms_per_batch,
         per_view_ms_per_batch: total_ms_per_batch / views.len() as f64,
         store_bytes: engine.store_bytes(),
+        index_bytes: engine.index_bytes(),
+        index_count: engine.index_count(),
     }
 }
 
-/// The pre-engine shape: the caller maintains its own database and each of the
-/// independent views re-does normalization against its private store.
+/// The every-client-for-itself shape: one single-view engine per query, each
+/// owning a private copy of the relations its query references (matching the
+/// per-view copies of the pre-engine design, so the recorded memory series
+/// stays comparable across PRs), its own normalization pass and its own
+/// indexes.
 fn run_independent(db: &Database, batches: &[DeltaBatch], queries: &[Dcq]) -> Measurement {
-    let mut caller_db = db.clone();
-    let mut views: Vec<MaintainedDcq> = queries
+    let mut engines: Vec<DcqEngine> = queries
         .iter()
         .map(|dcq| {
-            MaintainedDcq::register_with(dcq.clone(), &caller_db, IncrementalStrategy::Counting)
-                .expect("register")
+            let mut referenced: Vec<&str> = dcq
+                .q1
+                .atoms
+                .iter()
+                .chain(dcq.q2.atoms.iter())
+                .map(|a| a.relation.as_str())
+                .collect();
+            referenced.sort_unstable();
+            referenced.dedup();
+            let mut private = Database::new();
+            for name in referenced {
+                private
+                    .add(db.get(name).expect("referenced relation exists").clone())
+                    .expect("fresh database");
+            }
+            let mut engine = DcqEngine::with_database(private);
+            engine
+                .register_with(dcq.clone(), IncrementalStrategy::Counting)
+                .expect("register");
+            engine
         })
         .collect();
     let start = Instant::now();
     for batch in batches {
-        caller_db.apply_batch(batch).expect("caller db applies");
-        for view in &mut views {
-            view.apply(batch).expect("view applies");
+        for engine in &mut engines {
+            engine.apply(batch).expect("independent engine applies");
         }
     }
     let elapsed = start.elapsed();
@@ -250,8 +347,9 @@ fn run_independent(db: &Database, batches: &[DeltaBatch], queries: &[Dcq]) -> Me
         views: queries.len(),
         total_ms_per_batch,
         per_view_ms_per_batch: total_ms_per_batch / queries.len() as f64,
-        store_bytes: caller_db.approx_bytes()
-            + views.iter().map(|v| v.store_bytes()).sum::<usize>(),
+        store_bytes: engines.iter().map(|e| e.store_bytes()).sum(),
+        index_bytes: engines.iter().map(|e| e.index_bytes()).sum(),
+        index_count: engines.iter().map(|e| e.index_count()).sum(),
     }
 }
 
@@ -261,8 +359,14 @@ fn render_runs(runs: &[Measurement]) -> String {
         .map(|m| {
             format!(
                 "      {{\"views\": {}, \"total_ms_per_batch\": {:.4}, \
-                 \"per_view_ms_per_batch\": {:.4}, \"store_bytes\": {}}}",
-                m.views, m.total_ms_per_batch, m.per_view_ms_per_batch, m.store_bytes
+                 \"per_view_ms_per_batch\": {:.4}, \"store_bytes\": {}, \
+                 \"index_bytes\": {}, \"index_count\": {}}}",
+                m.views,
+                m.total_ms_per_batch,
+                m.per_view_ms_per_batch,
+                m.store_bytes,
+                m.index_bytes,
+                m.index_count
             )
         })
         .collect();

@@ -15,9 +15,12 @@
 //!   "0 re-classifications" the way `dcq-engine`'s tests do.
 
 use crate::classify::{classify, DcqClassification};
+use crate::delta_plan::{build_delta_plans, CqDeltaPlans};
 use crate::planner::{DcqPlan, DcqPlanner, IncrementalPlan, IncrementalStrategy, Strategy};
 use crate::query::{ConjunctiveQuery, Dcq};
 use dcq_storage::hash::FastHashMap;
+use dcq_storage::Schema;
+use std::sync::Arc;
 
 /// The canonical shape of a DCQ: relation names and atom structure with variables
 /// α-renamed to dense indices in order of first occurrence (`Q₁` head first, then
@@ -71,6 +74,54 @@ impl QueryShapeKey {
     }
 }
 
+/// The canonical shape of one **side** (CQ) of a DCQ together with its output
+/// order: variables α-renamed to dense first-occurrence indices over
+/// `(head, atoms)`, plus the output attributes as indices into that numbering.
+///
+/// This is the key of the delta-plan memo: two sides that differ only in
+/// variable / query names — including sides of *distinct* DCQs, like the `Q_G5`
+/// family's shared positive side — map to one entry, so their counting views
+/// share one [`CqDeltaPlans`] and therefore resolve to the same shared indexes.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CqShapeKey {
+    head: Vec<u32>,
+    atoms: Vec<(String, Vec<u32>)>,
+    output: Vec<u32>,
+}
+
+impl CqShapeKey {
+    /// Canonicalize a CQ (and the output order its counting state materializes)
+    /// into its shape key.
+    pub fn of(cq: &ConjunctiveQuery, output: &Schema) -> Self {
+        let mut ids: FastHashMap<String, u32> = FastHashMap::default();
+        let mut id_of = |name: &str| -> u32 {
+            if let Some(&id) = ids.get(name) {
+                return id;
+            }
+            let id = ids.len() as u32;
+            ids.insert(name.to_string(), id);
+            id
+        };
+        let head = cq.head.iter().map(|v| id_of(v.name())).collect();
+        let atoms = cq
+            .atoms
+            .iter()
+            .map(|a| {
+                (
+                    a.relation.clone(),
+                    a.vars.iter().map(|v| id_of(v.name())).collect(),
+                )
+            })
+            .collect();
+        let output = output.attrs().iter().map(|v| id_of(v.name())).collect();
+        CqShapeKey {
+            head,
+            atoms,
+            output,
+        }
+    }
+}
+
 /// A memoized preparation: the dichotomy classification plus the strategies both
 /// planners derive from it.
 #[derive(Clone, Debug)]
@@ -92,6 +143,12 @@ pub struct PlanCacheStats {
     pub misses: u64,
     /// Shapes currently cached.
     pub entries: usize,
+    /// Delta-plan requests served from the sub-plan memo (no plan built).
+    pub delta_plan_hits: u64,
+    /// Delta-plan requests that had to build from scratch.
+    pub delta_plan_misses: u64,
+    /// CQ shapes currently in the sub-plan memo.
+    pub delta_plan_entries: usize,
 }
 
 /// A memo table from [`QueryShapeKey`] to [`CachedPlan`].
@@ -104,6 +161,11 @@ pub struct PlanCache {
     entries: FastHashMap<QueryShapeKey, CachedPlan>,
     hits: u64,
     misses: u64,
+    /// Sub-plan memo: α-canonical CQ shape → delta-join plans.  Shared via `Arc`
+    /// so `N` counting views of one shape hold one plan object.
+    delta_plans: FastHashMap<CqShapeKey, Arc<CqDeltaPlans>>,
+    delta_hits: u64,
+    delta_misses: u64,
 }
 
 impl PlanCache {
@@ -155,12 +217,38 @@ impl PlanCache {
         )
     }
 
+    /// The delta-join plans for `cq`'s shape (producing output tuples in the
+    /// attribute order of `output`), building and memoizing on a miss.  The
+    /// boolean is `true` on a hit.
+    ///
+    /// Hits return a clone of one shared `Arc`: counting views of α-equivalent
+    /// sides — of the same **or different** DCQs — share a single plan object,
+    /// and through its index specs, the same shared-store indexes.
+    pub fn delta_plans(
+        &mut self,
+        cq: &ConjunctiveQuery,
+        output: &Schema,
+    ) -> (Arc<CqDeltaPlans>, bool) {
+        let key = CqShapeKey::of(cq, output);
+        if let Some(plans) = self.delta_plans.get(&key) {
+            self.delta_hits += 1;
+            return (Arc::clone(plans), true);
+        }
+        self.delta_misses += 1;
+        let plans = Arc::new(build_delta_plans(cq, output));
+        self.delta_plans.insert(key, Arc::clone(&plans));
+        (plans, false)
+    }
+
     /// Hit/miss counters and current size.
     pub fn stats(&self) -> PlanCacheStats {
         PlanCacheStats {
             hits: self.hits,
             misses: self.misses,
             entries: self.entries.len(),
+            delta_plan_hits: self.delta_hits,
+            delta_plan_misses: self.delta_misses,
+            delta_plan_entries: self.delta_plans.len(),
         }
     }
 
@@ -174,9 +262,10 @@ impl PlanCache {
         self.entries.is_empty()
     }
 
-    /// Drop every entry (counters are kept).
+    /// Drop every entry, including memoized delta plans (counters are kept).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.delta_plans.clear();
     }
 }
 
@@ -202,9 +291,44 @@ mod tests {
             PlanCacheStats {
                 hits: 1,
                 misses: 1,
-                entries: 1
+                entries: 1,
+                ..PlanCacheStats::default()
             }
         );
+    }
+
+    #[test]
+    fn delta_plans_are_shared_across_distinct_dcq_shapes() {
+        let mut cache = PlanCache::new();
+        // Two *distinct* DCQs of the Q_G5 family: different closers, but the
+        // positive sides are α-equivalent.
+        let a = parse_dcq(
+            "V0(n1, n2, n3) :- Graph(n1, n2), Graph(n2, n3) EXCEPT Graph(n2, n3), Graph(n3, n1)",
+        )
+        .unwrap();
+        let b =
+            parse_dcq("V1(a, b, c) :- Graph(a, b), Graph(b, c) EXCEPT Graph(b, c), Graph(a, c)")
+                .unwrap();
+        let (p1, hit1) = cache.delta_plans(&a.q1, &a.q1.head_schema());
+        assert!(!hit1);
+        let (p2, hit2) = cache.delta_plans(&b.q1, &b.q1.head_schema());
+        assert!(hit2, "shared positive side must hit the sub-plan memo");
+        assert!(Arc::ptr_eq(&p1, &p2), "hits share one plan object");
+        // The negative sides differ in shape → separate entries.
+        let (_, hit3) = cache.delta_plans(&a.q2, &a.q2.head_schema());
+        assert!(!hit3);
+        let (_, hit4) = cache.delta_plans(&b.q2, &b.q2.head_schema());
+        assert!(!hit4);
+        let stats = cache.stats();
+        assert_eq!(stats.delta_plan_hits, 1);
+        assert_eq!(stats.delta_plan_misses, 3);
+        assert_eq!(stats.delta_plan_entries, 3);
+        // A different output permutation of the same side is a different plan.
+        let reordered = Schema::from_names(["n3", "n2", "n1"]);
+        let (_, hit5) = cache.delta_plans(&a.q1, &reordered);
+        assert!(!hit5, "output order is part of the sub-plan shape");
+        cache.clear();
+        assert_eq!(cache.stats().delta_plan_entries, 0);
     }
 
     #[test]

@@ -1,0 +1,337 @@
+//! Canonical delta-join plans for counting maintenance.
+//!
+//! The counting engines (`dcq-incremental`'s `CountingCq`) maintain support
+//! counts with the telescoping delta rule: a delta arriving at atom occurrence
+//! `d` is joined against every other atom through a hash index on exactly the
+//! join key the occurrence's plan needs.  This module precomputes those plans
+//! **once per query shape**, in a form that is independent of variable
+//! spellings:
+//!
+//! * probe keys, equality filters and append columns are expressed in
+//!   **stored-column coordinates** ([`IndexSpec`], [`DeltaStep`]), so α-renamed
+//!   queries (and distinct queries sharing a side) compile to byte-identical
+//!   plans;
+//! * every distinct `(relation, equality signature, key columns)` triple the
+//!   plans probe is collected into [`CqDeltaPlans::index_specs`] — exactly the
+//!   [`dcq_storage::IndexKey`]s the consumer acquires from the shared store's
+//!   index registry, deduplicated across occurrences;
+//! * [`PlanCache`](crate::cache::PlanCache) memoizes [`CqDeltaPlans`] per
+//!   α-canonical CQ shape ([`crate::cache::CqShapeKey`]), so
+//!   distinct-but-overlapping DCQs whose sides share a shape (the `Q_G5` family
+//!   of the multi-view bench: identical positive sides, different closers)
+//!   share one plan object — and therefore resolve to the same shared indexes.
+//!
+//! The join order itself is the same greedy connected order the first-generation
+//! engine used: starting from the delta occurrence, repeatedly probe the
+//! remaining atom sharing the most variables with the accumulated schema,
+//! breaking ties toward earlier atoms for stable, deterministic plans.
+
+use crate::query::{Atom, ConjunctiveQuery};
+use dcq_storage::{Attr, IndexKey, Schema};
+
+/// How one atom of a CQ binds its stored relation, in stored-column coordinates.
+///
+/// `keep_positions[i]` is the stored position of the atom's `i`-th distinct
+/// variable (first occurrence); `equalities` lists the `(earlier, later)` stored
+/// positions that must agree (repeated variables).  The translation
+/// `stored row → bound row` (project onto `keep_positions` after the equality
+/// filter) is injective, so signed deltas stay consistent under it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AtomBinding {
+    /// Name of the stored relation the atom scans.
+    pub relation: String,
+    /// Stored positions of each distinct variable's first occurrence.
+    pub keep_positions: Vec<usize>,
+    /// `(earlier, later)` stored positions that must be equal.
+    pub equalities: Vec<(usize, usize)>,
+}
+
+impl AtomBinding {
+    /// Derive the binding of one atom.
+    pub fn of(atom: &Atom) -> Self {
+        let mut keep_positions: Vec<usize> = Vec::new();
+        let mut equalities: Vec<(usize, usize)> = Vec::new();
+        for (pos, var) in atom.vars.iter().enumerate() {
+            match atom.vars[..pos].iter().position(|v| v == var) {
+                Some(first) => equalities.push((first, pos)),
+                None => keep_positions.push(pos),
+            }
+        }
+        AtomBinding {
+            relation: atom.relation.clone(),
+            keep_positions,
+            equalities,
+        }
+    }
+
+    /// The atom's bound schema (distinct variables in first-occurrence order).
+    fn bound_schema(atom: &Atom) -> Schema {
+        let mut distinct: Vec<Attr> = Vec::new();
+        for var in &atom.vars {
+            if !distinct.contains(var) {
+                distinct.push(var.clone());
+            }
+        }
+        Schema::new(distinct)
+    }
+}
+
+/// One probe step of a delta plan: join the accumulated rows with an atom
+/// through a shared index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeltaStep {
+    /// Index of the probed atom within the query body.
+    pub atom: usize,
+    /// Slot of the probed index's signature within [`CqDeltaPlans::index_specs`].
+    pub index: usize,
+    /// Positions of the join key inside the accumulated row (bound coordinates
+    /// of the accumulated schema), ordered like the spec's `key_positions`.
+    pub acc_key_positions: Vec<usize>,
+    /// **Stored** positions of the probed relation's columns appended to the
+    /// accumulated row (the atom's variables not yet in the accumulation).
+    pub append_positions: Vec<usize>,
+}
+
+/// The signature of one shared index a plan probes — convertible 1:1 into the
+/// storage layer's [`IndexKey`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct IndexSpec {
+    /// Name of the indexed stored relation.
+    pub relation: String,
+    /// Equality constraints of the probed atom, in stored coordinates.
+    pub equalities: Vec<(usize, usize)>,
+    /// Stored positions forming the probe key.
+    pub key_positions: Vec<usize>,
+}
+
+impl IndexSpec {
+    /// The storage-layer identity of this index.
+    pub fn to_index_key(&self) -> IndexKey {
+        IndexKey {
+            relation: self.relation.clone(),
+            equalities: self.equalities.clone(),
+            key_positions: self.key_positions.clone(),
+        }
+    }
+}
+
+/// Precomputed join pipeline for a delta arriving at one atom occurrence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OccurrencePlan {
+    /// The probe steps, in join order.
+    pub steps: Vec<DeltaStep>,
+    /// Positions of the output attributes in the final accumulated schema.
+    pub head_positions: Vec<usize>,
+}
+
+/// The complete delta-plan set of one CQ: per-occurrence join pipelines plus the
+/// deduplicated signatures of every shared index they probe.
+///
+/// Everything is α-invariant — two CQs with the same
+/// [`CqShapeKey`](crate::cache::CqShapeKey) produce identical plan sets, which
+/// is what lets the plan cache share them across distinct view shapes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CqDeltaPlans {
+    /// Per-atom stored-relation bindings, in body order.
+    pub atoms: Vec<AtomBinding>,
+    /// One plan per atom occurrence (same order as `atoms`).
+    pub occurrence_plans: Vec<OccurrencePlan>,
+    /// Deduplicated signatures of the shared indexes the steps probe.
+    pub index_specs: Vec<IndexSpec>,
+    /// `(relation, ascending atom occurrences)` pairs, sorted by relation name —
+    /// the fan-in map from a stored relation's delta to the plans it triggers.
+    pub occurrences: Vec<(String, Vec<usize>)>,
+}
+
+impl CqDeltaPlans {
+    /// The atom occurrences of `relation`, ascending (empty if unreferenced).
+    pub fn occurrences_of(&self, relation: &str) -> &[usize] {
+        self.occurrences
+            .binary_search_by(|(name, _)| name.as_str().cmp(relation))
+            .map(|i| self.occurrences[i].1.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// `true` iff some atom scans `relation`.
+    pub fn references(&self, relation: &str) -> bool {
+        !self.occurrences_of(relation).is_empty()
+    }
+}
+
+/// Build the delta plans of `cq`, producing output tuples in the attribute order
+/// of `output` (which must be a permutation of the head variables, each of which
+/// must occur in some atom).
+pub fn build_delta_plans(cq: &ConjunctiveQuery, output: &Schema) -> CqDeltaPlans {
+    let atoms: Vec<AtomBinding> = cq.atoms.iter().map(AtomBinding::of).collect();
+    let schemas: Vec<Schema> = cq.atoms.iter().map(AtomBinding::bound_schema).collect();
+    let mut index_specs: Vec<IndexSpec> = Vec::new();
+    let mut occurrence_plans = Vec::with_capacity(atoms.len());
+
+    for d in 0..atoms.len() {
+        let mut acc_schema = schemas[d].clone();
+        let mut remaining: Vec<usize> = (0..atoms.len()).filter(|&i| i != d).collect();
+        let mut steps = Vec::with_capacity(remaining.len());
+        while !remaining.is_empty() {
+            let (pick, _) = remaining
+                .iter()
+                .enumerate()
+                .max_by_key(|(slot, &i)| {
+                    let shared = acc_schema.intersect(&schemas[i]).arity();
+                    // Prefer more shared variables; break ties toward earlier
+                    // atoms (stable, deterministic plans).
+                    (shared, usize::MAX - *slot)
+                })
+                .expect("remaining is non-empty");
+            let atom = remaining.remove(pick);
+            // The join key: shared variables in the probed atom's first-occurrence
+            // order — a canonical order both sides of the probe can reproduce.
+            let key_schema = schemas[atom].intersect(&acc_schema);
+            let key_attrs = key_schema.attrs();
+            let acc_key_positions = acc_schema
+                .positions_of(key_attrs)
+                .expect("key attrs are in the accumulated schema");
+            let key_positions: Vec<usize> = key_attrs
+                .iter()
+                .map(|a| {
+                    let bound = schemas[atom].position(a).expect("key attr is in the atom");
+                    atoms[atom].keep_positions[bound]
+                })
+                .collect();
+            let spec = IndexSpec {
+                relation: atoms[atom].relation.clone(),
+                equalities: atoms[atom].equalities.clone(),
+                key_positions,
+            };
+            let index = match index_specs.iter().position(|s| *s == spec) {
+                Some(slot) => slot,
+                None => {
+                    index_specs.push(spec);
+                    index_specs.len() - 1
+                }
+            };
+            let append_schema = schemas[atom].minus(&acc_schema);
+            let append_positions: Vec<usize> = append_schema
+                .attrs()
+                .iter()
+                .map(|a| {
+                    let bound = schemas[atom]
+                        .position(a)
+                        .expect("append attr is in the atom");
+                    atoms[atom].keep_positions[bound]
+                })
+                .collect();
+            acc_schema = acc_schema.union(&schemas[atom]);
+            steps.push(DeltaStep {
+                atom,
+                index,
+                acc_key_positions,
+                append_positions,
+            });
+        }
+        let head_positions = acc_schema
+            .positions_of(output.attrs())
+            .expect("every head variable occurs in some atom");
+        occurrence_plans.push(OccurrencePlan {
+            steps,
+            head_positions,
+        });
+    }
+
+    let mut occurrences: Vec<(String, Vec<usize>)> = Vec::new();
+    for (i, atom) in atoms.iter().enumerate() {
+        match occurrences
+            .iter_mut()
+            .find(|(name, _)| *name == atom.relation)
+        {
+            Some((_, occ)) => occ.push(i),
+            None => occurrences.push((atom.relation.clone(), vec![i])),
+        }
+    }
+    occurrences.sort();
+
+    CqDeltaPlans {
+        atoms,
+        occurrence_plans,
+        index_specs,
+        occurrences,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_cq;
+
+    fn plans_of(src: &str) -> CqDeltaPlans {
+        let cq = parse_cq(src).unwrap();
+        build_delta_plans(&cq, &cq.head_schema())
+    }
+
+    #[test]
+    fn plans_are_alpha_invariant() {
+        let a = plans_of("P(x, z) :- Graph(x, y), Graph(y, z)");
+        let b = plans_of("Q(u, w) :- Graph(u, v), Graph(v, w)");
+        assert_eq!(a, b, "α-renamed queries must compile identically");
+    }
+
+    #[test]
+    fn index_specs_are_deduplicated_and_stored_coordinate() {
+        // Both occurrences probe Graph keyed by one end; the two directions give
+        // two distinct specs, not four.
+        let plans = plans_of("P(x, z) :- Graph(x, y), Graph(y, z)");
+        assert_eq!(plans.occurrence_plans.len(), 2);
+        assert_eq!(plans.index_specs.len(), 2);
+        let key_sets: Vec<&[usize]> = plans
+            .index_specs
+            .iter()
+            .map(|s| s.key_positions.as_slice())
+            .collect();
+        assert!(key_sets.contains(&&[0][..]) && key_sets.contains(&&[1][..]));
+        for spec in &plans.index_specs {
+            assert_eq!(spec.relation, "Graph");
+            assert!(spec.equalities.is_empty());
+            assert_eq!(spec.to_index_key().key_positions, spec.key_positions);
+        }
+    }
+
+    #[test]
+    fn repeated_variables_become_equality_signatures() {
+        let plans = plans_of("P(x, y) :- Graph(x, x), Edge(x, y)");
+        assert_eq!(plans.atoms[0].equalities, vec![(0, 1)]);
+        assert_eq!(plans.atoms[0].keep_positions, vec![0]);
+        assert_eq!(plans.atoms[1].equalities, vec![]);
+        // The step probing Graph(x, x) carries the equality into its spec.
+        let spec_of_graph = plans
+            .index_specs
+            .iter()
+            .find(|s| s.relation == "Graph")
+            .unwrap();
+        assert_eq!(spec_of_graph.equalities, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn occurrence_map_covers_self_joins() {
+        let plans = plans_of("P(x, y, z) :- Graph(x, y), Graph(y, z), Edge(z, x)");
+        assert_eq!(plans.occurrences_of("Graph"), &[0, 1]);
+        assert_eq!(plans.occurrences_of("Edge"), &[2]);
+        assert!(plans.occurrences_of("Missing").is_empty());
+        assert!(plans.references("Graph") && !plans.references("Missing"));
+    }
+
+    #[test]
+    fn head_positions_follow_the_output_order() {
+        let cq = parse_cq("P(z, x) :- Graph(x, y), Graph(y, z)").unwrap();
+        let plans = build_delta_plans(&cq, &cq.head_schema());
+        // Plan 0 accumulates (x, y) then appends z → head (z, x) is positions [2, 0].
+        assert_eq!(plans.occurrence_plans[0].head_positions, vec![2, 0]);
+    }
+
+    #[test]
+    fn single_atom_plans_have_no_steps() {
+        let plans = plans_of("P(x) :- Graph(x, x)");
+        assert_eq!(plans.occurrence_plans.len(), 1);
+        assert!(plans.occurrence_plans[0].steps.is_empty());
+        assert!(plans.index_specs.is_empty());
+        assert_eq!(plans.occurrence_plans[0].head_positions, vec![0]);
+    }
+}

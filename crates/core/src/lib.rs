@@ -35,6 +35,7 @@ pub mod baseline;
 pub mod cache;
 pub mod classify;
 pub mod compose;
+pub mod delta_plan;
 pub mod easy;
 pub mod error;
 pub mod heuristics;
@@ -44,8 +45,11 @@ pub mod planner;
 pub mod query;
 pub mod scq;
 
-pub use cache::{CachedPlan, PlanCache, PlanCacheStats, QueryShapeKey};
+pub use cache::{CachedPlan, CqShapeKey, PlanCache, PlanCacheStats, QueryShapeKey};
 pub use classify::{classify, DcqClass, DcqClassification};
+pub use delta_plan::{
+    build_delta_plans, AtomBinding, CqDeltaPlans, DeltaStep, IndexSpec, OccurrencePlan,
+};
 pub use error::DcqError;
 pub use parse::{parse_cq, parse_dcq};
 pub use planner::{DcqPlanner, IncrementalPlan, IncrementalStrategy, Strategy};

@@ -17,26 +17,34 @@
 //!
 //! ```text
 //!                      ┌────────────────────────────────────────┐
-//!   prepare(dcq) ───►  │ PlanCache   (classify once per shape)  │
+//!   prepare(dcq) ───►  │ PlanCache   (classify once per shape,  │
+//!                      │              delta sub-plans per side) │
 //!                      ├────────────────────────────────────────┤
 //!   register(p)  ───►  │ SharedDatabase  (epoch, O(|Δ|) deltas) │
-//!                      │      │ normalized AppliedBatch         │
-//!   apply(batch) ───►  │      ├──► DcqView #0 (counting)        │
-//!                      │      ├──► DcqView #1 (rerun)           │
-//!                      │      └──► DcqView #2 (counting)        │
+//!                      │   ├ IndexRegistry (refcounted shared   │
+//!                      │   │  delta-join indexes, maintained    │
+//!                      │   │  once per batch)                   │
+//!                      │   │ normalized AppliedBatch            │
+//!   apply(batch) ───►  │   ├──► DcqView #0 (counting: probes ↑) │
+//!                      │   ├──► DcqView #1 (rerun)              │
+//!                      │   └──► DcqView #2 (counting: probes ↑) │
 //!                      └────────────────────────────────────────┘
 //! ```
 //!
-//! Compared with `N` independent `MaintainedDcq`s, the engine holds one copy of
-//! the base data instead of `N`, normalizes each batch once instead of `N`
-//! times, and classifies each query shape once no matter how many clients
-//! prepare it.
+//! Compared with `N` independent views, the engine holds one copy of the base
+//! data instead of `N`, normalizes each batch once instead of `N` times,
+//! classifies each query shape once no matter how many clients prepare it, and
+//! — since index ownership moved into the storage layer — builds and maintains
+//! each delta-join index once per *distinct probe signature*, not once per
+//! view: distinct-but-overlapping DCQs (shared atom prefixes, α-renamed sides)
+//! probe the same refcounted registry entries.
 
 #![warn(missing_docs)]
 
 use dcq_core::cache::{PlanCache, PlanCacheStats, QueryShapeKey};
 use dcq_core::planner::{IncrementalPlan, IncrementalStrategy};
 use dcq_core::{Dcq, DcqError};
+use dcq_incremental::pool::{CountingPool, CountingPoolStats};
 use dcq_incremental::view::{BatchOutcome, DcqView};
 use dcq_incremental::IncrementalError;
 use dcq_storage::hash::FastHashMap;
@@ -190,7 +198,8 @@ pub struct ApplyReport {
     pub result_removed: usize,
 }
 
-/// Cumulative counters of one engine.
+/// Cumulative counters of one engine, plus a point-in-time snapshot of the
+/// store's shared index registry.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Batches applied to the store.
@@ -199,6 +208,10 @@ pub struct EngineStats {
     pub views_registered: usize,
     /// Views deregistered over the engine's lifetime.
     pub views_deregistered: usize,
+    /// Live shared indexes in the store's registry (point in time).
+    pub index_count: usize,
+    /// Estimated heap footprint of those indexes in bytes (point in time).
+    pub index_bytes: usize,
 }
 
 /// One maintained view plus the handles that share it.
@@ -249,6 +262,10 @@ pub struct DcqEngine {
     /// (shape, strategy) → shared-view slot, so identical registrations share
     /// one maintained view.
     by_key: FastHashMap<(QueryShapeKey, IncrementalStrategy), usize>,
+    /// Live counting sides keyed by α-canonical CQ shape: distinct DCQs with an
+    /// equivalent side share one maintained `CountingCq` (folded once per
+    /// batch), not just its plans and indexes.
+    pool: CountingPool,
     log: UpdateLog,
     stats: EngineStats,
 }
@@ -274,6 +291,7 @@ impl DcqEngine {
             handles: Vec::new(),
             views: Vec::new(),
             by_key: FastHashMap::default(),
+            pool: CountingPool::new(),
             log: UpdateLog::new(),
             stats: EngineStats::default(),
         }
@@ -356,7 +374,21 @@ impl DcqEngine {
                 slot
             }
             None => {
-                let view = DcqView::build(dcq, plan, &self.store)?;
+                // Counting views resolve their sides through the engine's
+                // sharing layers: delta plans through the plan cache (sub-plan
+                // sharing across distinct DCQ shapes), whole counting sides
+                // through the side pool (an α-equivalent side is folded once
+                // per batch no matter how many views read it), and the shared
+                // indexes those plans probe through the store's registry —
+                // built once, maintained once per batch, refcounted across
+                // every side that probes them.
+                let view = DcqView::build_shared(
+                    dcq,
+                    plan,
+                    &mut self.store,
+                    &mut self.plans,
+                    &mut self.pool,
+                )?;
                 let shared = SharedView {
                     view,
                     refs: 1,
@@ -417,7 +449,14 @@ impl DcqEngine {
         if shared.refs == 0 {
             let key = shared.key.clone();
             self.by_key.remove(&key);
-            self.views[view_slot] = None;
+            let mut dropped = self.views[view_slot].take().expect("checked live above");
+            // Release the view's pooled sides and registry references; each
+            // shared structure is freed when its last reader deregisters.  The
+            // view (and with it its side Rcs) must drop before the pool prunes,
+            // or the dying sides still count as held.
+            dropped.view.teardown(&mut self.store);
+            drop(dropped);
+            self.pool.prune();
         }
         Ok(())
     }
@@ -496,9 +535,19 @@ impl DcqEngine {
         self.plans.stats()
     }
 
-    /// Cumulative engine counters.
+    /// Counting-side pool counters (hits = registrations that reused a live
+    /// maintained side instead of seeding their own).
+    pub fn counting_pool_stats(&self) -> CountingPoolStats {
+        self.pool.stats()
+    }
+
+    /// Cumulative engine counters, with the index-registry snapshot filled in.
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        EngineStats {
+            index_count: self.store.index_count(),
+            index_bytes: self.store.index_bytes(),
+            ..self.stats
+        }
     }
 
     /// The engine's update log (every applied batch, unbounded by default).
@@ -512,13 +561,26 @@ impl DcqEngine {
         self.log = log;
     }
 
-    /// Estimated heap footprint of the store in bytes.
+    /// Estimated heap footprint of the store in bytes — base relations **plus**
+    /// the shared index registry.
     ///
-    /// This is the number that used to scale with the view count: `N`
-    /// `MaintainedDcq`s held `N` copies of their referenced relations, the engine
-    /// holds one store regardless of `N`.
+    /// This is the number that used to scale with the view count: independent
+    /// views held per-view copies of their referenced relations *and* per-view
+    /// index structures; the engine holds one store and one refcounted index per
+    /// distinct probe signature, regardless of how many views probe it.  (Until
+    /// this accounting was fixed, index memory was silently omitted.)
     pub fn store_bytes(&self) -> usize {
-        self.store.approx_bytes()
+        self.store.approx_bytes() + self.store.index_bytes()
+    }
+
+    /// Number of live shared indexes in the store's registry.
+    pub fn index_count(&self) -> usize {
+        self.store.index_count()
+    }
+
+    /// Estimated heap footprint of the shared index registry in bytes.
+    pub fn index_bytes(&self) -> usize {
+        self.store.index_bytes()
     }
 }
 
@@ -798,6 +860,61 @@ mod tests {
         assert!(engine.view(handles[3]).is_err());
         assert_eq!(engine.stats().views_registered, 5);
         assert_eq!(engine.stats().views_deregistered, 4);
+    }
+
+    #[test]
+    fn counting_views_share_registry_indexes_across_distinct_shapes() {
+        let mut engine = engine();
+        let base = engine.store_bytes();
+        assert_eq!(engine.stats().index_count, 0);
+
+        // Two *distinct* hard shapes sharing the negative side's structure: the
+        // probe signatures overlap, so the registry holds fewer indexes than a
+        // per-view design would build.
+        let a = engine.register_dcq(parse_dcq(HARD).unwrap()).unwrap();
+        let after_first = engine.stats();
+        assert!(after_first.index_count > 0);
+        assert!(after_first.index_bytes > 0);
+        assert_eq!(
+            engine.store_bytes(),
+            base + engine.index_bytes(),
+            "store_bytes must account for index memory"
+        );
+
+        let b = engine
+            .register_dcq(
+                parse_dcq("P(a, c) :- Edge(c, a) EXCEPT Graph(a, b), Graph(b, c)").unwrap(),
+            )
+            .unwrap();
+        let after_second = engine.stats();
+        assert_eq!(engine.distinct_view_count(), 2, "shapes are distinct");
+        assert!(
+            after_second.index_count < 2 * after_first.index_count,
+            "overlapping shapes must share registry entries \
+             ({} vs 2×{})",
+            after_second.index_count,
+            after_first.index_count
+        );
+
+        // Both views stay exact, and deregistration returns every index.
+        let mut batch = DeltaBatch::new();
+        batch.insert("Graph", int_row([5, 2]));
+        batch.delete("Edge", int_row([1, 3]));
+        engine.apply(&batch).unwrap();
+        for h in [a, b] {
+            let view = engine.view(h).unwrap();
+            let expected =
+                baseline_dcq(view.dcq(), engine.database(), CqStrategy::Vanilla).unwrap();
+            assert_eq!(
+                engine.result(h).unwrap().sorted_rows(),
+                expected.sorted_rows()
+            );
+        }
+        engine.deregister(a).unwrap();
+        assert!(engine.stats().index_count > 0, "b still holds its indexes");
+        engine.deregister(b).unwrap();
+        assert_eq!(engine.stats().index_count, 0);
+        assert_eq!(engine.stats().index_bytes, 0);
     }
 
     #[test]

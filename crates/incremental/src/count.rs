@@ -1,6 +1,6 @@
 //! Counting-based maintenance of a single conjunctive query.
 //!
-//! [`CountingCq`] maintains, for one CQ and an evolving database, the **support
+//! [`CountingCq`] maintains, for one CQ over a shared store, the **support
 //! count** of every output tuple: the number of valuations of the body variables
 //! that produce it.  Under set semantics a tuple belongs to `Q(D)` iff its support
 //! count is positive, so a DCQ result can be derived from two counting engines
@@ -8,10 +8,10 @@
 //! incremental view maintenance, and the fallback strategy for DCQs the dichotomy
 //! (Theorem 2.4) declares hard.
 //!
-//! Updates arrive as **normalized signed deltas** per stored relation (see
-//! [`dcq_storage::delta`]).  The count map is maintained with ℤ-annotated *delta
-//! joins*: when relation `R` changes by `ΔR`, the change of the query's valuation
-//! count is the sum over the atom occurrences of `R` of
+//! Updates arrive as **normalized signed deltas** per stored relation (an
+//! [`AppliedBatch`]).  The count map is maintained with ℤ-annotated *delta joins*:
+//! when relation `R` changes by `ΔR`, the change of the query's valuation count is
+//! the sum over the atom occurrences of `R` of
 //!
 //! ```text
 //!   ⨝ (atoms before the occurrence, already updated)
@@ -19,280 +19,167 @@
 //!     × (atoms after the occurrence, not yet updated)
 //! ```
 //!
-//! which the engine evaluates occurrence-by-occurrence, applying `ΔR` to each
-//! occurrence's state immediately after computing its term (the standard telescoping
-//! delta rule, correct in the presence of self-joins).  Every non-delta atom is
-//! probed through a hash index on exactly the join key the precomputed delta plan
-//! needs, so the per-batch cost scales with the delta size and join fan-out rather
-//! than with the database size.
+//! — the standard telescoping delta rule, correct in the presence of self-joins.
+//!
+//! ## Shared indexes, compensated probes
+//!
+//! Unlike the first generation of this engine, the view owns **no rows and no
+//! indexes**: every non-delta atom is probed through the store's refcounted
+//! [`index registry`](dcq_storage::registry) on exactly the join key the
+//! precomputed delta plan needs ([`CqDeltaPlans`], α-canonical and shared across
+//! views of the same shape).  The registry always reflects the **new** state —
+//! the store applies a batch (and maintains every index once) before any view
+//! sees it — while the telescoping rule needs some atoms in their **old** state.
+//! Those probes are *compensated* from the batch delta itself: a row inserted by
+//! the batch is skipped, a row deleted by the batch is added back.  Since deltas
+//! are normalized, the compensation is exact, and its cost scales with the delta
+//! size, never with the database.  Per-view state shrinks to the count map.
 
 use crate::{IncrementalError, Result};
-use dcq_core::query::{Atom, ConjunctiveQuery};
-use dcq_storage::hash::{map_with_capacity, set_with_capacity, FastHashMap, FastHashSet};
-use dcq_storage::{AnnotatedRelation, Attr, Database, Relation, Row, Schema, SharedDatabase};
+use dcq_core::delta_plan::{build_delta_plans, AtomBinding, CqDeltaPlans};
+use dcq_core::query::ConjunctiveQuery;
+use dcq_storage::hash::{FastHashMap, FastHashSet};
+use dcq_storage::{
+    AnnotatedRelation, AppliedBatch, Epoch, IndexId, Relation, Row, Schema, SharedDatabase,
+};
+use std::sync::Arc;
 
-/// One atom's bound state: the stored relation's rows re-labelled with the atom's
-/// (distinct) variables, kept current under deltas, plus the hash indexes the delta
-/// plans probe.
-struct BoundAtom {
-    /// Name of the stored relation this atom scans.
-    relation: String,
-    /// The atom's distinct variables, in first-occurrence order.
-    schema: Schema,
-    /// Stored-row positions of each distinct variable's first occurrence.
-    keep_positions: Vec<usize>,
-    /// `(earlier, later)` stored positions that must be equal (repeated variables).
-    equalities: Vec<(usize, usize)>,
-    /// Current bound rows.
-    rows: FastHashSet<Row>,
-    /// Hash indexes, one per distinct join key used by some delta plan.
-    indexes: Vec<AtomIndex>,
+/// The batch delta of one stored relation whose telescoped application is still
+/// pending: probes against it must see the **old** state, so rows the batch
+/// inserted are masked and rows it deleted are restored.
+#[derive(Default)]
+struct PendingDelta<'a> {
+    /// Stored rows the batch inserted (present in the index, absent in the old
+    /// state).
+    plus: FastHashSet<&'a Row>,
+    /// Stored rows the batch deleted (gone from the index, present in the old
+    /// state).
+    minus: Vec<&'a Row>,
 }
 
-impl BoundAtom {
-    fn new(atom: &Atom) -> Self {
-        let mut distinct_vars: Vec<Attr> = Vec::new();
-        let mut keep_positions: Vec<usize> = Vec::new();
-        let mut equalities: Vec<(usize, usize)> = Vec::new();
-        for (pos, var) in atom.vars.iter().enumerate() {
-            match atom.vars[..pos].iter().position(|v| v == var) {
-                Some(first) => equalities.push((first, pos)),
-                None => {
-                    distinct_vars.push(var.clone());
-                    keep_positions.push(pos);
-                }
-            }
-        }
-        BoundAtom {
-            relation: atom.relation.clone(),
-            schema: Schema::new(distinct_vars),
-            keep_positions,
-            equalities,
-            rows: set_with_capacity(0),
-            indexes: Vec::new(),
-        }
-    }
-
-    /// Translate a stored-relation delta into this atom's bound schema, applying the
-    /// repeated-variable equality filters.  The translation is injective on rows
-    /// passing the filter, so signs remain consistent with the bound row set.
-    fn bind_delta(&self, delta: &[(Row, i64)]) -> Vec<(Row, i64)> {
-        let mut out = Vec::with_capacity(delta.len());
+impl<'a> PendingDelta<'a> {
+    fn of(delta: &'a [(Row, i64)]) -> Self {
+        let mut pending = PendingDelta::default();
         for (row, sign) in delta {
-            if self
-                .equalities
-                .iter()
-                .all(|&(a, b)| row.get(a) == row.get(b))
-            {
-                out.push((row.project(&self.keep_positions), *sign));
-            }
-        }
-        out
-    }
-
-    /// Apply a bound delta to the row set and every index.
-    fn apply_bound_delta(&mut self, bound: &[(Row, i64)]) {
-        for (row, sign) in bound {
             if *sign > 0 {
-                let fresh = self.rows.insert(row.clone());
-                debug_assert!(fresh, "insert of already-present bound row");
-                for index in &mut self.indexes {
-                    index.insert(row);
-                }
+                pending.plus.insert(row);
             } else {
-                let existed = self.rows.remove(row);
-                debug_assert!(existed, "delete of absent bound row");
-                for index in &mut self.indexes {
-                    index.remove(row);
-                }
+                pending.minus.push(row);
             }
         }
-    }
-
-    /// Slot of the index on `key_attrs`, creating it if missing.
-    fn ensure_index(&mut self, key_attrs: &[Attr]) -> usize {
-        if let Some(i) = self.indexes.iter().position(|ix| ix.key_attrs == key_attrs) {
-            return i;
-        }
-        let key_positions = self
-            .schema
-            .positions_of(key_attrs)
-            .expect("index key attrs come from this atom's schema");
-        self.indexes.push(AtomIndex {
-            key_attrs: key_attrs.to_vec(),
-            key_positions,
-            buckets: map_with_capacity(0),
-        });
-        self.indexes.len() - 1
+        pending
     }
 }
 
-/// Hash index of an atom's bound rows on a fixed list of key attributes.
-struct AtomIndex {
-    key_attrs: Vec<Attr>,
-    key_positions: Vec<usize>,
-    buckets: FastHashMap<Row, Vec<Row>>,
-}
-
-impl AtomIndex {
-    fn insert(&mut self, row: &Row) {
-        self.buckets
-            .entry(row.project(&self.key_positions))
-            .or_default()
-            .push(row.clone());
-    }
-
-    fn remove(&mut self, row: &Row) {
-        let key = row.project(&self.key_positions);
-        if let Some(bucket) = self.buckets.get_mut(&key) {
-            if let Some(pos) = bucket.iter().position(|r| r == row) {
-                bucket.swap_remove(pos);
-            }
-            if bucket.is_empty() {
-                self.buckets.remove(&key);
-            }
-        }
-    }
-
-    fn probe(&self, key: &Row) -> &[Row] {
-        self.buckets.get(key).map(Vec::as_slice).unwrap_or(&[])
-    }
-}
-
-/// One probe step of a delta plan: join the accumulated rows with an atom through a
-/// precomputed index.
-struct DeltaStep {
-    /// Index of the probed atom.
-    atom: usize,
-    /// Index slot within that atom's [`BoundAtom::indexes`].
-    index: usize,
-    /// Positions of the join key inside the accumulated row.
-    acc_key_positions: Vec<usize>,
-    /// Positions of the probed atom's row appended to the accumulated row.
-    append_positions: Vec<usize>,
-}
-
-/// Precomputed join pipeline for a delta arriving at one atom occurrence.
-struct DeltaPlan {
-    steps: Vec<DeltaStep>,
-    /// Positions of the output attributes in the final accumulated schema.
-    head_positions: Vec<usize>,
-}
-
-/// Incremental support counts for one conjunctive query.
+/// Incremental support counts for one conjunctive query over a shared store.
 pub struct CountingCq {
     cq: ConjunctiveQuery,
     output: Schema,
-    atoms: Vec<BoundAtom>,
-    /// Relation name → atom occurrences (ascending), covering self-joins.
-    occurrences: FastHashMap<String, Vec<usize>>,
-    plans: Vec<DeltaPlan>,
+    /// The (possibly cache-shared) delta plans of this CQ's shape.
+    plans: Arc<CqDeltaPlans>,
+    /// Acquired registry entries, parallel to `plans.index_specs`.  Released
+    /// through [`CountingCq::release_indexes`] when the view is torn down.
+    index_ids: Vec<IndexId>,
     counts: AnnotatedRelation<i64>,
+    /// The store epoch the counts reflect.  Batch application is idempotent per
+    /// epoch, which is what lets several views share one counting side: the
+    /// first view folds the batch, the rest get the memoized head delta.
+    epoch: Epoch,
+    /// The head delta produced at `epoch` (served to sharing views).
+    last_delta: AnnotatedRelation<i64>,
 }
 
 impl CountingCq {
-    /// Build the (empty) counting state for `cq`, producing output tuples in the
-    /// attribute order of `output` (which must contain exactly the head variables).
+    /// Build the counting state for `cq` over the store's current contents,
+    /// producing output tuples in the attribute order of `output` (which must be
+    /// a permutation of the head variables).
     ///
-    /// The database is used for validation only: the engine starts from empty
-    /// relations, and callers feed the initial contents through
-    /// [`CountingCq::apply_relation_delta`] like any other update.
-    pub fn new(cq: ConjunctiveQuery, output: Schema, db: &Database) -> Result<Self> {
-        cq.validate(db).map_err(IncrementalError::Core)?;
+    /// Delta plans are built fresh; engines that serve many views should prefer
+    /// [`CountingCq::from_store_with_plans`] with plans resolved through a
+    /// [`PlanCache`](dcq_core::cache::PlanCache), so α-equivalent sides share one
+    /// plan object (and therefore the same registry entries).
+    pub fn from_store(
+        cq: ConjunctiveQuery,
+        output: Schema,
+        store: &mut SharedDatabase,
+    ) -> Result<Self> {
+        let plans = Arc::new(build_delta_plans(&cq, &output));
+        CountingCq::from_store_with_plans(cq, output, store, plans)
+    }
+
+    /// Build the counting state with precomputed (typically cache-shared) delta
+    /// plans, acquiring every shared index the plans probe and seeding the counts
+    /// from the store's current contents.
+    ///
+    /// The store's relations are read **through** shared handles (distinct by the
+    /// store's set-semantics invariant) and folded in as the first telescoped
+    /// batch — the view never takes a private copy of the base data.
+    pub fn from_store_with_plans(
+        cq: ConjunctiveQuery,
+        output: Schema,
+        store: &mut SharedDatabase,
+        plans: Arc<CqDeltaPlans>,
+    ) -> Result<Self> {
+        cq.validate(store.database())
+            .map_err(IncrementalError::Core)?;
         debug_assert!(
             cq.head_schema().same_attr_set(&output),
             "output schema must be a permutation of the head"
         );
-        let mut atoms: Vec<BoundAtom> = cq.atoms.iter().map(BoundAtom::new).collect();
-        let mut occurrences: FastHashMap<String, Vec<usize>> = map_with_capacity(atoms.len());
-        for (i, atom) in atoms.iter().enumerate() {
-            occurrences
-                .entry(atom.relation.clone())
-                .or_default()
-                .push(i);
-        }
-
-        let mut plans = Vec::with_capacity(atoms.len());
-        for d in 0..atoms.len() {
-            plans.push(Self::build_plan(&mut atoms, d, &output));
-        }
-
+        debug_assert_eq!(
+            *plans,
+            build_delta_plans(&cq, &output),
+            "plans must match this query's shape"
+        );
+        let index_ids = plans
+            .index_specs
+            .iter()
+            .map(|spec| store.acquire_index(spec.to_index_key()))
+            .collect::<std::result::Result<Vec<_>, _>>()
+            .map_err(IncrementalError::Storage)?;
         let counts = AnnotatedRelation::new(format!("count({})", cq.name), output.clone());
-        Ok(CountingCq {
+        let last_delta = AnnotatedRelation::new("Δcount", output.clone());
+        let mut engine = CountingCq {
             cq,
             output,
-            atoms,
-            occurrences,
             plans,
+            index_ids,
             counts,
-        })
-    }
+            epoch: store.epoch(),
+            last_delta,
+        };
 
-    /// Build the counting state for `cq` and seed it from a shared store's current
-    /// contents.
-    ///
-    /// This is the registration path of the engine's counting views: the store's
-    /// relations are read **through** [`SharedDatabase`] handles (distinct by the
-    /// store's set-semantics invariant) and fed in as the first delta — the view
-    /// never takes a private snapshot of the base data.
-    pub fn from_store(
-        cq: ConjunctiveQuery,
-        output: Schema,
-        store: &SharedDatabase,
-    ) -> Result<Self> {
-        let mut engine = CountingCq::new(cq, output, store.database())?;
-        let referenced: Vec<String> = engine.occurrences.keys().cloned().collect();
-        for name in referenced {
-            let handle = store.relation(&name).map_err(IncrementalError::Storage)?;
-            let initial: Vec<(Row, i64)> = handle.rows().iter().map(|r| (r.clone(), 1)).collect();
-            engine.apply_relation_delta(&name, &initial);
-        }
+        // Seed: fold the full current contents as one batch of inserts.  The
+        // same compensation machinery makes not-yet-folded relations read as
+        // empty (their "delta" is their entire contents), so the telescoping is
+        // exact from an empty registration state.
+        let seed: Vec<(String, Vec<(Row, i64)>)> = engine
+            .plans
+            .occurrences
+            .iter()
+            .map(|(name, _)| {
+                let handle = store.relation(name).expect("validated above");
+                (
+                    name.clone(),
+                    handle.rows().iter().map(|r| (r.clone(), 1)).collect(),
+                )
+            })
+            .collect();
+        let borrowed: Vec<(&str, &[(Row, i64)])> = seed
+            .iter()
+            .map(|(name, delta)| (name.as_str(), delta.as_slice()))
+            .collect();
+        engine.fold(&borrowed, store);
         Ok(engine)
     }
 
-    /// Greedy connected join order for a delta arriving at atom `d`: repeatedly probe
-    /// the remaining atom sharing the most variables with the accumulated schema.
-    fn build_plan(atoms: &mut [BoundAtom], d: usize, output: &Schema) -> DeltaPlan {
-        let mut acc_schema = atoms[d].schema.clone();
-        let mut remaining: Vec<usize> = (0..atoms.len()).filter(|&i| i != d).collect();
-        let mut steps = Vec::with_capacity(remaining.len());
-        while !remaining.is_empty() {
-            let (pick, _) = remaining
-                .iter()
-                .enumerate()
-                .max_by_key(|(slot, &i)| {
-                    let shared = acc_schema.intersect(&atoms[i].schema).arity();
-                    // Prefer more shared variables; break ties toward earlier atoms
-                    // (stable, deterministic plans).
-                    (shared, usize::MAX - *slot)
-                })
-                .expect("remaining is non-empty");
-            let atom = remaining.remove(pick);
-            let key_schema = atoms[atom].schema.intersect(&acc_schema);
-            let key_attrs: Vec<Attr> = key_schema.attrs().to_vec();
-            let index = atoms[atom].ensure_index(&key_attrs);
-            let acc_key_positions = acc_schema
-                .positions_of(&key_attrs)
-                .expect("key attrs are in the accumulated schema");
-            let append_schema = atoms[atom].schema.minus(&acc_schema);
-            let append_positions = atoms[atom]
-                .schema
-                .positions_of(append_schema.attrs())
-                .expect("append attrs are in the atom schema");
-            acc_schema = acc_schema.union(&atoms[atom].schema);
-            steps.push(DeltaStep {
-                atom,
-                index,
-                acc_key_positions,
-                append_positions,
-            });
-        }
-        let head_positions = acc_schema
-            .positions_of(output.attrs())
-            .expect("every head variable occurs in some atom");
-        DeltaPlan {
-            steps,
-            head_positions,
+    /// Release every acquired registry entry (the view is being torn down).
+    ///
+    /// Must be called with the same store the engine was built over; afterwards
+    /// the engine must not be offered further batches.
+    pub fn release_indexes(&mut self, store: &mut SharedDatabase) {
+        for id in self.index_ids.drain(..) {
+            store.release_index(id);
         }
     }
 
@@ -301,9 +188,15 @@ impl CountingCq {
         &self.cq
     }
 
+    /// The delta plans driving this engine (cache-shared across α-equivalent
+    /// views).
+    pub fn plans(&self) -> &Arc<CqDeltaPlans> {
+        &self.plans
+    }
+
     /// `true` iff the query reads `relation`.
     pub fn touches(&self, relation: &str) -> bool {
-        self.occurrences.contains_key(relation)
+        self.plans.references(relation)
     }
 
     /// Support count of one output tuple (`0` when absent).
@@ -321,47 +214,138 @@ impl CountingCq {
         self.counts.to_relation()
     }
 
-    /// Apply a **normalized** signed delta of one stored relation and return the
-    /// induced change of the support-count map (already folded into
-    /// [`CountingCq::counts`]).
+    /// The store epoch the counts reflect.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Fold one applied batch into the support counts and return the induced
+    /// change of the count map (already folded into [`CountingCq::counts`]).
     ///
-    /// The delta must be the net set-semantics effect against the relation state the
-    /// engine currently reflects — [`dcq_storage::normalize_delta`] output, applied
-    /// in the same order to every consumer.
-    pub fn apply_relation_delta(
+    /// `applied` must be the store's own application record — the store (and
+    /// with it every shared index) already reflects the batch — offered in epoch
+    /// order; `store` must be the store the engine was built over.  Relations
+    /// the query does not read are ignored.
+    ///
+    /// Application is **idempotent per epoch**: a batch the engine already
+    /// reflects (because another view sharing this counting side folded it
+    /// first) returns the memoized head delta without touching the counts.
+    pub fn apply_batch(
         &mut self,
-        relation: &str,
-        delta: &[(Row, i64)],
+        applied: &AppliedBatch,
+        store: &SharedDatabase,
+    ) -> AnnotatedRelation<i64> {
+        if applied.epoch == self.epoch {
+            return self.last_delta.clone();
+        }
+        debug_assert!(
+            applied.epoch > self.epoch,
+            "batches must be offered in epoch order"
+        );
+        self.epoch = applied.epoch;
+        let relevant: Vec<(&str, &[(Row, i64)])> = applied
+            .normalized
+            .iter()
+            .filter(|(name, delta)| !delta.is_empty() && self.plans.references(name))
+            .map(|(name, delta)| (name.as_str(), delta.as_slice()))
+            .collect();
+        self.last_delta = if relevant.is_empty() {
+            AnnotatedRelation::new("Δcount", self.output.clone())
+        } else {
+            self.fold(&relevant, store)
+        };
+        self.last_delta.clone()
+    }
+
+    /// The telescoped delta fold: process the touched relations in the given
+    /// order, each occurrence joining its bound delta against the shared indexes
+    /// — already-folded atoms in the new state (direct probes), not-yet-folded
+    /// ones in the old state (compensated probes).
+    fn fold(
+        &mut self,
+        deltas: &[(&str, &[(Row, i64)])],
+        store: &SharedDatabase,
     ) -> AnnotatedRelation<i64> {
         let mut head_delta = AnnotatedRelation::new("Δcount", self.output.clone());
-        let occ = match self.occurrences.get(relation) {
-            Some(occ) => occ.clone(),
-            None => return head_delta,
-        };
-        for d in occ {
-            let bound = self.atoms[d].bind_delta(delta);
-            if !bound.is_empty() {
-                let plan = &self.plans[d];
-                let mut acc = bound.clone();
+        let mut pending: FastHashMap<&str, PendingDelta<'_>> = deltas
+            .iter()
+            .map(|(name, delta)| (*name, PendingDelta::of(delta)))
+            .collect();
+        for (name, delta) in deltas {
+            let own = pending.remove(*name).unwrap_or_default();
+            for &d in self.plans.occurrences_of(name) {
+                let binding = &self.plans.atoms[d];
+                // Seed the accumulator with the delta bound at occurrence `d`
+                // (equality filter + projection; injective, so signs carry over).
+                let mut acc: Vec<(Row, i64)> = delta
+                    .iter()
+                    .filter(|(row, _)| admits(binding, row))
+                    .map(|(row, sign)| (row.project(&binding.keep_positions), *sign))
+                    .collect();
+                let plan = &self.plans.occurrence_plans[d];
                 for step in &plan.steps {
-                    let index = &self.atoms[step.atom].indexes[step.index];
-                    let mut next = Vec::with_capacity(acc.len());
-                    for (row, mult) in &acc {
-                        let key = row.project(&step.acc_key_positions);
-                        for other in index.probe(&key) {
-                            next.push((row.concat_projected(other, &step.append_positions), *mult));
-                        }
-                    }
-                    acc = next;
                     if acc.is_empty() {
                         break;
                     }
+                    let probed = &self.plans.atoms[step.atom];
+                    let spec = &self.plans.index_specs[step.index];
+                    let index = self.index_ids[step.index];
+                    // Which state must this atom be probed in?  Same relation:
+                    // occurrences before `d` already telescoped (new), after `d`
+                    // not yet (old).  Other relations: old exactly while their
+                    // delta is still pending in this fold.
+                    let comp: Option<&PendingDelta<'_>> = if probed.relation == *name {
+                        (step.atom > d).then_some(&own)
+                    } else {
+                        pending.get(probed.relation.as_str())
+                    };
+                    // Pre-index the compensation's deleted rows by this step's
+                    // probe key (one `O(|Δ−|)` pass), so restoring them costs
+                    // `O(matches)` per accumulated row instead of `O(|Δ−|)` —
+                    // without this, large deltas degrade quadratically.
+                    let minus_by_key: Option<FastHashMap<Row, Vec<&Row>>> = comp.map(|c| {
+                        let mut by_key: FastHashMap<Row, Vec<&Row>> = FastHashMap::default();
+                        for &stored in &c.minus {
+                            if admits(probed, stored) {
+                                by_key
+                                    .entry(stored.project(&spec.key_positions))
+                                    .or_default()
+                                    .push(stored);
+                            }
+                        }
+                        by_key
+                    });
+                    let mut next = Vec::with_capacity(acc.len());
+                    for (row, mult) in &acc {
+                        let key = row.project(&step.acc_key_positions);
+                        for stored in store.probe_index(index, &key) {
+                            if comp.is_some_and(|c| c.plus.contains(stored)) {
+                                continue; // inserted this batch → absent in the old state
+                            }
+                            next.push((
+                                row.concat_projected(stored, &step.append_positions),
+                                *mult,
+                            ));
+                        }
+                        if let Some(by_key) = &minus_by_key {
+                            // Deleted this batch → present in the old state but
+                            // already gone from the shared index; restore them.
+                            for stored in by_key.get(&key).map(Vec::as_slice).unwrap_or(&[]) {
+                                next.push((
+                                    row.concat_projected(stored, &step.append_positions),
+                                    *mult,
+                                ));
+                            }
+                        }
+                    }
+                    acc = next;
                 }
                 for (row, mult) in acc {
                     head_delta.combine(row.project(&plan.head_positions), mult);
                 }
-                self.atoms[d].apply_bound_delta(&bound);
             }
+            // `name` is now fully telescoped; later relations in the fold (which
+            // still sit in `pending`) keep seeing it in the new state.
         }
         for (row, mult) in head_delta.iter() {
             self.counts.combine(row.clone(), *mult);
@@ -374,15 +358,23 @@ impl CountingCq {
     }
 }
 
+/// `true` iff `row` satisfies the atom's repeated-variable equality filter.
+fn admits(binding: &AtomBinding, row: &Row) -> bool {
+    binding
+        .equalities
+        .iter()
+        .all(|&(a, b)| row.get(a) == row.get(b))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use dcq_core::baseline::{evaluate_cq, CqStrategy};
     use dcq_core::parse::parse_cq;
     use dcq_storage::row::int_row;
-    use dcq_storage::{normalize_delta, DeltaBatch};
+    use dcq_storage::{Database, DeltaBatch};
 
-    fn db() -> Database {
+    fn store() -> SharedDatabase {
         let mut db = Database::new();
         db.add(Relation::from_int_rows(
             "Graph",
@@ -396,29 +388,11 @@ mod tests {
             vec![vec![1, 3], vec![2, 4]],
         ))
         .unwrap();
-        db
-    }
-
-    /// Feed the full current contents of every referenced relation.
-    fn fill(engine: &mut CountingCq, db: &Database) {
-        for name in db.relation_names() {
-            if engine.touches(&name) {
-                let rows: Vec<(Row, i64)> = db
-                    .get(&name)
-                    .unwrap()
-                    .distinct()
-                    .rows()
-                    .iter()
-                    .map(|r| (r.clone(), 1))
-                    .collect();
-                engine.apply_relation_delta(&name, &rows);
-            }
-        }
+        SharedDatabase::new(db)
     }
 
     #[test]
-    fn initial_fill_matches_direct_evaluation() {
-        let db = db();
+    fn store_seeding_matches_direct_evaluation() {
         for src in [
             "P(x, y, z) :- Graph(x, y), Graph(y, z)",
             "P(x, y, z) :- Graph(x, y), Graph(y, z), Graph(z, x)",
@@ -426,95 +400,114 @@ mod tests {
             "P(x) :- Graph(x, x)",
             "P(x, y, w) :- Graph(x, y), Edge(w, x)",
         ] {
+            let mut store = store();
             let cq = parse_cq(src).unwrap();
-            let mut engine = CountingCq::new(cq.clone(), cq.head_schema(), &db).unwrap();
-            fill(&mut engine, &db);
-            let expected = evaluate_cq(&cq, &db, CqStrategy::Vanilla).unwrap();
+            let engine = CountingCq::from_store(cq.clone(), cq.head_schema(), &mut store).unwrap();
+            let expected = evaluate_cq(&cq, store.database(), CqStrategy::Vanilla).unwrap();
             assert_eq!(
                 engine.to_relation().sorted_rows(),
                 expected.sorted_rows(),
-                "counting fill differs on {src}"
+                "counting seed differs on {src}"
             );
         }
     }
 
     #[test]
-    fn counts_are_valuation_counts() {
-        let db = db();
+    fn counts_are_valuation_counts_and_state_is_rowless() {
+        let mut store = store();
         // π_x of Graph(x, y): x=2 has two out-edges.
         let cq = parse_cq("P(x) :- Graph(x, y)").unwrap();
-        let mut engine = CountingCq::new(cq.clone(), cq.head_schema(), &db).unwrap();
-        fill(&mut engine, &db);
+        let engine = CountingCq::from_store(cq.clone(), cq.head_schema(), &mut store).unwrap();
         assert_eq!(engine.count(&int_row([2])), 2);
         assert_eq!(engine.count(&int_row([1])), 1);
         assert_eq!(engine.count(&int_row([9])), 0);
+        // Single-atom plans probe nothing, so no registry entry exists: the
+        // per-view state is the count map and nothing else.
+        assert_eq!(store.index_count(), 0);
     }
 
     #[test]
-    fn deltas_track_inserts_and_deletes_with_self_joins() {
-        let mut db = db();
+    fn batches_track_inserts_and_deletes_with_self_joins() {
+        let mut store = store();
         // Triangles through a triple self-join.
         let cq = parse_cq("P(x, y, z) :- Graph(x, y), Graph(y, z), Graph(z, x)").unwrap();
-        let mut engine = CountingCq::new(cq.clone(), cq.head_schema(), &db).unwrap();
-        fill(&mut engine, &db);
+        let mut engine = CountingCq::from_store(cq.clone(), cq.head_schema(), &mut store).unwrap();
+        assert!(
+            store.index_count() > 0,
+            "delta plans acquired shared indexes"
+        );
 
-        let mut live = db.get("Graph").unwrap().to_row_set();
         let steps: Vec<(Row, i64)> = vec![
             (int_row([4, 2]), 1),
             (int_row([1, 4]), 1),
             (int_row([2, 3]), -1), // breaks the 1→2→3→1 triangle
             (int_row([3, 3]), 1),  // self-loop ⇒ degenerate triangle (3,3,3)
         ];
-        for op in steps {
-            let delta = normalize_delta(&live, std::slice::from_ref(&op));
-            engine.apply_relation_delta("Graph", &delta);
-            for (row, sign) in &delta {
-                if *sign > 0 {
-                    live.insert(row.clone());
-                } else {
-                    live.remove(row);
-                }
-            }
+        for (row, sign) in steps {
             let mut batch = DeltaBatch::new();
-            for (row, sign) in &delta {
-                batch.push("Graph", row.clone(), *sign);
-            }
-            db.apply_batch(&batch).unwrap();
-            let expected = evaluate_cq(&cq, &db, CqStrategy::Vanilla).unwrap();
+            batch.push("Graph", row.clone(), sign);
+            let applied = store.apply_batch(&batch).unwrap();
+            engine.apply_batch(&applied, &store);
+            let expected = evaluate_cq(&cq, store.database(), CqStrategy::Vanilla).unwrap();
             assert_eq!(
                 engine.to_relation().sorted_rows(),
                 expected.sorted_rows(),
-                "counting state diverged after {op:?}"
+                "counting state diverged after ({row}, {sign})"
             );
         }
         assert!(engine.count(&int_row([3, 3, 3])) > 0);
     }
 
     #[test]
-    fn from_store_seeds_to_direct_evaluation() {
-        let store = dcq_storage::SharedDatabase::new(db());
-        let cq = parse_cq("P(x, z) :- Graph(x, y), Graph(y, z)").unwrap();
-        let engine = CountingCq::from_store(cq.clone(), cq.head_schema(), &store).unwrap();
+    fn multi_relation_batches_compensate_pending_probes() {
+        let mut store = store();
+        let cq = parse_cq("P(x, y, w) :- Graph(x, y), Edge(w, x)").unwrap();
+        let mut engine = CountingCq::from_store(cq.clone(), cq.head_schema(), &mut store).unwrap();
+        // One batch touching both relations: whichever is folded first must see
+        // the other in its old state even though the store is already new.
+        let mut batch = DeltaBatch::new();
+        batch.insert("Graph", int_row([3, 2]));
+        batch.delete("Graph", int_row([1, 2]));
+        batch.insert("Edge", int_row([9, 3]));
+        batch.delete("Edge", int_row([1, 3]));
+        let applied = store.apply_batch(&batch).unwrap();
+        engine.apply_batch(&applied, &store);
         let expected = evaluate_cq(&cq, store.database(), CqStrategy::Vanilla).unwrap();
-        assert_eq!(
-            engine.to_relation().sorted_rows(),
-            expected.sorted_rows(),
-            "store-seeded counting state differs from direct evaluation"
-        );
+        assert_eq!(engine.to_relation().sorted_rows(), expected.sorted_rows());
     }
 
     #[test]
     fn untouched_relation_delta_is_a_noop() {
-        let db = db();
+        let mut store = store();
         let cq = parse_cq("P(x, y) :- Graph(x, y)").unwrap();
-        let mut engine = CountingCq::new(cq.clone(), cq.head_schema(), &db).unwrap();
-        fill(&mut engine, &db);
+        let mut engine = CountingCq::from_store(cq.clone(), cq.head_schema(), &mut store).unwrap();
         let before = engine.to_relation().sorted_rows();
-        let change = engine.apply_relation_delta("Edge", &[(int_row([7, 7]), 1)]);
+        let mut batch = DeltaBatch::new();
+        batch.insert("Edge", int_row([7, 7]));
+        let applied = store.apply_batch(&batch).unwrap();
+        let change = engine.apply_batch(&applied, &store);
         assert!(change.is_empty());
         assert_eq!(engine.to_relation().sorted_rows(), before);
         assert!(!engine.touches("Edge"));
         assert!(engine.touches("Graph"));
         assert_eq!(engine.query().name, "P");
+    }
+
+    #[test]
+    fn release_returns_registry_entries() {
+        let mut store = store();
+        let cq = parse_cq("P(x, z) :- Graph(x, y), Graph(y, z)").unwrap();
+        let mut a = CountingCq::from_store(cq.clone(), cq.head_schema(), &mut store).unwrap();
+        let plans = Arc::clone(a.plans());
+        let mut b =
+            CountingCq::from_store_with_plans(cq.clone(), cq.head_schema(), &mut store, plans)
+                .unwrap();
+        // Both engines share the same two physical indexes.
+        assert_eq!(store.index_count(), 2);
+        assert_eq!(store.index_stats().total_refs, 4);
+        a.release_indexes(&mut store);
+        assert_eq!(store.index_count(), 2);
+        b.release_indexes(&mut store);
+        assert_eq!(store.index_count(), 0, "last release frees the structures");
     }
 }

@@ -6,7 +6,7 @@
 //! A production deployment asks the *same* difference query `Q₁(D) − Q₂(D)` again
 //! and again while the database changes underneath it.  Rather than re-running the
 //! planner's one-shot pipeline per request, this crate registers the DCQ once as a
-//! [`MaintainedDcq`] and keeps its result current as signed tuple deltas
+//! [`DcqView`] and keeps its result current as signed tuple deltas
 //! ([`dcq_storage::DeltaBatch`]) stream in, in the spirit of Berkholz, Keppeler &
 //! Schweikardt, *Answering Conjunctive Queries under Updates* (PODS 2017), combined
 //! with the difference-linear dichotomy (Theorem 2.4):
@@ -27,24 +27,34 @@
 //! recomputation (the property tests in `tests/incremental_maintenance.rs` assert
 //! byte-identical results over randomized insert/delete sequences).
 //!
-//! ## Shared-store views
+//! ## Shared-store views, shared indexes
 //!
-//! Since the `DcqEngine` redesign the maintenance core is [`DcqView`]: per-view
-//! state that owns **no database copy** and instead consumes the normalized
+//! The maintenance core is [`DcqView`]: per-view state that owns **no database
+//! copy and no private index structures**.  It consumes the normalized
 //! [`dcq_storage::AppliedBatch`] records a shared, epoch-versioned
 //! [`dcq_storage::SharedDatabase`] produces — one store, one normalization pass
-//! and one epoch counter fanned out to every registered view.  [`MaintainedDcq`]
-//! remains as a deprecated single-view shim over the same machinery.
+//! and one epoch counter fanned out to every registered view — and its counting
+//! engines probe the store's refcounted **index registry**
+//! ([`dcq_storage::registry`]): every delta-join index is owned by the storage
+//! layer, maintained exactly once per batch, and shared by every view whose
+//! (α-canonical) delta plans probe the same `(relation, equality signature,
+//! key columns)` structure.  Per-view state is the support-count maps plus the
+//! result membership set, so memory scales as `O(data + counts)` instead of
+//! `O(views × data)`.
+//!
+//! (The first-generation single-view `MaintainedDcq` shim was deprecated in the
+//! engine redesign and has since been removed; register views on a
+//! `dcq_engine::DcqEngine` instead.)
 
 #![warn(missing_docs)]
 
 pub mod count;
-pub mod maintained;
+pub mod pool;
 pub mod view;
 
 pub use count::CountingCq;
 pub use dcq_core::planner::{IncrementalPlan, IncrementalStrategy};
-pub use maintained::{MaintainedDcq, DEFAULT_LOG_LIMIT};
+pub use pool::{CountingPool, CountingPoolStats, SharedCountingCq};
 pub use view::{BatchOutcome, DcqView, MaintenanceStats};
 
 use std::fmt;

@@ -1,0 +1,184 @@
+//! Cross-view sharing of whole counting sides.
+//!
+//! Plan-level sharing (one [`CqDeltaPlans`](dcq_core::delta_plan::CqDeltaPlans)
+//! per α-canonical CQ shape) and index-level sharing (the store's registry)
+//! remove redundant *structures*; this module removes redundant *work*.  Two
+//! counting views whose sides have the same [`CqShapeKey`] — same relations,
+//! same variable wiring, same output order, any variable spellings — maintain
+//! byte-identical support-count maps forever: the counts start equal (seeded
+//! from the same store) and every batch folds the same deltas through the same
+//! plans.  So the engine keeps **one** [`CountingCq`] per live side shape, and
+//! `N` views share it:
+//!
+//! * [`CountingPool::acquire`] hands out an `Rc<RefCell<CountingCq>>`, building
+//!   the side only when no live view holds that shape (the pool itself keeps
+//!   only weak references, so an unused side is dropped, not cached forever);
+//! * batch application is **idempotent per epoch** (see
+//!   [`CountingCq::apply_batch`]): the first sharing view folds the batch, the
+//!   rest get the memoized head delta;
+//! * the last view to drop a side releases its registry indexes.
+//!
+//! This is what makes the 8-*distinct*-views workload of the `multi_view`
+//! bench cheap: the `Q_G5` family's variants differ only in their negative
+//! closers, so all eight positive sides collapse into one pooled engine —
+//! maintained once per batch instead of eight times.
+
+use crate::count::CountingCq;
+use crate::Result;
+use dcq_core::cache::{CqShapeKey, PlanCache};
+use dcq_core::query::ConjunctiveQuery;
+use dcq_storage::hash::FastHashMap;
+use dcq_storage::{Schema, SharedDatabase};
+use std::cell::RefCell;
+use std::rc::{Rc, Weak};
+
+/// A counting side shared by every view whose CQ has the same α-canonical shape.
+///
+/// Single-threaded by design (the engine is synchronous); views borrow the cell
+/// transiently during batch application and result reads.
+pub type SharedCountingCq = Rc<RefCell<CountingCq>>;
+
+/// Hit/miss counters of a [`CountingPool`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CountingPoolStats {
+    /// Acquisitions served by a live shared side (no seeding work performed).
+    pub hits: u64,
+    /// Acquisitions that had to build and seed a fresh side.
+    pub misses: u64,
+    /// Side shapes currently live (held by at least one view).
+    pub live: usize,
+}
+
+/// The pool of live counting sides, keyed by α-canonical CQ shape.
+///
+/// Entries are weak: the pool never keeps a side alive on its own, it only
+/// lets concurrent views find each other.  Dead entries are pruned lazily.
+#[derive(Default)]
+pub struct CountingPool {
+    entries: FastHashMap<CqShapeKey, Weak<RefCell<CountingCq>>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CountingPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        CountingPool::default()
+    }
+
+    /// The shared counting side for `(cq, output)`'s shape: a live one if any
+    /// view still holds it, otherwise built from the store's current contents
+    /// (plans resolved through `cache`, indexes acquired from the store's
+    /// registry) and registered for later sharers.
+    pub fn acquire(
+        &mut self,
+        cq: ConjunctiveQuery,
+        output: Schema,
+        store: &mut SharedDatabase,
+        cache: &mut PlanCache,
+    ) -> Result<SharedCountingCq> {
+        let key = CqShapeKey::of(&cq, &output);
+        if let Some(weak) = self.entries.get(&key) {
+            if let Some(live) = weak.upgrade() {
+                self.hits += 1;
+                return Ok(live);
+            }
+        }
+        self.misses += 1;
+        let (plans, _) = cache.delta_plans(&cq, &output);
+        let side = CountingCq::from_store_with_plans(cq, output, store, plans)?;
+        let shared = Rc::new(RefCell::new(side));
+        self.entries.insert(key, Rc::downgrade(&shared));
+        Ok(shared)
+    }
+
+    /// Hit/miss counters and the number of currently live side shapes.
+    pub fn stats(&self) -> CountingPoolStats {
+        CountingPoolStats {
+            hits: self.hits,
+            misses: self.misses,
+            live: self
+                .entries
+                .values()
+                .filter(|w| w.strong_count() > 0)
+                .count(),
+        }
+    }
+
+    /// Drop entries whose side no longer has any holder.
+    pub fn prune(&mut self) {
+        self.entries.retain(|_, w| w.strong_count() > 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcq_core::parse::parse_cq;
+    use dcq_storage::{Database, Relation};
+
+    fn store() -> SharedDatabase {
+        let mut db = Database::new();
+        db.add(Relation::from_int_rows(
+            "Graph",
+            &["src", "dst"],
+            vec![vec![1, 2], vec![2, 3], vec![3, 1]],
+        ))
+        .unwrap();
+        SharedDatabase::new(db)
+    }
+
+    #[test]
+    fn alpha_equivalent_sides_share_one_engine() {
+        let mut store = store();
+        let mut pool = CountingPool::new();
+        let mut cache = PlanCache::new();
+        let a = parse_cq("P(x, z) :- Graph(x, y), Graph(y, z)").unwrap();
+        let b = parse_cq("Q(u, w) :- Graph(u, v), Graph(v, w)").unwrap();
+        let sa = pool
+            .acquire(a.clone(), a.head_schema(), &mut store, &mut cache)
+            .unwrap();
+        let sb = pool
+            .acquire(b.clone(), b.head_schema(), &mut store, &mut cache)
+            .unwrap();
+        assert!(Rc::ptr_eq(&sa, &sb), "α-equivalent sides share one engine");
+        assert_eq!(pool.stats().hits, 1);
+        assert_eq!(pool.stats().misses, 1);
+        assert_eq!(pool.stats().live, 1);
+        // One engine → its indexes are acquired exactly once.
+        assert_eq!(store.index_stats().total_refs, store.index_count());
+
+        // Dropping every holder releases the shape; the next acquire rebuilds.
+        drop(sa);
+        assert_eq!(Rc::strong_count(&sb), 1, "pool holds only weak refs");
+        sb.borrow_mut().release_indexes(&mut store);
+        drop(sb);
+        assert_eq!(store.index_count(), 0);
+        assert_eq!(pool.stats().live, 0);
+        pool.prune();
+        let sc = pool
+            .acquire(a.clone(), a.head_schema(), &mut store, &mut cache)
+            .unwrap();
+        assert_eq!(pool.stats().misses, 2);
+        sc.borrow_mut().release_indexes(&mut store);
+    }
+
+    #[test]
+    fn different_shapes_do_not_share() {
+        let mut store = store();
+        let mut pool = CountingPool::new();
+        let mut cache = PlanCache::new();
+        let a = parse_cq("P(x, z) :- Graph(x, y), Graph(y, z)").unwrap();
+        let b = parse_cq("P(x, z) :- Graph(x, y), Graph(z, y)").unwrap();
+        let sa = pool
+            .acquire(a.clone(), a.head_schema(), &mut store, &mut cache)
+            .unwrap();
+        let sb = pool
+            .acquire(b.clone(), b.head_schema(), &mut store, &mut cache)
+            .unwrap();
+        assert!(!Rc::ptr_eq(&sa, &sb));
+        assert_eq!(pool.stats().live, 2);
+        sa.borrow_mut().release_indexes(&mut store);
+        sb.borrow_mut().release_indexes(&mut store);
+    }
+}

@@ -1,28 +1,37 @@
 //! The maintenance core of one registered DCQ, reading through a shared store.
 //!
 //! [`DcqView`] is the per-view state an engine keeps for every registered
-//! difference query.  Unlike the first-generation `MaintainedDcq`, a view owns
-//! **no copy of the database**: the engine owns one [`SharedDatabase`] of
-//! record, applies each [`dcq_storage::DeltaBatch`] to it exactly once, and
-//! hands the resulting [`AppliedBatch`] — epoch plus *normalized* per-relation
-//! deltas — to every view in turn:
+//! difference query.  A view owns **no copy of the database and no private
+//! indexes**: the engine owns one [`SharedDatabase`] of record, applies each
+//! [`dcq_storage::DeltaBatch`] to it exactly once (maintaining the store's
+//! shared index registry in the same pass), and hands the resulting
+//! [`AppliedBatch`] — epoch plus *normalized* per-relation deltas — to every
+//! view in turn:
 //!
 //! * **counting views** fold the normalized deltas into their per-side support
-//!   counts ([`CountingCq`]) — `O(|Δ| · fan-out)` per view, independent of `N`;
+//!   counts ([`CountingCq`]), probing the store's shared indexes —
+//!   `O(|Δ| · fan-out)` per view, independent of `N`, with per-view state
+//!   reduced to the two count maps;
 //! * **rerun views** (difference-linear DCQs) re-evaluate only the sides whose
 //!   relations the batch effectively changed, directly against the shared store.
 //!
 //! Either way the view records the store epoch of every offered batch — including
 //! batches it skipped — so its position in the update stream is always exact.
+//! Counting views hold refcounted references on registry indexes; the owning
+//! engine calls [`DcqView::teardown`] on deregistration to release them.
 
 use crate::count::CountingCq;
+use crate::pool::{CountingPool, SharedCountingCq};
 use crate::{IncrementalError, Result};
 use dcq_core::baseline::{evaluate_cq, CqStrategy};
+use dcq_core::cache::PlanCache;
 use dcq_core::planner::{IncrementalPlan, IncrementalStrategy};
 use dcq_core::Dcq;
 use dcq_storage::hash::FastHashSet;
 use dcq_storage::{AppliedBatch, DeltaEffect, Epoch, Relation, Row, Schema, SharedDatabase};
+use std::cell::RefCell;
 use std::fmt;
+use std::rc::Rc;
 
 /// Running counters describing the work a maintained view has done.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -62,9 +71,11 @@ pub struct BatchOutcome {
 /// The per-strategy maintenance machinery.
 enum ViewState {
     /// Support counts on both sides; result membership is `cnt₁ > 0 ∧ cnt₂ = 0`.
+    /// The sides are pool-shared: other views with an α-equivalent side hold
+    /// the same engine, and batch application is idempotent per epoch.
     Counting {
-        q1: Box<CountingCq>,
-        q2: Box<CountingCq>,
+        q1: SharedCountingCq,
+        q2: SharedCountingCq,
     },
     /// Materialized side outputs; a batch re-runs only the sides whose relations
     /// it effectively changed, evaluating against the shared store.
@@ -102,7 +113,37 @@ pub struct DcqView {
 impl DcqView {
     /// Build the view state for `dcq` from the store's current contents, using the
     /// given maintenance plan.
-    pub fn build(dcq: Dcq, plan: IncrementalPlan, store: &SharedDatabase) -> Result<Self> {
+    ///
+    /// Counting views acquire shared indexes from the store's registry (hence
+    /// `&mut`) and build their delta plans fresh; an engine serving many views
+    /// should use [`DcqView::build_shared`] so α-equivalent sides share plans,
+    /// indexes *and* maintenance work.
+    pub fn build(dcq: Dcq, plan: IncrementalPlan, store: &mut SharedDatabase) -> Result<Self> {
+        DcqView::build_inner(dcq, plan, store, None)
+    }
+
+    /// [`DcqView::build`] with counting sides resolved through the engine's
+    /// sharing layers: delta plans through a [`PlanCache`] sub-plan memo, and
+    /// whole counting sides through a [`CountingPool`] — distinct DCQs whose
+    /// sides share an α-canonical shape (e.g. the `Q_G5` family's common
+    /// positive side) reuse one maintained [`CountingCq`], folded once per
+    /// batch no matter how many views read it.
+    pub fn build_shared(
+        dcq: Dcq,
+        plan: IncrementalPlan,
+        store: &mut SharedDatabase,
+        cache: &mut PlanCache,
+        pool: &mut CountingPool,
+    ) -> Result<Self> {
+        DcqView::build_inner(dcq, plan, store, Some((cache, pool)))
+    }
+
+    fn build_inner(
+        dcq: Dcq,
+        plan: IncrementalPlan,
+        store: &mut SharedDatabase,
+        shared: Option<(&mut PlanCache, &mut CountingPool)>,
+    ) -> Result<Self> {
         dcq.validate(store.database())
             .map_err(IncrementalError::Core)?;
         let output = dcq.head_schema();
@@ -118,18 +159,38 @@ impl DcqView {
         referenced.dedup();
 
         let state = match plan.strategy {
-            IncrementalStrategy::Counting => ViewState::Counting {
-                q1: Box::new(CountingCq::from_store(
-                    dcq.q1.clone(),
-                    output.clone(),
-                    store,
-                )?),
-                q2: Box::new(CountingCq::from_store(
-                    dcq.q2.clone(),
-                    output.clone(),
-                    store,
-                )?),
-            },
+            IncrementalStrategy::Counting => {
+                let (q1, q2) = match shared {
+                    Some((cache, pool)) => {
+                        let q1 = pool.acquire(dcq.q1.clone(), output.clone(), store, cache)?;
+                        let q2 = match pool.acquire(dcq.q2.clone(), output.clone(), store, cache) {
+                            Ok(q2) => q2,
+                            Err(e) => {
+                                // Don't leak q1's registry references on a
+                                // failed build (only if nobody shares it).
+                                if Rc::strong_count(&q1) == 1 {
+                                    q1.borrow_mut().release_indexes(store);
+                                }
+                                return Err(e);
+                            }
+                        };
+                        (q1, q2)
+                    }
+                    None => {
+                        let mut q1 = CountingCq::from_store(dcq.q1.clone(), output.clone(), store)?;
+                        let q2 = match CountingCq::from_store(dcq.q2.clone(), output.clone(), store)
+                        {
+                            Ok(q2) => q2,
+                            Err(e) => {
+                                q1.release_indexes(store);
+                                return Err(e);
+                            }
+                        };
+                        (Rc::new(RefCell::new(q1)), Rc::new(RefCell::new(q2)))
+                    }
+                };
+                ViewState::Counting { q1, q2 }
+            }
             IncrementalStrategy::EasyRerun => {
                 let cq_strategy = CqStrategy::Smart;
                 let q1_out = evaluate_cq(&dcq.q1, store.database(), cq_strategy)
@@ -163,12 +224,16 @@ impl DcqView {
     /// Derive the full result set from the engine state (registration path).
     fn compute_result_set(&mut self) -> Result<FastHashSet<Row>> {
         match &mut self.state {
-            ViewState::Counting { q1, q2 } => Ok(q1
-                .counts()
-                .iter()
-                .filter(|(row, _)| q2.count(row) == 0)
-                .map(|(row, _)| row.clone())
-                .collect()),
+            ViewState::Counting { q1, q2 } => {
+                let q1 = q1.borrow();
+                let q2 = q2.borrow();
+                Ok(q1
+                    .counts()
+                    .iter()
+                    .filter(|(row, _)| q2.count(row) == 0)
+                    .map(|(row, _)| row.clone())
+                    .collect())
+            }
             ViewState::EasyRerun(state) => {
                 let diff = state
                     .q1_out
@@ -207,7 +272,6 @@ impl DcqView {
             return Ok(outcome);
         }
 
-        let mut changed_heads: FastHashSet<Row> = FastHashSet::default();
         // Relations whose *normalized* delta was non-empty (redundant operations
         // normalize away and must not trigger side recomputation).
         let mut effective: FastHashSet<&String> = FastHashSet::default();
@@ -223,16 +287,22 @@ impl DcqView {
                     outcome.effect.deleted += 1;
                 }
             }
-            if let ViewState::Counting { q1, q2 } = &mut self.state {
-                let d1 = q1.apply_relation_delta(name, delta);
-                let d2 = q2.apply_relation_delta(name, delta);
-                changed_heads.extend(d1.iter().map(|(row, _)| row.clone()));
-                changed_heads.extend(d2.iter().map(|(row, _)| row.clone()));
-            }
         }
 
         match &mut self.state {
             ViewState::Counting { q1, q2 } => {
+                // One telescoped fold per side over the whole batch: the engines
+                // probe the store's shared indexes (already reflecting the new
+                // state) and compensate not-yet-folded relations from the delta.
+                // Pool-shared sides fold once per epoch — if another view
+                // already processed this batch, the memoized delta comes back.
+                let d1 = q1.borrow_mut().apply_batch(applied, store);
+                let d2 = q2.borrow_mut().apply_batch(applied, store);
+                let mut changed_heads: FastHashSet<Row> = FastHashSet::default();
+                changed_heads.extend(d1.iter().map(|(row, _)| row.clone()));
+                changed_heads.extend(d2.iter().map(|(row, _)| row.clone()));
+                let q1 = q1.borrow();
+                let q2 = q2.borrow();
                 for row in changed_heads {
                     let belongs = q1.count(&row) > 0 && q2.count(&row) == 0;
                     if belongs {
@@ -282,6 +352,29 @@ impl DcqView {
         self.stats.result_added += outcome.result_added;
         self.stats.result_removed += outcome.result_removed;
         Ok(outcome)
+    }
+
+    /// Release every shared-store resource the view holds (counting views hold
+    /// pool-shared sides, which hold registry index references); the view must
+    /// not be offered further batches.
+    ///
+    /// Called by the owning engine on deregistration.  A pooled side's indexes
+    /// are released only when this view is its **last** holder — both the side
+    /// and the registry entries survive as long as any view still reads them.
+    pub fn teardown(&mut self, store: &mut SharedDatabase) {
+        if let ViewState::Counting { q1, q2 } = &mut self.state {
+            let same = Rc::ptr_eq(q1, q2);
+            // A degenerate `Q − Q` view holds its side twice; either way,
+            // `release_indexes` drains, so it must run exactly once per side
+            // and only when no other view shares it.
+            let q1_holders = if same { 2 } else { 1 };
+            if Rc::strong_count(q1) == q1_holders {
+                q1.borrow_mut().release_indexes(store);
+            }
+            if !same && Rc::strong_count(q2) == 1 {
+                q2.borrow_mut().release_indexes(store);
+            }
+        }
     }
 
     /// The maintained DCQ.
@@ -418,7 +511,7 @@ mod tests {
     const EASY: &str = "Q(a, b, c) :- Triple(a, b, c) EXCEPT Graph(a, b), Graph(b, c), Graph(c, a)";
     const HARD: &str = "Q(a, c) :- Edge(a, c) EXCEPT Graph(a, b), Graph(b, c)";
 
-    fn build(src: &str, store: &SharedDatabase) -> DcqView {
+    fn build(src: &str, store: &mut SharedDatabase) -> DcqView {
         let dcq = parse_dcq(src).unwrap();
         let plan = DcqPlanner::smart().plan_incremental(&dcq);
         DcqView::build(dcq, plan, store).unwrap()
@@ -427,8 +520,8 @@ mod tests {
     #[test]
     fn views_follow_the_store_and_match_recomputation() {
         let mut store = store();
-        let mut easy = build(EASY, &store);
-        let mut hard = build(HARD, &store);
+        let mut easy = build(EASY, &mut store);
+        let mut hard = build(HARD, &mut store);
         assert_eq!(easy.strategy(), IncrementalStrategy::EasyRerun);
         assert_eq!(hard.strategy(), IncrementalStrategy::Counting);
         assert!(easy.references("Graph") && !easy.references("Other"));
@@ -484,7 +577,7 @@ mod tests {
     #[test]
     fn irrelevant_batches_advance_the_epoch_only() {
         let mut store = store();
-        let mut view = build(EASY, &store);
+        let mut view = build(EASY, &mut store);
         let before = view.result().sorted_rows();
         let mut batch = DeltaBatch::new();
         batch.insert("Other", int_row([42]));
@@ -499,9 +592,29 @@ mod tests {
     }
 
     #[test]
+    fn counting_views_share_and_release_registry_indexes() {
+        let mut store = store();
+        let mut a = build(HARD, &mut store);
+        assert_eq!(a.strategy(), IncrementalStrategy::Counting);
+        let shared_indexes = store.index_count();
+        assert!(shared_indexes > 0, "counting views acquire shared indexes");
+        // A second view of the same shape reuses the same physical indexes.
+        let mut b = build(HARD, &mut store);
+        assert_eq!(store.index_count(), shared_indexes);
+        b.teardown(&mut store);
+        assert_eq!(store.index_count(), shared_indexes);
+        a.teardown(&mut store);
+        assert_eq!(store.index_count(), 0, "last teardown frees the registry");
+        // Tearing down a rerun view is a no-op.
+        let mut easy = build(EASY, &mut store);
+        easy.teardown(&mut store);
+        assert_eq!(store.index_count(), 0);
+    }
+
+    #[test]
     fn result_accessors_and_debug() {
-        let store = store();
-        let view = build(EASY, &store);
+        let mut store = store();
+        let view = build(EASY, &mut store);
         assert_eq!(view.len(), view.result().len());
         assert!(!view.is_empty());
         assert!(view.contains(&int_row([7, 8, 9])));

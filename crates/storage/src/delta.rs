@@ -271,7 +271,7 @@ impl Database {
 ///
 /// The log is the replayable source of truth for an incremental maintenance engine:
 /// a fresh snapshot plus `replay` reproduces the maintained state, which is how the
-/// equivalence property tests validate [`MaintainedDcq`](https://docs.rs/dcq-incremental)
+/// equivalence property tests validate [`DcqView`](https://docs.rs/dcq-incremental)
 /// against full recomputation.
 ///
 /// Long-lived consumers must bound the log with [`UpdateLog::with_limit`]: once the

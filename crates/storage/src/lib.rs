@@ -21,7 +21,10 @@
 //! * [`Database`] — a named collection of relations (one query instance),
 //! * [`shared`] — the epoch-versioned [`SharedDatabase`] of record that one engine
 //!   owns and many maintained views read through ([`RelationRef`]), with `O(|Δ|)`
-//!   updates and per-batch normalized deltas ([`AppliedBatch`]).
+//!   updates and per-batch normalized deltas ([`AppliedBatch`]),
+//! * [`registry`] — the store's refcounted **index registry** ([`IndexRegistry`]):
+//!   shared hash indexes in stored-column coordinates, acquired per query plan
+//!   ([`IndexKey`] → [`IndexId`]) and maintained exactly once per applied batch.
 //!
 //! The crate is deliberately free of query logic: acyclicity lives in
 //! `dcq-hypergraph`, operators in `dcq-exec`, and the DCQ algorithms in `dcq-core`.
@@ -34,6 +37,7 @@ pub mod delta;
 pub mod error;
 pub mod hash;
 pub mod index;
+pub mod registry;
 pub mod relation;
 pub mod row;
 pub mod schema;
@@ -46,6 +50,7 @@ pub use delta::{normalize_delta, BatchEffect, DeltaBatch, DeltaEffect, UpdateLog
 pub use error::StorageError;
 pub use hash::{FastHashMap, FastHashSet};
 pub use index::HashIndex;
+pub use registry::{IndexId, IndexKey, IndexRegistry, IndexRegistryStats, SharedIndex};
 pub use relation::Relation;
 pub use row::Row;
 pub use schema::{Attr, Schema};

@@ -1,0 +1,484 @@
+//! The shared index registry of a [`SharedDatabase`](crate::SharedDatabase).
+//!
+//! Delta-join maintenance (the counting engines of `dcq-incremental`) needs, per
+//! atom occurrence, a hash index over a stored relation keyed by the occurrence's
+//! join key.  When the views owned those indexes, `N` distinct-but-overlapping
+//! views paid `N×` memory and `N×` index maintenance per batch for what is, per
+//! distinct `(relation, equality signature, key columns)` triple, the **same**
+//! structure.  The registry moves index ownership into the storage layer:
+//!
+//! * an index is identified by its [`IndexKey`] — the stored relation, the
+//!   repeated-variable equality constraints of the atom (`(earlier, later)`
+//!   stored-column pairs that must be equal), and the key column positions.  All
+//!   three are expressed in **stored-column coordinates**, so α-renamed atoms of
+//!   different queries that probe the same structure share one entry;
+//! * entries are **refcounted**: [`IndexRegistry::acquire`] builds the index from
+//!   the current relation contents on first use (`O(N)` once) and bumps a
+//!   refcount afterwards, [`IndexRegistry::release`] drops the entry when its
+//!   last user deregisters;
+//! * maintenance happens **once per applied batch**, inside
+//!   [`SharedDatabase::apply_batch`](crate::SharedDatabase::apply_batch): every
+//!   registered index over a touched relation folds in the normalized delta,
+//!   no matter how many views probe it.
+//!
+//! Buckets store **full stored rows** (equality-filtered).  Consumers project to
+//! their atom's bound schema at probe time via precomputed positions, which is
+//! what keeps one physical index reusable across differently-shaped atoms.
+
+use crate::hash::{map_with_capacity, FastHashMap};
+use crate::relation::Relation;
+use crate::row::Row;
+use crate::value::Value;
+use std::fmt;
+
+/// The identity of one shared index, in stored-column coordinates.
+///
+/// Two atoms (of any queries) that scan the same relation with the same
+/// repeated-variable pattern and probe on the same columns map to the same key —
+/// variable spellings never participate.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct IndexKey {
+    /// Name of the indexed stored relation.
+    pub relation: String,
+    /// `(earlier, later)` stored positions that must be equal (the atom's
+    /// repeated-variable filter); rows failing it are not indexed.
+    pub equalities: Vec<(usize, usize)>,
+    /// Stored positions forming the probe key, in canonical (first-occurrence)
+    /// order.
+    pub key_positions: Vec<usize>,
+}
+
+impl IndexKey {
+    /// `true` iff `row` satisfies the equality constraints.
+    pub fn admits(&self, row: &Row) -> bool {
+        self.equalities
+            .iter()
+            .all(|&(a, b)| row.get(a) == row.get(b))
+    }
+}
+
+impl fmt::Display for IndexKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[key {:?}, eq {:?}]",
+            self.relation, self.key_positions, self.equalities
+        )
+    }
+}
+
+/// A handle naming one acquired registry entry.
+///
+/// Handles stay valid from [`IndexRegistry::acquire`] until the matching
+/// [`IndexRegistry::release`] drops the last reference; acquiring the same
+/// [`IndexKey`] again returns an equal id.  A generation counter is stamped
+/// into every handle, so a stale id whose slot was torn down (last release, or
+/// [`IndexRegistry::drop_relation`]) and later reused by a different index can
+/// neither probe nor release the slot's new tenant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct IndexId {
+    slot: usize,
+    generation: u64,
+}
+
+/// One shared, refcounted hash index over a stored relation.
+#[derive(Clone)]
+pub struct SharedIndex {
+    key: IndexKey,
+    refs: usize,
+    /// Key projection → equality-filtered stored rows.
+    buckets: FastHashMap<Row, Vec<Row>>,
+    /// Number of indexed rows (equality-filtered).
+    rows: usize,
+}
+
+impl SharedIndex {
+    fn build(key: IndexKey, relation: &Relation) -> Self {
+        let mut buckets: FastHashMap<Row, Vec<Row>> = map_with_capacity(relation.len());
+        let mut rows = 0;
+        for row in relation.iter() {
+            if key.admits(row) {
+                buckets
+                    .entry(row.project(&key.key_positions))
+                    .or_default()
+                    .push(row.clone());
+                rows += 1;
+            }
+        }
+        SharedIndex {
+            key,
+            refs: 1,
+            buckets,
+            rows,
+        }
+    }
+
+    /// Fold one normalized stored-relation delta into the index.
+    fn apply_delta(&mut self, delta: &[(Row, i64)]) {
+        for (row, sign) in delta {
+            if !self.key.admits(row) {
+                continue;
+            }
+            let key = row.project(&self.key.key_positions);
+            if *sign > 0 {
+                self.buckets.entry(key).or_default().push(row.clone());
+                self.rows += 1;
+            } else if let Some(bucket) = self.buckets.get_mut(&key) {
+                if let Some(pos) = bucket.iter().position(|r| r == row) {
+                    bucket.swap_remove(pos);
+                    self.rows -= 1;
+                }
+                if bucket.is_empty() {
+                    self.buckets.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// The index identity.
+    pub fn key(&self) -> &IndexKey {
+        &self.key
+    }
+
+    /// Live references to this entry.
+    pub fn refs(&self) -> usize {
+        self.refs
+    }
+
+    /// Number of indexed (equality-filtered) rows.
+    pub fn indexed_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of distinct probe keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Stored rows matching `key`, or an empty slice.
+    pub fn probe(&self, key: &Row) -> &[Row] {
+        self.buckets.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Estimated heap footprint in bytes (buckets, keys and row clones).
+    pub fn approx_bytes(&self) -> usize {
+        let mut bytes = std::mem::size_of::<SharedIndex>();
+        bytes += self.buckets.capacity()
+            * (std::mem::size_of::<Row>() + std::mem::size_of::<Vec<Row>>());
+        for (key, bucket) in &self.buckets {
+            bytes += key.arity() * std::mem::size_of::<Value>();
+            bytes += bucket.capacity() * std::mem::size_of::<Row>();
+            for row in bucket {
+                bytes += row.arity() * std::mem::size_of::<Value>();
+            }
+        }
+        bytes
+    }
+}
+
+/// Point-in-time counters of a registry, surfaced through engine stats.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IndexRegistryStats {
+    /// Live (acquired, not yet fully released) indexes.
+    pub indexes: usize,
+    /// Total indexed rows across all live indexes.
+    pub indexed_rows: usize,
+    /// Sum of live refcounts (how many acquisitions are outstanding).
+    pub total_refs: usize,
+    /// Estimated heap footprint of all live indexes in bytes.
+    pub bytes: usize,
+}
+
+/// One registry slot: the live index (if any) plus the generation stamped into
+/// the ids handed out for it, bumped on every allocation so stale ids of a
+/// torn-down index cannot alias the slot's next tenant.
+#[derive(Clone, Default)]
+struct IndexSlot {
+    generation: u64,
+    entry: Option<SharedIndex>,
+}
+
+/// The refcounted collection of [`SharedIndex`]es a
+/// [`SharedDatabase`](crate::SharedDatabase) maintains.
+#[derive(Clone, Default)]
+pub struct IndexRegistry {
+    slots: Vec<IndexSlot>,
+    by_key: FastHashMap<IndexKey, usize>,
+}
+
+impl IndexRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        IndexRegistry::default()
+    }
+
+    /// Find-or-build the index for `key`, bumping its refcount.
+    ///
+    /// `relation` must be the current contents of `key.relation`; a fresh entry is
+    /// built from it in one `O(N)` pass, a live entry is reused as-is (it has been
+    /// maintained under every applied batch since it was built).
+    pub fn acquire(&mut self, key: IndexKey, relation: &Relation) -> IndexId {
+        if let Some(&slot) = self.by_key.get(&key) {
+            let state = &mut self.slots[slot];
+            state
+                .entry
+                .as_mut()
+                .expect("keyed index entry is live")
+                .refs += 1;
+            return IndexId {
+                slot,
+                generation: state.generation,
+            };
+        }
+        let built = SharedIndex::build(key.clone(), relation);
+        let slot = match self.slots.iter().position(|s| s.entry.is_none()) {
+            Some(free) => free,
+            None => {
+                self.slots.push(IndexSlot::default());
+                self.slots.len() - 1
+            }
+        };
+        self.slots[slot].generation += 1;
+        self.slots[slot].entry = Some(built);
+        self.by_key.insert(key, slot);
+        IndexId {
+            slot,
+            generation: self.slots[slot].generation,
+        }
+    }
+
+    /// Drop one reference; the entry is torn down when the last holder releases.
+    ///
+    /// Releasing an id that is not live — already torn down, or whose slot has
+    /// since been reused by a different index (stale generation) — is a no-op.
+    pub fn release(&mut self, id: IndexId) {
+        let Some(entry) = self
+            .slots
+            .get_mut(id.slot)
+            .filter(|s| s.generation == id.generation)
+            .and_then(|s| s.entry.as_mut())
+        else {
+            return;
+        };
+        entry.refs -= 1;
+        if entry.refs == 0 {
+            let key = entry.key.clone();
+            self.by_key.remove(&key);
+            self.slots[id.slot].entry = None;
+        }
+    }
+
+    /// The live entry behind `id`, if any (stale generations resolve to `None`).
+    pub fn get(&self, id: IndexId) -> Option<&SharedIndex> {
+        self.slots
+            .get(id.slot)
+            .filter(|s| s.generation == id.generation)
+            .and_then(|s| s.entry.as_ref())
+    }
+
+    /// Stored rows matching `key` in the index `id`, or an empty slice.
+    ///
+    /// An id that is no longer live probes empty — by construction consumers only
+    /// probe ids they hold a reference on.
+    pub fn probe(&self, id: IndexId, key: &Row) -> &[Row] {
+        self.get(id).map(|e| e.probe(key)).unwrap_or(&[])
+    }
+
+    /// Fold one relation's normalized delta into every live index over it.
+    pub fn apply_relation_delta(&mut self, relation: &str, delta: &[(Row, i64)]) {
+        if delta.is_empty() {
+            return;
+        }
+        for entry in self.slots.iter_mut().filter_map(|s| s.entry.as_mut()) {
+            if entry.key.relation == relation {
+                entry.apply_delta(delta);
+            }
+        }
+    }
+
+    /// Drop indexes over `relation` (the relation is being removed from the
+    /// store).  Outstanding ids over it become dead: they probe empty, and the
+    /// generation stamp keeps them dead even after their slot is reused.
+    pub fn drop_relation(&mut self, relation: &str) {
+        for slot in &mut self.slots {
+            let matches = slot
+                .entry
+                .as_ref()
+                .is_some_and(|e| e.key.relation == relation);
+            if matches {
+                let key = slot.entry.as_ref().expect("checked above").key.clone();
+                self.by_key.remove(&key);
+                slot.entry = None;
+            }
+        }
+    }
+
+    /// Number of live indexes.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.entry.is_some()).count()
+    }
+
+    /// `true` iff no index is live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate over the live indexes.
+    pub fn iter(&self) -> impl Iterator<Item = &SharedIndex> {
+        self.slots.iter().filter_map(|s| s.entry.as_ref())
+    }
+
+    /// Estimated heap footprint of all live indexes in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.iter().map(SharedIndex::approx_bytes).sum()
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> IndexRegistryStats {
+        let mut stats = IndexRegistryStats::default();
+        for entry in self.iter() {
+            stats.indexes += 1;
+            stats.indexed_rows += entry.indexed_rows();
+            stats.total_refs += entry.refs();
+            stats.bytes += entry.approx_bytes();
+        }
+        stats
+    }
+}
+
+impl fmt::Debug for IndexRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stats = self.stats();
+        write!(
+            f,
+            "IndexRegistry[{} indexes, {} rows, {} refs]",
+            stats.indexes, stats.indexed_rows, stats.total_refs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::int_row;
+
+    fn graph() -> Relation {
+        Relation::from_int_rows(
+            "Graph",
+            &["src", "dst"],
+            vec![vec![1, 2], vec![1, 3], vec![2, 3], vec![3, 3]],
+        )
+    }
+
+    fn key_on(positions: &[usize]) -> IndexKey {
+        IndexKey {
+            relation: "Graph".into(),
+            equalities: vec![],
+            key_positions: positions.to_vec(),
+        }
+    }
+
+    #[test]
+    fn acquire_builds_and_probes() {
+        let mut reg = IndexRegistry::new();
+        let id = reg.acquire(key_on(&[0]), &graph());
+        assert_eq!(reg.probe(id, &int_row([1])).len(), 2);
+        assert_eq!(reg.probe(id, &int_row([9])).len(), 0);
+        let entry = reg.get(id).unwrap();
+        assert_eq!(entry.indexed_rows(), 4);
+        assert_eq!(entry.distinct_keys(), 3);
+        assert!(entry.approx_bytes() > 0);
+        assert!(format!("{reg:?}").contains("IndexRegistry"));
+    }
+
+    #[test]
+    fn equalities_filter_indexed_rows() {
+        let mut reg = IndexRegistry::new();
+        let key = IndexKey {
+            relation: "Graph".into(),
+            equalities: vec![(0, 1)],
+            key_positions: vec![0],
+        };
+        let id = reg.acquire(key, &graph());
+        // Only the self-loop (3, 3) passes src = dst.
+        assert_eq!(reg.get(id).unwrap().indexed_rows(), 1);
+        assert_eq!(reg.probe(id, &int_row([3])), &[int_row([3, 3])]);
+        assert!(reg.probe(id, &int_row([1])).is_empty());
+    }
+
+    #[test]
+    fn refcounts_share_and_tear_down() {
+        let mut reg = IndexRegistry::new();
+        let a = reg.acquire(key_on(&[0]), &graph());
+        let b = reg.acquire(key_on(&[0]), &graph());
+        assert_eq!(a, b, "same key shares one entry");
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.get(a).unwrap().refs(), 2);
+        let other = reg.acquire(key_on(&[1]), &graph());
+        assert_ne!(a, other);
+        assert_eq!(reg.len(), 2);
+
+        reg.release(a);
+        assert_eq!(reg.get(a).unwrap().refs(), 1);
+        reg.release(b);
+        assert!(reg.get(a).is_none(), "last release drops the entry");
+        assert!(reg.probe(a, &int_row([1])).is_empty());
+        reg.release(a); // releasing a dead id is a no-op
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.stats().indexes, 1);
+
+        // The freed slot is reused by the next distinct key — under a fresh
+        // generation, so the stale id can neither probe nor release the new
+        // tenant (no ABA through slot reuse).
+        let again = reg.acquire(key_on(&[0, 1]), &graph());
+        assert_ne!(again, a);
+        assert!(reg.get(a).is_none());
+        assert!(reg.probe(a, &int_row([1, 2])).is_empty());
+        reg.release(a); // stale-generation release must not touch `again`
+        assert_eq!(reg.get(again).unwrap().refs(), 1);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn deltas_maintain_buckets() {
+        let mut reg = IndexRegistry::new();
+        let id = reg.acquire(key_on(&[0]), &graph());
+        reg.apply_relation_delta(
+            "Graph",
+            &[
+                (int_row([1, 9]), 1),
+                (int_row([1, 2]), -1),
+                (int_row([4, 4]), 1),
+            ],
+        );
+        // Unrelated relations are untouched.
+        reg.apply_relation_delta("Other", &[(int_row([1, 1]), 1)]);
+        let rows = reg.probe(id, &int_row([1]));
+        assert_eq!(rows.len(), 2);
+        assert!(rows.contains(&int_row([1, 9])) && rows.contains(&int_row([1, 3])));
+        assert_eq!(reg.probe(id, &int_row([4])), &[int_row([4, 4])]);
+        assert_eq!(reg.get(id).unwrap().indexed_rows(), 5);
+        // Deleting the last row of a bucket removes the bucket.
+        reg.apply_relation_delta("Graph", &[(int_row([4, 4]), -1)]);
+        assert!(reg.probe(id, &int_row([4])).is_empty());
+    }
+
+    #[test]
+    fn drop_relation_kills_its_indexes() {
+        let mut reg = IndexRegistry::new();
+        let g = reg.acquire(key_on(&[0]), &graph());
+        let other = Relation::from_int_rows("Other", &["k"], vec![vec![1]]);
+        let o = reg.acquire(
+            IndexKey {
+                relation: "Other".into(),
+                equalities: vec![],
+                key_positions: vec![0],
+            },
+            &other,
+        );
+        reg.drop_relation("Graph");
+        assert!(reg.get(g).is_none());
+        assert!(reg.get(o).is_some());
+        assert_eq!(reg.len(), 1);
+    }
+}

@@ -20,10 +20,14 @@
 //!   being recomputed per view.
 //!
 //! Reads go through [`RelationRef`], a lightweight handle pairing the relation with
-//! the epoch it was observed at.
+//! the epoch it was observed at; delta-join consumers additionally probe the
+//! store's **index registry** ([`IndexRegistry`]) — refcounted hash indexes in
+//! stored-column coordinates, acquired per query plan and maintained exactly once
+//! per applied batch no matter how many views share them.
 
 use crate::database::Database;
 use crate::delta::{normalize_delta, DeltaBatch, DeltaEffect};
+use crate::registry::{IndexId, IndexKey, IndexRegistry, IndexRegistryStats};
 use crate::relation::Relation;
 use crate::row::Row;
 use crate::schema::Schema;
@@ -47,6 +51,7 @@ pub type Epoch = u64;
 pub struct SharedDatabase {
     db: Database,
     epoch: Epoch,
+    indexes: IndexRegistry,
 }
 
 impl SharedDatabase {
@@ -63,7 +68,11 @@ impl SharedDatabase {
                 .expect("name comes from the database")
                 .dedup();
         }
-        SharedDatabase { db, epoch: 0 }
+        SharedDatabase {
+            db,
+            epoch: 0,
+            indexes: IndexRegistry::new(),
+        }
     }
 
     /// The current epoch.
@@ -100,17 +109,86 @@ impl SharedDatabase {
         self.db.add(relation)
     }
 
-    /// Remove a relation, returning it if present.
+    /// Remove a relation, returning it if present.  Registry indexes over it are
+    /// dropped (outstanding [`IndexId`]s over it become dead and probe empty).
     pub fn remove_relation(&mut self, name: &str) -> Option<Relation> {
+        self.indexes.drop_relation(name);
         self.db.remove(name)
     }
 
     /// A versioned read handle on one relation.
     pub fn relation(&self, name: &str) -> Result<RelationRef<'_>> {
         Ok(RelationRef {
+            store: self,
             relation: self.db.get(name)?,
             epoch: self.epoch,
         })
+    }
+
+    /// Find-or-build the shared index identified by `key`, bumping its refcount.
+    ///
+    /// Validates the key against the relation's schema (every referenced position
+    /// must exist).  A fresh index costs one `O(N)` build over the current
+    /// contents; a live one is reused as-is — it has been maintained under every
+    /// batch since it was built.  Pair every acquisition with a
+    /// [`SharedDatabase::release_index`].
+    pub fn acquire_index(&mut self, key: IndexKey) -> Result<IndexId> {
+        let relation = self.db.get(&key.relation)?;
+        let arity = relation.schema().arity();
+        let out_of_range = key
+            .key_positions
+            .iter()
+            .chain(key.equalities.iter().flat_map(|(a, b)| [a, b]))
+            .any(|&p| p >= arity);
+        if out_of_range {
+            return Err(StorageError::ArityMismatch {
+                relation: key.relation.clone(),
+                expected: arity,
+                actual: key
+                    .key_positions
+                    .iter()
+                    .chain(key.equalities.iter().flat_map(|(a, b)| [a, b]))
+                    .max()
+                    .copied()
+                    .unwrap_or(0)
+                    + 1,
+            });
+        }
+        Ok(self.indexes.acquire(key, relation))
+    }
+
+    /// Drop one reference on a shared index; the structure is freed when the last
+    /// holder releases.
+    pub fn release_index(&mut self, id: IndexId) {
+        self.indexes.release(id);
+    }
+
+    /// Stored rows of the index `id` matching `key`, or an empty slice.
+    ///
+    /// Rows come back in stored-column coordinates (full rows, equality-filtered
+    /// at maintenance time); consumers project with their plan's positions.
+    pub fn probe_index(&self, id: IndexId, key: &Row) -> &[Row] {
+        self.indexes.probe(id, key)
+    }
+
+    /// The registry entry behind `id`, if it is live.
+    pub fn index(&self, id: IndexId) -> Option<&crate::registry::SharedIndex> {
+        self.indexes.get(id)
+    }
+
+    /// Number of live shared indexes.
+    pub fn index_count(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// Estimated heap footprint of all live shared indexes in bytes.
+    pub fn index_bytes(&self) -> usize {
+        self.indexes.approx_bytes()
+    }
+
+    /// Point-in-time registry counters.
+    pub fn index_stats(&self) -> IndexRegistryStats {
+        self.indexes.stats()
     }
 
     /// `true` iff a relation with this name is registered.
@@ -160,6 +238,9 @@ impl SharedDatabase {
             let rel = self.db.get_mut(name).expect("validated above");
             let delta = normalize_delta(rel.cached_row_set(), raw);
             effect.absorb(rel.apply_normalized_delta(&delta));
+            // Maintain every registered index over this relation exactly once —
+            // this is the pass N sharing views used to pay N times.
+            self.indexes.apply_relation_delta(name, &delta);
             normalized.push((name.to_string(), delta));
         }
         self.epoch += 1;
@@ -175,10 +256,11 @@ impl fmt::Debug for SharedDatabase {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "SharedDatabase[epoch {}, {} relations, {} tuples]",
+            "SharedDatabase[epoch {}, {} relations, {} tuples, {} indexes]",
             self.epoch,
             self.db.relation_count(),
-            self.db.input_size()
+            self.db.input_size(),
+            self.indexes.len()
         )
     }
 }
@@ -190,6 +272,7 @@ impl fmt::Debug for SharedDatabase {
 /// reflect.
 #[derive(Clone, Copy)]
 pub struct RelationRef<'a> {
+    store: &'a SharedDatabase,
     relation: &'a Relation,
     epoch: Epoch,
 }
@@ -198,6 +281,20 @@ impl<'a> RelationRef<'a> {
     /// The underlying relation.
     pub fn relation(&self) -> &'a Relation {
         self.relation
+    }
+
+    /// Probe a shared index of the owning store through this handle.
+    ///
+    /// The index must be over **this** relation (checked in debug builds); rows
+    /// come back as full stored rows, equality-filtered at maintenance time.
+    pub fn probe(&self, id: IndexId, key: &Row) -> &'a [Row] {
+        debug_assert!(
+            self.store
+                .index(id)
+                .is_none_or(|e| e.key().relation == self.relation.name()),
+            "probe of an index over a different relation"
+        );
+        self.store.probe_index(id, key)
     }
 
     /// The store epoch this handle was taken at.
@@ -387,6 +484,55 @@ mod tests {
         assert_eq!(removed.name(), "R");
         assert!(store.relation("R").is_err());
         assert_eq!(store.into_database().relation_count(), 0);
+    }
+
+    #[test]
+    fn shared_indexes_are_acquired_probed_and_batch_maintained() {
+        let mut store = store();
+        let key = IndexKey {
+            relation: "Graph".into(),
+            equalities: vec![],
+            key_positions: vec![1],
+        };
+        let id = store.acquire_index(key.clone()).unwrap();
+        let again = store.acquire_index(key).unwrap();
+        assert_eq!(id, again, "same key shares one refcounted entry");
+        assert_eq!(store.index_count(), 1);
+        assert_eq!(store.index_stats().total_refs, 2);
+        assert!(store.index_bytes() > 0);
+        assert_eq!(store.probe_index(id, &int_row([2])), &[int_row([1, 2])]);
+
+        // One apply_batch maintains the index (no per-view work anywhere).
+        let mut batch = DeltaBatch::new();
+        batch.insert("Graph", int_row([7, 2]));
+        batch.delete("Graph", int_row([1, 2]));
+        store.apply_batch(&batch).unwrap();
+        assert_eq!(store.probe_index(id, &int_row([2])), &[int_row([7, 2])]);
+        let handle = store.relation("Graph").unwrap();
+        assert_eq!(handle.probe(id, &int_row([2])), &[int_row([7, 2])]);
+
+        // Bad keys are rejected; removal of the relation kills its indexes.
+        assert!(store
+            .acquire_index(IndexKey {
+                relation: "Graph".into(),
+                equalities: vec![(0, 5)],
+                key_positions: vec![0],
+            })
+            .is_err());
+        assert!(store
+            .acquire_index(IndexKey {
+                relation: "Missing".into(),
+                equalities: vec![],
+                key_positions: vec![0],
+            })
+            .is_err());
+        store.remove_relation("Graph");
+        assert!(store.probe_index(id, &int_row([2])).is_empty());
+        assert_eq!(store.index_count(), 0);
+
+        // Releasing after the fact is a harmless no-op.
+        store.release_index(id);
+        store.release_index(again);
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub use dcq_core::{
     classify, parse_cq, parse_dcq, Atom, ConjunctiveQuery, Dcq, DcqPlanner, PlanCache,
 };
 pub use dcq_engine::{ApplyReport, DcqEngine, PreparedDcq, ViewHandle};
-pub use dcq_incremental::{DcqView, MaintainedDcq};
+pub use dcq_incremental::DcqView;
 pub use dcq_storage::{
     Database, DeltaBatch, Relation, Row, Schema, SharedDatabase, UpdateLog, Value,
 };

@@ -290,8 +290,78 @@ fn skipped_batch_then_relevant_batch_replays_correctly() {
     );
 }
 
-/// The engine's store is the single copy of the base data: registering more
-/// views does not grow it.
+/// Distinct `Q_G5`-family registrations share their α-equivalent positive
+/// side through the counting pool: eight views, one pooled side, folded once
+/// per batch — and every view still matches recomputation.
+#[test]
+fn distinct_family_shares_counting_sides() {
+    let data = build_dataset(
+        "engine-side-pool",
+        Graph::uniform(60, 240, 3),
+        0.5,
+        TripleRuleMix::balanced(),
+        5,
+    );
+    const CLOSERS: [&str; 8] = [
+        "Graph(n4, n1)",
+        "Graph(n1, n4)",
+        "Graph(n1, n3)",
+        "Graph(n3, n1)",
+        "Graph(n2, n1)",
+        "Graph(n1, n2)",
+        "Graph(n4, n1), Graph(n1, n3)",
+        "Graph(n1, n4), Graph(n2, n1)",
+    ];
+    let mut engine = DcqEngine::with_database(data.db.clone());
+    let mut handles = Vec::new();
+    for (i, closer) in CLOSERS.iter().enumerate() {
+        let dcq = parse_dcq(&format!(
+            "V{i}(n1, n2, n3, n4) :- Graph(n1, n2), Graph(n2, n3), Graph(n3, n4) \
+             EXCEPT Graph(n2, n3), Graph(n3, n4), {closer}"
+        ))
+        .unwrap();
+        handles.push(
+            engine
+                .register_with(dcq, IncrementalStrategy::Counting)
+                .unwrap(),
+        );
+    }
+    assert_eq!(engine.distinct_view_count(), 8, "all shapes are distinct");
+    let pool = engine.counting_pool_stats();
+    assert_eq!(
+        pool.hits, 7,
+        "seven registrations reuse the family's shared positive side"
+    );
+    // 8 q1 sides collapse to 1; the 8 q2 sides are distinct: 9 live shapes.
+    assert_eq!(pool.live, 9);
+
+    let spec = UpdateSpec::new(20, 8, &["Graph"]);
+    let batches = update_workload(engine.database(), &spec, 77);
+    for batch in &batches {
+        engine.apply(batch).unwrap();
+        for handle in &handles {
+            let view = engine.view(*handle).unwrap();
+            let expected =
+                baseline_dcq(view.dcq(), engine.database(), CqStrategy::Vanilla).unwrap();
+            assert_eq!(
+                engine.result(*handle).unwrap().sorted_rows(),
+                expected.sorted_rows(),
+                "pooled-side view diverged"
+            );
+        }
+    }
+    // Deregistering every view drains the pool and the registry.
+    for handle in handles {
+        engine.deregister(handle).unwrap();
+    }
+    assert_eq!(engine.counting_pool_stats().live, 0);
+    assert_eq!(engine.index_count(), 0);
+}
+
+/// The engine's store is the single copy of the base data, and the index
+/// registry is the single copy of the delta-join access structures: the first
+/// counting registration acquires its shared indexes, every further
+/// registration of the shape adds **zero** bytes.
 #[test]
 fn store_memory_does_not_scale_with_view_count() {
     let data = build_dataset(
@@ -302,13 +372,27 @@ fn store_memory_does_not_scale_with_view_count() {
         3,
     );
     let mut engine = DcqEngine::with_database(data.db.clone());
-    let before = engine.store_bytes();
-    for _ in 0..8 {
+    let data_only = engine.store_bytes();
+    assert_eq!(engine.index_count(), 0);
+    let first = engine.register_dcq(graph_query(GraphQueryId::QG5)).unwrap();
+    let after_first = engine.store_bytes();
+    assert_eq!(
+        after_first,
+        data_only + engine.index_bytes(),
+        "the first registration adds exactly its shared indexes"
+    );
+    let indexes_after_first = engine.index_count();
+    assert!(indexes_after_first > 0);
+    for _ in 1..8 {
         engine.register_dcq(graph_query(GraphQueryId::QG5)).unwrap();
     }
     assert_eq!(
         engine.store_bytes(),
-        before,
-        "registering views must not copy the store"
+        after_first,
+        "further registrations must not copy the store or build new indexes"
     );
+    assert_eq!(engine.index_count(), indexes_after_first);
+    // Dropping the last registration of the shape frees its indexes too.
+    engine.deregister(first).unwrap();
+    assert_eq!(engine.store_bytes(), after_first, "7 registrations remain");
 }

@@ -1,26 +1,27 @@
-//! Incremental maintenance ≡ full recomputation.
+//! Incremental maintenance ≡ full recomputation (single-view engines).
 //!
 //! Two complementary suites:
 //!
 //! * a **property test** applying proptest-generated insert/delete batches to
-//!   maintained views of easy and hard DCQs under *both* maintenance strategies,
-//!   asserting after every batch that the maintained result is byte-identical to the
-//!   vanilla baseline recomputation;
+//!   engine-hosted single views of easy and hard DCQs under *both* maintenance
+//!   strategies, asserting after every batch that the maintained result is
+//!   byte-identical to the vanilla baseline recomputation;
 //! * a **deterministic long-run test** streaming 120 generator-produced batches
 //!   (`dcq_datagen::update_workload`) through easy and hard views over a synthetic
 //!   graph, checking the same invariant — this is the ≥100-batch acceptance gate.
 //!
-//! `MaintainedDcq` is deprecated in favour of `DcqEngine` (whose fan-out suite
-//! lives in `engine_multi_view.rs`) but the shim must stay exact for one release,
-//! so this suite keeps exercising it.
-#![allow(deprecated)]
+//! Each view runs in its own `DcqEngine` — the post-shim shape of the
+//! single-client deployment (the `MaintainedDcq` shim these suites used to
+//! exercise has been removed).  The multi-view fan-out suite lives in
+//! `engine_multi_view.rs`; shared-index-specific coverage (self-joins, repeated
+//! variables) in `shared_index_correctness.rs`.
 
 use dcq_core::baseline::{baseline_dcq, CqStrategy};
 use dcq_core::parse::parse_dcq;
 use dcq_core::planner::IncrementalStrategy;
 use dcq_datagen::datasets::build_dataset;
 use dcq_datagen::{graph_query, update_workload, Graph, GraphQueryId, TripleRuleMix, UpdateSpec};
-use dcq_incremental::MaintainedDcq;
+use dcq_engine::DcqEngine;
 use dcq_storage::row::int_row;
 use dcq_storage::{Database, DeltaBatch, Relation};
 use proptest::prelude::*;
@@ -65,7 +66,7 @@ fn initial_db(rows: &[(u8, i64, i64, i64)]) -> Database {
     db
 }
 
-/// Turn generated `(relation, a, b, c)` tuples into a delta batch; `a` doubles as
+/// Turn generated `(relation, a, b, c)` tuples into a delta batch; `c` doubles as
 /// the insert/delete selector when `all_inserts` is false.
 fn ops_to_batch(ops: &[(u8, i64, i64, i64)], all_inserts: bool) -> DeltaBatch {
     let mut batch = DeltaBatch::new();
@@ -100,16 +101,17 @@ proptest! {
     ) {
         for (label, src) in QUERIES {
             for strategy in [IncrementalStrategy::EasyRerun, IncrementalStrategy::Counting] {
-                let mut db = initial_db(&initial);
+                let mut engine = DcqEngine::with_database(initial_db(&initial));
                 let dcq = parse_dcq(src).unwrap();
-                let mut view = MaintainedDcq::register_with(dcq, &db, strategy).unwrap();
+                let handle = engine.register_with(dcq, strategy).unwrap();
                 for (step, ops) in batches.iter().enumerate() {
                     let batch = ops_to_batch(ops, false);
-                    view.apply(&batch).unwrap();
-                    db.apply_batch(&batch).unwrap();
-                    let expected = baseline_dcq(view.dcq(), &db, CqStrategy::Vanilla).unwrap();
+                    engine.apply(&batch).unwrap();
+                    let view = engine.view(handle).unwrap();
+                    let expected =
+                        baseline_dcq(view.dcq(), engine.database(), CqStrategy::Vanilla).unwrap();
                     prop_assert_eq!(
-                        view.result().sorted_rows(),
+                        engine.result(handle).unwrap().sorted_rows(),
                         expected.sorted_rows(),
                         "{} diverged under {:?} at batch {}",
                         label, strategy, step
@@ -137,26 +139,27 @@ fn long_workload_stays_exact_over_120_batches() {
         (GraphQueryId::QG5, IncrementalStrategy::Counting),
         (GraphQueryId::QG5, IncrementalStrategy::EasyRerun),
     ] {
-        let mut db = data.db.clone();
-        let dcq = graph_query(id);
-        let mut view = MaintainedDcq::register_with(dcq, &db, strategy).unwrap();
+        let mut engine = DcqEngine::with_database(data.db.clone());
+        let handle = engine.register_with(graph_query(id), strategy).unwrap();
         let spec = UpdateSpec::new(120, 6, &["Graph", "Triple"]);
-        let batches = update_workload(&db, &spec, 2026);
+        let batches = update_workload(engine.database(), &spec, 2026);
         assert_eq!(batches.len(), 120);
         for (step, batch) in batches.iter().enumerate() {
-            view.apply(batch).unwrap();
-            db.apply_batch(batch).unwrap();
-            let expected = baseline_dcq(view.dcq(), &db, CqStrategy::Vanilla).unwrap();
+            engine.apply(batch).unwrap();
+            let view = engine.view(handle).unwrap();
+            let expected =
+                baseline_dcq(view.dcq(), engine.database(), CqStrategy::Vanilla).unwrap();
             assert_eq!(
-                view.result().sorted_rows(),
+                engine.result(handle).unwrap().sorted_rows(),
                 expected.sorted_rows(),
                 "{} under {strategy:?} diverged at batch {step}",
                 id.name()
             );
         }
-        let stats = view.stats();
+        let stats = engine.view(handle).unwrap().stats();
         assert_eq!(stats.batches_applied + stats.batches_skipped, 120);
         assert!(stats.tuples_inserted + stats.tuples_deleted > 0);
+        assert_eq!(engine.epoch(), 120);
     }
 }
 
@@ -180,20 +183,28 @@ fn auto_registered_views_skip_unreferenced_relations() {
     db.add(Relation::from_int_rows("Unrelated", &["k"], vec![vec![7]]))
         .unwrap();
 
-    let dcq = graph_query(GraphQueryId::QG3);
-    let mut view = MaintainedDcq::register(dcq, &db).unwrap();
-    assert_eq!(view.strategy(), IncrementalStrategy::EasyRerun);
+    let mut engine = DcqEngine::with_database(db);
+    let handle = engine.register_dcq(graph_query(GraphQueryId::QG3)).unwrap();
+    assert_eq!(
+        engine.view(handle).unwrap().strategy(),
+        IncrementalStrategy::EasyRerun
+    );
 
     let mut batch = DeltaBatch::new();
     batch.insert("Unrelated", int_row([8]));
-    assert!(view.apply(&batch).unwrap().skipped);
+    let report = engine.apply(&batch).unwrap();
+    assert_eq!(report.views_skipped, 1);
+    assert_eq!(engine.view(handle).unwrap().stats().batches_skipped, 1);
 
     let mut batch = DeltaBatch::new();
     batch.insert("Unrelated", int_row([9]));
     batch.delete("Graph", int_row([2, 3]));
-    let outcome = view.apply(&batch).unwrap();
-    assert!(!outcome.skipped);
-    db.apply_batch(&batch).unwrap();
-    let expected = baseline_dcq(view.dcq(), &db, CqStrategy::Vanilla).unwrap();
-    assert_eq!(view.result().sorted_rows(), expected.sorted_rows());
+    let report = engine.apply(&batch).unwrap();
+    assert_eq!(report.views_applied, 1);
+    let view = engine.view(handle).unwrap();
+    let expected = baseline_dcq(view.dcq(), engine.database(), CqStrategy::Vanilla).unwrap();
+    assert_eq!(
+        engine.result(handle).unwrap().sorted_rows(),
+        expected.sorted_rows()
+    );
 }
