@@ -1,46 +1,134 @@
-//! Incremental maintenance vs full recomputation across delta sizes.
+//! Incremental maintenance arms vs full recomputation across delta sizes.
 //!
-//! For an easy query (Q_G3, touched-side rerun) and a hard one (Q_G5, counting
-//! maintenance), each group compares:
+//! For an easy query (Q_G3, structurally rerun-maintained) and a hard one
+//! (Q_G5, structurally counting-maintained), the sweep drives delta sizes from
+//! 0.1% to 30% of the database through three maintenance arms on a
+//! single-view `DcqEngine`:
 //!
-//! * `maintain/delta_<fraction>` — applying one update batch of the given size (as
-//!   a fraction of the database) to an engine hosting a single registered view,
-//!   **followed by its inverse batch**.  The inverse restores the registration
-//!   state exactly, so every iteration performs two full-sized, non-redundant
-//!   batch applications no matter how often the harness re-runs it; halve the
-//!   reported time for the per-batch cost.
-//! * `recompute` — the planner's one-shot evaluation of the same DCQ, i.e. what a
-//!   per-request service would pay without the incremental subsystem.
+//! * `rerun` — touched-side rerun forced (`register_with(EasyRerun)`);
+//! * `counting` — counting maintenance forced (`register_with(Counting)`);
+//! * `adaptive` — `register_adaptive` under a cost model **fitted from this
+//!   run's own fixed-arm measurements** (`MaintenanceCostModel::
+//!   from_crossover_samples` — the same calibrate-then-deploy loop
+//!   `cargo run --release --example calibrate` automates), so the recorded
+//!   series shows what the policy achieves with an honest host calibration;
+//! * `recompute` — the planner's one-shot evaluation, what a per-request
+//!   service would pay without the incremental subsystem.
 //!
-//! On small-delta workloads (≤1% of tuples changed) maintenance should beat the
-//! recomputation baseline even at the 2× apply-plus-revert handicap; as deltas grow
-//! toward 10% the gap closes, which is the expected crossover.
+//! Every cell applies one update batch of the given size **followed by its
+//! inverse batch**; the inverse restores the registration state exactly, so
+//! every sample performs two full-sized, non-redundant batch applications —
+//! the reported per-batch figure is half the pair.  The adaptive arm is warmed
+//! up before measuring so the policy has settled on its engine kind.
 //!
-//! The maintained arm is a `DcqEngine` with one view — the post-shim shape of the
-//! single-client deployment (the `MaintainedDcq` shim this bench used to exercise
-//! has been removed); counting views probe the store's shared index registry.
+//! Results are printed and written to `BENCH_micro_incremental.json` at the
+//! workspace root, so the incremental perf trajectory accumulates across PRs
+//! the way `BENCH_multi_view.json` does for fan-out: the headline property is
+//! `adaptive ≈ min(rerun, counting)` at **every** delta size, where each fixed
+//! arm loses badly on one side of the crossover.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dcq_core::heuristics::{CrossoverSample, MaintenanceCostModel};
 use dcq_core::planner::DcqPlanner;
 use dcq_datagen::datasets::build_dataset;
 use dcq_datagen::{graph_query, update_workload, Graph, GraphQueryId, TripleRuleMix, UpdateSpec};
 use dcq_engine::DcqEngine;
-use dcq_storage::{DeltaBatch, UpdateLog};
-use std::time::Duration;
+use dcq_incremental::IncrementalStrategy;
+use dcq_storage::{Database, DeltaBatch, UpdateLog};
+use std::path::PathBuf;
+use std::time::Instant;
 
-/// The sign-flipped batch: applied after `batch`, it restores the previous state
-/// (normalized inserts become deletes of now-present rows and vice versa).
-fn inverse_of(batch: &DeltaBatch) -> DeltaBatch {
-    let mut inverse = DeltaBatch::new();
-    for (relation, ops) in batch.iter() {
-        for (row, sign) in ops {
-            inverse.push(relation, row.clone(), -sign);
-        }
-    }
-    inverse
+/// Swept effective batch sizes as fractions of the database.
+const FRACTIONS: [f64; 5] = [0.001, 0.01, 0.03, 0.1, 0.3];
+/// Interleaved repetitions per cell, arm order rotated per repetition
+/// (minimum kept — least interfered run).
+const REPETITIONS: usize = 3;
+/// Per-measurement sampling: at least [`MIN_PAIRS`] timed batch+inverse pairs,
+/// continuing until [`SAMPLE_BUDGET_SECS`] or [`MAX_PAIRS`] — sub-millisecond
+/// cells get dozens of samples (their minimum is stable), expensive cells stay
+/// cheap.
+const MIN_PAIRS: usize = 3;
+const MAX_PAIRS: usize = 40;
+const SAMPLE_BUDGET_SECS: f64 = 0.5;
+
+/// One measured sweep cell: per-batch milliseconds of the three arms plus the
+/// engine kind the adaptive arm settled on.
+#[derive(Clone)]
+struct Cell {
+    fraction: f64,
+    batch_tuples: usize,
+    rerun_ms: f64,
+    counting_ms: f64,
+    adaptive_ms: f64,
+    adaptive_active: IncrementalStrategy,
 }
 
-fn bench_incremental(c: &mut Criterion) {
+/// Minimum per-batch wall-clock over adaptively many batch+inverse pairs after
+/// a short warm-up (which also lets the adaptive policy converge on its
+/// engine kind).
+fn measure(engine: &mut DcqEngine, batch: &DeltaBatch, inverse: &DeltaBatch) -> f64 {
+    measure_with(engine, batch, inverse, 3, SAMPLE_BUDGET_SECS)
+}
+
+fn measure_with(
+    engine: &mut DcqEngine,
+    batch: &DeltaBatch,
+    inverse: &DeltaBatch,
+    warmup_pairs: usize,
+    budget_secs: f64,
+) -> f64 {
+    let registration_len = engine.views().next().expect("one registered view").1.len();
+    for _ in 0..warmup_pairs {
+        let report = engine.apply(batch).expect("warm-up applies");
+        assert_eq!(
+            report.effect.total(),
+            batch.len(),
+            "batch must be fully effective"
+        );
+        engine.apply(inverse).expect("warm-up inverse applies");
+    }
+    let mut best = f64::INFINITY;
+    let mut pairs = 0usize;
+    let budget = Instant::now();
+    while pairs < MIN_PAIRS || (pairs < MAX_PAIRS && budget.elapsed().as_secs_f64() < budget_secs) {
+        let started = Instant::now();
+        engine.apply(batch).expect("batch applies");
+        engine.apply(inverse).expect("inverse applies");
+        best = best.min(started.elapsed().as_secs_f64() * 1e3 / 2.0);
+        pairs += 1;
+    }
+    assert_eq!(
+        engine.views().next().expect("one registered view").1.len(),
+        registration_len,
+        "inverse must restore the view"
+    );
+    // The minimum, as in `multi_view`: the workload is deterministic per pair,
+    // so the fastest pair is the least-interfered measurement.
+    best
+}
+
+/// A fresh single-view engine hosting `id` under the given registration.
+fn engine_with(
+    db: &Database,
+    id: GraphQueryId,
+    strategy: Option<IncrementalStrategy>,
+    model: Option<MaintenanceCostModel>,
+) -> DcqEngine {
+    let mut engine = DcqEngine::with_database(db.clone());
+    // The harness re-applies batches indefinitely; bound log retention.
+    engine.set_log(UpdateLog::with_limit(8));
+    if let Some(model) = model {
+        engine.set_cost_model(model);
+    }
+    match strategy {
+        Some(strategy) => engine
+            .register_with(graph_query(id), strategy)
+            .expect("register"),
+        None => engine.register_adaptive(graph_query(id)).expect("register"),
+    };
+    engine
+}
+
+fn main() {
     let data = build_dataset(
         "micro-incremental",
         Graph::uniform(2_000, 8_000, 11),
@@ -51,60 +139,189 @@ fn bench_incremental(c: &mut Criterion) {
     let db = &data.db;
     let total_tuples = db.input_size();
     let planner = DcqPlanner::smart();
+    println!(
+        "micro_incremental: {total_tuples} tuples, sweep {FRACTIONS:?} × (rerun | counting | adaptive)",
+    );
 
-    // Target exactly the relations each query references, so every operation in a
-    // batch is visible to the maintained view.
+    let mut sections = Vec::new();
     for (id, relations) in [
         (GraphQueryId::QG3, vec!["Graph", "Triple"]),
         (GraphQueryId::QG5, vec!["Graph"]),
     ] {
-        let dcq = graph_query(id);
-        let mut group = c.benchmark_group(format!("micro_incremental/{}", id.name()));
-        group
-            .sample_size(10)
-            .warm_up_time(Duration::from_millis(200))
-            .measurement_time(Duration::from_millis(900));
+        // One batch per fraction, generated against the registration state and
+        // fully effective every time thanks to the inverse.
+        let cells_input: Vec<(f64, usize, DeltaBatch, DeltaBatch)> = FRACTIONS
+            .iter()
+            .map(|&fraction| {
+                let batch_tuples = ((total_tuples as f64 * fraction) as usize).max(1);
+                let spec = UpdateSpec::new(1, batch_tuples, &relations);
+                let batch = update_workload(db, &spec, 7 + id as u64)
+                    .pop()
+                    .expect("workload generates one batch");
+                let inverse = batch.inverse();
+                (fraction, batch_tuples, batch, inverse)
+            })
+            .collect();
 
-        for fraction in [0.001f64, 0.01, 0.1] {
-            let batch_tuples = ((total_tuples as f64 * fraction) as usize).max(1);
-            // A single batch generated against the registration state: because each
-            // iteration reverts it, it is fully effective every time it is applied.
-            let spec = UpdateSpec::new(1, batch_tuples, &relations);
-            let batch = update_workload(db, &spec, 7 + id as u64)
-                .pop()
-                .expect("workload generates one batch");
-            let inverse = inverse_of(&batch);
-            let mut engine = DcqEngine::with_database(db.clone());
-            // The engine's update log is unbounded by default; the harness
-            // re-applies large batches indefinitely, so bound retention.
-            engine.set_log(UpdateLog::with_limit(16));
-            let view = engine.register_dcq(graph_query(id)).expect("register");
-            let baseline_len = engine.view(view).expect("live").len();
-            group.bench_function(format!("maintain/delta_{fraction}"), |b| {
-                b.iter(|| {
-                    let report = engine.apply(&batch).expect("maintenance applies");
-                    assert_eq!(
-                        report.effect.total(),
-                        batch.len(),
-                        "batch must be fully effective"
-                    );
-                    engine.apply(&inverse).expect("inverse applies");
-                    engine.view(view).expect("live").len()
-                })
-            });
-            assert_eq!(
-                engine.view(view).expect("live").len(),
-                baseline_len,
-                "inverse must restore the view"
+        // Calibration pass: one quick measurement of both fixed arms feeds the
+        // crossover fit the adaptive arm will run under (the same
+        // calibrate-then-deploy loop `examples/calibrate.rs` automates).
+        let samples: Vec<CrossoverSample> = cells_input
+            .iter()
+            .map(|(fraction, _, batch, inverse)| {
+                let mut engine = engine_with(db, id, Some(IncrementalStrategy::EasyRerun), None);
+                let rerun_cost = measure_with(&mut engine, batch, inverse, 1, 0.05);
+                let mut engine = engine_with(db, id, Some(IncrementalStrategy::Counting), None);
+                let counting_cost = measure_with(&mut engine, batch, inverse, 1, 0.05);
+                CrossoverSample {
+                    delta_fraction: *fraction,
+                    rerun_cost,
+                    counting_cost,
+                }
+            })
+            .collect();
+        let fitted =
+            MaintenanceCostModel::from_crossover_samples(&samples).expect("sweep yields a model");
+        let model = MaintenanceCostModel {
+            min_observations: 2,
+            ..fitted
+        };
+
+        // Recorded pass: all three arms interleaved per repetition (so drift
+        // hits them equally), minimum kept per arm per cell.
+        let mut rerun_ms = vec![f64::INFINITY; cells_input.len()];
+        let mut counting_ms = vec![f64::INFINITY; cells_input.len()];
+        let mut adaptive_ms = vec![f64::INFINITY; cells_input.len()];
+        let mut adaptive_active = vec![IncrementalStrategy::Adaptive; cells_input.len()];
+        for rep in 0..REPETITIONS {
+            for (slot, (_, _, batch, inverse)) in cells_input.iter().enumerate() {
+                // Rotate the arm order per repetition so allocator/cache state
+                // left behind by a heavy arm biases no single series.
+                for arm in 0..3 {
+                    match (arm + rep) % 3 {
+                        0 => {
+                            let mut engine =
+                                engine_with(db, id, Some(IncrementalStrategy::EasyRerun), None);
+                            rerun_ms[slot] =
+                                rerun_ms[slot].min(measure(&mut engine, batch, inverse));
+                        }
+                        1 => {
+                            let mut engine =
+                                engine_with(db, id, Some(IncrementalStrategy::Counting), None);
+                            counting_ms[slot] =
+                                counting_ms[slot].min(measure(&mut engine, batch, inverse));
+                        }
+                        _ => {
+                            let mut engine = engine_with(db, id, None, Some(model));
+                            let ms = measure(&mut engine, batch, inverse);
+                            if ms < adaptive_ms[slot] {
+                                adaptive_ms[slot] = ms;
+                                adaptive_active[slot] = engine
+                                    .views()
+                                    .next()
+                                    .expect("one registered view")
+                                    .1
+                                    .active_strategy();
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let cells: Vec<Cell> = cells_input
+            .iter()
+            .enumerate()
+            .map(|(slot, (fraction, batch_tuples, _, _))| Cell {
+                fraction: *fraction,
+                batch_tuples: *batch_tuples,
+                rerun_ms: rerun_ms[slot],
+                counting_ms: counting_ms[slot],
+                adaptive_ms: adaptive_ms[slot],
+                adaptive_active: adaptive_active[slot],
+            })
+            .collect();
+
+        let dcq = graph_query(id);
+        let recompute_started = Instant::now();
+        let mut recompute_runs = 0u32;
+        while recompute_runs < 5 && recompute_started.elapsed().as_secs_f64() < 2.0 {
+            planner.execute(&dcq, db).expect("recompute");
+            recompute_runs += 1;
+        }
+        let recompute_ms = recompute_started.elapsed().as_secs_f64() * 1e3 / recompute_runs as f64;
+
+        println!(
+            "\n== {} ==  (recompute {recompute_ms:.3} ms, fitted crossover {:.4})\n\
+             {:>9} {:>8} {:>12} {:>12} {:>12} {:>10} {:>9}",
+            id.name(),
+            fitted.crossover_fraction,
+            "delta",
+            "tuples",
+            "rerun ms",
+            "counting ms",
+            "adaptive ms",
+            "active",
+            "vs best"
+        );
+        for cell in &cells {
+            let best = cell.rerun_ms.min(cell.counting_ms);
+            println!(
+                "{:>9.3} {:>8} {:>12.3} {:>12.3} {:>12.3} {:>10} {:>8.2}×",
+                cell.fraction,
+                cell.batch_tuples,
+                cell.rerun_ms,
+                cell.counting_ms,
+                cell.adaptive_ms,
+                format!("{:?}", cell.adaptive_active),
+                cell.adaptive_ms / best,
             );
         }
 
-        group.bench_function("recompute", |b| {
-            b.iter(|| planner.execute(&dcq, db).expect("recompute").len())
-        });
-        group.finish();
+        let sweep_entries: Vec<String> = cells
+            .iter()
+            .map(|cell| {
+                let best = cell.rerun_ms.min(cell.counting_ms);
+                format!(
+                    "      {{\"delta_fraction\": {}, \"batch_tuples\": {}, \
+                     \"rerun_ms\": {:.4}, \"counting_ms\": {:.4}, \"adaptive_ms\": {:.4}, \
+                     \"adaptive_active\": \"{:?}\", \"adaptive_vs_best\": {:.3}}}",
+                    cell.fraction,
+                    cell.batch_tuples,
+                    cell.rerun_ms,
+                    cell.counting_ms,
+                    cell.adaptive_ms,
+                    cell.adaptive_active,
+                    cell.adaptive_ms / best
+                )
+            })
+            .collect();
+        sections.push(format!(
+            "  \"{}\": {{\n    \"recompute_ms\": {:.4},\n    \
+             \"fitted_crossover_fraction\": {:.5},\n    \"sweep\": [\n{}\n    ]\n  }}",
+            id.name(),
+            recompute_ms,
+            fitted.crossover_fraction,
+            sweep_entries.join(",\n")
+        ));
     }
+
+    let json = format!(
+        "{{\n  \"bench\": \"micro_incremental\",\n  \
+         \"generated_by\": \"cargo bench -p dcq-bench --bench micro_incremental\",\n  \
+         \"database_tuples\": {total_tuples},\n  \"fractions\": {FRACTIONS:?},\n  \
+         \"note\": \"per-batch ms = half of one batch+inverse pair; adaptive runs under a cost model fitted from this run's fixed arms\",\n{}\n}}\n",
+        sections.join(",\n")
+    );
+    let path = output_path();
+    std::fs::write(&path, json).expect("write BENCH_micro_incremental.json");
+    println!("\nwrote {}", path.display());
 }
 
-criterion_group!(benches, bench_incremental);
-criterion_main!(benches);
+/// `BENCH_micro_incremental.json` at the workspace root, next to
+/// `BENCH_multi_view.json`.
+fn output_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("BENCH_micro_incremental.json")
+}

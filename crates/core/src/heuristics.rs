@@ -16,6 +16,7 @@
 
 use crate::baseline::{evaluate_cq, CqStrategy};
 use crate::error::DcqError;
+use crate::planner::IncrementalStrategy;
 use crate::query::Dcq;
 use crate::Result;
 use dcq_exec::{free_connex_evaluate, generic_join, reduce, ExecError};
@@ -252,6 +253,286 @@ pub fn intersection_heuristic(
     })
 }
 
+// ---------------------------------------------------------------------------
+// Adaptive maintenance: per-view batch statistics and the rerun/counting
+// cost model
+// ---------------------------------------------------------------------------
+
+/// Index of an *active* engine kind into [`BatchStats`]' per-kind arrays.
+///
+/// Only the two concrete maintenance engines have running costs;
+/// [`IncrementalStrategy::Adaptive`] is a policy over them, never an active
+/// kind.
+fn kind_slot(kind: IncrementalStrategy) -> usize {
+    match kind {
+        IncrementalStrategy::EasyRerun => 0,
+        IncrementalStrategy::Counting => 1,
+        IncrementalStrategy::Adaptive => {
+            unreachable!("Adaptive is a policy, not an active engine kind")
+        }
+    }
+}
+
+/// Per-view statistics of the update stream a maintained view observes, the
+/// input of [`MaintenanceCostModel::decide`].
+///
+/// Tracks an exponentially weighted moving average (EWMA) of the *effective*
+/// batch size relative to the store size — the quantity the rerun/counting
+/// crossover is expressed in — plus EWMA per-batch maintenance cost samples for
+/// both engine kinds, so a calibrator (or an operator reading
+/// `DcqEngine::batch_stats`) can see the measured cost of each arm the view has
+/// actually run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BatchStats {
+    /// EWMA of `|Δ_effective| / N` over applied (non-skipped) batches.
+    pub ewma_delta_fraction: f64,
+    /// Applied (non-skipped) batches observed since registration.
+    pub observed: usize,
+    /// Applied batches since the last migration (the warm-up gate of
+    /// [`MaintenanceCostModel::min_observations`]); equal to `observed` until
+    /// the first migration.
+    pub since_migration: usize,
+    /// EWMA per-batch maintenance cost in nanoseconds, indexed
+    /// `[EasyRerun, Counting]`; `0.0` until the first sample of that kind.
+    ///
+    /// Attribution caveat for pool-shared counting sides: the first sharing
+    /// view to fold a batch pays for the whole fold, later sharers get the
+    /// memoized per-epoch delta — so across views sharing a side, one EWMA
+    /// over-reads and the others under-read.  Per-view delta-fraction
+    /// tracking (what migration decisions use) is unaffected.
+    pub ewma_cost_ns: [f64; 2],
+    /// Cost samples folded per engine kind, indexed `[EasyRerun, Counting]`.
+    pub cost_samples: [usize; 2],
+}
+
+impl BatchStats {
+    /// EWMA smoothing factor: the last ~8 batches dominate, so a workload shift
+    /// is picked up quickly without flapping on one outlier batch.
+    pub const ALPHA: f64 = 0.25;
+
+    /// Fold one applied batch's effective delta fraction into the EWMA.
+    pub fn observe(&mut self, delta_fraction: f64) {
+        let f = delta_fraction.clamp(0.0, 1.0);
+        if self.observed == 0 {
+            self.ewma_delta_fraction = f;
+        } else {
+            self.ewma_delta_fraction += Self::ALPHA * (f - self.ewma_delta_fraction);
+        }
+        self.observed += 1;
+        self.since_migration += 1;
+    }
+
+    /// Record that the view migrated: the warm-up gate re-arms, so the next
+    /// migration again requires
+    /// [`min_observations`](MaintenanceCostModel::min_observations) fresh
+    /// batches (the EWMAs persist across migrations).
+    pub fn note_migration(&mut self) {
+        self.since_migration = 0;
+    }
+
+    /// Fold one per-batch maintenance cost sample for the engine kind that was
+    /// active while the batch was applied.
+    pub fn observe_cost(&mut self, active: IncrementalStrategy, nanos: f64) {
+        let slot = kind_slot(active);
+        if self.cost_samples[slot] == 0 {
+            self.ewma_cost_ns[slot] = nanos;
+        } else {
+            self.ewma_cost_ns[slot] += Self::ALPHA * (nanos - self.ewma_cost_ns[slot]);
+        }
+        self.cost_samples[slot] += 1;
+    }
+
+    /// The EWMA per-batch cost of `kind`, `None` until a sample exists.
+    pub fn cost_estimate(&self, kind: IncrementalStrategy) -> Option<f64> {
+        let slot = kind_slot(kind);
+        (self.cost_samples[slot] > 0).then(|| self.ewma_cost_ns[slot])
+    }
+}
+
+/// One point of a rerun-vs-counting calibration sweep: the measured per-batch
+/// cost of both maintenance arms at one delta fraction (arbitrary but
+/// consistent cost units — wall-clock nanoseconds in practice).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CrossoverSample {
+    /// Effective batch size relative to the store size (`|Δ| / N`).
+    pub delta_fraction: f64,
+    /// Per-batch cost of touched-side rerun maintenance at this delta size.
+    pub rerun_cost: f64,
+    /// Per-batch cost of counting maintenance at this delta size.
+    pub counting_cost: f64,
+}
+
+/// The calibratable cost model behind [`IncrementalStrategy::Adaptive`]:
+/// *where* does counting maintenance (cost ∝ `|Δ|`) stop beating touched-side
+/// rerun (cost ∝ `N + OUT`, flat in `|Δ|`)?
+///
+/// The paper's dichotomy answers structurally; this model answers dynamically,
+/// in the spirit of the update-driven cost trade-offs of Berkholz et al.: below
+/// [`crossover_fraction`](MaintenanceCostModel::crossover_fraction) trickle
+/// deltas favor counting, above it bulk deltas favor a rerun.  The default
+/// crossover is conservative; `cargo run --release --example calibrate`
+/// measures the host's actual crossover and prints a fitted model to plug into
+/// `DcqEngine::set_cost_model`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MaintenanceCostModel {
+    /// Delta fraction (`|Δ| / N`) above which a touched-side rerun is predicted
+    /// to beat counting maintenance.
+    pub crossover_fraction: f64,
+    /// Relative hysteresis band around the crossover: migration to rerun
+    /// requires the EWMA fraction to exceed `crossover · (1 + hysteresis)`,
+    /// migration back requires it to drop below `crossover · (1 − hysteresis)`,
+    /// so a workload sitting exactly on the crossover never flaps.
+    pub hysteresis: f64,
+    /// Applied batches a view must observe before its first migration (and
+    /// after every migration), so one unusual batch cannot trigger a flip.
+    pub min_observations: usize,
+    /// The delta fraction an adaptive view is assumed to see **before** its
+    /// first batch: its initial engine kind is
+    /// [`preferred`](MaintenanceCostModel::preferred)`(initial_delta_fraction)`.
+    /// Incremental-maintenance services overwhelmingly serve trickle updates,
+    /// so the default prior (1%) starts adaptive views on counting; a view
+    /// whose observed stream disagrees migrates once the EWMA crosses the
+    /// band.  Starting on the likely-right kind matters beyond the first few
+    /// batches: long-lived maintenance state built *mid-stream* (after another
+    /// engine's evaluations churned the allocator) probes measurably slower
+    /// than state built at registration, so avoidable early migrations are
+    /// worth avoiding.
+    pub initial_delta_fraction: f64,
+}
+
+impl Default for MaintenanceCostModel {
+    /// The conservative host-independent default: crossover at 8% delta, ±25%
+    /// hysteresis, 3 observed batches before any flip, and a 1% trickle-update
+    /// prior for the initial engine kind.
+    ///
+    /// Hosts measured so far fit much *higher* crossovers (~20% for the hard
+    /// `Q_G5` shape, beyond the swept 30% for easy `Q_G3` —
+    /// `BENCH_micro_incremental.json`); the shipped default is deliberately
+    /// low so an **uncalibrated** engine only leaves counting under clearly
+    /// bulk workloads, where rerun's flat cost is safe on any host.  Run
+    /// `cargo run --release --example calibrate` for a tight host-fitted
+    /// crossover.
+    fn default() -> Self {
+        MaintenanceCostModel {
+            crossover_fraction: 0.08,
+            hysteresis: 0.25,
+            min_observations: 3,
+            initial_delta_fraction: 0.01,
+        }
+    }
+}
+
+impl MaintenanceCostModel {
+    /// A model with an explicitly calibrated crossover and default
+    /// hysteresis/warm-up.
+    pub fn with_crossover(crossover_fraction: f64) -> Self {
+        MaintenanceCostModel {
+            crossover_fraction: crossover_fraction.max(f64::MIN_POSITIVE),
+            ..MaintenanceCostModel::default()
+        }
+    }
+
+    /// The engine kind this model predicts to be cheaper at a given delta
+    /// fraction, hysteresis aside.
+    pub fn preferred(&self, delta_fraction: f64) -> IncrementalStrategy {
+        if delta_fraction > self.crossover_fraction {
+            IncrementalStrategy::EasyRerun
+        } else {
+            IncrementalStrategy::Counting
+        }
+    }
+
+    /// The engine kind an adaptive view starts on: the preferred kind at the
+    /// model's workload prior
+    /// ([`initial_delta_fraction`](MaintenanceCostModel::initial_delta_fraction)).
+    pub fn initial_kind(&self) -> IncrementalStrategy {
+        self.preferred(self.initial_delta_fraction)
+    }
+
+    /// The migration decision for a view currently running `active`: `Some`
+    /// target kind when the observed EWMA delta fraction has crossed the
+    /// hysteresis band and enough batches have been seen, `None` to stay put.
+    pub fn decide(
+        &self,
+        active: IncrementalStrategy,
+        stats: &BatchStats,
+    ) -> Option<IncrementalStrategy> {
+        if stats.since_migration < self.min_observations {
+            return None;
+        }
+        let f = stats.ewma_delta_fraction;
+        match active {
+            IncrementalStrategy::Counting
+                if f > self.crossover_fraction * (1.0 + self.hysteresis) =>
+            {
+                Some(IncrementalStrategy::EasyRerun)
+            }
+            IncrementalStrategy::EasyRerun
+                if f < self.crossover_fraction * (1.0 - self.hysteresis) =>
+            {
+                Some(IncrementalStrategy::Counting)
+            }
+            _ => None,
+        }
+    }
+
+    /// Fit the crossover from a measured sweep (the `calibrate` example's job):
+    /// find the adjacent pair of samples where the cheaper arm flips from
+    /// counting to rerun and log-interpolate the crossing point of the cost
+    /// ratio between them.
+    ///
+    /// Degenerate sweeps still calibrate: if counting wins everywhere the
+    /// crossover is placed just above the largest swept fraction, if rerun wins
+    /// everywhere just below the smallest, so the resulting policy is "always
+    /// counting" / "always rerun" over the measured range.  Returns `None` only
+    /// for an empty or non-positive sweep.
+    pub fn from_crossover_samples(samples: &[CrossoverSample]) -> Option<Self> {
+        let mut sweep: Vec<CrossoverSample> = samples
+            .iter()
+            .copied()
+            .filter(|s| {
+                s.delta_fraction > 0.0
+                    && s.rerun_cost.is_finite()
+                    && s.counting_cost.is_finite()
+                    && s.rerun_cost > 0.0
+                    && s.counting_cost > 0.0
+            })
+            .collect();
+        if sweep.is_empty() {
+            return None;
+        }
+        sweep.sort_by(|a, b| a.delta_fraction.total_cmp(&b.delta_fraction));
+        // log(counting / rerun): negative where counting wins, positive where
+        // rerun wins; the crossover is its zero crossing.
+        let ratio = |s: &CrossoverSample| (s.counting_cost / s.rerun_cost).ln();
+        let crossing = sweep.windows(2).find(|w| {
+            let (lo, hi) = (ratio(&w[0]), ratio(&w[1]));
+            lo <= 0.0 && hi > 0.0
+        });
+        let crossover = match crossing {
+            Some(w) => {
+                let (lo, hi) = (ratio(&w[0]), ratio(&w[1]));
+                let t = if (hi - lo).abs() < f64::EPSILON {
+                    0.5
+                } else {
+                    -lo / (hi - lo)
+                };
+                let (f_lo, f_hi) = (w[0].delta_fraction.ln(), w[1].delta_fraction.ln());
+                (f_lo + t * (f_hi - f_lo)).exp()
+            }
+            None if ratio(&sweep[0]) > 0.0 => {
+                // Rerun already wins at the smallest swept fraction.
+                sweep[0].delta_fraction * 0.5
+            }
+            None => {
+                // Counting still wins at the largest swept fraction.
+                sweep[sweep.len() - 1].delta_fraction * 2.0
+            }
+        };
+        Some(MaintenanceCostModel::with_crossover(crossover))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,6 +643,146 @@ mod tests {
         check_both_heuristics(
             "Q(a, c) :- Graph(a, b), Graph(b, c), Node(c) EXCEPT Graph(a, d), Graph(d, c)",
         );
+    }
+
+    #[test]
+    fn batch_stats_track_ewma_and_per_kind_costs() {
+        let mut stats = BatchStats::default();
+        assert_eq!(stats.cost_estimate(IncrementalStrategy::Counting), None);
+        stats.observe(0.2);
+        assert_eq!(
+            stats.ewma_delta_fraction, 0.2,
+            "first sample seeds the EWMA"
+        );
+        stats.observe(0.0);
+        assert!(stats.ewma_delta_fraction < 0.2 && stats.ewma_delta_fraction > 0.0);
+        assert_eq!(stats.observed, 2);
+        stats.observe(5.0); // clamped
+        assert!(stats.ewma_delta_fraction <= 1.0);
+
+        stats.observe_cost(IncrementalStrategy::Counting, 1000.0);
+        stats.observe_cost(IncrementalStrategy::Counting, 2000.0);
+        stats.observe_cost(IncrementalStrategy::EasyRerun, 500.0);
+        let counting = stats.cost_estimate(IncrementalStrategy::Counting).unwrap();
+        assert!(counting > 1000.0 && counting < 2000.0);
+        assert_eq!(
+            stats.cost_estimate(IncrementalStrategy::EasyRerun),
+            Some(500.0)
+        );
+        assert_eq!(stats.cost_samples, [1, 2]);
+    }
+
+    #[test]
+    fn cost_model_decisions_respect_hysteresis_and_warmup() {
+        let model = MaintenanceCostModel::default();
+        assert_eq!(
+            model.preferred(0.01),
+            IncrementalStrategy::Counting,
+            "trickle deltas prefer counting"
+        );
+        assert_eq!(
+            model.preferred(0.3),
+            IncrementalStrategy::EasyRerun,
+            "bulk deltas prefer rerun"
+        );
+        assert_eq!(
+            model.initial_kind(),
+            IncrementalStrategy::Counting,
+            "the default trickle prior starts adaptive views on counting"
+        );
+        assert_eq!(
+            MaintenanceCostModel {
+                initial_delta_fraction: 0.5,
+                ..model
+            }
+            .initial_kind(),
+            IncrementalStrategy::EasyRerun
+        );
+
+        // Too few observations: no migration regardless of the fraction.
+        let mut stats = BatchStats::default();
+        stats.observe(0.5);
+        assert_eq!(model.decide(IncrementalStrategy::Counting, &stats), None);
+        stats.observe(0.5);
+        stats.observe(0.5);
+        assert_eq!(
+            model.decide(IncrementalStrategy::Counting, &stats),
+            Some(IncrementalStrategy::EasyRerun)
+        );
+        // Already on the preferred side: stay put.
+        assert_eq!(model.decide(IncrementalStrategy::EasyRerun, &stats), None);
+        // A migration re-arms the warm-up gate.
+        stats.note_migration();
+        assert_eq!(model.decide(IncrementalStrategy::Counting, &stats), None);
+        for _ in 0..model.min_observations {
+            stats.observe(0.5);
+        }
+        assert_eq!(
+            model.decide(IncrementalStrategy::Counting, &stats),
+            Some(IncrementalStrategy::EasyRerun)
+        );
+
+        // Inside the hysteresis band nothing migrates in either direction.
+        let mut band = BatchStats::default();
+        for _ in 0..8 {
+            band.observe(model.crossover_fraction);
+        }
+        assert_eq!(model.decide(IncrementalStrategy::Counting, &band), None);
+        assert_eq!(model.decide(IncrementalStrategy::EasyRerun, &band), None);
+
+        // Well below the band: a rerun view migrates back to counting.
+        let mut tiny = BatchStats::default();
+        for _ in 0..8 {
+            tiny.observe(0.001);
+        }
+        assert_eq!(
+            model.decide(IncrementalStrategy::EasyRerun, &tiny),
+            Some(IncrementalStrategy::Counting)
+        );
+    }
+
+    #[test]
+    fn crossover_fits_from_sweep_samples() {
+        // Counting cost grows linearly with the delta, rerun is flat: the
+        // synthetic crossover sits at 0.1.
+        let sweep: Vec<CrossoverSample> = [0.001, 0.01, 0.05, 0.2, 0.4]
+            .iter()
+            .map(|&f| CrossoverSample {
+                delta_fraction: f,
+                rerun_cost: 100.0,
+                counting_cost: 1000.0 * f,
+            })
+            .collect();
+        let model = MaintenanceCostModel::from_crossover_samples(&sweep).unwrap();
+        assert!(
+            (model.crossover_fraction - 0.1).abs() < 0.02,
+            "fitted crossover {} should sit near the synthetic 0.1",
+            model.crossover_fraction
+        );
+
+        // Counting wins everywhere → crossover above the sweep.
+        let counting_always: Vec<CrossoverSample> = sweep
+            .iter()
+            .map(|s| CrossoverSample {
+                counting_cost: s.rerun_cost * 0.1,
+                ..*s
+            })
+            .collect();
+        let model = MaintenanceCostModel::from_crossover_samples(&counting_always).unwrap();
+        assert!(model.crossover_fraction > 0.4);
+
+        // Rerun wins everywhere → crossover below the sweep.
+        let rerun_always: Vec<CrossoverSample> = sweep
+            .iter()
+            .map(|s| CrossoverSample {
+                counting_cost: s.rerun_cost * 10.0,
+                ..*s
+            })
+            .collect();
+        let model = MaintenanceCostModel::from_crossover_samples(&rerun_always).unwrap();
+        assert!(model.crossover_fraction < 0.001);
+
+        assert_eq!(MaintenanceCostModel::from_crossover_samples(&[]), None);
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub use delta_plan::{
     build_delta_plans, AtomBinding, CqDeltaPlans, DeltaStep, IndexSpec, OccurrencePlan,
 };
 pub use error::DcqError;
+pub use heuristics::{BatchStats, CrossoverSample, MaintenanceCostModel};
 pub use parse::{parse_cq, parse_dcq};
 pub use planner::{DcqPlanner, IncrementalPlan, IncrementalStrategy, Strategy};
 pub use query::{Atom, ConjunctiveQuery, Dcq};

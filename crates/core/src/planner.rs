@@ -151,6 +151,16 @@ pub enum IncrementalStrategy {
     /// per output tuple via ℤ-annotated delta joins; a tuple enters the result when
     /// its `Q₁` count rises above zero while its `Q₂` count is zero.
     Counting,
+    /// Pick per *workload*, not per structure: start on the cost model's
+    /// workload-prior kind (the dichotomy's structural choice absent a model),
+    /// track observed batch sizes
+    /// ([`BatchStats`](crate::heuristics::BatchStats)), and migrate the live view
+    /// between [`EasyRerun`](IncrementalStrategy::EasyRerun) and
+    /// [`Counting`](IncrementalStrategy::Counting) when the measured delta
+    /// fraction crosses the cost model's rerun/counting crossover
+    /// ([`MaintenanceCostModel`](crate::heuristics::MaintenanceCostModel)).  The
+    /// active engine at any instant is always one of the two concrete kinds.
+    Adaptive,
 }
 
 impl fmt::Display for IncrementalStrategy {
@@ -161,6 +171,9 @@ impl fmt::Display for IncrementalStrategy {
             }
             IncrementalStrategy::Counting => {
                 "counting maintenance (support counts updated by delta joins)"
+            }
+            IncrementalStrategy::Adaptive => {
+                "adaptive maintenance (rerun ↔ counting, migrated on observed delta size)"
             }
         };
         write!(f, "{s}")
@@ -209,6 +222,19 @@ impl DcqPlanner {
         let strategy = Self::incremental_strategy_for(&classification);
         IncrementalPlan {
             strategy,
+            classification,
+        }
+    }
+
+    /// An [`IncrementalStrategy::Adaptive`] maintenance plan: the view starts on
+    /// the engine's cost-model prior kind (falling back to the dichotomy's
+    /// structural choice, recoverable from the classification via
+    /// [`DcqPlanner::incremental_strategy_for`]) and is migrated online as the
+    /// observed batch sizes cross the engine's cost-model crossover.
+    pub fn plan_adaptive(&self, dcq: &Dcq) -> IncrementalPlan {
+        let classification = classify(dcq);
+        IncrementalPlan {
+            strategy: IncrementalStrategy::Adaptive,
             classification,
         }
     }
@@ -338,5 +364,30 @@ mod tests {
         assert!(format!("{}", Strategy::EasyLinear).contains("Theorem 3.1"));
         assert!(format!("{}", Strategy::Baseline).contains("Corollary 2.1"));
         assert!(format!("{}", Strategy::Intersection).contains("4.10"));
+        assert!(format!("{}", IncrementalStrategy::Adaptive).contains("adaptive"));
+    }
+
+    #[test]
+    fn adaptive_plan_keeps_the_structural_choice_recoverable() {
+        let planner = DcqPlanner::smart();
+        for (src, structural) in [
+            (
+                "Q(a, b, c) :- Triple(a, b, c) EXCEPT Graph(a, b), Graph(b, c), Graph(c, a)",
+                IncrementalStrategy::EasyRerun,
+            ),
+            (
+                "Q(a, c) :- Edge(a, c) EXCEPT Graph(a, b), Graph(b, c)",
+                IncrementalStrategy::Counting,
+            ),
+        ] {
+            let plan = planner.plan_adaptive(&parse_dcq(src).unwrap());
+            assert_eq!(plan.strategy, IncrementalStrategy::Adaptive);
+            assert_eq!(
+                DcqPlanner::incremental_strategy_for(&plan.classification),
+                structural,
+                "the adaptive view's starting engine is the dichotomy's choice"
+            );
+            assert!(plan.explain().contains("adaptive"));
+        }
     }
 }

@@ -38,10 +38,24 @@
 //! each delta-join index once per *distinct probe signature*, not once per
 //! view: distinct-but-overlapping DCQs (shared atom prefixes, α-renamed sides)
 //! probe the same refcounted registry entries.
+//!
+//! ## Adaptive maintenance
+//!
+//! The dichotomy picks a maintenance strategy *structurally*; the observed
+//! workload can disagree (counting cost scales with `|Δ|`, a rerun is flat in
+//! it).  Views registered through [`DcqEngine::register_adaptive`] are managed
+//! by a policy instead: the engine tracks every batch's effective size
+//! relative to the store ([`BatchStats`]) and, when the EWMA delta fraction
+//! crosses the [`MaintenanceCostModel`] crossover (hysteresis applied),
+//! migrates the live view to the cheaper engine kind — rebuilt from the shared
+//! store at the current epoch, old pooled sides and registry indexes released.
+//! Migration is result-invariant; `cargo run --release --example calibrate`
+//! fits the crossover to the host.
 
 #![warn(missing_docs)]
 
 use dcq_core::cache::{PlanCache, PlanCacheStats, QueryShapeKey};
+use dcq_core::heuristics::{BatchStats, MaintenanceCostModel};
 use dcq_core::planner::{IncrementalPlan, IncrementalStrategy};
 use dcq_core::{Dcq, DcqError};
 use dcq_incremental::pool::{CountingPool, CountingPoolStats};
@@ -53,6 +67,7 @@ use dcq_storage::{
     UpdateLog,
 };
 use std::fmt;
+use std::time::Instant;
 
 /// Errors surfaced by the engine facade.
 #[derive(Debug)]
@@ -212,6 +227,11 @@ pub struct EngineStats {
     pub index_count: usize,
     /// Estimated heap footprint of those indexes in bytes (point in time).
     pub index_bytes: usize,
+    /// Live view migrations onto touched-side rerun (adaptive policy or
+    /// [`DcqEngine::migrate`]).
+    pub migrations_to_rerun: usize,
+    /// Live view migrations onto counting maintenance.
+    pub migrations_to_counting: usize,
 }
 
 /// One maintained view plus the handles that share it.
@@ -221,6 +241,9 @@ struct SharedView {
     refs: usize,
     /// The sharing key ((shape, strategy)) used to find it on registration.
     key: (QueryShapeKey, IncrementalStrategy),
+    /// Batch statistics driving the adaptive policy; `Some` exactly for views
+    /// registered with [`IncrementalStrategy::Adaptive`].
+    adaptive: Option<BatchStats>,
 }
 
 /// The engine: one shared store, one plan cache, many registered views.
@@ -266,6 +289,9 @@ pub struct DcqEngine {
     /// equivalent side share one maintained `CountingCq` (folded once per
     /// batch), not just its plans and indexes.
     pool: CountingPool,
+    /// The rerun/counting crossover model the adaptive policy consults after
+    /// every batch; host-calibratable via [`DcqEngine::set_cost_model`].
+    cost_model: MaintenanceCostModel,
     log: UpdateLog,
     stats: EngineStats,
 }
@@ -292,6 +318,7 @@ impl DcqEngine {
             views: Vec::new(),
             by_key: FastHashMap::default(),
             pool: CountingPool::new(),
+            cost_model: MaintenanceCostModel::default(),
             log: UpdateLog::new(),
             stats: EngineStats::default(),
         }
@@ -362,15 +389,54 @@ impl DcqEngine {
         self.register_view(prepared.dcq.clone(), plan)
     }
 
+    /// Register a view under the **adaptive** maintenance policy: it starts on
+    /// the engine kind the cost model predicts for its workload prior
+    /// ([`MaintenanceCostModel::initial_kind`] — counting, under the default
+    /// trickle-update prior), the engine tracks the effective size of every
+    /// batch it applies ([`BatchStats`]), and when the observed EWMA delta
+    /// fraction crosses the cost model's rerun/counting crossover the engine
+    /// migrates the live view to the cheaper engine kind — rebuilt from the
+    /// shared store at the current epoch, with the old engine's pooled sides
+    /// and registry indexes released.  Results are unaffected: a migrated view
+    /// stays byte-identical to a never-migrated one
+    /// (`tests/adaptive_migration.rs`).
+    ///
+    /// Adaptive registrations of one shape share a single maintained view and a
+    /// single statistics tracker, and are distinct from fixed-strategy
+    /// registrations of the same shape.
+    pub fn register_adaptive(&mut self, dcq: Dcq) -> Result<ViewHandle> {
+        self.register_with(dcq, IncrementalStrategy::Adaptive)
+    }
+
+    /// The rerun/counting cost model the adaptive policy consults.
+    pub fn cost_model(&self) -> MaintenanceCostModel {
+        self.cost_model
+    }
+
+    /// Replace the adaptive cost model, e.g. with one fitted by
+    /// `cargo run --release --example calibrate` on this host.  Applies to
+    /// every adaptive view from the next batch on, and to the initial engine
+    /// kind of subsequent adaptive registrations — install the model before
+    /// registering views when the workload prior matters.
+    pub fn set_cost_model(&mut self, model: MaintenanceCostModel) {
+        self.cost_model = model;
+    }
+
     /// Find-or-build the shared view for `(shape, strategy)` and hand out a new
     /// handle to it.
     fn register_view(&mut self, dcq: Dcq, plan: IncrementalPlan) -> Result<ViewHandle> {
         let key = (QueryShapeKey::of(&dcq), plan.strategy);
         let view_slot = match self.by_key.get(&key) {
             // Already maintained: the existing state is current to the store
-            // epoch, so the new registrant sees exactly the right result.
+            // epoch, so the new registrant sees exactly the right result.  A
+            // manual migration may have moved a fixed-strategy view off its
+            // declared kind; a fresh registration re-asserts the contract, so
+            // migrate it back before handing out the handle.
             Some(&slot) => {
                 self.views[slot].as_mut().expect("keyed view is live").refs += 1;
+                if key.1 != IncrementalStrategy::Adaptive {
+                    self.migrate_slot(slot, key.1)?;
+                }
                 slot
             }
             None => {
@@ -382,17 +448,24 @@ impl DcqEngine {
                 // indexes those plans probe through the store's registry —
                 // built once, maintained once per batch, refcounted across
                 // every side that probes them.
-                let view = DcqView::build_shared(
+                // Adaptive views start on the cost model's workload-prior
+                // choice (counting, under the default trickle prior) rather
+                // than the structural one: building the likely-right engine in
+                // one piece at registration avoids an almost-certain early
+                // migration whose mid-stream state is slower to probe.
+                let view = DcqView::build_shared_with_initial(
                     dcq,
                     plan,
                     &mut self.store,
                     &mut self.plans,
                     &mut self.pool,
+                    self.cost_model.initial_kind(),
                 )?;
                 let shared = SharedView {
                     view,
                     refs: 1,
                     key: key.clone(),
+                    adaptive: (key.1 == IncrementalStrategy::Adaptive).then(BatchStats::default),
                 };
                 let slot = match self.views.iter().position(Option::is_none) {
                     Some(free) => {
@@ -469,7 +542,18 @@ impl DcqEngine {
     /// epoch).  Every relation the batch names must exist in the store — the
     /// engine owns the database of record, so there is no "somebody else's
     /// relation" to silently skip.
+    ///
+    /// After the fan-out, the **adaptive policy** runs: every adaptive view's
+    /// [`BatchStats`] absorbs the batch's effective delta fraction and the
+    /// measured per-batch maintenance cost of its active engine kind, and views
+    /// whose observed workload has crossed the cost model's rerun/counting
+    /// crossover (with hysteresis) are migrated in place — at the new epoch, so
+    /// the next batch finds them current.
     pub fn apply(&mut self, batch: &DeltaBatch) -> Result<ApplyReport> {
+        // The delta fraction is measured against the PRE-batch store size,
+        // matching how calibration sweeps label their samples (batch tuples
+        // relative to the store the batch is generated against).
+        let store_size = self.store.input_size().max(1);
         let applied = self.store.apply_batch(batch)?;
         self.log.record(batch.clone(), applied.effect);
         self.stats.batches_applied += 1;
@@ -478,7 +562,15 @@ impl DcqEngine {
             effect: applied.effect,
             ..ApplyReport::default()
         };
-        for shared in self.views.iter_mut().flatten() {
+        let mut pending: Vec<(usize, IncrementalStrategy)> = Vec::new();
+        for (slot, entry) in self.views.iter_mut().enumerate() {
+            let Some(shared) = entry.as_mut() else {
+                continue;
+            };
+            // Timing only matters for adaptive views, and `Instant::now` is
+            // cheap relative to any maintenance work, so sample unconditionally
+            // to keep the loop branch-free.
+            let started = Instant::now();
             let outcome: BatchOutcome = shared.view.apply(&applied, &self.store)?;
             if outcome.skipped {
                 report.views_skipped += 1;
@@ -487,8 +579,75 @@ impl DcqEngine {
             }
             report.result_added += outcome.result_added;
             report.result_removed += outcome.result_removed;
+            if let Some(stats) = shared.adaptive.as_mut() {
+                if !outcome.skipped {
+                    stats.observe(outcome.effect.total() as f64 / store_size as f64);
+                    stats.observe_cost(
+                        shared.view.active_strategy(),
+                        started.elapsed().as_nanos() as f64,
+                    );
+                    if let Some(target) =
+                        self.cost_model.decide(shared.view.active_strategy(), stats)
+                    {
+                        pending.push((slot, target));
+                    }
+                }
+            }
+        }
+        // Migrations mutate the store's registry and the side pool, so they run
+        // after the fan-out borrowed both immutably.  Each migrated view is
+        // rebuilt at `applied.epoch` — exactly the state it already reflects.
+        for (slot, target) in pending {
+            self.migrate_slot(slot, target)?;
         }
         Ok(report)
+    }
+
+    /// Migrate the view behind `handle` to the given engine kind at the current
+    /// epoch (see [`DcqView::migrate`]): the target state is rebuilt from the
+    /// shared store (pooled counting sides are shared, not reseeded, when
+    /// another view holds the same side shape), swapped in atomically, and the
+    /// old engine's pooled sides and registry index references are released.
+    ///
+    /// Returns `false` when the view already runs `target`.  Passing
+    /// [`IncrementalStrategy::Adaptive`] migrates back to the dichotomy's
+    /// structural choice.  The declared strategy — and with it the view-sharing
+    /// key — never changes; results are strategy-independent, so handles
+    /// sharing the view observe nothing but a different cost profile.
+    pub fn migrate(&mut self, handle: ViewHandle, target: IncrementalStrategy) -> Result<bool> {
+        let slot = self.resolve(handle)?;
+        self.migrate_slot(slot, target)
+    }
+
+    /// [`DcqEngine::migrate`] by shared-view slot (the policy loop's entry).
+    fn migrate_slot(&mut self, slot: usize, target: IncrementalStrategy) -> Result<bool> {
+        let shared = self.views[slot].as_mut().expect("live view slot");
+        let migrated =
+            shared
+                .view
+                .migrate(target, &mut self.store, &mut self.plans, &mut self.pool)?;
+        if migrated {
+            let active = shared.view.active_strategy();
+            if let Some(stats) = shared.adaptive.as_mut() {
+                stats.note_migration();
+            }
+            match active {
+                IncrementalStrategy::EasyRerun => self.stats.migrations_to_rerun += 1,
+                IncrementalStrategy::Counting => self.stats.migrations_to_counting += 1,
+                IncrementalStrategy::Adaptive => unreachable!("active kind is always concrete"),
+            }
+            // A migration away from counting may have dropped the last holder
+            // of a pooled side shape.
+            self.pool.prune();
+        }
+        Ok(migrated)
+    }
+
+    /// The adaptive batch statistics of the view behind `handle`: `None` for
+    /// views registered with a fixed strategy.
+    pub fn batch_stats(&self, handle: ViewHandle) -> Result<Option<BatchStats>> {
+        let slot = self.resolve(handle)?;
+        Ok(self.views[slot].as_ref().expect("live handle").adaptive)
     }
 
     /// The view behind a handle (possibly shared with other handles of the same
@@ -915,6 +1074,194 @@ mod tests {
         engine.deregister(b).unwrap();
         assert_eq!(engine.stats().index_count, 0);
         assert_eq!(engine.stats().index_bytes, 0);
+    }
+
+    #[test]
+    fn adaptive_views_migrate_both_ways_under_the_policy() {
+        let mut engine = engine();
+        // The test store is tiny, so pick thresholds in delta-fraction terms:
+        // crossover at 20% of the store, short warm-up.  Decisions depend only
+        // on observed delta fractions, never on wall-clock, so this test is
+        // deterministic.
+        engine.set_cost_model(MaintenanceCostModel {
+            crossover_fraction: 0.2,
+            hysteresis: 0.1,
+            min_observations: 2,
+            ..MaintenanceCostModel::default()
+        });
+        assert_eq!(engine.cost_model().crossover_fraction, 0.2);
+        let adaptive = engine.register_adaptive(parse_dcq(HARD).unwrap()).unwrap();
+        let view = engine.view(adaptive).unwrap();
+        assert_eq!(view.strategy(), IncrementalStrategy::Adaptive);
+        assert_eq!(
+            view.active_strategy(),
+            IncrementalStrategy::Counting,
+            "the trickle prior (and the dichotomy) start this view on counting"
+        );
+        assert!(engine.batch_stats(adaptive).unwrap().is_some());
+        // An adaptive registration of the same shape shares view AND stats; a
+        // fixed-strategy registration of the same shape does not.
+        let sharer = engine.register_adaptive(parse_dcq(HARD).unwrap()).unwrap();
+        assert_eq!(engine.distinct_view_count(), 1);
+        let fixed = engine.register_dcq(parse_dcq(HARD).unwrap()).unwrap();
+        assert_eq!(engine.distinct_view_count(), 2);
+        assert!(engine.batch_stats(fixed).unwrap().is_none());
+
+        // Bulk batches (~1/3 of the store each) push the EWMA past the
+        // crossover: after the warm-up the view flips to rerun.
+        let mut next = 100;
+        while engine.view(adaptive).unwrap().active_strategy() == IncrementalStrategy::Counting {
+            let mut batch = DeltaBatch::new();
+            for _ in 0..4 {
+                batch.insert("Graph", int_row([next, next + 1]));
+                next += 2;
+            }
+            engine.apply(&batch).unwrap();
+            assert!(next < 200, "policy never migrated to rerun");
+        }
+        assert_eq!(engine.stats().migrations_to_rerun, 1);
+        let stats = engine.batch_stats(adaptive).unwrap().unwrap();
+        assert!(stats.ewma_delta_fraction > 0.2);
+        assert!(stats.cost_estimate(IncrementalStrategy::Counting).is_some());
+
+        // Trickle batches decay the EWMA back below the band: the view returns
+        // to counting.
+        while engine.view(adaptive).unwrap().active_strategy() == IncrementalStrategy::EasyRerun {
+            let mut batch = DeltaBatch::new();
+            batch.insert("Edge", int_row([next, next]));
+            next += 1;
+            engine.apply(&batch).unwrap();
+            assert!(next < 300, "policy never migrated back to counting");
+        }
+        assert_eq!(engine.stats().migrations_to_counting, 1);
+        let stats = engine.batch_stats(adaptive).unwrap().unwrap();
+        assert!(
+            stats
+                .cost_estimate(IncrementalStrategy::EasyRerun)
+                .is_some(),
+            "the rerun leg left cost samples behind"
+        );
+
+        // Throughout and after all migrations every handle stays exact.
+        for h in [adaptive, sharer, fixed] {
+            let view = engine.view(h).unwrap();
+            let expected =
+                baseline_dcq(view.dcq(), engine.database(), CqStrategy::Vanilla).unwrap();
+            assert_eq!(
+                engine.result(h).unwrap().sorted_rows(),
+                expected.sorted_rows()
+            );
+        }
+        assert_eq!(
+            engine.view(adaptive).unwrap().stats().migrations,
+            2,
+            "one flip each way"
+        );
+
+        // Deregistration drains shared state exactly as for fixed views.
+        for h in [adaptive, sharer, fixed] {
+            engine.deregister(h).unwrap();
+        }
+        assert_eq!(engine.stats().index_count, 0);
+        assert_eq!(engine.counting_pool_stats().live, 0);
+    }
+
+    #[test]
+    fn manual_migration_is_exact_and_conserves_shared_state() {
+        let mut engine = engine();
+        let fixed = engine.register_dcq(parse_dcq(HARD).unwrap()).unwrap();
+        let baseline_indexes = engine.stats().index_count;
+        assert!(baseline_indexes > 0);
+        // A *distinct* view with the same counting sides (the adaptive twin of
+        // the shape keys separately but pools the same sides), so a manual
+        // migration of one view must not strand or free the other's state.
+        let control = engine.register_adaptive(parse_dcq(HARD).unwrap()).unwrap();
+        assert_eq!(engine.distinct_view_count(), 2);
+        assert_eq!(engine.stats().index_count, baseline_indexes);
+
+        assert!(engine
+            .migrate(fixed, IncrementalStrategy::EasyRerun)
+            .unwrap());
+        assert!(!engine
+            .migrate(fixed, IncrementalStrategy::EasyRerun)
+            .unwrap());
+        assert_eq!(
+            engine.stats().index_count,
+            baseline_indexes,
+            "control still holds every shared index"
+        );
+        assert_eq!(engine.stats().migrations_to_rerun, 1);
+
+        let mut batch = DeltaBatch::new();
+        batch.insert("Graph", int_row([5, 2]));
+        batch.delete("Edge", int_row([1, 3]));
+        engine.apply(&batch).unwrap();
+        for h in [fixed, control] {
+            let view = engine.view(h).unwrap();
+            let expected =
+                baseline_dcq(view.dcq(), engine.database(), CqStrategy::Vanilla).unwrap();
+            assert_eq!(
+                engine.result(h).unwrap().sorted_rows(),
+                expected.sorted_rows()
+            );
+        }
+
+        // Migrate back: the pooled side is *shared* again, not reseeded.
+        let hits_before = engine.counting_pool_stats().hits;
+        assert!(engine
+            .migrate(fixed, IncrementalStrategy::Counting)
+            .unwrap());
+        assert!(
+            engine.counting_pool_stats().hits > hits_before,
+            "re-migration must reuse the control's live pooled sides"
+        );
+        assert_eq!(engine.stats().index_count, baseline_indexes);
+
+        engine.deregister(fixed).unwrap();
+        engine.deregister(control).unwrap();
+        assert_eq!(engine.stats().index_count, 0);
+    }
+
+    #[test]
+    fn re_registration_re_asserts_the_declared_strategy() {
+        let mut engine = engine();
+        let fixed = engine.register_dcq(parse_dcq(HARD).unwrap()).unwrap();
+        assert!(engine
+            .migrate(fixed, IncrementalStrategy::EasyRerun)
+            .unwrap());
+        assert_eq!(
+            engine.view(fixed).unwrap().active_strategy(),
+            IncrementalStrategy::EasyRerun
+        );
+        // A fresh registration of the same (shape, Counting) key shares the
+        // manually migrated view — and migrates it back to the kind the
+        // registration demands.
+        let again = engine
+            .register_with(parse_dcq(HARD).unwrap(), IncrementalStrategy::Counting)
+            .unwrap();
+        assert_eq!(engine.distinct_view_count(), 1, "same key shares the view");
+        for h in [fixed, again] {
+            assert_eq!(
+                engine.view(h).unwrap().active_strategy(),
+                IncrementalStrategy::Counting,
+                "registration re-asserts the declared strategy"
+            );
+        }
+        let mut batch = DeltaBatch::new();
+        batch.insert("Graph", int_row([5, 2]));
+        engine.apply(&batch).unwrap();
+        for h in [fixed, again] {
+            let view = engine.view(h).unwrap();
+            let expected =
+                baseline_dcq(view.dcq(), engine.database(), CqStrategy::Vanilla).unwrap();
+            assert_eq!(
+                engine.result(h).unwrap().sorted_rows(),
+                expected.sorted_rows()
+            );
+        }
+        engine.deregister(fixed).unwrap();
+        engine.deregister(again).unwrap();
+        assert_eq!(engine.stats().index_count, 0);
     }
 
     #[test]

@@ -87,6 +87,11 @@ pub struct CountingCq {
     epoch: Epoch,
     /// The head delta produced at `epoch` (served to sharing views).
     last_delta: AnnotatedRelation<i64>,
+    /// Per-step deletion-key indexes built across the engine's lifetime.  These
+    /// are the compensated-probe setup cost of a batch: they must be **zero**
+    /// for insert-only traffic (the index is built lazily, only when the step's
+    /// compensation actually restores deleted rows).
+    deletion_index_builds: u64,
 }
 
 impl CountingCq {
@@ -147,6 +152,7 @@ impl CountingCq {
             counts,
             epoch: store.epoch(),
             last_delta,
+            deletion_index_builds: 0,
         };
 
         // Seed: fold the full current contents as one batch of inserts.  The
@@ -217,6 +223,14 @@ impl CountingCq {
     /// The store epoch the counts reflect.
     pub fn epoch(&self) -> Epoch {
         self.epoch
+    }
+
+    /// Per-step deletion-key indexes built since this engine was seeded — the
+    /// compensated-probe setup work.  Stays at `0` across insert-only batches
+    /// (including the seed fold): the index is only built when a step's probed
+    /// relation actually had rows deleted in the pending batch.
+    pub fn deletion_index_builds(&self) -> u64 {
+        self.deletion_index_builds
     }
 
     /// Fold one applied batch into the support counts and return the induced
@@ -302,19 +316,25 @@ impl CountingCq {
                     // Pre-index the compensation's deleted rows by this step's
                     // probe key (one `O(|Δ−|)` pass), so restoring them costs
                     // `O(matches)` per accumulated row instead of `O(|Δ−|)` —
-                    // without this, large deltas degrade quadratically.
-                    let minus_by_key: Option<FastHashMap<Row, Vec<&Row>>> = comp.map(|c| {
-                        let mut by_key: FastHashMap<Row, Vec<&Row>> = FastHashMap::default();
-                        for &stored in &c.minus {
-                            if admits(probed, stored) {
-                                by_key
-                                    .entry(stored.project(&spec.key_positions))
-                                    .or_default()
-                                    .push(stored);
+                    // without this, large deltas degrade quadratically.  Built
+                    // lazily: a batch that deletes nothing from the probed
+                    // relation pays no setup at all, so insert-only traffic
+                    // (the common upsert stream) skips this allocation on
+                    // every step of every occurrence.
+                    let minus_by_key: Option<FastHashMap<Row, Vec<&Row>>> =
+                        comp.filter(|c| !c.minus.is_empty()).map(|c| {
+                            self.deletion_index_builds += 1;
+                            let mut by_key: FastHashMap<Row, Vec<&Row>> = FastHashMap::default();
+                            for &stored in &c.minus {
+                                if admits(probed, stored) {
+                                    by_key
+                                        .entry(stored.project(&spec.key_positions))
+                                        .or_default()
+                                        .push(stored);
+                                }
                             }
-                        }
-                        by_key
-                    });
+                            by_key
+                        });
                     let mut next = Vec::with_capacity(acc.len());
                     for (row, mult) in &acc {
                         let key = row.project(&step.acc_key_positions);
@@ -491,6 +511,42 @@ mod tests {
         assert!(!engine.touches("Edge"));
         assert!(engine.touches("Graph"));
         assert_eq!(engine.query().name, "P");
+    }
+
+    #[test]
+    fn insert_only_batches_build_no_deletion_indexes() {
+        let mut store = store();
+        // Self-join: every fold step probes a relation the batch touches, the
+        // worst case for eager compensation setup.
+        let cq = parse_cq("P(x, z) :- Graph(x, y), Graph(y, z)").unwrap();
+        let mut engine = CountingCq::from_store(cq.clone(), cq.head_schema(), &mut store).unwrap();
+        assert_eq!(
+            engine.deletion_index_builds(),
+            0,
+            "the seed fold is insert-only and must build no deletion index"
+        );
+
+        let mut inserts = DeltaBatch::new();
+        inserts.insert("Graph", int_row([5, 1]));
+        inserts.insert("Graph", int_row([1, 5]));
+        let applied = store.apply_batch(&inserts).unwrap();
+        engine.apply_batch(&applied, &store);
+        assert_eq!(
+            engine.deletion_index_builds(),
+            0,
+            "insert-only batches must pay zero compensated-probe setup"
+        );
+
+        let mut deletes = DeltaBatch::new();
+        deletes.delete("Graph", int_row([1, 2]));
+        let applied = store.apply_batch(&deletes).unwrap();
+        engine.apply_batch(&applied, &store);
+        assert!(
+            engine.deletion_index_builds() > 0,
+            "deleting batches build the per-step deletion index lazily"
+        );
+        let expected = evaluate_cq(&cq, store.database(), CqStrategy::Vanilla).unwrap();
+        assert_eq!(engine.to_relation().sorted_rows(), expected.sorted_rows());
     }
 
     #[test]

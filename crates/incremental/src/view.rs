@@ -25,7 +25,7 @@ use crate::pool::{CountingPool, SharedCountingCq};
 use crate::{IncrementalError, Result};
 use dcq_core::baseline::{evaluate_cq, CqStrategy};
 use dcq_core::cache::PlanCache;
-use dcq_core::planner::{IncrementalPlan, IncrementalStrategy};
+use dcq_core::planner::{DcqPlanner, IncrementalPlan, IncrementalStrategy};
 use dcq_core::Dcq;
 use dcq_storage::hash::FastHashSet;
 use dcq_storage::{AppliedBatch, DeltaEffect, Epoch, Relation, Row, Schema, SharedDatabase};
@@ -50,6 +50,8 @@ pub struct MaintenanceStats {
     pub result_removed: usize,
     /// Side re-evaluations performed (touched-side rerun strategy only).
     pub side_recomputes: usize,
+    /// Live strategy migrations performed ([`DcqView::migrate`]).
+    pub migrations: usize,
 }
 
 /// Outcome of offering one batch to a maintained view.
@@ -103,6 +105,12 @@ pub struct DcqView {
     output: Schema,
     plan: IncrementalPlan,
     state: ViewState,
+    /// The engine kind currently running (always `EasyRerun` or `Counting`):
+    /// equal to `plan.strategy` for concrete plans; for
+    /// [`IncrementalStrategy::Adaptive`] plans initially the caller's prior
+    /// kind (falling back to the dichotomy's structural choice), then whatever
+    /// [`DcqView::migrate`] last switched to.
+    active: IncrementalStrategy,
     /// Referenced stored relations, sorted and deduplicated.
     referenced: Vec<String>,
     result: FastHashSet<Row>,
@@ -119,7 +127,7 @@ impl DcqView {
     /// should use [`DcqView::build_shared`] so α-equivalent sides share plans,
     /// indexes *and* maintenance work.
     pub fn build(dcq: Dcq, plan: IncrementalPlan, store: &mut SharedDatabase) -> Result<Self> {
-        DcqView::build_inner(dcq, plan, store, None)
+        DcqView::build_inner(dcq, plan, store, None, None)
     }
 
     /// [`DcqView::build`] with counting sides resolved through the engine's
@@ -135,7 +143,24 @@ impl DcqView {
         cache: &mut PlanCache,
         pool: &mut CountingPool,
     ) -> Result<Self> {
-        DcqView::build_inner(dcq, plan, store, Some((cache, pool)))
+        DcqView::build_inner(dcq, plan, store, Some((cache, pool)), None)
+    }
+
+    /// [`DcqView::build_shared`] with an explicit initial engine kind for
+    /// [`IncrementalStrategy::Adaptive`] plans (the engine passes its cost
+    /// model's workload-prior choice); ignored for concrete plans.  Building
+    /// directly on the right kind beats starting structurally and migrating a
+    /// few batches in — long-lived maintenance state built mid-stream probes
+    /// measurably slower than state built in one piece at registration.
+    pub fn build_shared_with_initial(
+        dcq: Dcq,
+        plan: IncrementalPlan,
+        store: &mut SharedDatabase,
+        cache: &mut PlanCache,
+        pool: &mut CountingPool,
+        initial: IncrementalStrategy,
+    ) -> Result<Self> {
+        DcqView::build_inner(dcq, plan, store, Some((cache, pool)), Some(initial))
     }
 
     fn build_inner(
@@ -143,6 +168,7 @@ impl DcqView {
         plan: IncrementalPlan,
         store: &mut SharedDatabase,
         shared: Option<(&mut PlanCache, &mut CountingPool)>,
+        initial: Option<IncrementalStrategy>,
     ) -> Result<Self> {
         dcq.validate(store.database())
             .map_err(IncrementalError::Core)?;
@@ -158,7 +184,46 @@ impl DcqView {
         referenced.sort();
         referenced.dedup();
 
-        let state = match plan.strategy {
+        // An adaptive plan starts on the caller's initial kind (the engine's
+        // cost-model prior) or, absent one, the dichotomy's structural choice;
+        // the engine's policy loop migrates the view as batch statistics
+        // accrue.
+        let active = match plan.strategy {
+            IncrementalStrategy::Adaptive => match initial {
+                Some(IncrementalStrategy::Adaptive) | None => {
+                    DcqPlanner::incremental_strategy_for(&plan.classification)
+                }
+                Some(concrete) => concrete,
+            },
+            concrete => concrete,
+        };
+        let state = DcqView::build_state(&dcq, &output, active, store, shared)?;
+
+        let mut view = DcqView {
+            dcq,
+            output,
+            plan,
+            state,
+            active,
+            referenced,
+            result: FastHashSet::default(),
+            stats: MaintenanceStats::default(),
+            epoch: store.epoch(),
+        };
+        view.result = view.compute_result_set()?;
+        Ok(view)
+    }
+
+    /// Build the maintenance machinery of one concrete engine kind from the
+    /// store's current contents (registration and migration both land here).
+    fn build_state(
+        dcq: &Dcq,
+        output: &Schema,
+        active: IncrementalStrategy,
+        store: &mut SharedDatabase,
+        shared: Option<(&mut PlanCache, &mut CountingPool)>,
+    ) -> Result<ViewState> {
+        match active {
             IncrementalStrategy::Counting => {
                 let (q1, q2) = match shared {
                     Some((cache, pool)) => {
@@ -189,7 +254,7 @@ impl DcqView {
                         (Rc::new(RefCell::new(q1)), Rc::new(RefCell::new(q2)))
                     }
                 };
-                ViewState::Counting { q1, q2 }
+                Ok(ViewState::Counting { q1, q2 })
             }
             IncrementalStrategy::EasyRerun => {
                 let cq_strategy = CqStrategy::Smart;
@@ -197,28 +262,18 @@ impl DcqView {
                     .map_err(IncrementalError::Core)?;
                 let q2_out = evaluate_cq(&dcq.q2, store.database(), cq_strategy)
                     .map_err(IncrementalError::Core)?;
-                ViewState::EasyRerun(Box::new(EasyRerunState {
+                Ok(ViewState::EasyRerun(Box::new(EasyRerunState {
                     q1_out,
                     q2_out,
                     q1_relations: dcq.q1.atoms.iter().map(|a| a.relation.clone()).collect(),
                     q2_relations: dcq.q2.atoms.iter().map(|a| a.relation.clone()).collect(),
                     cq_strategy,
-                }))
+                })))
             }
-        };
-
-        let mut view = DcqView {
-            dcq,
-            output,
-            plan,
-            state,
-            referenced,
-            result: FastHashSet::default(),
-            stats: MaintenanceStats::default(),
-            epoch: store.epoch(),
-        };
-        view.result = view.compute_result_set()?;
-        Ok(view)
+            IncrementalStrategy::Adaptive => {
+                unreachable!("callers resolve Adaptive to a concrete kind first")
+            }
+        }
     }
 
     /// Derive the full result set from the engine state (registration path).
@@ -362,7 +417,13 @@ impl DcqView {
     /// are released only when this view is its **last** holder — both the side
     /// and the registry entries survive as long as any view still reads them.
     pub fn teardown(&mut self, store: &mut SharedDatabase) {
-        if let ViewState::Counting { q1, q2 } = &mut self.state {
+        DcqView::release_state(&mut self.state, store);
+    }
+
+    /// Release the shared-store resources one [`ViewState`] holds (teardown and
+    /// migration both land here).  Rerun state owns nothing shared.
+    fn release_state(state: &mut ViewState, store: &mut SharedDatabase) {
+        if let ViewState::Counting { q1, q2 } = state {
             let same = Rc::ptr_eq(q1, q2);
             // A degenerate `Q − Q` view holds its side twice; either way,
             // `release_indexes` drains, so it must run exactly once per side
@@ -377,6 +438,52 @@ impl DcqView {
         }
     }
 
+    /// Switch the view's live maintenance machinery to `target` at the current
+    /// store epoch: build the target engine's state from the shared store
+    /// (counting sides resolved through the pool, so an α-equivalent side
+    /// already maintained by another view is *shared*, not rebuilt), atomically
+    /// swap it in, and release the old engine's pooled sides and registry index
+    /// references (each freed only when this view was its last holder).
+    ///
+    /// Returns `false` when `target` is already active (no work done).
+    /// `IncrementalStrategy::Adaptive` as a target means "the dichotomy's
+    /// structural choice".  Migration never changes the result: the rebuilt
+    /// state derives the identical membership set from the same store epoch
+    /// (asserted in debug builds, and what `tests/adaptive_migration.rs` pins
+    /// down release-mode too).
+    pub fn migrate(
+        &mut self,
+        target: IncrementalStrategy,
+        store: &mut SharedDatabase,
+        cache: &mut PlanCache,
+        pool: &mut CountingPool,
+    ) -> Result<bool> {
+        let target = match target {
+            IncrementalStrategy::Adaptive => {
+                DcqPlanner::incremental_strategy_for(&self.plan.classification)
+            }
+            concrete => concrete,
+        };
+        if target == self.active {
+            return Ok(false);
+        }
+        // Build first, release after: a failed build leaves the view untouched.
+        let fresh =
+            DcqView::build_state(&self.dcq, &self.output, target, store, Some((cache, pool)))?;
+        let mut old = std::mem::replace(&mut self.state, fresh);
+        DcqView::release_state(&mut old, store);
+        drop(old);
+        self.active = target;
+        self.stats.migrations += 1;
+        let rebuilt = self.compute_result_set()?;
+        debug_assert_eq!(
+            rebuilt, self.result,
+            "migration must preserve the result set exactly"
+        );
+        self.result = rebuilt;
+        Ok(true)
+    }
+
     /// The maintained DCQ.
     pub fn dcq(&self) -> &Dcq {
         &self.dcq
@@ -387,9 +494,18 @@ impl DcqView {
         &self.plan
     }
 
-    /// The active maintenance strategy.
+    /// The *declared* maintenance strategy of the plan this view was registered
+    /// with (`Adaptive` for policy-managed views); see
+    /// [`DcqView::active_strategy`] for the engine kind actually running.
     pub fn strategy(&self) -> IncrementalStrategy {
         self.plan.strategy
+    }
+
+    /// The concrete engine kind currently maintaining the view — always
+    /// [`IncrementalStrategy::EasyRerun`] or [`IncrementalStrategy::Counting`],
+    /// equal to [`DcqView::strategy`] for non-adaptive views.
+    pub fn active_strategy(&self) -> IncrementalStrategy {
+        self.active
     }
 
     /// Human-readable explanation of the maintenance choice.
@@ -460,7 +576,7 @@ impl fmt::Debug for DcqView {
             f,
             "DcqView[{} | {} | {} tuples | epoch {}]",
             self.dcq,
-            self.plan.strategy,
+            self.active,
             self.result.len(),
             self.epoch
         )
@@ -608,6 +724,112 @@ mod tests {
         // Tearing down a rerun view is a no-op.
         let mut easy = build(EASY, &mut store);
         easy.teardown(&mut store);
+        assert_eq!(store.index_count(), 0);
+    }
+
+    #[test]
+    fn migration_preserves_results_and_frees_shared_state() {
+        let mut store = store();
+        let mut cache = PlanCache::new();
+        let mut pool = CountingPool::new();
+        let dcq = parse_dcq(HARD).unwrap();
+        let plan = DcqPlanner::smart().plan_incremental(&dcq);
+        let mut view = DcqView::build_shared(dcq, plan, &mut store, &mut cache, &mut pool).unwrap();
+        assert_eq!(view.active_strategy(), IncrementalStrategy::Counting);
+        assert!(store.index_count() > 0);
+        let before = view.result().sorted_rows();
+
+        // Counting → rerun: the sole holder's registry entries drain, the
+        // result is byte-identical.
+        assert!(view
+            .migrate(
+                IncrementalStrategy::EasyRerun,
+                &mut store,
+                &mut cache,
+                &mut pool
+            )
+            .unwrap());
+        pool.prune();
+        assert_eq!(view.active_strategy(), IncrementalStrategy::EasyRerun);
+        assert_eq!(
+            view.strategy(),
+            IncrementalStrategy::Counting,
+            "the declared strategy is unchanged by migration"
+        );
+        assert_eq!(store.index_count(), 0, "old counting state fully released");
+        assert_eq!(view.result().sorted_rows(), before);
+        // Migrating to the active kind is a no-op.
+        assert!(!view
+            .migrate(
+                IncrementalStrategy::EasyRerun,
+                &mut store,
+                &mut cache,
+                &mut pool
+            )
+            .unwrap());
+
+        // Maintain under rerun, then migrate back mid-stream and keep going:
+        // both transitions must stay exact against recomputation.
+        let mut batch = DeltaBatch::new();
+        batch.insert("Graph", int_row([5, 2]));
+        batch.delete("Edge", int_row([1, 3]));
+        let applied = store.apply_batch(&batch).unwrap();
+        view.apply(&applied, &store).unwrap();
+        assert!(view
+            .migrate(
+                IncrementalStrategy::Counting,
+                &mut store,
+                &mut cache,
+                &mut pool
+            )
+            .unwrap());
+        assert!(
+            store.index_count() > 0,
+            "counting state re-acquired indexes"
+        );
+        let mut batch = DeltaBatch::new();
+        batch.insert("Edge", int_row([9, 9]));
+        batch.delete("Graph", int_row([2, 3]));
+        let applied = store.apply_batch(&batch).unwrap();
+        view.apply(&applied, &store).unwrap();
+        let expected = baseline_dcq(view.dcq(), store.database(), CqStrategy::Vanilla).unwrap();
+        assert_eq!(view.result().sorted_rows(), expected.sorted_rows());
+        assert_eq!(view.stats().migrations, 2);
+        assert_eq!(view.epoch(), 2);
+
+        view.teardown(&mut store);
+        pool.prune();
+        assert_eq!(store.index_count(), 0);
+    }
+
+    #[test]
+    fn adaptive_plans_start_on_the_structural_choice() {
+        let mut store = store();
+        let mut cache = PlanCache::new();
+        let mut pool = CountingPool::new();
+        for (src, structural) in [
+            (EASY, IncrementalStrategy::EasyRerun),
+            (HARD, IncrementalStrategy::Counting),
+        ] {
+            let dcq = parse_dcq(src).unwrap();
+            let plan = DcqPlanner::smart().plan_adaptive(&dcq);
+            let mut view =
+                DcqView::build_shared(dcq, plan, &mut store, &mut cache, &mut pool).unwrap();
+            assert_eq!(view.strategy(), IncrementalStrategy::Adaptive);
+            assert_eq!(view.active_strategy(), structural);
+            // Migrating "to Adaptive" re-targets the structural choice: a no-op
+            // here since nothing has migrated away yet.
+            assert!(!view
+                .migrate(
+                    IncrementalStrategy::Adaptive,
+                    &mut store,
+                    &mut cache,
+                    &mut pool
+                )
+                .unwrap());
+            view.teardown(&mut store);
+            pool.prune();
+        }
         assert_eq!(store.index_count(), 0);
     }
 

@@ -88,6 +88,20 @@ impl DeltaBatch {
     pub fn iter(&self) -> impl Iterator<Item = (&str, &[(Row, i64)])> {
         self.ops.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
     }
+
+    /// The sign-flipped batch: every insert becomes a delete of the same row
+    /// and vice versa.  Applied right after `self`, it restores the previous
+    /// set-semantics state exactly (benchmarks and tests use this to measure
+    /// repeated full-sized batch applications without drifting the store).
+    pub fn inverse(&self) -> DeltaBatch {
+        let mut inverse = DeltaBatch::new();
+        for (relation, ops) in self.iter() {
+            for (row, sign) in ops {
+                inverse.push(relation, row.clone(), -sign);
+            }
+        }
+        inverse
+    }
 }
 
 impl fmt::Display for DeltaBatch {
@@ -392,6 +406,28 @@ mod tests {
         assert_eq!(b.ops("Missing"), &[]);
         let text = format!("{b}");
         assert!(text.contains("Graph: +1"));
+    }
+
+    #[test]
+    fn inverse_flips_signs_and_round_trips() {
+        let mut b = DeltaBatch::new();
+        b.insert("Graph", int_row([7, 8]));
+        b.delete("Graph", int_row([1, 2]));
+        b.insert("Edge", int_row([1, 1]));
+        let inv = b.inverse();
+        assert_eq!(inv.len(), b.len());
+        assert_eq!(
+            inv.ops("Graph"),
+            &[(int_row([7, 8]), -1), (int_row([1, 2]), 1)]
+        );
+        assert_eq!(inv.ops("Edge"), &[(int_row([1, 1]), -1)]);
+        // Applying batch then inverse restores the relation exactly.
+        let mut g = graph();
+        let before = g.sorted_rows();
+        g.apply_delta(b.ops("Graph")).unwrap();
+        assert_ne!(g.sorted_rows(), before);
+        g.apply_delta(inv.ops("Graph")).unwrap();
+        assert_eq!(g.sorted_rows(), before);
     }
 
     #[test]

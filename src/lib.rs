@@ -29,7 +29,8 @@ pub use dcq_incremental;
 pub use dcq_storage;
 
 pub use dcq_core::{
-    classify, parse_cq, parse_dcq, Atom, ConjunctiveQuery, Dcq, DcqPlanner, PlanCache,
+    classify, parse_cq, parse_dcq, Atom, BatchStats, ConjunctiveQuery, CrossoverSample, Dcq,
+    DcqPlanner, MaintenanceCostModel, PlanCache,
 };
 pub use dcq_engine::{ApplyReport, DcqEngine, PreparedDcq, ViewHandle};
 pub use dcq_incremental::DcqView;
