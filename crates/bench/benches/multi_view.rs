@@ -29,7 +29,10 @@
 //! Results are printed and written to `BENCH_multi_view.json` at the workspace
 //! root so the perf trajectory accumulates across PRs; the
 //! `distinct_views_shared_indexes` section additionally pins the 8-distinct-view
-//! case against the recorded PR 2 engine numbers (view-owned indexes).
+//! case against the recorded PR 2 engine numbers (view-owned indexes), and the
+//! `distinct_views_parallel` section sweeps the engine's fan-out width over the
+//! same 8-distinct-view workload (speedup bounded by — and annotated with —
+//! the host's available parallelism).
 
 use dcq_core::parse::parse_dcq;
 use dcq_core::Dcq;
@@ -43,6 +46,8 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 const VIEW_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Fan-out widths of the `distinct_views_parallel` sweep.
+const WORKER_WIDTHS: [usize; 4] = [1, 2, 4, 8];
 /// Net (effective) operations per batch.
 const EFFECTIVE_TUPLES: usize = 64;
 /// Redundant operations per effective one (upsert-heavy stream).
@@ -138,7 +143,7 @@ fn main() {
                 let views = queries(scenario, n);
                 keep_min(
                     &mut engine_runs[slot],
-                    run_engine(&data.db, &batches, &views),
+                    run_engine(&data.db, &batches, &views, 1),
                 );
                 keep_min(
                     &mut independent_runs[slot],
@@ -239,6 +244,57 @@ fn main() {
         e8.store_bytes as f64 / e1.store_bytes as f64
     ));
 
+    // Parallel fan-out sweep: the 8-distinct-views scenario at worker widths
+    // 1/2/4/8.  Achievable speedup is bounded by the host's available
+    // parallelism (recorded in the JSON so readers can tell a scaling result
+    // from a single-core overhead check): with one hardware thread the series
+    // documents that the worker pool is overhead-neutral, not a speedup.
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let views8 = queries("distinct", 8);
+    let mut parallel_runs: Vec<Option<Measurement>> = vec![None; WORKER_WIDTHS.len()];
+    for _rep in 0..REPETITIONS {
+        for (slot, &workers) in WORKER_WIDTHS.iter().enumerate() {
+            keep_min(
+                &mut parallel_runs[slot],
+                run_engine(&data.db, &batches, &views8, workers),
+            );
+        }
+    }
+    let parallel_runs: Vec<Measurement> = parallel_runs.into_iter().flatten().collect();
+    let base_ms = parallel_runs[0].total_ms_per_batch;
+    println!(
+        "\n== distinct_views_parallel (8 views, host parallelism {host_parallelism}) ==\n\
+         {:<10} {:>16} {:>18}",
+        "workers", "total ms/batch", "speedup vs 1 wkr"
+    );
+    for (workers, m) in WORKER_WIDTHS.iter().zip(&parallel_runs) {
+        println!(
+            "{workers:<10} {:>16.3} {:>18.2}",
+            m.total_ms_per_batch,
+            base_ms / m.total_ms_per_batch
+        );
+    }
+    let parallel_entries: Vec<String> = WORKER_WIDTHS
+        .iter()
+        .zip(&parallel_runs)
+        .map(|(workers, m)| {
+            format!(
+                "      {{\"workers\": {workers}, \"total_ms_per_batch\": {:.4}, \
+                 \"speedup_vs_1_worker\": {:.3}}}",
+                m.total_ms_per_batch,
+                base_ms / m.total_ms_per_batch
+            )
+        })
+        .collect();
+    sections.push(format!(
+        "  \"distinct_views_parallel\": {{\n    \"host_available_parallelism\": {host_parallelism},\n    \
+         \"note\": \"speedup is bounded by host parallelism; at 1 the sweep checks pool overhead only\",\n    \
+         \"runs\": [\n{}\n    ]\n  }}",
+        parallel_entries.join(",\n")
+    ));
+
     let json = format!(
         "{{\n  \"bench\": \"multi_view\",\n  \"generated_by\": \"cargo bench -p dcq-bench --bench multi_view\",\n  \
          \"database_tuples\": {},\n  \"effective_tuples_per_batch\": {EFFECTIVE_TUPLES},\n  \
@@ -280,9 +336,11 @@ fn with_redundancy(batches: Vec<DeltaBatch>, db: &Database) -> Vec<DeltaBatch> {
 }
 
 /// One engine, one handle per query, one `apply` per batch: shared store,
-/// shared normalization, shared index registry.
-fn run_engine(db: &Database, batches: &[DeltaBatch], views: &[Dcq]) -> Measurement {
+/// shared normalization, shared index registry.  `workers` is the per-view
+/// fan-out width (`1` = the sequential path every earlier PR recorded).
+fn run_engine(db: &Database, batches: &[DeltaBatch], views: &[Dcq], workers: usize) -> Measurement {
     let mut engine = DcqEngine::with_database(db.clone());
+    engine.set_workers(workers);
     for dcq in views {
         engine
             .register_with(dcq.clone(), IncrementalStrategy::Counting)

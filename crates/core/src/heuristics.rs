@@ -258,6 +258,69 @@ pub fn intersection_heuristic(
 // cost model
 // ---------------------------------------------------------------------------
 
+/// The clock a maintenance cost sample was taken on.
+///
+/// Under a sequential fan-out the two clocks agree, but once per-view
+/// maintenance runs on a worker pool, wall time charges a view for everything
+/// its core did while the view waited — other views sharing the worker, lock
+/// waits on pooled counting sides, scheduler preemption.  Feeding wall time
+/// into the EWMA would make each view's cost estimate a function of *how many
+/// other views exist*, not of its own work, and the adaptive crossover
+/// decisions would drift with engine load.  Per-thread CPU time
+/// ([`thread_cpu_time_ns`]) charges exactly the cycles the view's own
+/// maintenance burned, so the samples stay comparable across worker counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CostClock {
+    /// Wall-clock duration (the only clock available off-Linux): accurate when
+    /// maintenance runs alone on a thread, inflated under contention.
+    #[default]
+    Wall,
+    /// Per-thread CPU time: immune to preemption, lock waits and co-scheduled
+    /// work, hence the clock of record under parallel fan-out.
+    ThreadCpu,
+}
+
+/// Monotonic CPU time consumed by the **calling thread**, in nanoseconds, or
+/// `None` where the platform offers no such clock.
+///
+/// This is the sampling primitive behind [`CostClock::ThreadCpu`]: two calls
+/// bracketing a unit of work measure the cycles that work burned on this
+/// thread, regardless of how often the scheduler parked it or how many sibling
+/// workers were running.  On Linux this reads `CLOCK_THREAD_CPUTIME_ID` (a
+/// vDSO call, ~20 ns — cheap enough to sample per view per batch).
+pub fn thread_cpu_time_ns() -> Option<u64> {
+    // 64-bit Linux only: the hand-declared Timespec below matches glibc/musl's
+    // `struct timespec` exactly there (two 64-bit fields).  On 32-bit Linux
+    // `time_t`/`long` are 32-bit (pre-time64 ABIs), so the same declaration
+    // would read garbage — those targets take the wall-clock fallback instead
+    // of risking a silently wrong clock.
+    #[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+    {
+        #[repr(C)]
+        struct Timespec {
+            tv_sec: i64,
+            tv_nsec: i64,
+        }
+        extern "C" {
+            fn clock_gettime(clock_id: i32, tp: *mut Timespec) -> i32;
+        }
+        const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+        let mut ts = Timespec {
+            tv_sec: 0,
+            tv_nsec: 0,
+        };
+        // SAFETY: `ts` is a valid, exclusively borrowed out-pointer whose
+        // layout matches `struct timespec` on 64-bit Linux (enforced by the
+        // cfg above), and the thread-CPU clock id is always supported there.
+        let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+        (rc == 0).then(|| ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64)
+    }
+    #[cfg(not(all(target_os = "linux", target_pointer_width = "64")))]
+    {
+        None
+    }
+}
+
 /// Index of an *active* engine kind into [`BatchStats`]' per-kind arrays.
 ///
 /// Only the two concrete maintenance engines have running costs;
@@ -303,6 +366,11 @@ pub struct BatchStats {
     pub ewma_cost_ns: [f64; 2],
     /// Cost samples folded per engine kind, indexed `[EasyRerun, Counting]`.
     pub cost_samples: [usize; 2],
+    /// The clock the cost samples were taken on.  Engines sample
+    /// [`CostClock::ThreadCpu`] wherever the platform offers it, so the EWMAs
+    /// stay comparable across sequential and parallel fan-out; mixing clocks
+    /// within one view is flagged by the last writer winning here.
+    pub cost_clock: CostClock,
 }
 
 impl BatchStats {
@@ -331,8 +399,11 @@ impl BatchStats {
     }
 
     /// Fold one per-batch maintenance cost sample for the engine kind that was
-    /// active while the batch was applied.
-    pub fn observe_cost(&mut self, active: IncrementalStrategy, nanos: f64) {
+    /// active while the batch was applied, noting which clock produced it
+    /// (per-thread CPU time under parallel fan-out, wall time as the
+    /// fallback — see [`CostClock`] for why the distinction matters).
+    pub fn observe_cost(&mut self, active: IncrementalStrategy, nanos: f64, clock: CostClock) {
+        self.cost_clock = clock;
         let slot = kind_slot(active);
         if self.cost_samples[slot] == 0 {
             self.ewma_cost_ns[slot] = nanos;
@@ -660,9 +731,10 @@ mod tests {
         stats.observe(5.0); // clamped
         assert!(stats.ewma_delta_fraction <= 1.0);
 
-        stats.observe_cost(IncrementalStrategy::Counting, 1000.0);
-        stats.observe_cost(IncrementalStrategy::Counting, 2000.0);
-        stats.observe_cost(IncrementalStrategy::EasyRerun, 500.0);
+        assert_eq!(stats.cost_clock, CostClock::Wall, "default clock");
+        stats.observe_cost(IncrementalStrategy::Counting, 1000.0, CostClock::ThreadCpu);
+        stats.observe_cost(IncrementalStrategy::Counting, 2000.0, CostClock::ThreadCpu);
+        stats.observe_cost(IncrementalStrategy::EasyRerun, 500.0, CostClock::ThreadCpu);
         let counting = stats.cost_estimate(IncrementalStrategy::Counting).unwrap();
         assert!(counting > 1000.0 && counting < 2000.0);
         assert_eq!(
@@ -670,6 +742,36 @@ mod tests {
             Some(500.0)
         );
         assert_eq!(stats.cost_samples, [1, 2]);
+        assert_eq!(stats.cost_clock, CostClock::ThreadCpu);
+    }
+
+    /// The regression gate behind the parallel fan-out's cost sampling: time a
+    /// view's maintenance spends *blocked* (on a pooled side's lock, on the
+    /// scheduler, here simulated by a sleep) must not be charged as cost, or
+    /// the adaptive EWMAs would scale with engine load instead of view work.
+    #[test]
+    fn thread_cpu_time_excludes_blocked_time() {
+        let Some(cpu_start) = thread_cpu_time_ns() else {
+            // Platform without a thread CPU clock: engines fall back to wall
+            // time (CostClock::Wall) and nothing is asserted here.
+            return;
+        };
+        let wall_start = std::time::Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        // Burn a little actual CPU so the clock provably advances.
+        let mut acc = 0u64;
+        for i in 0..200_000u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        assert_ne!(acc, 1, "keep the busy loop observable");
+        let cpu_ns = thread_cpu_time_ns().unwrap().saturating_sub(cpu_start);
+        let wall_ns = wall_start.elapsed().as_nanos() as u64;
+        assert!(wall_ns >= 60_000_000, "the sleep really blocked");
+        assert!(cpu_ns > 0, "the busy loop really burned CPU");
+        assert!(
+            cpu_ns < wall_ns / 2,
+            "blocked time leaked into the CPU clock: cpu {cpu_ns} ns vs wall {wall_ns} ns"
+        );
     }
 
     #[test]

@@ -51,11 +51,41 @@
 //! store at the current epoch, old pooled sides and registry indexes released.
 //! Migration is result-invariant; `cargo run --release --example calibrate`
 //! fits the crossover to the host.
+//!
+//! ## Parallel fan-out
+//!
+//! [`DcqEngine::apply`] is split into two phases.  The **commit phase** is
+//! exclusive and sequential: the batch is validated, normalized and applied to
+//! the store once, every shared registry index is maintained once, the epoch
+//! advances, and the update log records the batch.  The **fan-out phase** is
+//! read-only and parallel: every distinct view folds the shared
+//! [`AppliedBatch`](dcq_storage::AppliedBatch) against the now-immutable store
+//! (`&`-borrowed, so nothing can move underneath the workers), distributed
+//! over a [worker pool](DcqEngine::set_workers) of scoped threads.  Pooled
+//! counting sides are folded exactly once per epoch by whichever worker takes
+//! their lock first — the fold is a pure function of `(state, batch)`, so
+//! results, stats and counters are **bit-identical** to the sequential path
+//! (pinned by `tests/parallel_determinism.rs`).  A short sequential tail then
+//! folds per-view outcomes into the report, feeds the adaptive policy —
+//! per-view **CPU time**, not wall time, so lock waits and co-scheduled views
+//! cannot inflate a view's cost samples — and executes any policy migrations.
+//! (One attribution caveat survives from the sequential design, documented on
+//! [`BatchStats::ewma_cost_ns`]: for *pool-shared* counting sides, whichever
+//! sharing view folds a batch first pays the whole fold's CPU, and under
+//! parallel fan-out which view that is depends on scheduling.  Migration
+//! *decisions* read only the delta-fraction EWMA and stay deterministic.)
+//!
+//! Everything in the engine core is `Send`, and the store is `Sync`: the
+//! ownership refactor that enabled this (Rc→Arc, RefCell→RwLock, copy-on-write
+//! index snapshots) is exactly the shape a future async service front-end
+//! needs — `apply` on a writer task, epoch-consistent snapshot reads anywhere.
 
 #![warn(missing_docs)]
 
+mod fanout;
+
 use dcq_core::cache::{PlanCache, PlanCacheStats, QueryShapeKey};
-use dcq_core::heuristics::{BatchStats, MaintenanceCostModel};
+use dcq_core::heuristics::{thread_cpu_time_ns, BatchStats, CostClock, MaintenanceCostModel};
 use dcq_core::planner::{IncrementalPlan, IncrementalStrategy};
 use dcq_core::{Dcq, DcqError};
 use dcq_incremental::pool::{CountingPool, CountingPoolStats};
@@ -66,8 +96,37 @@ use dcq_storage::{
     Database, DeltaBatch, DeltaEffect, Epoch, Relation, RelationRef, SharedDatabase, StorageError,
     UpdateLog,
 };
+use fanout::WorkerPool;
 use std::fmt;
 use std::time::Instant;
+
+/// One cost-sample measurement around a view's per-batch maintenance.
+///
+/// Prefers the per-thread CPU clock (immune to lock waits, preemption and
+/// co-scheduled views — see [`CostClock`]) and falls back to wall time where
+/// the platform offers no thread clock.
+struct CostSample {
+    cpu_start: Option<u64>,
+    wall_start: Instant,
+}
+
+impl CostSample {
+    fn start() -> Self {
+        CostSample {
+            cpu_start: thread_cpu_time_ns(),
+            wall_start: Instant::now(),
+        }
+    }
+
+    /// The elapsed cost in nanoseconds plus the clock that measured it.  Must
+    /// be called on the same thread as [`CostSample::start`].
+    fn finish(self) -> (f64, CostClock) {
+        match (self.cpu_start, thread_cpu_time_ns()) {
+            (Some(start), Some(end)) => (end.saturating_sub(start) as f64, CostClock::ThreadCpu),
+            _ => (self.wall_start.elapsed().as_nanos() as f64, CostClock::Wall),
+        }
+    }
+}
 
 /// Errors surfaced by the engine facade.
 #[derive(Debug)]
@@ -234,6 +293,23 @@ pub struct EngineStats {
     pub migrations_to_counting: usize,
 }
 
+/// A point-in-time checkpoint produced by [`DcqEngine::compact_log`]: the
+/// database of record at `epoch`, plus how much log prefix it subsumed.
+///
+/// Replaying the engine's retained log onto `database` (via
+/// [`UpdateLog::replay_onto`] with this `epoch`) reproduces the engine's
+/// current database of record; keep the newest checkpoint durable and the
+/// bounded log tail is a full recovery story.
+#[derive(Clone, Debug)]
+pub struct LogCheckpoint {
+    /// The store epoch this checkpoint captures.
+    pub epoch: Epoch,
+    /// Batches the compaction dropped from the log (already reflected here).
+    pub compacted_batches: usize,
+    /// A deep copy of the database of record at `epoch`.
+    pub database: Database,
+}
+
 /// One maintained view plus the handles that share it.
 struct SharedView {
     view: DcqView,
@@ -292,6 +368,9 @@ pub struct DcqEngine {
     /// The rerun/counting crossover model the adaptive policy consults after
     /// every batch; host-calibratable via [`DcqEngine::set_cost_model`].
     cost_model: MaintenanceCostModel,
+    /// The per-view fan-out workers `apply` distributes over; see
+    /// [`DcqEngine::set_workers`].
+    fanout: WorkerPool,
     log: UpdateLog,
     stats: EngineStats,
 }
@@ -319,9 +398,28 @@ impl DcqEngine {
             by_key: FastHashMap::default(),
             pool: CountingPool::new(),
             cost_model: MaintenanceCostModel::default(),
+            fanout: WorkerPool::new(WorkerPool::default_workers()),
             log: UpdateLog::new(),
             stats: EngineStats::default(),
         }
+    }
+
+    /// The number of fan-out workers [`DcqEngine::apply`] distributes per-view
+    /// maintenance over (defaults to the host's available parallelism with the
+    /// `parallel` feature, `1` without it).
+    pub fn workers(&self) -> usize {
+        self.fanout.workers()
+    }
+
+    /// Set the fan-out width (clamped to at least 1; `1` forces strictly
+    /// sequential, inline application in slot order).
+    ///
+    /// Worker count never affects *what* the engine computes — results, stats
+    /// and shared-state counters are bit-identical at any width
+    /// (`tests/parallel_determinism.rs`) — only how per-view work is scheduled
+    /// within one `apply`.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.fanout = WorkerPool::new(workers);
     }
 
     /// Read-only access to the database of record.
@@ -549,6 +647,23 @@ impl DcqEngine {
     /// whose observed workload has crossed the cost model's rerun/counting
     /// crossover (with hysteresis) are migrated in place — at the new epoch, so
     /// the next batch finds them current.
+    ///
+    /// ## Phases
+    ///
+    /// 1. **Commit (sequential, exclusive):** the store applies and versions
+    ///    the batch, every shared registry index is maintained exactly once,
+    ///    the log records it.
+    /// 2. **Fan-out (parallel, read-only):** distinct views fold the shared
+    ///    normalized delta against the immutable post-commit store across the
+    ///    [worker pool](DcqEngine::set_workers); pooled counting sides are
+    ///    folded once per epoch by whichever worker locks them first, later
+    ///    sharers get the memoized delta.  Worker count never changes results
+    ///    or stats — only scheduling.
+    /// 3. **Policy (sequential):** outcomes fold into the report in slot
+    ///    order, adaptive views absorb delta-fraction and per-view **CPU
+    ///    time** cost samples (wall time would charge a view for its
+    ///    co-scheduled siblings and lock waits), and decided migrations
+    ///    execute at the new epoch.
     pub fn apply(&mut self, batch: &DeltaBatch) -> Result<ApplyReport> {
         // The delta fraction is measured against the PRE-batch store size,
         // matching how calibration sweeps label their samples (batch tuples
@@ -562,16 +677,58 @@ impl DcqEngine {
             effect: applied.effect,
             ..ApplyReport::default()
         };
+
+        // Fan-out: per-view folds are independent given the immutable store
+        // borrow, so they distribute over the worker pool; each worker samples
+        // its own thread-CPU clock around each view it runs.
+        let store = &self.store;
+        let applied_ref = &applied;
+        let tasks: Vec<(usize, &mut SharedView)> = self
+            .views
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(slot, entry)| entry.as_mut().map(|shared| (slot, shared)))
+            .collect();
+        // Spawning workers only pays when at least two views have real
+        // maintenance to do this batch; a trickle or irrelevant batch (every
+        // view skips, or only one folds) runs inline, spawning nothing —
+        // worker choice is pure scheduling either way, so this never changes
+        // an observable.
+        let working = tasks
+            .iter()
+            .filter(|(_, shared)| {
+                applied
+                    .normalized
+                    .iter()
+                    .any(|(name, delta)| !delta.is_empty() && shared.view.references(name))
+            })
+            .count();
+        let fanout = if working >= 2 {
+            self.fanout
+        } else {
+            WorkerPool::new(1)
+        };
+        type ViewOutcome = (usize, dcq_incremental::Result<BatchOutcome>, f64, CostClock);
+        let outcomes: Vec<ViewOutcome> = fanout.run(tasks, |_, (slot, shared)| {
+            let sample = CostSample::start();
+            let outcome = shared.view.apply(applied_ref, store);
+            let (cost_ns, clock) = sample.finish();
+            (slot, outcome, cost_ns, clock)
+        });
+
+        // Policy tail: deterministic slot order regardless of which worker ran
+        // what.  A view error surfaces after every view has seen the batch, so
+        // the healthy views' epochs stay aligned with the store.
+        let mut first_error: Option<EngineError> = None;
         let mut pending: Vec<(usize, IncrementalStrategy)> = Vec::new();
-        for (slot, entry) in self.views.iter_mut().enumerate() {
-            let Some(shared) = entry.as_mut() else {
-                continue;
+        for (slot, outcome, cost_ns, clock) in outcomes {
+            let outcome = match outcome {
+                Ok(outcome) => outcome,
+                Err(e) => {
+                    first_error.get_or_insert(e.into());
+                    continue;
+                }
             };
-            // Timing only matters for adaptive views, and `Instant::now` is
-            // cheap relative to any maintenance work, so sample unconditionally
-            // to keep the loop branch-free.
-            let started = Instant::now();
-            let outcome: BatchOutcome = shared.view.apply(&applied, &self.store)?;
             if outcome.skipped {
                 report.views_skipped += 1;
             } else {
@@ -579,13 +736,11 @@ impl DcqEngine {
             }
             report.result_added += outcome.result_added;
             report.result_removed += outcome.result_removed;
+            let shared = self.views[slot].as_mut().expect("live view slot");
             if let Some(stats) = shared.adaptive.as_mut() {
                 if !outcome.skipped {
                     stats.observe(outcome.effect.total() as f64 / store_size as f64);
-                    stats.observe_cost(
-                        shared.view.active_strategy(),
-                        started.elapsed().as_nanos() as f64,
-                    );
+                    stats.observe_cost(shared.view.active_strategy(), cost_ns, clock);
                     if let Some(target) =
                         self.cost_model.decide(shared.view.active_strategy(), stats)
                     {
@@ -594,8 +749,11 @@ impl DcqEngine {
                 }
             }
         }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
         // Migrations mutate the store's registry and the side pool, so they run
-        // after the fan-out borrowed both immutably.  Each migrated view is
+        // after the fan-out released its borrows.  Each migrated view is
         // rebuilt at `applied.epoch` — exactly the state it already reflects.
         for (slot, target) in pending {
             self.migrate_slot(slot, target)?;
@@ -709,15 +867,42 @@ impl DcqEngine {
         }
     }
 
-    /// The engine's update log (every applied batch, unbounded by default).
+    /// The engine's update log (every applied batch, unbounded by default;
+    /// bound it with [`UpdateLog::with_limit`] via [`DcqEngine::set_log`] or
+    /// compact it explicitly with [`DcqEngine::compact_log`]).
     pub fn log(&self) -> &UpdateLog {
         &self.log
     }
 
     /// Replace the update log, e.g. to bound retention with
-    /// [`UpdateLog::with_limit`].  Clears history.
-    pub fn set_log(&mut self, log: UpdateLog) {
+    /// [`UpdateLog::with_limit`].  Clears history; an empty replacement log is
+    /// rebased to the current epoch so its [`UpdateLog::base_epoch`] stays
+    /// truthful about where in the update stream it starts.
+    pub fn set_log(&mut self, mut log: UpdateLog) {
+        log.rebase(self.store.epoch());
         self.log = log;
+    }
+
+    /// Compact the update log against a checkpoint of the current store: every
+    /// batch the returned checkpoint already reflects is dropped from the log,
+    /// bounding log memory while preserving replayability **from the
+    /// truncation point** — `checkpoint.database` plus
+    /// [`UpdateLog::replay_onto`]`(…, checkpoint.epoch)` reproduces the
+    /// engine's database of record exactly, now and after any number of
+    /// further batches (each of which the log keeps recording as before).
+    ///
+    /// This is the first slice of checkpoint-based recovery: the caller owns
+    /// durability of the returned [`LogCheckpoint`] (serialize it, ship it to
+    /// object storage, …); the engine only guarantees the arithmetic —
+    /// `checkpoint ⊕ retained log = current state`.
+    pub fn compact_log(&mut self) -> LogCheckpoint {
+        let epoch = self.store.epoch();
+        let compacted_batches = self.log.truncate_before(epoch);
+        LogCheckpoint {
+            epoch,
+            compacted_batches,
+            database: self.store.database().clone(),
+        }
     }
 
     /// Estimated heap footprint of the store in bytes — base relations **plus**
@@ -1262,6 +1447,165 @@ mod tests {
         engine.deregister(fixed).unwrap();
         engine.deregister(again).unwrap();
         assert_eq!(engine.stats().index_count, 0);
+    }
+
+    #[test]
+    fn parallel_and_sequential_apply_agree_bit_for_bit() {
+        // A quick in-crate smoke test; the full proptest suite lives in
+        // tests/parallel_determinism.rs at the workspace root.
+        let mut sequential = engine();
+        let mut parallel = engine();
+        sequential.set_workers(1);
+        parallel.set_workers(4);
+        assert_eq!(sequential.workers(), 1);
+        assert_eq!(parallel.workers(), 4);
+
+        let mut handles = Vec::new();
+        for engine in [&mut sequential, &mut parallel] {
+            engine.set_cost_model(MaintenanceCostModel {
+                crossover_fraction: 0.2,
+                hysteresis: 0.1,
+                min_observations: 2,
+                ..MaintenanceCostModel::default()
+            });
+            let hs = vec![
+                engine.register_dcq(parse_dcq(EASY).unwrap()).unwrap(),
+                engine.register_dcq(parse_dcq(HARD).unwrap()).unwrap(),
+                engine.register_adaptive(parse_dcq(HARD).unwrap()).unwrap(),
+                // A second Q_G5-style hard shape pooling the same positive side.
+                engine
+                    .register_dcq(
+                        parse_dcq("P(a, c) :- Edge(c, a) EXCEPT Graph(a, b), Graph(b, c)").unwrap(),
+                    )
+                    .unwrap(),
+            ];
+            handles.push(hs);
+        }
+
+        let mut next = 50;
+        for step in 0..12i64 {
+            let mut batch = DeltaBatch::new();
+            for _ in 0..(1 + step % 4) {
+                batch.insert("Graph", int_row([next, next + 1]));
+                next += 2;
+            }
+            if step % 3 == 0 {
+                batch.delete("Graph", int_row([2, 3]));
+                batch.insert("Edge", int_row([next, 1]));
+            }
+            let a = sequential.apply(&batch).unwrap();
+            let b = parallel.apply(&batch).unwrap();
+            assert_eq!(a, b, "reports diverged at step {step}");
+            for (h1, h2) in handles[0].iter().zip(&handles[1]) {
+                assert_eq!(
+                    sequential.result(*h1).unwrap().sorted_rows(),
+                    parallel.result(*h2).unwrap().sorted_rows(),
+                    "results diverged at step {step}"
+                );
+                assert_eq!(
+                    sequential.view(*h1).unwrap().stats(),
+                    parallel.view(*h2).unwrap().stats()
+                );
+                assert_eq!(
+                    sequential.view(*h1).unwrap().active_strategy(),
+                    parallel.view(*h2).unwrap().active_strategy()
+                );
+            }
+            assert_eq!(sequential.stats(), parallel.stats());
+            assert_eq!(
+                sequential.counting_pool_stats(),
+                parallel.counting_pool_stats()
+            );
+        }
+        // Cost samples are timing and therefore NOT comparable across engines —
+        // but their provenance must be the CPU clock wherever the platform has
+        // one, so parallel scheduling cannot skew them.
+        if dcq_core::heuristics::thread_cpu_time_ns().is_some() {
+            let stats = parallel.batch_stats(handles[1][2]).unwrap().unwrap();
+            assert_eq!(stats.cost_clock, dcq_core::heuristics::CostClock::ThreadCpu);
+        }
+    }
+
+    #[test]
+    fn compact_log_preserves_replayability_from_the_checkpoint() {
+        let mut engine = engine();
+        let easy = engine.register_dcq(parse_dcq(EASY).unwrap()).unwrap();
+
+        let mut batches = Vec::new();
+        for step in 0..6i64 {
+            let mut batch = DeltaBatch::new();
+            batch.insert("Graph", int_row([40 + step, step]));
+            if step % 2 == 1 {
+                batch.delete("Graph", int_row([40 + step - 1, step - 1]));
+            }
+            batches.push(batch);
+        }
+        for batch in &batches[..4] {
+            engine.apply(batch).unwrap();
+        }
+        assert_eq!(engine.log().len(), 4);
+
+        // Checkpoint at epoch 4: the log drops its reflected prefix…
+        let checkpoint = engine.compact_log();
+        assert_eq!(checkpoint.epoch, 4);
+        assert_eq!(checkpoint.compacted_batches, 4);
+        assert_eq!(engine.log().len(), 0);
+        assert_eq!(engine.log().base_epoch(), 4);
+        assert_eq!(engine.log().recorded(), 4, "counters survive compaction");
+
+        // …keeps recording from there…
+        for batch in &batches[4..] {
+            engine.apply(batch).unwrap();
+        }
+        assert_eq!(engine.log().len(), 2);
+
+        // …and checkpoint ⊕ retained tail reproduces the database of record.
+        let mut rebuilt = checkpoint.database.clone();
+        engine
+            .log()
+            .replay_onto(&mut rebuilt, checkpoint.epoch)
+            .unwrap();
+        for name in rebuilt.relation_names() {
+            assert_eq!(
+                rebuilt.get(&name).unwrap().sorted_rows(),
+                engine.database().get(&name).unwrap().sorted_rows(),
+                "replay from the truncation point diverged on {name}"
+            );
+        }
+        // The epoch-0 replay is correctly refused, and views were untouched.
+        let mut scratch = checkpoint.database.clone();
+        assert!(matches!(
+            engine.log().replay(&mut scratch),
+            Err(StorageError::TruncatedLog { .. })
+        ));
+        let expected = baseline_dcq(
+            engine.view(easy).unwrap().dcq(),
+            engine.database(),
+            CqStrategy::Vanilla,
+        )
+        .unwrap();
+        assert_eq!(
+            engine.result(easy).unwrap().sorted_rows(),
+            expected.sorted_rows()
+        );
+
+        // A compaction with nothing new to drop is a cheap no-op.
+        assert_eq!(engine.compact_log().compacted_batches, 2);
+        assert_eq!(engine.compact_log().compacted_batches, 0);
+
+        // A fresh bounded log installed mid-stream starts at the current epoch.
+        engine.set_log(UpdateLog::with_limit(2));
+        assert_eq!(engine.log().base_epoch(), 6);
+    }
+
+    #[test]
+    fn engine_core_is_send_and_sync() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<DcqEngine>();
+        assert_sync::<DcqEngine>();
+        assert_send::<LogCheckpoint>();
+        assert_sync::<SharedDatabase>();
     }
 
     #[test]

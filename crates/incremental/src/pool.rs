@@ -10,12 +10,16 @@
 //! plans.  So the engine keeps **one** [`CountingCq`] per live side shape, and
 //! `N` views share it:
 //!
-//! * [`CountingPool::acquire`] hands out an `Rc<RefCell<CountingCq>>`, building
+//! * [`CountingPool::acquire`] hands out an `Arc<RwLock<CountingCq>>`, building
 //!   the side only when no live view holds that shape (the pool itself keeps
 //!   only weak references, so an unused side is dropped, not cached forever);
 //! * batch application is **idempotent per epoch** (see
-//!   [`CountingCq::apply_batch`]): the first sharing view folds the batch, the
-//!   rest get the memoized head delta;
+//!   [`CountingCq::apply_batch`]): under parallel fan-out, whichever sharing
+//!   view's worker takes the side's write lock first folds the batch; every
+//!   later sharer finds the epoch already advanced and gets the memoized head
+//!   delta.  The fold is a pure function of `(state, batch)`, so the winner's
+//!   identity never shows in the counts — parallel and sequential fan-out
+//!   produce bit-identical state;
 //! * the last view to drop a side releases its registry indexes.
 //!
 //! This is what makes the 8-*distinct*-views workload of the `multi_view`
@@ -29,14 +33,15 @@ use dcq_core::cache::{CqShapeKey, PlanCache};
 use dcq_core::query::ConjunctiveQuery;
 use dcq_storage::hash::FastHashMap;
 use dcq_storage::{Schema, SharedDatabase};
-use std::cell::RefCell;
-use std::rc::{Rc, Weak};
+use std::sync::{Arc, RwLock, Weak};
 
 /// A counting side shared by every view whose CQ has the same α-canonical shape.
 ///
-/// Single-threaded by design (the engine is synchronous); views borrow the cell
-/// transiently during batch application and result reads.
-pub type SharedCountingCq = Rc<RefCell<CountingCq>>;
+/// `Send + Sync`: views on different fan-out workers lock the side transiently
+/// during batch application and result reads.  The locking discipline is
+/// strictly one side at a time (see [`DcqView::apply`](crate::DcqView::apply)),
+/// so shared sides cannot deadlock however views overlap.
+pub type SharedCountingCq = Arc<RwLock<CountingCq>>;
 
 /// Hit/miss counters of a [`CountingPool`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -53,9 +58,12 @@ pub struct CountingPoolStats {
 ///
 /// Entries are weak: the pool never keeps a side alive on its own, it only
 /// lets concurrent views find each other.  Dead entries are pruned lazily.
+/// The pool itself is only touched from the engine's sequential phases
+/// (registration, migration, deregistration) — the parallel fan-out sees
+/// pooled sides exclusively through the `Arc`s the views already hold.
 #[derive(Default)]
 pub struct CountingPool {
-    entries: FastHashMap<CqShapeKey, Weak<RefCell<CountingCq>>>,
+    entries: FastHashMap<CqShapeKey, Weak<RwLock<CountingCq>>>,
     hits: u64,
     misses: u64,
 }
@@ -87,8 +95,8 @@ impl CountingPool {
         self.misses += 1;
         let (plans, _) = cache.delta_plans(&cq, &output);
         let side = CountingCq::from_store_with_plans(cq, output, store, plans)?;
-        let shared = Rc::new(RefCell::new(side));
-        self.entries.insert(key, Rc::downgrade(&shared));
+        let shared = Arc::new(RwLock::new(side));
+        self.entries.insert(key, Arc::downgrade(&shared));
         Ok(shared)
     }
 
@@ -141,7 +149,7 @@ mod tests {
         let sb = pool
             .acquire(b.clone(), b.head_schema(), &mut store, &mut cache)
             .unwrap();
-        assert!(Rc::ptr_eq(&sa, &sb), "α-equivalent sides share one engine");
+        assert!(Arc::ptr_eq(&sa, &sb), "α-equivalent sides share one engine");
         assert_eq!(pool.stats().hits, 1);
         assert_eq!(pool.stats().misses, 1);
         assert_eq!(pool.stats().live, 1);
@@ -150,8 +158,8 @@ mod tests {
 
         // Dropping every holder releases the shape; the next acquire rebuilds.
         drop(sa);
-        assert_eq!(Rc::strong_count(&sb), 1, "pool holds only weak refs");
-        sb.borrow_mut().release_indexes(&mut store);
+        assert_eq!(Arc::strong_count(&sb), 1, "pool holds only weak refs");
+        sb.write().unwrap().release_indexes(&mut store);
         drop(sb);
         assert_eq!(store.index_count(), 0);
         assert_eq!(pool.stats().live, 0);
@@ -160,7 +168,7 @@ mod tests {
             .acquire(a.clone(), a.head_schema(), &mut store, &mut cache)
             .unwrap();
         assert_eq!(pool.stats().misses, 2);
-        sc.borrow_mut().release_indexes(&mut store);
+        sc.write().unwrap().release_indexes(&mut store);
     }
 
     #[test]
@@ -176,9 +184,17 @@ mod tests {
         let sb = pool
             .acquire(b.clone(), b.head_schema(), &mut store, &mut cache)
             .unwrap();
-        assert!(!Rc::ptr_eq(&sa, &sb));
+        assert!(!Arc::ptr_eq(&sa, &sb));
         assert_eq!(pool.stats().live, 2);
-        sa.borrow_mut().release_indexes(&mut store);
-        sb.borrow_mut().release_indexes(&mut store);
+        sa.write().unwrap().release_indexes(&mut store);
+        sb.write().unwrap().release_indexes(&mut store);
+    }
+
+    #[test]
+    fn pool_and_shared_sides_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CountingPool>();
+        assert_send_sync::<SharedCountingCq>();
+        assert_send_sync::<CountingCq>();
     }
 }

@@ -19,6 +19,20 @@
 //! batches it skipped — so its position in the update stream is always exact.
 //! Counting views hold refcounted references on registry indexes; the owning
 //! engine calls [`DcqView::teardown`] on deregistration to release them.
+//!
+//! ## Threading model
+//!
+//! A `DcqView` is `Send`: the owning engine fans [`DcqView::apply`] out across
+//! worker threads, each worker driving a disjoint set of views against the
+//! shared store (borrowed `&`, so nothing in the store can move underneath
+//! them).  Pooled counting sides are behind `Arc<RwLock<…>>`; on the
+//! concurrent apply path, application locks **strictly one side at a time**
+//! (write to fold, read to evaluate membership — never two guards held
+//! together), so views sharing sides in any overlap pattern cannot deadlock
+//! however the scheduler interleaves them.  Structural mutation —
+//! [`DcqView::migrate`], [`DcqView::teardown`], pool and registry bookkeeping,
+//! full result-set rebuilds — stays in the engine's sequential phases, under
+//! `&mut` everything, where holding both sides' read guards is safe.
 
 use crate::count::CountingCq;
 use crate::pool::{CountingPool, SharedCountingCq};
@@ -29,9 +43,8 @@ use dcq_core::planner::{DcqPlanner, IncrementalPlan, IncrementalStrategy};
 use dcq_core::Dcq;
 use dcq_storage::hash::FastHashSet;
 use dcq_storage::{AppliedBatch, DeltaEffect, Epoch, Relation, Row, Schema, SharedDatabase};
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, RwLock};
 
 /// Running counters describing the work a maintained view has done.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -233,8 +246,8 @@ impl DcqView {
                             Err(e) => {
                                 // Don't leak q1's registry references on a
                                 // failed build (only if nobody shares it).
-                                if Rc::strong_count(&q1) == 1 {
-                                    q1.borrow_mut().release_indexes(store);
+                                if Arc::strong_count(&q1) == 1 {
+                                    q1.write().expect("side lock").release_indexes(store);
                                 }
                                 return Err(e);
                             }
@@ -251,7 +264,7 @@ impl DcqView {
                                 return Err(e);
                             }
                         };
-                        (Rc::new(RefCell::new(q1)), Rc::new(RefCell::new(q2)))
+                        (Arc::new(RwLock::new(q1)), Arc::new(RwLock::new(q2)))
                     }
                 };
                 Ok(ViewState::Counting { q1, q2 })
@@ -280,8 +293,20 @@ impl DcqView {
     fn compute_result_set(&mut self) -> Result<FastHashSet<Row>> {
         match &mut self.state {
             ViewState::Counting { q1, q2 } => {
-                let q1 = q1.borrow();
-                let q2 = q2.borrow();
+                // Degenerate `Q − Q`: both sides are the same pooled engine, so
+                // every candidate has cnt₂ = cnt₁ > 0 and the result is empty —
+                // short-circuiting also avoids read-locking one RwLock twice.
+                if Arc::ptr_eq(q1, q2) {
+                    return Ok(FastHashSet::default());
+                }
+                // Distinct sides: one filtered pass under both read guards
+                // (only surviving rows are cloned).  Holding two guards is safe
+                // here — this runs exclusively in the engine's sequential
+                // phases (registration/migration, `&mut` engine), where no
+                // writer can queue between the two acquisitions; the apply hot
+                // path keeps the strict one-lock-at-a-time discipline.
+                let q1 = q1.read().expect("counting side lock poisoned");
+                let q2 = q2.read().expect("counting side lock poisoned");
                 Ok(q1
                     .counts()
                     .iter()
@@ -349,17 +374,30 @@ impl DcqView {
                 // One telescoped fold per side over the whole batch: the engines
                 // probe the store's shared indexes (already reflecting the new
                 // state) and compensate not-yet-folded relations from the delta.
-                // Pool-shared sides fold once per epoch — if another view
-                // already processed this batch, the memoized delta comes back.
-                let d1 = q1.borrow_mut().apply_batch(applied, store);
-                let d2 = q2.borrow_mut().apply_batch(applied, store);
+                // Pool-shared sides fold once per epoch — whichever sharing
+                // view's worker takes the write lock first folds the batch, the
+                // rest get the memoized delta.  Locks are taken strictly one at
+                // a time (never nested), so views sharing sides in any overlap
+                // pattern cannot deadlock across fan-out workers.
+                let d1 = q1
+                    .write()
+                    .expect("counting side lock poisoned")
+                    .apply_batch(applied, store);
+                let d2 = q2
+                    .write()
+                    .expect("counting side lock poisoned")
+                    .apply_batch(applied, store);
                 let mut changed_heads: FastHashSet<Row> = FastHashSet::default();
                 changed_heads.extend(d1.iter().map(|(row, _)| row.clone()));
                 changed_heads.extend(d2.iter().map(|(row, _)| row.clone()));
-                let q1 = q1.borrow();
-                let q2 = q2.borrow();
-                for row in changed_heads {
-                    let belongs = q1.count(&row) > 0 && q2.count(&row) == 0;
+                let changed: Vec<Row> = changed_heads.into_iter().collect();
+                let positive: Vec<bool> = {
+                    let q1 = q1.read().expect("counting side lock poisoned");
+                    changed.iter().map(|row| q1.count(row) > 0).collect()
+                };
+                let q2 = q2.read().expect("counting side lock poisoned");
+                for (row, positive) in changed.into_iter().zip(positive) {
+                    let belongs = positive && q2.count(&row) == 0;
                     if belongs {
                         if self.result.insert(row) {
                             outcome.result_added += 1;
@@ -424,16 +462,23 @@ impl DcqView {
     /// migration both land here).  Rerun state owns nothing shared.
     fn release_state(state: &mut ViewState, store: &mut SharedDatabase) {
         if let ViewState::Counting { q1, q2 } = state {
-            let same = Rc::ptr_eq(q1, q2);
+            let same = Arc::ptr_eq(q1, q2);
             // A degenerate `Q − Q` view holds its side twice; either way,
             // `release_indexes` drains, so it must run exactly once per side
-            // and only when no other view shares it.
+            // and only when no other view shares it.  The strong counts are
+            // reliable here: teardown and migration only run in the engine's
+            // sequential phases, where no worker concurrently clones or drops
+            // side handles.
             let q1_holders = if same { 2 } else { 1 };
-            if Rc::strong_count(q1) == q1_holders {
-                q1.borrow_mut().release_indexes(store);
+            if Arc::strong_count(q1) == q1_holders {
+                q1.write()
+                    .expect("counting side lock poisoned")
+                    .release_indexes(store);
             }
-            if !same && Rc::strong_count(q2) == 1 {
-                q2.borrow_mut().release_indexes(store);
+            if !same && Arc::strong_count(q2) == 1 {
+                q2.write()
+                    .expect("counting side lock poisoned")
+                    .release_indexes(store);
             }
         }
     }
@@ -831,6 +876,16 @@ mod tests {
             pool.prune();
         }
         assert_eq!(store.index_count(), 0);
+    }
+
+    #[test]
+    fn views_are_send_for_fan_out_workers() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<DcqView>();
+        assert_sync::<DcqView>();
+        assert_sync::<SharedDatabase>();
+        assert_sync::<AppliedBatch>();
     }
 
     #[test]

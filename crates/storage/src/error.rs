@@ -43,6 +43,15 @@ pub enum StorageError {
         /// Batches recorded over the log's lifetime.
         recorded: usize,
     },
+    /// A truncated update log was replayed onto a snapshot taken at a different
+    /// epoch than the log's base — the replay would skip or double-apply part
+    /// of the update stream.
+    LogEpochMismatch {
+        /// Epoch of the snapshot the caller offered.
+        snapshot: u64,
+        /// The log's base epoch (the snapshot epoch it requires).
+        base: u64,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -74,6 +83,10 @@ impl fmt::Display for StorageError {
             StorageError::TruncatedLog { retained, recorded } => write!(
                 f,
                 "update log was truncated ({retained} of {recorded} batches retained); full replay is impossible"
+            ),
+            StorageError::LogEpochMismatch { snapshot, base } => write!(
+                f,
+                "update log replays from epoch {base}, but the snapshot was taken at epoch {snapshot}"
             ),
         }
     }

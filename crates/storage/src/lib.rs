@@ -50,7 +50,9 @@ pub use delta::{normalize_delta, BatchEffect, DeltaBatch, DeltaEffect, UpdateLog
 pub use error::StorageError;
 pub use hash::{FastHashMap, FastHashSet};
 pub use index::HashIndex;
-pub use registry::{IndexId, IndexKey, IndexRegistry, IndexRegistryStats, SharedIndex};
+pub use registry::{
+    IndexId, IndexKey, IndexRegistry, IndexRegistryStats, IndexSnapshot, SharedIndex,
+};
 pub use relation::Relation;
 pub use row::Row;
 pub use schema::{Attr, Schema};

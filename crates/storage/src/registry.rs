@@ -24,12 +24,32 @@
 //! Buckets store **full stored rows** (equality-filtered).  Consumers project to
 //! their atom's bound schema at probe time via precomputed positions, which is
 //! what keeps one physical index reusable across differently-shaped atoms.
+//!
+//! ## Threading model: lock-free readers, exclusive writers
+//!
+//! Every live entry is held as an [`Arc<SharedIndex>`] and stamped with the
+//! store epoch it was last maintained at.  Reads ([`IndexRegistry::probe`],
+//! [`IndexRegistry::get`]) take `&self` and touch no lock — under Rust's
+//! aliasing rules they may run from any number of threads concurrently, which
+//! is what lets an engine fan per-view delta joins out across workers while the
+//! store is borrowed shared.  Writes (acquire / release / per-batch
+//! maintenance) take `&mut self` — exclusive per
+//! [`AppliedBatch`](crate::AppliedBatch), exactly like the store epoch — and go
+//! through [`Arc::make_mut`]: when no snapshot is outstanding the entry is
+//! updated in place (refcount 1, zero copies); when a reader still holds an
+//! [`IndexSnapshot`], the write copies the entry first, so the snapshot keeps
+//! observing the exact epoch it was taken at while the store moves on.  That is
+//! the read path a long-running service front-end needs: queries grab a
+//! snapshot, probe it lock-free for as long as they like, and never block (or
+//! get torn by) the update stream.
 
 use crate::hash::{map_with_capacity, FastHashMap};
 use crate::relation::Relation;
 use crate::row::Row;
+use crate::shared::Epoch;
 use crate::value::Value;
 use std::fmt;
+use std::sync::Arc;
 
 /// The identity of one shared index, in stored-column coordinates.
 ///
@@ -81,19 +101,26 @@ pub struct IndexId {
     generation: u64,
 }
 
-/// One shared, refcounted hash index over a stored relation.
+/// One shared hash index over a stored relation.
+///
+/// The structure itself is immutable data behind an [`Arc`]; the owning
+/// registry tracks the refcount in its slot and mutates entries copy-on-write,
+/// so a [`SharedIndex`] reached through an [`IndexSnapshot`] never changes
+/// underneath its reader.
 #[derive(Clone)]
 pub struct SharedIndex {
     key: IndexKey,
-    refs: usize,
     /// Key projection → equality-filtered stored rows.
     buckets: FastHashMap<Row, Vec<Row>>,
     /// Number of indexed rows (equality-filtered).
     rows: usize,
+    /// The store epoch this index's contents were last changed at (its build
+    /// epoch until the first touching batch).
+    epoch: Epoch,
 }
 
 impl SharedIndex {
-    fn build(key: IndexKey, relation: &Relation) -> Self {
+    fn build(key: IndexKey, relation: &Relation, epoch: Epoch) -> Self {
         let mut buckets: FastHashMap<Row, Vec<Row>> = map_with_capacity(relation.len());
         let mut rows = 0;
         for row in relation.iter() {
@@ -107,14 +134,15 @@ impl SharedIndex {
         }
         SharedIndex {
             key,
-            refs: 1,
             buckets,
             rows,
+            epoch,
         }
     }
 
     /// Fold one normalized stored-relation delta into the index.
-    fn apply_delta(&mut self, delta: &[(Row, i64)]) {
+    fn apply_delta(&mut self, delta: &[(Row, i64)], epoch: Epoch) {
+        self.epoch = epoch;
         for (row, sign) in delta {
             if !self.key.admits(row) {
                 continue;
@@ -140,9 +168,11 @@ impl SharedIndex {
         &self.key
     }
 
-    /// Live references to this entry.
-    pub fn refs(&self) -> usize {
-        self.refs
+    /// The store epoch this index's contents were last changed at.  A snapshot
+    /// taken at epoch `e` only ever exposes entries with `epoch() <= e`, no
+    /// matter how far the live registry has advanced since.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
     }
 
     /// Number of indexed (equality-filtered) rows.
@@ -189,13 +219,17 @@ pub struct IndexRegistryStats {
     pub bytes: usize,
 }
 
-/// One registry slot: the live index (if any) plus the generation stamped into
-/// the ids handed out for it, bumped on every allocation so stale ids of a
-/// torn-down index cannot alias the slot's next tenant.
+/// One registry slot: the live index (if any), its consumer refcount, and the
+/// generation stamped into the ids handed out for it, bumped on every
+/// allocation so stale ids of a torn-down index cannot alias the slot's next
+/// tenant.
 #[derive(Clone, Default)]
 struct IndexSlot {
     generation: u64,
-    entry: Option<SharedIndex>,
+    /// Consumers holding an [`IndexId`] on this entry (not the `Arc` strong
+    /// count — snapshots clone the `Arc` without affecting teardown).
+    refs: usize,
+    entry: Option<Arc<SharedIndex>>,
 }
 
 /// The refcounted collection of [`SharedIndex`]es a
@@ -214,23 +248,21 @@ impl IndexRegistry {
 
     /// Find-or-build the index for `key`, bumping its refcount.
     ///
-    /// `relation` must be the current contents of `key.relation`; a fresh entry is
-    /// built from it in one `O(N)` pass, a live entry is reused as-is (it has been
-    /// maintained under every applied batch since it was built).
-    pub fn acquire(&mut self, key: IndexKey, relation: &Relation) -> IndexId {
+    /// `relation` must be the current contents of `key.relation` and `epoch`
+    /// the store epoch those contents reflect; a fresh entry is built from them
+    /// in one `O(N)` pass, a live entry is reused as-is (it has been maintained
+    /// under every applied batch since it was built).
+    pub fn acquire(&mut self, key: IndexKey, relation: &Relation, epoch: Epoch) -> IndexId {
         if let Some(&slot) = self.by_key.get(&key) {
             let state = &mut self.slots[slot];
-            state
-                .entry
-                .as_mut()
-                .expect("keyed index entry is live")
-                .refs += 1;
+            debug_assert!(state.entry.is_some(), "keyed index entry is live");
+            state.refs += 1;
             return IndexId {
                 slot,
                 generation: state.generation,
             };
         }
-        let built = SharedIndex::build(key.clone(), relation);
+        let built = Arc::new(SharedIndex::build(key.clone(), relation, epoch));
         let slot = match self.slots.iter().position(|s| s.entry.is_none()) {
             Some(free) => free,
             None => {
@@ -239,6 +271,7 @@ impl IndexRegistry {
             }
         };
         self.slots[slot].generation += 1;
+        self.slots[slot].refs = 1;
         self.slots[slot].entry = Some(built);
         self.by_key.insert(key, slot);
         IndexId {
@@ -251,20 +284,21 @@ impl IndexRegistry {
     ///
     /// Releasing an id that is not live — already torn down, or whose slot has
     /// since been reused by a different index (stale generation) — is a no-op.
+    /// Outstanding snapshots keep their `Arc` clone of a torn-down entry; only
+    /// the live registry forgets it.
     pub fn release(&mut self, id: IndexId) {
-        let Some(entry) = self
+        let Some(slot) = self
             .slots
             .get_mut(id.slot)
-            .filter(|s| s.generation == id.generation)
-            .and_then(|s| s.entry.as_mut())
+            .filter(|s| s.generation == id.generation && s.entry.is_some())
         else {
             return;
         };
-        entry.refs -= 1;
-        if entry.refs == 0 {
-            let key = entry.key.clone();
+        slot.refs -= 1;
+        if slot.refs == 0 {
+            let key = slot.entry.as_ref().expect("checked live above").key.clone();
+            slot.entry = None;
             self.by_key.remove(&key);
-            self.slots[id.slot].entry = None;
         }
     }
 
@@ -273,25 +307,42 @@ impl IndexRegistry {
         self.slots
             .get(id.slot)
             .filter(|s| s.generation == id.generation)
-            .and_then(|s| s.entry.as_ref())
+            .and_then(|s| s.entry.as_deref())
+    }
+
+    /// Live [`IndexId`] holders of the entry behind `id` (0 when not live).
+    pub fn refs_of(&self, id: IndexId) -> usize {
+        self.slots
+            .get(id.slot)
+            .filter(|s| s.generation == id.generation && s.entry.is_some())
+            .map(|s| s.refs)
+            .unwrap_or(0)
     }
 
     /// Stored rows matching `key` in the index `id`, or an empty slice.
     ///
     /// An id that is no longer live probes empty — by construction consumers only
-    /// probe ids they hold a reference on.
+    /// probe ids they hold a reference on.  Lock-free: `&self` reads never
+    /// contend with anything.
     pub fn probe(&self, id: IndexId, key: &Row) -> &[Row] {
         self.get(id).map(|e| e.probe(key)).unwrap_or(&[])
     }
 
-    /// Fold one relation's normalized delta into every live index over it.
-    pub fn apply_relation_delta(&mut self, relation: &str, delta: &[(Row, i64)]) {
+    /// Fold one relation's normalized delta into every live index over it,
+    /// stamping the touched entries with `epoch` (the store epoch the batch
+    /// advances to).
+    ///
+    /// Writes are copy-on-write: an entry still referenced by an outstanding
+    /// [`IndexSnapshot`] is cloned before mutation, so the snapshot keeps
+    /// reading its own epoch's contents; an unshared entry (the steady-state
+    /// case) is updated in place with zero copies.
+    pub fn apply_relation_delta(&mut self, relation: &str, delta: &[(Row, i64)], epoch: Epoch) {
         if delta.is_empty() {
             return;
         }
         for entry in self.slots.iter_mut().filter_map(|s| s.entry.as_mut()) {
             if entry.key.relation == relation {
-                entry.apply_delta(delta);
+                Arc::make_mut(entry).apply_delta(delta, epoch);
             }
         }
     }
@@ -309,7 +360,30 @@ impl IndexRegistry {
                 let key = slot.entry.as_ref().expect("checked above").key.clone();
                 self.by_key.remove(&key);
                 slot.entry = None;
+                slot.refs = 0;
             }
+        }
+    }
+
+    /// An epoch-stamped, immutable view of every live entry.
+    ///
+    /// Snapshots are cheap (one `Arc` clone per live slot), `Send + Sync`, and
+    /// probe lock-free through the same [`IndexId`]s the live registry hands
+    /// out.  A snapshot keeps observing exactly the state it was taken at:
+    /// later batches mutate the live registry copy-on-write, and later
+    /// teardowns only drop the live reference.
+    pub fn snapshot(&self, epoch: Epoch) -> IndexSnapshot {
+        IndexSnapshot {
+            epoch,
+            slots: self
+                .slots
+                .iter()
+                .map(|s| {
+                    s.entry
+                        .as_ref()
+                        .map(|entry| (s.generation, Arc::clone(entry)))
+                })
+                .collect(),
         }
     }
 
@@ -325,7 +399,7 @@ impl IndexRegistry {
 
     /// Iterate over the live indexes.
     pub fn iter(&self) -> impl Iterator<Item = &SharedIndex> {
-        self.slots.iter().filter_map(|s| s.entry.as_ref())
+        self.slots.iter().filter_map(|s| s.entry.as_deref())
     }
 
     /// Estimated heap footprint of all live indexes in bytes.
@@ -336,10 +410,13 @@ impl IndexRegistry {
     /// Point-in-time counters.
     pub fn stats(&self) -> IndexRegistryStats {
         let mut stats = IndexRegistryStats::default();
-        for entry in self.iter() {
+        for slot in &self.slots {
+            let Some(entry) = slot.entry.as_deref() else {
+                continue;
+            };
             stats.indexes += 1;
             stats.indexed_rows += entry.indexed_rows();
-            stats.total_refs += entry.refs();
+            stats.total_refs += slot.refs;
             stats.bytes += entry.approx_bytes();
         }
         stats
@@ -353,6 +430,66 @@ impl fmt::Debug for IndexRegistry {
             f,
             "IndexRegistry[{} indexes, {} rows, {} refs]",
             stats.indexes, stats.indexed_rows, stats.total_refs
+        )
+    }
+}
+
+/// An immutable, epoch-stamped view of a registry's live indexes.
+///
+/// Taken with [`crate::SharedDatabase::index_snapshot`] (or
+/// [`IndexRegistry::snapshot`]); probes resolve against the
+/// entries exactly as they were at the snapshot's epoch, with no locking and no
+/// coordination with concurrent writers — the registry's copy-on-write
+/// maintenance guarantees a snapshotted entry is never mutated in place.  This
+/// is the read primitive the planned async front-end serves queries from while
+/// the update stream keeps committing.
+#[derive(Clone)]
+pub struct IndexSnapshot {
+    epoch: Epoch,
+    /// Per registry slot: the generation and entry that were live at snapshot
+    /// time (so the same stale-id discipline applies as on the live registry).
+    slots: Vec<Option<(u64, Arc<SharedIndex>)>>,
+}
+
+impl IndexSnapshot {
+    /// The store epoch this snapshot was taken at.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// The snapshotted entry behind `id`, if it was live at snapshot time.
+    pub fn get(&self, id: IndexId) -> Option<&SharedIndex> {
+        self.slots
+            .get(id.slot)
+            .and_then(|s| s.as_ref())
+            .filter(|(generation, _)| *generation == id.generation)
+            .map(|(_, entry)| entry.as_ref())
+    }
+
+    /// Stored rows matching `key` in the snapshotted index `id`, or an empty
+    /// slice.  Lock-free and immune to concurrent store writes.
+    pub fn probe(&self, id: IndexId, key: &Row) -> &[Row] {
+        self.get(id).map(|e| e.probe(key)).unwrap_or(&[])
+    }
+
+    /// Number of indexes captured by this snapshot.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// `true` iff the snapshot captured no index.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for IndexSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "IndexSnapshot[epoch {}, {} indexes]",
+            self.epoch,
+            self.len()
         )
     }
 }
@@ -381,12 +518,13 @@ mod tests {
     #[test]
     fn acquire_builds_and_probes() {
         let mut reg = IndexRegistry::new();
-        let id = reg.acquire(key_on(&[0]), &graph());
+        let id = reg.acquire(key_on(&[0]), &graph(), 0);
         assert_eq!(reg.probe(id, &int_row([1])).len(), 2);
         assert_eq!(reg.probe(id, &int_row([9])).len(), 0);
         let entry = reg.get(id).unwrap();
         assert_eq!(entry.indexed_rows(), 4);
         assert_eq!(entry.distinct_keys(), 3);
+        assert_eq!(entry.epoch(), 0);
         assert!(entry.approx_bytes() > 0);
         assert!(format!("{reg:?}").contains("IndexRegistry"));
     }
@@ -399,7 +537,7 @@ mod tests {
             equalities: vec![(0, 1)],
             key_positions: vec![0],
         };
-        let id = reg.acquire(key, &graph());
+        let id = reg.acquire(key, &graph(), 0);
         // Only the self-loop (3, 3) passes src = dst.
         assert_eq!(reg.get(id).unwrap().indexed_rows(), 1);
         assert_eq!(reg.probe(id, &int_row([3])), &[int_row([3, 3])]);
@@ -409,20 +547,21 @@ mod tests {
     #[test]
     fn refcounts_share_and_tear_down() {
         let mut reg = IndexRegistry::new();
-        let a = reg.acquire(key_on(&[0]), &graph());
-        let b = reg.acquire(key_on(&[0]), &graph());
+        let a = reg.acquire(key_on(&[0]), &graph(), 0);
+        let b = reg.acquire(key_on(&[0]), &graph(), 0);
         assert_eq!(a, b, "same key shares one entry");
         assert_eq!(reg.len(), 1);
-        assert_eq!(reg.get(a).unwrap().refs(), 2);
-        let other = reg.acquire(key_on(&[1]), &graph());
+        assert_eq!(reg.refs_of(a), 2);
+        let other = reg.acquire(key_on(&[1]), &graph(), 0);
         assert_ne!(a, other);
         assert_eq!(reg.len(), 2);
 
         reg.release(a);
-        assert_eq!(reg.get(a).unwrap().refs(), 1);
+        assert_eq!(reg.refs_of(a), 1);
         reg.release(b);
         assert!(reg.get(a).is_none(), "last release drops the entry");
         assert!(reg.probe(a, &int_row([1])).is_empty());
+        assert_eq!(reg.refs_of(a), 0);
         reg.release(a); // releasing a dead id is a no-op
         assert_eq!(reg.len(), 1);
         assert_eq!(reg.stats().indexes, 1);
@@ -430,19 +569,19 @@ mod tests {
         // The freed slot is reused by the next distinct key — under a fresh
         // generation, so the stale id can neither probe nor release the new
         // tenant (no ABA through slot reuse).
-        let again = reg.acquire(key_on(&[0, 1]), &graph());
+        let again = reg.acquire(key_on(&[0, 1]), &graph(), 0);
         assert_ne!(again, a);
         assert!(reg.get(a).is_none());
         assert!(reg.probe(a, &int_row([1, 2])).is_empty());
         reg.release(a); // stale-generation release must not touch `again`
-        assert_eq!(reg.get(again).unwrap().refs(), 1);
+        assert_eq!(reg.refs_of(again), 1);
         assert_eq!(reg.len(), 2);
     }
 
     #[test]
-    fn deltas_maintain_buckets() {
+    fn deltas_maintain_buckets_and_stamp_the_epoch() {
         let mut reg = IndexRegistry::new();
-        let id = reg.acquire(key_on(&[0]), &graph());
+        let id = reg.acquire(key_on(&[0]), &graph(), 0);
         reg.apply_relation_delta(
             "Graph",
             &[
@@ -450,23 +589,30 @@ mod tests {
                 (int_row([1, 2]), -1),
                 (int_row([4, 4]), 1),
             ],
+            1,
         );
         // Unrelated relations are untouched.
-        reg.apply_relation_delta("Other", &[(int_row([1, 1]), 1)]);
+        reg.apply_relation_delta("Other", &[(int_row([1, 1]), 1)], 2);
         let rows = reg.probe(id, &int_row([1]));
         assert_eq!(rows.len(), 2);
         assert!(rows.contains(&int_row([1, 9])) && rows.contains(&int_row([1, 3])));
         assert_eq!(reg.probe(id, &int_row([4])), &[int_row([4, 4])]);
         assert_eq!(reg.get(id).unwrap().indexed_rows(), 5);
+        assert_eq!(
+            reg.get(id).unwrap().epoch(),
+            1,
+            "only the touching batch's epoch is stamped"
+        );
         // Deleting the last row of a bucket removes the bucket.
-        reg.apply_relation_delta("Graph", &[(int_row([4, 4]), -1)]);
+        reg.apply_relation_delta("Graph", &[(int_row([4, 4]), -1)], 3);
         assert!(reg.probe(id, &int_row([4])).is_empty());
+        assert_eq!(reg.get(id).unwrap().epoch(), 3);
     }
 
     #[test]
     fn drop_relation_kills_its_indexes() {
         let mut reg = IndexRegistry::new();
-        let g = reg.acquire(key_on(&[0]), &graph());
+        let g = reg.acquire(key_on(&[0]), &graph(), 0);
         let other = Relation::from_int_rows("Other", &["k"], vec![vec![1]]);
         let o = reg.acquire(
             IndexKey {
@@ -475,10 +621,70 @@ mod tests {
                 key_positions: vec![0],
             },
             &other,
+            0,
         );
         reg.drop_relation("Graph");
         assert!(reg.get(g).is_none());
         assert!(reg.get(o).is_some());
         assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn snapshots_pin_their_epoch_under_later_writes() {
+        let mut reg = IndexRegistry::new();
+        let id = reg.acquire(key_on(&[0]), &graph(), 0);
+        let snap = reg.snapshot(0);
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.len(), 1);
+        assert!(!snap.is_empty());
+        assert!(format!("{snap:?}").contains("epoch 0"));
+
+        // The write after the snapshot copies the entry (copy-on-write): the
+        // snapshot keeps reading epoch-0 contents, the live registry moves on.
+        reg.apply_relation_delta("Graph", &[(int_row([1, 2]), -1), (int_row([7, 7]), 1)], 1);
+        assert_eq!(snap.probe(id, &int_row([1])).len(), 2, "snapshot is pinned");
+        assert!(snap.probe(id, &int_row([7])).is_empty());
+        assert_eq!(snap.get(id).unwrap().epoch(), 0);
+        assert_eq!(reg.probe(id, &int_row([1])).len(), 1, "live registry moved");
+        assert_eq!(reg.probe(id, &int_row([7])), &[int_row([7, 7])]);
+        assert_eq!(reg.get(id).unwrap().epoch(), 1);
+
+        // Teardown of the live entry leaves the snapshot intact…
+        reg.release(id);
+        assert!(reg.get(id).is_none());
+        assert_eq!(snap.probe(id, &int_row([1])).len(), 2);
+        // …and a slot reused under a new generation stays invisible to stale
+        // ids on both the registry and any new snapshot.
+        let next = reg.acquire(key_on(&[1]), &graph(), 2);
+        let fresh = reg.snapshot(2);
+        assert!(fresh.get(id).is_none(), "stale generation must not resolve");
+        assert!(fresh.get(next).is_some());
+        assert!(fresh.probe(id, &int_row([1])).is_empty());
+    }
+
+    #[test]
+    fn unshared_entries_are_maintained_in_place_without_copies() {
+        let mut reg = IndexRegistry::new();
+        let id = reg.acquire(key_on(&[0]), &graph(), 0);
+        let before = reg.slots[id.slot].entry.as_ref().map(Arc::as_ptr).unwrap();
+        reg.apply_relation_delta("Graph", &[(int_row([9, 9]), 1)], 1);
+        let after = reg.slots[id.slot].entry.as_ref().map(Arc::as_ptr).unwrap();
+        assert_eq!(before, after, "no snapshot outstanding → in-place update");
+
+        // With a snapshot outstanding the same write relocates the entry.
+        let snap = reg.snapshot(1);
+        reg.apply_relation_delta("Graph", &[(int_row([8, 8]), 1)], 2);
+        let moved = reg.slots[id.slot].entry.as_ref().map(Arc::as_ptr).unwrap();
+        assert_ne!(after, moved, "snapshotted entry is copied before mutation");
+        assert!(snap.probe(id, &int_row([8])).is_empty());
+        assert_eq!(reg.probe(id, &int_row([8])), &[int_row([8, 8])]);
+    }
+
+    #[test]
+    fn snapshots_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IndexSnapshot>();
+        assert_send_sync::<IndexRegistry>();
+        assert_send_sync::<SharedIndex>();
     }
 }

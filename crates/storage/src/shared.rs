@@ -27,7 +27,7 @@
 
 use crate::database::Database;
 use crate::delta::{normalize_delta, DeltaBatch, DeltaEffect};
-use crate::registry::{IndexId, IndexKey, IndexRegistry, IndexRegistryStats};
+use crate::registry::{IndexId, IndexKey, IndexRegistry, IndexRegistryStats, IndexSnapshot};
 use crate::relation::Relation;
 use crate::row::Row;
 use crate::schema::Schema;
@@ -154,7 +154,7 @@ impl SharedDatabase {
                     + 1,
             });
         }
-        Ok(self.indexes.acquire(key, relation))
+        Ok(self.indexes.acquire(key, relation, self.epoch))
     }
 
     /// Drop one reference on a shared index; the structure is freed when the last
@@ -189,6 +189,20 @@ impl SharedDatabase {
     /// Point-in-time registry counters.
     pub fn index_stats(&self) -> IndexRegistryStats {
         self.indexes.stats()
+    }
+
+    /// An epoch-stamped, immutable snapshot of every live shared index.
+    ///
+    /// Snapshots are cheap (one `Arc` clone per live index), `Send + Sync`, and
+    /// probe **lock-free** through the same [`IndexId`]s the store hands out —
+    /// and they stay pinned at this epoch: later [`SharedDatabase::apply_batch`]
+    /// calls maintain the live registry copy-on-write, never the snapshotted
+    /// entries.  This is how a long-running front-end overlaps reads with the
+    /// update stream: queries probe their snapshot without blocking (or being
+    /// torn by) writers, while the steady state without outstanding snapshots
+    /// pays zero copies.
+    pub fn index_snapshot(&self) -> IndexSnapshot {
+        self.indexes.snapshot(self.epoch)
     }
 
     /// `true` iff a relation with this name is registered.
@@ -234,16 +248,20 @@ impl SharedDatabase {
         }
         let mut effect = DeltaEffect::default();
         let mut normalized = Vec::with_capacity(batch.relations().count());
+        let next_epoch = self.epoch + 1;
         for (name, raw) in batch.iter() {
             let rel = self.db.get_mut(name).expect("validated above");
             let delta = normalize_delta(rel.cached_row_set(), raw);
             effect.absorb(rel.apply_normalized_delta(&delta));
             // Maintain every registered index over this relation exactly once —
-            // this is the pass N sharing views used to pay N times.
-            self.indexes.apply_relation_delta(name, &delta);
+            // this is the pass N sharing views used to pay N times.  Touched
+            // entries are stamped with the epoch this batch advances to; an
+            // outstanding snapshot forces a copy-on-write, so its readers keep
+            // their epoch while the live registry moves on.
+            self.indexes.apply_relation_delta(name, &delta, next_epoch);
             normalized.push((name.to_string(), delta));
         }
-        self.epoch += 1;
+        self.epoch = next_epoch;
         Ok(AppliedBatch {
             epoch: self.epoch,
             effect,
@@ -533,6 +551,33 @@ mod tests {
         // Releasing after the fact is a harmless no-op.
         store.release_index(id);
         store.release_index(again);
+    }
+
+    #[test]
+    fn index_snapshots_read_their_epoch_while_the_store_advances() {
+        let mut store = store();
+        let id = store
+            .acquire_index(IndexKey {
+                relation: "Graph".into(),
+                equalities: vec![],
+                key_positions: vec![0],
+            })
+            .unwrap();
+        let snap = store.index_snapshot();
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.probe(id, &int_row([1])), &[int_row([1, 2])]);
+
+        // Commit a batch: the live index moves to epoch 1, the snapshot stays
+        // pinned at epoch 0 (the write copied the entry, not mutated it).
+        let mut batch = DeltaBatch::new();
+        batch.delete("Graph", int_row([1, 2]));
+        batch.insert("Graph", int_row([1, 9]));
+        store.apply_batch(&batch).unwrap();
+        assert_eq!(snap.probe(id, &int_row([1])), &[int_row([1, 2])]);
+        assert_eq!(snap.get(id).unwrap().epoch(), 0);
+        assert_eq!(store.probe_index(id, &int_row([1])), &[int_row([1, 9])]);
+        assert_eq!(store.index(id).unwrap().epoch(), 1);
+        assert_eq!(store.index_snapshot().epoch(), 1);
     }
 
     #[test]
