@@ -21,6 +21,13 @@
 //! the reported per-batch figure is half the pair.  The adaptive arm is warmed
 //! up before measuring so the policy has settled on its engine kind.
 //!
+//! Timing comes from the engine's own telemetry, not a bespoke stopwatch: each
+//! pair drains the per-batch [`BatchTrace`](dcq_telemetry::BatchTrace)s
+//! `apply` recorded and sums their phase nanoseconds (commit + fan-out +
+//! policy tail) — exactly the work the engine accounts to itself, excluding
+//! harness overhead between calls.  The wall clock only enforces the sampling
+//! budget (and serves as a fallback if telemetry is compiled out).
+//!
 //! Results are printed and written to `BENCH_micro_incremental.json` at the
 //! workspace root, so the incremental perf trajectory accumulates across PRs
 //! the way `BENCH_multi_view.json` does for fan-out: the headline property is
@@ -62,11 +69,27 @@ struct Cell {
     adaptive_active: IncrementalStrategy,
 }
 
-/// Minimum per-batch wall-clock over adaptively many batch+inverse pairs after
-/// a short warm-up (which also lets the adaptive policy converge on its
-/// engine kind).
+/// Minimum per-batch milliseconds over adaptively many batch+inverse pairs
+/// after a short warm-up (which also lets the adaptive policy converge on its
+/// engine kind), read from the engine's per-batch traces.
 fn measure(engine: &mut DcqEngine, batch: &DeltaBatch, inverse: &DeltaBatch) -> f64 {
     measure_with(engine, batch, inverse, 3, SAMPLE_BUDGET_SECS)
+}
+
+/// Milliseconds one batch+inverse pair cost according to the engine's own
+/// accounting: the phase sum of the pair's drained [`BatchTrace`]s.  Falls
+/// back to the harness wall clock when telemetry is compiled out (no traces).
+fn traced_pair_ms(engine: &DcqEngine, wall_ms: f64) -> f64 {
+    let traced_ns: u64 = engine
+        .drain_traces()
+        .iter()
+        .map(|t| t.commit_ns + t.fanout_ns + t.policy_ns)
+        .sum();
+    if traced_ns > 0 {
+        traced_ns as f64 / 1e6
+    } else {
+        wall_ms
+    }
 }
 
 fn measure_with(
@@ -86,6 +109,8 @@ fn measure_with(
         );
         engine.apply(inverse).expect("warm-up inverse applies");
     }
+    // Discard the warm-up's traces so the timed loop reads only its own pairs.
+    engine.drain_traces();
     let mut best = f64::INFINITY;
     let mut pairs = 0usize;
     let budget = Instant::now();
@@ -93,7 +118,8 @@ fn measure_with(
         let started = Instant::now();
         engine.apply(batch).expect("batch applies");
         engine.apply(inverse).expect("inverse applies");
-        best = best.min(started.elapsed().as_secs_f64() * 1e3 / 2.0);
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        best = best.min(traced_pair_ms(engine, wall_ms) / 2.0);
         pairs += 1;
     }
     assert_eq!(
@@ -309,7 +335,7 @@ fn main() {
         "{{\n  \"bench\": \"micro_incremental\",\n  \
          \"generated_by\": \"cargo bench -p dcq-bench --bench micro_incremental\",\n  \
          \"database_tuples\": {total_tuples},\n  \"fractions\": {FRACTIONS:?},\n  \
-         \"note\": \"per-batch ms = half of one batch+inverse pair; adaptive runs under a cost model fitted from this run's fixed arms\",\n{}\n}}\n",
+         \"note\": \"per-batch ms = half of one batch+inverse pair, from engine BatchTrace phase sums (commit+fanout+policy); adaptive runs under a cost model fitted from this run's fixed arms\",\n{}\n}}\n",
         sections.join(",\n")
     );
     let path = output_path();

@@ -15,7 +15,7 @@
 //! * `fig9`            — peak memory of original vs optimized plans,
 //! * `table1-scaling`  — measured scaling of each strategy on an easy and a hard DCQ.
 
-use dcq_bench::memtrack::{peak_during, CountingAllocator};
+use dcq_bench::memtrack::{live_bytes, peak_bytes, peak_during, CountingAllocator};
 use dcq_bench::{compare_plans, time};
 use dcq_core::baseline::{baseline_dcq_with_stats, CqStrategy};
 use dcq_core::compose::push_selection;
@@ -27,6 +27,7 @@ use dcq_datagen::{
     tpch_q16_workload, Graph, GraphQueryId, TripleRuleMix,
 };
 use dcq_storage::Value;
+use dcq_telemetry::MetricsRegistry;
 
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
@@ -313,6 +314,28 @@ fn table1_scaling() {
     }
 }
 
+/// Export the run's heap footprint — [`CountingAllocator`]'s live and peak
+/// byte counters — through the same `dcq-telemetry` registry/exposition
+/// machinery the engine's `metrics()` uses, so a scraper reads the repro
+/// binary and a serving engine in one format.
+fn heap_exposition() {
+    header("Heap telemetry — memtrack gauges, Prometheus exposition format");
+    let registry = MetricsRegistry::new();
+    registry
+        .gauge(
+            "dcq_repro_heap_live_bytes",
+            "Live heap bytes at the end of the repro run (memtrack::CountingAllocator)",
+        )
+        .set(live_bytes() as u64);
+    registry
+        .gauge(
+            "dcq_repro_heap_peak_bytes",
+            "Peak heap bytes since the last reset (fig9 resets around each plan)",
+        )
+        .set(peak_bytes() as u64);
+    print!("{}", registry.render_prometheus());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
@@ -340,4 +363,5 @@ fn main() {
             other => eprintln!("unknown experiment `{other}` (see --help in the module docs)"),
         }
     }
+    heap_exposition();
 }

@@ -90,41 +90,86 @@ use dcq_core::planner::{IncrementalPlan, IncrementalStrategy};
 use dcq_core::{Dcq, DcqError};
 use dcq_incremental::pool::{CountingPool, CountingPoolStats};
 use dcq_incremental::view::{BatchOutcome, DcqView};
-use dcq_incremental::IncrementalError;
-use dcq_storage::hash::FastHashMap;
+use dcq_incremental::{CountingTelemetry, IncrementalError};
+use dcq_storage::hash::{FastHashMap, FastHashSet};
 use dcq_storage::{
-    Database, DeltaBatch, DeltaEffect, Epoch, Relation, RelationRef, SharedDatabase, StorageError,
-    UpdateLog,
+    Database, DeltaBatch, DeltaEffect, Epoch, IndexTelemetry, Relation, RelationRef,
+    SharedDatabase, StorageError, UpdateLog,
+};
+#[cfg(feature = "telemetry")]
+use dcq_telemetry::ViewTraceRecord;
+use dcq_telemetry::{
+    render_json_lines, BatchTrace, Counter, Histogram, MetricsRegistry, RingTraceSink, TraceSink,
 };
 use fanout::WorkerPool;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
-/// One cost-sample measurement around a view's per-batch maintenance.
+/// One cost-sample measurement around a view's per-batch maintenance, on the
+/// engine's **pinned** [`CostClock`] (see [`DcqEngine::cost_clock`]).
 ///
-/// Prefers the per-thread CPU clock (immune to lock waits, preemption and
-/// co-scheduled views — see [`CostClock`]) and falls back to wall time where
-/// the platform offers no thread clock.
-struct CostSample {
-    cpu_start: Option<u64>,
-    wall_start: Instant,
+/// The clock is chosen once at engine construction — the per-thread CPU clock
+/// where the platform has one (immune to lock waits, preemption and
+/// co-scheduled views), wall time elsewhere — so every sample an engine ever
+/// feeds the adaptive policy carries the same provenance.  The previous design
+/// re-probed clock availability per sample and could hand
+/// [`BatchStats::observe_cost`] a mix of wall and CPU nanoseconds within one
+/// engine; clock availability is a static platform property, so pinning is
+/// both correct and cheaper.
+enum CostSample {
+    Cpu(u64),
+    Wall(Instant),
 }
 
 impl CostSample {
-    fn start() -> Self {
-        CostSample {
-            cpu_start: thread_cpu_time_ns(),
-            wall_start: Instant::now(),
+    fn start(clock: CostClock) -> Self {
+        match clock {
+            CostClock::ThreadCpu => CostSample::Cpu(
+                thread_cpu_time_ns().expect("ThreadCpu is pinned only where the platform has it"),
+            ),
+            CostClock::Wall => CostSample::Wall(Instant::now()),
         }
     }
 
-    /// The elapsed cost in nanoseconds plus the clock that measured it.  Must
-    /// be called on the same thread as [`CostSample::start`].
-    fn finish(self) -> (f64, CostClock) {
-        match (self.cpu_start, thread_cpu_time_ns()) {
-            (Some(start), Some(end)) => (end.saturating_sub(start) as f64, CostClock::ThreadCpu),
-            _ => (self.wall_start.elapsed().as_nanos() as f64, CostClock::Wall),
+    /// The elapsed cost in nanoseconds.  Must be called on the same thread as
+    /// [`CostSample::start`].
+    fn finish(self) -> f64 {
+        match self {
+            CostSample::Cpu(start) => thread_cpu_time_ns()
+                .expect("thread clock availability is constant within a process")
+                .saturating_sub(start) as f64,
+            CostSample::Wall(start) => start.elapsed().as_nanos() as f64,
         }
+    }
+}
+
+/// The [`CostClock`] available on this platform: thread-CPU where the platform
+/// offers it, wall time elsewhere.  Engines pin this at construction.
+fn pinned_cost_clock() -> CostClock {
+    if thread_cpu_time_ns().is_some() {
+        CostClock::ThreadCpu
+    } else {
+        CostClock::Wall
+    }
+}
+
+/// Static label of a concrete engine kind for trace records.
+#[cfg(feature = "telemetry")]
+fn strategy_label(strategy: IncrementalStrategy) -> &'static str {
+    match strategy {
+        IncrementalStrategy::EasyRerun => "EasyRerun",
+        IncrementalStrategy::Counting => "Counting",
+        IncrementalStrategy::Adaptive => "Adaptive",
+    }
+}
+
+/// Static label of a [`CostClock`] for trace records.
+#[cfg(feature = "telemetry")]
+fn clock_label(clock: CostClock) -> &'static str {
+    match clock {
+        CostClock::ThreadCpu => "thread_cpu",
+        CostClock::Wall => "wall",
     }
 }
 
@@ -273,7 +318,13 @@ pub struct ApplyReport {
 }
 
 /// Cumulative counters of one engine, plus a point-in-time snapshot of the
-/// store's shared index registry.
+/// store's shared index registry, update log, counting-side pool and fan-out
+/// configuration.
+///
+/// Since the telemetry refactor this is a **derived view** over the engine's
+/// [`MetricsRegistry`] (see [`DcqEngine::metrics`]): the cumulative fields
+/// read the same atomic counters the Prometheus exposition renders, the rest
+/// are sampled from the live structures at call time.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Batches applied to the store.
@@ -291,6 +342,110 @@ pub struct EngineStats {
     pub migrations_to_rerun: usize,
     /// Live view migrations onto counting maintenance.
     pub migrations_to_counting: usize,
+    /// Batches currently retained in the update log (point in time).
+    pub log_len: usize,
+    /// Epoch the retained log suffix starts after (see
+    /// [`UpdateLog::base_epoch`]; point in time).
+    pub log_base_epoch: Epoch,
+    /// Live counting side shapes in the sharing pool (point in time).
+    pub pool_live: usize,
+    /// Pooled sides currently held by more than one view (point in time).
+    pub pool_shared: usize,
+    /// Configured fan-out workers (point in time; scheduling only — never
+    /// affects any other field).
+    pub workers: usize,
+}
+
+/// Names all engine-level metrics carry in the registry; lower-layer totals
+/// are aggregated into the same registry at render time (`dcq_index_*`,
+/// `dcq_counting_*`, `dcq_pool_*`, `dcq_plan_cache_*`).
+mod metric {
+    pub const BATCHES: &str = "dcq_engine_batches_total";
+    pub const VIEWS_REGISTERED: &str = "dcq_engine_views_registered_total";
+    pub const VIEWS_DEREGISTERED: &str = "dcq_engine_views_deregistered_total";
+    pub const MIGRATIONS_TO_RERUN: &str = "dcq_engine_migrations_to_rerun_total";
+    pub const MIGRATIONS_TO_COUNTING: &str = "dcq_engine_migrations_to_counting_total";
+    pub const COMMIT_NS: &str = "dcq_engine_commit_ns";
+    pub const FANOUT_NS: &str = "dcq_engine_fanout_ns";
+    pub const POLICY_NS: &str = "dcq_engine_policy_ns";
+    pub const VIEW_COST_NS: &str = "dcq_engine_view_cost_ns";
+}
+
+/// The engine's always-compiled metrics spine: one [`MetricsRegistry`] owning
+/// every counter/gauge/histogram `metrics()` renders, the engine-owned counter
+/// handles `apply`/`register`/`migrate` bump directly, the [`TraceSink`]
+/// per-batch traces go to, and the retired-telemetry base that keeps
+/// aggregated counting totals monotone across view teardown.
+///
+/// With the `telemetry` feature **off** only the per-batch trace emission and
+/// the lower layers' recording disappear; these engine counters (and therefore
+/// [`DcqEngine::stats`] and the exposition itself) work in every build.
+struct EngineTelemetry {
+    registry: MetricsRegistry,
+    sink: Box<dyn TraceSink>,
+    batches: Arc<Counter>,
+    views_registered: Arc<Counter>,
+    views_deregistered: Arc<Counter>,
+    migrations_to_rerun: Arc<Counter>,
+    migrations_to_counting: Arc<Counter>,
+    // The histograms are observed only by the `telemetry`-gated trace hooks,
+    // but stay registered (and render, empty) in every build so the exposition
+    // schema is feature-independent.
+    #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+    commit_ns: Arc<Histogram>,
+    #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+    fanout_ns: Arc<Histogram>,
+    #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+    policy_ns: Arc<Histogram>,
+    #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+    view_cost_ns: Arc<Histogram>,
+    /// Counting telemetry of sides whose last-holder views were deregistered;
+    /// see [`DcqView::retired_counting_telemetry`] for the per-view analogue.
+    retired: CountingTelemetry,
+}
+
+impl EngineTelemetry {
+    fn new() -> Self {
+        let registry = MetricsRegistry::new();
+        EngineTelemetry {
+            batches: registry.counter(metric::BATCHES, "Batches applied to the store"),
+            views_registered: registry.counter(
+                metric::VIEWS_REGISTERED,
+                "Views registered over the engine's lifetime",
+            ),
+            views_deregistered: registry.counter(
+                metric::VIEWS_DEREGISTERED,
+                "Views deregistered over the engine's lifetime",
+            ),
+            migrations_to_rerun: registry.counter(
+                metric::MIGRATIONS_TO_RERUN,
+                "Live view migrations onto touched-side rerun",
+            ),
+            migrations_to_counting: registry.counter(
+                metric::MIGRATIONS_TO_COUNTING,
+                "Live view migrations onto counting maintenance",
+            ),
+            commit_ns: registry.histogram(
+                metric::COMMIT_NS,
+                "Commit phase duration per apply, wall nanoseconds",
+            ),
+            fanout_ns: registry.histogram(
+                metric::FANOUT_NS,
+                "Fan-out phase duration per apply, wall nanoseconds",
+            ),
+            policy_ns: registry.histogram(
+                metric::POLICY_NS,
+                "Policy tail duration per apply (incl. migrations), wall nanoseconds",
+            ),
+            view_cost_ns: registry.histogram(
+                metric::VIEW_COST_NS,
+                "Per-view maintenance cost samples, nanoseconds on the pinned cost clock",
+            ),
+            sink: Box::new(RingTraceSink::default()),
+            registry,
+            retired: CountingTelemetry::default(),
+        }
+    }
 }
 
 /// A point-in-time checkpoint produced by [`DcqEngine::compact_log`]: the
@@ -372,7 +527,10 @@ pub struct DcqEngine {
     /// [`DcqEngine::set_workers`].
     fanout: WorkerPool,
     log: UpdateLog,
-    stats: EngineStats,
+    /// The clock every policy-facing cost sample is taken on, pinned at
+    /// construction; see [`DcqEngine::cost_clock`].
+    cost_clock: CostClock,
+    telemetry: EngineTelemetry,
 }
 
 impl Default for DcqEngine {
@@ -400,8 +558,19 @@ impl DcqEngine {
             cost_model: MaintenanceCostModel::default(),
             fanout: WorkerPool::new(WorkerPool::default_workers()),
             log: UpdateLog::new(),
-            stats: EngineStats::default(),
+            cost_clock: pinned_cost_clock(),
+            telemetry: EngineTelemetry::new(),
         }
+    }
+
+    /// The clock every policy-facing cost sample this engine records is taken
+    /// on: [`CostClock::ThreadCpu`] wherever the platform offers a per-thread
+    /// CPU clock, [`CostClock::Wall`] elsewhere.  Pinned once at construction
+    /// — clock availability is a static platform property — so
+    /// [`BatchStats::observe_cost`] never sees mixed-provenance samples from
+    /// one engine.
+    pub fn cost_clock(&self) -> CostClock {
+        self.cost_clock
     }
 
     /// The number of fan-out workers [`DcqEngine::apply`] distributes per-view
@@ -579,7 +748,7 @@ impl DcqEngine {
                 slot
             }
         };
-        self.stats.views_registered += 1;
+        self.telemetry.views_registered.inc();
         // Hand out a dense handle slot pointing at the shared view; bumping the
         // generation on every allocation invalidates stale copies of whatever
         // handle owned the slot before.
@@ -612,7 +781,7 @@ impl DcqEngine {
     pub fn deregister(&mut self, handle: ViewHandle) -> Result<()> {
         let view_slot = self.resolve(handle)?;
         self.handles[handle.slot].target = None;
-        self.stats.views_deregistered += 1;
+        self.telemetry.views_deregistered.inc();
         let shared = self.views[view_slot]
             .as_mut()
             .expect("handle pointed at a live view");
@@ -626,6 +795,14 @@ impl DcqEngine {
             // view (and with it its side Rcs) must drop before the pool prunes,
             // or the dying sides still count as held.
             dropped.view.teardown(&mut self.store);
+            // Fold the dying view's cumulative counting work into the engine's
+            // retired base so aggregated totals ([`DcqEngine::counting_telemetry`])
+            // stay monotone across deregistration.  Sides the view shared with
+            // survivors were not folded into its retired counters and keep
+            // reporting through the views that still hold them.
+            self.telemetry
+                .retired
+                .merge(&dropped.view.retired_counting_telemetry());
             drop(dropped);
             self.pool.prune();
         }
@@ -665,24 +842,29 @@ impl DcqEngine {
     ///    co-scheduled siblings and lock waits), and decided migrations
     ///    execute at the new epoch.
     pub fn apply(&mut self, batch: &DeltaBatch) -> Result<ApplyReport> {
+        #[cfg(feature = "telemetry")]
+        let commit_start = Instant::now();
         // The delta fraction is measured against the PRE-batch store size,
         // matching how calibration sweeps label their samples (batch tuples
         // relative to the store the batch is generated against).
         let store_size = self.store.input_size().max(1);
         let applied = self.store.apply_batch(batch)?;
         self.log.record(batch.clone(), applied.effect);
-        self.stats.batches_applied += 1;
+        self.telemetry.batches.inc();
         let mut report = ApplyReport {
             epoch: applied.epoch,
             effect: applied.effect,
             ..ApplyReport::default()
         };
+        #[cfg(feature = "telemetry")]
+        let commit_ns = commit_start.elapsed().as_nanos() as u64;
 
         // Fan-out: per-view folds are independent given the immutable store
         // borrow, so they distribute over the worker pool; each worker samples
-        // its own thread-CPU clock around each view it runs.
+        // the engine's pinned cost clock around each view it runs.
         let store = &self.store;
         let applied_ref = &applied;
+        let cost_clock = self.cost_clock;
         let tasks: Vec<(usize, &mut SharedView)> = self
             .views
             .iter_mut()
@@ -708,20 +890,27 @@ impl DcqEngine {
         } else {
             WorkerPool::new(1)
         };
-        type ViewOutcome = (usize, dcq_incremental::Result<BatchOutcome>, f64, CostClock);
+        #[cfg(feature = "telemetry")]
+        let fanout_start = Instant::now();
+        type ViewOutcome = (usize, dcq_incremental::Result<BatchOutcome>, f64);
         let outcomes: Vec<ViewOutcome> = fanout.run(tasks, |_, (slot, shared)| {
-            let sample = CostSample::start();
+            let sample = CostSample::start(cost_clock);
             let outcome = shared.view.apply(applied_ref, store);
-            let (cost_ns, clock) = sample.finish();
-            (slot, outcome, cost_ns, clock)
+            (slot, outcome, sample.finish())
         });
+        #[cfg(feature = "telemetry")]
+        let fanout_ns = fanout_start.elapsed().as_nanos() as u64;
+        #[cfg(feature = "telemetry")]
+        let policy_start = Instant::now();
 
         // Policy tail: deterministic slot order regardless of which worker ran
         // what.  A view error surfaces after every view has seen the batch, so
         // the healthy views' epochs stay aligned with the store.
         let mut first_error: Option<EngineError> = None;
         let mut pending: Vec<(usize, IncrementalStrategy)> = Vec::new();
-        for (slot, outcome, cost_ns, clock) in outcomes {
+        #[cfg(feature = "telemetry")]
+        let mut view_records: Vec<ViewTraceRecord> = Vec::new();
+        for (slot, outcome, cost_ns) in outcomes {
             let outcome = match outcome {
                 Ok(outcome) => outcome,
                 Err(e) => {
@@ -737,17 +926,39 @@ impl DcqEngine {
             report.result_added += outcome.result_added;
             report.result_removed += outcome.result_removed;
             let shared = self.views[slot].as_mut().expect("live view slot");
+            let delta_fraction = outcome.effect.total() as f64 / store_size as f64;
+            let mut migration: Option<IncrementalStrategy> = None;
             if let Some(stats) = shared.adaptive.as_mut() {
                 if !outcome.skipped {
-                    stats.observe(outcome.effect.total() as f64 / store_size as f64);
-                    stats.observe_cost(shared.view.active_strategy(), cost_ns, clock);
+                    stats.observe(delta_fraction);
+                    stats.observe_cost(shared.view.active_strategy(), cost_ns, cost_clock);
                     if let Some(target) =
                         self.cost_model.decide(shared.view.active_strategy(), stats)
                     {
                         pending.push((slot, target));
+                        migration = Some(target);
                     }
                 }
             }
+            #[cfg(feature = "telemetry")]
+            {
+                if !outcome.skipped {
+                    self.telemetry.view_cost_ns.observe(cost_ns as u64);
+                }
+                view_records.push(ViewTraceRecord {
+                    slot,
+                    strategy: strategy_label(shared.view.active_strategy()),
+                    delta_fraction: if outcome.skipped { 0.0 } else { delta_fraction },
+                    cost_ns: cost_ns as u64,
+                    clock: clock_label(cost_clock),
+                    skipped: outcome.skipped,
+                    result_added: outcome.result_added,
+                    result_removed: outcome.result_removed,
+                    migration: migration.map(strategy_label),
+                });
+            }
+            #[cfg(not(feature = "telemetry"))]
+            let _ = migration;
         }
         if let Some(e) = first_error {
             return Err(e);
@@ -757,6 +968,24 @@ impl DcqEngine {
         // rebuilt at `applied.epoch` — exactly the state it already reflects.
         for (slot, target) in pending {
             self.migrate_slot(slot, target)?;
+        }
+        #[cfg(feature = "telemetry")]
+        {
+            let policy_ns = policy_start.elapsed().as_nanos() as u64;
+            self.telemetry.commit_ns.observe(commit_ns);
+            self.telemetry.fanout_ns.observe(fanout_ns);
+            self.telemetry.policy_ns.observe(policy_ns);
+            self.telemetry.sink.record(BatchTrace {
+                epoch: applied.epoch,
+                batch_len: batch.len(),
+                inserted: applied.effect.inserted as u64,
+                deleted: applied.effect.deleted as u64,
+                commit_ns,
+                fanout_ns,
+                policy_ns,
+                workers: fanout.workers(),
+                views: view_records,
+            });
         }
         Ok(report)
     }
@@ -790,8 +1019,8 @@ impl DcqEngine {
                 stats.note_migration();
             }
             match active {
-                IncrementalStrategy::EasyRerun => self.stats.migrations_to_rerun += 1,
-                IncrementalStrategy::Counting => self.stats.migrations_to_counting += 1,
+                IncrementalStrategy::EasyRerun => self.telemetry.migrations_to_rerun.inc(),
+                IncrementalStrategy::Counting => self.telemetry.migrations_to_counting.inc(),
                 IncrementalStrategy::Adaptive => unreachable!("active kind is always concrete"),
             }
             // A migration away from counting may have dropped the last holder
@@ -858,13 +1087,215 @@ impl DcqEngine {
         self.pool.stats()
     }
 
-    /// Cumulative engine counters, with the index-registry snapshot filled in.
+    /// Cumulative engine counters (read from the metrics registry — the same
+    /// atomics [`DcqEngine::metrics`] renders), with the index-registry,
+    /// update-log, counting-pool and fan-out snapshots filled in at call time.
     pub fn stats(&self) -> EngineStats {
+        let pool = self.pool.stats();
         EngineStats {
+            batches_applied: self.telemetry.batches.get() as usize,
+            views_registered: self.telemetry.views_registered.get() as usize,
+            views_deregistered: self.telemetry.views_deregistered.get() as usize,
             index_count: self.store.index_count(),
             index_bytes: self.store.index_bytes(),
-            ..self.stats
+            migrations_to_rerun: self.telemetry.migrations_to_rerun.get() as usize,
+            migrations_to_counting: self.telemetry.migrations_to_counting.get() as usize,
+            log_len: self.log.len(),
+            log_base_epoch: self.log.base_epoch(),
+            pool_live: pool.live,
+            pool_shared: pool.shared,
+            workers: self.fanout.workers(),
         }
+    }
+
+    /// Aggregated counting-maintenance telemetry across every side the engine
+    /// ever maintained: the engine's retired base (sides whose last-holder
+    /// views were deregistered), each live view's migration-retired base, and
+    /// the live pooled sides — deduplicated by side identity, so a side shared
+    /// by `N` views is counted once.  Schedule-independent and monotone; all
+    /// gated fields read zero without the `telemetry` feature.
+    pub fn counting_telemetry(&self) -> CountingTelemetry {
+        let mut total = self.telemetry.retired;
+        let mut seen: FastHashSet<usize> = FastHashSet::default();
+        for shared in self.views.iter().flatten() {
+            total.merge(&shared.view.retired_counting_telemetry());
+            for (side, telemetry) in shared.view.counting_telemetry() {
+                if seen.insert(side) {
+                    total.merge(&telemetry);
+                }
+            }
+        }
+        total
+    }
+
+    /// The store's shared-index registry telemetry (COW clones vs. in-place
+    /// writes, snapshots taken, live snapshot pins).  Gated fields read zero
+    /// without the `telemetry` feature.
+    pub fn index_telemetry(&self) -> IndexTelemetry {
+        self.store.index_telemetry()
+    }
+
+    /// Render every metric the engine tracks in Prometheus text exposition
+    /// format: engine counters and phase histograms, plus the lower layers'
+    /// work counters (index registry, counting sides, side pool, plan cache)
+    /// and point-in-time gauges (epoch, handles, log, memory), aggregated into
+    /// the registry at call time.
+    pub fn metrics(&self) -> String {
+        self.refresh_registry();
+        self.telemetry.registry.render_prometheus()
+    }
+
+    /// The engine's metrics registry with every aggregated/point-in-time value
+    /// refreshed; [`DcqEngine::metrics`] is `refresh + render`.
+    pub fn metrics_registry(&self) -> &MetricsRegistry {
+        self.refresh_registry();
+        &self.telemetry.registry
+    }
+
+    /// Write the point-in-time gauges and the lower layers' aggregated totals
+    /// into the registry (engine counters and histograms are live atomics and
+    /// need no refresh).  Idempotent; creation is name-keyed, so repeated
+    /// refreshes reuse the same metric objects.
+    fn refresh_registry(&self) {
+        let reg = &self.telemetry.registry;
+        reg.gauge("dcq_engine_epoch", "Current store epoch")
+            .set(self.store.epoch());
+        reg.gauge("dcq_engine_view_handles", "Live registrations (handles)")
+            .set(self.view_count() as u64);
+        reg.gauge(
+            "dcq_engine_distinct_views",
+            "Distinct maintained views (per-batch fan-out width)",
+        )
+        .set(self.distinct_view_count() as u64);
+        reg.gauge("dcq_engine_workers", "Configured fan-out workers")
+            .set(self.fanout.workers() as u64);
+        reg.gauge(
+            "dcq_engine_update_log_len",
+            "Batches retained in the update log",
+        )
+        .set(self.log.len() as u64);
+        reg.gauge(
+            "dcq_engine_update_log_base_epoch",
+            "Epoch the retained log suffix starts after",
+        )
+        .set(self.log.base_epoch());
+
+        reg.gauge("dcq_index_count", "Live shared indexes in the registry")
+            .set(self.store.index_count() as u64);
+        reg.gauge("dcq_index_bytes", "Estimated index heap footprint, bytes")
+            .set(self.store.index_bytes() as u64);
+        let index = self.store.index_telemetry();
+        reg.counter(
+            "dcq_index_inplace_writes_total",
+            "Unshared index maintenance writes applied in place",
+        )
+        .set_total(index.inplace_writes);
+        reg.counter(
+            "dcq_index_cow_clones_total",
+            "Index maintenance writes that copy-on-wrote a pinned index",
+        )
+        .set_total(index.cow_clones);
+        reg.counter(
+            "dcq_index_snapshots_total",
+            "Epoch-consistent index snapshots taken",
+        )
+        .set_total(index.snapshots_taken);
+        reg.gauge(
+            "dcq_index_live_snapshot_pins",
+            "Index snapshots currently pinning an index version",
+        )
+        .set(index.live_snapshot_pins);
+
+        let counting = self.counting_telemetry();
+        reg.counter(
+            "dcq_counting_index_probes_total",
+            "Shared-index probes issued by telescoped fold steps",
+        )
+        .set_total(counting.index_probes);
+        reg.counter(
+            "dcq_counting_compensated_masks_total",
+            "Rows masked out of probe results by delta compensation",
+        )
+        .set_total(counting.compensated_masks);
+        reg.counter(
+            "dcq_counting_compensated_restores_total",
+            "Deleted rows restored into probe results by delta compensation",
+        )
+        .set_total(counting.compensated_restores);
+        reg.counter(
+            "dcq_counting_deletion_index_builds_total",
+            "Transient deletion-side index builds",
+        )
+        .set_total(counting.deletion_index_builds);
+        reg.counter(
+            "dcq_counting_folds_owned_total",
+            "Batch folds a side performed itself (first locker per epoch)",
+        )
+        .set_total(counting.folds_owned);
+        reg.counter(
+            "dcq_counting_fold_hits_shared_total",
+            "Batch folds served from a pool-shared side's memoized delta",
+        )
+        .set_total(counting.fold_hits_shared);
+
+        let pool = self.pool.stats();
+        reg.counter(
+            "dcq_pool_hits_total",
+            "Side acquisitions served by a live shared side",
+        )
+        .set_total(pool.hits);
+        reg.counter(
+            "dcq_pool_misses_total",
+            "Side acquisitions that built and seeded a fresh side",
+        )
+        .set_total(pool.misses);
+        reg.gauge("dcq_pool_live_sides", "Live pooled counting side shapes")
+            .set(pool.live as u64);
+        reg.gauge(
+            "dcq_pool_shared_sides",
+            "Pooled sides held by more than one view",
+        )
+        .set(pool.shared as u64);
+
+        let plans = self.plans.stats();
+        reg.counter(
+            "dcq_plan_cache_hits_total",
+            "Preparations served without reclassification",
+        )
+        .set_total(plans.hits);
+        reg.counter(
+            "dcq_plan_cache_misses_total",
+            "Preparations that performed classification work",
+        )
+        .set_total(plans.misses);
+        reg.gauge("dcq_plan_cache_entries", "Memoized plan shapes")
+            .set(plans.entries as u64);
+    }
+
+    /// Copy out the retained per-batch traces, oldest first, without consuming
+    /// them.  Empty without the `telemetry` feature (the hooks that record
+    /// traces compile to nothing).
+    pub fn traces(&self) -> Vec<BatchTrace> {
+        self.telemetry.sink.snapshot()
+    }
+
+    /// Remove and return the retained per-batch traces, oldest first.
+    pub fn drain_traces(&self) -> Vec<BatchTrace> {
+        self.telemetry.sink.drain()
+    }
+
+    /// Render the retained per-batch traces as JSON lines (one `BatchTrace`
+    /// object per line, oldest first), without consuming them.
+    pub fn trace_json_lines(&self) -> String {
+        render_json_lines(&self.telemetry.sink.snapshot())
+    }
+
+    /// Replace the per-batch trace sink (default: a bounded
+    /// [`RingTraceSink`] retaining the most recent
+    /// [`RingTraceSink::DEFAULT_CAPACITY`] traces).  Retained traces in the
+    /// old sink are discarded with it.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.telemetry.sink = sink;
     }
 
     /// The engine's update log (every applied batch, unbounded by default;
@@ -1511,18 +1942,59 @@ mod tests {
                     parallel.view(*h2).unwrap().active_strategy()
                 );
             }
-            assert_eq!(sequential.stats(), parallel.stats());
+            // `workers` is the one stats field that legitimately differs — it
+            // reports configuration, not work done.
+            assert_eq!(
+                EngineStats {
+                    workers: 0,
+                    ..sequential.stats()
+                },
+                EngineStats {
+                    workers: 0,
+                    ..parallel.stats()
+                }
+            );
+            assert_eq!(
+                sequential.counting_telemetry(),
+                parallel.counting_telemetry(),
+                "counting work counters diverged at step {step}"
+            );
             assert_eq!(
                 sequential.counting_pool_stats(),
                 parallel.counting_pool_stats()
             );
         }
         // Cost samples are timing and therefore NOT comparable across engines —
-        // but their provenance must be the CPU clock wherever the platform has
-        // one, so parallel scheduling cannot skew them.
+        // but their provenance must be the engine's pinned clock, the CPU clock
+        // wherever the platform has one, so parallel scheduling cannot skew them.
         if dcq_core::heuristics::thread_cpu_time_ns().is_some() {
+            assert_eq!(parallel.cost_clock(), CostClock::ThreadCpu);
             let stats = parallel.batch_stats(handles[1][2]).unwrap().unwrap();
             assert_eq!(stats.cost_clock, dcq_core::heuristics::CostClock::ThreadCpu);
+        }
+    }
+
+    #[test]
+    fn cost_samples_use_one_pinned_clock() {
+        // The clock is pinned at construction to the platform's best choice…
+        let mut engine = engine();
+        let expected = if dcq_core::heuristics::thread_cpu_time_ns().is_some() {
+            CostClock::ThreadCpu
+        } else {
+            CostClock::Wall
+        };
+        assert_eq!(engine.cost_clock(), expected);
+
+        // …and every sample the adaptive policy sees carries exactly that
+        // provenance, batch after batch (the old design re-probed per sample
+        // and could mix clocks within one engine).
+        let adaptive = engine.register_adaptive(parse_dcq(HARD).unwrap()).unwrap();
+        for step in 0..5i64 {
+            let mut batch = DeltaBatch::new();
+            batch.insert("Graph", int_row([900 + step, 901 + step]));
+            engine.apply(&batch).unwrap();
+            let stats = engine.batch_stats(adaptive).unwrap().unwrap();
+            assert_eq!(stats.cost_clock, expected, "clock drifted at step {step}");
         }
     }
 
@@ -1606,6 +2078,167 @@ mod tests {
         assert_sync::<DcqEngine>();
         assert_send::<LogCheckpoint>();
         assert_sync::<SharedDatabase>();
+    }
+
+    #[test]
+    fn metrics_exposition_covers_every_layer_and_stats_derive_from_it() {
+        let mut engine = engine();
+        engine.set_workers(2);
+        let hard = engine.register_dcq(parse_dcq(HARD).unwrap()).unwrap();
+        let easy = engine.register_dcq(parse_dcq(EASY).unwrap()).unwrap();
+        let mut batch = DeltaBatch::new();
+        batch.insert("Graph", int_row([5, 2]));
+        batch.delete("Edge", int_row([1, 3]));
+        engine.apply(&batch).unwrap();
+
+        // The derived stats view reflects the registry and the live snapshots.
+        let stats = engine.stats();
+        assert_eq!(stats.batches_applied, 1);
+        assert_eq!(stats.views_registered, 2);
+        assert_eq!(stats.log_len, 1);
+        assert_eq!(stats.log_base_epoch, 0);
+        assert_eq!(stats.workers, 2);
+        assert_eq!(stats.pool_live, 2, "two counting sides live");
+        assert_eq!(stats.pool_shared, 0);
+
+        // The exposition carries every layer's metric families, in every
+        // feature configuration (gated counters just read zero when off).
+        let text = engine.metrics();
+        for name in [
+            "dcq_engine_batches_total 1",
+            "dcq_engine_epoch 1",
+            "dcq_engine_view_handles 2",
+            "dcq_engine_distinct_views 2",
+            "dcq_engine_workers 2",
+            "dcq_engine_update_log_len 1",
+            "dcq_engine_commit_ns_count",
+            "dcq_engine_fanout_ns_bucket",
+            "dcq_engine_view_cost_ns_sum",
+            "dcq_index_count",
+            "dcq_index_inplace_writes_total",
+            "dcq_index_cow_clones_total",
+            "dcq_counting_index_probes_total",
+            "dcq_counting_folds_owned_total",
+            "dcq_pool_live_sides 2",
+            "dcq_plan_cache_misses_total 2",
+        ] {
+            assert!(
+                text.contains(name),
+                "metrics() must render {name:?}:\n{text}"
+            );
+        }
+        assert_eq!(
+            engine.metrics_registry().value("dcq_engine_batches_total"),
+            Some(1)
+        );
+
+        // Registry values and derived stats agree by construction.
+        #[cfg(feature = "telemetry")]
+        {
+            assert!(
+                engine.counting_telemetry().index_probes > 0,
+                "the hard view's counting fold must probe shared indexes"
+            );
+            assert!(engine.index_telemetry().inplace_writes > 0);
+        }
+        engine.deregister(hard).unwrap();
+        engine.deregister(easy).unwrap();
+        assert_eq!(engine.stats().pool_live, 0);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn per_batch_traces_record_phases_views_and_migrations() {
+        let mut engine = engine();
+        engine.set_cost_model(MaintenanceCostModel {
+            crossover_fraction: 0.2,
+            hysteresis: 0.1,
+            min_observations: 2,
+            ..MaintenanceCostModel::default()
+        });
+        let adaptive = engine.register_adaptive(parse_dcq(HARD).unwrap()).unwrap();
+        engine.register_dcq(parse_dcq(EASY).unwrap()).unwrap();
+
+        // Drive bulk batches until the adaptive view migrates to rerun.
+        let mut next = 100;
+        while engine.view(adaptive).unwrap().active_strategy() == IncrementalStrategy::Counting {
+            let mut batch = DeltaBatch::new();
+            for _ in 0..4 {
+                batch.insert("Graph", int_row([next, next + 1]));
+                next += 2;
+            }
+            engine.apply(&batch).unwrap();
+            assert!(next < 200, "policy never migrated");
+        }
+
+        let traces = engine.traces();
+        assert_eq!(
+            traces.len(),
+            engine.stats().batches_applied,
+            "one trace per apply"
+        );
+        let clock = clock_label(engine.cost_clock());
+        for (i, trace) in traces.iter().enumerate() {
+            assert_eq!(trace.epoch, i as u64 + 1);
+            assert_eq!(trace.batch_len, 4);
+            assert_eq!(trace.inserted, 4);
+            assert_eq!(trace.views.len(), 2, "every live view gets a record");
+            for record in &trace.views {
+                assert_eq!(record.clock, clock);
+                if !record.skipped {
+                    assert!(record.delta_fraction > 0.0);
+                }
+            }
+        }
+        // The last trace carries the migration decision on the adaptive slot.
+        let last = traces.last().unwrap();
+        let migrated: Vec<_> = last
+            .views
+            .iter()
+            .filter(|r| r.migration == Some("EasyRerun"))
+            .collect();
+        assert_eq!(migrated.len(), 1, "exactly one view migrated: {last:?}");
+        assert_eq!(
+            migrated[0].strategy, "Counting",
+            "strategy is pre-migration"
+        );
+
+        // Phase histograms saw every batch, and the JSON-lines dump is one
+        // object per trace with the phase fields present.
+        assert!(engine
+            .metrics()
+            .contains(&format!("dcq_engine_commit_ns_count {}", traces.len())));
+        let json = engine.trace_json_lines();
+        assert_eq!(json.lines().count(), traces.len());
+        assert!(json.lines().all(|l| l.starts_with("{\"epoch\":")
+            && l.contains("\"commit_ns\":")
+            && l.contains("\"fanout_ns\":")
+            && l.contains("\"policy_ns\":")
+            && l.contains("\"views\":[")));
+
+        // Draining consumes; a replacement sink starts empty.
+        assert_eq!(engine.drain_traces().len(), traces.len());
+        assert!(engine.traces().is_empty());
+        engine.set_trace_sink(Box::new(dcq_telemetry::RingTraceSink::new(2)));
+        let mut batch = DeltaBatch::new();
+        batch.insert("Graph", int_row([7, 7]));
+        engine.apply(&batch).unwrap();
+        assert_eq!(engine.traces().len(), 1);
+    }
+
+    #[cfg(not(feature = "telemetry"))]
+    #[test]
+    fn telemetry_off_records_no_traces_but_keeps_the_api() {
+        let mut engine = engine();
+        engine.register_dcq(parse_dcq(HARD).unwrap()).unwrap();
+        let mut batch = DeltaBatch::new();
+        batch.insert("Graph", int_row([5, 2]));
+        engine.apply(&batch).unwrap();
+        assert!(engine.traces().is_empty(), "trace hooks compile to nothing");
+        assert_eq!(engine.trace_json_lines(), "");
+        assert_eq!(engine.counting_telemetry(), CountingTelemetry::default());
+        assert_eq!(engine.stats().batches_applied, 1, "stats stay live");
+        assert!(engine.metrics().contains("dcq_engine_batches_total 1"));
     }
 
     #[test]

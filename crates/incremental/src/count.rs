@@ -35,6 +35,7 @@
 //! are normalized, the compensation is exact, and its cost scales with the delta
 //! size, never with the database.  Per-view state shrinks to the count map.
 
+use crate::tele;
 use crate::{IncrementalError, Result};
 use dcq_core::delta_plan::{build_delta_plans, AtomBinding, CqDeltaPlans};
 use dcq_core::query::ConjunctiveQuery;
@@ -92,6 +93,55 @@ pub struct CountingCq {
     /// for insert-only traffic (the index is built lazily, only when the step's
     /// compensation actually restores deleted rows).
     deletion_index_builds: u64,
+    /// Cumulative work counters (no-ops without the `telemetry` feature); see
+    /// [`CountingTelemetry`] for the semantics of each.
+    index_probes: tele::Counter,
+    compensated_masks: tele::Counter,
+    compensated_restores: tele::Counter,
+    folds_owned: tele::Counter,
+    fold_hits_shared: tele::Counter,
+}
+
+/// Cumulative telemetry counters of one [`CountingCq`], read through
+/// [`CountingCq::telemetry`].
+///
+/// Every field is **schedule-independent**: it depends only on the sequence of
+/// batches folded, never on which sharing view's worker performed the fold, so
+/// two engines fed the same batches report bit-identical values at any worker
+/// count.  All values except `deletion_index_builds` are zero when the crate
+/// is built without the `telemetry` feature.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CountingTelemetry {
+    /// Shared-index probes issued by telescoped fold steps (one per
+    /// accumulated row per step).
+    pub index_probes: u64,
+    /// Probed rows masked out because the pending batch inserted them (they
+    /// are absent in the old state the step must observe).
+    pub compensated_masks: u64,
+    /// Rows restored into a probe result because the pending batch deleted
+    /// them (present in the old state, already gone from the shared index).
+    pub compensated_restores: u64,
+    /// Per-step deletion-key indexes built (the compensated-probe setup cost;
+    /// zero for insert-only traffic).
+    pub deletion_index_builds: u64,
+    /// Telescoped folds this engine performed itself (including the seed
+    /// fold at construction).
+    pub folds_owned: u64,
+    /// Batch applications served from the per-epoch memo because a sharing
+    /// view already folded the batch into this side.
+    pub fold_hits_shared: u64,
+}
+
+impl CountingTelemetry {
+    /// Field-wise sum (for aggregating across an engine's live sides).
+    pub fn merge(&mut self, other: &CountingTelemetry) {
+        self.index_probes += other.index_probes;
+        self.compensated_masks += other.compensated_masks;
+        self.compensated_restores += other.compensated_restores;
+        self.deletion_index_builds += other.deletion_index_builds;
+        self.folds_owned += other.folds_owned;
+        self.fold_hits_shared += other.fold_hits_shared;
+    }
 }
 
 impl CountingCq {
@@ -153,6 +203,11 @@ impl CountingCq {
             epoch: store.epoch(),
             last_delta,
             deletion_index_builds: 0,
+            index_probes: tele::Counter::default(),
+            compensated_masks: tele::Counter::default(),
+            compensated_restores: tele::Counter::default(),
+            folds_owned: tele::Counter::default(),
+            fold_hits_shared: tele::Counter::default(),
         };
 
         // Seed: fold the full current contents as one batch of inserts.  The
@@ -233,6 +288,19 @@ impl CountingCq {
         self.deletion_index_builds
     }
 
+    /// Cumulative work counters of this engine (all zero except
+    /// `deletion_index_builds` without the `telemetry` feature).
+    pub fn telemetry(&self) -> CountingTelemetry {
+        CountingTelemetry {
+            index_probes: self.index_probes.get(),
+            compensated_masks: self.compensated_masks.get(),
+            compensated_restores: self.compensated_restores.get(),
+            deletion_index_builds: self.deletion_index_builds,
+            folds_owned: self.folds_owned.get(),
+            fold_hits_shared: self.fold_hits_shared.get(),
+        }
+    }
+
     /// Fold one applied batch into the support counts and return the induced
     /// change of the count map (already folded into [`CountingCq::counts`]).
     ///
@@ -250,6 +318,9 @@ impl CountingCq {
         store: &SharedDatabase,
     ) -> AnnotatedRelation<i64> {
         if applied.epoch == self.epoch {
+            // A sharing view's worker already folded this batch; the memoized
+            // head delta is served without re-touching the counts.
+            self.fold_hits_shared.inc();
             return self.last_delta.clone();
         }
         debug_assert!(
@@ -280,6 +351,7 @@ impl CountingCq {
         deltas: &[(&str, &[(Row, i64)])],
         store: &SharedDatabase,
     ) -> AnnotatedRelation<i64> {
+        self.folds_owned.inc();
         let mut head_delta = AnnotatedRelation::new("Δcount", self.output.clone());
         let mut pending: FastHashMap<&str, PendingDelta<'_>> = deltas
             .iter()
@@ -338,9 +410,12 @@ impl CountingCq {
                     let mut next = Vec::with_capacity(acc.len());
                     for (row, mult) in &acc {
                         let key = row.project(&step.acc_key_positions);
+                        self.index_probes.inc();
                         for stored in store.probe_index(index, &key) {
                             if comp.is_some_and(|c| c.plus.contains(stored)) {
-                                continue; // inserted this batch → absent in the old state
+                                // inserted this batch → absent in the old state
+                                self.compensated_masks.inc();
+                                continue;
                             }
                             next.push((
                                 row.concat_projected(stored, &step.append_positions),
@@ -351,6 +426,7 @@ impl CountingCq {
                             // Deleted this batch → present in the old state but
                             // already gone from the shared index; restore them.
                             for stored in by_key.get(&key).map(Vec::as_slice).unwrap_or(&[]) {
+                                self.compensated_restores.inc();
                                 next.push((
                                     row.concat_projected(stored, &step.append_positions),
                                     *mult,
@@ -547,6 +623,47 @@ mod tests {
         );
         let expected = evaluate_cq(&cq, store.database(), CqStrategy::Vanilla).unwrap();
         assert_eq!(engine.to_relation().sorted_rows(), expected.sorted_rows());
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn telemetry_counts_probes_masks_restores_and_folds() {
+        let mut store = store();
+        let cq = parse_cq("P(x, z) :- Graph(x, y), Graph(y, z)").unwrap();
+        let mut engine = CountingCq::from_store(cq.clone(), cq.head_schema(), &mut store).unwrap();
+        let seeded = engine.telemetry();
+        assert_eq!(seeded.folds_owned, 1, "the seed is one owned fold");
+        assert!(seeded.index_probes > 0, "the seed fold probes indexes");
+        assert_eq!(seeded.fold_hits_shared, 0);
+        assert_eq!(seeded.compensated_restores, 0, "seed fold is insert-only");
+
+        // A mixed batch over a self-join exercises both compensation paths:
+        // the inserted row must be masked out of probes of the not-yet-folded
+        // occurrence, the deleted row must be restored into them.
+        let mut batch = DeltaBatch::new();
+        batch.insert("Graph", int_row([3, 2]));
+        batch.delete("Graph", int_row([2, 3]));
+        let applied = store.apply_batch(&batch).unwrap();
+        engine.apply_batch(&applied, &store);
+        let t = engine.telemetry();
+        assert_eq!(t.folds_owned, 2);
+        assert!(t.index_probes > seeded.index_probes);
+        assert!(t.compensated_masks > 0, "insert must be masked somewhere");
+        assert!(t.compensated_restores > 0, "delete must be restored");
+        assert_eq!(t.deletion_index_builds, engine.deletion_index_builds());
+
+        // Re-offering the same epoch is a shared-side hit, not a fold.
+        engine.apply_batch(&applied, &store);
+        let t2 = engine.telemetry();
+        assert_eq!(t2.fold_hits_shared, 1);
+        assert_eq!(t2.folds_owned, 2);
+        assert_eq!(t2.index_probes, t.index_probes);
+
+        let mut merged = CountingTelemetry::default();
+        merged.merge(&t2);
+        merged.merge(&t2);
+        assert_eq!(merged.index_probes, 2 * t2.index_probes);
+        engine.release_indexes(&mut store);
     }
 
     #[test]

@@ -50,9 +50,10 @@
 
 pub mod count;
 pub mod pool;
+pub(crate) mod tele;
 pub mod view;
 
-pub use count::CountingCq;
+pub use count::{CountingCq, CountingTelemetry};
 pub use dcq_core::planner::{IncrementalPlan, IncrementalStrategy};
 pub use pool::{CountingPool, CountingPoolStats, SharedCountingCq};
 pub use view::{BatchOutcome, DcqView, MaintenanceStats};

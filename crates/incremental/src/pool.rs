@@ -52,6 +52,10 @@ pub struct CountingPoolStats {
     pub misses: u64,
     /// Side shapes currently live (held by at least one view).
     pub live: usize,
+    /// Live side shapes currently held by **more than one** view handle, i.e.
+    /// sides whose per-batch fold is amortized across sharers.  A degenerate
+    /// `Q − Q` view counts here too: it holds its single side twice.
+    pub shared: usize,
 }
 
 /// The pool of live counting sides, keyed by α-canonical CQ shape.
@@ -102,14 +106,23 @@ impl CountingPool {
 
     /// Hit/miss counters and the number of currently live side shapes.
     pub fn stats(&self) -> CountingPoolStats {
+        let mut live = 0;
+        let mut shared = 0;
+        for weak in self.entries.values() {
+            match weak.strong_count() {
+                0 => {}
+                1 => live += 1,
+                _ => {
+                    live += 1;
+                    shared += 1;
+                }
+            }
+        }
         CountingPoolStats {
             hits: self.hits,
             misses: self.misses,
-            live: self
-                .entries
-                .values()
-                .filter(|w| w.strong_count() > 0)
-                .count(),
+            live,
+            shared,
         }
     }
 
@@ -153,6 +166,7 @@ mod tests {
         assert_eq!(pool.stats().hits, 1);
         assert_eq!(pool.stats().misses, 1);
         assert_eq!(pool.stats().live, 1);
+        assert_eq!(pool.stats().shared, 1, "two handles on one shape");
         // One engine → its indexes are acquired exactly once.
         assert_eq!(store.index_stats().total_refs, store.index_count());
 
@@ -186,6 +200,7 @@ mod tests {
             .unwrap();
         assert!(!Arc::ptr_eq(&sa, &sb));
         assert_eq!(pool.stats().live, 2);
+        assert_eq!(pool.stats().shared, 0, "single-holder sides are not shared");
         sa.write().unwrap().release_indexes(&mut store);
         sb.write().unwrap().release_indexes(&mut store);
     }

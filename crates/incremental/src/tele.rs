@@ -1,0 +1,27 @@
+//! Feature-gated telemetry primitives.
+//!
+//! With the `telemetry` feature on, this is `dcq-telemetry`'s atomic counter;
+//! with it off it is a zero-sized stub whose methods compile to nothing, so
+//! instrumentation call sites stay unconditional and cost-free in the
+//! telemetry-off build.
+
+#[cfg(feature = "telemetry")]
+pub(crate) use dcq_telemetry::Counter;
+
+/// No-op stand-in for [`dcq_telemetry::Counter`].
+#[cfg(not(feature = "telemetry"))]
+#[derive(Debug, Default, Clone)]
+pub(crate) struct Counter;
+
+#[cfg(not(feature = "telemetry"))]
+#[allow(dead_code)]
+impl Counter {
+    #[inline(always)]
+    pub fn inc(&self) {}
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+    #[inline(always)]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}

@@ -34,7 +34,7 @@
 //! full result-set rebuilds — stays in the engine's sequential phases, under
 //! `&mut` everything, where holding both sides' read guards is safe.
 
-use crate::count::CountingCq;
+use crate::count::{CountingCq, CountingTelemetry};
 use crate::pool::{CountingPool, SharedCountingCq};
 use crate::{IncrementalError, Result};
 use dcq_core::baseline::{evaluate_cq, CqStrategy};
@@ -128,6 +128,12 @@ pub struct DcqView {
     referenced: Vec<String>,
     result: FastHashSet<Row>,
     stats: MaintenanceStats,
+    /// Telemetry folded in from counting sides this view released as their
+    /// **last** holder (strategy migrations away from counting).  Keeps the
+    /// view's cumulative work counters monotone across migrations: totals are
+    /// `retired + live sides` (the engine applies the same scheme one level up
+    /// for deregistered views).
+    retired: CountingTelemetry,
     epoch: Epoch,
 }
 
@@ -221,6 +227,7 @@ impl DcqView {
             referenced,
             result: FastHashSet::default(),
             stats: MaintenanceStats::default(),
+            retired: CountingTelemetry::default(),
             epoch: store.epoch(),
         };
         view.result = view.compute_result_set()?;
@@ -455,12 +462,18 @@ impl DcqView {
     /// are released only when this view is its **last** holder — both the side
     /// and the registry entries survive as long as any view still reads them.
     pub fn teardown(&mut self, store: &mut SharedDatabase) {
-        DcqView::release_state(&mut self.state, store);
+        let dying = DcqView::release_state(&mut self.state, store);
+        self.retired.merge(&dying);
     }
 
     /// Release the shared-store resources one [`ViewState`] holds (teardown and
-    /// migration both land here).  Rerun state owns nothing shared.
-    fn release_state(state: &mut ViewState, store: &mut SharedDatabase) {
+    /// migration both land here).  Rerun state owns nothing shared.  Returns
+    /// the merged [`CountingTelemetry`] of every side released as its last
+    /// holder, so the caller can fold the dying sides' work counters into its
+    /// `retired` base — sides that survive (still shared) keep reporting
+    /// through their remaining holders and contribute nothing here.
+    fn release_state(state: &mut ViewState, store: &mut SharedDatabase) -> CountingTelemetry {
+        let mut dying = CountingTelemetry::default();
         if let ViewState::Counting { q1, q2 } = state {
             let same = Arc::ptr_eq(q1, q2);
             // A degenerate `Q − Q` view holds its side twice; either way,
@@ -471,16 +484,17 @@ impl DcqView {
             // side handles.
             let q1_holders = if same { 2 } else { 1 };
             if Arc::strong_count(q1) == q1_holders {
-                q1.write()
-                    .expect("counting side lock poisoned")
-                    .release_indexes(store);
+                let mut side = q1.write().expect("counting side lock poisoned");
+                dying.merge(&side.telemetry());
+                side.release_indexes(store);
             }
             if !same && Arc::strong_count(q2) == 1 {
-                q2.write()
-                    .expect("counting side lock poisoned")
-                    .release_indexes(store);
+                let mut side = q2.write().expect("counting side lock poisoned");
+                dying.merge(&side.telemetry());
+                side.release_indexes(store);
             }
         }
+        dying
     }
 
     /// Switch the view's live maintenance machinery to `target` at the current
@@ -516,7 +530,8 @@ impl DcqView {
         let fresh =
             DcqView::build_state(&self.dcq, &self.output, target, store, Some((cache, pool)))?;
         let mut old = std::mem::replace(&mut self.state, fresh);
-        DcqView::release_state(&mut old, store);
+        let dying = DcqView::release_state(&mut old, store);
+        self.retired.merge(&dying);
         drop(old);
         self.active = target;
         self.stats.migrations += 1;
@@ -612,6 +627,39 @@ impl DcqView {
     /// Work counters.
     pub fn stats(&self) -> MaintenanceStats {
         self.stats
+    }
+
+    /// Telemetry folded in from counting sides this view released as their
+    /// last holder (migrations away from counting, and teardown).  Add this to
+    /// the live [`DcqView::counting_telemetry`] sides for the view's full
+    /// cumulative work; sides still shared with other views at release time are
+    /// **not** folded here — they keep reporting through their survivors.
+    pub fn retired_counting_telemetry(&self) -> CountingTelemetry {
+        self.retired
+    }
+
+    /// Telemetry of the counting sides this view holds, keyed by side identity
+    /// (the shared `Arc`'s address) so a caller aggregating across many views
+    /// can deduplicate pool-shared sides instead of double-counting them.
+    /// Empty for rerun views; a degenerate `Q − Q` view reports its single
+    /// side once.
+    pub fn counting_telemetry(&self) -> Vec<(usize, CountingTelemetry)> {
+        match &self.state {
+            ViewState::Counting { q1, q2 } => {
+                let mut sides = vec![(
+                    Arc::as_ptr(q1) as usize,
+                    q1.read().expect("counting side lock poisoned").telemetry(),
+                )];
+                if !Arc::ptr_eq(q1, q2) {
+                    sides.push((
+                        Arc::as_ptr(q2) as usize,
+                        q2.read().expect("counting side lock poisoned").telemetry(),
+                    ));
+                }
+                sides
+            }
+            ViewState::EasyRerun(_) => Vec::new(),
+        }
     }
 }
 

@@ -42,6 +42,7 @@ pub mod relation;
 pub mod row;
 pub mod schema;
 pub mod shared;
+pub(crate) mod tele;
 pub mod value;
 
 pub use annotated::{AnnotatedRelation, BagRelation, Ring, Semiring};
@@ -51,7 +52,8 @@ pub use error::StorageError;
 pub use hash::{FastHashMap, FastHashSet};
 pub use index::HashIndex;
 pub use registry::{
-    IndexId, IndexKey, IndexRegistry, IndexRegistryStats, IndexSnapshot, SharedIndex,
+    IndexId, IndexKey, IndexRegistry, IndexRegistryStats, IndexSnapshot, IndexTelemetry,
+    SharedIndex,
 };
 pub use relation::Relation;
 pub use row::Row;

@@ -47,6 +47,7 @@ use crate::hash::{map_with_capacity, FastHashMap};
 use crate::relation::Relation;
 use crate::row::Row;
 use crate::shared::Epoch;
+use crate::tele;
 use crate::value::Value;
 use std::fmt;
 use std::sync::Arc;
@@ -206,6 +207,28 @@ impl SharedIndex {
     }
 }
 
+/// Cumulative telemetry counters of an [`IndexRegistry`], read through
+/// [`IndexRegistry::telemetry`].
+///
+/// All values are zero when the crate is built without the `telemetry`
+/// feature (the instrumentation compiles to no-ops).  Every field except
+/// `live_snapshot_pins` is **schedule-independent**: it depends only on the
+/// sequence of maintenance operations, never on thread interleaving.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IndexTelemetry {
+    /// Per-batch index writes that found the entry unshared and updated it in
+    /// place (the steady-state zero-copy path).
+    pub inplace_writes: u64,
+    /// Per-batch index writes that had to clone the entry first because an
+    /// outstanding [`IndexSnapshot`] (or registry clone) still referenced it.
+    pub cow_clones: u64,
+    /// Snapshots taken over the registry's lifetime.
+    pub snapshots_taken: u64,
+    /// Snapshots (including clones of snapshots) currently alive and pinning
+    /// entry versions.
+    pub live_snapshot_pins: u64,
+}
+
 /// Point-in-time counters of a registry, surfaced through engine stats.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct IndexRegistryStats {
@@ -234,10 +257,34 @@ struct IndexSlot {
 
 /// The refcounted collection of [`SharedIndex`]es a
 /// [`SharedDatabase`](crate::SharedDatabase) maintains.
-#[derive(Clone, Default)]
+#[derive(Default)]
 pub struct IndexRegistry {
     slots: Vec<IndexSlot>,
     by_key: FastHashMap<IndexKey, usize>,
+    /// Cumulative maintenance counters (no-ops without the `telemetry`
+    /// feature); `live_pins` is shared with every outstanding snapshot's
+    /// [`PinGuard`].
+    inplace_writes: tele::Counter,
+    cow_clones: tele::Counter,
+    snapshots_taken: tele::Counter,
+    live_pins: Arc<tele::Gauge>,
+}
+
+impl Clone for IndexRegistry {
+    /// Clones carry the counter *values* forward but get their own live-pin
+    /// gauge: snapshots of the original keep decrementing the original's
+    /// gauge on drop, and the clone starts with zero outstanding pins of its
+    /// own.
+    fn clone(&self) -> Self {
+        IndexRegistry {
+            slots: self.slots.clone(),
+            by_key: self.by_key.clone(),
+            inplace_writes: self.inplace_writes.clone(),
+            cow_clones: self.cow_clones.clone(),
+            snapshots_taken: self.snapshots_taken.clone(),
+            live_pins: Arc::new(tele::Gauge::default()),
+        }
+    }
 }
 
 impl IndexRegistry {
@@ -342,6 +389,14 @@ impl IndexRegistry {
         }
         for entry in self.slots.iter_mut().filter_map(|s| s.entry.as_mut()) {
             if entry.key.relation == relation {
+                // `make_mut` clones exactly when another `Arc` (a snapshot or
+                // registry clone) still references the entry; observe which
+                // path this write takes before it happens.
+                if Arc::strong_count(entry) > 1 {
+                    self.cow_clones.inc();
+                } else {
+                    self.inplace_writes.inc();
+                }
                 Arc::make_mut(entry).apply_delta(delta, epoch);
             }
         }
@@ -373,6 +428,7 @@ impl IndexRegistry {
     /// later batches mutate the live registry copy-on-write, and later
     /// teardowns only drop the live reference.
     pub fn snapshot(&self, epoch: Epoch) -> IndexSnapshot {
+        self.snapshots_taken.inc();
         IndexSnapshot {
             epoch,
             slots: self
@@ -384,6 +440,18 @@ impl IndexRegistry {
                         .map(|entry| (s.generation, Arc::clone(entry)))
                 })
                 .collect(),
+            _pin: PinGuard::new(Arc::clone(&self.live_pins)),
+        }
+    }
+
+    /// Cumulative telemetry counters (all zero without the `telemetry`
+    /// feature).
+    pub fn telemetry(&self) -> IndexTelemetry {
+        IndexTelemetry {
+            inplace_writes: self.inplace_writes.get(),
+            cow_clones: self.cow_clones.get(),
+            snapshots_taken: self.snapshots_taken.get(),
+            live_snapshot_pins: self.live_pins.get(),
         }
     }
 
@@ -449,6 +517,34 @@ pub struct IndexSnapshot {
     /// Per registry slot: the generation and entry that were live at snapshot
     /// time (so the same stale-id discipline applies as on the live registry).
     slots: Vec<Option<(u64, Arc<SharedIndex>)>>,
+    /// Keeps the owning registry's live-pin gauge accurate for as long as any
+    /// clone of this snapshot is alive (held for `Drop` only).
+    _pin: PinGuard,
+}
+
+/// RAII participant in the registry's live-snapshot-pin gauge: construction
+/// and cloning increment it, dropping decrements it.
+struct PinGuard {
+    live: Arc<tele::Gauge>,
+}
+
+impl PinGuard {
+    fn new(live: Arc<tele::Gauge>) -> Self {
+        live.add(1);
+        PinGuard { live }
+    }
+}
+
+impl Clone for PinGuard {
+    fn clone(&self) -> Self {
+        PinGuard::new(Arc::clone(&self.live))
+    }
+}
+
+impl Drop for PinGuard {
+    fn drop(&mut self) {
+        self.live.sub(1);
+    }
 }
 
 impl IndexSnapshot {
@@ -678,6 +774,45 @@ mod tests {
         assert_ne!(after, moved, "snapshotted entry is copied before mutation");
         assert!(snap.probe(id, &int_row([8])).is_empty());
         assert_eq!(reg.probe(id, &int_row([8])), &[int_row([8, 8])]);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn telemetry_counts_cow_vs_inplace_and_pins() {
+        let mut reg = IndexRegistry::new();
+        let _id = reg.acquire(key_on(&[0]), &graph(), 0);
+        assert_eq!(reg.telemetry(), IndexTelemetry::default());
+
+        // No snapshot outstanding: in-place.
+        reg.apply_relation_delta("Graph", &[(int_row([9, 9]), 1)], 1);
+        let t = reg.telemetry();
+        assert_eq!((t.inplace_writes, t.cow_clones), (1, 0));
+
+        // Snapshot outstanding: the first write copies; once the live entry is
+        // unshared again, the next write is in place.
+        let snap = reg.snapshot(1);
+        assert_eq!(reg.telemetry().snapshots_taken, 1);
+        assert_eq!(reg.telemetry().live_snapshot_pins, 1);
+        let snap2 = snap.clone();
+        assert_eq!(reg.telemetry().live_snapshot_pins, 2);
+        reg.apply_relation_delta("Graph", &[(int_row([8, 8]), 1)], 2);
+        reg.apply_relation_delta("Graph", &[(int_row([7, 7]), 1)], 3);
+        let t = reg.telemetry();
+        assert_eq!((t.inplace_writes, t.cow_clones), (2, 1));
+
+        drop(snap);
+        drop(snap2);
+        assert_eq!(reg.telemetry().live_snapshot_pins, 0);
+    }
+
+    #[test]
+    fn cloned_registry_has_independent_pin_gauge() {
+        let mut reg = IndexRegistry::new();
+        let _id = reg.acquire(key_on(&[0]), &graph(), 0);
+        let _snap = reg.snapshot(0);
+        let clone = reg.clone();
+        assert_eq!(clone.telemetry().live_snapshot_pins, 0);
+        assert_eq!(clone.len(), 1);
     }
 
     #[test]

@@ -191,6 +191,12 @@ impl SharedDatabase {
         self.indexes.stats()
     }
 
+    /// Cumulative index-maintenance telemetry (COW clones vs. in-place writes,
+    /// snapshot pins); all zero without the `telemetry` feature.
+    pub fn index_telemetry(&self) -> crate::registry::IndexTelemetry {
+        self.indexes.telemetry()
+    }
+
     /// An epoch-stamped, immutable snapshot of every live shared index.
     ///
     /// Snapshots are cheap (one `Arc` clone per live index), `Send + Sync`, and

@@ -1,0 +1,47 @@
+//! Feature-gated telemetry primitives.
+//!
+//! With the `telemetry` feature on, these are `dcq-telemetry`'s atomic cells;
+//! with it off they are zero-sized stubs whose methods compile to nothing, so
+//! instrumentation call sites stay unconditional and cost-free in the
+//! telemetry-off build.
+
+#[cfg(feature = "telemetry")]
+pub(crate) use dcq_telemetry::{Counter, Gauge};
+
+/// No-op stand-in for [`dcq_telemetry::Counter`].
+#[cfg(not(feature = "telemetry"))]
+#[derive(Debug, Default, Clone)]
+pub(crate) struct Counter;
+
+#[cfg(not(feature = "telemetry"))]
+#[allow(dead_code)]
+impl Counter {
+    #[inline(always)]
+    pub fn inc(&self) {}
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+    #[inline(always)]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op stand-in for [`dcq_telemetry::Gauge`].
+#[cfg(not(feature = "telemetry"))]
+#[derive(Debug, Default, Clone)]
+pub(crate) struct Gauge;
+
+#[cfg(not(feature = "telemetry"))]
+#[allow(dead_code)]
+impl Gauge {
+    #[inline(always)]
+    pub fn set(&self, _v: u64) {}
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+    #[inline(always)]
+    pub fn sub(&self, _n: u64) {}
+    #[inline(always)]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}

@@ -28,7 +28,7 @@ use dcq_core::parse::parse_dcq;
 use dcq_core::planner::IncrementalStrategy;
 use dcq_core::Dcq;
 use dcq_datagen::{graph_query, GraphQueryId};
-use dcq_engine::{DcqEngine, ViewHandle};
+use dcq_engine::{DcqEngine, EngineStats, ViewHandle};
 use dcq_storage::row::int_row;
 use dcq_storage::{Database, DeltaBatch, Relation};
 use proptest::prelude::*;
@@ -162,15 +162,36 @@ fn assert_engines_identical(
     handles_par: &[ViewHandle],
     context: &str,
 ) {
+    // `workers` is configuration, not work — the one stats field the two
+    // engines legitimately disagree on.
     assert_eq!(
-        sequential.stats(),
-        parallel.stats(),
+        EngineStats {
+            workers: 0,
+            ..sequential.stats()
+        },
+        EngineStats {
+            workers: 0,
+            ..parallel.stats()
+        },
         "{context}: EngineStats diverged"
     );
     assert_eq!(
         sequential.counting_pool_stats(),
         parallel.counting_pool_stats(),
         "{context}: pool counters diverged"
+    );
+    // The schedule-independent work counters: index probes, compensated
+    // masks/restores, fold ownership and COW accounting depend only on the
+    // batch sequence, never on which worker performed the work.
+    assert_eq!(
+        sequential.counting_telemetry(),
+        parallel.counting_telemetry(),
+        "{context}: counting work counters diverged"
+    );
+    assert_eq!(
+        sequential.index_telemetry(),
+        parallel.index_telemetry(),
+        "{context}: index registry telemetry diverged"
     );
     assert_eq!(
         sequential.plan_cache_stats(),
@@ -285,7 +306,12 @@ proptest! {
             }
         }
 
-        // Teardown drains shared state identically at both widths.
+        // Teardown drains shared state identically at both widths, and the
+        // deregistered views' work counters drain fully into the engines'
+        // retired base: aggregated totals are preserved exactly, not lost with
+        // the views.
+        let totals_seq = sequential.counting_telemetry();
+        let totals_par = parallel.counting_telemetry();
         for (s, p) in handles_seq.iter().zip(&handles_par) {
             sequential.deregister(*s).unwrap();
             parallel.deregister(*p).unwrap();
@@ -293,6 +319,17 @@ proptest! {
         prop_assert_eq!(sequential.index_count(), 0);
         prop_assert_eq!(parallel.index_count(), 0);
         prop_assert_eq!(parallel.counting_pool_stats().live, 0);
+        prop_assert_eq!(
+            sequential.counting_telemetry(),
+            totals_seq,
+            "deregistration must not lose counting telemetry"
+        );
+        prop_assert_eq!(
+            parallel.counting_telemetry(),
+            totals_par,
+            "deregistration must not lose counting telemetry"
+        );
+        prop_assert_eq!(sequential.counting_telemetry(), parallel.counting_telemetry());
     }
 }
 
