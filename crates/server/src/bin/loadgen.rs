@@ -1,0 +1,113 @@
+//! `dcq-loadgen`: self-hosted load harness for the DCQ view service.
+//!
+//! Starts a durable server in-process over a seeded graph store, registers a
+//! difference view, then sweeps concurrent-connection counts (default
+//! 8/64/256/1000), each point pushing fresh edge batches and reading the view
+//! back.  Writes one JSON report per sweep point.
+//!
+//! ```text
+//! dcq-loadgen [--clients 8,64,256,1000] [--budget 2000] [--capacity 256]
+//!             [--out BENCH_service.json]
+//! ```
+
+use dcq_server::loadgen::{run_load, LoadSpec};
+use dcq_server::{DcqClient, DcqServer, DurabilityConfig, ServerConfig};
+use dcq_storage::{Database, Relation};
+use std::io::Write;
+
+fn main() {
+    let mut clients: Vec<usize> = vec![8, 64, 256, 1000];
+    let mut budget: usize = 2000;
+    let mut capacity: usize = 256;
+    let mut out = String::from("BENCH_service.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--clients" => {
+                clients = value("--clients")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--clients: integers"))
+                    .collect();
+            }
+            "--budget" => budget = value("--budget").parse().expect("--budget: integer"),
+            "--capacity" => capacity = value("--capacity").parse().expect("--capacity: integer"),
+            "--out" => out = value("--out"),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let durability_dir = std::env::temp_dir().join(format!("dcq-loadgen-{}", std::process::id()));
+    let mut reports = Vec::new();
+    for &n in &clients {
+        // Fresh server per sweep point so points don't contaminate each
+        // other's store size or telemetry counters.
+        let mut db = Database::new();
+        db.add(Relation::from_int_rows(
+            "Graph",
+            &["src", "dst"],
+            (0..64i64).map(|i| vec![i, (i + 1) % 64]),
+        ))
+        .expect("seed relation");
+        let engine = dcq_engine::DcqEngine::with_database(db);
+        let dir = durability_dir.join(format!("c{n}"));
+        let config = ServerConfig {
+            ingest_capacity: capacity,
+            durability: Some(DurabilityConfig::at(&dir)),
+            compaction: dcq_engine::CompactionPolicy::max_retained_batches(64),
+            ..ServerConfig::default()
+        };
+        let server = DcqServer::start(engine, config).expect("server start");
+
+        let mut admin = DcqClient::connect(server.addr()).expect("admin connect");
+        let view = admin
+            .register(
+                "Q(x, y) :- Graph(x, z), Graph(z, y) EXCEPT Graph(x, y)",
+                Some("counting"),
+            )
+            .expect("register view")
+            .view;
+
+        let mut spec = LoadSpec::clients(n);
+        spec.view = view;
+        spec.requests_per_client = (budget / n).max(2);
+        eprintln!(
+            "sweep: {n} clients x {} pushes (queue capacity {capacity})",
+            spec.requests_per_client
+        );
+        let report = run_load(server.addr(), &spec).expect("load sweep");
+        eprintln!(
+            "  -> {:.0} pushes/s, push p50/p99 {}us/{}us, read p50/p99 {}us/{}us, \
+             overload rate {:.2}%",
+            report.push_throughput_per_s,
+            report.push_p50_us,
+            report.push_p99_us,
+            report.read_p50_us,
+            report.read_p99_us,
+            report.server_overload_rate * 100.0,
+        );
+        reports.push(report);
+        server.shutdown().expect("shutdown");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&durability_dir);
+
+    let body = reports
+        .iter()
+        .map(|r| format!("  {}", r.to_json()))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n\"bench\": \"dcq-server load sweep\",\n\"queue_capacity\": {capacity},\n\
+         \"push_budget\": {budget},\n\"sweeps\": [\n{body}\n]\n}}\n"
+    );
+    let mut file = std::fs::File::create(&out).expect("open output");
+    file.write_all(json.as_bytes()).expect("write output");
+    eprintln!("wrote {out}");
+}

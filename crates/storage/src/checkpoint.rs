@@ -1,0 +1,729 @@
+//! Durable on-disk serialization for checkpoints and update logs.
+//!
+//! Every artifact shares one framing discipline: an 8-byte magic, a version
+//! byte, a little-endian length, the payload, and a CRC-32 (IEEE) over the
+//! payload.  Readers validate magic, version, and checksum before parsing a
+//! single payload byte, and every failure — truncation included — surfaces as
+//! a typed [`StorageError`], never a panic.
+//!
+//! Three artifact kinds are defined here:
+//!
+//! * **Checkpoint** ([`write_checkpoint`] / [`read_checkpoint`]) — one
+//!   [`Database`] snapshot tagged with the epoch it was taken at.  This is the
+//!   serialized form of an engine's `LogCheckpoint` and the base state of
+//!   crash recovery.
+//! * **Update log** ([`UpdateLog::to_writer`] / [`UpdateLog::from_reader`]) —
+//!   a whole retained log (batches + counters + base epoch) in one framed
+//!   payload.
+//! * **WAL frames** ([`write_wal_header`], [`write_batch_frame`] /
+//!   [`read_batch_frame`]) — an append-friendly stream of individually
+//!   CRC-framed [`DeltaBatch`]es for write-ahead logging.  Each frame is
+//!   self-checking, so a reader can replay a crashed writer's log up to the
+//!   first torn frame and ignore the tail.
+//!
+//! The recovery invariant the formats exist to uphold:
+//! `checkpoint ⊕ retained log = current state`.
+
+use crate::database::Database;
+use crate::delta::{DeltaBatch, DeltaEffect, UpdateLog};
+use crate::relation::Relation;
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::shared::Epoch;
+use crate::value::Value;
+use crate::{Result, StorageError};
+use std::io::{Read, Write};
+use std::sync::OnceLock;
+
+/// Magic prefix of a serialized checkpoint file.
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"DCQSNAP\0";
+/// Magic prefix of a serialized update-log file.
+pub const LOG_MAGIC: &[u8; 8] = b"DCQLOG\0\0";
+/// Magic prefix of a write-ahead-log file.
+pub const WAL_MAGIC: &[u8; 8] = b"DCQWAL\0\0";
+/// Newest serialization format version this build reads and writes.
+pub const FORMAT_VERSION: u8 = 1;
+
+/// Hard ceiling on any framed payload (64 GiB); a declared length beyond it
+/// is treated as corruption instead of an allocation attempt.
+const MAX_PAYLOAD: u64 = 1 << 36;
+/// Ceiling on a single WAL batch frame (1 GiB).
+const MAX_FRAME: u32 = 1 << 30;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        let mut i = 0u32;
+        while i < 256 {
+            let mut crc = i;
+            let mut bit = 0;
+            while bit < 8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+                bit += 1;
+            }
+            table[i as usize] = crc;
+            i += 1;
+        }
+        table
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Payload encoding / decoding primitives
+// ---------------------------------------------------------------------------
+
+fn corrupt(artifact: &'static str, detail: impl Into<String>) -> StorageError {
+    StorageError::Corrupt {
+        artifact,
+        detail: detail.into(),
+    }
+}
+
+/// Append-only payload encoder.
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn new() -> Self {
+        Enc { buf: Vec::new() }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn value(&mut self, v: &Value) {
+        match v {
+            Value::Int(i) => {
+                self.u8(0);
+                self.i64(*i);
+            }
+            Value::Str(s) => {
+                self.u8(1);
+                self.str(s);
+            }
+            Value::Null => self.u8(2),
+        }
+    }
+
+    fn row(&mut self, row: &Row) {
+        self.u16(row.arity() as u16);
+        for v in row.iter() {
+            self.value(v);
+        }
+    }
+
+    fn relation(&mut self, rel: &Relation) {
+        self.str(rel.name());
+        self.u16(rel.schema().arity() as u16);
+        for attr in rel.schema().attrs() {
+            self.str(attr.name());
+        }
+        self.u64(rel.len() as u64);
+        for row in rel.iter() {
+            self.row(row);
+        }
+    }
+
+    fn database(&mut self, db: &Database) {
+        self.u32(db.relation_count() as u32);
+        for (_, rel) in db.iter() {
+            self.relation(rel);
+        }
+    }
+
+    fn batch(&mut self, batch: &DeltaBatch) {
+        self.u32(batch.relations().count() as u32);
+        for (name, ops) in batch.iter() {
+            self.str(name);
+            self.u32(ops.len() as u32);
+            for (row, sign) in ops {
+                self.u8(if *sign >= 0 { b'+' } else { b'-' });
+                self.row(row);
+            }
+        }
+    }
+}
+
+/// Cursor-based payload decoder; every read is bounds-checked and a short
+/// buffer is reported as corruption of `artifact`.
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    artifact: &'static str,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8], artifact: &'static str) -> Self {
+        Dec {
+            buf,
+            pos: 0,
+            artifact,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| corrupt(self.artifact, "payload ends mid-field"))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| corrupt(self.artifact, "string field is not valid UTF-8"))
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.u8()? {
+            0 => Ok(Value::Int(self.i64()?)),
+            1 => Ok(Value::str(self.str()?)),
+            2 => Ok(Value::Null),
+            tag => Err(corrupt(self.artifact, format!("unknown value tag {tag}"))),
+        }
+    }
+
+    fn row(&mut self) -> Result<Row> {
+        let arity = self.u16()? as usize;
+        let mut values = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            values.push(self.value()?);
+        }
+        Ok(Row::new(values))
+    }
+
+    fn relation(&mut self) -> Result<Relation> {
+        let name = self.str()?;
+        let arity = self.u16()? as usize;
+        let mut attrs = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            attrs.push(self.str()?);
+        }
+        let schema = Schema::from_names(attrs);
+        let mut rel = Relation::new(name, schema);
+        let rows = self.u64()?;
+        if rows > MAX_PAYLOAD {
+            return Err(corrupt(self.artifact, "implausible row count"));
+        }
+        for _ in 0..rows {
+            let row = self.row()?;
+            if row.arity() != arity {
+                return Err(corrupt(self.artifact, "row arity disagrees with schema"));
+            }
+            rel.push_unchecked(row);
+        }
+        // A checkpointed store holds set-semantics relations; writers only
+        // emit deduplicated stores, but dedup anyway so a hand-edited file
+        // cannot smuggle duplicates past the invariant.
+        rel.dedup();
+        Ok(rel)
+    }
+
+    fn database(&mut self) -> Result<Database> {
+        let count = self.u32()?;
+        let mut db = Database::new();
+        for _ in 0..count {
+            db.add(self.relation()?)?;
+        }
+        Ok(db)
+    }
+
+    fn batch(&mut self) -> Result<DeltaBatch> {
+        let relations = self.u32()?;
+        let mut batch = DeltaBatch::new();
+        for _ in 0..relations {
+            let name = self.str()?;
+            let ops = self.u32()?;
+            for _ in 0..ops {
+                let sign = match self.u8()? {
+                    b'+' => 1,
+                    b'-' => -1,
+                    tag => return Err(corrupt(self.artifact, format!("unknown op sign {tag:#x}"))),
+                };
+                let row = self.row()?;
+                batch.push(&name, row, sign);
+            }
+        }
+        Ok(batch)
+    }
+
+    fn finish(self) -> Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(corrupt(
+                self.artifact,
+                format!("{} trailing payload bytes", self.buf.len() - self.pos),
+            ));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// File-level framing
+// ---------------------------------------------------------------------------
+
+/// Write `magic · version · len · payload · crc32(payload)` to `w`.
+fn write_framed<W: Write>(w: &mut W, magic: &[u8; 8], payload: &[u8]) -> Result<()> {
+    w.write_all(magic)?;
+    w.write_all(&[FORMAT_VERSION])?;
+    w.write_all(&(payload.len() as u64).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.write_all(&crc32(payload).to_le_bytes())?;
+    Ok(())
+}
+
+/// Read and validate one framed payload; the inverse of [`write_framed`].
+fn read_framed<R: Read>(r: &mut R, magic: &[u8; 8], artifact: &'static str) -> Result<Vec<u8>> {
+    let mut head = [0u8; 8];
+    read_exact(r, &mut head, artifact)?;
+    if &head != magic {
+        return Err(corrupt(artifact, "bad magic"));
+    }
+    let mut version = [0u8; 1];
+    read_exact(r, &mut version, artifact)?;
+    if version[0] != FORMAT_VERSION {
+        return Err(StorageError::UnsupportedVersion {
+            artifact,
+            found: version[0],
+            supported: FORMAT_VERSION,
+        });
+    }
+    let mut len = [0u8; 8];
+    read_exact(r, &mut len, artifact)?;
+    let len = u64::from_le_bytes(len);
+    if len > MAX_PAYLOAD {
+        return Err(corrupt(artifact, "implausible payload length"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact(r, &mut payload, artifact)?;
+    let mut crc = [0u8; 4];
+    read_exact(r, &mut crc, artifact)?;
+    if u32::from_le_bytes(crc) != crc32(&payload) {
+        return Err(corrupt(artifact, "checksum mismatch"));
+    }
+    Ok(payload)
+}
+
+/// `read_exact` with truncation mapped to a typed corruption error.
+fn read_exact<R: Read>(r: &mut R, buf: &mut [u8], artifact: &'static str) -> Result<()> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            corrupt(artifact, "truncated input")
+        } else {
+            StorageError::Io(e.to_string())
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints
+// ---------------------------------------------------------------------------
+
+/// Serialize a database snapshot taken at `epoch` to `w`.
+///
+/// This streams the relations straight out of `db` — nothing is cloned, so
+/// serializing a checkpoint costs one traversal of the state plus the
+/// serialized bytes.
+pub fn write_checkpoint<W: Write>(w: &mut W, epoch: Epoch, db: &Database) -> Result<()> {
+    let mut enc = Enc::new();
+    enc.u64(epoch);
+    enc.database(db);
+    write_framed(w, CHECKPOINT_MAGIC, &enc.buf)
+}
+
+/// Read back a checkpoint written by [`write_checkpoint`].
+pub fn read_checkpoint<R: Read>(r: &mut R) -> Result<(Epoch, Database)> {
+    let payload = read_framed(r, CHECKPOINT_MAGIC, "checkpoint")?;
+    let mut dec = Dec::new(&payload, "checkpoint");
+    let epoch = dec.u64()?;
+    let db = dec.database()?;
+    dec.finish()?;
+    Ok((epoch, db))
+}
+
+// ---------------------------------------------------------------------------
+// Whole-log serialization
+// ---------------------------------------------------------------------------
+
+impl UpdateLog {
+    /// Serialize the whole log — retained batches, lifetime counters, base
+    /// epoch and retention limit — as one framed, checksummed payload.
+    pub fn to_writer<W: Write>(&self, w: &mut W) -> Result<()> {
+        let mut enc = Enc::new();
+        enc.u64(self.base_epoch);
+        enc.u64(self.limit.map(|l| l as u64).unwrap_or(u64::MAX));
+        enc.u8(self.truncated as u8);
+        enc.u64(self.recorded as u64);
+        enc.u64(self.total.inserted as u64);
+        enc.u64(self.total.deleted as u64);
+        enc.u32(self.batches.len() as u32);
+        for batch in &self.batches {
+            enc.batch(batch);
+        }
+        write_framed(w, LOG_MAGIC, &enc.buf)
+    }
+
+    /// Read back a log written by [`UpdateLog::to_writer`].  Corruption —
+    /// including truncated input — yields a typed [`StorageError`], never a
+    /// panic.
+    pub fn from_reader<R: Read>(r: &mut R) -> Result<UpdateLog> {
+        const ARTIFACT: &str = "update log";
+        let payload = read_framed(r, LOG_MAGIC, ARTIFACT)?;
+        let mut dec = Dec::new(&payload, ARTIFACT);
+        let base_epoch = dec.u64()?;
+        let limit = match dec.u64()? {
+            u64::MAX => None,
+            l => Some(l as usize),
+        };
+        let truncated = dec.u8()? != 0;
+        let recorded = dec.u64()? as usize;
+        let total = DeltaEffect {
+            inserted: dec.u64()? as usize,
+            deleted: dec.u64()? as usize,
+        };
+        let count = dec.u32()?;
+        let mut batches = std::collections::VecDeque::with_capacity(count as usize);
+        for _ in 0..count {
+            batches.push_back(dec.batch()?);
+        }
+        dec.finish()?;
+        Ok(UpdateLog {
+            batches,
+            total,
+            recorded,
+            limit,
+            truncated,
+            base_epoch,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WAL frames
+// ---------------------------------------------------------------------------
+
+/// Write a WAL file header declaring `base_epoch`: the epoch of the state the
+/// first appended frame applies to.
+pub fn write_wal_header<W: Write>(w: &mut W, base_epoch: Epoch) -> Result<()> {
+    write_framed(w, WAL_MAGIC, &base_epoch.to_le_bytes())
+}
+
+/// Read back a WAL header written by [`write_wal_header`].
+pub fn read_wal_header<R: Read>(r: &mut R) -> Result<Epoch> {
+    let payload = read_framed(r, WAL_MAGIC, "write-ahead log")?;
+    let bytes: [u8; 8] = payload
+        .as_slice()
+        .try_into()
+        .map_err(|_| corrupt("write-ahead log", "header payload is not 8 bytes"))?;
+    Ok(u64::from_le_bytes(bytes))
+}
+
+/// Append one self-checking batch frame (`len · crc · payload`) to `w`,
+/// returning the number of bytes written.
+pub fn write_batch_frame<W: Write>(w: &mut W, batch: &DeltaBatch) -> Result<usize> {
+    let mut enc = Enc::new();
+    enc.batch(batch);
+    w.write_all(&(enc.buf.len() as u32).to_le_bytes())?;
+    w.write_all(&crc32(&enc.buf).to_le_bytes())?;
+    w.write_all(&enc.buf)?;
+    Ok(8 + enc.buf.len())
+}
+
+/// Read the next batch frame from `r`.
+///
+/// Returns `Ok(None)` on a clean end of stream (EOF exactly at a frame
+/// boundary).  A frame cut short by a crash, or one whose checksum does not
+/// match, is a [`StorageError::Corrupt`] — WAL readers treat the first such
+/// error as the torn tail of an interrupted append and stop there.
+pub fn read_batch_frame<R: Read>(r: &mut R) -> Result<Option<DeltaBatch>> {
+    const ARTIFACT: &str = "write-ahead log";
+    // Read the length word by hand: zero bytes is a clean EOF, a partial word
+    // is a torn frame.
+    let mut len = [0u8; 4];
+    let mut filled = 0;
+    while filled < len.len() {
+        match r.read(&mut len[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(corrupt(ARTIFACT, "torn frame header")),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(StorageError::Io(e.to_string())),
+        }
+    }
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(corrupt(ARTIFACT, "implausible frame length"));
+    }
+    let mut crc = [0u8; 4];
+    read_exact(r, &mut crc, ARTIFACT)?;
+    let mut payload = vec![0u8; len as usize];
+    read_exact(r, &mut payload, ARTIFACT)?;
+    if u32::from_le_bytes(crc) != crc32(&payload) {
+        return Err(corrupt(ARTIFACT, "frame checksum mismatch"));
+    }
+    let mut dec = Dec::new(&payload, ARTIFACT);
+    let batch = dec.batch()?;
+    dec.finish()?;
+    Ok(Some(batch))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::int_row;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        db.add(Relation::from_int_rows(
+            "Graph",
+            &["src", "dst"],
+            vec![vec![1, 2], vec![2, 3], vec![3, 1]],
+        ))
+        .unwrap();
+        let mut named = Relation::new("Named", Schema::from_names(["id", "label"]));
+        named
+            .insert(Row::new(vec![Value::Int(1), Value::str("alpha")]))
+            .unwrap();
+        named
+            .insert(Row::new(vec![Value::Int(2), Value::Null]))
+            .unwrap();
+        db.add(named).unwrap();
+        db
+    }
+
+    fn sample_batch(step: i64) -> DeltaBatch {
+        let mut b = DeltaBatch::new();
+        b.insert("Graph", int_row([40 + step, step]));
+        b.delete("Graph", int_row([1, 2]));
+        b.push(
+            "Named",
+            Row::new(vec![Value::Int(9 + step), Value::str("new")]),
+            1,
+        );
+        b
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn checkpoint_round_trips() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, 17, &db).unwrap();
+        let (epoch, back) = read_checkpoint(&mut buf.as_slice()).unwrap();
+        assert_eq!(epoch, 17);
+        assert_eq!(back.relation_names(), db.relation_names());
+        for name in db.relation_names() {
+            assert_eq!(
+                back.get(&name).unwrap().sorted_rows(),
+                db.get(&name).unwrap().sorted_rows()
+            );
+        }
+    }
+
+    #[test]
+    fn update_log_round_trips_with_counters() {
+        let mut db = sample_db();
+        let mut log = UpdateLog::with_limit(8);
+        for step in 0..5 {
+            let batch = sample_batch(step);
+            let effect = db.apply_batch(&batch).unwrap().effect;
+            log.record(batch, effect);
+        }
+        log.truncate_before(2);
+        let mut buf = Vec::new();
+        log.to_writer(&mut buf).unwrap();
+        let back = UpdateLog::from_reader(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.base_epoch(), log.base_epoch());
+        assert_eq!(back.len(), log.len());
+        assert_eq!(back.recorded(), log.recorded());
+        assert_eq!(back.is_truncated(), log.is_truncated());
+        assert_eq!(back.total_effect(), log.total_effect());
+        let orig: Vec<_> = log.batches().cloned().collect();
+        let round: Vec<_> = back.batches().cloned().collect();
+        assert_eq!(orig, round);
+    }
+
+    #[test]
+    fn wal_frames_round_trip_and_stop_cleanly() {
+        let mut buf = Vec::new();
+        write_wal_header(&mut buf, 41).unwrap();
+        for step in 0..3 {
+            write_batch_frame(&mut buf, &sample_batch(step)).unwrap();
+        }
+        let mut r = buf.as_slice();
+        assert_eq!(read_wal_header(&mut r).unwrap(), 41);
+        let mut batches = Vec::new();
+        while let Some(batch) = read_batch_frame(&mut r).unwrap() {
+            batches.push(batch);
+        }
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[2], sample_batch(2));
+    }
+
+    #[test]
+    fn torn_wal_tail_is_a_typed_error() {
+        let mut buf = Vec::new();
+        write_wal_header(&mut buf, 0).unwrap();
+        let header_len = buf.len();
+        write_batch_frame(&mut buf, &sample_batch(0)).unwrap();
+        let full = buf.len();
+        write_batch_frame(&mut buf, &sample_batch(1)).unwrap();
+        // Cut the second frame mid-payload, as a crash during append would.
+        for cut in [full + 2, full + 6, full + 9, buf.len() - 1] {
+            let torn = &buf[..cut];
+            let mut r = torn;
+            read_wal_header(&mut r).unwrap();
+            assert_eq!(
+                read_batch_frame(&mut r).unwrap(),
+                Some(sample_batch(0)),
+                "intact first frame must still read"
+            );
+            assert!(matches!(
+                read_batch_frame(&mut r),
+                Err(StorageError::Corrupt { .. })
+            ));
+        }
+        // Truncating inside the header is also typed, not a panic.
+        let mut r = &buf[..header_len - 3];
+        assert!(matches!(
+            read_wal_header(&mut r),
+            Err(StorageError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_and_truncated_checkpoints_are_typed_errors() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, 3, &db).unwrap();
+
+        // Truncation at every prefix length: typed error, no panic.
+        for cut in 0..buf.len() {
+            let err = read_checkpoint(&mut &buf[..cut]).unwrap_err();
+            assert!(
+                matches!(err, StorageError::Corrupt { .. }),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+
+        // A flipped payload byte fails the checksum.
+        let mut flipped = buf.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0xFF;
+        assert!(matches!(
+            read_checkpoint(&mut flipped.as_slice()),
+            Err(StorageError::Corrupt { .. })
+        ));
+
+        // Wrong magic and unsupported version are distinguished.
+        let mut wrong_magic = buf.clone();
+        wrong_magic[0] = b'X';
+        assert!(matches!(
+            read_checkpoint(&mut wrong_magic.as_slice()),
+            Err(StorageError::Corrupt { .. })
+        ));
+        let mut future = buf.clone();
+        future[8] = FORMAT_VERSION + 1;
+        assert!(matches!(
+            read_checkpoint(&mut future.as_slice()),
+            Err(StorageError::UnsupportedVersion { found, .. }) if found == FORMAT_VERSION + 1
+        ));
+    }
+
+    #[test]
+    fn corrupted_log_is_a_typed_error() {
+        let mut log = UpdateLog::new();
+        log.record(sample_batch(0), DeltaEffect::default());
+        let mut buf = Vec::new();
+        log.to_writer(&mut buf).unwrap();
+        for cut in [0, 5, 9, 17, buf.len() - 1] {
+            assert!(matches!(
+                UpdateLog::from_reader(&mut &buf[..cut]),
+                Err(StorageError::Corrupt { .. })
+            ));
+        }
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        assert!(matches!(
+            UpdateLog::from_reader(&mut buf.as_slice()),
+            Err(StorageError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn approx_bytes_tracks_batch_contents() {
+        let empty = DeltaBatch::new();
+        let loaded = sample_batch(0);
+        assert!(loaded.approx_bytes() > empty.approx_bytes());
+        let mut log = UpdateLog::new();
+        assert_eq!(log.approx_bytes(), 0);
+        log.record(loaded.clone(), DeltaEffect::default());
+        log.record(loaded.clone(), DeltaEffect::default());
+        assert_eq!(log.approx_bytes(), 2 * loaded.approx_bytes());
+    }
+}

@@ -90,6 +90,26 @@ impl DeltaBatch {
         self.ops.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
     }
 
+    /// Rough in-memory footprint of the batch in bytes, counting the op
+    /// vectors, row storage, and string payloads.  Compaction policies use
+    /// this (via [`UpdateLog::approx_bytes`]) to bound retained-log memory;
+    /// it deliberately mirrors [`Relation::approx_bytes`]'s accounting.
+    pub fn approx_bytes(&self) -> usize {
+        let mut bytes = std::mem::size_of::<Self>();
+        for (name, ops) in &self.ops {
+            bytes += name.len() + std::mem::size_of::<(Row, i64)>() * ops.len();
+            for (row, _) in ops {
+                bytes += std::mem::size_of::<crate::value::Value>() * row.arity();
+                for v in row.iter() {
+                    if let Some(s) = v.as_str() {
+                        bytes += s.len();
+                    }
+                }
+            }
+        }
+        bytes
+    }
+
     /// The sign-flipped batch: every insert becomes a delete of the same row
     /// and vice versa.  Applied right after `self`, it restores the previous
     /// set-semantics state exactly (benchmarks and tests use this to measure
@@ -301,15 +321,17 @@ impl Database {
 /// [`UpdateLog::replay_onto`].  Counters keep accumulating across truncation.
 #[derive(Clone, Debug, Default)]
 pub struct UpdateLog {
-    batches: std::collections::VecDeque<DeltaBatch>,
-    total: DeltaEffect,
-    recorded: usize,
-    limit: Option<usize>,
-    truncated: bool,
+    // Fields are `pub(crate)` so `crate::checkpoint` can (de)serialize the log
+    // without widening the public API.
+    pub(crate) batches: std::collections::VecDeque<DeltaBatch>,
+    pub(crate) total: DeltaEffect,
+    pub(crate) recorded: usize,
+    pub(crate) limit: Option<usize>,
+    pub(crate) truncated: bool,
     /// Epoch of the state *before* the oldest retained batch: batch `i` of
     /// [`UpdateLog::batches`] advances epoch `base_epoch + i` to
     /// `base_epoch + i + 1`.
-    base_epoch: Epoch,
+    pub(crate) base_epoch: Epoch,
 }
 
 impl UpdateLog {
@@ -415,6 +437,14 @@ impl UpdateLog {
     /// batches).
     pub fn total_effect(&self) -> DeltaEffect {
         self.total
+    }
+
+    /// Rough in-memory footprint of the retained batches in bytes
+    /// ([`DeltaBatch::approx_bytes`] summed).  `O(total retained ops)` — cheap
+    /// relative to recording the batches, but engines on a hot path should
+    /// track it incrementally rather than re-summing per batch.
+    pub fn approx_bytes(&self) -> usize {
+        self.batches.iter().map(DeltaBatch::approx_bytes).sum()
     }
 
     /// Re-apply every recorded batch, in order, to a database snapshot taken at

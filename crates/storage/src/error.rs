@@ -52,6 +52,33 @@ pub enum StorageError {
         /// The log's base epoch (the snapshot epoch it requires).
         base: u64,
     },
+    /// An I/O failure while reading or writing a serialized artifact.  Carries
+    /// the rendered [`std::io::Error`] (this enum is `Clone + Eq`, the source
+    /// error is neither).
+    Io(String),
+    /// A serialized artifact failed structural validation: bad magic, a
+    /// checksum mismatch, or truncated input.
+    Corrupt {
+        /// Which artifact was being read (`"checkpoint"`, `"update log"`, …).
+        artifact: &'static str,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// A serialized artifact was written by an unknown (newer) format version.
+    UnsupportedVersion {
+        /// Which artifact was being read.
+        artifact: &'static str,
+        /// The version byte found in the header.
+        found: u8,
+        /// The newest version this build understands.
+        supported: u8,
+    },
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e.to_string())
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -87,6 +114,18 @@ impl fmt::Display for StorageError {
             StorageError::LogEpochMismatch { snapshot, base } => write!(
                 f,
                 "update log replays from epoch {base}, but the snapshot was taken at epoch {snapshot}"
+            ),
+            StorageError::Io(msg) => write!(f, "i/o error: {msg}"),
+            StorageError::Corrupt { artifact, detail } => {
+                write!(f, "corrupt {artifact}: {detail}")
+            }
+            StorageError::UnsupportedVersion {
+                artifact,
+                found,
+                supported,
+            } => write!(
+                f,
+                "{artifact} written by format version {found}, but this build supports up to {supported}"
             ),
         }
     }

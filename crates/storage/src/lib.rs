@@ -18,6 +18,8 @@
 //!   used for aggregation (§5.3) and bag semantics (§5.4),
 //! * [`delta`] — signed tuple deltas ([`DeltaBatch`]), set-semantics normalization
 //!   and the replayable [`UpdateLog`] consumed by `dcq-incremental`,
+//! * [`checkpoint`] — versioned, checksummed on-disk serialization of database
+//!   checkpoints, update logs and write-ahead-log frames,
 //! * [`Database`] — a named collection of relations (one query instance),
 //! * [`shared`] — the epoch-versioned [`SharedDatabase`] of record that one engine
 //!   owns and many maintained views read through ([`RelationRef`]), with `O(|Δ|)`
@@ -32,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod annotated;
+pub mod checkpoint;
 pub mod database;
 pub mod delta;
 pub mod error;
@@ -46,6 +49,7 @@ pub(crate) mod tele;
 pub mod value;
 
 pub use annotated::{AnnotatedRelation, BagRelation, Ring, Semiring};
+pub use checkpoint::{read_checkpoint, write_checkpoint};
 pub use database::Database;
 pub use delta::{normalize_delta, BatchEffect, DeltaBatch, DeltaEffect, UpdateLog};
 pub use error::StorageError;

@@ -75,6 +75,19 @@ impl SharedDatabase {
         }
     }
 
+    /// Take ownership of a database like [`SharedDatabase::new`], but start
+    /// the epoch counter at `epoch` instead of `0`.
+    ///
+    /// This is the recovery constructor: a store rebuilt from a checkpoint
+    /// taken at epoch `e` must keep numbering where the pre-crash store left
+    /// off, or replayed batches and previously acknowledged epochs would no
+    /// longer line up.
+    pub fn new_at(db: Database, epoch: Epoch) -> Self {
+        let mut store = SharedDatabase::new(db);
+        store.epoch = epoch;
+        store
+    }
+
     /// The current epoch.
     pub fn epoch(&self) -> Epoch {
         self.epoch

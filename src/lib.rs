@@ -13,6 +13,9 @@
 //! * [`dcq_incremental`] — incremental DCQ view maintenance under batched updates,
 //! * [`dcq_engine`] — the [`DcqEngine`] facade: one shared, epoch-versioned store,
 //!   prepared DCQs, and multi-view update fan-out,
+//! * [`dcq_server`] — the concurrent view service: length-prefixed JSON over TCP,
+//!   one ingestion thread behind a bounded queue, durable WAL + checkpoints,
+//!   snapshot-served reads and a load harness,
 //! * [`dcq_datagen`] — synthetic graph / benchmark / update workloads.
 //!
 //! The `examples/` directory demonstrates each subsystem; the `tests/` directory
@@ -26,6 +29,7 @@ pub use dcq_engine;
 pub use dcq_exec;
 pub use dcq_hypergraph;
 pub use dcq_incremental;
+pub use dcq_server;
 pub use dcq_storage;
 
 pub use dcq_core::{
@@ -34,6 +38,7 @@ pub use dcq_core::{
 };
 pub use dcq_engine::{ApplyReport, DcqEngine, PreparedDcq, ViewHandle};
 pub use dcq_incremental::DcqView;
+pub use dcq_server::{DcqClient, DcqServer, DurabilityConfig, ServerConfig};
 pub use dcq_storage::{
     Database, DeltaBatch, Relation, Row, Schema, SharedDatabase, UpdateLog, Value,
 };
