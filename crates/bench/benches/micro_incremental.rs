@@ -154,6 +154,14 @@ fn engine_with(
     engine
 }
 
+/// Counting-arm ms/batch recorded on the boxed-row layout (the pre-flat
+/// `BENCH_micro_incremental.json`, same host, same dataset/fraction grid).
+/// Kept as the fixed baseline of the `flat_vs_boxed_row` series.
+const BOXED_ROW_COUNTING_MS: [(&str, [f64; 5]); 2] = [
+    ("QG3", [0.3064, 0.9011, 1.6807, 4.9768, 14.3169]),
+    ("QG5", [1.7956, 23.7757, 117.8842, 448.0796, 1245.7369]),
+];
+
 fn main() {
     let data = build_dataset(
         "micro-incremental",
@@ -170,6 +178,7 @@ fn main() {
     );
 
     let mut sections = Vec::new();
+    let mut flat_counting: Vec<(&'static str, Vec<f64>)> = Vec::new();
     for (id, relations) in [
         (GraphQueryId::QG3, vec!["Graph", "Triple"]),
         (GraphQueryId::QG5, vec!["Graph"]),
@@ -329,7 +338,38 @@ fn main() {
             fitted.crossover_fraction,
             sweep_entries.join(",\n")
         ));
+        flat_counting.push((id.name(), cells.iter().map(|c| c.counting_ms).collect()));
     }
+
+    // Before/after series for the flat interned storage change: this run's
+    // counting arm (flat id buffers) against the same cells recorded on the
+    // boxed-row layout.
+    let mut flat_entries = Vec::new();
+    println!("\n== flat vs boxed-row (counting arm, ms/batch) ==");
+    for (name, flat) in &flat_counting {
+        let (_, boxed) = BOXED_ROW_COUNTING_MS
+            .iter()
+            .find(|(n, _)| n == name)
+            .expect("recorded baseline for every swept query");
+        for ((fraction, flat_ms), boxed_ms) in FRACTIONS.iter().zip(flat).zip(boxed) {
+            println!(
+                "{name} @ {fraction:>5}: boxed {boxed_ms:>9.3} -> flat {flat_ms:>9.3}  ({:.2}x)",
+                boxed_ms / flat_ms
+            );
+            flat_entries.push(format!(
+                "      {{\"query\": \"{name}\", \"delta_fraction\": {fraction}, \
+                 \"boxed_counting_ms\": {boxed_ms:.4}, \"flat_counting_ms\": {flat_ms:.4}, \
+                 \"speedup\": {:.3}}}",
+                boxed_ms / flat_ms
+            ));
+        }
+    }
+    sections.push(format!(
+        "  \"flat_vs_boxed_row\": {{\n    \"note\": \"counting arm on the flat interned layout vs \
+         the same cells recorded on the boxed-row layout (same host, dataset, fraction grid)\",\n    \
+         \"cells\": [\n{}\n    ]\n  }}",
+        flat_entries.join(",\n")
+    ));
 
     let json = format!(
         "{{\n  \"bench\": \"micro_incremental\",\n  \

@@ -68,6 +68,15 @@ const PR2_ENGINE_8_DISTINCT_MS_PER_BATCH: f64 = 68.5554;
 const PR2_ENGINE_8_DISTINCT_STORE_BYTES: usize = 2_058_848;
 const PR2_INDEPENDENT_8_DISTINCT_MS_PER_BATCH: f64 = 66.9542;
 
+/// The boxed-slice `Row` engine's recorded 8-distinct-views figures (last
+/// measurement before the flat interned storage refactor: `Vec<Row>` index
+/// buckets of `Box<[Value]>` rows, value-hashing count keys).  Fixed baseline
+/// of the `flat_vs_boxed_row` series.
+const BOXED_ROW_8_DISTINCT_MS_PER_BATCH: f64 = 81.8063;
+const BOXED_ROW_8_DISTINCT_INDEX_BYTES: usize = 4_318_736;
+const BOXED_ROW_8_DISTINCT_STORE_BYTES: usize = 6_377_584;
+const BOXED_ROW_8_IDENTICAL_INDEX_BYTES: usize = 2_423_656;
+
 #[derive(Clone)]
 struct Measurement {
     views: usize,
@@ -138,6 +147,7 @@ fn main() {
     let mut distinct_engine_8: Option<Measurement> = None;
     let mut distinct_engine_1: Option<Measurement> = None;
     let mut distinct_independent_8: Option<Measurement> = None;
+    let mut identical_engine_8: Option<Measurement> = None;
     for scenario in ["identical", "distinct"] {
         // Interleave repetitions and keep the fastest run per cell: the scenarios
         // are deterministic, so the minimum is the least-interfered measurement.
@@ -197,6 +207,8 @@ fn main() {
             distinct_engine_1 = engine_runs.first().cloned();
             distinct_engine_8 = Some(e8.clone());
             distinct_independent_8 = Some(i8.clone());
+        } else {
+            identical_engine_8 = Some(e8.clone());
         }
         sections.push(render_section(scenario, &engine_runs, &independent_runs));
     }
@@ -247,6 +259,51 @@ fn main() {
         i8.total_ms_per_batch / e8.total_ms_per_batch,
         PR2_ENGINE_8_DISTINCT_MS_PER_BATCH / e8.total_ms_per_batch,
         e8.store_bytes as f64 / e1.store_bytes as f64
+    ));
+
+    // Flat interned storage vs the boxed-slice Row engine it replaced: the
+    // same 8-view series against the last boxed-layout measurement (recorded
+    // constants above).  ms/batch comes from the engines' own batch traces in
+    // both layouts, index bytes from the registry's accounting.
+    let id8 = identical_engine_8.expect("identical scenario measured");
+    println!(
+        "\n== flat_vs_boxed_row (8 distinct views) ==\n\
+         flat interned  : {:>8.3} ms/batch, index {:.2} MiB, store {:.2} MiB\n\
+         boxed (recorded): {:>8.3} ms/batch, index {:.2} MiB, store {:.2} MiB\n\
+         speedup {:.2}×, index bytes {:.2}× smaller, store bytes {:.2}× smaller \
+         (identical-8 index {:.2}× smaller)",
+        e8.total_ms_per_batch,
+        e8.index_bytes as f64 / (1024.0 * 1024.0),
+        e8.store_bytes as f64 / (1024.0 * 1024.0),
+        BOXED_ROW_8_DISTINCT_MS_PER_BATCH,
+        BOXED_ROW_8_DISTINCT_INDEX_BYTES as f64 / (1024.0 * 1024.0),
+        BOXED_ROW_8_DISTINCT_STORE_BYTES as f64 / (1024.0 * 1024.0),
+        BOXED_ROW_8_DISTINCT_MS_PER_BATCH / e8.total_ms_per_batch,
+        BOXED_ROW_8_DISTINCT_INDEX_BYTES as f64 / e8.index_bytes as f64,
+        BOXED_ROW_8_DISTINCT_STORE_BYTES as f64 / e8.store_bytes as f64,
+        BOXED_ROW_8_IDENTICAL_INDEX_BYTES as f64 / id8.index_bytes as f64,
+    );
+    sections.push(format!(
+        "  \"flat_vs_boxed_row\": {{\n    \"flat\": {{\"views\": 8, \
+         \"total_ms_per_batch\": {:.4}, \"index_bytes\": {}, \"store_bytes\": {}}},\n    \
+         \"boxed_row_recorded\": {{\"views\": 8, \"total_ms_per_batch\": {:.4}, \
+         \"index_bytes\": {}, \"store_bytes\": {}}},\n    \
+         \"speedup_ms_per_batch\": {:.3},\n    \"index_bytes_reduction\": {:.3},\n    \
+         \"store_bytes_reduction\": {:.3},\n    \
+         \"identical_8_index_bytes\": {{\"flat\": {}, \"boxed_row_recorded\": {}, \
+         \"reduction\": {:.3}}}\n  }}",
+        e8.total_ms_per_batch,
+        e8.index_bytes,
+        e8.store_bytes,
+        BOXED_ROW_8_DISTINCT_MS_PER_BATCH,
+        BOXED_ROW_8_DISTINCT_INDEX_BYTES,
+        BOXED_ROW_8_DISTINCT_STORE_BYTES,
+        BOXED_ROW_8_DISTINCT_MS_PER_BATCH / e8.total_ms_per_batch,
+        BOXED_ROW_8_DISTINCT_INDEX_BYTES as f64 / e8.index_bytes as f64,
+        BOXED_ROW_8_DISTINCT_STORE_BYTES as f64 / e8.store_bytes as f64,
+        id8.index_bytes,
+        BOXED_ROW_8_IDENTICAL_INDEX_BYTES,
+        BOXED_ROW_8_IDENTICAL_INDEX_BYTES as f64 / id8.index_bytes as f64,
     ));
 
     // Parallel fan-out sweep: the 8-distinct-views scenario at worker widths

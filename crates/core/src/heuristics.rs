@@ -472,20 +472,27 @@ pub struct MaintenanceCostModel {
 }
 
 impl Default for MaintenanceCostModel {
-    /// The conservative host-independent default: crossover at 8% delta, ±25%
+    /// The conservative host-independent default: crossover at 30% delta, ±25%
     /// hysteresis, 3 observed batches before any flip, and a 1% trickle-update
     /// prior for the initial engine kind.
     ///
-    /// Hosts measured so far fit much *higher* crossovers (~20% for the hard
-    /// `Q_G5` shape, beyond the swept 30% for easy `Q_G3` —
-    /// `BENCH_micro_incremental.json`); the shipped default is deliberately
-    /// low so an **uncalibrated** engine only leaves counting under clearly
-    /// bulk workloads, where rerun's flat cost is safe on any host.  Run
-    /// `cargo run --release --example calibrate` for a tight host-fitted
-    /// crossover.
+    /// Hosts measured so far fit *higher* crossovers still (~60% for the hard
+    /// `Q_G5` shape on the flat interned layout with id-space head deltas —
+    /// counting still beat rerun ~3× at a 30% delta fraction in the last
+    /// calibration sweep); the shipped default stays below the fits so an
+    /// **uncalibrated** engine only leaves counting under clearly bulk
+    /// workloads, where rerun's flat cost is safe on any host.  The pre-flat
+    /// default was much lower (8%, then 15%) for two reasons the flat layout
+    /// removed: boxed-row probes made counting itself slower (the fitted
+    /// crossover was ~24% before the fold and the view combine went id-space
+    /// end to end), and migrating *into* counting mid-stream carried a 30–40%
+    /// probe penalty (boxed rows scattered by allocator churn) that flat id
+    /// buckets erased (re-measured at ±a few percent, i.e. noise), so a wrong
+    /// early rerun choice is now cheap to undo.  Run `cargo run --release
+    /// --example calibrate` for a tight host-fitted crossover.
     fn default() -> Self {
         MaintenanceCostModel {
-            crossover_fraction: 0.08,
+            crossover_fraction: 0.30,
             hysteresis: 0.25,
             min_observations: 3,
             initial_delta_fraction: 0.01,
@@ -783,7 +790,7 @@ mod tests {
             "trickle deltas prefer counting"
         );
         assert_eq!(
-            model.preferred(0.3),
+            model.preferred(0.45),
             IncrementalStrategy::EasyRerun,
             "bulk deltas prefer rerun"
         );

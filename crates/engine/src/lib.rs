@@ -1179,9 +1179,10 @@ impl DcqEngine {
         Ok(&self.views[view_slot].as_ref().expect("live handle").view)
     }
 
-    /// Materialize a view's current result as a relation.
+    /// Materialize a view's current result as a relation (the view's id-space
+    /// membership set resolved through the store's dictionary).
     pub fn result(&self, handle: ViewHandle) -> Result<Relation> {
-        Ok(self.view(handle)?.result())
+        Ok(self.view(handle)?.result(&self.store))
     }
 
     /// Iterate over `(handle, view)` pairs of the live registrations (a shared
@@ -1346,6 +1347,50 @@ impl DcqEngine {
             "Index snapshots currently pinning an index version",
         )
         .set(index.live_snapshot_pins);
+
+        let dict = self.store.dict_stats();
+        reg.gauge(
+            "dcq_dict_entries",
+            "Distinct values interned in the store dictionary",
+        )
+        .set(dict.entries);
+        reg.gauge(
+            "dcq_dict_bytes",
+            "Estimated dictionary heap footprint, bytes",
+        )
+        .set(dict.bytes);
+        reg.counter(
+            "dcq_dict_intern_hits_total",
+            "Intern calls resolved to an existing id",
+        )
+        .set_total(dict.intern_hits);
+        reg.counter(
+            "dcq_dict_intern_misses_total",
+            "Intern calls that assigned a fresh id",
+        )
+        .set_total(dict.intern_misses);
+        reg.gauge(
+            "dcq_flat_bytes",
+            "Estimated flat id-column heap footprint across all relations, bytes",
+        )
+        .set(self.store.flat_bytes() as u64);
+        for (name, bytes) in self.store.flat_relation_bytes() {
+            let sanitized: String = name
+                .chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() {
+                        c.to_ascii_lowercase()
+                    } else {
+                        '_'
+                    }
+                })
+                .collect();
+            reg.gauge(
+                &format!("dcq_flat_relation_bytes_{sanitized}"),
+                "Estimated flat id-column heap footprint of one relation, bytes",
+            )
+            .set(bytes as u64);
+        }
 
         let counting = self.counting_telemetry();
         reg.counter(

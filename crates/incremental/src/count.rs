@@ -30,10 +30,28 @@
 //! views of the same shape).  The registry always reflects the **new** state —
 //! the store applies a batch (and maintains every index once) before any view
 //! sees it — while the telescoping rule needs some atoms in their **old** state.
-//! Those probes are *compensated* from the batch delta itself: a row inserted by
-//! the batch is skipped, a row deleted by the batch is added back.  Since deltas
-//! are normalized, the compensation is exact, and its cost scales with the delta
-//! size, never with the database.  Per-view state shrinks to the count map.
+//! Those probes are *compensated* from the batch delta itself: a row deleted by
+//! the batch is added back, and a row inserted by the batch is either skipped
+//! (membership mask — used when the pending insert set is huge, i.e. the seed
+//! fold) or cancelled by an equal-and-opposite **negative twin** (used for real
+//! batch traffic, keeping the per-matched-block hot loop free of any hashing;
+//! exact because the telescoped fold is multilinear in its ℤ multiplicities).
+//! Since deltas are normalized, the compensation is exact, and its cost scales
+//! with the delta size, never with the database.  Per-view state shrinks to the
+//! count map.
+//!
+//! ## Id space end to end
+//!
+//! The whole fold runs in **dictionary-id space**: the store interns each
+//! normalized delta once ([`AppliedBatch::interned`]), indexes bucket contiguous
+//! `u32` blocks, the accumulator is one flat `Vec<u32>` at an evolving stride,
+//! and support counts are keyed by packed [`IdKey`]s.  Probing, masking,
+//! restoring and head projection never hash a [`Value`](dcq_storage::Value) and
+//! never allocate a [`Row`] — even the head delta a fold hands back is a signed
+//! list of [`IdKey`]s ([`HeadDelta`], shared by `Arc` so pooled sides serve
+//! every reader the same allocation).  Rows materialize only when a caller
+//! resolves a result through the dictionary, proportional to what it actually
+//! reads, not the probe volume.
 
 use crate::tele;
 use crate::{IncrementalError, Result};
@@ -41,35 +59,73 @@ use dcq_core::delta_plan::{build_delta_plans, AtomBinding, CqDeltaPlans};
 use dcq_core::query::ConjunctiveQuery;
 use dcq_storage::hash::{FastHashMap, FastHashSet};
 use dcq_storage::{
-    AnnotatedRelation, AppliedBatch, Epoch, IndexId, Relation, Row, Schema, SharedDatabase,
+    AppliedBatch, Epoch, IdDelta, IdKey, IndexId, Relation, Row, Schema, SharedDatabase,
 };
 use std::sync::Arc;
 
+/// The change a fold induced on a side's support counts: packed head ids with
+/// the signed count change, one entry per changed head tuple.  Stays in id
+/// space — callers resolve rows through the store's dictionary only for the
+/// tuples they actually materialize.
+pub type HeadDelta = Vec<(IdKey, i64)>;
+
 /// The batch delta of one stored relation whose telescoped application is still
 /// pending: probes against it must see the **old** state, so rows the batch
-/// inserted are masked and rows it deleted are restored.
+/// inserted are masked and rows it deleted are restored.  Everything borrows
+/// straight out of the batch's interned [`IdDelta`] — no ids are copied.
 #[derive(Default)]
 struct PendingDelta<'a> {
-    /// Stored rows the batch inserted (present in the index, absent in the old
-    /// state).
-    plus: FastHashSet<&'a Row>,
-    /// Stored rows the batch deleted (gone from the index, present in the old
-    /// state).
-    minus: Vec<&'a Row>,
+    /// Stored row blocks the batch inserted (present in the index, absent in
+    /// the old state).
+    plus: Vec<&'a [u32]>,
+    /// Stored row blocks the batch deleted (gone from the index, present in
+    /// the old state).
+    minus: Vec<&'a [u32]>,
 }
 
 impl<'a> PendingDelta<'a> {
-    fn of(delta: &'a [(Row, i64)]) -> Self {
+    fn of(delta: &'a IdDelta) -> Self {
         let mut pending = PendingDelta::default();
-        for (row, sign) in delta {
-            if *sign > 0 {
-                pending.plus.insert(row);
+        for (ids, sign) in delta.iter() {
+            if sign > 0 {
+                pending.plus.push(ids);
             } else {
-                pending.minus.push(row);
+                pending.minus.push(ids);
             }
         }
         pending
     }
+}
+
+/// Above this many pending inserts, old-state probes filter through a
+/// membership set instead of emitting negative twins (see the fold): masking
+/// costs one hash per matched block but collapses seed-sized "deltas" (the
+/// whole relation) instantly, negation is free per block but doubles the
+/// accumulated rows that touch the delta.  Real batch traffic sits far below
+/// the limit, seed folds far above.
+const NEGATION_LIMIT: usize = 512;
+
+/// Group compensation rows by their probe-key projection under `spec_key`
+/// (rows failing the atom's equality filter are dropped): one `O(|Δ|)` pass
+/// that makes per-probe compensation `O(matches)`.
+fn key_grouped<'a>(
+    rows: &[&'a [u32]],
+    probed: &AtomBinding,
+    spec_key: &[usize],
+) -> FastHashMap<IdKey, Vec<&'a [u32]>> {
+    let mut by_key: FastHashMap<IdKey, Vec<&'a [u32]>> = FastHashMap::default();
+    let mut key_buf: Vec<u32> = Vec::new();
+    for &stored in rows {
+        if admits_ids(probed, stored) {
+            key_buf.clear();
+            key_buf.extend(spec_key.iter().map(|&p| stored[p]));
+            by_key
+                .entry(IdKey::from_slice(&key_buf))
+                .or_default()
+                .push(stored);
+        }
+    }
+    by_key
 }
 
 /// Incremental support counts for one conjunctive query over a shared store.
@@ -81,13 +137,16 @@ pub struct CountingCq {
     /// Acquired registry entries, parallel to `plans.index_specs`.  Released
     /// through [`CountingCq::release_indexes`] when the view is torn down.
     index_ids: Vec<IndexId>,
-    counts: AnnotatedRelation<i64>,
+    /// Support counts keyed by the packed head ids (resolved to rows only at
+    /// the output boundary).
+    counts: FastHashMap<IdKey, i64>,
     /// The store epoch the counts reflect.  Batch application is idempotent per
     /// epoch, which is what lets several views share one counting side: the
     /// first view folds the batch, the rest get the memoized head delta.
     epoch: Epoch,
-    /// The head delta produced at `epoch` (served to sharing views).
-    last_delta: AnnotatedRelation<i64>,
+    /// The head delta produced at `epoch` (served to sharing views; `Arc` so
+    /// every sharing reader gets the same allocation, not a copy).
+    last_delta: Arc<HeadDelta>,
     /// Per-step deletion-key indexes built across the engine's lifetime.  These
     /// are the compensated-probe setup cost of a batch: they must be **zero**
     /// for insert-only traffic (the index is built lazily, only when the step's
@@ -166,9 +225,10 @@ impl CountingCq {
     /// plans, acquiring every shared index the plans probe and seeding the counts
     /// from the store's current contents.
     ///
-    /// The store's relations are read **through** shared handles (distinct by the
-    /// store's set-semantics invariant) and folded in as the first telescoped
-    /// batch — the view never takes a private copy of the base data.
+    /// The seed reads each referenced relation's **flat id mirror** as one
+    /// insert-only [`IdDelta`] and folds it in as the first telescoped batch —
+    /// the view never takes a private copy of the base data and never clones a
+    /// [`Row`] while seeding.
     pub fn from_store_with_plans(
         cq: ConjunctiveQuery,
         output: Schema,
@@ -192,16 +252,14 @@ impl CountingCq {
             .map(|spec| store.acquire_index(spec.to_index_key()))
             .collect::<std::result::Result<Vec<_>, _>>()
             .map_err(IncrementalError::Storage)?;
-        let counts = AnnotatedRelation::new(format!("count({})", cq.name), output.clone());
-        let last_delta = AnnotatedRelation::new("Δcount", output.clone());
         let mut engine = CountingCq {
             cq,
             output,
             plans,
             index_ids,
-            counts,
+            counts: FastHashMap::default(),
             epoch: store.epoch(),
-            last_delta,
+            last_delta: Arc::new(HeadDelta::new()),
             deletion_index_builds: 0,
             index_probes: tele::Counter::default(),
             compensated_masks: tele::Counter::default(),
@@ -214,21 +272,18 @@ impl CountingCq {
         // same compensation machinery makes not-yet-folded relations read as
         // empty (their "delta" is their entire contents), so the telescoping is
         // exact from an empty registration state.
-        let seed: Vec<(String, Vec<(Row, i64)>)> = engine
+        let seed: Vec<(String, IdDelta)> = engine
             .plans
             .occurrences
             .iter()
             .map(|(name, _)| {
-                let handle = store.relation(name).expect("validated above");
-                (
-                    name.clone(),
-                    handle.rows().iter().map(|r| (r.clone(), 1)).collect(),
-                )
+                let flat = store.flat(name).expect("validated above");
+                (name.clone(), flat.to_insert_delta())
             })
             .collect();
-        let borrowed: Vec<(&str, &[(Row, i64)])> = seed
+        let borrowed: Vec<(&str, &IdDelta)> = seed
             .iter()
-            .map(|(name, delta)| (name.as_str(), delta.as_slice()))
+            .map(|(name, delta)| (name.as_str(), delta))
             .collect();
         engine.fold(&borrowed, store);
         Ok(engine)
@@ -261,18 +316,39 @@ impl CountingCq {
     }
 
     /// Support count of one output tuple (`0` when absent).
-    pub fn count(&self, row: &Row) -> i64 {
-        self.counts.annotation(row)
+    ///
+    /// The row is translated through `store`'s dictionary; a row containing a
+    /// never-interned value cannot be an output and counts `0`.
+    pub fn count(&self, row: &Row, store: &SharedDatabase) -> i64 {
+        let mut ids = Vec::with_capacity(row.arity());
+        if !store.lookup_ids(row, &mut ids) {
+            return 0;
+        }
+        self.count_ids(&ids)
     }
 
-    /// The full support-count map.
-    pub fn counts(&self) -> &AnnotatedRelation<i64> {
+    /// Support count of one output tuple given as dictionary ids (`0` when
+    /// absent) — the allocation-free form [`CountingCq::count`] wraps.
+    pub fn count_ids(&self, ids: &[u32]) -> i64 {
+        self.counts.get(ids).copied().unwrap_or(0)
+    }
+
+    /// The full support-count map in id space (packed head ids → count; every
+    /// count is positive).
+    pub fn counts_ids(&self) -> &FastHashMap<IdKey, i64> {
         &self.counts
     }
 
-    /// The current set-semantics output `Q(D)` (tuples with positive support).
-    pub fn to_relation(&self) -> Relation {
-        self.counts.to_relation()
+    /// The current set-semantics output `Q(D)` (tuples with positive support),
+    /// resolved to row space through `store`'s dictionary.
+    pub fn to_relation(&self, store: &SharedDatabase) -> Relation {
+        let mut rel = Relation::new(format!("count({})", self.cq.name), self.output.clone());
+        rel.reserve(self.counts.len());
+        for key in self.counts.keys() {
+            rel.push_unchecked(store.resolve_row(key.as_slice()));
+        }
+        rel.assume_distinct();
+        rel
     }
 
     /// The store epoch the counts reflect.
@@ -302,80 +378,115 @@ impl CountingCq {
     }
 
     /// Fold one applied batch into the support counts and return the induced
-    /// change of the count map (already folded into [`CountingCq::counts`]).
+    /// change of the count map (already folded into the counts) as a shared,
+    /// id-space [`HeadDelta`].
     ///
     /// `applied` must be the store's own application record — the store (and
     /// with it every shared index) already reflects the batch — offered in epoch
-    /// order; `store` must be the store the engine was built over.  Relations
-    /// the query does not read are ignored.
+    /// order; `store` must be the store the engine was built over.  The fold
+    /// consumes the batch's **interned** deltas; relations the query does not
+    /// read are ignored.
     ///
     /// Application is **idempotent per epoch**: a batch the engine already
     /// reflects (because another view sharing this counting side folded it
-    /// first) returns the memoized head delta without touching the counts.
+    /// first) returns the memoized head delta without touching the counts —
+    /// and since the delta is behind an `Arc`, serving it to any number of
+    /// sharing views copies nothing.
     pub fn apply_batch(
         &mut self,
         applied: &AppliedBatch,
         store: &SharedDatabase,
-    ) -> AnnotatedRelation<i64> {
+    ) -> Arc<HeadDelta> {
         if applied.epoch == self.epoch {
             // A sharing view's worker already folded this batch; the memoized
             // head delta is served without re-touching the counts.
             self.fold_hits_shared.inc();
-            return self.last_delta.clone();
+            return Arc::clone(&self.last_delta);
         }
         debug_assert!(
             applied.epoch > self.epoch,
             "batches must be offered in epoch order"
         );
         self.epoch = applied.epoch;
-        let relevant: Vec<(&str, &[(Row, i64)])> = applied
-            .normalized
+        let relevant: Vec<(&str, &IdDelta)> = applied
+            .interned
             .iter()
             .filter(|(name, delta)| !delta.is_empty() && self.plans.references(name))
-            .map(|(name, delta)| (name.as_str(), delta.as_slice()))
+            .map(|(name, delta)| (name.as_str(), delta))
             .collect();
-        self.last_delta = if relevant.is_empty() {
-            AnnotatedRelation::new("Δcount", self.output.clone())
+        self.last_delta = Arc::new(if relevant.is_empty() {
+            HeadDelta::new()
         } else {
             self.fold(&relevant, store)
-        };
-        self.last_delta.clone()
+        });
+        Arc::clone(&self.last_delta)
     }
 
     /// The telescoped delta fold: process the touched relations in the given
     /// order, each occurrence joining its bound delta against the shared indexes
     /// — already-folded atoms in the new state (direct probes), not-yet-folded
     /// ones in the old state (compensated probes).
-    fn fold(
-        &mut self,
-        deltas: &[(&str, &[(Row, i64)])],
-        store: &SharedDatabase,
-    ) -> AnnotatedRelation<i64> {
+    ///
+    /// Runs entirely in id space: the accumulator is one flat `Vec<u32>` at an
+    /// evolving stride with a parallel multiplicity column, probe keys live in a
+    /// reused buffer, and matches extend the flat buffer in place.  Nothing in
+    /// the fold hashes a value or allocates a row — the head delta it returns
+    /// is itself packed ids.
+    fn fold(&mut self, deltas: &[(&str, &IdDelta)], store: &SharedDatabase) -> HeadDelta {
         self.folds_owned.inc();
-        let mut head_delta = AnnotatedRelation::new("Δcount", self.output.clone());
+        let plans = Arc::clone(&self.plans);
+        let mut head_ids: FastHashMap<IdKey, i64> = FastHashMap::default();
         let mut pending: FastHashMap<&str, PendingDelta<'_>> = deltas
             .iter()
             .map(|(name, delta)| (*name, PendingDelta::of(delta)))
             .collect();
+        // Compensation structures, memoized per index spec (or relation): they
+        // depend only on the probed relation's (fold-constant) pending delta
+        // and the spec's key columns, so one build serves every step and
+        // occurrence probing through that spec.
+        let mut mask_cache: FastHashMap<&str, FastHashSet<&[u32]>> = FastHashMap::default();
+        let mut plus_cache: FastHashMap<usize, FastHashMap<IdKey, Vec<&[u32]>>> =
+            FastHashMap::default();
+        let mut minus_cache: FastHashMap<usize, FastHashMap<IdKey, Vec<&[u32]>>> =
+            FastHashMap::default();
+        // Scratch buffers reused across occurrences and steps.
+        let mut key_buf: Vec<u32> = Vec::new();
+        let mut acc_ids: Vec<u32> = Vec::new();
+        let mut acc_mults: Vec<i64> = Vec::new();
+        let mut next_ids: Vec<u32> = Vec::new();
+        let mut next_mults: Vec<i64> = Vec::new();
         for (name, delta) in deltas {
             let own = pending.remove(*name).unwrap_or_default();
-            for &d in self.plans.occurrences_of(name) {
-                let binding = &self.plans.atoms[d];
+            for &d in plans.occurrences_of(name) {
+                let binding = &plans.atoms[d];
                 // Seed the accumulator with the delta bound at occurrence `d`
                 // (equality filter + projection; injective, so signs carry over).
-                let mut acc: Vec<(Row, i64)> = delta
-                    .iter()
-                    .filter(|(row, _)| admits(binding, row))
-                    .map(|(row, sign)| (row.project(&binding.keep_positions), *sign))
-                    .collect();
-                let plan = &self.plans.occurrence_plans[d];
+                let mut acc_stride = binding.keep_positions.len();
+                acc_ids.clear();
+                acc_mults.clear();
+                for (ids, sign) in delta.iter() {
+                    if admits_ids(binding, ids) {
+                        acc_ids.extend(binding.keep_positions.iter().map(|&p| ids[p]));
+                        acc_mults.push(sign);
+                    }
+                }
+                let plan = &plans.occurrence_plans[d];
                 for step in &plan.steps {
-                    if acc.is_empty() {
+                    if acc_mults.is_empty() {
                         break;
                     }
-                    let probed = &self.plans.atoms[step.atom];
-                    let spec = &self.plans.index_specs[step.index];
+                    let probed = &plans.atoms[step.atom];
+                    let spec = &plans.index_specs[step.index];
                     let index = self.index_ids[step.index];
+                    // Blocks come back at the index's stride (nullary rows are
+                    // sentinel-padded); a dead index probes empty, stride moot.
+                    // The entry is resolved once per step so the probe loop
+                    // skips the registry's slot/generation indirection.
+                    let entry = store.index(index);
+                    let (probed_arity, stride) = match entry {
+                        Some(entry) => (entry.arity(), entry.stride()),
+                        None => (0, 1),
+                    };
                     // Which state must this atom be probed in?  Same relation:
                     // occurrences before `d` already telescoped (new), after `d`
                     // not yet (old).  Other relations: old exactly while their
@@ -385,81 +496,159 @@ impl CountingCq {
                     } else {
                         pending.get(probed.relation.as_str())
                     };
+                    // The probed rows the batch inserted are absent in the old
+                    // state the step must observe.  Two exact ways to subtract
+                    // them, picked by pending-insert volume:
+                    //
+                    // * **negation** (small Δ+, i.e. real batch traffic): scan
+                    //   the new state unfiltered and emit a *negative twin* for
+                    //   every pending insert matching the probe key.  The fold
+                    //   is multilinear in its ℤ multiplicities, so the twins
+                    //   cancel the inserted rows' contributions exactly — and
+                    //   the per-matched-block set lookup disappears from the
+                    //   hot loop, which is where a high-fan-out delta join
+                    //   spends its time.
+                    // * **masking** (huge Δ+, i.e. the seed fold, where a
+                    //   not-yet-folded relation's "delta" is its entire
+                    //   contents): filter matched blocks through a membership
+                    //   set.  One hash per block, but the accumulator collapses
+                    //   to the (empty) old state immediately instead of
+                    //   carrying twice the full join forward.
+                    let large_plus = comp.is_some_and(|c| c.plus.len() > NEGATION_LIMIT);
+                    let mask: Option<&FastHashSet<&[u32]>> = match comp {
+                        Some(c) if large_plus => Some(
+                            mask_cache
+                                .entry(probed.relation.as_str())
+                                .or_insert_with(|| c.plus.iter().copied().collect()),
+                        ),
+                        _ => None,
+                    };
+                    let plus_by_key: Option<&FastHashMap<IdKey, Vec<&[u32]>>> = match comp {
+                        Some(c) if !large_plus && !c.plus.is_empty() => {
+                            Some(plus_cache.entry(step.index).or_insert_with(|| {
+                                key_grouped(&c.plus, probed, &spec.key_positions)
+                            }))
+                        }
+                        _ => None,
+                    };
                     // Pre-index the compensation's deleted rows by this step's
                     // probe key (one `O(|Δ−|)` pass), so restoring them costs
                     // `O(matches)` per accumulated row instead of `O(|Δ−|)` —
                     // without this, large deltas degrade quadratically.  Built
-                    // lazily: a batch that deletes nothing from the probed
-                    // relation pays no setup at all, so insert-only traffic
-                    // (the common upsert stream) skips this allocation on
-                    // every step of every occurrence.
-                    let minus_by_key: Option<FastHashMap<Row, Vec<&Row>>> =
-                        comp.filter(|c| !c.minus.is_empty()).map(|c| {
-                            self.deletion_index_builds += 1;
-                            let mut by_key: FastHashMap<Row, Vec<&Row>> = FastHashMap::default();
-                            for &stored in &c.minus {
-                                if admits(probed, stored) {
-                                    by_key
-                                        .entry(stored.project(&spec.key_positions))
-                                        .or_default()
-                                        .push(stored);
-                                }
-                            }
-                            by_key
-                        });
-                    let mut next = Vec::with_capacity(acc.len());
-                    for (row, mult) in &acc {
-                        let key = row.project(&step.acc_key_positions);
+                    // lazily and memoized per spec: a batch that deletes
+                    // nothing from the probed relation pays no setup at all,
+                    // so insert-only traffic (the common upsert stream) skips
+                    // this allocation on every step of every occurrence.
+                    let minus_by_key: Option<&FastHashMap<IdKey, Vec<&[u32]>>> = match comp {
+                        Some(c) if !c.minus.is_empty() => {
+                            Some(minus_cache.entry(step.index).or_insert_with(|| {
+                                self.deletion_index_builds += 1;
+                                key_grouped(&c.minus, probed, &spec.key_positions)
+                            }))
+                        }
+                        _ => None,
+                    };
+                    next_ids.clear();
+                    next_mults.clear();
+                    for i in 0..acc_mults.len() {
+                        let row = &acc_ids[i * acc_stride..(i + 1) * acc_stride];
+                        let mult = acc_mults[i];
+                        key_buf.clear();
+                        key_buf.extend(step.acc_key_positions.iter().map(|&p| row[p]));
                         self.index_probes.inc();
-                        for stored in store.probe_index(index, &key) {
-                            if comp.is_some_and(|c| c.plus.contains(stored)) {
-                                // inserted this batch → absent in the old state
-                                self.compensated_masks.inc();
-                                continue;
+                        let blocks = entry.map_or(&[][..], |e| e.probe_ids(&key_buf));
+                        if let Some(plus) = mask {
+                            for block in blocks.chunks_exact(stride) {
+                                let stored = &block[..probed_arity];
+                                if plus.contains(stored) {
+                                    // inserted this batch → absent in the old state
+                                    self.compensated_masks.inc();
+                                    continue;
+                                }
+                                next_ids.extend_from_slice(row);
+                                next_ids.extend(step.append_positions.iter().map(|&p| stored[p]));
+                                next_mults.push(mult);
                             }
-                            next.push((
-                                row.concat_projected(stored, &step.append_positions),
-                                *mult,
-                            ));
+                        } else {
+                            for block in blocks.chunks_exact(stride) {
+                                let stored = &block[..probed_arity];
+                                next_ids.extend_from_slice(row);
+                                next_ids.extend(step.append_positions.iter().map(|&p| stored[p]));
+                                next_mults.push(mult);
+                            }
+                        }
+                        if let Some(by_key) = &plus_by_key {
+                            // Inserted this batch → absent in the old state but
+                            // scanned unfiltered above; the negative twin
+                            // cancels the contribution exactly.
+                            for &stored in by_key
+                                .get(key_buf.as_slice())
+                                .map(Vec::as_slice)
+                                .unwrap_or(&[])
+                            {
+                                self.compensated_masks.inc();
+                                next_ids.extend_from_slice(row);
+                                next_ids.extend(step.append_positions.iter().map(|&p| stored[p]));
+                                next_mults.push(-mult);
+                            }
                         }
                         if let Some(by_key) = &minus_by_key {
                             // Deleted this batch → present in the old state but
                             // already gone from the shared index; restore them.
-                            for stored in by_key.get(&key).map(Vec::as_slice).unwrap_or(&[]) {
+                            for &stored in by_key
+                                .get(key_buf.as_slice())
+                                .map(Vec::as_slice)
+                                .unwrap_or(&[])
+                            {
                                 self.compensated_restores.inc();
-                                next.push((
-                                    row.concat_projected(stored, &step.append_positions),
-                                    *mult,
-                                ));
+                                next_ids.extend_from_slice(row);
+                                next_ids.extend(step.append_positions.iter().map(|&p| stored[p]));
+                                next_mults.push(mult);
                             }
                         }
                     }
-                    acc = next;
+                    std::mem::swap(&mut acc_ids, &mut next_ids);
+                    std::mem::swap(&mut acc_mults, &mut next_mults);
+                    acc_stride += step.append_positions.len();
                 }
-                for (row, mult) in acc {
-                    head_delta.combine(row.project(&plan.head_positions), mult);
+                for i in 0..acc_mults.len() {
+                    let row = &acc_ids[i * acc_stride..(i + 1) * acc_stride];
+                    key_buf.clear();
+                    key_buf.extend(plan.head_positions.iter().map(|&p| row[p]));
+                    *head_ids.entry(IdKey::from_slice(&key_buf)).or_insert(0) += acc_mults[i];
                 }
             }
             // `name` is now fully telescoped; later relations in the fold (which
             // still sit in `pending`) keep seeing it in the new state.
         }
-        for (row, mult) in head_delta.iter() {
-            self.counts.combine(row.clone(), *mult);
+        let mut head_delta = HeadDelta::with_capacity(head_ids.len());
+        for (key, mult) in head_ids {
+            if mult == 0 {
+                continue;
+            }
+            let updated = {
+                let count = self.counts.entry(key.clone()).or_insert(0);
+                *count += mult;
+                *count
+            };
             debug_assert!(
-                self.counts.annotation(row) >= 0,
-                "support count went negative for {row}"
+                updated >= 0,
+                "support count went negative for {:?}",
+                key.as_slice()
             );
+            if updated == 0 {
+                self.counts.remove(key.as_slice());
+            }
+            head_delta.push((key, mult));
         }
         head_delta
     }
 }
 
-/// `true` iff `row` satisfies the atom's repeated-variable equality filter.
-fn admits(binding: &AtomBinding, row: &Row) -> bool {
-    binding
-        .equalities
-        .iter()
-        .all(|&(a, b)| row.get(a) == row.get(b))
+/// `true` iff the id block satisfies the atom's repeated-variable equality
+/// filter (interning is injective, so id equality is value equality).
+fn admits_ids(binding: &AtomBinding, ids: &[u32]) -> bool {
+    binding.equalities.iter().all(|&(a, b)| ids[a] == ids[b])
 }
 
 #[cfg(test)]
@@ -501,7 +690,7 @@ mod tests {
             let engine = CountingCq::from_store(cq.clone(), cq.head_schema(), &mut store).unwrap();
             let expected = evaluate_cq(&cq, store.database(), CqStrategy::Vanilla).unwrap();
             assert_eq!(
-                engine.to_relation().sorted_rows(),
+                engine.to_relation(&store).sorted_rows(),
                 expected.sorted_rows(),
                 "counting seed differs on {src}"
             );
@@ -514,9 +703,14 @@ mod tests {
         // π_x of Graph(x, y): x=2 has two out-edges.
         let cq = parse_cq("P(x) :- Graph(x, y)").unwrap();
         let engine = CountingCq::from_store(cq.clone(), cq.head_schema(), &mut store).unwrap();
-        assert_eq!(engine.count(&int_row([2])), 2);
-        assert_eq!(engine.count(&int_row([1])), 1);
-        assert_eq!(engine.count(&int_row([9])), 0);
+        assert_eq!(engine.count(&int_row([2]), &store), 2);
+        assert_eq!(engine.count(&int_row([1]), &store), 1);
+        assert_eq!(engine.count(&int_row([9]), &store), 0, "never interned");
+        // The id-space form agrees with the row-space shim.
+        let mut ids = Vec::new();
+        assert!(store.lookup_ids(&int_row([2]), &mut ids));
+        assert_eq!(engine.count_ids(&ids), 2);
+        assert_eq!(engine.counts_ids().len(), 4);
         // Single-atom plans probe nothing, so no registry entry exists: the
         // per-view state is the count map and nothing else.
         assert_eq!(store.index_count(), 0);
@@ -546,12 +740,12 @@ mod tests {
             engine.apply_batch(&applied, &store);
             let expected = evaluate_cq(&cq, store.database(), CqStrategy::Vanilla).unwrap();
             assert_eq!(
-                engine.to_relation().sorted_rows(),
+                engine.to_relation(&store).sorted_rows(),
                 expected.sorted_rows(),
                 "counting state diverged after ({row}, {sign})"
             );
         }
-        assert!(engine.count(&int_row([3, 3, 3])) > 0);
+        assert!(engine.count(&int_row([3, 3, 3]), &store) > 0);
     }
 
     #[test]
@@ -569,7 +763,10 @@ mod tests {
         let applied = store.apply_batch(&batch).unwrap();
         engine.apply_batch(&applied, &store);
         let expected = evaluate_cq(&cq, store.database(), CqStrategy::Vanilla).unwrap();
-        assert_eq!(engine.to_relation().sorted_rows(), expected.sorted_rows());
+        assert_eq!(
+            engine.to_relation(&store).sorted_rows(),
+            expected.sorted_rows()
+        );
     }
 
     #[test]
@@ -577,13 +774,13 @@ mod tests {
         let mut store = store();
         let cq = parse_cq("P(x, y) :- Graph(x, y)").unwrap();
         let mut engine = CountingCq::from_store(cq.clone(), cq.head_schema(), &mut store).unwrap();
-        let before = engine.to_relation().sorted_rows();
+        let before = engine.to_relation(&store).sorted_rows();
         let mut batch = DeltaBatch::new();
         batch.insert("Edge", int_row([7, 7]));
         let applied = store.apply_batch(&batch).unwrap();
         let change = engine.apply_batch(&applied, &store);
         assert!(change.is_empty());
-        assert_eq!(engine.to_relation().sorted_rows(), before);
+        assert_eq!(engine.to_relation(&store).sorted_rows(), before);
         assert!(!engine.touches("Edge"));
         assert!(engine.touches("Graph"));
         assert_eq!(engine.query().name, "P");
@@ -622,7 +819,10 @@ mod tests {
             "deleting batches build the per-step deletion index lazily"
         );
         let expected = evaluate_cq(&cq, store.database(), CqStrategy::Vanilla).unwrap();
-        assert_eq!(engine.to_relation().sorted_rows(), expected.sorted_rows());
+        assert_eq!(
+            engine.to_relation(&store).sorted_rows(),
+            expected.sorted_rows()
+        );
     }
 
     #[cfg(feature = "telemetry")]
@@ -663,6 +863,48 @@ mod tests {
         merged.merge(&t2);
         merged.merge(&t2);
         assert_eq!(merged.index_probes, 2 * t2.index_probes);
+        engine.release_indexes(&mut store);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn probe_path_allocates_no_rows() {
+        use dcq_storage::row_allocations;
+        let mut store = store();
+        let cq = parse_cq("P(x, z) :- Graph(x, y), Graph(y, z)").unwrap();
+        // Seeding folds the whole store through the probe path; the only rows
+        // it may allocate are the head tuples of the (delta-sized) result.
+        let before = row_allocations();
+        let mut engine = CountingCq::from_store(cq.clone(), cq.head_schema(), &mut store).unwrap();
+        let seeded = row_allocations() - before;
+        let heads = engine.counts_ids().len() as u64;
+        assert!(
+            seeded <= heads,
+            "seed fold allocated {seeded} rows for {heads} head tuples — \
+             the probe path must allocate zero rows per probe"
+        );
+        assert!(engine.telemetry().index_probes > 0, "probes did happen");
+
+        // A batch fold likewise allocates only delta-resolution rows (plus the
+        // batch's own normalized row-space deltas built by the store), never
+        // per probe: with 2 touched tuples the bound is a small constant.
+        let mut batch = DeltaBatch::new();
+        batch.insert("Graph", int_row([2, 5]));
+        batch.delete("Graph", int_row([4, 1]));
+        let probes_before = engine.telemetry().index_probes;
+        let before = row_allocations();
+        let applied = store.apply_batch(&batch).unwrap();
+        let delta = engine.apply_batch(&applied, &store);
+        let allocated = row_allocations() - before;
+        assert!(engine.telemetry().index_probes > probes_before);
+        // Batch rows + normalized copies + head-delta resolutions + the
+        // memoized clone: all delta-proportional.  8 tuples of traffic must
+        // stay far below the dozens a per-probe materialization would cost.
+        let bound = 4 * (batch.len() as u64 + delta.len() as u64) + 8;
+        assert!(
+            allocated <= bound,
+            "fold allocated {allocated} rows (bound {bound}) — probe path is not row-free"
+        );
         engine.release_indexes(&mut store);
     }
 

@@ -53,7 +53,7 @@ pub mod pool;
 pub(crate) mod tele;
 pub mod view;
 
-pub use count::{CountingCq, CountingTelemetry};
+pub use count::{CountingCq, CountingTelemetry, HeadDelta};
 pub use dcq_core::planner::{IncrementalPlan, IncrementalStrategy};
 pub use pool::{CountingPool, CountingPoolStats, SharedCountingCq};
 pub use view::{BatchOutcome, DcqView, MaintenanceStats};

@@ -41,8 +41,8 @@ use dcq_core::baseline::{evaluate_cq, CqStrategy};
 use dcq_core::cache::PlanCache;
 use dcq_core::planner::{DcqPlanner, IncrementalPlan, IncrementalStrategy};
 use dcq_core::Dcq;
-use dcq_storage::hash::FastHashSet;
-use dcq_storage::{AppliedBatch, DeltaEffect, Epoch, Relation, Row, Schema, SharedDatabase};
+use dcq_storage::hash::{set_with_capacity, FastHashSet};
+use dcq_storage::{AppliedBatch, DeltaEffect, Epoch, IdKey, Relation, Row, Schema, SharedDatabase};
 use std::fmt;
 use std::sync::{Arc, RwLock};
 
@@ -126,7 +126,11 @@ pub struct DcqView {
     active: IncrementalStrategy,
     /// Referenced stored relations, sorted and deduplicated.
     referenced: Vec<String>,
-    result: FastHashSet<Row>,
+    /// Result membership in **id space** (packed head ids, resolved through
+    /// the store's dictionary only when a caller materializes rows): the
+    /// per-batch combine never hashes a [`Value`](dcq_storage::Value) and
+    /// never clones a [`Row`].
+    result: FastHashSet<IdKey>,
     stats: MaintenanceStats,
     /// Telemetry folded in from counting sides this view released as their
     /// **last** holder (strategy migrations away from counting).  Keeps the
@@ -230,7 +234,7 @@ impl DcqView {
             retired: CountingTelemetry::default(),
             epoch: store.epoch(),
         };
-        view.result = view.compute_result_set()?;
+        view.result = view.compute_result_set(store)?;
         Ok(view)
     }
 
@@ -297,7 +301,7 @@ impl DcqView {
     }
 
     /// Derive the full result set from the engine state (registration path).
-    fn compute_result_set(&mut self) -> Result<FastHashSet<Row>> {
+    fn compute_result_set(&mut self, store: &SharedDatabase) -> Result<FastHashSet<IdKey>> {
         match &mut self.state {
             ViewState::Counting { q1, q2 } => {
                 // Degenerate `Q − Q`: both sides are the same pooled engine, so
@@ -306,19 +310,19 @@ impl DcqView {
                 if Arc::ptr_eq(q1, q2) {
                     return Ok(FastHashSet::default());
                 }
-                // Distinct sides: one filtered pass under both read guards
-                // (only surviving rows are cloned).  Holding two guards is safe
-                // here — this runs exclusively in the engine's sequential
-                // phases (registration/migration, `&mut` engine), where no
-                // writer can queue between the two acquisitions; the apply hot
-                // path keeps the strict one-lock-at-a-time discipline.
+                // Distinct sides: one filtered pass in id space under both read
+                // guards.  Holding two guards is safe here — this runs
+                // exclusively in the engine's sequential phases
+                // (registration/migration, `&mut` engine), where no writer can
+                // queue between the two acquisitions; the apply hot path keeps
+                // the strict one-lock-at-a-time discipline.
                 let q1 = q1.read().expect("counting side lock poisoned");
                 let q2 = q2.read().expect("counting side lock poisoned");
                 Ok(q1
-                    .counts()
-                    .iter()
-                    .filter(|(row, _)| q2.count(row) == 0)
-                    .map(|(row, _)| row.clone())
+                    .counts_ids()
+                    .keys()
+                    .filter(|key| q2.count_ids(key.as_slice()) == 0)
+                    .cloned()
                     .collect())
             }
             ViewState::EasyRerun(state) => {
@@ -326,7 +330,7 @@ impl DcqView {
                     .q1_out
                     .minus(&state.q2_out)
                     .map_err(IncrementalError::Storage)?;
-                Ok(diff.to_row_set())
+                Ok(rows_to_id_set(diff.rows().iter(), diff.len(), store))
             }
         }
     }
@@ -394,22 +398,29 @@ impl DcqView {
                     .write()
                     .expect("counting side lock poisoned")
                     .apply_batch(applied, store);
-                let mut changed_heads: FastHashSet<Row> = FastHashSet::default();
-                changed_heads.extend(d1.iter().map(|(row, _)| row.clone()));
-                changed_heads.extend(d2.iter().map(|(row, _)| row.clone()));
-                let changed: Vec<Row> = changed_heads.into_iter().collect();
-                let positive: Vec<bool> = {
+                // Re-check membership of every changed head, entirely in id
+                // space: the deltas are packed-id lists (shared `Arc`s, so a
+                // pooled side's fold is never copied per reading view), the
+                // dedup set borrows them, and the count lookups probe with the
+                // borrowed slices — no `Row` is cloned, hashed or resolved.
+                let mut changed: FastHashSet<&IdKey> = set_with_capacity(d1.len() + d2.len());
+                changed.extend(d1.iter().map(|(key, _)| key));
+                changed.extend(d2.iter().map(|(key, _)| key));
+                let positive: Vec<(&IdKey, bool)> = {
                     let q1 = q1.read().expect("counting side lock poisoned");
-                    changed.iter().map(|row| q1.count(row) > 0).collect()
+                    changed
+                        .into_iter()
+                        .map(|key| (key, q1.count_ids(key.as_slice()) > 0))
+                        .collect()
                 };
                 let q2 = q2.read().expect("counting side lock poisoned");
-                for (row, positive) in changed.into_iter().zip(positive) {
-                    let belongs = positive && q2.count(&row) == 0;
+                for (key, positive) in positive {
+                    let belongs = positive && q2.count_ids(key.as_slice()) == 0;
                     if belongs {
-                        if self.result.insert(row) {
+                        if self.result.insert(key.clone()) {
                             outcome.result_added += 1;
                         }
-                    } else if self.result.remove(&row) {
+                    } else if self.result.remove(key) {
                         outcome.result_removed += 1;
                     }
                 }
@@ -431,15 +442,15 @@ impl DcqView {
                         self.stats.side_recomputes += 1;
                     }
                     if q1_touched || q2_touched {
-                        let fresh = state
+                        let diff = state
                             .q1_out
                             .minus(&state.q2_out)
-                            .map_err(IncrementalError::Storage)?
-                            .to_row_set();
+                            .map_err(IncrementalError::Storage)?;
+                        let fresh = rows_to_id_set(diff.rows().iter(), diff.len(), store);
                         outcome.result_added +=
-                            fresh.iter().filter(|r| !self.result.contains(*r)).count();
+                            fresh.iter().filter(|k| !self.result.contains(*k)).count();
                         outcome.result_removed +=
-                            self.result.iter().filter(|r| !fresh.contains(*r)).count();
+                            self.result.iter().filter(|k| !fresh.contains(*k)).count();
                         self.result = fresh;
                     }
                 }
@@ -535,7 +546,7 @@ impl DcqView {
         drop(old);
         self.active = target;
         self.stats.migrations += 1;
-        let rebuilt = self.compute_result_set()?;
+        let rebuilt = self.compute_result_set(store)?;
         debug_assert_eq!(
             rebuilt, self.result,
             "migration must preserve the result set exactly"
@@ -601,24 +612,30 @@ impl DcqView {
     }
 
     /// `true` iff `row` is currently in the result.
-    pub fn contains(&self, row: &Row) -> bool {
-        self.result.contains(row)
+    ///
+    /// The row is translated through `store`'s dictionary; a row containing a
+    /// never-interned value cannot be a result tuple.
+    pub fn contains(&self, row: &Row, store: &SharedDatabase) -> bool {
+        let mut ids = Vec::with_capacity(row.arity());
+        store.lookup_ids(row, &mut ids) && self.result.contains(&ids[..])
     }
 
-    /// The current result membership set.
-    pub fn result_set(&self) -> &FastHashSet<Row> {
+    /// The current result membership set, as packed head ids (resolve through
+    /// the store's dictionary to materialize rows).
+    pub fn result_ids(&self) -> &FastHashSet<IdKey> {
         &self.result
     }
 
-    /// Materialize the current result as a relation (distinct by construction).
-    pub fn result(&self) -> Relation {
+    /// Materialize the current result as a relation (distinct by construction),
+    /// resolving the id-space membership set through `store`'s dictionary.
+    pub fn result(&self, store: &SharedDatabase) -> Relation {
         let mut rel = Relation::new(
             format!("{}−{}", self.dcq.q1.name, self.dcq.q2.name),
             self.output.clone(),
         );
         rel.reserve(self.result.len());
-        for row in &self.result {
-            rel.push_unchecked(row.clone());
+        for key in &self.result {
+            rel.push_unchecked(store.resolve_row(key.as_slice()));
         }
         rel.assume_distinct();
         rel
@@ -661,6 +678,29 @@ impl DcqView {
             ViewState::EasyRerun(_) => Vec::new(),
         }
     }
+}
+
+/// Translate row-space result tuples into an id-space membership set.
+///
+/// Every value in a query output is a projection of stored rows, and the
+/// store's dictionary is append-only, so the lookup cannot fail for rows a
+/// rerun actually produced (asserted in debug builds; a row that genuinely
+/// contains a never-interned value cannot be a result and is dropped).
+fn rows_to_id_set<'a>(
+    rows: impl Iterator<Item = &'a Row>,
+    hint: usize,
+    store: &SharedDatabase,
+) -> FastHashSet<IdKey> {
+    let mut out = set_with_capacity(hint);
+    let mut ids = Vec::new();
+    for row in rows {
+        let interned = store.lookup_ids(row, &mut ids);
+        debug_assert!(interned, "result row {row} holds a never-interned value");
+        if interned {
+            out.insert(IdKey::from_slice(&ids));
+        }
+    }
+    out
 }
 
 impl fmt::Debug for DcqView {
@@ -769,7 +809,7 @@ mod tests {
                 let expected =
                     baseline_dcq(view.dcq(), store.database(), CqStrategy::Vanilla).unwrap();
                 assert_eq!(
-                    view.result().sorted_rows(),
+                    view.result(&store).sorted_rows(),
                     expected.sorted_rows(),
                     "view diverged after {batch}"
                 );
@@ -787,7 +827,7 @@ mod tests {
     fn irrelevant_batches_advance_the_epoch_only() {
         let mut store = store();
         let mut view = build(EASY, &mut store);
-        let before = view.result().sorted_rows();
+        let before = view.result(&store).sorted_rows();
         let mut batch = DeltaBatch::new();
         batch.insert("Other", int_row([42]));
         let applied = store.apply_batch(&batch).unwrap();
@@ -795,7 +835,7 @@ mod tests {
         assert!(outcome.skipped);
         assert_eq!(outcome.epoch, 1);
         assert_eq!(view.epoch(), 1);
-        assert_eq!(view.result().sorted_rows(), before);
+        assert_eq!(view.result(&store).sorted_rows(), before);
         assert_eq!(view.stats().batches_skipped, 1);
         assert_eq!(view.stats().batches_applied, 0);
     }
@@ -830,7 +870,7 @@ mod tests {
         let mut view = DcqView::build_shared(dcq, plan, &mut store, &mut cache, &mut pool).unwrap();
         assert_eq!(view.active_strategy(), IncrementalStrategy::Counting);
         assert!(store.index_count() > 0);
-        let before = view.result().sorted_rows();
+        let before = view.result(&store).sorted_rows();
 
         // Counting → rerun: the sole holder's registry entries drain, the
         // result is byte-identical.
@@ -850,7 +890,7 @@ mod tests {
             "the declared strategy is unchanged by migration"
         );
         assert_eq!(store.index_count(), 0, "old counting state fully released");
-        assert_eq!(view.result().sorted_rows(), before);
+        assert_eq!(view.result(&store).sorted_rows(), before);
         // Migrating to the active kind is a no-op.
         assert!(!view
             .migrate(
@@ -886,7 +926,7 @@ mod tests {
         let applied = store.apply_batch(&batch).unwrap();
         view.apply(&applied, &store).unwrap();
         let expected = baseline_dcq(view.dcq(), store.database(), CqStrategy::Vanilla).unwrap();
-        assert_eq!(view.result().sorted_rows(), expected.sorted_rows());
+        assert_eq!(view.result(&store).sorted_rows(), expected.sorted_rows());
         assert_eq!(view.stats().migrations, 2);
         assert_eq!(view.epoch(), 2);
 
@@ -940,11 +980,13 @@ mod tests {
     fn result_accessors_and_debug() {
         let mut store = store();
         let view = build(EASY, &mut store);
-        assert_eq!(view.len(), view.result().len());
+        assert_eq!(view.len(), view.result(&store).len());
         assert!(!view.is_empty());
-        assert!(view.contains(&int_row([7, 8, 9])));
-        assert!(view.result_set().contains(&int_row([7, 8, 9])));
-        assert!(!view.contains(&int_row([1, 2, 3])));
+        assert!(view.contains(&int_row([7, 8, 9]), &store));
+        assert_eq!(view.result_ids().len(), view.len());
+        assert!(!view.contains(&int_row([1, 2, 3]), &store));
+        // A row holding a value the dictionary has never seen cannot belong.
+        assert!(!view.contains(&int_row([999_999, 0, 0]), &store));
         assert!(format!("{view:?}").contains("DcqView"));
         assert!(view.explain().contains("touched-side rerun"));
         assert_eq!(view.plan().strategy, view.strategy());

@@ -15,6 +15,18 @@ use dcq_server::{DcqClient, DcqServer, DurabilityConfig, ServerConfig};
 use dcq_storage::{Database, Relation};
 use std::io::Write;
 
+/// The last sweep recorded on the boxed-slice `Row` storage layout (same
+/// host class, default 8/64/256/1000 × 2000-push budget): `(clients,
+/// push_throughput_per_s, push_p50_us, push_p99_us)`.  Emitted alongside a
+/// default-parameter sweep so the report states before/after across the
+/// flat-interned-storage change.
+const BOXED_ROW_RECORDED: [(usize, f64, u64, u64); 4] = [
+    (8, 526.4, 12_490, 33_447),
+    (64, 495.8, 127_620, 233_279),
+    (256, 437.3, 477_139, 954_260),
+    (1000, 138.0, 2_808_246, 12_992_159),
+];
+
 fn main() {
     let mut clients: Vec<usize> = vec![8, 64, 256, 1000];
     let mut budget: usize = 2000;
@@ -103,9 +115,33 @@ fn main() {
         .map(|r| format!("  {}", r.to_json()))
         .collect::<Vec<_>>()
         .join(",\n");
+    // The boxed-row comparison only makes sense for the parameters the
+    // baseline was recorded under (the defaults).
+    let flat_vs_boxed = if budget == 2000 && capacity == 256 {
+        let cells = BOXED_ROW_RECORDED
+            .iter()
+            .filter_map(|&(n, boxed_tput, boxed_p50, boxed_p99)| {
+                let flat = reports.iter().find(|r| r.clients == n)?;
+                Some(format!(
+                    "  {{\"clients\":{n},\"boxed_push_per_s\":{boxed_tput:.1},\
+                     \"flat_push_per_s\":{:.1},\"throughput_ratio\":{:.2},\
+                     \"boxed_push_p50_us\":{boxed_p50},\"flat_push_p50_us\":{},\
+                     \"boxed_push_p99_us\":{boxed_p99},\"flat_push_p99_us\":{}}}",
+                    flat.push_throughput_per_s,
+                    flat.push_throughput_per_s / boxed_tput,
+                    flat.push_p50_us,
+                    flat.push_p99_us,
+                ))
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(",\n\"flat_vs_boxed_row_recorded\": [\n{cells}\n]")
+    } else {
+        String::new()
+    };
     let json = format!(
         "{{\n\"bench\": \"dcq-server load sweep\",\n\"queue_capacity\": {capacity},\n\
-         \"push_budget\": {budget},\n\"sweeps\": [\n{body}\n]\n}}\n"
+         \"push_budget\": {budget},\n\"sweeps\": [\n{body}\n]{flat_vs_boxed}\n}}\n"
     );
     let mut file = std::fs::File::create(&out).expect("open output");
     file.write_all(json.as_bytes()).expect("write output");

@@ -21,11 +21,29 @@
 //!   self-checking, so a reader can replay a crashed writer's log up to the
 //!   first torn frame and ignore the tail.
 //!
+//! ## Format versions
+//!
+//! Version **2** (current) mirrors the in-memory flat interned layout: every
+//! payload carries a **file-local value dictionary** (each distinct
+//! [`Value`] once, in first-occurrence order) and encodes rows as dense
+//! `u32` id tuples against it — checkpoint relations as flat id *columns*,
+//! log/WAL batches as id rows.  Values that repeat across rows (the common
+//! case for graph data) are serialized once instead of per occurrence.  WAL
+//! batch frames use a frame-local dictionary so each frame stays
+//! independently replayable; the WAL *file* version is declared by its
+//! header frame.
+//!
+//! Version **1** encoded every value inline at each occurrence.  Readers
+//! accept one version back ([`MIN_SUPPORTED_VERSION`]): v1 artifacts written
+//! by the previous release load transparently; writers always emit
+//! [`FORMAT_VERSION`].
+//!
 //! The recovery invariant the formats exist to uphold:
 //! `checkpoint ⊕ retained log = current state`.
 
 use crate::database::Database;
 use crate::delta::{DeltaBatch, DeltaEffect, UpdateLog};
+use crate::hash::FastHashMap;
 use crate::relation::Relation;
 use crate::row::Row;
 use crate::schema::Schema;
@@ -42,7 +60,9 @@ pub const LOG_MAGIC: &[u8; 8] = b"DCQLOG\0\0";
 /// Magic prefix of a write-ahead-log file.
 pub const WAL_MAGIC: &[u8; 8] = b"DCQWAL\0\0";
 /// Newest serialization format version this build reads and writes.
-pub const FORMAT_VERSION: u8 = 1;
+pub const FORMAT_VERSION: u8 = 2;
+/// Oldest format version this build still reads (one version back).
+pub const MIN_SUPPORTED_VERSION: u8 = 1;
 
 /// Hard ceiling on any framed payload (64 GiB); a declared length beyond it
 /// is treated as corruption instead of an allocation attempt.
@@ -87,6 +107,47 @@ fn corrupt(artifact: &'static str, detail: impl Into<String>) -> StorageError {
     StorageError::Corrupt {
         artifact,
         detail: detail.into(),
+    }
+}
+
+/// File-local value dictionary built while encoding one v2 payload: each
+/// distinct value gets a dense id in first-occurrence order.  This is the
+/// serialized twin of the store's in-memory
+/// [`ValueDict`](crate::dict::ValueDict), rebuilt per artifact so files stay
+/// self-contained and ids stay small.
+#[derive(Default)]
+struct FileDict {
+    by_value: FastHashMap<Value, u32>,
+    values: Vec<Value>,
+}
+
+impl FileDict {
+    fn intern(&mut self, v: &Value) -> u32 {
+        if let Some(&id) = self.by_value.get(v) {
+            return id;
+        }
+        let id = self.values.len() as u32;
+        self.by_value.insert(v.clone(), id);
+        self.values.push(v.clone());
+        id
+    }
+
+    fn id_of(&self, v: &Value) -> u32 {
+        self.by_value[v]
+    }
+
+    fn absorb_row(&mut self, row: &Row) {
+        for v in row.iter() {
+            self.intern(v);
+        }
+    }
+
+    fn absorb_batch(&mut self, batch: &DeltaBatch) {
+        for (_, ops) in batch.iter() {
+            for (row, _) in ops {
+                self.absorb_row(row);
+            }
+        }
     }
 }
 
@@ -139,6 +200,15 @@ impl Enc {
         }
     }
 
+    /// The file-local dictionary: count, then every value once in id order.
+    fn dict(&mut self, dict: &FileDict) {
+        self.u32(dict.values.len() as u32);
+        for v in &dict.values {
+            self.value(v);
+        }
+    }
+
+    #[cfg(test)]
     fn row(&mut self, row: &Row) {
         self.u16(row.arity() as u16);
         for v in row.iter() {
@@ -146,26 +216,49 @@ impl Enc {
         }
     }
 
-    fn relation(&mut self, rel: &Relation) {
+    /// One relation in v2 layout: schema, then the rows as `arity` flat id
+    /// **columns** against `dict` — the serialized form of the store's
+    /// [`RelationStore`](crate::flat::RelationStore).
+    fn relation_v2(&mut self, rel: &Relation, dict: &FileDict) {
         self.str(rel.name());
         self.u16(rel.schema().arity() as u16);
         for attr in rel.schema().attrs() {
             self.str(attr.name());
         }
         self.u64(rel.len() as u64);
-        for row in rel.iter() {
-            self.row(row);
+        for p in 0..rel.schema().arity() {
+            for row in rel.iter() {
+                self.u32(dict.id_of(row.get(p)));
+            }
         }
     }
 
-    fn database(&mut self, db: &Database) {
+    fn database_v2(&mut self, db: &Database, dict: &FileDict) {
         self.u32(db.relation_count() as u32);
         for (_, rel) in db.iter() {
-            self.relation(rel);
+            self.relation_v2(rel, dict);
         }
     }
 
-    fn batch(&mut self, batch: &DeltaBatch) {
+    /// One batch in v2 layout: rows as id tuples against `dict`.
+    fn batch_v2(&mut self, batch: &DeltaBatch, dict: &FileDict) {
+        self.u32(batch.relations().count() as u32);
+        for (name, ops) in batch.iter() {
+            self.str(name);
+            self.u32(ops.len() as u32);
+            for (row, sign) in ops {
+                self.u8(if *sign >= 0 { b'+' } else { b'-' });
+                self.u16(row.arity() as u16);
+                for v in row.iter() {
+                    self.u32(dict.id_of(v));
+                }
+            }
+        }
+    }
+
+    /// One batch in v1 layout (values inline); kept for the compat fixtures.
+    #[cfg(test)]
+    fn batch_v1(&mut self, batch: &DeltaBatch) {
         self.u32(batch.relations().count() as u32);
         for (name, ops) in batch.iter() {
             self.str(name);
@@ -174,6 +267,20 @@ impl Enc {
                 self.u8(if *sign >= 0 { b'+' } else { b'-' });
                 self.row(row);
             }
+        }
+    }
+
+    /// One relation in v1 layout (values inline); kept for the compat fixtures.
+    #[cfg(test)]
+    fn relation_v1(&mut self, rel: &Relation) {
+        self.str(rel.name());
+        self.u16(rel.schema().arity() as u16);
+        for attr in rel.schema().attrs() {
+            self.str(attr.name());
+        }
+        self.u64(rel.len() as u64);
+        for row in rel.iter() {
+            self.row(row);
         }
     }
 }
@@ -242,6 +349,26 @@ impl<'a> Dec<'a> {
         }
     }
 
+    /// The file-local dictionary of a v2 payload.
+    fn dict(&mut self) -> Result<Vec<Value>> {
+        let count = self.u32()? as u64;
+        if count > MAX_PAYLOAD {
+            return Err(corrupt(self.artifact, "implausible dictionary size"));
+        }
+        let mut values = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            values.push(self.value()?);
+        }
+        Ok(values)
+    }
+
+    /// One dictionary id, validated against the file dictionary.
+    fn id<'d>(&mut self, dict: &'d [Value]) -> Result<&'d Value> {
+        let id = self.u32()? as usize;
+        dict.get(id)
+            .ok_or_else(|| corrupt(self.artifact, format!("dictionary id {id} out of range")))
+    }
+
     fn row(&mut self) -> Result<Row> {
         let arity = self.u16()? as usize;
         let mut values = Vec::with_capacity(arity);
@@ -251,7 +378,7 @@ impl<'a> Dec<'a> {
         Ok(Row::new(values))
     }
 
-    fn relation(&mut self) -> Result<Relation> {
+    fn relation_v1(&mut self) -> Result<Relation> {
         let name = self.str()?;
         let arity = self.u16()? as usize;
         let mut attrs = Vec::with_capacity(arity);
@@ -278,16 +405,57 @@ impl<'a> Dec<'a> {
         Ok(rel)
     }
 
-    fn database(&mut self) -> Result<Database> {
+    fn relation_v2(&mut self, dict: &[Value]) -> Result<Relation> {
+        let name = self.str()?;
+        let arity = self.u16()? as usize;
+        let mut attrs = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            attrs.push(self.str()?);
+        }
+        let schema = Schema::from_names(attrs);
+        let mut rel = Relation::new(name, schema);
+        let rows = self.u64()?;
+        if rows > MAX_PAYLOAD {
+            return Err(corrupt(self.artifact, "implausible row count"));
+        }
+        let rows = rows as usize;
+        // Flat columns: `arity` runs of `rows` ids each; transpose back into
+        // row tuples through the file dictionary.
+        let mut cols: Vec<Vec<&Value>> = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            let mut col = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                col.push(self.id(dict)?);
+            }
+            cols.push(col);
+        }
+        rel.reserve(rows);
+        for r in 0..rows {
+            rel.push_unchecked(Row::new(cols.iter().map(|col| col[r].clone()).collect()));
+        }
+        rel.dedup();
+        Ok(rel)
+    }
+
+    fn database_v1(&mut self) -> Result<Database> {
         let count = self.u32()?;
         let mut db = Database::new();
         for _ in 0..count {
-            db.add(self.relation()?)?;
+            db.add(self.relation_v1()?)?;
         }
         Ok(db)
     }
 
-    fn batch(&mut self) -> Result<DeltaBatch> {
+    fn database_v2(&mut self, dict: &[Value]) -> Result<Database> {
+        let count = self.u32()?;
+        let mut db = Database::new();
+        for _ in 0..count {
+            db.add(self.relation_v2(dict)?)?;
+        }
+        Ok(db)
+    }
+
+    fn batch_v1(&mut self) -> Result<DeltaBatch> {
         let relations = self.u32()?;
         let mut batch = DeltaBatch::new();
         for _ in 0..relations {
@@ -306,6 +474,36 @@ impl<'a> Dec<'a> {
         Ok(batch)
     }
 
+    fn batch_v2(&mut self, dict: &[Value]) -> Result<DeltaBatch> {
+        let relations = self.u32()?;
+        let mut batch = DeltaBatch::new();
+        for _ in 0..relations {
+            let name = self.str()?;
+            let ops = self.u32()?;
+            for _ in 0..ops {
+                let sign = match self.u8()? {
+                    b'+' => 1,
+                    b'-' => -1,
+                    tag => return Err(corrupt(self.artifact, format!("unknown op sign {tag:#x}"))),
+                };
+                let arity = self.u16()? as usize;
+                let mut values = Vec::with_capacity(arity);
+                for _ in 0..arity {
+                    values.push(self.id(dict)?.clone());
+                }
+                batch.push(&name, Row::new(values), sign);
+            }
+        }
+        Ok(batch)
+    }
+
+    fn batch_at(&mut self, version: u8, dict: &[Value]) -> Result<DeltaBatch> {
+        match version {
+            1 => self.batch_v1(),
+            _ => self.batch_v2(dict),
+        }
+    }
+
     fn finish(self) -> Result<()> {
         if self.pos != self.buf.len() {
             return Err(corrupt(
@@ -322,17 +520,32 @@ impl<'a> Dec<'a> {
 // ---------------------------------------------------------------------------
 
 /// Write `magic · version · len · payload · crc32(payload)` to `w`.
-fn write_framed<W: Write>(w: &mut W, magic: &[u8; 8], payload: &[u8]) -> Result<()> {
+fn write_framed_at<W: Write>(
+    w: &mut W,
+    magic: &[u8; 8],
+    version: u8,
+    payload: &[u8],
+) -> Result<()> {
     w.write_all(magic)?;
-    w.write_all(&[FORMAT_VERSION])?;
+    w.write_all(&[version])?;
     w.write_all(&(payload.len() as u64).to_le_bytes())?;
     w.write_all(payload)?;
     w.write_all(&crc32(payload).to_le_bytes())?;
     Ok(())
 }
 
+fn write_framed<W: Write>(w: &mut W, magic: &[u8; 8], payload: &[u8]) -> Result<()> {
+    write_framed_at(w, magic, FORMAT_VERSION, payload)
+}
+
 /// Read and validate one framed payload; the inverse of [`write_framed`].
-fn read_framed<R: Read>(r: &mut R, magic: &[u8; 8], artifact: &'static str) -> Result<Vec<u8>> {
+/// Accepts every version in `MIN_SUPPORTED_VERSION..=FORMAT_VERSION` and
+/// returns the version found alongside the payload so callers can dispatch.
+fn read_framed<R: Read>(
+    r: &mut R,
+    magic: &[u8; 8],
+    artifact: &'static str,
+) -> Result<(u8, Vec<u8>)> {
     let mut head = [0u8; 8];
     read_exact(r, &mut head, artifact)?;
     if &head != magic {
@@ -340,10 +553,11 @@ fn read_framed<R: Read>(r: &mut R, magic: &[u8; 8], artifact: &'static str) -> R
     }
     let mut version = [0u8; 1];
     read_exact(r, &mut version, artifact)?;
-    if version[0] != FORMAT_VERSION {
+    let version = version[0];
+    if !(MIN_SUPPORTED_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(StorageError::UnsupportedVersion {
             artifact,
-            found: version[0],
+            found: version,
             supported: FORMAT_VERSION,
         });
     }
@@ -360,7 +574,7 @@ fn read_framed<R: Read>(r: &mut R, magic: &[u8; 8], artifact: &'static str) -> R
     if u32::from_le_bytes(crc) != crc32(&payload) {
         return Err(corrupt(artifact, "checksum mismatch"));
     }
-    Ok(payload)
+    Ok((version, payload))
 }
 
 /// `read_exact` with truncation mapped to a typed corruption error.
@@ -380,22 +594,38 @@ fn read_exact<R: Read>(r: &mut R, buf: &mut [u8], artifact: &'static str) -> Res
 
 /// Serialize a database snapshot taken at `epoch` to `w`.
 ///
-/// This streams the relations straight out of `db` — nothing is cloned, so
-/// serializing a checkpoint costs one traversal of the state plus the
-/// serialized bytes.
+/// The v2 payload is the flat interned layout: one file-local dictionary of
+/// every distinct value, then each relation as `arity` dense `u32` id
+/// columns.  Nothing in `db` is cloned beyond the dictionary's distinct
+/// values, so serializing costs two traversals of the state plus the
+/// serialized bytes — which repeat no value twice.
 pub fn write_checkpoint<W: Write>(w: &mut W, epoch: Epoch, db: &Database) -> Result<()> {
+    let mut dict = FileDict::default();
+    for (_, rel) in db.iter() {
+        for row in rel.iter() {
+            dict.absorb_row(row);
+        }
+    }
     let mut enc = Enc::new();
     enc.u64(epoch);
-    enc.database(db);
+    enc.dict(&dict);
+    enc.database_v2(db, &dict);
     write_framed(w, CHECKPOINT_MAGIC, &enc.buf)
 }
 
-/// Read back a checkpoint written by [`write_checkpoint`].
+/// Read back a checkpoint written by [`write_checkpoint`] — current format or
+/// one version back.
 pub fn read_checkpoint<R: Read>(r: &mut R) -> Result<(Epoch, Database)> {
-    let payload = read_framed(r, CHECKPOINT_MAGIC, "checkpoint")?;
+    let (version, payload) = read_framed(r, CHECKPOINT_MAGIC, "checkpoint")?;
     let mut dec = Dec::new(&payload, "checkpoint");
     let epoch = dec.u64()?;
-    let db = dec.database()?;
+    let db = match version {
+        1 => dec.database_v1()?,
+        _ => {
+            let dict = dec.dict()?;
+            dec.database_v2(&dict)?
+        }
+    };
     dec.finish()?;
     Ok((epoch, db))
 }
@@ -406,8 +636,13 @@ pub fn read_checkpoint<R: Read>(r: &mut R) -> Result<(Epoch, Database)> {
 
 impl UpdateLog {
     /// Serialize the whole log — retained batches, lifetime counters, base
-    /// epoch and retention limit — as one framed, checksummed payload.
+    /// epoch and retention limit — as one framed, checksummed payload, with
+    /// every batch row encoded against one file-local dictionary.
     pub fn to_writer<W: Write>(&self, w: &mut W) -> Result<()> {
+        let mut dict = FileDict::default();
+        for batch in &self.batches {
+            dict.absorb_batch(batch);
+        }
         let mut enc = Enc::new();
         enc.u64(self.base_epoch);
         enc.u64(self.limit.map(|l| l as u64).unwrap_or(u64::MAX));
@@ -415,19 +650,20 @@ impl UpdateLog {
         enc.u64(self.recorded as u64);
         enc.u64(self.total.inserted as u64);
         enc.u64(self.total.deleted as u64);
+        enc.dict(&dict);
         enc.u32(self.batches.len() as u32);
         for batch in &self.batches {
-            enc.batch(batch);
+            enc.batch_v2(batch, &dict);
         }
         write_framed(w, LOG_MAGIC, &enc.buf)
     }
 
-    /// Read back a log written by [`UpdateLog::to_writer`].  Corruption —
-    /// including truncated input — yields a typed [`StorageError`], never a
-    /// panic.
+    /// Read back a log written by [`UpdateLog::to_writer`] (current format or
+    /// one version back).  Corruption — including truncated input — yields a
+    /// typed [`StorageError`], never a panic.
     pub fn from_reader<R: Read>(r: &mut R) -> Result<UpdateLog> {
         const ARTIFACT: &str = "update log";
-        let payload = read_framed(r, LOG_MAGIC, ARTIFACT)?;
+        let (version, payload) = read_framed(r, LOG_MAGIC, ARTIFACT)?;
         let mut dec = Dec::new(&payload, ARTIFACT);
         let base_epoch = dec.u64()?;
         let limit = match dec.u64()? {
@@ -440,10 +676,15 @@ impl UpdateLog {
             inserted: dec.u64()? as usize,
             deleted: dec.u64()? as usize,
         };
+        let dict = if version >= 2 {
+            dec.dict()?
+        } else {
+            Vec::new()
+        };
         let count = dec.u32()?;
         let mut batches = std::collections::VecDeque::with_capacity(count as usize);
         for _ in 0..count {
-            batches.push_back(dec.batch()?);
+            batches.push_back(dec.batch_at(version, &dict)?);
         }
         dec.finish()?;
         Ok(UpdateLog {
@@ -462,39 +703,53 @@ impl UpdateLog {
 // ---------------------------------------------------------------------------
 
 /// Write a WAL file header declaring `base_epoch`: the epoch of the state the
-/// first appended frame applies to.
+/// first appended frame applies to.  The header's framing version is the
+/// version of every subsequent batch frame in the file.
 pub fn write_wal_header<W: Write>(w: &mut W, base_epoch: Epoch) -> Result<()> {
     write_framed(w, WAL_MAGIC, &base_epoch.to_le_bytes())
 }
 
-/// Read back a WAL header written by [`write_wal_header`].
-pub fn read_wal_header<R: Read>(r: &mut R) -> Result<Epoch> {
-    let payload = read_framed(r, WAL_MAGIC, "write-ahead log")?;
+/// Read back a WAL header written by [`write_wal_header`], returning the base
+/// epoch and the file's format version — pass the version to
+/// [`read_batch_frame_at`] so frames decode in the layout the writer used.
+pub fn read_wal_header_versioned<R: Read>(r: &mut R) -> Result<(Epoch, u8)> {
+    let (version, payload) = read_framed(r, WAL_MAGIC, "write-ahead log")?;
     let bytes: [u8; 8] = payload
         .as_slice()
         .try_into()
         .map_err(|_| corrupt("write-ahead log", "header payload is not 8 bytes"))?;
-    Ok(u64::from_le_bytes(bytes))
+    Ok((u64::from_le_bytes(bytes), version))
+}
+
+/// [`read_wal_header_versioned`] without the version (current-format files).
+pub fn read_wal_header<R: Read>(r: &mut R) -> Result<Epoch> {
+    Ok(read_wal_header_versioned(r)?.0)
 }
 
 /// Append one self-checking batch frame (`len · crc · payload`) to `w`,
-/// returning the number of bytes written.
+/// returning the number of bytes written.  The payload carries a frame-local
+/// dictionary followed by the batch as id rows, so every frame remains
+/// independently replayable.
 pub fn write_batch_frame<W: Write>(w: &mut W, batch: &DeltaBatch) -> Result<usize> {
+    let mut dict = FileDict::default();
+    dict.absorb_batch(batch);
     let mut enc = Enc::new();
-    enc.batch(batch);
+    enc.dict(&dict);
+    enc.batch_v2(batch, &dict);
     w.write_all(&(enc.buf.len() as u32).to_le_bytes())?;
     w.write_all(&crc32(&enc.buf).to_le_bytes())?;
     w.write_all(&enc.buf)?;
     Ok(8 + enc.buf.len())
 }
 
-/// Read the next batch frame from `r`.
+/// Read the next batch frame from `r` in the layout of WAL file format
+/// `version` (from [`read_wal_header_versioned`]).
 ///
 /// Returns `Ok(None)` on a clean end of stream (EOF exactly at a frame
 /// boundary).  A frame cut short by a crash, or one whose checksum does not
 /// match, is a [`StorageError::Corrupt`] — WAL readers treat the first such
 /// error as the torn tail of an interrupted append and stop there.
-pub fn read_batch_frame<R: Read>(r: &mut R) -> Result<Option<DeltaBatch>> {
+pub fn read_batch_frame_at<R: Read>(r: &mut R, version: u8) -> Result<Option<DeltaBatch>> {
     const ARTIFACT: &str = "write-ahead log";
     // Read the length word by hand: zero bytes is a clean EOF, a partial word
     // is a torn frame.
@@ -521,9 +776,19 @@ pub fn read_batch_frame<R: Read>(r: &mut R) -> Result<Option<DeltaBatch>> {
         return Err(corrupt(ARTIFACT, "frame checksum mismatch"));
     }
     let mut dec = Dec::new(&payload, ARTIFACT);
-    let batch = dec.batch()?;
+    let batch = if version >= 2 {
+        let dict = dec.dict()?;
+        dec.batch_v2(&dict)?
+    } else {
+        dec.batch_v1()?
+    };
     dec.finish()?;
     Ok(Some(batch))
+}
+
+/// [`read_batch_frame_at`] for current-format WAL files.
+pub fn read_batch_frame<R: Read>(r: &mut R) -> Result<Option<DeltaBatch>> {
+    read_batch_frame_at(r, FORMAT_VERSION)
 }
 
 #[cfg(test)]
@@ -562,6 +827,19 @@ mod tests {
         b
     }
 
+    /// A v1 checkpoint exactly as the previous release wrote it.
+    fn v1_checkpoint(epoch: Epoch, db: &Database) -> Vec<u8> {
+        let mut enc = Enc::new();
+        enc.u64(epoch);
+        enc.u32(db.relation_count() as u32);
+        for (_, rel) in db.iter() {
+            enc.relation_v1(rel);
+        }
+        let mut buf = Vec::new();
+        write_framed_at(&mut buf, CHECKPOINT_MAGIC, 1, &enc.buf).unwrap();
+        buf
+    }
+
     #[test]
     fn crc32_matches_known_vectors() {
         // IEEE CRC-32 of "123456789" is the classic check value.
@@ -574,6 +852,7 @@ mod tests {
         let db = sample_db();
         let mut buf = Vec::new();
         write_checkpoint(&mut buf, 17, &db).unwrap();
+        assert_eq!(buf[8], FORMAT_VERSION, "writers emit the current version");
         let (epoch, back) = read_checkpoint(&mut buf.as_slice()).unwrap();
         assert_eq!(epoch, 17);
         assert_eq!(back.relation_names(), db.relation_names());
@@ -583,6 +862,73 @@ mod tests {
                 db.get(&name).unwrap().sorted_rows()
             );
         }
+    }
+
+    #[test]
+    fn dictionary_deduplicates_repeated_values() {
+        // 200 distinct rows over 20 distinct values: the v2 payload must stay
+        // far below the inline-value encoding (each Int costs 9 bytes inline,
+        // 4 as id, and each distinct value is serialized exactly once).
+        let rows: Vec<Vec<i64>> = (0..200).map(|i| vec![i / 10, i % 10]).collect();
+        let mut db = Database::new();
+        db.add(Relation::from_int_rows("Dense", &["a", "b"], rows))
+            .unwrap();
+        let mut v2 = Vec::new();
+        write_checkpoint(&mut v2, 0, &db).unwrap();
+        let mut enc = Enc::new();
+        enc.u64(0);
+        enc.u32(1);
+        enc.relation_v1(db.get("Dense").unwrap());
+        assert!(
+            v2.len() * 2 < enc.buf.len(),
+            "flat id columns ({} bytes) must at least halve the inline encoding ({} bytes)",
+            v2.len(),
+            enc.buf.len()
+        );
+        let (_, back) = read_checkpoint(&mut v2.as_slice()).unwrap();
+        assert_eq!(
+            back.get("Dense").unwrap().sorted_rows(),
+            db.get("Dense").unwrap().sorted_rows()
+        );
+    }
+
+    #[test]
+    fn previous_version_checkpoints_still_read() {
+        let db = sample_db();
+        let v1 = v1_checkpoint(23, &db);
+        assert_eq!(v1[8], 1);
+        let (epoch, back) = read_checkpoint(&mut v1.as_slice()).unwrap();
+        assert_eq!(epoch, 23);
+        assert_eq!(back.relation_names(), db.relation_names());
+        for name in db.relation_names() {
+            assert_eq!(
+                back.get(&name).unwrap().sorted_rows(),
+                db.get(&name).unwrap().sorted_rows()
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_dictionary_ids_are_typed_errors() {
+        // Hand-build a v2 payload whose row ids point past the dictionary.
+        let mut enc = Enc::new();
+        enc.u64(0); // epoch
+        let mut dict = FileDict::default();
+        dict.intern(&Value::Int(1));
+        enc.dict(&dict); // 1 entry → only id 0 is valid
+        enc.u32(1); // one relation
+        enc.str("R");
+        enc.u16(1);
+        enc.str("a");
+        enc.u64(1); // one row
+        enc.u32(5); // id 5 out of range
+        let mut buf = Vec::new();
+        write_framed(&mut buf, CHECKPOINT_MAGIC, &enc.buf).unwrap();
+        let err = read_checkpoint(&mut buf.as_slice()).unwrap_err();
+        assert!(
+            matches!(&err, StorageError::Corrupt { detail, .. } if detail.contains("dictionary id")),
+            "expected a dictionary-range corruption, got {err:?}"
+        );
     }
 
     #[test]
@@ -609,6 +955,31 @@ mod tests {
     }
 
     #[test]
+    fn previous_version_update_logs_still_read() {
+        let mut log = UpdateLog::new();
+        log.record(sample_batch(0), DeltaEffect::default());
+        log.record(sample_batch(1), DeltaEffect::default());
+        // Encode the log body exactly as v1 did: batches inline, no dict.
+        let mut enc = Enc::new();
+        enc.u64(log.base_epoch);
+        enc.u64(u64::MAX);
+        enc.u8(0);
+        enc.u64(log.recorded as u64);
+        enc.u64(log.total.inserted as u64);
+        enc.u64(log.total.deleted as u64);
+        enc.u32(log.batches.len() as u32);
+        for batch in &log.batches {
+            enc.batch_v1(batch);
+        }
+        let mut buf = Vec::new();
+        write_framed_at(&mut buf, LOG_MAGIC, 1, &enc.buf).unwrap();
+        let back = UpdateLog::from_reader(&mut buf.as_slice()).unwrap();
+        let orig: Vec<_> = log.batches().cloned().collect();
+        let round: Vec<_> = back.batches().cloned().collect();
+        assert_eq!(orig, round);
+    }
+
+    #[test]
     fn wal_frames_round_trip_and_stop_cleanly() {
         let mut buf = Vec::new();
         write_wal_header(&mut buf, 41).unwrap();
@@ -616,13 +987,36 @@ mod tests {
             write_batch_frame(&mut buf, &sample_batch(step)).unwrap();
         }
         let mut r = buf.as_slice();
-        assert_eq!(read_wal_header(&mut r).unwrap(), 41);
+        let (epoch, version) = read_wal_header_versioned(&mut r).unwrap();
+        assert_eq!((epoch, version), (41, FORMAT_VERSION));
         let mut batches = Vec::new();
-        while let Some(batch) = read_batch_frame(&mut r).unwrap() {
+        while let Some(batch) = read_batch_frame_at(&mut r, version).unwrap() {
             batches.push(batch);
         }
         assert_eq!(batches.len(), 3);
         assert_eq!(batches[2], sample_batch(2));
+    }
+
+    #[test]
+    fn previous_version_wal_files_still_replay() {
+        // A v1 WAL file: v1-framed header, frames with inline-value payloads.
+        let mut buf = Vec::new();
+        write_framed_at(&mut buf, WAL_MAGIC, 1, &7u64.to_le_bytes()).unwrap();
+        for step in 0..2 {
+            let mut enc = Enc::new();
+            enc.batch_v1(&sample_batch(step));
+            buf.extend_from_slice(&(enc.buf.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&crc32(&enc.buf).to_le_bytes());
+            buf.extend_from_slice(&enc.buf);
+        }
+        let mut r = buf.as_slice();
+        let (epoch, version) = read_wal_header_versioned(&mut r).unwrap();
+        assert_eq!((epoch, version), (7, 1));
+        let mut batches = Vec::new();
+        while let Some(batch) = read_batch_frame_at(&mut r, version).unwrap() {
+            batches.push(batch);
+        }
+        assert_eq!(batches, vec![sample_batch(0), sample_batch(1)]);
     }
 
     #[test]
@@ -680,7 +1074,8 @@ mod tests {
             Err(StorageError::Corrupt { .. })
         ));
 
-        // Wrong magic and unsupported version are distinguished.
+        // Wrong magic and version skew (future or pre-support) are
+        // distinguished from corruption.
         let mut wrong_magic = buf.clone();
         wrong_magic[0] = b'X';
         assert!(matches!(
@@ -691,7 +1086,14 @@ mod tests {
         future[8] = FORMAT_VERSION + 1;
         assert!(matches!(
             read_checkpoint(&mut future.as_slice()),
-            Err(StorageError::UnsupportedVersion { found, .. }) if found == FORMAT_VERSION + 1
+            Err(StorageError::UnsupportedVersion { found, supported, .. })
+                if found == FORMAT_VERSION + 1 && supported == FORMAT_VERSION
+        ));
+        let mut ancient = buf.clone();
+        ancient[8] = 0;
+        assert!(matches!(
+            read_checkpoint(&mut ancient.as_slice()),
+            Err(StorageError::UnsupportedVersion { found: 0, .. })
         ));
     }
 

@@ -1,0 +1,306 @@
+//! The value dictionary: every [`Value`] interned to a dense `u32` id.
+//!
+//! The flat storage layer never hashes or clones a [`Value`] on the hot path:
+//! a per-[`SharedDatabase`](crate::SharedDatabase) [`ValueDict`] assigns each
+//! distinct value a dense id at commit time (once per distinct value per
+//! batch), and every downstream structure — flat relation buffers, index
+//! buckets, support counts — works in id space.  Because interning is
+//! injective, id equality *is* value equality, so joins, equality filters and
+//! membership tests all reduce to `u32` compares.
+//!
+//! Ids are **arrival-ordered**, not value-ordered: `cmp_ids` resolves through
+//! the dictionary when a total order over values is needed (sorted output,
+//! deterministic rendering).  The id space is append-only — values are never
+//! forgotten, so an id, once handed out, stays valid for the store's lifetime.
+//!
+//! ## Snapshot semantics
+//!
+//! Values live in fixed-size chunks behind `Arc`s.  [`ValueDict::snapshot`]
+//! clones the chunk handles (cheap, no value copies): the snapshot resolves
+//! every id that existed at snapshot time, forever, while the live dictionary
+//! keeps growing.  Writes go through [`Arc::make_mut`] on the tail chunk —
+//! exactly the registry's copy-on-write discipline — so a snapshot is never
+//! mutated underneath its reader and the steady state without outstanding
+//! snapshots pays zero copies.  Full chunks are immutable by construction.
+
+use crate::hash::FastHashMap;
+use crate::tele;
+use crate::value::Value;
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// Values per dictionary chunk.  A power of two so id → (chunk, offset)
+/// splits into a shift and a mask.
+const CHUNK: usize = 1024;
+
+/// An interning dictionary from [`Value`]s to dense `u32` ids.
+#[derive(Clone, Default)]
+pub struct ValueDict {
+    /// Id-ordered storage; every chunk but the last holds exactly [`CHUNK`]
+    /// values.  `Arc` per chunk so snapshots share full chunks forever and
+    /// copy-on-write applies only to the partially-filled tail.
+    chunks: Vec<Arc<Vec<Value>>>,
+    /// Total interned values (the next id to assign).
+    len: u32,
+    /// Reverse map for interning and non-mutating lookups.
+    by_value: FastHashMap<Value, u32>,
+    /// Interning telemetry (no-ops without the `telemetry` feature).
+    hits: tele::Counter,
+    misses: tele::Counter,
+}
+
+/// Point-in-time dictionary counters, surfaced through engine metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DictStats {
+    /// Distinct values interned.
+    pub entries: u64,
+    /// Estimated heap footprint of the dictionary, bytes.
+    pub bytes: u64,
+    /// Intern calls that found the value already present (cumulative; zero
+    /// without the `telemetry` feature).
+    pub intern_hits: u64,
+    /// Intern calls that assigned a fresh id (cumulative; zero without the
+    /// `telemetry` feature).
+    pub intern_misses: u64,
+}
+
+impl ValueDict {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        ValueDict::default()
+    }
+
+    /// Number of distinct values interned.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` iff nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Intern `value`, returning its dense id (existing or freshly assigned).
+    ///
+    /// # Panics
+    /// Panics if the dictionary is full (`u32::MAX` distinct values).
+    pub fn intern(&mut self, value: &Value) -> u32 {
+        if let Some(&id) = self.by_value.get(value) {
+            self.hits.inc();
+            return id;
+        }
+        self.misses.inc();
+        let id = self.len;
+        assert!(id != u32::MAX, "value dictionary is full");
+        if self.chunks.last().is_none_or(|c| c.len() == CHUNK) {
+            self.chunks.push(Arc::new(Vec::with_capacity(CHUNK)));
+        }
+        let tail = self.chunks.last_mut().expect("tail chunk exists");
+        // Copy-on-write: clones the tail chunk only when an outstanding
+        // snapshot still references it; the steady state appends in place.
+        Arc::make_mut(tail).push(value.clone());
+        self.by_value.insert(value.clone(), id);
+        self.len = id + 1;
+        id
+    }
+
+    /// The id of `value` if it has been interned — non-mutating, for readers
+    /// translating probe keys.  A value the store has never seen has no id
+    /// (and therefore matches nothing).
+    pub fn lookup(&self, value: &Value) -> Option<u32> {
+        self.by_value.get(value).copied()
+    }
+
+    /// The value behind `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was never assigned.
+    pub fn resolve(&self, id: u32) -> &Value {
+        &self.chunks[id as usize / CHUNK][id as usize % CHUNK]
+    }
+
+    /// Compare two ids by the **values** they intern (ids themselves are
+    /// arrival-ordered and carry no value order).
+    pub fn cmp_ids(&self, a: u32, b: u32) -> Ordering {
+        if a == b {
+            return Ordering::Equal;
+        }
+        self.resolve(a).cmp(self.resolve(b))
+    }
+
+    /// An immutable snapshot resolving every id assigned so far.
+    pub fn snapshot(&self) -> DictSnapshot {
+        DictSnapshot {
+            len: self.len,
+            chunks: self.chunks.clone(),
+        }
+    }
+
+    /// Estimated heap footprint in bytes (chunk storage, string payloads, and
+    /// the reverse map).
+    pub fn approx_bytes(&self) -> usize {
+        let mut bytes = std::mem::size_of::<ValueDict>();
+        for chunk in &self.chunks {
+            bytes += chunk.capacity() * std::mem::size_of::<Value>();
+        }
+        for value in self.by_value.keys() {
+            if let Value::Str(s) = value {
+                // Stored once: chunk and map share the `Arc<str>` backing.
+                bytes += s.len();
+            }
+        }
+        bytes +=
+            self.by_value.capacity() * (std::mem::size_of::<Value>() + std::mem::size_of::<u32>());
+        bytes
+    }
+
+    /// Point-in-time counters (intern hit/miss are cumulative and zero
+    /// without the `telemetry` feature).
+    pub fn stats(&self) -> DictStats {
+        DictStats {
+            entries: self.len as u64,
+            bytes: self.approx_bytes() as u64,
+            intern_hits: self.hits.get(),
+            intern_misses: self.misses.get(),
+        }
+    }
+}
+
+impl fmt::Debug for ValueDict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ValueDict[{} values, {} chunks]",
+            self.len,
+            self.chunks.len()
+        )
+    }
+}
+
+/// An immutable view of a [`ValueDict`] at a point in time.
+///
+/// Resolves every id that existed when the snapshot was taken; later interns
+/// mutate the live dictionary copy-on-write and are invisible here.  Cheap to
+/// take (one `Arc` clone per chunk), `Send + Sync`, lock-free to read.
+#[derive(Clone)]
+pub struct DictSnapshot {
+    len: u32,
+    chunks: Vec<Arc<Vec<Value>>>,
+}
+
+impl DictSnapshot {
+    /// Number of ids this snapshot resolves.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` iff the snapshot covers no ids.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The value behind `id`, or `None` for ids assigned after the snapshot.
+    pub fn resolve(&self, id: u32) -> Option<&Value> {
+        if id >= self.len {
+            return None;
+        }
+        self.chunks[id as usize / CHUNK].get(id as usize % CHUNK)
+    }
+}
+
+impl fmt::Debug for DictSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DictSnapshot[{} values]", self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut dict = ValueDict::new();
+        assert!(dict.is_empty());
+        let a = dict.intern(&Value::int(7));
+        let b = dict.intern(&Value::str("x"));
+        let c = dict.intern(&Value::Null);
+        assert_eq!((a, b, c), (0, 1, 2));
+        assert_eq!(dict.intern(&Value::int(7)), a, "re-intern returns same id");
+        assert_eq!(dict.len(), 3);
+        assert_eq!(dict.resolve(a), &Value::int(7));
+        assert_eq!(dict.resolve(b), &Value::str("x"));
+        assert_eq!(dict.resolve(c), &Value::Null);
+        assert_eq!(dict.lookup(&Value::str("x")), Some(b));
+        assert_eq!(dict.lookup(&Value::str("unseen")), None);
+        assert!(format!("{dict:?}").contains("3 values"));
+    }
+
+    #[test]
+    fn cmp_ids_follows_value_order_not_arrival_order() {
+        let mut dict = ValueDict::new();
+        let null = dict.intern(&Value::Null);
+        let five = dict.intern(&Value::int(5));
+        let two = dict.intern(&Value::int(2));
+        let s = dict.intern(&Value::str("a"));
+        assert_eq!(dict.cmp_ids(two, five), Ordering::Less);
+        assert_eq!(dict.cmp_ids(five, s), Ordering::Less, "ints < strings");
+        assert_eq!(dict.cmp_ids(s, null), Ordering::Less, "strings < null");
+        assert_eq!(dict.cmp_ids(null, null), Ordering::Equal);
+    }
+
+    #[test]
+    fn growth_crosses_chunk_boundaries() {
+        let mut dict = ValueDict::new();
+        let n = (CHUNK * 2 + 17) as i64;
+        for i in 0..n {
+            assert_eq!(dict.intern(&Value::int(i)), i as u32);
+        }
+        assert_eq!(dict.len(), n as usize);
+        for i in 0..n {
+            assert_eq!(dict.resolve(i as u32), &Value::int(i));
+        }
+        assert!(dict.approx_bytes() > n as usize * std::mem::size_of::<Value>());
+    }
+
+    #[test]
+    fn snapshots_pin_their_contents_under_later_interning() {
+        let mut dict = ValueDict::new();
+        for i in 0..5 {
+            dict.intern(&Value::int(i));
+        }
+        let snap = dict.snapshot();
+        assert_eq!(snap.len(), 5);
+        // Later interning appends to the tail chunk copy-on-write; the
+        // snapshot neither sees the new id nor observes a torn chunk.
+        let new_id = dict.intern(&Value::int(99));
+        assert_eq!(new_id, 5);
+        assert_eq!(snap.resolve(4), Some(&Value::int(4)));
+        assert_eq!(snap.resolve(5), None, "post-snapshot id is invisible");
+        assert_eq!(dict.resolve(5), &Value::int(99));
+        assert!(!snap.is_empty());
+        assert!(format!("{snap:?}").contains("5 values"));
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let mut dict = ValueDict::new();
+        dict.intern(&Value::int(1));
+        dict.intern(&Value::int(1));
+        dict.intern(&Value::int(2));
+        let stats = dict.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.intern_hits, 1);
+        assert_eq!(stats.intern_misses, 2);
+        assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn snapshots_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DictSnapshot>();
+        assert_send_sync::<ValueDict>();
+    }
+}

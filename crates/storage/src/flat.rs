@@ -1,0 +1,329 @@
+//! Flat columnar id storage — the execution-coordinate mirror of a relation.
+//!
+//! A [`RelationStore`] holds one relation's contents as `arity` parallel
+//! `Vec<u32>` columns of dictionary ids plus a membership map from packed row
+//! ids to the row's **slot**.  Slots are stable: a row keeps its slot until it
+//! is deleted, deletions push the slot onto a free list, and later inserts
+//! reuse freed slots before growing the columns — so the buffers never shift
+//! and never grow past the high-water mark of live rows.
+//!
+//! The store exists for the hot paths: shared indexes build from it without
+//! touching a single [`Row`](crate::Row), and counting engines seed from it as
+//! one id-space insert delta.  The row-space [`Relation`](crate::Relation)
+//! stays the canonical public representation; this is its interned shadow,
+//! maintained in lock-step by [`SharedDatabase::apply_batch`](crate::SharedDatabase::apply_batch).
+//!
+//! [`IdDelta`] is the id-space form of one relation's normalized batch delta:
+//! contiguous row blocks of stride `arity` plus a sign per row, interned once
+//! at commit and fanned out to every index and every counting side.
+
+use crate::hash::FastHashMap;
+use crate::idkey::IdKey;
+use std::fmt;
+
+/// One relation's normalized delta in id space: row blocks of stride `arity`
+/// with one sign each.  Interned once per applied batch and shared by every
+/// consumer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IdDelta {
+    /// Ids per row (the relation's arity).
+    pub arity: usize,
+    /// Concatenated row blocks, `signs.len() * arity` ids long.
+    pub ids: Vec<u32>,
+    /// `+1` insert / `-1` delete per row block.
+    pub signs: Vec<i8>,
+}
+
+impl IdDelta {
+    /// An empty delta over rows of `arity` ids.
+    pub fn new(arity: usize) -> Self {
+        IdDelta {
+            arity,
+            ids: Vec::new(),
+            signs: Vec::new(),
+        }
+    }
+
+    /// Append one signed row block.
+    pub fn push(&mut self, ids: &[u32], sign: i64) {
+        debug_assert_eq!(ids.len(), self.arity);
+        self.ids.extend_from_slice(ids);
+        self.signs.push(if sign > 0 { 1 } else { -1 });
+    }
+
+    /// Number of signed rows.
+    pub fn len(&self) -> usize {
+        self.signs.len()
+    }
+
+    /// `true` iff the delta carries no rows.
+    pub fn is_empty(&self) -> bool {
+        self.signs.is_empty()
+    }
+
+    /// The `i`-th row block.
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.ids[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// Iterate `(row ids, sign)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u32], i64)> {
+        self.signs
+            .iter()
+            .enumerate()
+            .map(|(i, &sign)| (self.row(i), sign as i64))
+    }
+}
+
+/// Flat columnar storage of one relation's rows as dictionary ids.
+#[derive(Clone, Default)]
+pub struct RelationStore {
+    arity: usize,
+    /// `arity` parallel columns, each `slots` long (freed slots keep stale
+    /// ids; liveness is defined by `by_row`).
+    cols: Vec<Vec<u32>>,
+    /// Total slots allocated (live + freed).
+    slots: u32,
+    /// Freed slots awaiting reuse.
+    free: Vec<u32>,
+    /// Packed row ids → slot, for O(1) membership and deletion.
+    by_row: FastHashMap<IdKey, u32>,
+}
+
+impl RelationStore {
+    /// An empty store for rows of `arity` ids.
+    pub fn new(arity: usize) -> Self {
+        RelationStore {
+            arity,
+            cols: vec![Vec::new(); arity],
+            slots: 0,
+            free: Vec::new(),
+            by_row: FastHashMap::default(),
+        }
+    }
+
+    /// Ids per row.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.by_row.len()
+    }
+
+    /// `true` iff no row is live.
+    pub fn is_empty(&self) -> bool {
+        self.by_row.is_empty()
+    }
+
+    /// Total slots allocated (live rows + free-listed holes) — the column
+    /// length.
+    pub fn slot_count(&self) -> usize {
+        self.slots as usize
+    }
+
+    /// `true` iff the row is live.
+    pub fn contains_ids(&self, ids: &[u32]) -> bool {
+        self.by_row.contains_key(ids)
+    }
+
+    /// The live slot of `ids`, if present.
+    pub fn slot_of(&self, ids: &[u32]) -> Option<u32> {
+        self.by_row.get(ids).copied()
+    }
+
+    /// Insert a row, reusing a freed slot if one exists.  Returns the slot,
+    /// or `None` if the row was already live (set semantics).
+    pub fn insert_ids(&mut self, ids: &[u32]) -> Option<u32> {
+        debug_assert_eq!(ids.len(), self.arity);
+        if self.by_row.contains_key(ids) {
+            return None;
+        }
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                for (col, &id) in self.cols.iter_mut().zip(ids) {
+                    col[slot as usize] = id;
+                }
+                slot
+            }
+            None => {
+                let slot = self.slots;
+                for (col, &id) in self.cols.iter_mut().zip(ids) {
+                    col.push(id);
+                }
+                self.slots += 1;
+                slot
+            }
+        };
+        self.by_row.insert(IdKey::from_slice(ids), slot);
+        Some(slot)
+    }
+
+    /// Delete a row, free-listing its slot.  Returns the freed slot, or
+    /// `None` if the row was not live.
+    pub fn remove_ids(&mut self, ids: &[u32]) -> Option<u32> {
+        debug_assert_eq!(ids.len(), self.arity);
+        let slot = self.by_row.remove(ids)?;
+        self.free.push(slot);
+        Some(slot)
+    }
+
+    /// Read the row at a **live** slot into `buf` (cleared first).
+    pub fn gather(&self, slot: u32, buf: &mut Vec<u32>) {
+        buf.clear();
+        buf.extend(self.cols.iter().map(|col| col[slot as usize]));
+    }
+
+    /// Visit every live row as an id slice.
+    pub fn for_each_row(&self, mut f: impl FnMut(&[u32])) {
+        for key in self.by_row.keys() {
+            f(key.as_slice());
+        }
+    }
+
+    /// The whole current contents as one insert-only [`IdDelta`] — how a
+    /// counting engine seeds itself from the store without cloning a row.
+    pub fn to_insert_delta(&self) -> IdDelta {
+        let mut delta = IdDelta::new(self.arity);
+        delta.ids.reserve(self.len() * self.arity);
+        delta.signs.reserve(self.len());
+        self.for_each_row(|ids| delta.push(ids, 1));
+        delta
+    }
+
+    /// Fold one [`IdDelta`] in (inserts and deletes, set-semantics).
+    pub fn apply_delta(&mut self, delta: &IdDelta) {
+        debug_assert_eq!(delta.arity, self.arity);
+        for (ids, sign) in delta.iter() {
+            if sign > 0 {
+                self.insert_ids(ids);
+            } else {
+                self.remove_ids(ids);
+            }
+        }
+    }
+
+    /// Estimated heap footprint in bytes: the flat column buffers, the free
+    /// list, and the membership map.
+    pub fn approx_bytes(&self) -> usize {
+        let mut bytes = std::mem::size_of::<RelationStore>();
+        for col in &self.cols {
+            bytes += col.capacity() * std::mem::size_of::<u32>();
+        }
+        bytes += self.free.capacity() * std::mem::size_of::<u32>();
+        bytes +=
+            self.by_row.capacity() * (std::mem::size_of::<IdKey>() + std::mem::size_of::<u32>());
+        for key in self.by_row.keys() {
+            bytes += key.heap_bytes();
+        }
+        bytes
+    }
+}
+
+impl fmt::Debug for RelationStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RelationStore[arity {}, {} live rows, {} slots, {} free]",
+            self.arity,
+            self.len(),
+            self.slots,
+            self.free.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_and_slot_reuse() {
+        let mut store = RelationStore::new(2);
+        assert!(store.is_empty());
+        let a = store.insert_ids(&[1, 2]).unwrap();
+        let b = store.insert_ids(&[3, 4]).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(store.insert_ids(&[1, 2]), None, "set semantics");
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.slot_count(), 2);
+        assert!(store.contains_ids(&[1, 2]));
+        assert_eq!(store.slot_of(&[3, 4]), Some(b));
+
+        // Deletion free-lists the slot; the next insert reuses it — the
+        // columns never grow past the live high-water mark.
+        assert_eq!(store.remove_ids(&[1, 2]), Some(a));
+        assert_eq!(store.remove_ids(&[1, 2]), None);
+        assert_eq!(store.len(), 1);
+        let c = store.insert_ids(&[5, 6]).unwrap();
+        assert_eq!(c, a, "freed slot is reused");
+        assert_eq!(store.slot_count(), 2);
+
+        let mut buf = Vec::new();
+        store.gather(c, &mut buf);
+        assert_eq!(buf, vec![5, 6]);
+        store.gather(b, &mut buf);
+        assert_eq!(buf, vec![3, 4]);
+        assert!(format!("{store:?}").contains("2 live rows"));
+    }
+
+    #[test]
+    fn iteration_and_seed_delta_cover_live_rows_only() {
+        let mut store = RelationStore::new(1);
+        for id in 0..5u32 {
+            store.insert_ids(&[id]);
+        }
+        store.remove_ids(&[2]);
+        let mut seen: Vec<u32> = Vec::new();
+        store.for_each_row(|ids| seen.push(ids[0]));
+        seen.sort();
+        assert_eq!(seen, vec![0, 1, 3, 4]);
+
+        let seed = store.to_insert_delta();
+        assert_eq!(seed.len(), 4);
+        assert!(seed.iter().all(|(_, sign)| sign == 1));
+        let mut ids: Vec<u32> = seed.iter().map(|(row, _)| row[0]).collect();
+        ids.sort();
+        assert_eq!(ids, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn apply_delta_round_trips() {
+        let mut store = RelationStore::new(2);
+        let mut delta = IdDelta::new(2);
+        delta.push(&[1, 1], 1);
+        delta.push(&[2, 2], 1);
+        store.apply_delta(&delta);
+        assert_eq!(store.len(), 2);
+        let mut undo = IdDelta::new(2);
+        undo.push(&[1, 1], -1);
+        assert_eq!(undo.row(0), &[1, 1]);
+        assert!(!undo.is_empty());
+        store.apply_delta(&undo);
+        assert_eq!(store.len(), 1);
+        assert!(store.contains_ids(&[2, 2]));
+    }
+
+    #[test]
+    fn nullary_relations_hold_at_most_one_row() {
+        let mut store = RelationStore::new(0);
+        assert_eq!(store.insert_ids(&[]), Some(0));
+        assert_eq!(store.insert_ids(&[]), None);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.remove_ids(&[]), Some(0));
+        assert!(store.is_empty());
+        let empty = store.to_insert_delta();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn approx_bytes_tracks_columns() {
+        let mut store = RelationStore::new(3);
+        let before = store.approx_bytes();
+        for i in 0..100u32 {
+            store.insert_ids(&[i, i + 1, i + 2]);
+        }
+        assert!(store.approx_bytes() > before);
+    }
+}

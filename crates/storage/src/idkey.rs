@@ -1,0 +1,186 @@
+//! Packed dictionary-id keys.
+//!
+//! The flat storage layer keys every hash structure — index buckets, support
+//! counts, flat-store membership — by a short sequence of dictionary ids
+//! instead of a hashed [`Row`](crate::Row) of boxed [`Value`](crate::Value)s.
+//! [`IdKey`] is that key: up to [`IDKEY_INLINE`] ids live inline (no heap
+//! allocation at all for every realistic join key and head arity), longer keys
+//! spill to one boxed slice.
+//!
+//! The type's `Hash`/`Eq`/`Ord` all delegate to the id slice, and
+//! `Borrow<[u32]>` is implemented so a `FastHashMap<IdKey, V>` can be probed
+//! with a **borrowed** `&[u32]` — a stack buffer on the hot path — without
+//! materializing a key: `map.get(ids)` where `ids: &[u32]`.  That is the
+//! zero-allocation probe discipline the delta-join fold runs on.
+
+use std::borrow::Borrow;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Ids stored inline before an [`IdKey`] spills to the heap.
+pub const IDKEY_INLINE: usize = 6;
+
+/// A short, packed sequence of dictionary ids used as a hash key.
+#[derive(Clone)]
+pub enum IdKey {
+    /// Up to [`IDKEY_INLINE`] ids, no heap allocation.
+    Inline {
+        /// Number of valid ids in `ids`.
+        len: u8,
+        /// The ids; positions `len..` are zero-filled padding.
+        ids: [u32; IDKEY_INLINE],
+    },
+    /// Keys longer than [`IDKEY_INLINE`] ids (rare: wide heads / wide rows).
+    Heap(Box<[u32]>),
+}
+
+impl IdKey {
+    /// Pack a slice of ids.
+    pub fn from_slice(ids: &[u32]) -> Self {
+        if ids.len() <= IDKEY_INLINE {
+            let mut inline = [0u32; IDKEY_INLINE];
+            inline[..ids.len()].copy_from_slice(ids);
+            IdKey::Inline {
+                len: ids.len() as u8,
+                ids: inline,
+            }
+        } else {
+            IdKey::Heap(ids.into())
+        }
+    }
+
+    /// The empty (nullary) key — the single tuple of a Boolean relation.
+    pub fn empty() -> Self {
+        IdKey::from_slice(&[])
+    }
+
+    /// The packed ids.
+    pub fn as_slice(&self) -> &[u32] {
+        match self {
+            IdKey::Inline { len, ids } => &ids[..*len as usize],
+            IdKey::Heap(ids) => ids,
+        }
+    }
+
+    /// Number of ids in the key.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// `true` iff the key holds no ids.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Heap bytes owned by this key (zero for inline keys).
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            IdKey::Inline { .. } => 0,
+            IdKey::Heap(ids) => ids.len() * std::mem::size_of::<u32>(),
+        }
+    }
+}
+
+impl PartialEq for IdKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for IdKey {}
+
+impl Hash for IdKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Must match `<[u32] as Hash>::hash` exactly: `Borrow<[u32]>` lets a
+        // map keyed by `IdKey` be probed with a bare `&[u32]`, and `HashMap`
+        // requires `hash(key) == hash(key.borrow())`.
+        self.as_slice().hash(state)
+    }
+}
+
+impl PartialOrd for IdKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for IdKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Borrow<[u32]> for IdKey {
+    fn borrow(&self) -> &[u32] {
+        self.as_slice()
+    }
+}
+
+impl From<&[u32]> for IdKey {
+    fn from(ids: &[u32]) -> Self {
+        IdKey::from_slice(ids)
+    }
+}
+
+impl fmt::Debug for IdKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IdKey{:?}", self.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::FastHashMap;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of<T: Hash + ?Sized>(t: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        t.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn inline_and_heap_round_trip() {
+        for len in 0..=IDKEY_INLINE + 3 {
+            let ids: Vec<u32> = (0..len as u32).map(|i| i * 7 + 1).collect();
+            let key = IdKey::from_slice(&ids);
+            assert_eq!(key.as_slice(), ids.as_slice());
+            assert_eq!(key.len(), len);
+            assert_eq!(key.is_empty(), len == 0);
+            let spilled = len > IDKEY_INLINE;
+            assert_eq!(key.heap_bytes() > 0, spilled, "spill boundary at {len}");
+        }
+        assert_eq!(IdKey::empty().as_slice(), &[] as &[u32]);
+    }
+
+    #[test]
+    fn hash_matches_slice_hash_for_borrowed_probes() {
+        for ids in [&[][..], &[5][..], &[1, 2, 3][..], &[9; 9][..]] {
+            assert_eq!(hash_of(&IdKey::from_slice(ids)), hash_of(ids));
+        }
+        // The property `Borrow` exists for: probe a keyed map with a slice.
+        let mut map: FastHashMap<IdKey, i64> = FastHashMap::default();
+        map.insert(IdKey::from_slice(&[3, 1, 4]), 42);
+        let probe: &[u32] = &[3, 1, 4];
+        assert_eq!(map.get(probe), Some(&42));
+        assert_eq!(map.get(&[3u32, 1][..]), None);
+    }
+
+    #[test]
+    fn equality_and_order_follow_the_slice() {
+        assert_eq!(IdKey::from_slice(&[1, 2]), IdKey::from_slice(&[1, 2]));
+        assert_ne!(IdKey::from_slice(&[1, 2]), IdKey::from_slice(&[2, 1]));
+        let mut keys = [
+            IdKey::from_slice(&[2]),
+            IdKey::from_slice(&[1, 9]),
+            IdKey::from_slice(&[1]),
+        ];
+        keys.sort();
+        assert_eq!(keys[0].as_slice(), &[1]);
+        assert_eq!(keys[1].as_slice(), &[1, 9]);
+        assert_eq!(keys[2].as_slice(), &[2]);
+        assert!(format!("{:?}", keys[1]).contains("[1, 9]"));
+    }
+}

@@ -37,8 +37,11 @@ pub mod annotated;
 pub mod checkpoint;
 pub mod database;
 pub mod delta;
+pub mod dict;
 pub mod error;
+pub mod flat;
 pub mod hash;
+pub mod idkey;
 pub mod index;
 pub mod registry;
 pub mod relation;
@@ -52,15 +55,18 @@ pub use annotated::{AnnotatedRelation, BagRelation, Ring, Semiring};
 pub use checkpoint::{read_checkpoint, write_checkpoint};
 pub use database::Database;
 pub use delta::{normalize_delta, BatchEffect, DeltaBatch, DeltaEffect, UpdateLog};
+pub use dict::{DictSnapshot, DictStats, ValueDict};
 pub use error::StorageError;
+pub use flat::{IdDelta, RelationStore};
 pub use hash::{FastHashMap, FastHashSet};
+pub use idkey::{IdKey, IDKEY_INLINE};
 pub use index::HashIndex;
 pub use registry::{
     IndexId, IndexKey, IndexRegistry, IndexRegistryStats, IndexSnapshot, IndexTelemetry,
     SharedIndex,
 };
 pub use relation::Relation;
-pub use row::Row;
+pub use row::{row_allocations, Row};
 pub use schema::{Attr, Schema};
 pub use shared::{AppliedBatch, Epoch, RelationRef, SharedDatabase};
 pub use value::Value;

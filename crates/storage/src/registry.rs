@@ -13,22 +13,31 @@
 //!   three are expressed in **stored-column coordinates**, so α-renamed atoms of
 //!   different queries that probe the same structure share one entry;
 //! * entries are **refcounted**: [`IndexRegistry::acquire`] builds the index from
-//!   the current relation contents on first use (`O(N)` once) and bumps a
+//!   the current flat store contents on first use (`O(N)` once) and bumps a
 //!   refcount afterwards, [`IndexRegistry::release`] drops the entry when its
 //!   last user deregisters;
 //! * maintenance happens **once per applied batch**, inside
 //!   [`SharedDatabase::apply_batch`](crate::SharedDatabase::apply_batch): every
-//!   registered index over a touched relation folds in the normalized delta,
+//!   registered index over a touched relation folds in the interned delta,
 //!   no matter how many views probe it.
 //!
-//! Buckets store **full stored rows** (equality-filtered).  Consumers project to
-//! their atom's bound schema at probe time via precomputed positions, which is
-//! what keeps one physical index reusable across differently-shaped atoms.
+//! ## Flat interned buckets
+//!
+//! Since the flat-storage refactor, buckets hold **contiguous dictionary-id
+//! arrays**, not hashed full-row `Vec<Row>`s: a bucket is one `Vec<u32>` of row
+//! blocks at stride [`SharedIndex::stride`], keyed by the packed key ids
+//! ([`IdKey`]).  A probe hashes a borrowed `&[u32]` (no allocation) and returns
+//! the matching block slice — cache-linear to scan, roughly an order of
+//! magnitude smaller than the row-bucket representation, and free of per-row
+//! pointer chasing.  Because value interning is injective, equality filters and
+//! key hashing reduce to `u32` compares.  Consumers resolve ids back to
+//! [`Value`](crate::Value)s only at result boundaries, through the store's
+//! dictionary.
 //!
 //! ## Threading model: lock-free readers, exclusive writers
 //!
 //! Every live entry is held as an [`Arc<SharedIndex>`] and stamped with the
-//! store epoch it was last maintained at.  Reads ([`IndexRegistry::probe`],
+//! store epoch it was last maintained at.  Reads ([`IndexRegistry::probe_ids`],
 //! [`IndexRegistry::get`]) take `&self` and touch no lock — under Rust's
 //! aliasing rules they may run from any number of threads concurrently, which
 //! is what lets an engine fan per-view delta joins out across workers while the
@@ -43,12 +52,12 @@
 //! snapshot, probe it lock-free for as long as they like, and never block (or
 //! get torn by) the update stream.
 
-use crate::hash::{map_with_capacity, FastHashMap};
-use crate::relation::Relation;
+use crate::flat::{IdDelta, RelationStore};
+use crate::hash::{map_with_capacity, set_with_capacity, FastHashMap, FastHashSet};
+use crate::idkey::IdKey;
 use crate::row::Row;
 use crate::shared::Epoch;
 use crate::tele;
-use crate::value::Value;
 use std::fmt;
 use std::sync::Arc;
 
@@ -76,6 +85,12 @@ impl IndexKey {
             .iter()
             .all(|&(a, b)| row.get(a) == row.get(b))
     }
+
+    /// `true` iff the interned row block satisfies the equality constraints.
+    /// Interning is injective, so id equality *is* value equality.
+    pub fn admits_ids(&self, ids: &[u32]) -> bool {
+        self.equalities.iter().all(|&(a, b)| ids[a] == ids[b])
+    }
 }
 
 impl fmt::Display for IndexKey {
@@ -102,7 +117,7 @@ pub struct IndexId {
     generation: u64,
 }
 
-/// One shared hash index over a stored relation.
+/// One shared hash index over a stored relation, in dictionary-id space.
 ///
 /// The structure itself is immutable data behind an [`Arc`]; the owning
 /// registry tracks the refcount in its slot and mutates entries copy-on-write,
@@ -111,8 +126,10 @@ pub struct IndexId {
 #[derive(Clone)]
 pub struct SharedIndex {
     key: IndexKey,
-    /// Key projection → equality-filtered stored rows.
-    buckets: FastHashMap<Row, Vec<Row>>,
+    /// Ids per stored row (the indexed relation's arity).
+    arity: usize,
+    /// Key-id projection → contiguous row blocks at [`SharedIndex::stride`].
+    buckets: Buckets,
     /// Number of indexed rows (equality-filtered).
     rows: usize,
     /// The store epoch this index's contents were last changed at (its build
@@ -120,45 +137,138 @@ pub struct SharedIndex {
     epoch: Epoch,
 }
 
-impl SharedIndex {
-    fn build(key: IndexKey, relation: &Relation, epoch: Epoch) -> Self {
-        let mut buckets: FastHashMap<Row, Vec<Row>> = map_with_capacity(relation.len());
-        let mut rows = 0;
-        for row in relation.iter() {
-            if key.admits(row) {
-                buckets
-                    .entry(row.project(&key.key_positions))
-                    .or_default()
-                    .push(row.clone());
-                rows += 1;
-            }
-        }
-        SharedIndex {
-            key,
-            buckets,
-            rows,
-            epoch,
+/// Physical bucket storage of a [`SharedIndex`], chosen from the key shape.
+#[derive(Clone)]
+enum Buckets {
+    /// The general shape: packed key projection → contiguous row blocks.
+    Keyed(FastHashMap<IdKey, Vec<u32>>),
+    /// Full-cover identity key (`key_positions == 0..arity`): the probe key
+    /// *is* the stored block, and the store is set-semantics, so a bucket is
+    /// always exactly one block equal to its own key.  Storing a membership
+    /// set of packed rows drops the 24-byte `Vec` header every map slot would
+    /// otherwise carry — on a whole-row index that header outweighs the row
+    /// data itself several times over.  Probes answer out of the set's own
+    /// key storage.
+    Whole(FastHashSet<IdKey>),
+}
+
+impl Buckets {
+    fn for_shape(key: &IndexKey, arity: usize, row_hint: usize) -> Buckets {
+        let identity = key.key_positions.len() == arity
+            && key.key_positions.iter().enumerate().all(|(i, &p)| i == p);
+        if identity && arity > 0 {
+            // Whole-row keys: one entry per indexed row, known up front.
+            Buckets::Whole(set_with_capacity(row_hint))
+        } else {
+            // Keys are typically a small fraction of rows; seed low and let
+            // the build grow the table, then shrink to fit.  A permanently
+            // row-count-sized table is what `approx_bytes` charges at
+            // 56B/slot, dwarfing the 4B/id payload.
+            Buckets::Keyed(map_with_capacity(row_hint / 8))
         }
     }
+}
 
-    /// Fold one normalized stored-relation delta into the index.
-    fn apply_delta(&mut self, delta: &[(Row, i64)], epoch: Epoch) {
+impl SharedIndex {
+    fn build(key: IndexKey, store: &RelationStore, epoch: Epoch) -> Self {
+        let buckets = Buckets::for_shape(&key, store.arity(), store.len());
+        let mut index = SharedIndex {
+            key,
+            arity: store.arity(),
+            buckets,
+            rows: 0,
+            epoch,
+        };
+        let mut key_buf: Vec<u32> = Vec::with_capacity(index.key.key_positions.len());
+        store.for_each_row(|ids| {
+            if index.key.admits_ids(ids) {
+                key_buf.clear();
+                key_buf.extend(index.key.key_positions.iter().map(|&p| ids[p]));
+                index.push_block(&key_buf, ids);
+            }
+        });
+        // Drop build-time slack: the table shrinks to its live key count and
+        // every bucket to its exact id payload.  Later deltas regrow them
+        // amortized, exactly like any post-build insert.
+        match &mut index.buckets {
+            Buckets::Keyed(map) => {
+                map.shrink_to_fit();
+                for bucket in map.values_mut() {
+                    bucket.shrink_to_fit();
+                }
+            }
+            Buckets::Whole(set) => set.shrink_to_fit(),
+        }
+        index
+    }
+
+    /// Row-block width inside buckets: the arity, with nullary relations padded
+    /// to one sentinel id so "one stored row" stays representable.  Consumers
+    /// chunk probe results by `stride()` and read `[..arity()]` of each block.
+    pub fn stride(&self) -> usize {
+        self.arity.max(1)
+    }
+
+    fn push_block(&mut self, key: &[u32], ids: &[u32]) {
+        let arity = self.arity;
+        match &mut self.buckets {
+            Buckets::Keyed(map) => {
+                let bucket = map.entry(IdKey::from_slice(key)).or_default();
+                if arity == 0 {
+                    bucket.push(0);
+                } else {
+                    bucket.extend_from_slice(ids);
+                }
+            }
+            Buckets::Whole(set) => {
+                // Deltas are store-normalized, so an insert is always of a row
+                // the (set-semantics) store did not hold.
+                let fresh = set.insert(IdKey::from_slice(ids));
+                debug_assert!(fresh, "whole-row index saw a duplicate insert");
+            }
+        }
+        self.rows += 1;
+    }
+
+    /// Fold one interned stored-relation delta into the index.
+    fn apply_delta(&mut self, delta: &IdDelta, epoch: Epoch) {
         self.epoch = epoch;
-        for (row, sign) in delta {
-            if !self.key.admits(row) {
+        let stride = self.stride();
+        let mut key_buf: Vec<u32> = Vec::with_capacity(self.key.key_positions.len());
+        for (ids, sign) in delta.iter() {
+            if !self.key.admits_ids(ids) {
                 continue;
             }
-            let key = row.project(&self.key.key_positions);
-            if *sign > 0 {
-                self.buckets.entry(key).or_default().push(row.clone());
-                self.rows += 1;
-            } else if let Some(bucket) = self.buckets.get_mut(&key) {
-                if let Some(pos) = bucket.iter().position(|r| r == row) {
-                    bucket.swap_remove(pos);
-                    self.rows -= 1;
-                }
-                if bucket.is_empty() {
-                    self.buckets.remove(&key);
+            key_buf.clear();
+            key_buf.extend(self.key.key_positions.iter().map(|&p| ids[p]));
+            if sign > 0 {
+                self.push_block(&key_buf, ids);
+            } else {
+                match &mut self.buckets {
+                    Buckets::Keyed(map) => {
+                        if let Some(bucket) = map.get_mut(key_buf.as_slice()) {
+                            let found = bucket
+                                .chunks_exact(stride)
+                                .position(|block| &block[..self.arity] == ids);
+                            if let Some(pos) = found {
+                                // Swap-remove in block units: the last block
+                                // overwrites the deleted one, the tail is
+                                // truncated — O(stride), no shift.
+                                let last = bucket.len() - stride;
+                                bucket.copy_within(last.., pos * stride);
+                                bucket.truncate(last);
+                                self.rows -= 1;
+                            }
+                            if bucket.is_empty() {
+                                map.remove(key_buf.as_slice());
+                            }
+                        }
+                    }
+                    Buckets::Whole(set) => {
+                        if set.remove(ids) {
+                            self.rows -= 1;
+                        }
+                    }
                 }
             }
         }
@@ -167,6 +277,11 @@ impl SharedIndex {
     /// The index identity.
     pub fn key(&self) -> &IndexKey {
         &self.key
+    }
+
+    /// Ids per indexed row (the stored relation's arity).
+    pub fn arity(&self) -> usize {
+        self.arity
     }
 
     /// The store epoch this index's contents were last changed at.  A snapshot
@@ -183,24 +298,41 @@ impl SharedIndex {
 
     /// Number of distinct probe keys.
     pub fn distinct_keys(&self) -> usize {
-        self.buckets.len()
+        match &self.buckets {
+            Buckets::Keyed(map) => map.len(),
+            Buckets::Whole(set) => set.len(),
+        }
     }
 
-    /// Stored rows matching `key`, or an empty slice.
-    pub fn probe(&self, key: &Row) -> &[Row] {
-        self.buckets.get(key).map(Vec::as_slice).unwrap_or(&[])
+    /// Contiguous row blocks (at [`SharedIndex::stride`]) matching the key ids,
+    /// or an empty slice.  The probe hashes the borrowed slice directly — no
+    /// key is materialized.
+    pub fn probe_ids(&self, key: &[u32]) -> &[u32] {
+        match &self.buckets {
+            Buckets::Keyed(map) => map.get(key).map(Vec::as_slice).unwrap_or(&[]),
+            // The matching block is the key itself; answer out of the set's
+            // own storage so the slice outlives the caller's probe buffer.
+            Buckets::Whole(set) => set.get(key).map(IdKey::as_slice).unwrap_or(&[]),
+        }
     }
 
-    /// Estimated heap footprint in bytes (buckets, keys and row clones).
+    /// Estimated heap footprint in bytes (buckets, packed keys, id blocks).
     pub fn approx_bytes(&self) -> usize {
         let mut bytes = std::mem::size_of::<SharedIndex>();
-        bytes += self.buckets.capacity()
-            * (std::mem::size_of::<Row>() + std::mem::size_of::<Vec<Row>>());
-        for (key, bucket) in &self.buckets {
-            bytes += key.arity() * std::mem::size_of::<Value>();
-            bytes += bucket.capacity() * std::mem::size_of::<Row>();
-            for row in bucket {
-                bytes += row.arity() * std::mem::size_of::<Value>();
+        match &self.buckets {
+            Buckets::Keyed(map) => {
+                bytes += map.capacity()
+                    * (std::mem::size_of::<IdKey>() + std::mem::size_of::<Vec<u32>>());
+                for (key, bucket) in map {
+                    bytes += key.heap_bytes();
+                    bytes += bucket.capacity() * std::mem::size_of::<u32>();
+                }
+            }
+            Buckets::Whole(set) => {
+                bytes += set.capacity() * std::mem::size_of::<IdKey>();
+                for key in set {
+                    bytes += key.heap_bytes();
+                }
             }
         }
         bytes
@@ -295,11 +427,11 @@ impl IndexRegistry {
 
     /// Find-or-build the index for `key`, bumping its refcount.
     ///
-    /// `relation` must be the current contents of `key.relation` and `epoch`
+    /// `store` must be the current flat contents of `key.relation` and `epoch`
     /// the store epoch those contents reflect; a fresh entry is built from them
     /// in one `O(N)` pass, a live entry is reused as-is (it has been maintained
     /// under every applied batch since it was built).
-    pub fn acquire(&mut self, key: IndexKey, relation: &Relation, epoch: Epoch) -> IndexId {
+    pub fn acquire(&mut self, key: IndexKey, store: &RelationStore, epoch: Epoch) -> IndexId {
         if let Some(&slot) = self.by_key.get(&key) {
             let state = &mut self.slots[slot];
             debug_assert!(state.entry.is_some(), "keyed index entry is live");
@@ -309,7 +441,7 @@ impl IndexRegistry {
                 generation: state.generation,
             };
         }
-        let built = Arc::new(SharedIndex::build(key.clone(), relation, epoch));
+        let built = Arc::new(SharedIndex::build(key.clone(), store, epoch));
         let slot = match self.slots.iter().position(|s| s.entry.is_none()) {
             Some(free) => free,
             None => {
@@ -366,16 +498,16 @@ impl IndexRegistry {
             .unwrap_or(0)
     }
 
-    /// Stored rows matching `key` in the index `id`, or an empty slice.
+    /// Row blocks matching the key ids in the index `id`, or an empty slice.
     ///
     /// An id that is no longer live probes empty — by construction consumers only
     /// probe ids they hold a reference on.  Lock-free: `&self` reads never
-    /// contend with anything.
-    pub fn probe(&self, id: IndexId, key: &Row) -> &[Row] {
-        self.get(id).map(|e| e.probe(key)).unwrap_or(&[])
+    /// contend with anything, and no key or row is materialized.
+    pub fn probe_ids(&self, id: IndexId, key: &[u32]) -> &[u32] {
+        self.get(id).map(|e| e.probe_ids(key)).unwrap_or(&[])
     }
 
-    /// Fold one relation's normalized delta into every live index over it,
+    /// Fold one relation's interned delta into every live index over it,
     /// stamping the touched entries with `epoch` (the store epoch the batch
     /// advances to).
     ///
@@ -383,7 +515,7 @@ impl IndexRegistry {
     /// [`IndexSnapshot`] is cloned before mutation, so the snapshot keeps
     /// reading its own epoch's contents; an unshared entry (the steady-state
     /// case) is updated in place with zero copies.
-    pub fn apply_relation_delta(&mut self, relation: &str, delta: &[(Row, i64)], epoch: Epoch) {
+    pub fn apply_relation_delta(&mut self, relation: &str, delta: &IdDelta, epoch: Epoch) {
         if delta.is_empty() {
             return;
         }
@@ -510,7 +642,9 @@ impl fmt::Debug for IndexRegistry {
 /// coordination with concurrent writers — the registry's copy-on-write
 /// maintenance guarantees a snapshotted entry is never mutated in place.  This
 /// is the read primitive the planned async front-end serves queries from while
-/// the update stream keeps committing.
+/// the update stream keeps committing.  Dictionary ids in snapshotted buckets
+/// resolve through **any** dictionary state at or after the snapshot's epoch —
+/// the dictionary is append-only, so ids never change meaning.
 #[derive(Clone)]
 pub struct IndexSnapshot {
     epoch: Epoch,
@@ -562,10 +696,10 @@ impl IndexSnapshot {
             .map(|(_, entry)| entry.as_ref())
     }
 
-    /// Stored rows matching `key` in the snapshotted index `id`, or an empty
-    /// slice.  Lock-free and immune to concurrent store writes.
-    pub fn probe(&self, id: IndexId, key: &Row) -> &[Row] {
-        self.get(id).map(|e| e.probe(key)).unwrap_or(&[])
+    /// Row blocks matching the key ids in the snapshotted index `id`, or an
+    /// empty slice.  Lock-free and immune to concurrent store writes.
+    pub fn probe_ids(&self, id: IndexId, key: &[u32]) -> &[u32] {
+        self.get(id).map(|e| e.probe_ids(key)).unwrap_or(&[])
     }
 
     /// Number of indexes captured by this snapshot.
@@ -593,14 +727,35 @@ impl fmt::Debug for IndexSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::row::int_row;
+    use crate::dict::ValueDict;
+    use crate::value::Value;
 
-    fn graph() -> Relation {
-        Relation::from_int_rows(
-            "Graph",
-            &["src", "dst"],
-            vec![vec![1, 2], vec![1, 3], vec![2, 3], vec![3, 3]],
-        )
+    /// Intern int rows into a fresh dict + flat store.  With values inserted in
+    /// first-occurrence order, `id(v) = dict.lookup(int v)`.
+    fn flat(arity: usize, rows: &[&[i64]]) -> (ValueDict, RelationStore) {
+        let mut dict = ValueDict::new();
+        let mut store = RelationStore::new(arity);
+        for row in rows {
+            let ids: Vec<u32> = row.iter().map(|&v| dict.intern(&Value::int(v))).collect();
+            store.insert_ids(&ids);
+        }
+        (dict, store)
+    }
+
+    fn ids(dict: &mut ValueDict, vals: &[i64]) -> Vec<u32> {
+        vals.iter().map(|&v| dict.intern(&Value::int(v))).collect()
+    }
+
+    fn delta(dict: &mut ValueDict, arity: usize, ops: &[(&[i64], i64)]) -> IdDelta {
+        let mut d = IdDelta::new(arity);
+        for (vals, sign) in ops {
+            d.push(&ids(dict, vals), *sign);
+        }
+        d
+    }
+
+    fn graph() -> (ValueDict, RelationStore) {
+        flat(2, &[&[1, 2], &[1, 3], &[2, 3], &[3, 3]])
     }
 
     fn key_on(positions: &[usize]) -> IndexKey {
@@ -611,15 +766,36 @@ mod tests {
         }
     }
 
+    /// Blocks of `index` matching key values, as sorted `Vec<Vec<u32>>`.
+    fn probe_rows(
+        reg: &IndexRegistry,
+        id: IndexId,
+        dict: &mut ValueDict,
+        key: &[i64],
+    ) -> Vec<Vec<u32>> {
+        let key_ids = ids(dict, key);
+        let stride = reg.get(id).map(SharedIndex::stride).unwrap_or(1);
+        let mut rows: Vec<Vec<u32>> = reg
+            .probe_ids(id, &key_ids)
+            .chunks_exact(stride)
+            .map(<[u32]>::to_vec)
+            .collect();
+        rows.sort();
+        rows
+    }
+
     #[test]
     fn acquire_builds_and_probes() {
+        let (mut dict, store) = graph();
         let mut reg = IndexRegistry::new();
-        let id = reg.acquire(key_on(&[0]), &graph(), 0);
-        assert_eq!(reg.probe(id, &int_row([1])).len(), 2);
-        assert_eq!(reg.probe(id, &int_row([9])).len(), 0);
+        let id = reg.acquire(key_on(&[0]), &store, 0);
+        assert_eq!(probe_rows(&reg, id, &mut dict, &[1]).len(), 2);
+        assert_eq!(probe_rows(&reg, id, &mut dict, &[9]).len(), 0);
         let entry = reg.get(id).unwrap();
         assert_eq!(entry.indexed_rows(), 4);
         assert_eq!(entry.distinct_keys(), 3);
+        assert_eq!(entry.arity(), 2);
+        assert_eq!(entry.stride(), 2);
         assert_eq!(entry.epoch(), 0);
         assert!(entry.approx_bytes() > 0);
         assert!(format!("{reg:?}").contains("IndexRegistry"));
@@ -627,28 +803,31 @@ mod tests {
 
     #[test]
     fn equalities_filter_indexed_rows() {
+        let (mut dict, store) = graph();
         let mut reg = IndexRegistry::new();
         let key = IndexKey {
             relation: "Graph".into(),
             equalities: vec![(0, 1)],
             key_positions: vec![0],
         };
-        let id = reg.acquire(key, &graph(), 0);
+        let id = reg.acquire(key, &store, 0);
         // Only the self-loop (3, 3) passes src = dst.
         assert_eq!(reg.get(id).unwrap().indexed_rows(), 1);
-        assert_eq!(reg.probe(id, &int_row([3])), &[int_row([3, 3])]);
-        assert!(reg.probe(id, &int_row([1])).is_empty());
+        let three = ids(&mut dict, &[3, 3]);
+        assert_eq!(probe_rows(&reg, id, &mut dict, &[3]), vec![three]);
+        assert!(probe_rows(&reg, id, &mut dict, &[1]).is_empty());
     }
 
     #[test]
     fn refcounts_share_and_tear_down() {
+        let (mut dict, store) = graph();
         let mut reg = IndexRegistry::new();
-        let a = reg.acquire(key_on(&[0]), &graph(), 0);
-        let b = reg.acquire(key_on(&[0]), &graph(), 0);
+        let a = reg.acquire(key_on(&[0]), &store, 0);
+        let b = reg.acquire(key_on(&[0]), &store, 0);
         assert_eq!(a, b, "same key shares one entry");
         assert_eq!(reg.len(), 1);
         assert_eq!(reg.refs_of(a), 2);
-        let other = reg.acquire(key_on(&[1]), &graph(), 0);
+        let other = reg.acquire(key_on(&[1]), &store, 0);
         assert_ne!(a, other);
         assert_eq!(reg.len(), 2);
 
@@ -656,7 +835,7 @@ mod tests {
         assert_eq!(reg.refs_of(a), 1);
         reg.release(b);
         assert!(reg.get(a).is_none(), "last release drops the entry");
-        assert!(reg.probe(a, &int_row([1])).is_empty());
+        assert!(probe_rows(&reg, a, &mut dict, &[1]).is_empty());
         assert_eq!(reg.refs_of(a), 0);
         reg.release(a); // releasing a dead id is a no-op
         assert_eq!(reg.len(), 1);
@@ -665,10 +844,10 @@ mod tests {
         // The freed slot is reused by the next distinct key — under a fresh
         // generation, so the stale id can neither probe nor release the new
         // tenant (no ABA through slot reuse).
-        let again = reg.acquire(key_on(&[0, 1]), &graph(), 0);
+        let again = reg.acquire(key_on(&[0, 1]), &store, 0);
         assert_ne!(again, a);
         assert!(reg.get(a).is_none());
-        assert!(reg.probe(a, &int_row([1, 2])).is_empty());
+        assert!(probe_rows(&reg, a, &mut dict, &[1, 2]).is_empty());
         reg.release(a); // stale-generation release must not touch `again`
         assert_eq!(reg.refs_of(again), 1);
         assert_eq!(reg.len(), 2);
@@ -676,23 +855,21 @@ mod tests {
 
     #[test]
     fn deltas_maintain_buckets_and_stamp_the_epoch() {
+        let (mut dict, store) = graph();
         let mut reg = IndexRegistry::new();
-        let id = reg.acquire(key_on(&[0]), &graph(), 0);
-        reg.apply_relation_delta(
-            "Graph",
-            &[
-                (int_row([1, 9]), 1),
-                (int_row([1, 2]), -1),
-                (int_row([4, 4]), 1),
-            ],
-            1,
-        );
+        let id = reg.acquire(key_on(&[0]), &store, 0);
+        let d = delta(&mut dict, 2, &[(&[1, 9], 1), (&[1, 2], -1), (&[4, 4], 1)]);
+        reg.apply_relation_delta("Graph", &d, 1);
         // Unrelated relations are untouched.
-        reg.apply_relation_delta("Other", &[(int_row([1, 1]), 1)], 2);
-        let rows = reg.probe(id, &int_row([1]));
+        let other = delta(&mut dict, 2, &[(&[1, 1], 1)]);
+        reg.apply_relation_delta("Other", &other, 2);
+        let rows = probe_rows(&reg, id, &mut dict, &[1]);
         assert_eq!(rows.len(), 2);
-        assert!(rows.contains(&int_row([1, 9])) && rows.contains(&int_row([1, 3])));
-        assert_eq!(reg.probe(id, &int_row([4])), &[int_row([4, 4])]);
+        let one_nine = ids(&mut dict, &[1, 9]);
+        let one_three = ids(&mut dict, &[1, 3]);
+        assert!(rows.contains(&one_nine) && rows.contains(&one_three));
+        let four_four = ids(&mut dict, &[4, 4]);
+        assert_eq!(probe_rows(&reg, id, &mut dict, &[4]), vec![four_four]);
         assert_eq!(reg.get(id).unwrap().indexed_rows(), 5);
         assert_eq!(
             reg.get(id).unwrap().epoch(),
@@ -700,23 +877,25 @@ mod tests {
             "only the touching batch's epoch is stamped"
         );
         // Deleting the last row of a bucket removes the bucket.
-        reg.apply_relation_delta("Graph", &[(int_row([4, 4]), -1)], 3);
-        assert!(reg.probe(id, &int_row([4])).is_empty());
+        let del = delta(&mut dict, 2, &[(&[4, 4], -1)]);
+        reg.apply_relation_delta("Graph", &del, 3);
+        assert!(probe_rows(&reg, id, &mut dict, &[4]).is_empty());
         assert_eq!(reg.get(id).unwrap().epoch(), 3);
     }
 
     #[test]
     fn drop_relation_kills_its_indexes() {
+        let (_dict, store) = graph();
         let mut reg = IndexRegistry::new();
-        let g = reg.acquire(key_on(&[0]), &graph(), 0);
-        let other = Relation::from_int_rows("Other", &["k"], vec![vec![1]]);
+        let g = reg.acquire(key_on(&[0]), &store, 0);
+        let (_odict, ostore) = flat(1, &[&[1]]);
         let o = reg.acquire(
             IndexKey {
                 relation: "Other".into(),
                 equalities: vec![],
                 key_positions: vec![0],
             },
-            &other,
+            &ostore,
             0,
         );
         reg.drop_relation("Graph");
@@ -727,8 +906,9 @@ mod tests {
 
     #[test]
     fn snapshots_pin_their_epoch_under_later_writes() {
+        let (mut dict, store) = graph();
         let mut reg = IndexRegistry::new();
-        let id = reg.acquire(key_on(&[0]), &graph(), 0);
+        let id = reg.acquire(key_on(&[0]), &store, 0);
         let snap = reg.snapshot(0);
         assert_eq!(snap.epoch(), 0);
         assert_eq!(snap.len(), 1);
@@ -737,54 +917,92 @@ mod tests {
 
         // The write after the snapshot copies the entry (copy-on-write): the
         // snapshot keeps reading epoch-0 contents, the live registry moves on.
-        reg.apply_relation_delta("Graph", &[(int_row([1, 2]), -1), (int_row([7, 7]), 1)], 1);
-        assert_eq!(snap.probe(id, &int_row([1])).len(), 2, "snapshot is pinned");
-        assert!(snap.probe(id, &int_row([7])).is_empty());
+        let d = delta(&mut dict, 2, &[(&[1, 2], -1), (&[7, 7], 1)]);
+        reg.apply_relation_delta("Graph", &d, 1);
+        let one = ids(&mut dict, &[1]);
+        let seven = ids(&mut dict, &[7]);
+        assert_eq!(snap.probe_ids(id, &one).len() / 2, 2, "snapshot is pinned");
+        assert!(snap.probe_ids(id, &seven).is_empty());
         assert_eq!(snap.get(id).unwrap().epoch(), 0);
-        assert_eq!(reg.probe(id, &int_row([1])).len(), 1, "live registry moved");
-        assert_eq!(reg.probe(id, &int_row([7])), &[int_row([7, 7])]);
+        assert_eq!(reg.probe_ids(id, &one).len() / 2, 1, "live registry moved");
+        assert_eq!(
+            reg.probe_ids(id, &seven),
+            ids(&mut dict, &[7, 7]).as_slice()
+        );
         assert_eq!(reg.get(id).unwrap().epoch(), 1);
 
         // Teardown of the live entry leaves the snapshot intact…
         reg.release(id);
         assert!(reg.get(id).is_none());
-        assert_eq!(snap.probe(id, &int_row([1])).len(), 2);
+        assert_eq!(snap.probe_ids(id, &one).len() / 2, 2);
         // …and a slot reused under a new generation stays invisible to stale
         // ids on both the registry and any new snapshot.
-        let next = reg.acquire(key_on(&[1]), &graph(), 2);
+        let next = reg.acquire(key_on(&[1]), &store, 2);
         let fresh = reg.snapshot(2);
         assert!(fresh.get(id).is_none(), "stale generation must not resolve");
         assert!(fresh.get(next).is_some());
-        assert!(fresh.probe(id, &int_row([1])).is_empty());
+        assert!(fresh.probe_ids(id, &one).is_empty());
     }
 
     #[test]
     fn unshared_entries_are_maintained_in_place_without_copies() {
+        let (mut dict, store) = graph();
         let mut reg = IndexRegistry::new();
-        let id = reg.acquire(key_on(&[0]), &graph(), 0);
+        let id = reg.acquire(key_on(&[0]), &store, 0);
         let before = reg.slots[id.slot].entry.as_ref().map(Arc::as_ptr).unwrap();
-        reg.apply_relation_delta("Graph", &[(int_row([9, 9]), 1)], 1);
+        let d = delta(&mut dict, 2, &[(&[9, 9], 1)]);
+        reg.apply_relation_delta("Graph", &d, 1);
         let after = reg.slots[id.slot].entry.as_ref().map(Arc::as_ptr).unwrap();
         assert_eq!(before, after, "no snapshot outstanding → in-place update");
 
         // With a snapshot outstanding the same write relocates the entry.
         let snap = reg.snapshot(1);
-        reg.apply_relation_delta("Graph", &[(int_row([8, 8]), 1)], 2);
+        let d = delta(&mut dict, 2, &[(&[8, 8], 1)]);
+        reg.apply_relation_delta("Graph", &d, 2);
         let moved = reg.slots[id.slot].entry.as_ref().map(Arc::as_ptr).unwrap();
         assert_ne!(after, moved, "snapshotted entry is copied before mutation");
-        assert!(snap.probe(id, &int_row([8])).is_empty());
-        assert_eq!(reg.probe(id, &int_row([8])), &[int_row([8, 8])]);
+        let eight = ids(&mut dict, &[8]);
+        assert!(snap.probe_ids(id, &eight).is_empty());
+        assert_eq!(
+            reg.probe_ids(id, &eight),
+            ids(&mut dict, &[8, 8]).as_slice()
+        );
+    }
+
+    #[test]
+    fn nullary_indexes_represent_presence() {
+        let mut store = RelationStore::new(0);
+        store.insert_ids(&[]);
+        let mut reg = IndexRegistry::new();
+        let key = IndexKey {
+            relation: "Flag".into(),
+            equalities: vec![],
+            key_positions: vec![],
+        };
+        let id = reg.acquire(key, &store, 0);
+        let entry = reg.get(id).unwrap();
+        assert_eq!((entry.arity(), entry.stride()), (0, 1));
+        assert_eq!(entry.indexed_rows(), 1);
+        assert_eq!(reg.probe_ids(id, &[]).chunks_exact(1).count(), 1);
+        // Deleting the single row empties the index.
+        let mut del = IdDelta::new(0);
+        del.push(&[], -1);
+        reg.apply_relation_delta("Flag", &del, 1);
+        assert!(reg.probe_ids(id, &[]).is_empty());
+        assert_eq!(reg.get(id).unwrap().indexed_rows(), 0);
     }
 
     #[cfg(feature = "telemetry")]
     #[test]
     fn telemetry_counts_cow_vs_inplace_and_pins() {
+        let (mut dict, store) = graph();
         let mut reg = IndexRegistry::new();
-        let _id = reg.acquire(key_on(&[0]), &graph(), 0);
+        let _id = reg.acquire(key_on(&[0]), &store, 0);
         assert_eq!(reg.telemetry(), IndexTelemetry::default());
 
         // No snapshot outstanding: in-place.
-        reg.apply_relation_delta("Graph", &[(int_row([9, 9]), 1)], 1);
+        let d = delta(&mut dict, 2, &[(&[9, 9], 1)]);
+        reg.apply_relation_delta("Graph", &d, 1);
         let t = reg.telemetry();
         assert_eq!((t.inplace_writes, t.cow_clones), (1, 0));
 
@@ -795,8 +1013,10 @@ mod tests {
         assert_eq!(reg.telemetry().live_snapshot_pins, 1);
         let snap2 = snap.clone();
         assert_eq!(reg.telemetry().live_snapshot_pins, 2);
-        reg.apply_relation_delta("Graph", &[(int_row([8, 8]), 1)], 2);
-        reg.apply_relation_delta("Graph", &[(int_row([7, 7]), 1)], 3);
+        let d = delta(&mut dict, 2, &[(&[8, 8], 1)]);
+        reg.apply_relation_delta("Graph", &d, 2);
+        let d = delta(&mut dict, 2, &[(&[7, 7], 1)]);
+        reg.apply_relation_delta("Graph", &d, 3);
         let t = reg.telemetry();
         assert_eq!((t.inplace_writes, t.cow_clones), (2, 1));
 
@@ -807,8 +1027,9 @@ mod tests {
 
     #[test]
     fn cloned_registry_has_independent_pin_gauge() {
+        let (_dict, store) = graph();
         let mut reg = IndexRegistry::new();
-        let _id = reg.acquire(key_on(&[0]), &graph(), 0);
+        let _id = reg.acquire(key_on(&[0]), &store, 0);
         let _snap = reg.snapshot(0);
         let clone = reg.clone();
         assert_eq!(clone.telemetry().live_snapshot_pins, 0);

@@ -8,15 +8,50 @@
 use crate::value::Value;
 use std::fmt;
 
+#[cfg(feature = "telemetry")]
+static ROW_ALLOCATIONS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+#[inline]
+fn count_allocation() {
+    #[cfg(feature = "telemetry")]
+    ROW_ALLOCATIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Process-wide count of [`Row`] heap allocations (constructions and clones).
+///
+/// Only maintained with the `telemetry` feature (always `0` without it).  This
+/// is the probe the flat-storage guard tests assert on: the delta-join hot
+/// path must allocate rows proportional to the **delta**, never per probe.
+pub fn row_allocations() -> u64 {
+    #[cfg(feature = "telemetry")]
+    {
+        ROW_ALLOCATIONS.load(std::sync::atomic::Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        0
+    }
+}
+
 /// A tuple of values.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Row {
     values: Box<[Value]>,
+}
+
+impl Clone for Row {
+    fn clone(&self) -> Self {
+        count_allocation();
+        Row {
+            values: self.values.clone(),
+        }
+    }
 }
 
 impl Row {
     /// Build a row from values.
     pub fn new(values: Vec<Value>) -> Self {
+        count_allocation();
         Row {
             values: values.into_boxed_slice(),
         }

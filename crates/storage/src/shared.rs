@@ -16,17 +16,38 @@
 //!   ([`Relation::cached_row_set`]) is warmed on first touch and maintained
 //!   incrementally afterwards;
 //! * an [`AppliedBatch`] summary per update carrying the **normalized per-relation
-//!   deltas**, computed once and fanned out to every registered view instead of
-//!   being recomputed per view.
+//!   deltas** in both row space and dictionary-id space, computed once and fanned
+//!   out to every registered view instead of being recomputed per view.
+//!
+//! ## Flat interned execution storage
+//!
+//! The store keeps two coordinated representations of every relation:
+//!
+//! * the canonical row-space [`Relation`] (boxed [`Row`]s) — the public API,
+//!   rerun evaluation, and serialization boundary;
+//! * a flat id-space mirror — a per-store [`ValueDict`] interning every
+//!   [`Value`](crate::Value) to a dense `u32`, and one [`RelationStore`] of
+//!   `arity × len` `u32` columns per relation.
+//!
+//! Everything on the maintenance hot path (index buckets, delta-join probes,
+//! support counts) runs in id space: [`SharedDatabase::apply_batch`] interns each
+//! normalized delta **once** and fans the resulting [`IdDelta`]s out, so no
+//! consumer hashes or clones a `Value` per probe.  The dictionary is append-only
+//! — an id never changes meaning — which is what makes id-space snapshots
+//! trivially consistent: any dictionary state at or after an epoch resolves every
+//! id that existed at that epoch.
 //!
 //! Reads go through [`RelationRef`], a lightweight handle pairing the relation with
 //! the epoch it was observed at; delta-join consumers additionally probe the
 //! store's **index registry** ([`IndexRegistry`]) — refcounted hash indexes in
-//! stored-column coordinates, acquired per query plan and maintained exactly once
-//! per applied batch no matter how many views share them.
+//! stored-column id coordinates, acquired per query plan and maintained exactly
+//! once per applied batch no matter how many views share them.
 
 use crate::database::Database;
 use crate::delta::{normalize_delta, DeltaBatch, DeltaEffect};
+use crate::dict::{DictSnapshot, DictStats, ValueDict};
+use crate::flat::{IdDelta, RelationStore};
+use crate::hash::FastHashMap;
 use crate::registry::{IndexId, IndexKey, IndexRegistry, IndexRegistryStats, IndexSnapshot};
 use crate::relation::Relation;
 use crate::row::Row;
@@ -44,14 +65,30 @@ pub type Epoch = u64;
 ///
 /// The store deliberately exposes **no** direct mutable access to its relations:
 /// every change goes through [`SharedDatabase::apply_batch`], which normalizes,
-/// applies, and versions the update in one pass.  That is what lets an engine hand
-/// the resulting [`AppliedBatch`] to every registered view without each view
-/// re-deriving the net effect.
+/// interns, applies, and versions the update in one pass.  That is what lets an
+/// engine hand the resulting [`AppliedBatch`] to every registered view without
+/// each view re-deriving the net effect.
 #[derive(Clone, Default)]
 pub struct SharedDatabase {
     db: Database,
     epoch: Epoch,
     indexes: IndexRegistry,
+    /// Store-wide value dictionary: every value of every relation interned.
+    dict: ValueDict,
+    /// Flat id-space mirror of every relation, maintained in lock-step with
+    /// `db` by `apply_batch` / `add_relation` / `remove_relation`.
+    flat: FastHashMap<String, RelationStore>,
+}
+
+fn intern_relation(dict: &mut ValueDict, rel: &Relation) -> RelationStore {
+    let mut store = RelationStore::new(rel.schema().arity());
+    let mut ids: Vec<u32> = Vec::with_capacity(rel.schema().arity());
+    for row in rel.iter() {
+        ids.clear();
+        ids.extend(row.iter().map(|v| dict.intern(v)));
+        store.insert_ids(&ids);
+    }
+    store
 }
 
 impl SharedDatabase {
@@ -61,17 +98,25 @@ impl SharedDatabase {
     }
 
     /// Take ownership of a database, deduplicating every relation (the store
-    /// maintains set semantics as an invariant) and starting at epoch `0`.
+    /// maintains set semantics as an invariant), interning its contents into the
+    /// flat id-space mirror, and starting at epoch `0`.
     pub fn new(mut db: Database) -> Self {
         for name in db.relation_names() {
             db.get_mut(&name)
                 .expect("name comes from the database")
                 .dedup();
         }
+        let mut dict = ValueDict::new();
+        let mut flat = FastHashMap::default();
+        for (name, rel) in db.iter() {
+            flat.insert(name.clone(), intern_relation(&mut dict, rel));
+        }
         SharedDatabase {
             db,
             epoch: 0,
             indexes: IndexRegistry::new(),
+            dict,
+            flat,
         }
     }
 
@@ -113,19 +158,91 @@ impl SharedDatabase {
         self.db
     }
 
-    /// Register a new relation (deduplicated on ingest).
+    /// The store-wide value dictionary.
+    pub fn dict(&self) -> &ValueDict {
+        &self.dict
+    }
+
+    /// A cheap immutable snapshot of the dictionary (resolves every id assigned
+    /// so far; see [`DictSnapshot`]).
+    pub fn dict_snapshot(&self) -> DictSnapshot {
+        self.dict.snapshot()
+    }
+
+    /// Point-in-time dictionary counters (entries, bytes, intern hit/miss).
+    pub fn dict_stats(&self) -> DictStats {
+        self.dict.stats()
+    }
+
+    /// The flat id-space mirror of one relation, if registered.
+    pub fn flat(&self, name: &str) -> Option<&RelationStore> {
+        self.flat.get(name)
+    }
+
+    /// Estimated heap footprint of all flat relation buffers, in bytes.
+    pub fn flat_bytes(&self) -> usize {
+        self.flat.values().map(RelationStore::approx_bytes).sum()
+    }
+
+    /// Per-relation flat-buffer footprints `(name, bytes)`, in name order.
+    pub fn flat_relation_bytes(&self) -> Vec<(String, usize)> {
+        let mut out: Vec<(String, usize)> = self
+            .flat
+            .iter()
+            .map(|(name, store)| (name.clone(), store.approx_bytes()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Resolve an id block back to a row through the dictionary.
+    ///
+    /// # Panics
+    /// Panics if any id was never assigned.
+    pub fn resolve_row(&self, ids: &[u32]) -> Row {
+        Row::new(
+            ids.iter()
+                .map(|&id| self.dict.resolve(id).clone())
+                .collect(),
+        )
+    }
+
+    /// Translate a row of values to dictionary ids into `out` (cleared first).
+    ///
+    /// Returns `false` — with `out` left in an unspecified state — if any value
+    /// was never interned, in which case the row cannot match anything stored.
+    pub fn lookup_ids(&self, row: &Row, out: &mut Vec<u32>) -> bool {
+        out.clear();
+        for value in row.iter() {
+            match self.dict.lookup(value) {
+                Some(id) => out.push(id),
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Register a new relation (deduplicated on ingest, interned into the flat
+    /// mirror).
     ///
     /// Fails if a relation with the same name already exists, like
     /// [`Database::add`].
     pub fn add_relation(&mut self, mut relation: Relation) -> Result<()> {
         relation.dedup();
-        self.db.add(relation)
+        let store = intern_relation(&mut self.dict, &relation);
+        let name = relation.name().to_string();
+        self.db.add(relation)?;
+        self.flat.insert(name, store);
+        Ok(())
     }
 
     /// Remove a relation, returning it if present.  Registry indexes over it are
-    /// dropped (outstanding [`IndexId`]s over it become dead and probe empty).
+    /// dropped (outstanding [`IndexId`]s over it become dead and probe empty),
+    /// and the flat mirror is discarded.  Dictionary ids are never reclaimed —
+    /// the id space is append-only by design.
     pub fn remove_relation(&mut self, name: &str) -> Option<Relation> {
         self.indexes.drop_relation(name);
+        self.flat.remove(name);
         self.db.remove(name)
     }
 
@@ -141,7 +258,7 @@ impl SharedDatabase {
     /// Find-or-build the shared index identified by `key`, bumping its refcount.
     ///
     /// Validates the key against the relation's schema (every referenced position
-    /// must exist).  A fresh index costs one `O(N)` build over the current
+    /// must exist).  A fresh index costs one `O(N)` build over the current flat
     /// contents; a live one is reused as-is — it has been maintained under every
     /// batch since it was built.  Pair every acquisition with a
     /// [`SharedDatabase::release_index`].
@@ -167,7 +284,11 @@ impl SharedDatabase {
                     + 1,
             });
         }
-        Ok(self.indexes.acquire(key, relation, self.epoch))
+        let flat = self
+            .flat
+            .get(&key.relation)
+            .expect("every registered relation has a flat mirror");
+        Ok(self.indexes.acquire(key, flat, self.epoch))
     }
 
     /// Drop one reference on a shared index; the structure is freed when the last
@@ -176,12 +297,36 @@ impl SharedDatabase {
         self.indexes.release(id);
     }
 
-    /// Stored rows of the index `id` matching `key`, or an empty slice.
+    /// Contiguous row blocks of the index `id` matching the key ids, or an empty
+    /// slice — the zero-allocation probe the delta-join hot path runs on.
     ///
-    /// Rows come back in stored-column coordinates (full rows, equality-filtered
-    /// at maintenance time); consumers project with their plan's positions.
-    pub fn probe_index(&self, id: IndexId, key: &Row) -> &[Row] {
-        self.indexes.probe(id, key)
+    /// Blocks are at the index's [`stride`](crate::registry::SharedIndex::stride)
+    /// in stored-column coordinates; consumers project with their plan's
+    /// positions and resolve ids only at result boundaries.
+    pub fn probe_index_ids(&self, id: IndexId, key: &[u32]) -> &[u32] {
+        self.indexes.probe_ids(id, key)
+    }
+
+    /// Stored rows of the index `id` matching `key`, resolved back to row space.
+    ///
+    /// Convenience/compatibility wrapper over [`SharedDatabase::probe_index_ids`]:
+    /// translates the probe key through the dictionary (a never-interned value
+    /// matches nothing) and materializes the matching blocks as [`Row`]s.  Hot
+    /// paths should probe in id space instead.
+    pub fn probe_index(&self, id: IndexId, key: &Row) -> Vec<Row> {
+        let mut key_ids = Vec::with_capacity(key.arity());
+        if !self.lookup_ids(key, &mut key_ids) {
+            return Vec::new();
+        }
+        let Some(entry) = self.indexes.get(id) else {
+            return Vec::new();
+        };
+        let (arity, stride) = (entry.arity(), entry.stride());
+        entry
+            .probe_ids(&key_ids)
+            .chunks_exact(stride)
+            .map(|block| self.resolve_row(&block[..arity]))
+            .collect()
     }
 
     /// The registry entry behind `id`, if it is live.
@@ -219,7 +364,8 @@ impl SharedDatabase {
     /// entries.  This is how a long-running front-end overlaps reads with the
     /// update stream: queries probe their snapshot without blocking (or being
     /// torn by) writers, while the steady state without outstanding snapshots
-    /// pays zero copies.
+    /// pays zero copies.  Pair with [`SharedDatabase::dict_snapshot`] to resolve
+    /// ids — the dictionary is append-only, so the pairing can never dangle.
     pub fn index_snapshot(&self) -> IndexSnapshot {
         self.indexes.snapshot(self.epoch)
     }
@@ -239,19 +385,21 @@ impl SharedDatabase {
         self.db.input_size()
     }
 
-    /// Estimated heap footprint in bytes.
+    /// Estimated heap footprint in bytes (row-space representation; see
+    /// [`SharedDatabase::flat_bytes`] for the id-space mirror).
     pub fn approx_bytes(&self) -> usize {
         self.db.approx_bytes()
     }
 
     /// Apply one delta batch: validate, normalize each relation's operations
-    /// against its (cached) membership, apply the net effect in place, and advance
-    /// the epoch.
+    /// against its (cached) membership, intern the net delta to id space, apply
+    /// both representations in place, and advance the epoch.
     ///
     /// The whole batch is validated before anything mutates — unknown relations or
     /// arity mismatches leave the store (and its epoch) untouched.  The returned
-    /// [`AppliedBatch`] carries the normalized per-relation deltas so that `N`
-    /// consumers can share one normalization pass.
+    /// [`AppliedBatch`] carries the normalized per-relation deltas in both row
+    /// and id space, so that `N` consumers can share one normalization and one
+    /// interning pass.
     pub fn apply_batch(&mut self, batch: &DeltaBatch) -> Result<AppliedBatch> {
         for (name, raw) in batch.iter() {
             let rel = self.db.get(name)?;
@@ -267,24 +415,42 @@ impl SharedDatabase {
         }
         let mut effect = DeltaEffect::default();
         let mut normalized = Vec::with_capacity(batch.relations().count());
+        let mut interned = Vec::with_capacity(batch.relations().count());
         let next_epoch = self.epoch + 1;
+        let mut ids: Vec<u32> = Vec::new();
         for (name, raw) in batch.iter() {
             let rel = self.db.get_mut(name).expect("validated above");
+            let arity = rel.schema().arity();
             let delta = normalize_delta(rel.cached_row_set(), raw);
             effect.absorb(rel.apply_normalized_delta(&delta));
+            // Intern the normalized delta once; every index and every counting
+            // side downstream consumes these ids instead of hashing values.
+            let mut id_delta = IdDelta::new(arity);
+            for (row, sign) in &delta {
+                ids.clear();
+                ids.extend(row.iter().map(|v| self.dict.intern(v)));
+                id_delta.push(&ids, *sign);
+            }
+            self.flat
+                .get_mut(name)
+                .expect("every registered relation has a flat mirror")
+                .apply_delta(&id_delta);
             // Maintain every registered index over this relation exactly once —
             // this is the pass N sharing views used to pay N times.  Touched
             // entries are stamped with the epoch this batch advances to; an
             // outstanding snapshot forces a copy-on-write, so its readers keep
             // their epoch while the live registry moves on.
-            self.indexes.apply_relation_delta(name, &delta, next_epoch);
+            self.indexes
+                .apply_relation_delta(name, &id_delta, next_epoch);
             normalized.push((name.to_string(), delta));
+            interned.push((name.to_string(), id_delta));
         }
         self.epoch = next_epoch;
         Ok(AppliedBatch {
             epoch: self.epoch,
             effect,
             normalized,
+            interned,
         })
     }
 }
@@ -293,11 +459,12 @@ impl fmt::Debug for SharedDatabase {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "SharedDatabase[epoch {}, {} relations, {} tuples, {} indexes]",
+            "SharedDatabase[epoch {}, {} relations, {} tuples, {} indexes, {} dict entries]",
             self.epoch,
             self.db.relation_count(),
             self.db.input_size(),
-            self.indexes.len()
+            self.indexes.len(),
+            self.dict.len()
         )
     }
 }
@@ -320,11 +487,20 @@ impl<'a> RelationRef<'a> {
         self.relation
     }
 
-    /// Probe a shared index of the owning store through this handle.
+    /// The relation's flat id-space mirror.
+    pub fn flat(&self) -> &'a RelationStore {
+        self.store
+            .flat(self.relation.name())
+            .expect("every registered relation has a flat mirror")
+    }
+
+    /// Probe a shared index of the owning store through this handle, resolving
+    /// matches back to row space.
     ///
     /// The index must be over **this** relation (checked in debug builds); rows
     /// come back as full stored rows, equality-filtered at maintenance time.
-    pub fn probe(&self, id: IndexId, key: &Row) -> &'a [Row] {
+    /// Hot paths should use [`SharedDatabase::probe_index_ids`] instead.
+    pub fn probe(&self, id: IndexId, key: &Row) -> Vec<Row> {
         debug_assert!(
             self.store
                 .index(id)
@@ -378,10 +554,12 @@ impl fmt::Debug for RelationRef<'_> {
 }
 
 /// The record of one batch applied to a [`SharedDatabase`]: the epoch it advanced
-/// the store to, the net effect, and the **normalized** per-relation deltas.
+/// the store to, the net effect, and the **normalized** per-relation deltas in
+/// both row space and dictionary-id space.
 ///
-/// Normalization happens once here; every registered view then consumes the same
-/// net deltas instead of re-deriving them against private membership sets.
+/// Normalization and interning happen once here; every registered view then
+/// consumes the same net deltas instead of re-deriving them against private
+/// membership sets.
 #[derive(Clone, Debug, Default)]
 pub struct AppliedBatch {
     /// The epoch the store advanced to by applying this batch.
@@ -392,6 +570,9 @@ pub struct AppliedBatch {
     /// relation whose operations all normalized away is present with an empty
     /// delta — consumers can distinguish "touched but redundant" from "untouched".
     pub normalized: Vec<(String, Vec<(Row, i64)>)>,
+    /// The same deltas in dictionary-id space (same relation order, same row
+    /// order) — what the maintenance hot path consumes.
+    pub interned: Vec<(String, IdDelta)>,
 }
 
 impl AppliedBatch {
@@ -415,6 +596,14 @@ impl AppliedBatch {
             .iter()
             .find(|(name, _)| name == relation)
             .map(|(_, ops)| ops.as_slice())
+    }
+
+    /// The interned delta against `relation`, if the batch touched it.
+    pub fn interned_ops(&self, relation: &str) -> Option<&IdDelta> {
+        self.interned
+            .iter()
+            .find(|(name, _)| name == relation)
+            .map(|(_, delta)| delta)
     }
 
     /// `true` iff no tuple actually changed.
@@ -451,6 +640,52 @@ mod tests {
     }
 
     #[test]
+    fn flat_mirror_tracks_the_row_space() {
+        let mut store = store();
+        // Ingest interned every distinct value: 1, 2, 3.
+        assert_eq!(store.dict().len(), 3);
+        let graph = store.flat("Graph").unwrap();
+        assert_eq!((graph.arity(), graph.len()), (2, 2));
+        assert_eq!(store.flat("Node").unwrap().len(), 1);
+        assert!(store.flat("Missing").is_none());
+        assert!(store.flat_bytes() > 0);
+        let per_rel = store.flat_relation_bytes();
+        assert_eq!(per_rel.len(), 2);
+        assert_eq!(per_rel[0].0, "Graph");
+
+        // Applying a batch keeps the mirror in lock-step and extends the dict.
+        let mut batch = DeltaBatch::new();
+        batch.insert("Graph", int_row([9, 1]));
+        batch.delete("Graph", int_row([2, 3]));
+        let applied = store.apply_batch(&batch).unwrap();
+        assert_eq!(store.flat("Graph").unwrap().len(), 2);
+        assert_eq!(store.dict().len(), 4, "only 9 is new");
+        let id_delta = applied.interned_ops("Graph").unwrap();
+        assert_eq!(id_delta.len(), 2);
+        // Interned rows resolve back to the row-space delta, in order.
+        let rows: Vec<(Row, i64)> = id_delta
+            .iter()
+            .map(|(ids, sign)| (store.resolve_row(ids), sign))
+            .collect();
+        let mut expect = applied.normalized_ops("Graph").unwrap().to_vec();
+        expect.sort();
+        let mut rows_sorted = rows.clone();
+        rows_sorted.sort();
+        assert_eq!(rows_sorted, expect);
+        assert!(applied.interned_ops("Missing").is_none());
+
+        // lookup_ids round-trips stored rows and rejects unseen values.
+        let mut ids = Vec::new();
+        assert!(store.lookup_ids(&int_row([9, 1]), &mut ids));
+        assert!(store.flat("Graph").unwrap().contains_ids(&ids));
+        assert!(!store.lookup_ids(&int_row([404]), &mut ids));
+        let stats = store.dict_stats();
+        assert_eq!(stats.entries, 4);
+        let snap = store.dict_snapshot();
+        assert_eq!(snap.len(), 4);
+    }
+
+    #[test]
     fn apply_batch_normalizes_versions_and_warms_cache() {
         let mut store = store();
         let mut batch = DeltaBatch::new();
@@ -466,6 +701,7 @@ mod tests {
         assert!(applied.touches("Graph") && applied.touches("Node"));
         assert_eq!(applied.normalized_ops("Node"), Some(&[][..]));
         assert!(applied.normalized_ops("Missing").is_none());
+        assert!(applied.interned_ops("Node").unwrap().is_empty());
         let mut ops = applied.normalized_ops("Graph").unwrap().to_vec();
         ops.sort();
         assert_eq!(ops, vec![(int_row([2, 3]), -1), (int_row([9, 9]), 1)]);
@@ -474,6 +710,7 @@ mod tests {
         let handle = store.relation("Graph").unwrap();
         assert_eq!(handle.epoch(), 1);
         assert_eq!(handle.len(), 2);
+        assert_eq!(handle.flat().len(), 2);
     }
 
     #[test]
@@ -490,6 +727,7 @@ mod tests {
         assert!(store.apply_batch(&unknown).is_err());
         assert_eq!(store.epoch(), 0);
         assert_eq!(store.input_size(), 3);
+        assert_eq!(store.dict().len(), 3, "no stray interning on failure");
     }
 
     #[test]
@@ -514,12 +752,14 @@ mod tests {
             ))
             .unwrap();
         assert_eq!(store.relation("R").unwrap().len(), 2);
+        assert_eq!(store.flat("R").unwrap().len(), 2);
         assert!(store
             .add_relation(Relation::from_int_rows("R", &["a"], vec![]))
             .is_err());
         let removed = store.remove_relation("R").unwrap();
         assert_eq!(removed.name(), "R");
         assert!(store.relation("R").is_err());
+        assert!(store.flat("R").is_none());
         assert_eq!(store.into_database().relation_count(), 0);
     }
 
@@ -538,6 +778,8 @@ mod tests {
         assert_eq!(store.index_stats().total_refs, 2);
         assert!(store.index_bytes() > 0);
         assert_eq!(store.probe_index(id, &int_row([2])), &[int_row([1, 2])]);
+        // A probe key containing a never-interned value matches nothing.
+        assert!(store.probe_index(id, &int_row([404])).is_empty());
 
         // One apply_batch maintains the index (no per-view work anywhere).
         let mut batch = DeltaBatch::new();
@@ -547,6 +789,12 @@ mod tests {
         assert_eq!(store.probe_index(id, &int_row([2])), &[int_row([7, 2])]);
         let handle = store.relation("Graph").unwrap();
         assert_eq!(handle.probe(id, &int_row([2])), &[int_row([7, 2])]);
+        // The same probe in id space returns the interned block directly.
+        let mut key_ids = Vec::new();
+        assert!(store.lookup_ids(&int_row([2]), &mut key_ids));
+        let blocks = store.probe_index_ids(id, &key_ids);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(store.resolve_row(blocks), int_row([7, 2]));
 
         // Bad keys are rejected; removal of the relation kills its indexes.
         assert!(store
@@ -584,7 +832,9 @@ mod tests {
             .unwrap();
         let snap = store.index_snapshot();
         assert_eq!(snap.epoch(), 0);
-        assert_eq!(snap.probe(id, &int_row([1])), &[int_row([1, 2])]);
+        let mut one = Vec::new();
+        assert!(store.lookup_ids(&int_row([1]), &mut one));
+        assert_eq!(store.resolve_row(snap.probe_ids(id, &one)), int_row([1, 2]));
 
         // Commit a batch: the live index moves to epoch 1, the snapshot stays
         // pinned at epoch 0 (the write copied the entry, not mutated it).
@@ -592,7 +842,7 @@ mod tests {
         batch.delete("Graph", int_row([1, 2]));
         batch.insert("Graph", int_row([1, 9]));
         store.apply_batch(&batch).unwrap();
-        assert_eq!(snap.probe(id, &int_row([1])), &[int_row([1, 2])]);
+        assert_eq!(store.resolve_row(snap.probe_ids(id, &one)), int_row([1, 2]));
         assert_eq!(snap.get(id).unwrap().epoch(), 0);
         assert_eq!(store.probe_index(id, &int_row([1])), &[int_row([1, 9])]);
         assert_eq!(store.index(id).unwrap().epoch(), 1);
@@ -608,6 +858,7 @@ mod tests {
         assert!(!r.is_empty());
         assert_eq!(r.rows().len(), r.len());
         assert_eq!(r.relation().name(), "Graph");
+        assert_eq!(r.flat().arity(), 2);
         assert!(format!("{r:?}").contains("epoch 0"));
         assert!(format!("{store:?}").contains("SharedDatabase"));
     }

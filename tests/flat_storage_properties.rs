@@ -1,0 +1,119 @@
+//! Property-based tests for the flat interned storage layer.
+//!
+//! The flat layout rests on two algebraic facts, checked here over random
+//! value mixes covering every [`Value`] variant:
+//!
+//! * **Interning is a bijection on the interned set**: `resolve(intern(v)) == v`
+//!   for every value, re-interning is stable (same id back), and distinct
+//!   values never collide on an id — this is what lets the hot path compare
+//!   raw `u32`s where it used to compare (and hash) whole values.
+//! * **Id-space comparison is value order**: `ValueDict::cmp_ids` must induce
+//!   exactly the total order of `Value: Ord`, regardless of arrival order —
+//!   sorting a relation by ids and sorting it by values must agree.
+//!
+//! A third property closes the loop with durability: a checkpoint of a random
+//! database — serialized in the v2 dictionary-encoded format — must read back
+//! to exactly the database that was written.
+
+use dcq_storage::checkpoint::{read_checkpoint, write_checkpoint};
+use dcq_storage::row::Row;
+use dcq_storage::{Database, Relation, Schema, Value, ValueDict};
+use proptest::prelude::*;
+
+/// Strategy: a random `Value` covering every variant, with collisions likely
+/// (small domains) so re-interning and duplicate handling get exercised.
+fn value_strategy() -> impl Strategy<Value = Value> {
+    (0u8..5, -40i64..40).prop_map(|(tag, n)| match tag {
+        0 => Value::Int(n),
+        // Magnitudes far outside the small domain, including the extremes.
+        1 => Value::Int(if n >= 0 {
+            i64::MAX - n
+        } else {
+            i64::MIN - n - 1
+        }),
+        2 => Value::str(format!("s{n}")),
+        3 => Value::str(String::new()),
+        _ => Value::Null,
+    })
+}
+
+fn values_strategy() -> impl Strategy<Value = Vec<Value>> {
+    proptest::collection::vec(value_strategy(), 1..80)
+}
+
+proptest! {
+    /// `resolve ∘ intern` is the identity, re-interning returns the same id,
+    /// `lookup` agrees with `intern`, and distinct values get distinct ids.
+    #[test]
+    fn intern_resolve_is_identity(values in values_strategy()) {
+        let mut dict = ValueDict::new();
+        let ids: Vec<u32> = values.iter().map(|v| dict.intern(v)).collect();
+        for (v, &id) in values.iter().zip(&ids) {
+            prop_assert_eq!(dict.resolve(id), v, "resolve must invert intern");
+            prop_assert_eq!(dict.lookup(v), Some(id), "lookup must agree with intern");
+            prop_assert_eq!(dict.intern(v), id, "re-interning must be stable");
+        }
+        // Injectivity both ways: equal values share an id, distinct values
+        // never do.
+        for (i, a) in values.iter().enumerate() {
+            for (j, b) in values.iter().enumerate() {
+                prop_assert_eq!(a == b, ids[i] == ids[j], "id equality must mirror value equality");
+            }
+        }
+        // The snapshot sees every id the live dict handed out.
+        let snap = dict.snapshot();
+        for (v, &id) in values.iter().zip(&ids) {
+            prop_assert_eq!(snap.resolve(id), Some(v));
+        }
+    }
+
+    /// `cmp_ids` induces exactly the `Value` total order, independent of the
+    /// order values arrived in the dictionary.
+    #[test]
+    fn id_comparison_is_value_order(values in values_strategy()) {
+        let mut dict = ValueDict::new();
+        let ids: Vec<u32> = values.iter().map(|v| dict.intern(v)).collect();
+        for (i, a) in values.iter().enumerate() {
+            for (j, b) in values.iter().enumerate() {
+                prop_assert_eq!(
+                    dict.cmp_ids(ids[i], ids[j]),
+                    a.cmp(b),
+                    "id-space comparison must equal value comparison"
+                );
+            }
+        }
+        // Sorting by id comparison and sorting by value must produce the same
+        // sequence of values.
+        let mut by_ids = ids.clone();
+        by_ids.sort_by(|&a, &b| dict.cmp_ids(a, b));
+        let mut by_values = values.clone();
+        by_values.sort();
+        let resolved: Vec<Value> = by_ids.iter().map(|&id| dict.resolve(id).clone()).collect();
+        prop_assert_eq!(resolved, by_values);
+    }
+
+    /// A v2 (dictionary-encoded) checkpoint of a random mixed-value database
+    /// reads back bit-for-bit equal.
+    #[test]
+    fn checkpoint_round_trips_random_databases(
+        pairs in proptest::collection::vec((value_strategy(), value_strategy()), 0..40),
+        epoch in 0u64..1000,
+    ) {
+        let mut rel = Relation::new("R", Schema::from_names(["a", "b"]));
+        for (a, b) in pairs {
+            rel.insert(Row::new(vec![a, b])).unwrap();
+        }
+        // Checkpoints serialize set-semantics stores; the reader dedups
+        // defensively, so feed it a distinct relation to compare against.
+        let mut db = Database::new();
+        db.add(rel.distinct()).unwrap();
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, epoch, &db).unwrap();
+        let (back_epoch, back) = read_checkpoint(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(back_epoch, epoch);
+        prop_assert_eq!(
+            back.get("R").unwrap().sorted_rows(),
+            db.get("R").unwrap().sorted_rows()
+        );
+    }
+}

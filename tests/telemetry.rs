@@ -109,6 +109,13 @@ fn exposition_is_well_formed_and_covers_every_layer() {
         "dcq_index_count",
         "dcq_index_inplace_writes_total",
         "dcq_index_cow_clones_total",
+        "dcq_dict_entries",
+        "dcq_dict_bytes",
+        "dcq_dict_intern_hits_total",
+        "dcq_dict_intern_misses_total",
+        "dcq_flat_bytes",
+        "dcq_flat_relation_bytes_graph",
+        "dcq_flat_relation_bytes_triple",
         "dcq_counting_index_probes_total",
         "dcq_counting_compensated_masks_total",
         "dcq_counting_deletion_index_builds_total",
@@ -127,6 +134,18 @@ fn exposition_is_well_formed_and_covers_every_layer() {
     let registry = engine.metrics_registry();
     assert!(registry.value("dcq_counting_index_probes_total").unwrap() > 0);
     assert!(engine.counting_telemetry().index_probes > 0);
+
+    // The flat interned layer is live: the dictionary interned the dataset
+    // (hits + misses both nonzero after the mixed workload), and the flat
+    // columns occupy real bytes.
+    assert!(registry.value("dcq_dict_entries").unwrap() > 0);
+    assert!(registry.value("dcq_dict_bytes").unwrap() > 0);
+    assert!(registry.value("dcq_dict_intern_misses_total").unwrap() > 0);
+    assert!(
+        registry.value("dcq_dict_intern_hits_total").unwrap() > 0,
+        "re-inserted values must hit the dictionary"
+    );
+    assert!(registry.value("dcq_flat_bytes").unwrap() > 0);
 
     // JSON-lines dump: one object per applied batch, oldest first.
     let json = engine.trace_json_lines();
