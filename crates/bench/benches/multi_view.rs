@@ -306,11 +306,15 @@ fn main() {
         BOXED_ROW_8_IDENTICAL_INDEX_BYTES as f64 / id8.index_bytes as f64,
     ));
 
-    // Parallel fan-out sweep: the 8-distinct-views scenario at worker widths
-    // 1/2/4/8.  Achievable speedup is bounded by the host's available
-    // parallelism (recorded in the JSON so readers can tell a scaling result
-    // from a single-core overhead check): with one hardware thread the series
-    // documents that the worker pool is overhead-neutral, not a speedup.
+    // Parallel sweep: the 8-distinct-views scenario at worker widths 1/2/4/8.
+    // Since the intra-batch parallelism work, worker width drives all three
+    // parallel mechanisms at once — per-view fan-out, the sharded commit
+    // (mirror + index shards), and the per-fold partition count (defaults to
+    // the width) — so this one series sweeps the whole pipeline.  Achievable
+    // speedup is bounded by the host's available parallelism (recorded in the
+    // JSON so readers can tell a scaling result from a single-core overhead
+    // check): with one hardware thread the series documents that the pools
+    // are overhead-neutral (host-limited), not a speedup.
     let host_parallelism = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -343,7 +347,8 @@ fn main() {
         .zip(&parallel_runs)
         .map(|(workers, m)| {
             format!(
-                "      {{\"workers\": {workers}, \"total_ms_per_batch\": {:.4}, \
+                "      {{\"workers\": {workers}, \"fold_partitions\": {workers}, \
+                 \"commit_shards\": 4, \"total_ms_per_batch\": {:.4}, \
                  \"speedup_vs_1_worker\": {:.3}}}",
                 m.total_ms_per_batch,
                 base_ms / m.total_ms_per_batch
@@ -352,7 +357,9 @@ fn main() {
         .collect();
     sections.push(format!(
         "  \"distinct_views_parallel\": {{\n    \"host_available_parallelism\": {host_parallelism},\n    \
-         \"note\": \"speedup is bounded by host parallelism; at 1 the sweep checks pool overhead only\",\n    \
+         \"note\": \"width drives view fan-out, sharded commit and fold partitions; speedup is \
+         bounded by host parallelism — at 1 the sweep documents host-limited overhead-neutrality, \
+         not scaling\",\n    \
          \"runs\": [\n{}\n    ]\n  }}",
         parallel_entries.join(",\n")
     ));

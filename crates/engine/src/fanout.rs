@@ -1,183 +1,10 @@
-//! The engine's worker-pool abstraction for per-view fan-out.
+//! The engine's view of the workspace worker pool.
 //!
-//! [`WorkerPool::run`] maps a function over a task list, preserving input
-//! order in the results.  With the `parallel` feature (default) and more than
-//! one configured worker, tasks are executed on scoped OS threads pulling from
-//! a shared atomic cursor — classic self-scheduling, so a mix of cheap
-//! (skipped) and expensive views balances itself without any splitting
-//! heuristic.  With the feature disabled, or one worker, or one task, the map
-//! runs inline on the caller's thread with zero overhead.
-//!
-//! The surface is deliberately rayon-shaped: `run(tasks, f)` is
-//! `tasks.into_par_iter().enumerate().map(f).collect()` — when the workspace
-//! gains network access, a `rayon` backend is one cfg'd method body (replace
-//! the scoped-thread block with `rayon::scope` / `par_iter`), with no caller
-//! changes.  Scoped `std` threads are used today because the build environment
-//! vendors no external crates; for the engine's workload — per-view
-//! maintenance costing tens of microseconds to tens of milliseconds — the
-//! ~10 µs per-`apply` spawn cost is noise.
-//!
-//! Panics in a worker propagate to the caller when the scope joins (after all
-//! workers finish), matching inline behavior closely enough for an engine
-//! whose views are not supposed to panic.
+//! The pool itself lives in `dcq_storage::fanout` so the sharded commit path
+//! ([`SharedDatabase::apply_batch`](dcq_storage::SharedDatabase::apply_batch))
+//! and the incremental layer's partitioned counting folds can schedule on the
+//! same seam; the engine's `parallel` feature forwards to `dcq-storage/parallel`
+//! so one switch still governs the whole stack.  This module only re-exports
+//! it under the engine's historical path.
 
-#[cfg(feature = "parallel")]
-use std::sync::atomic::{AtomicUsize, Ordering};
-#[cfg(feature = "parallel")]
-use std::sync::Mutex;
-
-/// A fixed-width pool of fan-out workers.
-///
-/// The pool holds no threads between calls — workers are scoped to each
-/// [`WorkerPool::run`] — so it is plain data: cheap to embed in an engine,
-/// trivially `Send + Sync`, and reconfigurable at any time.
-#[derive(Clone, Copy, Debug)]
-pub(crate) struct WorkerPool {
-    workers: usize,
-}
-
-impl WorkerPool {
-    /// A pool running `workers` tasks concurrently (clamped to at least 1).
-    pub fn new(workers: usize) -> Self {
-        WorkerPool {
-            workers: workers.max(1),
-        }
-    }
-
-    /// The default width: every hardware thread with the `parallel` feature on,
-    /// `1` (strictly inline execution) with it off.
-    pub fn default_workers() -> usize {
-        if cfg!(feature = "parallel") {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            1
-        }
-    }
-
-    /// The configured worker count.
-    pub fn workers(&self) -> usize {
-        self.workers
-    }
-
-    /// Map `f` over `tasks`, returning the results **in input order**.
-    ///
-    /// `f` runs once per task (exactly-once, whatever the thread layout) and
-    /// receives the task's input index, so callers can carry slot identity
-    /// through the pool without threading it into the task type.
-    pub fn run<T, R, F>(&self, tasks: Vec<T>, f: F) -> Vec<R>
-    where
-        T: Send,
-        R: Send,
-        F: Fn(usize, T) -> R + Sync,
-    {
-        #[cfg(feature = "parallel")]
-        {
-            let workers = self.workers.min(tasks.len());
-            if workers > 1 {
-                return run_scoped(workers, tasks, &f);
-            }
-        }
-        tasks
-            .into_iter()
-            .enumerate()
-            .map(|(index, task)| f(index, task))
-            .collect()
-    }
-}
-
-/// Self-scheduling execution on `workers` scoped threads: each worker claims
-/// the next unstarted task off an atomic cursor until none remain.
-#[cfg(feature = "parallel")]
-fn run_scoped<T, R, F>(workers: usize, tasks: Vec<T>, f: &F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(usize, T) -> R + Sync,
-{
-    let total = tasks.len();
-    // Tasks move out through, and results move back through, per-slot mutexes:
-    // each slot is touched by exactly one worker, so the locks never contend —
-    // they only launder the cross-thread handoff safely without `unsafe`.
-    let task_slots: Vec<Mutex<Option<T>>> =
-        tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let result_slots: Vec<Mutex<Option<R>>> = (0..total).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let index = cursor.fetch_add(1, Ordering::Relaxed);
-                if index >= total {
-                    break;
-                }
-                let task = task_slots[index]
-                    .lock()
-                    .expect("task slot lock")
-                    .take()
-                    .expect("each task is claimed exactly once");
-                let result = f(index, task);
-                *result_slots[index].lock().expect("result slot lock") = Some(result);
-            });
-        }
-    });
-    result_slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("no worker panicked holding a result slot")
-                .expect("every claimed task produced a result")
-        })
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn results_preserve_input_order() {
-        for workers in [1, 2, 4, 9] {
-            let pool = WorkerPool::new(workers);
-            assert_eq!(pool.workers(), workers);
-            let tasks: Vec<u64> = (0..23).collect();
-            let out = pool.run(tasks, |index, task| {
-                assert_eq!(index as u64, task);
-                task * 10
-            });
-            assert_eq!(out, (0..23).map(|t| t * 10).collect::<Vec<_>>());
-        }
-    }
-
-    #[test]
-    fn zero_workers_clamp_to_one_and_empty_input_is_fine() {
-        let pool = WorkerPool::new(0);
-        assert_eq!(pool.workers(), 1);
-        let out: Vec<u64> = pool.run(Vec::<u64>::new(), |_, t| t);
-        assert!(out.is_empty());
-        assert!(WorkerPool::default_workers() >= 1);
-    }
-
-    #[cfg(feature = "parallel")]
-    #[test]
-    fn tasks_actually_fan_out_across_threads() {
-        use std::sync::Mutex;
-        // With workers > tasks is fine too; record which threads ran tasks.
-        let pool = WorkerPool::new(4);
-        let seen: Mutex<Vec<std::thread::ThreadId>> = Mutex::new(Vec::new());
-        let out = pool.run((0..64).collect::<Vec<u64>>(), |_, task| {
-            let id = std::thread::current().id();
-            let mut seen = seen.lock().unwrap();
-            if !seen.contains(&id) {
-                seen.push(id);
-            }
-            task
-        });
-        assert_eq!(out.len(), 64);
-        let caller = std::thread::current().id();
-        assert!(
-            !seen.lock().unwrap().contains(&caller),
-            "parallel path must not run tasks inline"
-        );
-    }
-}
+pub(crate) use dcq_storage::fanout::WorkerPool;

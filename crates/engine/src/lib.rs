@@ -634,6 +634,9 @@ pub struct DcqEngine {
     /// The per-view fan-out workers `apply` distributes over; see
     /// [`DcqEngine::set_workers`].
     fanout: WorkerPool,
+    /// Explicit intra-view fold partition count, or `None` to follow the
+    /// fan-out width; see [`DcqEngine::set_fold_partitions`].
+    fold_partitions: Option<usize>,
     log: UpdateLog,
     /// Scheduled-compaction bounds checked in `apply`'s policy tail; default
     /// unbounded (no scheduled compaction).
@@ -675,15 +678,19 @@ impl DcqEngine {
     pub fn with_database_at(db: Database, epoch: Epoch) -> Self {
         let mut log = UpdateLog::new();
         log.rebase(epoch);
+        let workers = WorkerPool::default_workers();
+        let mut store = SharedDatabase::new_at(db, epoch);
+        store.set_commit_workers(workers);
         DcqEngine {
-            store: SharedDatabase::new_at(db, epoch),
+            store,
             plans: PlanCache::new(),
             handles: Vec::new(),
             views: Vec::new(),
             by_key: FastHashMap::default(),
             pool: CountingPool::new(),
             cost_model: MaintenanceCostModel::default(),
-            fanout: WorkerPool::new(WorkerPool::default_workers()),
+            fanout: WorkerPool::new(workers),
+            fold_partitions: None,
             log,
             compaction: CompactionPolicy::default(),
             checkpoint_sink: None,
@@ -712,12 +719,44 @@ impl DcqEngine {
     /// Set the fan-out width (clamped to at least 1; `1` forces strictly
     /// sequential, inline application in slot order).
     ///
+    /// The width also flows into the other two parallel seams: the store's
+    /// sharded commit ([`SharedDatabase::set_commit_workers`]) and — unless
+    /// pinned via [`DcqEngine::set_fold_partitions`] — the counting sides'
+    /// intra-view fold partitioning.
+    ///
     /// Worker count never affects *what* the engine computes — results, stats
     /// and shared-state counters are bit-identical at any width
     /// (`tests/parallel_determinism.rs`) — only how per-view work is scheduled
     /// within one `apply`.
     pub fn set_workers(&mut self, workers: usize) {
         self.fanout = WorkerPool::new(workers);
+        self.store.set_commit_workers(workers);
+        self.push_fold_partitions();
+    }
+
+    /// Pin the counting sides' intra-view fold partition count, or pass `None`
+    /// to follow the fan-out width (the default).  Like the fan-out width, a
+    /// pure scheduling knob: results, stats and telemetry counters are
+    /// bit-identical at any value (`tests/parallel_determinism.rs`).
+    pub fn set_fold_partitions(&mut self, partitions: Option<usize>) {
+        self.fold_partitions = partitions.map(|n| n.max(1));
+        self.push_fold_partitions();
+    }
+
+    /// The effective intra-view fold partition count (the pinned value, else
+    /// the fan-out width).
+    pub fn fold_partitions(&self) -> usize {
+        self.fold_partitions
+            .unwrap_or_else(|| self.fanout.workers())
+    }
+
+    /// Push the effective fold partition count onto every live view (each view
+    /// re-applies it to sides a later migration builds).
+    fn push_fold_partitions(&mut self) {
+        let effective = self.fold_partitions();
+        for shared in self.views.iter_mut().flatten() {
+            shared.view.set_fold_partitions(effective);
+        }
     }
 
     /// Read-only access to the database of record.
@@ -849,7 +888,7 @@ impl DcqEngine {
                 // than the structural one: building the likely-right engine in
                 // one piece at registration avoids an almost-certain early
                 // migration whose mid-stream state is slower to probe.
-                let view = DcqView::build_shared_with_initial(
+                let mut view = DcqView::build_shared_with_initial(
                     dcq,
                     plan,
                     &mut self.store,
@@ -857,6 +896,7 @@ impl DcqEngine {
                     &mut self.pool,
                     self.cost_model.initial_kind(),
                 )?;
+                view.set_fold_partitions(self.fold_partitions());
                 let shared = SharedView {
                     view,
                     refs: 1,
@@ -1371,10 +1411,17 @@ impl DcqEngine {
         .set_total(dict.intern_misses);
         reg.gauge(
             "dcq_flat_bytes",
-            "Estimated flat id-column heap footprint across all relations, bytes",
+            "Allocated flat id-column heap footprint across all relations, bytes",
         )
         .set(self.store.flat_bytes() as u64);
-        for (name, bytes) in self.store.flat_relation_bytes() {
+        reg.gauge(
+            "dcq_flat_live_bytes",
+            "Flat id-column heap bytes attributable to live rows (gap to \
+             dcq_flat_bytes is reclaimable slack bounded by the compaction \
+             threshold)",
+        )
+        .set(self.store.flat_live_bytes() as u64);
+        for (name, live, allocated) in self.store.flat_relation_bytes() {
             let sanitized: String = name
                 .chars()
                 .map(|c| {
@@ -1387,9 +1434,52 @@ impl DcqEngine {
                 .collect();
             reg.gauge(
                 &format!("dcq_flat_relation_bytes_{sanitized}"),
-                "Estimated flat id-column heap footprint of one relation, bytes",
+                "Allocated flat id-column heap footprint of one relation, bytes",
             )
-            .set(bytes as u64);
+            .set(allocated as u64);
+            reg.gauge(
+                &format!("dcq_flat_relation_live_bytes_{sanitized}"),
+                "Live-row flat id-column heap footprint of one relation, bytes",
+            )
+            .set(live as u64);
+        }
+        for (shard, rows) in self.store.commit_shard_rows().iter().enumerate() {
+            reg.gauge(
+                &format!("dcq_commit_shard_rows_{shard}"),
+                "Delta rows routed to one commit shard since startup (skew gauge)",
+            )
+            .set(*rows);
+        }
+        reg.gauge(
+            "dcq_counting_fold_partitions",
+            "Configured intra-view fold partitions (effective value)",
+        )
+        .set(self.fold_partitions() as u64);
+        // Wall-clock per fold partition, summed across the distinct live
+        // counting sides' most recent owned folds — a skew gauge, not part of
+        // the deterministic surface.
+        let mut partition_ns: Vec<u64> = Vec::new();
+        let mut seen_sides: FastHashSet<usize> = FastHashSet::default();
+        for shared in self.views.iter().flatten() {
+            for (side, ns) in shared.view.fold_partition_ns() {
+                if !seen_sides.insert(side) {
+                    continue;
+                }
+                if partition_ns.len() < ns.len() {
+                    partition_ns.resize(ns.len(), 0);
+                }
+                for (slot, v) in ns.iter().enumerate() {
+                    partition_ns[slot] += v;
+                }
+            }
+        }
+        for (slot, ns) in partition_ns.iter().enumerate() {
+            reg.gauge(
+                &format!("dcq_counting_fold_partition_ns_{slot}"),
+                "Wall-clock ns one fold partition spent in the latest owned \
+                 folds, summed over live counting sides (skew gauge)",
+            )
+            .set(*ns);
         }
 
         let counting = self.counting_telemetry();

@@ -57,9 +57,9 @@ use crate::tele;
 use crate::{IncrementalError, Result};
 use dcq_core::delta_plan::{build_delta_plans, AtomBinding, CqDeltaPlans};
 use dcq_core::query::ConjunctiveQuery;
-use dcq_storage::hash::{FastHashMap, FastHashSet};
+use dcq_storage::hash::{shard_of_ids, FastHashMap, FastHashSet};
 use dcq_storage::{
-    AppliedBatch, Epoch, IdDelta, IdKey, IndexId, Relation, Row, Schema, SharedDatabase,
+    AppliedBatch, Epoch, IdDelta, IdKey, IndexId, Relation, Row, Schema, SharedDatabase, WorkerPool,
 };
 use std::sync::Arc;
 
@@ -149,9 +149,17 @@ pub struct CountingCq {
     last_delta: Arc<HeadDelta>,
     /// Per-step deletion-key indexes built across the engine's lifetime.  These
     /// are the compensated-probe setup cost of a batch: they must be **zero**
-    /// for insert-only traffic (the index is built lazily, only when the step's
-    /// compensation actually restores deleted rows).
+    /// for insert-only traffic (the index is built only when the step's
+    /// compensation restores deleted rows — the compensation pre-pass skips
+    /// relations the batch deleted nothing from).
     deletion_index_builds: u64,
+    /// Number of hash-disjoint partitions the telescoped fold splits each
+    /// delta into (`1` = strictly sequential).  A pure scheduling knob: counts,
+    /// head deltas and every telemetry counter are bit-identical at any value.
+    fold_partitions: usize,
+    /// Wall-clock nanoseconds each partition of the most recent owned fold
+    /// spent, indexed by partition (skew diagnostic; empty before any fold).
+    last_partition_ns: Vec<u64>,
     /// Cumulative work counters (no-ops without the `telemetry` feature); see
     /// [`CountingTelemetry`] for the semantics of each.
     index_probes: tele::Counter,
@@ -261,6 +269,8 @@ impl CountingCq {
             epoch: store.epoch(),
             last_delta: Arc::new(HeadDelta::new()),
             deletion_index_builds: 0,
+            fold_partitions: 1,
+            last_partition_ns: Vec::new(),
             index_probes: tele::Counter::default(),
             compensated_masks: tele::Counter::default(),
             compensated_restores: tele::Counter::default(),
@@ -364,6 +374,27 @@ impl CountingCq {
         self.deletion_index_builds
     }
 
+    /// Set how many hash-disjoint partitions future folds split each delta
+    /// into (clamped to at least 1).  Purely a scheduling knob — see
+    /// [`CountingCq::fold_partitions`].
+    pub fn set_fold_partitions(&mut self, partitions: usize) {
+        self.fold_partitions = partitions.max(1);
+    }
+
+    /// The configured fold partition count.  Results, counts and telemetry
+    /// counters are bit-identical at any value; only the wall-clock schedule
+    /// changes.
+    pub fn fold_partitions(&self) -> usize {
+        self.fold_partitions
+    }
+
+    /// Wall-clock nanoseconds each partition of the most recent owned fold
+    /// spent (empty before the first fold).  A skew diagnostic, **not** part
+    /// of the deterministic surface.
+    pub fn last_partition_ns(&self) -> &[u64] {
+        &self.last_partition_ns
+    }
+
     /// Cumulative work counters of this engine (all zero except
     /// `deletion_index_builds` without the `telemetry` feature).
     pub fn telemetry(&self) -> CountingTelemetry {
@@ -432,69 +463,61 @@ impl CountingCq {
     /// reused buffer, and matches extend the flat buffer in place.  Nothing in
     /// the fold hashes a value or allocates a row — the head delta it returns
     /// is itself packed ids.
+    ///
+    /// ## Partitioned execution
+    ///
+    /// The fold is **multilinear in the delta rows**: every accumulated row
+    /// traces back to exactly one seed row of exactly one occurrence, and the
+    /// per-row step work only reads shared state (indexes, compensation
+    /// caches).  So the delta rows are split into [`fold_partitions`]
+    /// hash-disjoint partitions ([`shard_of_ids`] over the full row — the same
+    /// routing the sharded commit uses) and each partition telescopes its rows
+    /// independently on a worker, into a partition-local head map.  The
+    /// compensation caches are built in a sequential pre-pass (they depend
+    /// only on the batch, not on the partitioning), the partition head maps
+    /// merge by ℤ-addition (commutative), and the merged head delta is sorted
+    /// by packed key before it touches the count map — so counts, head deltas
+    /// and every telemetry counter are **bit-identical at any partition
+    /// count**, K is purely a wall-clock knob.
+    ///
+    /// [`fold_partitions`]: CountingCq::fold_partitions
     fn fold(&mut self, deltas: &[(&str, &IdDelta)], store: &SharedDatabase) -> HeadDelta {
         self.folds_owned.inc();
+        let nparts = self.fold_partitions.max(1);
         let plans = Arc::clone(&self.plans);
-        let mut head_ids: FastHashMap<IdKey, i64> = FastHashMap::default();
-        let mut pending: FastHashMap<&str, PendingDelta<'_>> = deltas
+        let pending: FastHashMap<&str, PendingDelta<'_>> = deltas
             .iter()
             .map(|(name, delta)| (*name, PendingDelta::of(delta)))
+            .collect();
+        // Fold position of each touched relation: relation `j` is probed in
+        // its **old** state exactly while a relation at a position `> j` is
+        // being telescoped (plus the same-relation `step.atom > d` case).
+        let order: FastHashMap<&str, usize> = deltas
+            .iter()
+            .enumerate()
+            .map(|(j, (name, _))| (*name, j))
             .collect();
         // Compensation structures, memoized per index spec (or relation): they
         // depend only on the probed relation's (fold-constant) pending delta
         // and the spec's key columns, so one build serves every step and
-        // occurrence probing through that spec.
+        // occurrence probing through that spec.  Built eagerly in one
+        // sequential pre-pass over the (relation, occurrence, step) space —
+        // `O(plan size + |Δ|)`, no probes — so the parallel section below
+        // reads them immutably and `deletion_index_builds` never depends on
+        // the partition schedule.
         let mut mask_cache: FastHashMap<&str, FastHashSet<&[u32]>> = FastHashMap::default();
         let mut plus_cache: FastHashMap<usize, FastHashMap<IdKey, Vec<&[u32]>>> =
             FastHashMap::default();
         let mut minus_cache: FastHashMap<usize, FastHashMap<IdKey, Vec<&[u32]>>> =
             FastHashMap::default();
-        // Scratch buffers reused across occurrences and steps.
-        let mut key_buf: Vec<u32> = Vec::new();
-        let mut acc_ids: Vec<u32> = Vec::new();
-        let mut acc_mults: Vec<i64> = Vec::new();
-        let mut next_ids: Vec<u32> = Vec::new();
-        let mut next_mults: Vec<i64> = Vec::new();
-        for (name, delta) in deltas {
-            let own = pending.remove(*name).unwrap_or_default();
+        for (j, (name, _)) in deltas.iter().enumerate() {
             for &d in plans.occurrences_of(name) {
-                let binding = &plans.atoms[d];
-                // Seed the accumulator with the delta bound at occurrence `d`
-                // (equality filter + projection; injective, so signs carry over).
-                let mut acc_stride = binding.keep_positions.len();
-                acc_ids.clear();
-                acc_mults.clear();
-                for (ids, sign) in delta.iter() {
-                    if admits_ids(binding, ids) {
-                        acc_ids.extend(binding.keep_positions.iter().map(|&p| ids[p]));
-                        acc_mults.push(sign);
-                    }
-                }
-                let plan = &plans.occurrence_plans[d];
-                for step in &plan.steps {
-                    if acc_mults.is_empty() {
-                        break;
-                    }
+                for step in &plans.occurrence_plans[d].steps {
                     let probed = &plans.atoms[step.atom];
                     let spec = &plans.index_specs[step.index];
-                    let index = self.index_ids[step.index];
-                    // Blocks come back at the index's stride (nullary rows are
-                    // sentinel-padded); a dead index probes empty, stride moot.
-                    // The entry is resolved once per step so the probe loop
-                    // skips the registry's slot/generation indirection.
-                    let entry = store.index(index);
-                    let (probed_arity, stride) = match entry {
-                        Some(entry) => (entry.arity(), entry.stride()),
-                        None => (0, 1),
-                    };
-                    // Which state must this atom be probed in?  Same relation:
-                    // occurrences before `d` already telescoped (new), after `d`
-                    // not yet (old).  Other relations: old exactly while their
-                    // delta is still pending in this fold.
-                    let comp: Option<&PendingDelta<'_>> = if probed.relation == *name {
-                        (step.atom > d).then_some(&own)
-                    } else {
-                        pending.get(probed.relation.as_str())
+                    let Some(c) = pending_comp(&pending, &order, j, name, d, step.atom, probed)
+                    else {
+                        continue;
                     };
                     // The probed rows the batch inserted are absent in the old
                     // state the step must observe.  Two exact ways to subtract
@@ -514,121 +537,207 @@ impl CountingCq {
                     //   set.  One hash per block, but the accumulator collapses
                     //   to the (empty) old state immediately instead of
                     //   carrying twice the full join forward.
-                    let large_plus = comp.is_some_and(|c| c.plus.len() > NEGATION_LIMIT);
-                    let mask: Option<&FastHashSet<&[u32]>> = match comp {
-                        Some(c) if large_plus => Some(
-                            mask_cache
-                                .entry(probed.relation.as_str())
-                                .or_insert_with(|| c.plus.iter().copied().collect()),
-                        ),
-                        _ => None,
-                    };
-                    let plus_by_key: Option<&FastHashMap<IdKey, Vec<&[u32]>>> = match comp {
-                        Some(c) if !large_plus && !c.plus.is_empty() => {
-                            Some(plus_cache.entry(step.index).or_insert_with(|| {
-                                key_grouped(&c.plus, probed, &spec.key_positions)
-                            }))
-                        }
-                        _ => None,
-                    };
+                    if c.plus.len() > NEGATION_LIMIT {
+                        mask_cache
+                            .entry(probed.relation.as_str())
+                            .or_insert_with(|| c.plus.iter().copied().collect());
+                    } else if !c.plus.is_empty() {
+                        plus_cache
+                            .entry(step.index)
+                            .or_insert_with(|| key_grouped(&c.plus, probed, &spec.key_positions));
+                    }
                     // Pre-index the compensation's deleted rows by this step's
                     // probe key (one `O(|Δ−|)` pass), so restoring them costs
                     // `O(matches)` per accumulated row instead of `O(|Δ−|)` —
-                    // without this, large deltas degrade quadratically.  Built
-                    // lazily and memoized per spec: a batch that deletes
-                    // nothing from the probed relation pays no setup at all,
-                    // so insert-only traffic (the common upsert stream) skips
-                    // this allocation on every step of every occurrence.
-                    let minus_by_key: Option<&FastHashMap<IdKey, Vec<&[u32]>>> = match comp {
-                        Some(c) if !c.minus.is_empty() => {
-                            Some(minus_cache.entry(step.index).or_insert_with(|| {
-                                self.deletion_index_builds += 1;
-                                key_grouped(&c.minus, probed, &spec.key_positions)
-                            }))
-                        }
-                        _ => None,
-                    };
-                    next_ids.clear();
-                    next_mults.clear();
-                    for i in 0..acc_mults.len() {
-                        let row = &acc_ids[i * acc_stride..(i + 1) * acc_stride];
-                        let mult = acc_mults[i];
-                        key_buf.clear();
-                        key_buf.extend(step.acc_key_positions.iter().map(|&p| row[p]));
-                        self.index_probes.inc();
-                        let blocks = entry.map_or(&[][..], |e| e.probe_ids(&key_buf));
-                        if let Some(plus) = mask {
-                            for block in blocks.chunks_exact(stride) {
-                                let stored = &block[..probed_arity];
-                                if plus.contains(stored) {
-                                    // inserted this batch → absent in the old state
-                                    self.compensated_masks.inc();
-                                    continue;
-                                }
-                                next_ids.extend_from_slice(row);
-                                next_ids.extend(step.append_positions.iter().map(|&p| stored[p]));
-                                next_mults.push(mult);
-                            }
-                        } else {
-                            for block in blocks.chunks_exact(stride) {
-                                let stored = &block[..probed_arity];
-                                next_ids.extend_from_slice(row);
-                                next_ids.extend(step.append_positions.iter().map(|&p| stored[p]));
-                                next_mults.push(mult);
-                            }
-                        }
-                        if let Some(by_key) = &plus_by_key {
-                            // Inserted this batch → absent in the old state but
-                            // scanned unfiltered above; the negative twin
-                            // cancels the contribution exactly.
-                            for &stored in by_key
-                                .get(key_buf.as_slice())
-                                .map(Vec::as_slice)
-                                .unwrap_or(&[])
-                            {
-                                self.compensated_masks.inc();
-                                next_ids.extend_from_slice(row);
-                                next_ids.extend(step.append_positions.iter().map(|&p| stored[p]));
-                                next_mults.push(-mult);
-                            }
-                        }
-                        if let Some(by_key) = &minus_by_key {
-                            // Deleted this batch → present in the old state but
-                            // already gone from the shared index; restore them.
-                            for &stored in by_key
-                                .get(key_buf.as_slice())
-                                .map(Vec::as_slice)
-                                .unwrap_or(&[])
-                            {
-                                self.compensated_restores.inc();
-                                next_ids.extend_from_slice(row);
-                                next_ids.extend(step.append_positions.iter().map(|&p| stored[p]));
-                                next_mults.push(mult);
-                            }
+                    // without this, large deltas degrade quadratically.  A
+                    // batch that deletes nothing from the probed relation pays
+                    // no setup at all, so insert-only traffic (the common
+                    // upsert stream) skips this allocation entirely.
+                    if !c.minus.is_empty() {
+                        minus_cache.entry(step.index).or_insert_with(|| {
+                            self.deletion_index_builds += 1;
+                            key_grouped(&c.minus, probed, &spec.key_positions)
+                        });
+                    }
+                }
+            }
+        }
+
+        // Parallel section: each partition telescopes the delta rows that hash
+        // to it, reading the shared store and caches immutably and writing a
+        // partition-local head map plus local work counters.
+        let index_ids: &[IndexId] = &self.index_ids;
+        let run_partition = |part: usize| -> PartitionFold {
+            let started = std::time::Instant::now();
+            let mut out = PartitionFold::default();
+            let mut key_buf: Vec<u32> = Vec::new();
+            let mut acc_ids: Vec<u32> = Vec::new();
+            let mut acc_mults: Vec<i64> = Vec::new();
+            let mut next_ids: Vec<u32> = Vec::new();
+            let mut next_mults: Vec<i64> = Vec::new();
+            for (j, (name, delta)) in deltas.iter().enumerate() {
+                for &d in plans.occurrences_of(name) {
+                    let binding = &plans.atoms[d];
+                    // Seed the accumulator with this partition's share of the
+                    // delta bound at occurrence `d` (equality filter +
+                    // projection; injective, so signs carry over).
+                    let mut acc_stride = binding.keep_positions.len();
+                    acc_ids.clear();
+                    acc_mults.clear();
+                    for (ids, sign) in delta.iter() {
+                        if admits_ids(binding, ids) && shard_of_ids(ids, nparts) == part {
+                            acc_ids.extend(binding.keep_positions.iter().map(|&p| ids[p]));
+                            acc_mults.push(sign);
                         }
                     }
-                    std::mem::swap(&mut acc_ids, &mut next_ids);
-                    std::mem::swap(&mut acc_mults, &mut next_mults);
-                    acc_stride += step.append_positions.len();
+                    let plan = &plans.occurrence_plans[d];
+                    for step in &plan.steps {
+                        if acc_mults.is_empty() {
+                            break;
+                        }
+                        let probed = &plans.atoms[step.atom];
+                        let index = index_ids[step.index];
+                        // Blocks come back at the index's stride (nullary rows
+                        // are sentinel-padded); a dead index probes empty,
+                        // stride moot.  The entry is resolved once per step so
+                        // the probe loop skips the registry's slot/generation
+                        // indirection.
+                        let entry = store.index(index);
+                        let (probed_arity, stride) = match entry {
+                            Some(entry) => (entry.arity(), entry.stride()),
+                            None => (0, 1),
+                        };
+                        // Which state must this atom be probed in?  Resolved
+                        // from fold positions alone (see `pending_comp`), so
+                        // every partition answers identically.
+                        let comp = pending_comp(&pending, &order, j, name, d, step.atom, probed);
+                        let large_plus = comp.is_some_and(|c| c.plus.len() > NEGATION_LIMIT);
+                        let mask: Option<&FastHashSet<&[u32]>> = if large_plus {
+                            mask_cache.get(probed.relation.as_str())
+                        } else {
+                            None
+                        };
+                        let plus_by_key: Option<&FastHashMap<IdKey, Vec<&[u32]>>> =
+                            if comp.is_some() && !large_plus {
+                                plus_cache.get(&step.index)
+                            } else {
+                                None
+                            };
+                        let minus_by_key: Option<&FastHashMap<IdKey, Vec<&[u32]>>> =
+                            if comp.is_some() {
+                                minus_cache.get(&step.index)
+                            } else {
+                                None
+                            };
+                        next_ids.clear();
+                        next_mults.clear();
+                        for i in 0..acc_mults.len() {
+                            let row = &acc_ids[i * acc_stride..(i + 1) * acc_stride];
+                            let mult = acc_mults[i];
+                            key_buf.clear();
+                            key_buf.extend(step.acc_key_positions.iter().map(|&p| row[p]));
+                            out.index_probes += 1;
+                            let blocks = entry.map_or(&[][..], |e| e.probe_ids(&key_buf));
+                            if let Some(plus) = mask {
+                                for block in blocks.chunks_exact(stride) {
+                                    let stored = &block[..probed_arity];
+                                    if plus.contains(stored) {
+                                        // inserted this batch → absent in the old state
+                                        out.compensated_masks += 1;
+                                        continue;
+                                    }
+                                    next_ids.extend_from_slice(row);
+                                    next_ids
+                                        .extend(step.append_positions.iter().map(|&p| stored[p]));
+                                    next_mults.push(mult);
+                                }
+                            } else {
+                                for block in blocks.chunks_exact(stride) {
+                                    let stored = &block[..probed_arity];
+                                    next_ids.extend_from_slice(row);
+                                    next_ids
+                                        .extend(step.append_positions.iter().map(|&p| stored[p]));
+                                    next_mults.push(mult);
+                                }
+                            }
+                            if let Some(by_key) = &plus_by_key {
+                                // Inserted this batch → absent in the old state
+                                // but scanned unfiltered above; the negative
+                                // twin cancels the contribution exactly.
+                                for &stored in by_key
+                                    .get(key_buf.as_slice())
+                                    .map(Vec::as_slice)
+                                    .unwrap_or(&[])
+                                {
+                                    out.compensated_masks += 1;
+                                    next_ids.extend_from_slice(row);
+                                    next_ids
+                                        .extend(step.append_positions.iter().map(|&p| stored[p]));
+                                    next_mults.push(-mult);
+                                }
+                            }
+                            if let Some(by_key) = &minus_by_key {
+                                // Deleted this batch → present in the old state
+                                // but already gone from the shared index;
+                                // restore them.
+                                for &stored in by_key
+                                    .get(key_buf.as_slice())
+                                    .map(Vec::as_slice)
+                                    .unwrap_or(&[])
+                                {
+                                    out.compensated_restores += 1;
+                                    next_ids.extend_from_slice(row);
+                                    next_ids
+                                        .extend(step.append_positions.iter().map(|&p| stored[p]));
+                                    next_mults.push(mult);
+                                }
+                            }
+                        }
+                        std::mem::swap(&mut acc_ids, &mut next_ids);
+                        std::mem::swap(&mut acc_mults, &mut next_mults);
+                        acc_stride += step.append_positions.len();
+                    }
+                    for i in 0..acc_mults.len() {
+                        let row = &acc_ids[i * acc_stride..(i + 1) * acc_stride];
+                        key_buf.clear();
+                        key_buf.extend(plan.head_positions.iter().map(|&p| row[p]));
+                        *out.head.entry(IdKey::from_slice(&key_buf)).or_insert(0) += acc_mults[i];
+                    }
                 }
-                for i in 0..acc_mults.len() {
-                    let row = &acc_ids[i * acc_stride..(i + 1) * acc_stride];
-                    key_buf.clear();
-                    key_buf.extend(plan.head_positions.iter().map(|&p| row[p]));
-                    *head_ids.entry(IdKey::from_slice(&key_buf)).or_insert(0) += acc_mults[i];
-                }
+                // `name` is now fully telescoped; later relations in the fold
+                // keep seeing it in the new state.
             }
-            // `name` is now fully telescoped; later relations in the fold (which
-            // still sit in `pending`) keep seeing it in the new state.
+            out.elapsed_ns = started.elapsed().as_nanos() as u64;
+            out
+        };
+        let outcomes =
+            WorkerPool::new(nparts).run((0..nparts).collect(), |_, part| run_partition(part));
+
+        // Merge in partition order: head multiplicities add (ℤ, commutative),
+        // counters add, timings record by partition slot.
+        self.last_partition_ns = outcomes.iter().map(|o| o.elapsed_ns).collect();
+        let mut head_ids: FastHashMap<IdKey, i64> = FastHashMap::default();
+        for outcome in outcomes {
+            self.index_probes.add(outcome.index_probes);
+            self.compensated_masks.add(outcome.compensated_masks);
+            self.compensated_restores.add(outcome.compensated_restores);
+            for (key, mult) in outcome.head {
+                *head_ids.entry(key).or_insert(0) += mult;
+            }
         }
-        let mut head_delta = HeadDelta::with_capacity(head_ids.len());
-        for (key, mult) in head_ids {
-            if mult == 0 {
-                continue;
-            }
+        // Canonicalize: net-zero heads drop, the rest sort by packed key, and
+        // the count map is updated in that sorted order — so the head delta
+        // *and* the count map's insertion history are independent of both the
+        // partition count and the per-partition hash-map iteration order.
+        let mut head_delta: HeadDelta = head_ids
+            .into_iter()
+            .filter(|&(_, mult)| mult != 0)
+            .collect();
+        head_delta.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        for (key, mult) in &head_delta {
             let updated = {
                 let count = self.counts.entry(key.clone()).or_insert(0);
-                *count += mult;
+                *count += *mult;
                 *count
             };
             debug_assert!(
@@ -639,9 +748,50 @@ impl CountingCq {
             if updated == 0 {
                 self.counts.remove(key.as_slice());
             }
-            head_delta.push((key, mult));
         }
         head_delta
+    }
+}
+
+/// One partition's share of a telescoped fold: its local head-multiplicity
+/// map, its work counters (merged additively — partition sums equal the
+/// sequential totals exactly), and its wall-clock cost.
+#[derive(Default)]
+struct PartitionFold {
+    head: FastHashMap<IdKey, i64>,
+    index_probes: u64,
+    compensated_masks: u64,
+    compensated_restores: u64,
+    elapsed_ns: u64,
+}
+
+/// The pending (old-state) delta the step probing `probed` must compensate
+/// with, if any — `None` means the shared index already shows the state the
+/// telescoping rule needs.  Same relation as the one being telescoped at
+/// occurrence `d`: occurrences before `d` are already folded (new state),
+/// after `d` not yet (old).  Other relations: old exactly while their own
+/// delta sits **later** in the fold order.  Resolved purely from positions,
+/// so the answer never depends on which partition asks.
+fn pending_comp<'p, 'a>(
+    pending: &'p FastHashMap<&str, PendingDelta<'a>>,
+    order: &FastHashMap<&str, usize>,
+    j: usize,
+    name: &str,
+    d: usize,
+    atom: usize,
+    probed: &AtomBinding,
+) -> Option<&'p PendingDelta<'a>> {
+    if probed.relation == name {
+        if atom > d {
+            pending.get(name)
+        } else {
+            None
+        }
+    } else {
+        match order.get(probed.relation.as_str()) {
+            Some(&pos) if pos > j => pending.get(probed.relation.as_str()),
+            _ => None,
+        }
     }
 }
 
@@ -906,6 +1056,50 @@ mod tests {
             "fold allocated {allocated} rows (bound {bound}) — probe path is not row-free"
         );
         engine.release_indexes(&mut store);
+    }
+
+    #[test]
+    fn partitioned_folds_are_bit_identical_to_sequential() {
+        // Run the same batch script at every partition count and demand the
+        // full deterministic surface match: counts, head deltas (order
+        // included), epochs, and telemetry counters.
+        let run = |partitions: usize| {
+            let mut store = store();
+            let cq = parse_cq("P(x, y, z) :- Graph(x, y), Graph(y, z), Graph(z, x)").unwrap();
+            let mut engine =
+                CountingCq::from_store(cq.clone(), cq.head_schema(), &mut store).unwrap();
+            engine.set_fold_partitions(partitions);
+            assert_eq!(engine.fold_partitions(), partitions.max(1));
+            let mut deltas: Vec<HeadDelta> = Vec::new();
+            let steps: Vec<(Row, i64)> = vec![
+                (int_row([4, 2]), 1),
+                (int_row([1, 4]), 1),
+                (int_row([2, 3]), -1),
+                (int_row([3, 3]), 1),
+                (int_row([5, 5]), 1),
+                (int_row([3, 3]), -1),
+            ];
+            for (row, sign) in steps {
+                let mut batch = DeltaBatch::new();
+                batch.push("Graph", row, sign);
+                let applied = store.apply_batch(&batch).unwrap();
+                deltas.push((*engine.apply_batch(&applied, &store)).clone());
+            }
+            let mut counts: Vec<(IdKey, i64)> = engine
+                .counts_ids()
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect();
+            counts.sort_unstable();
+            if partitions > 1 {
+                assert_eq!(engine.last_partition_ns().len(), partitions);
+            }
+            (deltas, counts, engine.epoch(), engine.telemetry())
+        };
+        let sequential = run(1);
+        for partitions in [2, 3, 8] {
+            assert_eq!(run(partitions), sequential, "diverged at K={partitions}");
+        }
     }
 
     #[test]

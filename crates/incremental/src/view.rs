@@ -138,6 +138,10 @@ pub struct DcqView {
     /// `retired + live sides` (the engine applies the same scheme one level up
     /// for deregistered views).
     retired: CountingTelemetry,
+    /// Fold partition count pushed onto this view's counting sides (and
+    /// re-pushed onto any side a migration builds or acquires).  A pure
+    /// scheduling knob — see [`CountingCq::fold_partitions`].
+    fold_partitions: usize,
     epoch: Epoch,
 }
 
@@ -232,6 +236,7 @@ impl DcqView {
             result: FastHashSet::default(),
             stats: MaintenanceStats::default(),
             retired: CountingTelemetry::default(),
+            fold_partitions: 1,
             epoch: store.epoch(),
         };
         view.result = view.compute_result_set(store)?;
@@ -545,6 +550,10 @@ impl DcqView {
         self.retired.merge(&dying);
         drop(old);
         self.active = target;
+        // Freshly built (or pool-acquired) counting sides inherit the view's
+        // partitioning, so a mid-stream migration keeps the configured fold
+        // schedule without the engine having to re-push it.
+        DcqView::push_fold_partitions(&self.state, self.fold_partitions);
         self.stats.migrations += 1;
         let rebuilt = self.compute_result_set(store)?;
         debug_assert_eq!(
@@ -653,6 +662,67 @@ impl DcqView {
     /// **not** folded here — they keep reporting through their survivors.
     pub fn retired_counting_telemetry(&self) -> CountingTelemetry {
         self.retired
+    }
+
+    /// Split each counting side's telescoped folds into `partitions`
+    /// hash-disjoint partitions (clamped to at least 1).  Purely a scheduling
+    /// knob — results, stats and telemetry counters are bit-identical at any
+    /// value — so pushing it onto a pool-shared side is safe even while other
+    /// views read that side.  Rerun views ignore it (but remember it, in case
+    /// a migration later builds counting sides).
+    pub fn set_fold_partitions(&mut self, partitions: usize) {
+        self.fold_partitions = partitions.max(1);
+        DcqView::push_fold_partitions(&self.state, self.fold_partitions);
+    }
+
+    /// The configured fold partition count.
+    pub fn fold_partitions(&self) -> usize {
+        self.fold_partitions
+    }
+
+    /// Apply a partition count to whatever counting sides `state` holds,
+    /// locking strictly one side at a time (same discipline as the apply path).
+    fn push_fold_partitions(state: &ViewState, partitions: usize) {
+        if let ViewState::Counting { q1, q2 } = state {
+            q1.write()
+                .expect("counting side lock poisoned")
+                .set_fold_partitions(partitions);
+            if !Arc::ptr_eq(q1, q2) {
+                q2.write()
+                    .expect("counting side lock poisoned")
+                    .set_fold_partitions(partitions);
+            }
+        }
+    }
+
+    /// Wall-clock nanoseconds each fold partition of this view's counting
+    /// sides spent in their most recent owned fold, keyed by side identity
+    /// (the shared `Arc`'s address) for cross-view deduplication, like
+    /// [`DcqView::counting_telemetry`].  A skew diagnostic — **not** part of
+    /// the deterministic surface.  Empty for rerun views.
+    pub fn fold_partition_ns(&self) -> Vec<(usize, Vec<u64>)> {
+        match &self.state {
+            ViewState::Counting { q1, q2 } => {
+                let mut sides = vec![(
+                    Arc::as_ptr(q1) as usize,
+                    q1.read()
+                        .expect("counting side lock poisoned")
+                        .last_partition_ns()
+                        .to_vec(),
+                )];
+                if !Arc::ptr_eq(q1, q2) {
+                    sides.push((
+                        Arc::as_ptr(q2) as usize,
+                        q2.read()
+                            .expect("counting side lock poisoned")
+                            .last_partition_ns()
+                            .to_vec(),
+                    ));
+                }
+                sides
+            }
+            ViewState::EasyRerun(_) => Vec::new(),
+        }
     }
 
     /// Telemetry of the counting sides this view holds, keyed by side identity

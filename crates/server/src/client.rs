@@ -12,6 +12,35 @@ use std::time::Duration;
 pub struct DcqClient {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    retry_observations: Vec<RetryObservation>,
+}
+
+/// Ceiling on how long a client sleeps on one `overloaded` hint.  The server
+/// clamps its own hint to 10s; a matching client cap means a corrupt or
+/// hostile hint can never park a caller for minutes.
+pub const RETRY_HINT_CAP_MS: u64 = 10_000;
+
+/// One honoured admission-control pushback: the hint the server sent and how
+/// long the client actually slept before retrying.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryObservation {
+    /// The server's `retry_after_ms` drain-time estimate.
+    pub hint_ms: u64,
+    /// Wall milliseconds the client slept before its retry.
+    pub slept_ms: u64,
+}
+
+/// How long to back off for a `retry_after_ms` hint: the hint itself (capped
+/// at [`RETRY_HINT_CAP_MS`]) plus up to ~25% deterministic jitter from `salt`,
+/// so a herd of clients rejected together does not retry together.
+pub fn retry_backoff_ms(hint_ms: u64, salt: u64) -> u64 {
+    let base = hint_ms.clamp(1, RETRY_HINT_CAP_MS);
+    // xorshift64 — no rand dependency; `salt` varies per client and attempt.
+    let mut x = salt | 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    base + x % (base / 4 + 1)
 }
 
 /// A successful push acknowledgement.
@@ -80,6 +109,7 @@ impl DcqClient {
         Ok(DcqClient {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
+            retry_observations: Vec::new(),
         })
     }
 
@@ -180,14 +210,17 @@ impl DcqClient {
     }
 
     /// Push with bounded retry on `overloaded`, honouring the server's
-    /// `retry_after_ms` hints.  Returns the ack and how many times admission
-    /// control pushed back.
+    /// `retry_after_ms` hints (capped at [`RETRY_HINT_CAP_MS`], jittered via
+    /// [`retry_backoff_ms`]).  Returns the ack and how many times admission
+    /// control pushed back; each honoured hint is recorded in
+    /// [`DcqClient::retry_observations`].
     pub fn push_with_retry(
         &mut self,
         batch: &DeltaBatch,
         max_retries: u32,
     ) -> io::Result<(PushReply, u32)> {
-        let mut rejections = 0;
+        let mut rejections = 0u32;
+        let salt_base = self as *const DcqClient as u64;
         loop {
             match self.push(batch)? {
                 PushOutcome::Acked(reply) => return Ok((reply, rejections)),
@@ -198,10 +231,22 @@ impl DcqClient {
                             "still overloaded after {max_retries} retries"
                         )));
                     }
-                    std::thread::sleep(Duration::from_millis(retry_after_ms.min(100)));
+                    let backoff = retry_backoff_ms(retry_after_ms, salt_base ^ rejections as u64);
+                    let slept = std::time::Instant::now();
+                    std::thread::sleep(Duration::from_millis(backoff));
+                    self.retry_observations.push(RetryObservation {
+                        hint_ms: retry_after_ms,
+                        slept_ms: slept.elapsed().as_millis() as u64,
+                    });
                 }
             }
         }
+    }
+
+    /// Every admission-control pushback this connection honoured so far:
+    /// the server's hint and the wall time actually slept before the retry.
+    pub fn retry_observations(&self) -> &[RetryObservation] {
+        &self.retry_observations
     }
 
     /// Read a view's full result set, optionally gated on a minimum epoch.
@@ -297,5 +342,28 @@ impl Subscription {
             added: rows("added")?,
             removed: rows("removed")?,
         }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{retry_backoff_ms, RETRY_HINT_CAP_MS};
+
+    #[test]
+    fn backoff_honours_the_hint_up_to_the_cap() {
+        for salt in 0..64u64 {
+            // An honest hint is honoured in full, plus at most 25% jitter.
+            let b = retry_backoff_ms(40, salt);
+            assert!((40..=50).contains(&b), "backoff {b} for hint 40");
+            // A hostile hint is capped, jitter included.
+            let b = retry_backoff_ms(u64::MAX, salt);
+            assert!((RETRY_HINT_CAP_MS..=RETRY_HINT_CAP_MS + RETRY_HINT_CAP_MS / 4).contains(&b));
+            // A zero hint still backs off a little instead of busy-spinning.
+            assert!(retry_backoff_ms(0, salt) >= 1);
+        }
+        // Different salts actually spread the herd.
+        let spread: std::collections::HashSet<u64> =
+            (0..64).map(|salt| retry_backoff_ms(1000, salt)).collect();
+        assert!(spread.len() > 8, "jitter must vary with the salt");
     }
 }

@@ -7,7 +7,7 @@
 //! `dcq_server_*` telemetry so the report reflects what the service measured,
 //! not what the clients inferred.
 
-use crate::client::{DcqClient, PushOutcome};
+use crate::client::{retry_backoff_ms, DcqClient, PushOutcome};
 use dcq_storage::row::int_row;
 use dcq_storage::DeltaBatch;
 use std::io;
@@ -239,14 +239,17 @@ fn drive_client(addr: SocketAddr, spec: &LoadSpec, client_id: usize) -> io::Resu
             batch.insert(spec.relation.as_str(), int_row([src, src + 1]));
         }
         let t0 = Instant::now();
-        // Honour admission control: spin on the hint until acked so "acked"
-        // latency includes the backoff the server asked for.
+        // Honour admission control: back off by the server's hint (capped +
+        // jittered) until acked, so "acked" latency includes the backoff the
+        // server asked for and rejected clients do not retry in lock-step.
         loop {
             match client.push(&batch)? {
                 PushOutcome::Acked(_) => break,
                 PushOutcome::Overloaded { retry_after_ms } => {
                     stats.rejections += 1;
-                    thread::sleep(std::time::Duration::from_millis(retry_after_ms.min(50)));
+                    let salt = (client_id as u64) << 32 | (seq as u64) << 8 | stats.rejections;
+                    let backoff = retry_backoff_ms(retry_after_ms, salt);
+                    thread::sleep(std::time::Duration::from_millis(backoff));
                 }
             }
         }

@@ -39,6 +39,7 @@ use crate::json::Json;
 use crate::proto::{self, read_frame, rows_to_json, write_frame, Request};
 use dcq_core::{parse_dcq, IncrementalStrategy};
 use dcq_engine::{CompactionPolicy, DcqEngine, ViewHandle};
+use dcq_storage::fanout::WorkerPool;
 use dcq_storage::{DeltaBatch, Epoch, Row};
 use dcq_telemetry::MetricsRegistry;
 use std::collections::HashMap;
@@ -68,6 +69,11 @@ pub struct ServerConfig {
     /// Stack size for per-connection handler threads; kept small so a
     /// thousand idle connections stay cheap.
     pub handler_stack_bytes: usize,
+    /// Engine worker width (fan-out, sharded commit, fold partitions).
+    /// `None` reserves one core for the ingest thread: the engine gets
+    /// `default_workers() - 1` (min 1) so its pool never oversubscribes the
+    /// host while ingest owns a core.  Set explicitly to override.
+    pub engine_workers: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -78,6 +84,7 @@ impl Default for ServerConfig {
             compaction: CompactionPolicy::default(),
             read_wait_timeout: Duration::from_secs(5),
             handler_stack_bytes: 256 * 1024,
+            engine_workers: None,
         }
     }
 }
@@ -349,6 +356,12 @@ impl DcqServer {
             None => None,
         };
         engine.set_compaction_policy(config.compaction);
+        // The ingest thread below owns a core of its own; with the default
+        // width the engine pool would oversubscribe by one, so reserve it.
+        let workers = config
+            .engine_workers
+            .unwrap_or_else(|| WorkerPool::default_workers().saturating_sub(1).max(1));
+        engine.set_workers(workers);
 
         let schema = engine
             .database()
@@ -459,7 +472,12 @@ impl DcqServer {
 impl Drop for DcqServer {
     fn drop(&mut self) {
         if self.ingest.is_some() {
-            let _ = self.tx.try_send(Command::Kill);
+            // Blocking send, NOT try_send: a full queue would drop the Kill
+            // silently, and the join below would then wedge forever on an
+            // ingest loop blocked in recv() (this handle's sender keeps the
+            // channel open).  The ingest thread drains the queue, so the send
+            // completes; if the thread already exited, the send fails fast.
+            let _ = self.tx.send(Command::Kill);
             self.stop_acceptor();
             if let Some(h) = self.ingest.take() {
                 let _ = h.join();

@@ -3,7 +3,7 @@
 //! ingest thread, kill-and-restart crash recovery, and read/ingest isolation.
 
 use dcq_engine::{CompactionPolicy, DcqEngine};
-use dcq_server::client::{DcqClient, PushOutcome};
+use dcq_server::client::{DcqClient, PushOutcome, RETRY_HINT_CAP_MS};
 use dcq_server::loadgen::parse_metric;
 use dcq_server::{recover, DcqServer, DurabilityConfig, ServerConfig};
 use dcq_storage::row::int_row;
@@ -252,6 +252,37 @@ fn full_ingest_queue_answers_overloaded_and_loses_nothing() {
     match admin.push(&edge_batch(99)).unwrap() {
         PushOutcome::Acked(ack) => assert_eq!(ack.epoch, acked + 1),
         PushOutcome::Overloaded { .. } => panic!("drained server pushed back"),
+    }
+
+    // Second storm, this time with retrying pushers: every honoured pushback
+    // must sleep at least the server's (capped) hint — the client may add
+    // jitter on top but never undercuts what admission control asked for.
+    admin.stall(400).unwrap();
+    let mut fillers = Vec::new();
+    for step in 100..108 {
+        fillers.push(std::thread::spawn(move || {
+            let mut filler = DcqClient::connect_retry(addr, 8).unwrap();
+            // Generous retry budget: hints here are ~1ms, and a rejected
+            // pusher must outlast the whole stall, not a fixed count.
+            filler.push_with_retry(&edge_batch(step), 10_000).unwrap();
+        }));
+    }
+    // Let the fillers occupy the queue so the probe below gets pushed back.
+    std::thread::sleep(Duration::from_millis(50));
+    let mut probe = DcqClient::connect_retry(addr, 8).unwrap();
+    let (_, rejections) = probe.push_with_retry(&edge_batch(108), 10_000).unwrap();
+    for join in fillers {
+        join.join().unwrap();
+    }
+    let observations = probe.retry_observations();
+    assert_eq!(observations.len() as u32, rejections);
+    for obs in observations {
+        assert!(
+            obs.slept_ms >= obs.hint_ms.min(RETRY_HINT_CAP_MS),
+            "client slept {}ms against a {}ms hint",
+            obs.slept_ms,
+            obs.hint_ms
+        );
     }
     server.shutdown().unwrap();
 }

@@ -17,9 +17,30 @@
 //! contiguous row blocks of stride `arity` plus a sign per row, interned once
 //! at commit and fanned out to every index and every counting side.
 
-use crate::hash::FastHashMap;
+use crate::hash::{shard_of_ids, FastHashMap};
 use crate::idkey::IdKey;
 use std::fmt;
+
+/// Number of hash shards a [`ShardedRelationStore`] splits one relation's
+/// mirror (and the registry its index buckets) into.
+///
+/// Fixed — never derived from worker count or host parallelism — because shard
+/// membership is observable through iteration order (`to_insert_delta`,
+/// `for_each_row` visit shards in order): a fixed count keeps store contents
+/// bit-identical across hosts and worker configurations, preserving the
+/// engine's determinism contract.  Commit *width* (how many workers apply the
+/// shards) is the free, content-invariant knob.
+pub const STORE_SHARDS: usize = 4;
+
+/// Fraction of allocated slots that may be free-listed holes before
+/// [`RelationStore::apply_delta`] compacts the columns: holes strictly above
+/// half trigger a rebuild.
+const COMPACT_HOLE_DENOMINATOR: usize = 2;
+
+/// Stores smaller than this many slots never auto-compact — rebuilding a
+/// handful of rows saves nothing and would churn the slot map on every
+/// trickle delete.
+const COMPACT_MIN_SLOTS: usize = 16;
 
 /// One relation's normalized delta in id space: row blocks of stride `arity`
 /// with one sign each.  Interned once per applied batch and shared by every
@@ -192,7 +213,8 @@ impl RelationStore {
         delta
     }
 
-    /// Fold one [`IdDelta`] in (inserts and deletes, set-semantics).
+    /// Fold one [`IdDelta`] in (inserts and deletes, set-semantics),
+    /// compacting afterwards if deletions left the columns majority-holes.
     pub fn apply_delta(&mut self, delta: &IdDelta) {
         debug_assert_eq!(delta.arity, self.arity);
         for (ids, sign) in delta.iter() {
@@ -202,10 +224,73 @@ impl RelationStore {
                 self.remove_ids(ids);
             }
         }
+        self.maybe_compact();
     }
 
-    /// Estimated heap footprint in bytes: the flat column buffers, the free
-    /// list, and the membership map.
+    /// Fold in only the rows of `delta` that hash-route to `shard` of
+    /// `shard_count` — the per-shard half of a sharded commit.  Applying every
+    /// shard index exactly once (in any order, on any thread) is equivalent to
+    /// one [`RelationStore::apply_delta`] of the whole delta.
+    pub fn apply_delta_routed(&mut self, delta: &IdDelta, shard: usize, shard_count: usize) {
+        debug_assert_eq!(delta.arity, self.arity);
+        for (ids, sign) in delta.iter() {
+            if shard_of_ids(ids, shard_count) != shard {
+                continue;
+            }
+            if sign > 0 {
+                self.insert_ids(ids);
+            } else {
+                self.remove_ids(ids);
+            }
+        }
+        self.maybe_compact();
+    }
+
+    /// Number of free-listed holes in the columns.
+    pub fn holes(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Compact when holes exceed half the allocated slots (and the store is
+    /// big enough to be worth it).  Called on the batch path only — the direct
+    /// `insert_ids`/`remove_ids` API keeps its documented slot-stability so
+    /// callers holding slots across single-row edits stay valid.
+    fn maybe_compact(&mut self) {
+        if self.slots as usize >= COMPACT_MIN_SLOTS
+            && self.free.len() * COMPACT_HOLE_DENOMINATOR > self.slots as usize
+        {
+            self.compact();
+        }
+    }
+
+    /// Rebuild the columns densely from the live rows, dropping every
+    /// free-listed hole and returning the freed capacity to the allocator.
+    ///
+    /// Slots are reassigned — any slot obtained before the compaction is
+    /// invalidated.  Contents (`len`, `contains_ids`, iteration) are
+    /// unchanged.
+    pub fn compact(&mut self) {
+        let live = self.by_row.len();
+        let mut cols: Vec<Vec<u32>> = (0..self.arity).map(|_| Vec::with_capacity(live)).collect();
+        let mut next: u32 = 0;
+        for (key, slot) in self.by_row.iter_mut() {
+            let ids = key.as_slice();
+            for (col, &id) in cols.iter_mut().zip(ids) {
+                col.push(id);
+            }
+            *slot = next;
+            next += 1;
+        }
+        self.cols = cols;
+        self.slots = next;
+        self.free = Vec::new();
+        self.by_row.shrink_to_fit();
+    }
+
+    /// Estimated **allocated** heap footprint in bytes: the flat column
+    /// buffers at capacity (live cells and free-listed holes alike), the free
+    /// list, and the membership map.  See [`RelationStore::live_bytes`] for
+    /// the live-data view.
     pub fn approx_bytes(&self) -> usize {
         let mut bytes = std::mem::size_of::<RelationStore>();
         for col in &self.cols {
@@ -218,6 +303,157 @@ impl RelationStore {
             bytes += key.heap_bytes();
         }
         bytes
+    }
+
+    /// Estimated heap bytes attributable to **live** rows only: column cells
+    /// of live slots plus live membership entries.  `approx_bytes -
+    /// live_bytes` is the slack (holes, spare capacity) the compactor can
+    /// reclaim.
+    pub fn live_bytes(&self) -> usize {
+        let live = self.by_row.len();
+        let mut bytes = std::mem::size_of::<RelationStore>();
+        bytes += live * self.arity * std::mem::size_of::<u32>();
+        bytes += live * (std::mem::size_of::<IdKey>() + std::mem::size_of::<u32>());
+        for key in self.by_row.keys() {
+            bytes += key.heap_bytes();
+        }
+        bytes
+    }
+}
+
+/// One relation's flat mirror split into [`STORE_SHARDS`] hash-disjoint
+/// [`RelationStore`]s.
+///
+/// Every row is owned by exactly one shard — `shard_of_ids(row) %
+/// STORE_SHARDS` — so a batch delta decomposes into per-shard sub-deltas that
+/// commit independently: [`SharedDatabase::apply_batch`](crate::SharedDatabase::apply_batch)
+/// runs one worker per shard with no locks, no cross-shard writes, and no
+/// ordering between shards.  All read paths (membership, seeding, iteration)
+/// visit shards in fixed shard order, so contents are deterministic whatever
+/// the commit width.
+#[derive(Clone, Default)]
+pub struct ShardedRelationStore {
+    arity: usize,
+    shards: Vec<RelationStore>,
+}
+
+impl ShardedRelationStore {
+    /// An empty sharded store for rows of `arity` ids.
+    pub fn new(arity: usize) -> Self {
+        ShardedRelationStore {
+            arity,
+            shards: (0..STORE_SHARDS)
+                .map(|_| RelationStore::new(arity))
+                .collect(),
+        }
+    }
+
+    /// Ids per row.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of live rows across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(RelationStore::len).sum()
+    }
+
+    /// `true` iff no shard holds a live row.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(RelationStore::is_empty)
+    }
+
+    /// The shard owning `ids`.
+    pub fn shard_of(&self, ids: &[u32]) -> usize {
+        shard_of_ids(ids, self.shards.len())
+    }
+
+    /// `true` iff the row is live (in its owning shard).
+    pub fn contains_ids(&self, ids: &[u32]) -> bool {
+        self.shards[self.shard_of(ids)].contains_ids(ids)
+    }
+
+    /// Insert a row into its owning shard; `true` iff it was not already live.
+    pub fn insert_ids(&mut self, ids: &[u32]) -> bool {
+        let shard = self.shard_of(ids);
+        self.shards[shard].insert_ids(ids).is_some()
+    }
+
+    /// Delete a row from its owning shard; `true` iff it was live.
+    pub fn remove_ids(&mut self, ids: &[u32]) -> bool {
+        let shard = self.shard_of(ids);
+        self.shards[shard].remove_ids(ids).is_some()
+    }
+
+    /// The shards in shard order (read-only).
+    pub fn shards(&self) -> &[RelationStore] {
+        &self.shards
+    }
+
+    /// The shards in shard order, mutably — the commit path borrows each
+    /// shard into its own worker task.
+    pub fn shards_mut(&mut self) -> &mut [RelationStore] {
+        &mut self.shards
+    }
+
+    /// Fold one [`IdDelta`] in, shard by shard in shard order.  Identical
+    /// content to the parallel per-shard commit — both route every row through
+    /// [`RelationStore::apply_delta_routed`].
+    pub fn apply_delta(&mut self, delta: &IdDelta) {
+        let shard_count = self.shards.len();
+        for (shard, store) in self.shards.iter_mut().enumerate() {
+            store.apply_delta_routed(delta, shard, shard_count);
+        }
+    }
+
+    /// Visit every live row, shard by shard in shard order.
+    pub fn for_each_row(&self, mut f: impl FnMut(&[u32])) {
+        for shard in &self.shards {
+            shard.for_each_row(&mut f);
+        }
+    }
+
+    /// The whole current contents as one insert-only [`IdDelta`], shards
+    /// concatenated in shard order.
+    pub fn to_insert_delta(&self) -> IdDelta {
+        let mut delta = IdDelta::new(self.arity);
+        let rows = self.len();
+        delta.ids.reserve(rows * self.arity);
+        delta.signs.reserve(rows);
+        self.for_each_row(|ids| delta.push(ids, 1));
+        delta
+    }
+
+    /// Estimated **allocated** heap bytes across all shards.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<ShardedRelationStore>()
+            + self
+                .shards
+                .iter()
+                .map(RelationStore::approx_bytes)
+                .sum::<usize>()
+    }
+
+    /// Estimated heap bytes attributable to **live** rows across all shards.
+    pub fn live_bytes(&self) -> usize {
+        std::mem::size_of::<ShardedRelationStore>()
+            + self
+                .shards
+                .iter()
+                .map(RelationStore::live_bytes)
+                .sum::<usize>()
+    }
+}
+
+impl fmt::Debug for ShardedRelationStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ShardedRelationStore[arity {}, {} live rows, {} shards]",
+            self.arity,
+            self.len(),
+            self.shards.len()
+        )
     }
 }
 
@@ -325,5 +561,145 @@ mod tests {
             store.insert_ids(&[i, i + 1, i + 2]);
         }
         assert!(store.approx_bytes() > before);
+    }
+
+    #[test]
+    fn bulk_delete_compacts_columns_and_releases_memory() {
+        let mut store = RelationStore::new(2);
+        let mut inserts = IdDelta::new(2);
+        for i in 0..200u32 {
+            inserts.push(&[i, i + 1], 1);
+        }
+        store.apply_delta(&inserts);
+        let allocated_full = store.approx_bytes();
+
+        // Delete 80% through the batch path: holes exceed half the slots, so
+        // the store compacts — no pinned high-water columns, no free list.
+        let mut deletes = IdDelta::new(2);
+        for i in 0..160u32 {
+            deletes.push(&[i, i + 1], -1);
+        }
+        store.apply_delta(&deletes);
+        assert_eq!(store.len(), 40);
+        assert_eq!(store.slot_count(), 40, "columns shrank to the live rows");
+        assert_eq!(store.holes(), 0);
+        assert!(
+            store.approx_bytes() < allocated_full / 2,
+            "compaction returned the column capacity"
+        );
+
+        // Contents survive compaction and the store keeps working.
+        for i in 160..200u32 {
+            assert!(store.contains_ids(&[i, i + 1]));
+        }
+        assert!(!store.contains_ids(&[0, 1]));
+        let mut more = IdDelta::new(2);
+        more.push(&[500, 501], 1);
+        store.apply_delta(&more);
+        assert!(store.contains_ids(&[500, 501]));
+    }
+
+    #[test]
+    fn trickle_deletes_below_threshold_do_not_compact() {
+        let mut store = RelationStore::new(1);
+        let mut inserts = IdDelta::new(1);
+        for i in 0..100u32 {
+            inserts.push(&[i], 1);
+        }
+        store.apply_delta(&inserts);
+        let mut deletes = IdDelta::new(1);
+        for i in 0..40u32 {
+            deletes.push(&[i], -1);
+        }
+        store.apply_delta(&deletes);
+        assert_eq!(store.holes(), 40, "40% holes stay free-listed");
+        assert_eq!(store.slot_count(), 100);
+    }
+
+    #[test]
+    fn live_bytes_splits_from_allocated_bytes() {
+        let mut store = RelationStore::new(2);
+        let mut inserts = IdDelta::new(2);
+        for i in 0..64u32 {
+            inserts.push(&[i, i], 1);
+        }
+        store.apply_delta(&inserts);
+        // Delete just under the compaction threshold so holes persist.
+        let mut deletes = IdDelta::new(2);
+        for i in 0..30u32 {
+            deletes.push(&[i, i], -1);
+        }
+        store.apply_delta(&deletes);
+        assert!(store.holes() > 0);
+        assert!(
+            store.live_bytes() < store.approx_bytes(),
+            "holes are allocated but not live"
+        );
+    }
+
+    #[test]
+    fn sharded_store_routes_rows_and_matches_unsharded_contents() {
+        let mut sharded = ShardedRelationStore::new(2);
+        let mut plain = RelationStore::new(2);
+        assert!(sharded.is_empty());
+        let mut delta = IdDelta::new(2);
+        for i in 0..50u32 {
+            delta.push(&[i, i * 3], 1);
+        }
+        for i in 0..20u32 {
+            delta.push(&[i, i * 3], -1);
+        }
+        sharded.apply_delta(&delta);
+        plain.apply_delta(&delta);
+        assert_eq!(sharded.arity(), 2);
+        assert_eq!(sharded.len(), plain.len());
+        for i in 0..50u32 {
+            assert_eq!(
+                sharded.contains_ids(&[i, i * 3]),
+                plain.contains_ids(&[i, i * 3])
+            );
+        }
+        // Every live row lives in exactly its owning shard.
+        for (s, shard) in sharded.shards().iter().enumerate() {
+            shard.for_each_row(|ids| assert_eq!(sharded.shard_of(ids), s));
+        }
+        // Seeding covers every live row exactly once.
+        let seed = sharded.to_insert_delta();
+        assert_eq!(seed.len(), sharded.len());
+        let mut seen: Vec<u32> = seed.iter().map(|(row, _)| row[0]).collect();
+        seen.sort();
+        let mut expected: Vec<u32> = (20..50).collect();
+        expected.sort();
+        assert_eq!(seen, expected);
+        assert!(sharded.approx_bytes() >= sharded.live_bytes());
+    }
+
+    #[test]
+    fn sharded_direct_api_and_routed_commit_agree() {
+        let mut direct = ShardedRelationStore::new(1);
+        assert!(direct.insert_ids(&[7]));
+        assert!(!direct.insert_ids(&[7]), "set semantics");
+        assert!(direct.contains_ids(&[7]));
+        assert!(direct.remove_ids(&[7]));
+        assert!(!direct.remove_ids(&[7]));
+
+        // Applying each shard's routed slice exactly once — in any order —
+        // equals one whole-delta apply.
+        let mut delta = IdDelta::new(1);
+        for i in 0..40u32 {
+            delta.push(&[i], 1);
+        }
+        let mut routed = ShardedRelationStore::new(1);
+        let n = routed.shards().len();
+        for shard in (0..n).rev() {
+            routed.shards_mut()[shard].apply_delta_routed(&delta, shard, n);
+        }
+        let mut whole = ShardedRelationStore::new(1);
+        whole.apply_delta(&delta);
+        assert_eq!(routed.len(), whole.len());
+        for i in 0..40u32 {
+            assert!(routed.contains_ids(&[i]) && whole.contains_ids(&[i]));
+        }
+        assert!(format!("{routed:?}").contains("40 live rows"));
     }
 }

@@ -92,6 +92,22 @@ pub fn set_with_capacity<K>(cap: usize) -> FastHashSet<K> {
     FastHashSet::with_capacity_and_hasher(cap, FxBuildHasher::default())
 }
 
+/// Deterministically route an id block to one of `shards` buckets by its Fx
+/// hash — the one routing function shared by the sharded relation mirrors,
+/// the per-shard index buckets, and the partitioned counting folds, so a row
+/// lands in the same shard everywhere.  The hasher is fixed-seeded, so the
+/// assignment depends only on the ids (never on process, platform, or run).
+pub fn shard_of_ids(ids: &[u32], shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let mut hasher = FxHasher::default();
+    for &id in ids {
+        hasher.write_u32(id);
+    }
+    (std::hash::Hasher::finish(&hasher) % shards as u64) as usize
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

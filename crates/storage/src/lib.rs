@@ -39,6 +39,7 @@ pub mod database;
 pub mod delta;
 pub mod dict;
 pub mod error;
+pub mod fanout;
 pub mod flat;
 pub mod hash;
 pub mod idkey;
@@ -57,7 +58,8 @@ pub use database::Database;
 pub use delta::{normalize_delta, BatchEffect, DeltaBatch, DeltaEffect, UpdateLog};
 pub use dict::{DictSnapshot, DictStats, ValueDict};
 pub use error::StorageError;
-pub use flat::{IdDelta, RelationStore};
+pub use fanout::WorkerPool;
+pub use flat::{IdDelta, RelationStore, ShardedRelationStore, STORE_SHARDS};
 pub use hash::{FastHashMap, FastHashSet};
 pub use idkey::{IdKey, IDKEY_INLINE};
 pub use index::HashIndex;

@@ -52,8 +52,9 @@
 //! snapshot, probe it lock-free for as long as they like, and never block (or
 //! get torn by) the update stream.
 
-use crate::flat::{IdDelta, RelationStore};
-use crate::hash::{map_with_capacity, set_with_capacity, FastHashMap, FastHashSet};
+use crate::fanout::WorkerPool;
+use crate::flat::{IdDelta, ShardedRelationStore, STORE_SHARDS};
+use crate::hash::{map_with_capacity, set_with_capacity, shard_of_ids, FastHashMap, FastHashSet};
 use crate::idkey::IdKey;
 use crate::row::Row;
 use crate::shared::Epoch;
@@ -128,9 +129,14 @@ pub struct SharedIndex {
     key: IndexKey,
     /// Ids per stored row (the indexed relation's arity).
     arity: usize,
-    /// Key-id projection → contiguous row blocks at [`SharedIndex::stride`].
-    buckets: Buckets,
-    /// Number of indexed rows (equality-filtered).
+    /// [`STORE_SHARDS`] hash-disjoint bucket sets: a row's buckets live in the
+    /// shard its **key projection** routes to, so one probe touches exactly
+    /// one shard (same `O(1)` lookup) and a batch delta decomposes into
+    /// per-shard sub-deltas the commit path maintains on independent workers.
+    /// The shard count is fixed — never worker-derived — so index contents and
+    /// `approx_bytes` are bit-identical at any commit width.
+    shards: Vec<Buckets>,
+    /// Number of indexed rows (equality-filtered), across all shards.
     rows: usize,
     /// The store epoch this index's contents were last changed at (its build
     /// epoch until the first touching batch).
@@ -167,51 +173,10 @@ impl Buckets {
             Buckets::Keyed(map_with_capacity(row_hint / 8))
         }
     }
-}
 
-impl SharedIndex {
-    fn build(key: IndexKey, store: &RelationStore, epoch: Epoch) -> Self {
-        let buckets = Buckets::for_shape(&key, store.arity(), store.len());
-        let mut index = SharedIndex {
-            key,
-            arity: store.arity(),
-            buckets,
-            rows: 0,
-            epoch,
-        };
-        let mut key_buf: Vec<u32> = Vec::with_capacity(index.key.key_positions.len());
-        store.for_each_row(|ids| {
-            if index.key.admits_ids(ids) {
-                key_buf.clear();
-                key_buf.extend(index.key.key_positions.iter().map(|&p| ids[p]));
-                index.push_block(&key_buf, ids);
-            }
-        });
-        // Drop build-time slack: the table shrinks to its live key count and
-        // every bucket to its exact id payload.  Later deltas regrow them
-        // amortized, exactly like any post-build insert.
-        match &mut index.buckets {
-            Buckets::Keyed(map) => {
-                map.shrink_to_fit();
-                for bucket in map.values_mut() {
-                    bucket.shrink_to_fit();
-                }
-            }
-            Buckets::Whole(set) => set.shrink_to_fit(),
-        }
-        index
-    }
-
-    /// Row-block width inside buckets: the arity, with nullary relations padded
-    /// to one sentinel id so "one stored row" stays representable.  Consumers
-    /// chunk probe results by `stride()` and read `[..arity()]` of each block.
-    pub fn stride(&self) -> usize {
-        self.arity.max(1)
-    }
-
-    fn push_block(&mut self, key: &[u32], ids: &[u32]) {
-        let arity = self.arity;
-        match &mut self.buckets {
+    /// Insert one row block under its key projection.
+    fn push_block(&mut self, arity: usize, key: &[u32], ids: &[u32]) {
+        match self {
             Buckets::Keyed(map) => {
                 let bucket = map.entry(IdKey::from_slice(key)).or_default();
                 if arity == 0 {
@@ -227,51 +192,172 @@ impl SharedIndex {
                 debug_assert!(fresh, "whole-row index saw a duplicate insert");
             }
         }
-        self.rows += 1;
     }
 
-    /// Fold one interned stored-relation delta into the index.
-    fn apply_delta(&mut self, delta: &IdDelta, epoch: Epoch) {
-        self.epoch = epoch;
-        let stride = self.stride();
-        let mut key_buf: Vec<u32> = Vec::with_capacity(self.key.key_positions.len());
-        for (ids, sign) in delta.iter() {
-            if !self.key.admits_ids(ids) {
-                continue;
+    /// Delete one row block; `true` iff it was present.
+    fn remove_block(&mut self, arity: usize, key: &[u32], ids: &[u32]) -> bool {
+        let stride = arity.max(1);
+        match self {
+            Buckets::Keyed(map) => {
+                let Some(bucket) = map.get_mut(key) else {
+                    return false;
+                };
+                let found = bucket
+                    .chunks_exact(stride)
+                    .position(|block| &block[..arity] == ids);
+                let removed = if let Some(pos) = found {
+                    // Swap-remove in block units: the last block overwrites
+                    // the deleted one, the tail is truncated — O(stride), no
+                    // shift.
+                    let last = bucket.len() - stride;
+                    bucket.copy_within(last.., pos * stride);
+                    bucket.truncate(last);
+                    true
+                } else {
+                    false
+                };
+                if bucket.is_empty() {
+                    map.remove(key);
+                }
+                removed
             }
-            key_buf.clear();
-            key_buf.extend(self.key.key_positions.iter().map(|&p| ids[p]));
-            if sign > 0 {
-                self.push_block(&key_buf, ids);
-            } else {
-                match &mut self.buckets {
-                    Buckets::Keyed(map) => {
-                        if let Some(bucket) = map.get_mut(key_buf.as_slice()) {
-                            let found = bucket
-                                .chunks_exact(stride)
-                                .position(|block| &block[..self.arity] == ids);
-                            if let Some(pos) = found {
-                                // Swap-remove in block units: the last block
-                                // overwrites the deleted one, the tail is
-                                // truncated — O(stride), no shift.
-                                let last = bucket.len() - stride;
-                                bucket.copy_within(last.., pos * stride);
-                                bucket.truncate(last);
-                                self.rows -= 1;
-                            }
-                            if bucket.is_empty() {
-                                map.remove(key_buf.as_slice());
-                            }
-                        }
-                    }
-                    Buckets::Whole(set) => {
-                        if set.remove(ids) {
-                            self.rows -= 1;
-                        }
-                    }
+            Buckets::Whole(set) => set.remove(ids),
+        }
+    }
+
+    /// Row blocks matching the key ids, or an empty slice.
+    fn probe(&self, key: &[u32]) -> &[u32] {
+        match self {
+            Buckets::Keyed(map) => map.get(key).map(Vec::as_slice).unwrap_or(&[]),
+            // The matching block is the key itself; answer out of the set's
+            // own storage so the slice outlives the caller's probe buffer.
+            Buckets::Whole(set) => set.get(key).map(IdKey::as_slice).unwrap_or(&[]),
+        }
+    }
+
+    fn distinct_keys(&self) -> usize {
+        match self {
+            Buckets::Keyed(map) => map.len(),
+            Buckets::Whole(set) => set.len(),
+        }
+    }
+
+    fn shrink_to_fit(&mut self) {
+        match self {
+            Buckets::Keyed(map) => {
+                map.shrink_to_fit();
+                for bucket in map.values_mut() {
+                    bucket.shrink_to_fit();
+                }
+            }
+            Buckets::Whole(set) => set.shrink_to_fit(),
+        }
+    }
+
+    fn approx_bytes(&self) -> usize {
+        let mut bytes = 0;
+        match self {
+            Buckets::Keyed(map) => {
+                bytes += map.capacity()
+                    * (std::mem::size_of::<IdKey>() + std::mem::size_of::<Vec<u32>>());
+                for (key, bucket) in map {
+                    bytes += key.heap_bytes();
+                    bytes += bucket.capacity() * std::mem::size_of::<u32>();
+                }
+            }
+            Buckets::Whole(set) => {
+                bytes += set.capacity() * std::mem::size_of::<IdKey>();
+                for key in set {
+                    bytes += key.heap_bytes();
                 }
             }
         }
+        bytes
+    }
+
+    /// Fold in only the rows of `delta` whose key projection routes to
+    /// `shard_idx`, returning the net indexed-row change.  Applying every
+    /// shard index exactly once — sequentially or one worker per shard —
+    /// produces identical contents: rows of different shards touch disjoint
+    /// buckets, and within a shard rows apply in delta order either way.
+    fn apply_delta_routed(
+        key: &IndexKey,
+        arity: usize,
+        bucket: &mut Buckets,
+        shard_idx: usize,
+        delta: &IdDelta,
+    ) -> i64 {
+        let mut net = 0i64;
+        let mut key_buf: Vec<u32> = Vec::with_capacity(key.key_positions.len());
+        for (ids, sign) in delta.iter() {
+            if !key.admits_ids(ids) {
+                continue;
+            }
+            key_buf.clear();
+            key_buf.extend(key.key_positions.iter().map(|&p| ids[p]));
+            if shard_of_ids(&key_buf, STORE_SHARDS) != shard_idx {
+                continue;
+            }
+            if sign > 0 {
+                bucket.push_block(arity, &key_buf, ids);
+                net += 1;
+            } else if bucket.remove_block(arity, &key_buf, ids) {
+                net -= 1;
+            }
+        }
+        net
+    }
+}
+
+impl SharedIndex {
+    fn build(key: IndexKey, store: &ShardedRelationStore, epoch: Epoch) -> Self {
+        let shards: Vec<Buckets> = (0..STORE_SHARDS)
+            .map(|_| Buckets::for_shape(&key, store.arity(), store.len() / STORE_SHARDS))
+            .collect();
+        let mut index = SharedIndex {
+            key,
+            arity: store.arity(),
+            shards,
+            rows: 0,
+            epoch,
+        };
+        let arity = index.arity;
+        let mut key_buf: Vec<u32> = Vec::with_capacity(index.key.key_positions.len());
+        store.for_each_row(|ids| {
+            if index.key.admits_ids(ids) {
+                key_buf.clear();
+                key_buf.extend(index.key.key_positions.iter().map(|&p| ids[p]));
+                let shard = shard_of_ids(&key_buf, STORE_SHARDS);
+                index.shards[shard].push_block(arity, &key_buf, ids);
+                index.rows += 1;
+            }
+        });
+        // Drop build-time slack: each shard's table shrinks to its live key
+        // count and every bucket to its exact id payload.  Later deltas
+        // regrow them amortized, exactly like any post-build insert.
+        for shard in &mut index.shards {
+            shard.shrink_to_fit();
+        }
+        index
+    }
+
+    /// Row-block width inside buckets: the arity, with nullary relations padded
+    /// to one sentinel id so "one stored row" stays representable.  Consumers
+    /// chunk probe results by `stride()` and read `[..arity()]` of each block.
+    pub fn stride(&self) -> usize {
+        self.arity.max(1)
+    }
+
+    /// Fold one interned stored-relation delta into the index, shard by shard
+    /// in shard order — identical content to the parallel per-shard commit.
+    fn apply_delta(&mut self, delta: &IdDelta, epoch: Epoch) {
+        self.epoch = epoch;
+        let arity = self.arity;
+        let mut net = 0i64;
+        for (shard_idx, bucket) in self.shards.iter_mut().enumerate() {
+            net += Buckets::apply_delta_routed(&self.key, arity, bucket, shard_idx, delta);
+        }
+        self.rows = (self.rows as i64 + net) as usize;
     }
 
     /// The index identity.
@@ -296,46 +382,25 @@ impl SharedIndex {
         self.rows
     }
 
-    /// Number of distinct probe keys.
+    /// Number of distinct probe keys, across all shards.
     pub fn distinct_keys(&self) -> usize {
-        match &self.buckets {
-            Buckets::Keyed(map) => map.len(),
-            Buckets::Whole(set) => set.len(),
-        }
+        self.shards.iter().map(Buckets::distinct_keys).sum()
     }
 
     /// Contiguous row blocks (at [`SharedIndex::stride`]) matching the key ids,
-    /// or an empty slice.  The probe hashes the borrowed slice directly — no
+    /// or an empty slice.  The probe hashes the borrowed slice directly — once
+    /// to route to the owning shard, once inside the shard's table — and no
     /// key is materialized.
     pub fn probe_ids(&self, key: &[u32]) -> &[u32] {
-        match &self.buckets {
-            Buckets::Keyed(map) => map.get(key).map(Vec::as_slice).unwrap_or(&[]),
-            // The matching block is the key itself; answer out of the set's
-            // own storage so the slice outlives the caller's probe buffer.
-            Buckets::Whole(set) => set.get(key).map(IdKey::as_slice).unwrap_or(&[]),
-        }
+        self.shards[shard_of_ids(key, self.shards.len())].probe(key)
     }
 
-    /// Estimated heap footprint in bytes (buckets, packed keys, id blocks).
+    /// Estimated heap footprint in bytes (all shards' buckets, packed keys,
+    /// id blocks).
     pub fn approx_bytes(&self) -> usize {
-        let mut bytes = std::mem::size_of::<SharedIndex>();
-        match &self.buckets {
-            Buckets::Keyed(map) => {
-                bytes += map.capacity()
-                    * (std::mem::size_of::<IdKey>() + std::mem::size_of::<Vec<u32>>());
-                for (key, bucket) in map {
-                    bytes += key.heap_bytes();
-                    bytes += bucket.capacity() * std::mem::size_of::<u32>();
-                }
-            }
-            Buckets::Whole(set) => {
-                bytes += set.capacity() * std::mem::size_of::<IdKey>();
-                for key in set {
-                    bytes += key.heap_bytes();
-                }
-            }
-        }
-        bytes
+        std::mem::size_of::<SharedIndex>()
+            + std::mem::size_of::<Buckets>() * self.shards.len()
+            + self.shards.iter().map(Buckets::approx_bytes).sum::<usize>()
     }
 }
 
@@ -431,7 +496,12 @@ impl IndexRegistry {
     /// the store epoch those contents reflect; a fresh entry is built from them
     /// in one `O(N)` pass, a live entry is reused as-is (it has been maintained
     /// under every applied batch since it was built).
-    pub fn acquire(&mut self, key: IndexKey, store: &RelationStore, epoch: Epoch) -> IndexId {
+    pub fn acquire(
+        &mut self,
+        key: IndexKey,
+        store: &ShardedRelationStore,
+        epoch: Epoch,
+    ) -> IndexId {
         if let Some(&slot) = self.by_key.get(&key) {
             let state = &mut self.slots[slot];
             debug_assert!(state.entry.is_some(), "keyed index entry is live");
@@ -531,6 +601,75 @@ impl IndexRegistry {
                 }
                 Arc::make_mut(entry).apply_delta(delta, epoch);
             }
+        }
+    }
+
+    /// Fold a whole batch's interned deltas into every touched live index,
+    /// one worker per `(index, shard)` pair.
+    ///
+    /// Equivalent to calling [`IndexRegistry::apply_relation_delta`] once per
+    /// relation — bit-identical contents, row counts, epoch stamps, and
+    /// COW/in-place telemetry — because the per-shard sub-deltas touch
+    /// disjoint buckets and preserve delta order within a shard.  The
+    /// sequential parts (copy-on-write resolution, epoch stamping, row-count
+    /// accounting) stay on the caller's thread; only the bucket maintenance
+    /// itself fans out.
+    pub fn apply_batch_deltas(
+        &mut self,
+        deltas: &[(String, IdDelta)],
+        epoch: Epoch,
+        pool: &WorkerPool,
+    ) {
+        struct ShardTask<'a> {
+            key: &'a IndexKey,
+            arity: usize,
+            bucket: &'a mut Buckets,
+            shard_idx: usize,
+            delta: &'a IdDelta,
+        }
+        let mut tasks: Vec<ShardTask<'_>> = Vec::new();
+        let mut rows_refs: Vec<&mut usize> = Vec::new();
+        for entry in self.slots.iter_mut().filter_map(|s| s.entry.as_mut()) {
+            let touching = deltas
+                .iter()
+                .find(|(name, delta)| *name == entry.key.relation && !delta.is_empty());
+            let Some((_, delta)) = touching else {
+                continue;
+            };
+            if Arc::strong_count(entry) > 1 {
+                self.cow_clones.inc();
+            } else {
+                self.inplace_writes.inc();
+            }
+            let index = Arc::make_mut(entry);
+            index.epoch = epoch;
+            let SharedIndex {
+                key,
+                arity,
+                shards,
+                rows,
+                ..
+            } = index;
+            rows_refs.push(rows);
+            for (shard_idx, bucket) in shards.iter_mut().enumerate() {
+                tasks.push(ShardTask {
+                    key,
+                    arity: *arity,
+                    bucket,
+                    shard_idx,
+                    delta,
+                });
+            }
+        }
+        if tasks.is_empty() {
+            return;
+        }
+        let nets = pool.run(tasks, |_, t| {
+            Buckets::apply_delta_routed(t.key, t.arity, t.bucket, t.shard_idx, t.delta)
+        });
+        for (i, rows) in rows_refs.into_iter().enumerate() {
+            let net: i64 = nets[i * STORE_SHARDS..(i + 1) * STORE_SHARDS].iter().sum();
+            *rows = (*rows as i64 + net) as usize;
         }
     }
 
@@ -730,11 +869,11 @@ mod tests {
     use crate::dict::ValueDict;
     use crate::value::Value;
 
-    /// Intern int rows into a fresh dict + flat store.  With values inserted in
-    /// first-occurrence order, `id(v) = dict.lookup(int v)`.
-    fn flat(arity: usize, rows: &[&[i64]]) -> (ValueDict, RelationStore) {
+    /// Intern int rows into a fresh dict + sharded flat store.  With values
+    /// inserted in first-occurrence order, `id(v) = dict.lookup(int v)`.
+    fn flat(arity: usize, rows: &[&[i64]]) -> (ValueDict, ShardedRelationStore) {
         let mut dict = ValueDict::new();
-        let mut store = RelationStore::new(arity);
+        let mut store = ShardedRelationStore::new(arity);
         for row in rows {
             let ids: Vec<u32> = row.iter().map(|&v| dict.intern(&Value::int(v))).collect();
             store.insert_ids(&ids);
@@ -754,7 +893,7 @@ mod tests {
         d
     }
 
-    fn graph() -> (ValueDict, RelationStore) {
+    fn graph() -> (ValueDict, ShardedRelationStore) {
         flat(2, &[&[1, 2], &[1, 3], &[2, 3], &[3, 3]])
     }
 
@@ -971,7 +1110,7 @@ mod tests {
 
     #[test]
     fn nullary_indexes_represent_presence() {
-        let mut store = RelationStore::new(0);
+        let mut store = ShardedRelationStore::new(0);
         store.insert_ids(&[]);
         let mut reg = IndexRegistry::new();
         let key = IndexKey {
@@ -1034,6 +1173,56 @@ mod tests {
         let clone = reg.clone();
         assert_eq!(clone.telemetry().live_snapshot_pins, 0);
         assert_eq!(clone.len(), 1);
+    }
+
+    #[test]
+    fn batch_parallel_maintenance_matches_sequential() {
+        // The per-(index, shard) parallel commit must be bit-identical to
+        // per-relation sequential maintenance: same probes, same row counts,
+        // same epoch stamps, same COW/in-place telemetry.
+        let (mut dict, store) = graph();
+        let mut seq = IndexRegistry::new();
+        let mut par = IndexRegistry::new();
+        let ids_seq = [
+            seq.acquire(key_on(&[0]), &store, 0),
+            seq.acquire(key_on(&[1]), &store, 0),
+            seq.acquire(key_on(&[0, 1]), &store, 0),
+        ];
+        let ids_par = [
+            par.acquire(key_on(&[0]), &store, 0),
+            par.acquire(key_on(&[1]), &store, 0),
+            par.acquire(key_on(&[0, 1]), &store, 0),
+        ];
+        let mut d = IdDelta::new(2);
+        for i in 0..40i64 {
+            d.push(&ids(&mut dict, &[i, i * 7]), 1);
+        }
+        d.push(&ids(&mut dict, &[1, 2]), -1);
+        d.push(&ids(&mut dict, &[3, 3]), -1);
+        let deltas = vec![("Graph".to_string(), d.clone())];
+        seq.apply_relation_delta("Graph", &d, 1);
+        par.apply_batch_deltas(&deltas, 1, &WorkerPool::new(4));
+        for (a, b) in ids_seq.iter().zip(ids_par.iter()) {
+            let ea = seq.get(*a).unwrap();
+            let eb = par.get(*b).unwrap();
+            assert_eq!(ea.indexed_rows(), eb.indexed_rows());
+            assert_eq!(ea.distinct_keys(), eb.distinct_keys());
+            assert_eq!(ea.epoch(), eb.epoch());
+            assert_eq!(eb.epoch(), 1);
+        }
+        for key in 0..45i64 {
+            for (a, b) in ids_seq.iter().take(2).zip(ids_par.iter()) {
+                assert_eq!(
+                    probe_rows(&seq, *a, &mut dict, &[key]),
+                    probe_rows(&par, *b, &mut dict, &[key]),
+                );
+            }
+        }
+        assert_eq!(seq.telemetry(), par.telemetry());
+        // An untouched relation's delta leaves both registries alone.
+        let silent = vec![("Other".to_string(), IdDelta::new(2))];
+        par.apply_batch_deltas(&silent, 2, &WorkerPool::new(4));
+        assert_eq!(par.get(ids_par[0]).unwrap().epoch(), 1);
     }
 
     #[test]

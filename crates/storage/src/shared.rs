@@ -46,8 +46,9 @@
 use crate::database::Database;
 use crate::delta::{normalize_delta, DeltaBatch, DeltaEffect};
 use crate::dict::{DictSnapshot, DictStats, ValueDict};
-use crate::flat::{IdDelta, RelationStore};
-use crate::hash::FastHashMap;
+use crate::fanout::WorkerPool;
+use crate::flat::{IdDelta, RelationStore, ShardedRelationStore, STORE_SHARDS};
+use crate::hash::{shard_of_ids, FastHashMap};
 use crate::registry::{IndexId, IndexKey, IndexRegistry, IndexRegistryStats, IndexSnapshot};
 use crate::relation::Relation;
 use crate::row::Row;
@@ -75,13 +76,22 @@ pub struct SharedDatabase {
     indexes: IndexRegistry,
     /// Store-wide value dictionary: every value of every relation interned.
     dict: ValueDict,
-    /// Flat id-space mirror of every relation, maintained in lock-step with
-    /// `db` by `apply_batch` / `add_relation` / `remove_relation`.
-    flat: FastHashMap<String, RelationStore>,
+    /// Flat id-space mirror of every relation — [`STORE_SHARDS`] hash-disjoint
+    /// sub-stores each — maintained in lock-step with `db` by `apply_batch` /
+    /// `add_relation` / `remove_relation`.
+    flat: FastHashMap<String, ShardedRelationStore>,
+    /// Workers the commit path ([`SharedDatabase::apply_batch`]) spreads its
+    /// per-shard mirror and index maintenance over.  Pure scheduling: shard
+    /// membership is fixed by [`STORE_SHARDS`], so contents are bit-identical
+    /// at any width.  `0`/unset behaves as `1` (inline).
+    commit_workers: usize,
+    /// Cumulative interned delta rows routed to each shard — the skew gauges'
+    /// backing counts.  Content-deterministic (row hashes, not scheduling).
+    commit_shard_rows: Vec<u64>,
 }
 
-fn intern_relation(dict: &mut ValueDict, rel: &Relation) -> RelationStore {
-    let mut store = RelationStore::new(rel.schema().arity());
+fn intern_relation(dict: &mut ValueDict, rel: &Relation) -> ShardedRelationStore {
+    let mut store = ShardedRelationStore::new(rel.schema().arity());
     let mut ids: Vec<u32> = Vec::with_capacity(rel.schema().arity());
     for row in rel.iter() {
         ids.clear();
@@ -117,6 +127,8 @@ impl SharedDatabase {
             indexes: IndexRegistry::new(),
             dict,
             flat,
+            commit_workers: 1,
+            commit_shard_rows: vec![0; STORE_SHARDS],
         }
     }
 
@@ -175,24 +187,61 @@ impl SharedDatabase {
     }
 
     /// The flat id-space mirror of one relation, if registered.
-    pub fn flat(&self, name: &str) -> Option<&RelationStore> {
+    pub fn flat(&self, name: &str) -> Option<&ShardedRelationStore> {
         self.flat.get(name)
     }
 
-    /// Estimated heap footprint of all flat relation buffers, in bytes.
+    /// Estimated **allocated** heap footprint of all flat relation buffers, in
+    /// bytes (live cells plus free-listed holes and spare capacity).
     pub fn flat_bytes(&self) -> usize {
-        self.flat.values().map(RelationStore::approx_bytes).sum()
+        self.flat
+            .values()
+            .map(ShardedRelationStore::approx_bytes)
+            .sum()
     }
 
-    /// Per-relation flat-buffer footprints `(name, bytes)`, in name order.
-    pub fn flat_relation_bytes(&self) -> Vec<(String, usize)> {
-        let mut out: Vec<(String, usize)> = self
+    /// Estimated heap bytes attributable to **live** flat rows only.  The gap
+    /// to [`SharedDatabase::flat_bytes`] is reclaimable slack, bounded by the
+    /// stores' compact-at-half-holes policy.
+    pub fn flat_live_bytes(&self) -> usize {
+        self.flat
+            .values()
+            .map(ShardedRelationStore::live_bytes)
+            .sum()
+    }
+
+    /// Per-relation flat-buffer footprints `(name, live bytes, allocated
+    /// bytes)`, in name order.
+    pub fn flat_relation_bytes(&self) -> Vec<(String, usize, usize)> {
+        let mut out: Vec<(String, usize, usize)> = self
             .flat
             .iter()
-            .map(|(name, store)| (name.clone(), store.approx_bytes()))
+            .map(|(name, store)| (name.clone(), store.live_bytes(), store.approx_bytes()))
             .collect();
         out.sort();
         out
+    }
+
+    /// The commit width [`SharedDatabase::apply_batch`] spreads per-shard
+    /// maintenance over.
+    pub fn commit_workers(&self) -> usize {
+        self.commit_workers.max(1)
+    }
+
+    /// Set the commit width (clamped to at least 1).  Scheduling only — store
+    /// contents, epochs and telemetry counters are bit-identical at any width,
+    /// because shard membership is fixed by [`STORE_SHARDS`].
+    pub fn set_commit_workers(&mut self, workers: usize) {
+        self.commit_workers = workers.max(1);
+    }
+
+    /// Cumulative interned delta rows routed to each of the [`STORE_SHARDS`]
+    /// store shards — the basis of the shard-skew gauges.  Deterministic in
+    /// the update stream's contents; independent of commit width.
+    pub fn commit_shard_rows(&self) -> Vec<u64> {
+        let mut rows = self.commit_shard_rows.clone();
+        rows.resize(STORE_SHARDS, 0);
+        rows
     }
 
     /// Resolve an id block back to a row through the dictionary.
@@ -400,6 +449,20 @@ impl SharedDatabase {
     /// [`AppliedBatch`] carries the normalized per-relation deltas in both row
     /// and id space, so that `N` consumers can share one normalization and one
     /// interning pass.
+    ///
+    /// ## Sharded commit
+    ///
+    /// The commit runs in two phases behind the single epoch advance:
+    ///
+    /// 1. **Sequential** — row-space normalization and application, and
+    ///    dictionary interning (id assignment must stay ordered to keep the
+    ///    id space deterministic).
+    /// 2. **Parallel** — every relation mirror and every touched shared index
+    ///    is split into its [`STORE_SHARDS`] hash-disjoint shards, and the
+    ///    per-shard sub-deltas run one task per `(structure, shard)` on the
+    ///    [commit worker pool](SharedDatabase::set_commit_workers).  Shard
+    ///    membership is a pure row-hash function, so the result is
+    ///    bit-identical to a sequential commit at any width.
     pub fn apply_batch(&mut self, batch: &DeltaBatch) -> Result<AppliedBatch> {
         for (name, raw) in batch.iter() {
             let rel = self.db.get(name)?;
@@ -415,36 +478,67 @@ impl SharedDatabase {
         }
         let mut effect = DeltaEffect::default();
         let mut normalized = Vec::with_capacity(batch.relations().count());
-        let mut interned = Vec::with_capacity(batch.relations().count());
+        let mut interned: Vec<(String, IdDelta)> = Vec::with_capacity(batch.relations().count());
         let next_epoch = self.epoch + 1;
         let mut ids: Vec<u32> = Vec::new();
+        // Phase 1 (sequential): normalize and apply row space, intern the
+        // normalized delta once; every index and every counting side
+        // downstream consumes these ids instead of hashing values.
         for (name, raw) in batch.iter() {
             let rel = self.db.get_mut(name).expect("validated above");
             let arity = rel.schema().arity();
             let delta = normalize_delta(rel.cached_row_set(), raw);
             effect.absorb(rel.apply_normalized_delta(&delta));
-            // Intern the normalized delta once; every index and every counting
-            // side downstream consumes these ids instead of hashing values.
             let mut id_delta = IdDelta::new(arity);
             for (row, sign) in &delta {
                 ids.clear();
                 ids.extend(row.iter().map(|v| self.dict.intern(v)));
                 id_delta.push(&ids, *sign);
             }
-            self.flat
-                .get_mut(name)
-                .expect("every registered relation has a flat mirror")
-                .apply_delta(&id_delta);
-            // Maintain every registered index over this relation exactly once —
-            // this is the pass N sharing views used to pay N times.  Touched
-            // entries are stamped with the epoch this batch advances to; an
-            // outstanding snapshot forces a copy-on-write, so its readers keep
-            // their epoch while the live registry moves on.
-            self.indexes
-                .apply_relation_delta(name, &id_delta, next_epoch);
+            self.commit_shard_rows.resize(STORE_SHARDS, 0);
+            for (row, _) in id_delta.iter() {
+                self.commit_shard_rows[shard_of_ids(row, STORE_SHARDS)] += 1;
+            }
             normalized.push((name.to_string(), delta));
             interned.push((name.to_string(), id_delta));
         }
+        // Phase 2 (parallel): per-shard mirror maintenance, one task per
+        // (relation, shard); rows of different shards never touch the same
+        // sub-store, so the tasks borrow disjoint `&mut` state.
+        let pool = WorkerPool::new(self.commit_workers());
+        struct MirrorTask<'a> {
+            shard: &'a mut RelationStore,
+            shard_idx: usize,
+            delta: &'a IdDelta,
+        }
+        let mut mirror_tasks: Vec<MirrorTask<'_>> = Vec::new();
+        for (name, sharded) in self.flat.iter_mut() {
+            let touching = interned
+                .iter()
+                .find(|(touched, delta)| touched == name && !delta.is_empty());
+            let Some((_, delta)) = touching else {
+                continue;
+            };
+            for (shard_idx, shard) in sharded.shards_mut().iter_mut().enumerate() {
+                mirror_tasks.push(MirrorTask {
+                    shard,
+                    shard_idx,
+                    delta,
+                });
+            }
+        }
+        pool.run(mirror_tasks, |_, t| {
+            t.shard
+                .apply_delta_routed(t.delta, t.shard_idx, STORE_SHARDS)
+        });
+        // Maintain every registered index over the touched relations exactly
+        // once — this is the pass N sharing views used to pay N times — one
+        // task per (index, shard).  Touched entries are stamped with the epoch
+        // this batch advances to; an outstanding snapshot forces a
+        // copy-on-write, so its readers keep their epoch while the live
+        // registry moves on.
+        self.indexes
+            .apply_batch_deltas(&interned, next_epoch, &pool);
         self.epoch = next_epoch;
         Ok(AppliedBatch {
             epoch: self.epoch,
@@ -488,7 +582,7 @@ impl<'a> RelationRef<'a> {
     }
 
     /// The relation's flat id-space mirror.
-    pub fn flat(&self) -> &'a RelationStore {
+    pub fn flat(&self) -> &'a ShardedRelationStore {
         self.store
             .flat(self.relation.name())
             .expect("every registered relation has a flat mirror")
@@ -861,5 +955,105 @@ mod tests {
         assert_eq!(r.flat().arity(), 2);
         assert!(format!("{r:?}").contains("epoch 0"));
         assert!(format!("{store:?}").contains("SharedDatabase"));
+    }
+
+    /// A scripted batch sequence over two relations with an index on each.
+    fn run_commit_script(workers: usize) -> SharedDatabase {
+        let mut db = Database::new();
+        db.add(Relation::from_int_rows("Graph", &["src", "dst"], vec![]))
+            .unwrap();
+        db.add(Relation::from_int_rows("Node", &["id"], vec![]))
+            .unwrap();
+        let mut store = SharedDatabase::new(db);
+        store.set_commit_workers(workers);
+        store
+            .acquire_index(IndexKey {
+                relation: "Graph".into(),
+                equalities: vec![],
+                key_positions: vec![1],
+            })
+            .unwrap();
+        store
+            .acquire_index(IndexKey {
+                relation: "Node".into(),
+                equalities: vec![],
+                key_positions: vec![0],
+            })
+            .unwrap();
+        for step in 0..6i64 {
+            let mut batch = DeltaBatch::new();
+            for i in 0..40 {
+                batch.insert("Graph", int_row([step * 40 + i, i % 7]));
+                batch.insert("Node", int_row([step * 40 + i]));
+            }
+            if step > 1 {
+                for i in 0..30 {
+                    batch.delete("Graph", int_row([(step - 2) * 40 + i, i % 7]));
+                    batch.delete("Node", int_row([(step - 2) * 40 + i]));
+                }
+            }
+            store.apply_batch(&batch).unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn sharded_commit_is_bit_identical_across_worker_counts() {
+        let seq = run_commit_script(1);
+        for workers in [2, 4, 7] {
+            let par = run_commit_script(workers);
+            assert_eq!(par.epoch(), seq.epoch());
+            for name in ["Graph", "Node"] {
+                let (s, p) = (seq.flat(name).unwrap(), par.flat(name).unwrap());
+                assert_eq!(p.len(), s.len(), "{name} len at {workers} workers");
+                assert_eq!(
+                    p.to_insert_delta().iter().collect::<Vec<_>>(),
+                    s.to_insert_delta().iter().collect::<Vec<_>>(),
+                    "{name} mirror content at {workers} workers"
+                );
+            }
+            assert_eq!(par.index_bytes(), seq.index_bytes());
+            assert_eq!(
+                par.index_stats().indexed_rows,
+                seq.index_stats().indexed_rows
+            );
+            assert_eq!(par.commit_shard_rows(), seq.commit_shard_rows());
+            assert_eq!(par.flat_live_bytes(), seq.flat_live_bytes());
+            assert_eq!(par.flat_bytes(), seq.flat_bytes());
+        }
+    }
+
+    #[test]
+    fn commit_shard_rows_accounts_every_routed_row() {
+        let store = run_commit_script(4);
+        let shard_rows = store.commit_shard_rows();
+        assert_eq!(shard_rows.len(), STORE_SHARDS);
+        // 6 steps × 80 inserts + 4 steps × 60 deletes, all net-effective.
+        let total: u64 = shard_rows.iter().sum();
+        assert_eq!(total, 6 * 80 + 4 * 60);
+        assert!(
+            shard_rows.iter().filter(|&&n| n > 0).count() >= 2,
+            "hash routing should spread rows over shards: {shard_rows:?}"
+        );
+    }
+
+    #[test]
+    fn flat_relation_bytes_reports_live_and_allocated() {
+        let store = run_commit_script(1);
+        let per_rel = store.flat_relation_bytes();
+        assert_eq!(per_rel.len(), 2);
+        let mut live_total = 0;
+        let mut alloc_total = 0;
+        for (name, live, allocated) in &per_rel {
+            assert!(!name.is_empty());
+            assert!(
+                live <= allocated,
+                "{name}: live {live} > allocated {allocated}"
+            );
+            live_total += live;
+            alloc_total += allocated;
+        }
+        assert_eq!(live_total, store.flat_live_bytes());
+        assert_eq!(alloc_total, store.flat_bytes());
     }
 }

@@ -255,6 +255,9 @@ proptest! {
         let mut parallel = DcqEngine::with_database(db);
         sequential.set_workers(1);
         parallel.set_workers(4);
+        // An off-width partition count so the generated schedules also cover
+        // partitioned counting folds (not just wide fan-out).
+        parallel.set_fold_partitions(Some(3));
         sequential.set_cost_model(jumpy_model());
         parallel.set_cost_model(jumpy_model());
         let handles_seq = register_panel(&mut sequential);
@@ -376,6 +379,73 @@ fn any_worker_width_matches_sequential() {
             &reference_handles,
             &handles,
             &format!("workers = {workers}"),
+        );
+    }
+}
+
+/// The fold partition count is pure scheduling too: K ∈ {1, 2, 3, 8}
+/// partitioned counting folds over the full panel (including the eight-view
+/// one-pooled-side `Q_G5` family) produce identical observables, with forced
+/// mid-stream migrations landing identically at every K.
+#[test]
+fn any_fold_partition_count_matches_sequential() {
+    let db = initial_db(
+        &[
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 0),
+            (1, 4),
+            (4, 2),
+            (2, 0),
+            (4, 4),
+        ],
+        &[(0, 1, 2), (1, 2, 3), (3, 3, 3)],
+    );
+    let batches: Vec<DeltaBatch> = (0..8i64)
+        .map(|step| {
+            let mut batch = DeltaBatch::new();
+            batch.insert("Graph", int_row([step % 5, (step + 2) % 5]));
+            batch.insert("Graph", int_row([(step + 1) % 5, step % 5]));
+            if step % 2 == 1 {
+                batch.delete("Graph", int_row([step % 4, (step + 1) % 4]));
+                batch.insert("Triple", int_row([step, step % 3, step % 2]));
+            }
+            batch
+        })
+        .collect();
+
+    let run = |partitions: usize| -> (DcqEngine, Vec<ViewHandle>) {
+        let mut engine = DcqEngine::with_database(db.clone());
+        engine.set_workers(if partitions == 1 { 1 } else { 2 });
+        engine.set_fold_partitions(Some(partitions));
+        engine.set_cost_model(jumpy_model());
+        let handles = register_panel(&mut engine);
+        assert_eq!(engine.fold_partitions(), partitions);
+        let adaptive_slots = [handles.len() - 2, handles.len() - 1];
+        for (step, batch) in batches.iter().enumerate() {
+            engine.apply(batch).unwrap();
+            // Forced migrations right after touching batches: migrated views
+            // must inherit the partition count, and the rebuilt side must land
+            // identically at every K.
+            if step == 2 || step == 5 {
+                let slot = adaptive_slots[step % 2];
+                let target = opposite(engine.view(handles[slot]).unwrap().active_strategy());
+                engine.migrate(handles[slot], target).unwrap();
+            }
+        }
+        (engine, handles)
+    };
+
+    let (reference, reference_handles) = run(1);
+    for partitions in [2, 3, 8] {
+        let (engine, handles) = run(partitions);
+        assert_engines_identical(
+            &reference,
+            &engine,
+            &reference_handles,
+            &handles,
+            &format!("fold partitions = {partitions}"),
         );
     }
 }

@@ -114,8 +114,13 @@ fn exposition_is_well_formed_and_covers_every_layer() {
         "dcq_dict_intern_hits_total",
         "dcq_dict_intern_misses_total",
         "dcq_flat_bytes",
+        "dcq_flat_live_bytes",
         "dcq_flat_relation_bytes_graph",
         "dcq_flat_relation_bytes_triple",
+        "dcq_flat_relation_live_bytes_graph",
+        "dcq_commit_shard_rows_0",
+        "dcq_commit_shard_rows_3",
+        "dcq_counting_fold_partitions",
         "dcq_counting_index_probes_total",
         "dcq_counting_compensated_masks_total",
         "dcq_counting_deletion_index_builds_total",
@@ -146,6 +151,19 @@ fn exposition_is_well_formed_and_covers_every_layer() {
         "re-inserted values must hit the dictionary"
     );
     assert!(registry.value("dcq_flat_bytes").unwrap() > 0);
+    // Live bytes exclude compaction slack, so they never exceed the
+    // allocation gauge.
+    let live = registry.value("dcq_flat_live_bytes").unwrap();
+    assert!(live > 0 && live <= registry.value("dcq_flat_bytes").unwrap());
+    // Every committed row was routed through exactly one shard counter.
+    let sharded: u64 = (0..4)
+        .map(|s| {
+            registry
+                .value(&format!("dcq_commit_shard_rows_{s}"))
+                .unwrap()
+        })
+        .sum();
+    assert!(sharded > 0, "sharded commit routed no rows");
 
     // JSON-lines dump: one object per applied batch, oldest first.
     let json = engine.trace_json_lines();
@@ -172,6 +190,10 @@ fn exposition_is_well_formed_and_covers_every_layer() {
 fn traces_account_phases_and_views_sanely() {
     let db = dataset();
     let mut engine = engine_with_two_views(&db);
+    // The default width tracks `DCQ_WORKERS` (the CI multi-worker leg pins
+    // it > 1), so compare traces against the engine's own configuration
+    // rather than a literal.
+    let width = engine.stats().workers;
     let applied = batches(&db);
     for batch in &applied {
         engine.apply(batch).expect("batch applies");
@@ -185,7 +207,7 @@ fn traces_account_phases_and_views_sanely() {
         last_epoch = trace.epoch;
         assert_eq!(trace.batch_len, batch.len());
         assert!(trace.inserted + trace.deleted <= batch.len() as u64);
-        assert_eq!(trace.workers, 1, "default engine applies inline");
+        assert_eq!(trace.workers, width, "trace records the configured width");
         assert_eq!(trace.views.len(), 2, "one record per registered view");
         // The phase sum is what the rewired benches record as the per-batch
         // figure; it must be nonzero for a non-empty batch.
